@@ -1,0 +1,123 @@
+//! Breadth-first search as a vertex program.
+//!
+//! Values are BFS levels (`u32`, [`crate::UNREACHED`] when not yet
+//! visited). Only the source starts active; a vertex activates when its
+//! level first improves, so the frontier is exactly the classic BFS
+//! frontier — the workload whose active-edge curve (paper Figure 1)
+//! motivates the hybrid strategy.
+
+use crate::UNREACHED;
+use hus_core::{EdgeCtx, VertexId, VertexProgram};
+
+/// BFS from a single source.
+#[derive(Debug, Clone, Copy)]
+pub struct Bfs {
+    /// Source vertex.
+    pub source: VertexId,
+}
+
+impl Bfs {
+    /// BFS rooted at `source`.
+    pub fn new(source: VertexId) -> Self {
+        Bfs { source }
+    }
+}
+
+impl VertexProgram for Bfs {
+    type Value = u32;
+
+    fn init(&self, v: VertexId) -> u32 {
+        if v == self.source {
+            0
+        } else {
+            UNREACHED
+        }
+    }
+
+    fn initially_active(&self, v: VertexId) -> bool {
+        v == self.source
+    }
+
+    fn scatter(&self, src_val: &u32, _ctx: &EdgeCtx) -> Option<u32> {
+        if *src_val == UNREACHED {
+            // An active vertex always has a level, but pull-style engines
+            // consult every in-neighbor in the frontier bitmap; guard
+            // against propagating "unreached".
+            None
+        } else {
+            Some(src_val + 1)
+        }
+    }
+
+    fn combine(&self, dst_val: &mut u32, msg: u32) -> bool {
+        if msg < *dst_val {
+            *dst_val = msg;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use hus_core::{BuildConfig, Engine, HusGraph, RunConfig, UpdateMode};
+    use hus_gen::{classic, Csr, EdgeList};
+    use hus_storage::StorageDir;
+
+    fn run(el: &EdgeList, source: u32, mode: UpdateMode, p: u32) -> Vec<u32> {
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("g")).unwrap();
+        let g = HusGraph::build_into(el, &dir, &BuildConfig::with_p(p)).unwrap();
+        let cfg = RunConfig { mode, threads: 2, ..Default::default() };
+        Engine::new(&g, &Bfs::new(source), cfg).run().unwrap().0
+    }
+
+    #[test]
+    fn levels_on_path() {
+        let el = classic::path(6);
+        let levels = run(&el, 0, UpdateMode::Hybrid, 2);
+        assert_eq!(levels, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn unreachable_marked() {
+        // 0 -> 1; 2 isolated.
+        let mut el = EdgeList::from_pairs([(0, 1)]);
+        el.num_vertices = 3;
+        let levels = run(&el, 0, UpdateMode::Hybrid, 1);
+        assert_eq!(levels, vec![0, 1, UNREACHED]);
+    }
+
+    #[test]
+    fn source_in_middle_of_graph() {
+        let el = classic::cycle(8);
+        let levels = run(&el, 5, UpdateMode::Hybrid, 3);
+        // Directed cycle: level of v is (v - 5) mod 8.
+        let want: Vec<u32> = (0..8).map(|v| (v + 8 - 5) % 8).collect();
+        assert_eq!(levels, want);
+    }
+
+    #[test]
+    fn all_modes_match_reference_on_random_graph() {
+        let el = hus_gen::rmat(300, 2500, 11, hus_gen::RmatConfig::default());
+        let csr = Csr::from_edge_list(&el);
+        let want = reference::bfs_levels(&csr, 0);
+        for mode in [UpdateMode::ForceRop, UpdateMode::ForceCop, UpdateMode::Hybrid] {
+            assert_eq!(run(&el, 0, mode, 4), want, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn grid_levels_are_manhattan_distance() {
+        let el = classic::grid2d(4, 5);
+        let levels = run(&el, 0, UpdateMode::Hybrid, 2);
+        for r in 0..4u32 {
+            for c in 0..5u32 {
+                assert_eq!(levels[(r * 5 + c) as usize], r + c, "({r},{c})");
+            }
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! BFS spanning tree: like BFS, but each vertex also records its parent,
+//! so the result is a traversal tree rather than just levels.
+//!
+//! The value packs `(level, parent)` into a single `u64` ordered by
+//! level-then-parent, which keeps `combine` a plain `min` — idempotent
+//! and deterministic (the smallest-id parent at the smallest level wins,
+//! regardless of engine, schedule, or thread interleaving).
+
+use crate::UNREACHED;
+use hus_core::{EdgeCtx, VertexId, VertexProgram};
+
+/// Packed `(level, parent)`: level in the high 32 bits so `min` orders by
+/// level first, parent id in the low 32 bits as the tiebreak.
+pub fn pack(level: u32, parent: VertexId) -> u64 {
+    ((level as u64) << 32) | parent as u64
+}
+
+/// Unpack a value into `(level, parent)`.
+pub fn unpack(value: u64) -> (u32, VertexId) {
+    ((value >> 32) as u32, value as u32)
+}
+
+/// BFS that produces levels *and* a deterministic parent tree.
+#[derive(Debug, Clone, Copy)]
+pub struct BfsTree {
+    /// Root of the traversal.
+    pub source: VertexId,
+}
+
+impl BfsTree {
+    /// BFS tree rooted at `source`.
+    pub fn new(source: VertexId) -> Self {
+        BfsTree { source }
+    }
+}
+
+impl VertexProgram for BfsTree {
+    type Value = u64;
+
+    fn init(&self, v: VertexId) -> u64 {
+        if v == self.source {
+            pack(0, v) // the root is its own parent
+        } else {
+            pack(UNREACHED, u32::MAX)
+        }
+    }
+
+    fn initially_active(&self, v: VertexId) -> bool {
+        v == self.source
+    }
+
+    fn scatter(&self, src_val: &u64, ctx: &EdgeCtx) -> Option<u64> {
+        let (level, _) = unpack(*src_val);
+        if level == UNREACHED {
+            None
+        } else {
+            Some(pack(level + 1, ctx.src))
+        }
+    }
+
+    fn combine(&self, dst_val: &mut u64, msg: u64) -> bool {
+        if msg < *dst_val {
+            *dst_val = msg;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Walk the parent pointers from `v` back to the root; `None` when `v`
+/// was not reached. The root appears last.
+pub fn path_to_root(values: &[u64], v: VertexId) -> Option<Vec<VertexId>> {
+    let (level, _) = unpack(values[v as usize]);
+    if level == UNREACHED {
+        return None;
+    }
+    let mut path = vec![v];
+    let mut cur = v;
+    loop {
+        let (_, parent) = unpack(values[cur as usize]);
+        if parent == cur {
+            return Some(path); // reached the root
+        }
+        path.push(parent);
+        cur = parent;
+        if path.len() > values.len() {
+            unreachable!("parent pointers must form a tree");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use hus_core::{BuildConfig, Engine, HusGraph, RunConfig, UpdateMode};
+    use hus_gen::{classic, Csr, EdgeList};
+    use hus_storage::StorageDir;
+
+    fn run(el: &EdgeList, source: u32, mode: UpdateMode, p: u32) -> Vec<u64> {
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("g")).unwrap();
+        let g = HusGraph::build_into(el, &dir, &BuildConfig::with_p(p)).unwrap();
+        let cfg = RunConfig { mode, threads: 2, ..Default::default() };
+        Engine::new(&g, &BfsTree::new(source), cfg).run().unwrap().0
+    }
+
+    #[test]
+    fn levels_match_plain_bfs() {
+        let el = hus_gen::rmat(250, 1800, 9, Default::default());
+        let csr = Csr::from_edge_list(&el);
+        let want = reference::bfs_levels(&csr, 0);
+        let values = run(&el, 0, UpdateMode::Hybrid, 3);
+        for (v, &val) in values.iter().enumerate() {
+            assert_eq!(unpack(val).0, want[v], "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn parents_are_one_level_shallower() {
+        let el = hus_gen::rmat(200, 1400, 10, Default::default());
+        let values = run(&el, 0, UpdateMode::Hybrid, 4);
+        for (v, &val) in values.iter().enumerate() {
+            let (level, parent) = unpack(val);
+            if level == UNREACHED || v as u32 == 0 {
+                continue;
+            }
+            let (plevel, _) = unpack(values[parent as usize]);
+            assert_eq!(plevel + 1, level, "vertex {v} parent {parent}");
+        }
+    }
+
+    #[test]
+    fn paths_walk_back_to_root() {
+        let el = classic::grid2d(4, 4);
+        let values = run(&el, 0, UpdateMode::Hybrid, 2);
+        let path = path_to_root(&values, 15).unwrap();
+        assert_eq!(*path.first().unwrap(), 15);
+        assert_eq!(*path.last().unwrap(), 0);
+        // Manhattan distance on the grid: 3 + 3 hops = path of 7 vertices.
+        assert_eq!(path.len(), 7);
+        assert!(path_to_root(&values, 0).unwrap().len() == 1);
+    }
+
+    #[test]
+    fn unreached_has_no_path() {
+        let mut el = EdgeList::from_pairs([(0, 1)]);
+        el.num_vertices = 3;
+        let values = run(&el, 0, UpdateMode::Hybrid, 1);
+        assert!(path_to_root(&values, 2).is_none());
+    }
+
+    #[test]
+    fn deterministic_across_modes_and_threads() {
+        let el = hus_gen::rmat(150, 1000, 11, Default::default());
+        let a = run(&el, 0, UpdateMode::ForceRop, 3);
+        let b = run(&el, 0, UpdateMode::ForceCop, 3);
+        let c = run(&el, 0, UpdateMode::Hybrid, 3);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn pack_orders_by_level_then_parent() {
+        assert!(pack(1, 99) < pack(2, 0));
+        assert!(pack(3, 4) < pack(3, 5));
+        assert_eq!(unpack(pack(7, 42)), (7, 42));
+    }
+}

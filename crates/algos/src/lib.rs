@@ -1,0 +1,52 @@
+//! # hus-algos — the paper's benchmark algorithms
+//!
+//! The evaluation (paper §4.1) uses three traversal/propagation
+//! algorithms — BFS, Weakly Connected Components, Single-Source Shortest
+//! Paths — and PageRank as the representative all-active sparse
+//! matrix-multiplication workload. This crate implements each as a
+//! [`hus_core::VertexProgram`] (runnable under ROP, COP, the hybrid
+//! engine, and both baseline engines), plus:
+//!
+//! * [`pagerank_delta`] — the footnote-1 "PageRank-Delta" variant where
+//!   vertices stay active only while their rank still changes,
+//! * [`spmv`] — one-shot sparse matrix-vector multiplication,
+//! * [`msbfs`] — bit-parallel multi-source BFS (up to 64 concurrent
+//!   roots, the neighborhood-function building block),
+//! * [`bfs_tree`] — BFS with deterministic parent pointers,
+//! * [`scc`] — the forward-backward SCC primitive (plus a Tarjan
+//!   reference),
+//! * [`diameter`] — ANF-style neighborhood-function / effective-diameter
+//!   estimation on top of MS-BFS,
+//! * [`mod@reference`] — simple in-memory implementations (Dijkstra,
+//!   union-find, textbook PageRank) that every engine is validated
+//!   against in the test suites.
+//!
+//! WCC treats the graph as undirected; run it on a symmetrized edge list
+//! (`EdgeList::symmetrize`), as the paper's §3.1 convention does
+//! ("undirected graph is supported by adding two opposite edges").
+
+#![warn(missing_docs)]
+
+pub mod bfs;
+pub mod bfs_tree;
+pub mod diameter;
+pub mod msbfs;
+pub mod pagerank;
+pub mod pagerank_delta;
+pub mod reference;
+pub mod scc;
+pub mod spmv;
+pub mod sssp;
+pub mod wcc;
+
+pub use bfs::Bfs;
+pub use bfs_tree::BfsTree;
+pub use msbfs::MsBfs;
+pub use pagerank::PageRank;
+pub use pagerank_delta::PageRankDelta;
+pub use spmv::SpMv;
+pub use sssp::Sssp;
+pub use wcc::Wcc;
+
+/// Level / distance marker for unreachable vertices in BFS.
+pub const UNREACHED: u32 = u32::MAX;

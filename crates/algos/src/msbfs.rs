@@ -1,0 +1,148 @@
+//! Multi-source BFS with bit-parallel frontiers.
+//!
+//! Runs up to 64 BFS traversals simultaneously: each vertex's value is a
+//! bitmask of the sources that have reached it, and an edge ORs the
+//! source's mask into the destination. OR is idempotent, commutative and
+//! associative, so MS-BFS runs under every engine and schedule in this
+//! workspace. It is the classic building block for neighborhood-function
+//! and effective-diameter estimation (ANF/HyperANF-style), and its
+//! frontier profile — dense early, sparse late — exercises the hybrid
+//! strategy from the opposite direction of single-source BFS.
+
+use hus_core::{EdgeCtx, VertexId, VertexProgram};
+
+/// Up-to-64-source concurrent BFS; values are reachability bitmasks.
+#[derive(Debug, Clone)]
+pub struct MsBfs {
+    sources: Vec<VertexId>,
+}
+
+impl MsBfs {
+    /// A multi-source BFS from the given sources (at most 64).
+    pub fn new(sources: Vec<VertexId>) -> Self {
+        assert!(!sources.is_empty(), "need at least one source");
+        assert!(sources.len() <= 64, "at most 64 concurrent sources");
+        MsBfs { sources }
+    }
+
+    /// The bit assigned to `sources[k]`.
+    pub fn bit(&self, k: usize) -> u64 {
+        1u64 << k
+    }
+
+    /// Number of sources.
+    pub fn num_sources(&self) -> usize {
+        self.sources.len()
+    }
+}
+
+impl VertexProgram for MsBfs {
+    type Value = u64;
+
+    fn init(&self, v: VertexId) -> u64 {
+        self.sources
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s == v)
+            .fold(0u64, |acc, (k, _)| acc | (1 << k))
+    }
+
+    fn initially_active(&self, v: VertexId) -> bool {
+        self.sources.contains(&v)
+    }
+
+    fn scatter(&self, src_val: &u64, _ctx: &EdgeCtx) -> Option<u64> {
+        if *src_val == 0 {
+            None
+        } else {
+            Some(*src_val)
+        }
+    }
+
+    fn combine(&self, dst_val: &mut u64, msg: u64) -> bool {
+        let new = *dst_val | msg;
+        if new != *dst_val {
+            *dst_val = new;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Count, for each source index, how many vertices it reached.
+pub fn reached_per_source(program: &MsBfs, masks: &[u64]) -> Vec<u64> {
+    (0..program.num_sources())
+        .map(|k| masks.iter().filter(|&&m| m & program.bit(k) != 0).count() as u64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use hus_core::{BuildConfig, Engine, HusGraph, RunConfig, UpdateMode};
+    use hus_gen::{classic, Csr, EdgeList};
+    use hus_storage::StorageDir;
+
+    fn run(el: &EdgeList, sources: Vec<u32>, mode: UpdateMode, p: u32) -> Vec<u64> {
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("g")).unwrap();
+        let g = HusGraph::build_into(el, &dir, &BuildConfig::with_p(p)).unwrap();
+        let cfg = RunConfig { mode, threads: 2, ..Default::default() };
+        Engine::new(&g, &MsBfs::new(sources), cfg).run().unwrap().0
+    }
+
+    #[test]
+    fn single_source_matches_bfs_reachability() {
+        let el = hus_gen::rmat(200, 1200, 3, Default::default());
+        let csr = Csr::from_edge_list(&el);
+        let levels = reference::bfs_levels(&csr, 0);
+        let masks = run(&el, vec![0], UpdateMode::Hybrid, 3);
+        for (v, &mask) in masks.iter().enumerate() {
+            assert_eq!(mask != 0, levels[v] != crate::UNREACHED, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn each_bit_tracks_its_own_source() {
+        let el = hus_gen::rmat(150, 900, 5, Default::default());
+        let csr = Csr::from_edge_list(&el);
+        let sources = vec![0u32, 7, 33];
+        let program = MsBfs::new(sources.clone());
+        let masks = run(&el, sources.clone(), UpdateMode::Hybrid, 2);
+        for (k, &s) in sources.iter().enumerate() {
+            let levels = reference::bfs_levels(&csr, s);
+            for (v, &mask) in masks.iter().enumerate() {
+                assert_eq!(
+                    mask & program.bit(k) != 0,
+                    levels[v] != crate::UNREACHED,
+                    "source {s} vertex {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rop_and_cop_agree() {
+        let el = hus_gen::rmat(120, 800, 7, Default::default());
+        let a = run(&el, vec![1, 2, 3], UpdateMode::ForceRop, 3);
+        let b = run(&el, vec![1, 2, 3], UpdateMode::ForceCop, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reached_per_source_counts() {
+        let el = classic::path(5); // 0 -> 1 -> 2 -> 3 -> 4
+        let program = MsBfs::new(vec![0, 3]);
+        let masks = run(&el, vec![0, 3], UpdateMode::Hybrid, 2);
+        let counts = reached_per_source(&program, &masks);
+        assert_eq!(counts, vec![5, 2]); // 0 reaches all, 3 reaches {3,4}
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64")]
+    fn rejects_too_many_sources() {
+        MsBfs::new((0..65).collect());
+    }
+}

@@ -1,0 +1,162 @@
+//! In-memory reference implementations.
+//!
+//! Textbook algorithms on the in-memory CSR, used as ground truth by the
+//! out-of-core engines' test suites (HUS-Graph, GraphChi-style and
+//! GridGraph-style baselines must all agree with these).
+
+use crate::UNREACHED;
+use hus_gen::{Csr, VertexId};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// BFS levels from `source` (`UNREACHED` when not reachable).
+pub fn bfs_levels(csr: &Csr, source: VertexId) -> Vec<u32> {
+    let mut levels = vec![UNREACHED; csr.num_vertices as usize];
+    levels[source as usize] = 0;
+    let mut queue = VecDeque::from([source]);
+    while let Some(v) = queue.pop_front() {
+        let next = levels[v as usize] + 1;
+        for &w in csr.out_neighbors(v) {
+            if levels[w as usize] == UNREACHED {
+                levels[w as usize] = next;
+                queue.push_back(w);
+            }
+        }
+    }
+    levels
+}
+
+/// Dijkstra distances from `source` over non-negative weights
+/// (`f32::INFINITY` when unreachable; weight 1.0 where unweighted).
+pub fn sssp_distances(csr: &Csr, source: VertexId) -> Vec<f32> {
+    let mut dist = vec![f32::INFINITY; csr.num_vertices as usize];
+    dist[source as usize] = 0.0;
+    // (ordered bits of distance, vertex) — f32 bit tricks avoid Ord
+    // wrappers; distances are non-negative so the bit pattern orders.
+    let mut heap: BinaryHeap<Reverse<(u32, VertexId)>> = BinaryHeap::new();
+    heap.push(Reverse((0, source)));
+    while let Some(Reverse((dbits, v))) = heap.pop() {
+        let d = f32::from_bits(dbits);
+        if d > dist[v as usize] {
+            continue;
+        }
+        let ws = csr.out_edge_weights(v);
+        for (k, &w) in csr.out_neighbors(v).iter().enumerate() {
+            let weight = if ws.is_empty() { 1.0 } else { ws[k] };
+            debug_assert!(weight >= 0.0, "Dijkstra requires non-negative weights");
+            let nd = d + weight;
+            if nd < dist[w as usize] {
+                dist[w as usize] = nd;
+                heap.push(Reverse((nd.to_bits(), w)));
+            }
+        }
+    }
+    dist
+}
+
+/// Weakly connected component labels via union-find: each vertex is
+/// labeled with the smallest vertex id of its component (matching the
+/// fixpoint of min-label propagation on a symmetrized graph).
+pub fn wcc_labels(csr: &Csr) -> Vec<u32> {
+    let n = csr.num_vertices as usize;
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], v: u32) -> u32 {
+        let mut root = v;
+        while parent[root as usize] != root {
+            root = parent[root as usize];
+        }
+        // Path compression.
+        let mut cur = v;
+        while parent[cur as usize] != root {
+            let next = parent[cur as usize];
+            parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+    for v in 0..csr.num_vertices {
+        for &w in csr.out_neighbors(v) {
+            let (a, b) = (find(&mut parent, v), find(&mut parent, w));
+            if a != b {
+                // Union by minimum id so the root IS the component label.
+                let (lo, hi) = (a.min(b), a.max(b));
+                parent[hi as usize] = lo;
+            }
+        }
+    }
+    (0..csr.num_vertices).map(|v| find(&mut parent, v)).collect()
+}
+
+/// Fixed-iteration pull PageRank matching the engines' update rule
+/// (dangling mass leaks).
+pub fn pagerank(csr: &Csr, damping: f32, iterations: usize) -> Vec<f32> {
+    let n = csr.num_vertices as usize;
+    let base = (1.0 - damping) / n as f32;
+    let mut ranks = vec![1.0 / n as f32; n];
+    for _ in 0..iterations {
+        let mut next = vec![base; n];
+        for v in 0..csr.num_vertices {
+            let mut acc = 0.0f32;
+            for &src in csr.in_neighbors(v) {
+                acc += damping * ranks[src as usize] / csr.out_degree(src) as f32;
+            }
+            next[v as usize] += acc;
+        }
+        ranks = next;
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hus_gen::{classic, Csr, EdgeList};
+
+    #[test]
+    fn bfs_on_path() {
+        let csr = Csr::from_edge_list(&classic::path(4));
+        assert_eq!(bfs_levels(&csr, 0), vec![0, 1, 2, 3]);
+        assert_eq!(bfs_levels(&csr, 2), vec![UNREACHED, UNREACHED, 0, 1]);
+    }
+
+    #[test]
+    fn dijkstra_prefers_cheap_detour() {
+        let mut el = EdgeList::from_pairs([(0, 1), (0, 2), (2, 1)]);
+        el.weights = Some(vec![5.0, 1.0, 1.0]);
+        let csr = Csr::from_edge_list(&el);
+        assert_eq!(sssp_distances(&csr, 0), vec![0.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn dijkstra_unweighted_equals_bfs() {
+        let el = hus_gen::rmat(100, 600, 5, hus_gen::RmatConfig::default());
+        let csr = Csr::from_edge_list(&el);
+        let levels = bfs_levels(&csr, 0);
+        let dist = sssp_distances(&csr, 0);
+        for v in 0..100 {
+            if levels[v] == UNREACHED {
+                assert!(dist[v].is_infinite());
+            } else {
+                assert_eq!(dist[v], levels[v] as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn wcc_labels_are_component_minima() {
+        // Components: {0,1,2}, {3,4}, {5}.
+        let el = EdgeList::from_pairs([(1, 0), (1, 2), (4, 3)]).symmetrize();
+        let mut el = el;
+        el.num_vertices = 6;
+        let csr = Csr::from_edge_list(&el);
+        assert_eq!(wcc_labels(&csr), vec![0, 0, 0, 3, 3, 5]);
+    }
+
+    #[test]
+    fn pagerank_sums_leak_only_via_dangling() {
+        let csr = Csr::from_edge_list(&classic::cycle(4));
+        let pr = pagerank(&csr, 0.85, 20);
+        let total: f32 = pr.iter().sum();
+        assert!((total - 1.0).abs() < 1e-4, "no dangling vertices ⇒ total 1, got {total}");
+    }
+}

@@ -1,0 +1,112 @@
+//! Single-Source Shortest Paths (Bellman-Ford-style relaxation).
+//!
+//! Values are `f32` tentative distances (`f32::INFINITY` unreached). A
+//! vertex activates whenever its distance improves, so the frontier
+//! shrinks as distances settle — the long-tail workload of the paper's
+//! Figure 7 where ROP dominates.
+
+use hus_core::{EdgeCtx, VertexId, VertexProgram};
+
+/// SSSP from a single source over non-negative edge weights.
+#[derive(Debug, Clone, Copy)]
+pub struct Sssp {
+    /// Source vertex.
+    pub source: VertexId,
+}
+
+impl Sssp {
+    /// SSSP rooted at `source`.
+    pub fn new(source: VertexId) -> Self {
+        Sssp { source }
+    }
+}
+
+impl VertexProgram for Sssp {
+    type Value = f32;
+
+    fn init(&self, v: VertexId) -> f32 {
+        if v == self.source {
+            0.0
+        } else {
+            f32::INFINITY
+        }
+    }
+
+    fn initially_active(&self, v: VertexId) -> bool {
+        v == self.source
+    }
+
+    fn scatter(&self, src_val: &f32, ctx: &EdgeCtx) -> Option<f32> {
+        if src_val.is_finite() {
+            Some(src_val + ctx.weight)
+        } else {
+            None
+        }
+    }
+
+    fn combine(&self, dst_val: &mut f32, msg: f32) -> bool {
+        if msg < *dst_val {
+            *dst_val = msg;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use hus_core::{BuildConfig, Engine, HusGraph, RunConfig, UpdateMode};
+    use hus_gen::{classic, Csr, EdgeList};
+    use hus_storage::StorageDir;
+
+    fn run(el: &EdgeList, source: u32, mode: UpdateMode, p: u32) -> Vec<f32> {
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("g")).unwrap();
+        let g = HusGraph::build_into(el, &dir, &BuildConfig::with_p(p)).unwrap();
+        let cfg = RunConfig { mode, threads: 2, ..Default::default() };
+        Engine::new(&g, &Sssp::new(source), cfg).run().unwrap().0
+    }
+
+    #[test]
+    fn unweighted_graph_counts_hops() {
+        let el = classic::path(5);
+        assert_eq!(run(&el, 0, UpdateMode::Hybrid, 2), vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn weighted_shortcut_beats_direct_edge() {
+        // 0 -> 2 weight 10; 0 -> 1 -> 2 weights 1 + 2.
+        let mut el = EdgeList::from_pairs([(0, 2), (0, 1), (1, 2)]);
+        el.weights = Some(vec![10.0, 1.0, 2.0]);
+        let dist = run(&el, 0, UpdateMode::Hybrid, 1);
+        assert_eq!(dist, vec![0.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let mut el = EdgeList::from_pairs([(0, 1)]);
+        el.num_vertices = 3;
+        let dist = run(&el, 0, UpdateMode::Hybrid, 1);
+        assert!(dist[2].is_infinite());
+    }
+
+    #[test]
+    fn matches_dijkstra_on_random_weighted_graph() {
+        let el = hus_gen::rmat(200, 1600, 31, hus_gen::RmatConfig::default())
+            .with_hash_weights(0.1, 5.0);
+        let csr = Csr::from_edge_list(&el);
+        let want = reference::sssp_distances(&csr, 0);
+        for mode in [UpdateMode::ForceRop, UpdateMode::ForceCop, UpdateMode::Hybrid] {
+            let got = run(&el, 0, mode, 4);
+            assert_eq!(got.len(), want.len());
+            for (v, (g, w)) in got.iter().zip(&want).enumerate() {
+                let close = (g.is_infinite() && w.is_infinite())
+                    || (g - w).abs() <= 1e-4 * w.abs().max(1.0);
+                assert!(close, "{mode:?} vertex {v}: got {g}, want {w}");
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! # hus-baselines — the comparison systems, re-implemented
+//!
+//! The paper evaluates HUS-Graph against GraphChi (OSDI'12) and GridGraph
+//! (USENIX ATC'15). Both are re-implemented here **on the same tracked
+//! storage substrate** as HUS-Graph, following the I/O structure their
+//! papers describe, so the Figure 9 / Table 3 comparisons measure layout
+//! and scheduling policy rather than implementation accidents:
+//!
+//! * [`graphchi`] — parallel sliding windows: one shard per destination
+//!   interval sorted by source; each execution interval loads its memory
+//!   shard plus a window of every other shard, reconstructs the
+//!   subgraph, runs vertex-centric updates, and **writes edge values
+//!   back to disk** (the intermediate-data writes the paper blames for
+//!   GraphChi's I/O volume, §4.4). Asynchronous like the original:
+//!   updates made earlier in an iteration are visible later in it.
+//! * [`gridgraph`] — 2-level hierarchical partitioning into a `P×P`
+//!   grid of edge-list blocks, processed with a streaming-apply push
+//!   model in destination-major order, with **selective scheduling** that
+//!   skips blocks whose source interval has no active vertices. Unlike
+//!   HUS-Graph it has no pull model and no per-vertex selective loads —
+//!   a block with one active source is still streamed in full.
+//!
+//! Two further related-work systems complete the comparison set:
+//!
+//! * [`xstream`] — edge-centric scatter-gather over unordered streaming
+//!   partitions with on-disk update files (X-Stream, SOSP'13 — quoted in
+//!   the paper's Figure 11 SSD experiment).
+//! * [`semi_external`] — FlashGraph-style semi-external execution
+//!   (vertex values pinned in memory, selective on-disk edge access;
+//!   paper §5).
+//!
+//! All run the same [`hus_core::VertexProgram`]s as HUS-Graph and report
+//! the same [`hus_core::RunStats`].
+
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod graphchi;
+pub mod gridgraph;
+pub mod semi_external;
+pub mod xstream;
+
+pub use common::BaselineConfig;
+pub use graphchi::{GraphChiEngine, PswStore};
+pub use gridgraph::{GridGraphEngine, GridStore};
+pub use semi_external::SemiExternalEngine;
+pub use xstream::{XStreamEngine, XStreamStore};

@@ -1,0 +1,119 @@
+//! Benchmarks of the on-disk building blocks: dual-block construction,
+//! in-block streaming (COP's fetch), selective out-record loads (ROP's
+//! fetch), and vertex-store interval transfers.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput as CrThroughput};
+use hus_core::vertex_store::VertexStore;
+use hus_core::{build, BuildConfig, HusGraph};
+use hus_gen::rmat;
+use hus_storage::{Access, StorageDir};
+use std::hint::black_box;
+
+fn graph_dir(vertices: u32, edges: usize, p: u32) -> (tempfile::TempDir, HusGraph) {
+    let tmp = tempfile::tempdir().unwrap();
+    let dir = StorageDir::create(tmp.path().join("g")).unwrap();
+    let el = rmat(vertices, edges, 7, Default::default());
+    let g = HusGraph::build_into(&el, &dir, &BuildConfig::with_p(p)).unwrap();
+    (tmp, g)
+}
+
+fn bench_builder(c: &mut Criterion) {
+    let el = rmat(20_000, 200_000, 3, Default::default());
+    let mut g = c.benchmark_group("builder");
+    g.throughput(CrThroughput::Elements(el.num_edges() as u64));
+    g.sample_size(10);
+    g.bench_function("dual_block_200k_edges_p8", |b| {
+        b.iter_batched(
+            || tempfile::tempdir().unwrap(),
+            |tmp| {
+                let dir = StorageDir::create(tmp.path().join("g")).unwrap();
+                build(&el, &dir, &BuildConfig::with_p(8)).unwrap()
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    g.finish();
+}
+
+fn bench_block_reads(c: &mut Criterion) {
+    let (_tmp, g) = graph_dir(20_000, 200_000, 4);
+    let mut group = c.benchmark_group("block_reads");
+
+    group.bench_function("stream_in_block", |b| {
+        b.iter(|| {
+            let recs = g.stream_in_block(0, 0).unwrap();
+            black_box(recs.len())
+        })
+    });
+
+    let index = g.load_out_index(0, 0, Access::Sequential).unwrap();
+    // Every 64th vertex of interval 0 with a non-empty range.
+    let ranges: Vec<(u32, u32)> = (0..index.len() - 1)
+        .step_by(64)
+        .map(|v| (index[v], index[v + 1]))
+        .filter(|(lo, hi)| lo < hi)
+        .collect();
+    group.bench_function("selective_out_ranges", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for &(lo, hi) in &ranges {
+                total += g.load_out_records(0, 0, lo, hi).unwrap().len();
+            }
+            black_box(total)
+        })
+    });
+
+    group.bench_function("coalesced_out_block", |b| {
+        b.iter(|| black_box(g.load_out_block_batch(0, 0).unwrap().len()))
+    });
+    group.finish();
+}
+
+fn bench_vertex_store(c: &mut Criterion) {
+    let tmp = tempfile::tempdir().unwrap();
+    let dir = StorageDir::create(tmp.path().join("s")).unwrap();
+    let starts: Vec<u32> = vec![0, 250_000, 500_000, 750_000, 1_000_000];
+    let store: VertexStore<f32> = VertexStore::create(&dir, "v", &starts, |_| 1.0).unwrap();
+    let buf = store.load_current(0, Access::Sequential).unwrap();
+    let mut g = c.benchmark_group("vertex_store");
+    g.throughput(CrThroughput::Bytes(250_000 * 4));
+    g.bench_function("load_interval_1mb", |b| {
+        b.iter(|| black_box(store.load_current(0, Access::Sequential).unwrap().len()))
+    });
+    g.bench_function("write_interval_1mb", |b| {
+        b.iter(|| store.write_next(0, black_box(&buf)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    use hus_storage::{CachedBackend, ReadBackend};
+    let tmp = tempfile::tempdir().unwrap();
+    let dir = StorageDir::create(tmp.path().join("s")).unwrap();
+    let mut w = dir.writer("d.bin").unwrap();
+    w.write_pod_slice(&(0u64..262_144).collect::<Vec<u64>>()).unwrap(); // 2 MiB
+    w.finish().unwrap();
+
+    let mut g = c.benchmark_group("page_cache");
+    let plain = dir.reader("d.bin").unwrap();
+    let cached = CachedBackend::with_budget(dir.reader("d.bin").unwrap(), 4 << 20);
+    // Warm the cache once.
+    let mut buf = vec![0u8; 4096];
+    for off in (0..2_000_000u64).step_by(4096) {
+        cached.read_at(off, &mut buf, Access::Random).unwrap();
+    }
+    g.bench_function("hit_4k", |b| {
+        b.iter(|| cached.read_at(black_box(8192), &mut buf, Access::Random).unwrap())
+    });
+    g.bench_function("uncached_4k", |b| {
+        b.iter(|| plain.read_at(black_box(8192), &mut buf, Access::Random).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_builder, bench_block_reads, bench_vertex_store, bench_cache
+}
+criterion_main!(benches);

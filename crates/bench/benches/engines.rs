@@ -1,0 +1,84 @@
+//! End-to-end engine benchmarks on a small fixed R-MAT graph: BFS and
+//! PageRank under each system and each HUS update mode. (These measure
+//! wall time through the page cache — the paper-scale comparisons with
+//! modeled device time live in the `src/bin/*` experiment binaries.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hus_algos::{Bfs, PageRank};
+use hus_baselines::{BaselineConfig, GraphChiEngine, GridGraphEngine};
+use hus_bench::harness::{build_stores, Stores};
+use hus_core::{Engine, RunConfig, UpdateMode};
+use hus_gen::rmat;
+use std::hint::black_box;
+
+fn stores() -> (tempfile::TempDir, Stores, u32) {
+    let tmp = tempfile::tempdir().unwrap();
+    let el = rmat(10_000, 100_000, 9, Default::default());
+    let stores = build_stores(&el, 4, tmp.path()).unwrap();
+    let n = el.num_vertices;
+    (tmp, stores, n)
+}
+
+fn bench_bfs(c: &mut Criterion) {
+    let (_tmp, stores, _) = stores();
+    let mut g = c.benchmark_group("bfs_10k_100k");
+    g.sample_size(10);
+    for mode in [UpdateMode::ForceRop, UpdateMode::ForceCop, UpdateMode::Hybrid] {
+        g.bench_function(format!("hus_{mode:?}"), |b| {
+            b.iter(|| {
+                let cfg = RunConfig { mode, threads: 2, ..Default::default() };
+                black_box(Engine::new(&stores.hus, &Bfs::new(0), cfg).run().unwrap().1)
+            })
+        });
+    }
+    g.bench_function("gridgraph", |b| {
+        b.iter(|| {
+            black_box(
+                GridGraphEngine::new(&stores.grid, &Bfs::new(0), BaselineConfig::default())
+                    .run()
+                    .unwrap()
+                    .1,
+            )
+        })
+    });
+    g.bench_function("graphchi", |b| {
+        b.iter(|| {
+            black_box(
+                GraphChiEngine::new(&stores.psw, &Bfs::new(0), BaselineConfig::default())
+                    .run()
+                    .unwrap()
+                    .1,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_pagerank(c: &mut Criterion) {
+    let (_tmp, stores, n) = stores();
+    let pr = PageRank::new(n);
+    let mut g = c.benchmark_group("pagerank5_10k_100k");
+    g.sample_size(10);
+    g.bench_function("hus_hybrid", |b| {
+        b.iter(|| {
+            let cfg = RunConfig { max_iterations: 5, threads: 2, ..Default::default() };
+            black_box(Engine::new(&stores.hus, &pr, cfg).run().unwrap().1)
+        })
+    });
+    g.bench_function("gridgraph", |b| {
+        b.iter(|| {
+            let cfg = BaselineConfig { max_iterations: 5, ..Default::default() };
+            black_box(GridGraphEngine::new(&stores.grid, &pr, cfg).run().unwrap().1)
+        })
+    });
+    g.bench_function("graphchi", |b| {
+        b.iter(|| {
+            let cfg = BaselineConfig { max_iterations: 5, ..Default::default() };
+            black_box(GraphChiEngine::new(&stores.psw, &pr, cfg).run().unwrap().1)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_bfs, bench_pagerank);
+criterion_main!(benches);

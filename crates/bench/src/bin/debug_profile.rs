@@ -1,0 +1,34 @@
+//! Diagnostic: per-iteration ROP/COP cost profile for BFS and SSSP on
+//! Twitter2010 — the raw data behind Figures 7 and 8, useful when
+//! calibrating device profiles or the coalescing policy.
+
+use hus_bench::*;
+use hus_gen::Dataset;
+
+fn main() {
+    let tmp = tempfile::tempdir().unwrap();
+    let p = harness::env_p();
+    for algo in [AlgoKind::Bfs, AlgoKind::Sssp] {
+        let w = workload(Dataset::Twitter2010, algo);
+        let stores = build_stores(&w.el, p, &tmp.path().join(algo.name())).unwrap();
+        for sys in [SystemKind::HusRop, SystemKind::HusCop, SystemKind::Hus] {
+            let stats = run_system(&stores, sys, &w, harness::env_threads()).unwrap();
+            println!("--- {} {} iters={} ---", algo.name(), sys.name(), stats.num_iterations());
+            let model = hus_storage::CostModel::new(hus_storage::DeviceProfile::hdd());
+            for it in &stats.iterations {
+                println!(
+                    "  it{:2} {:4} act_v={:7} act_e={:9} modeled={:8.4}s seq={:8.1}K rand={:7.1}K batched={:8.1}K wr={:7.1}K",
+                    it.iteration,
+                    it.model.to_string(),
+                    it.active_vertices,
+                    it.active_edges,
+                    it.modeled_seconds(&model, stats.threads),
+                    it.io.seq_read_bytes as f64 / 1e3,
+                    it.io.rand_read_bytes as f64 / 1e3,
+                    it.io.batched_read_bytes as f64 / 1e3,
+                    it.io.write_bytes as f64 / 1e3
+                );
+            }
+        }
+    }
+}

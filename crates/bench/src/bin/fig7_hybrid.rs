@@ -1,0 +1,57 @@
+//! Figure 7 — effect of the hybrid update strategy.
+//!
+//! Runs BFS, WCC and SSSP on Twitter2010 and SK2005 under three update
+//! strategies (pure ROP, pure COP, Hybrid) and reports the modeled HDD
+//! runtime (subfigures a/c) and the I/O amount (subfigures b/d).
+
+use hus_bench::harness::{env_p, env_threads, modeled_hdd_seconds};
+use hus_bench::{build_stores, run_system, workload, AlgoKind, SystemKind, Table};
+use hus_bench::{fmt_gb, fmt_secs};
+use hus_gen::Dataset;
+
+fn main() {
+    let scale = hus_gen::datasets::env_scale();
+    let p = env_p();
+    let threads = env_threads();
+    println!("# Figure 7: ROP vs COP vs Hybrid (scale {scale}, P={p}, {threads} threads)");
+
+    for dataset in [Dataset::Twitter2010, Dataset::Sk2005] {
+        let tmp = tempfile::tempdir().expect("tempdir");
+        let mut time_t = Table::new(&["algorithm", "ROP", "COP", "Hybrid"]);
+        let mut io_t = Table::new(&["algorithm", "ROP", "COP", "Hybrid"]);
+        for algo in [AlgoKind::Bfs, AlgoKind::Wcc, AlgoKind::Sssp] {
+            let w = workload(dataset, algo);
+            let stores =
+                build_stores(&w.el, p, &tmp.path().join(algo.name())).expect("build");
+            let mut times = Vec::new();
+            let mut ios = Vec::new();
+            let mut hybrid_best = true;
+            let mut results = Vec::new();
+            for sys in [SystemKind::HusRop, SystemKind::HusCop, SystemKind::Hus] {
+                let stats = run_system(&stores, sys, &w, threads).expect("run");
+                results.push((sys, modeled_hdd_seconds(&stats), stats.total_io.total_bytes()));
+            }
+            for (_, secs, bytes) in &results {
+                times.push(fmt_secs(*secs));
+                ios.push(fmt_gb(*bytes));
+            }
+            let hybrid_secs = results[2].1;
+            if hybrid_secs > results[0].1 * 1.05 || hybrid_secs > results[1].1 * 1.05 {
+                hybrid_best = false;
+            }
+            time_t.row(vec![
+                format!("{}{}", algo.name(), if hybrid_best { "" } else { " (!)" }),
+                times[0].clone(),
+                times[1].clone(),
+                times[2].clone(),
+            ]);
+            io_t.row(vec![algo.name().into(), ios[0].clone(), ios[1].clone(), ios[2].clone()]);
+        }
+        time_t.print(&format!("Modeled HDD execution time — {}", dataset.name()));
+        io_t.print(&format!("I/O amount — {}", dataset.name()));
+    }
+    println!(
+        "\nShape check: Hybrid matches the better of ROP/COP per workload \
+         ((!) marks a >5% miss); ROP always moves the least data, COP the most."
+    );
+}

@@ -1,0 +1,87 @@
+//! Figure 8 — effect of the I/O-based performance prediction method.
+//!
+//! Runs BFS and WCC on UKunion under ROP, COP and Hybrid and reports the
+//! modeled per-iteration runtime of each for the first 30 iterations,
+//! plus which model the hybrid predictor chose (and whether that matched
+//! the post-hoc faster model — the paper notes mispredictions cluster at
+//! the ROP/COP crossover).
+
+use hus_bench::harness::{env_p, env_threads};
+use hus_bench::{build_stores, run_system, workload, AlgoKind, SystemKind, Table};
+use hus_core::RunStats;
+use hus_storage::{CostModel, DeviceProfile};
+
+fn per_iteration_model_seconds(stats: &RunStats) -> Vec<f64> {
+    let model = CostModel::new(DeviceProfile::hdd());
+    stats.iterations.iter().map(|it| it.modeled_seconds(&model, stats.threads)).collect()
+}
+
+fn main() {
+    let scale = hus_gen::datasets::env_scale();
+    let p = env_p();
+    let threads = env_threads();
+    println!("# Figure 8: per-iteration runtime of ROP/COP/Hybrid — UKunion (scale {scale}, P={p})");
+
+    let tmp = tempfile::tempdir().expect("tempdir");
+    for algo in [AlgoKind::Bfs, AlgoKind::Wcc] {
+        let w = workload(hus_gen::Dataset::UkUnion, algo);
+        let stores = build_stores(&w.el, p, &tmp.path().join(algo.name())).expect("build");
+        let rop = run_system(&stores, SystemKind::HusRop, &w, threads).expect("rop");
+        let cop = run_system(&stores, SystemKind::HusCop, &w, threads).expect("cop");
+        let hybrid = run_system(&stores, SystemKind::Hus, &w, threads).expect("hybrid");
+        let rop_s = per_iteration_model_seconds(&rop);
+        let cop_s = per_iteration_model_seconds(&cop);
+        let hyb_s = per_iteration_model_seconds(&hybrid);
+
+        let mut t = Table::new(&[
+            "iter",
+            "ROP (s)",
+            "COP (s)",
+            "Hybrid (s)",
+            "chosen",
+            "faster",
+            "prediction",
+        ]);
+        let n = rop_s.len().max(cop_s.len()).max(hyb_s.len()).min(30);
+        let mut correct = 0usize;
+        let mut decided = 0usize;
+        for i in 0..n {
+            let g = |s: &[f64]| s.get(i).copied();
+            let chosen = hybrid.iterations.get(i).map(|it| it.model);
+            let faster = match (g(&rop_s), g(&cop_s)) {
+                (Some(r), Some(c)) => {
+                    Some(if r <= c { hus_core::UpdateModel::Rop } else { hus_core::UpdateModel::Cop })
+                }
+                _ => None,
+            };
+            let verdict = match (chosen, faster) {
+                (Some(ch), Some(fa)) => {
+                    decided += 1;
+                    if ch == fa {
+                        correct += 1;
+                        "ok".to_string()
+                    } else {
+                        "MISS".to_string()
+                    }
+                }
+                _ => "-".to_string(),
+            };
+            let f = |x: Option<f64>| x.map(|v| format!("{v:.3}")).unwrap_or_else(|| "-".into());
+            t.row(vec![
+                (i + 1).to_string(),
+                f(g(&rop_s)),
+                f(g(&cop_s)),
+                f(g(&hyb_s)),
+                chosen.map(|m| m.to_string()).unwrap_or_else(|| "-".into()),
+                faster.map(|m| m.to_string()).unwrap_or_else(|| "-".into()),
+                verdict,
+            ]);
+        }
+        t.print(&format!("{} on UKunion (first 30 iterations)", algo.name()));
+        println!(
+            "prediction accuracy: {correct}/{decided} iterations \
+             ({:.0}%) — misses sit near the ROP/COP crossover (paper §4.3)",
+            if decided > 0 { 100.0 * correct as f64 / decided as f64 } else { 100.0 }
+        );
+    }
+}

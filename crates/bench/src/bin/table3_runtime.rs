@@ -1,0 +1,91 @@
+//! Table 3 — execution time of the four algorithms on all five datasets
+//! under GraphChi, GridGraph and HUS-Graph.
+//!
+//! Reports modeled HDD seconds (DESIGN.md explains why modeled time is
+//! the comparable metric on a page-cached container) and the speedup of
+//! HUS-Graph over each baseline; the paper reports 3.3x–23.1x over
+//! GraphChi and 1.4x–11.5x over GridGraph.
+
+use hus_bench::harness::{env_p, env_threads, modeled_hdd_seconds};
+use hus_bench::{build_stores, run_system, workload, AlgoKind, SystemKind, Table};
+use hus_bench::{fmt_secs, fmt_speedup};
+use hus_gen::Dataset;
+
+fn main() {
+    let scale = hus_gen::datasets::env_scale();
+    let p = env_p();
+    let threads = env_threads();
+    println!("# Table 3: Execution time (modeled HDD seconds; scale {scale}, P={p}, {threads} threads)");
+
+    let mut t = Table::new(&[
+        "Dataset",
+        "System",
+        "PageRank",
+        "BFS",
+        "WCC",
+        "SSSP",
+    ]);
+    let mut speedups: Vec<(String, f64)> = Vec::new();
+
+    for dataset in Dataset::ALL {
+        let tmp = tempfile::tempdir().expect("tempdir");
+        // seconds[algo][system]
+        let mut secs = vec![[0.0f64; 3]; AlgoKind::ALL.len()];
+        for (ai, algo) in AlgoKind::ALL.iter().enumerate() {
+            let w = workload(dataset, *algo);
+            let stores =
+                build_stores(&w.el, p, &tmp.path().join(algo.name())).expect("build");
+            for (si, sys) in
+                [SystemKind::GraphChi, SystemKind::GridGraph, SystemKind::Hus].iter().enumerate()
+            {
+                let stats = run_system(&stores, *sys, &w, threads).expect("run");
+                secs[ai][si] = modeled_hdd_seconds(&stats);
+            }
+        }
+        for (si, sys) in
+            [SystemKind::GraphChi, SystemKind::GridGraph, SystemKind::Hus].iter().enumerate()
+        {
+            t.row(vec![
+                if si == 0 { dataset.name().to_string() } else { String::new() },
+                sys.name().to_string(),
+                fmt_secs(secs[0][si]),
+                fmt_secs(secs[1][si]),
+                fmt_secs(secs[2][si]),
+                fmt_secs(secs[3][si]),
+            ]);
+        }
+        for (ai, algo) in AlgoKind::ALL.iter().enumerate() {
+            speedups.push((
+                format!("{} {} vs GraphChi", dataset.name(), algo.name()),
+                secs[ai][0] / secs[ai][2],
+            ));
+            speedups.push((
+                format!("{} {} vs GridGraph", dataset.name(), algo.name()),
+                secs[ai][1] / secs[ai][2],
+            ));
+        }
+    }
+    t.print("Execution time");
+
+    let chi: Vec<f64> =
+        speedups.iter().filter(|(n, _)| n.contains("GraphChi")).map(|(_, s)| *s).collect();
+    let grid: Vec<f64> =
+        speedups.iter().filter(|(n, _)| n.contains("GridGraph")).map(|(_, s)| *s).collect();
+    let range = |v: &[f64]| {
+        let min = v.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = v.iter().cloned().fold(0.0f64, f64::max);
+        (min, max)
+    };
+    let (cmin, cmax) = range(&chi);
+    let (gmin, gmax) = range(&grid);
+    println!(
+        "\nHUS-Graph speedup over GraphChi: {}-{} (paper: 3.3x-23.1x)",
+        fmt_speedup(cmin),
+        fmt_speedup(cmax)
+    );
+    println!(
+        "HUS-Graph speedup over GridGraph: {}-{} (paper: 1.4x-11.5x)",
+        fmt_speedup(gmin),
+        fmt_speedup(gmax)
+    );
+}

@@ -1,0 +1,301 @@
+//! Preprocessing: edge list → dual-block representation on disk.
+//!
+//! Mirrors the paper's §3.2: vertices are split into `P` intervals; each
+//! interval's out-edges and in-edges are written as an out-shard and an
+//! in-shard, each internally partitioned into `P` blocks by the other
+//! endpoint's interval, with a per-vertex CSR index per block (the
+//! `out-index(i,j)` / `in-index(i,j)` structures that enable ROP's
+//! selective loads and COP's per-destination parallelism).
+
+pub use crate::partition::PartitionStrategy;
+use crate::meta::{BlockMeta, GraphMeta, DEGREES_FILE, META_FILE};
+use crate::partition::{interval_of, interval_starts};
+use hus_gen::EdgeList;
+use hus_storage::{Result, StorageDir, StorageError};
+
+/// Build-time configuration.
+#[derive(Debug, Clone)]
+pub struct BuildConfig {
+    /// Number of intervals `P`; `None` selects automatically from the
+    /// memory budget (paper: "by selecting P such that each in-block or
+    /// out-block and the corresponding vertices can fit in memory").
+    pub p: Option<u32>,
+    /// Vertex partitioning strategy.
+    pub partition: PartitionStrategy,
+    /// Memory budget used by automatic `P` selection.
+    pub memory_budget_bytes: u64,
+}
+
+impl Default for BuildConfig {
+    fn default() -> Self {
+        BuildConfig {
+            p: None,
+            partition: PartitionStrategy::EqualVertices,
+            memory_budget_bytes: 64 << 20,
+        }
+    }
+}
+
+impl BuildConfig {
+    /// Fixed interval count.
+    pub fn with_p(p: u32) -> Self {
+        BuildConfig { p: Some(p), ..Default::default() }
+    }
+
+    /// Resolve the interval count for a graph of the given size.
+    pub fn resolve_p(&self, num_vertices: u32, num_edges: u64, edge_bytes: u64) -> u32 {
+        if let Some(p) = self.p {
+            return p.clamp(1, num_vertices.max(1));
+        }
+        // An average block holds E/P² edges and its two vertex intervals
+        // hold 2V/P values; pick the smallest P where a block plus its
+        // vertices fit in (a quarter of) the budget, approximating with
+        // the dominant E·M/P² term.
+        let budget = (self.memory_budget_bytes / 4).max(1);
+        let p = ((num_edges.saturating_mul(edge_bytes)) as f64 / budget as f64).sqrt().ceil();
+        (p as u32).clamp(1, 256).min(num_vertices.max(1))
+    }
+}
+
+/// Build the dual-block representation of `el` inside `dir`, returning
+/// the manifest (also persisted as `meta.json`).
+pub fn build(el: &EdgeList, dir: &StorageDir, config: &BuildConfig) -> Result<GraphMeta> {
+    el.validate().map_err(StorageError::Corrupt)?;
+    let weighted = el.is_weighted();
+    let edge_bytes: u64 = if weighted { 8 } else { 4 };
+    let out_degrees = el.out_degrees();
+    let p = config.resolve_p(el.num_vertices, el.num_edges() as u64, edge_bytes);
+    let starts = interval_starts(el.num_vertices, p, config.partition, &out_degrees);
+    let p = p as usize;
+
+    // Bucket edge indices into the P×P grid.
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); p * p];
+    for (k, e) in el.edges.iter().enumerate() {
+        let i = interval_of(&starts, e.src);
+        let j = interval_of(&starts, e.dst);
+        buckets[i * p + j].push(k as u32);
+    }
+
+    let mut out_blocks = vec![BlockMeta::default(); p * p];
+    let mut in_blocks = vec![BlockMeta::default(); p * p];
+
+    // Out-shards: for each source interval i, blocks (i, 0..P) sorted by
+    // source within each block.
+    for i in 0..p {
+        let mut edges_w = dir.writer(&GraphMeta::out_edges_file(i))?;
+        let mut index_w = dir.writer(&GraphMeta::out_index_file(i))?;
+        let base = starts[i];
+        let len = (starts[i + 1] - starts[i]) as usize;
+        for j in 0..p {
+            let mut ids = buckets[i * p + j].clone();
+            ids.sort_by_key(|&k| el.edges[k as usize].src); // stable: preserves input order per source
+            let block = &mut out_blocks[i * p + j];
+            block.edge_offset = edges_w.position();
+            block.edge_count = ids.len() as u64;
+            block.index_offset = index_w.position();
+            // CSR offsets over this interval's sources, local to the block.
+            let mut offsets = vec![0u32; len + 1];
+            for &k in &ids {
+                offsets[(el.edges[k as usize].src - base) as usize + 1] += 1;
+            }
+            for v in 0..len {
+                offsets[v + 1] += offsets[v];
+            }
+            index_w.write_pod_slice(&offsets)?;
+            for &k in &ids {
+                let e = &el.edges[k as usize];
+                edges_w.write_pod(&e.dst)?;
+                if weighted {
+                    edges_w.write_pod(&el.weights.as_ref().unwrap()[k as usize])?;
+                }
+            }
+        }
+        edges_w.finish()?;
+        index_w.finish()?;
+    }
+
+    // In-shards: for each destination interval j, blocks (0..P, j) sorted
+    // by destination within each block.
+    for j in 0..p {
+        let mut edges_w = dir.writer(&GraphMeta::in_edges_file(j))?;
+        let mut index_w = dir.writer(&GraphMeta::in_index_file(j))?;
+        let base = starts[j];
+        let len = (starts[j + 1] - starts[j]) as usize;
+        for i in 0..p {
+            let mut ids = buckets[i * p + j].clone();
+            ids.sort_by_key(|&k| el.edges[k as usize].dst);
+            let block = &mut in_blocks[i * p + j];
+            block.edge_offset = edges_w.position();
+            block.edge_count = ids.len() as u64;
+            block.index_offset = index_w.position();
+            let mut offsets = vec![0u32; len + 1];
+            for &k in &ids {
+                offsets[(el.edges[k as usize].dst - base) as usize + 1] += 1;
+            }
+            for v in 0..len {
+                offsets[v + 1] += offsets[v];
+            }
+            index_w.write_pod_slice(&offsets)?;
+            for &k in &ids {
+                let e = &el.edges[k as usize];
+                edges_w.write_pod(&e.src)?;
+                if weighted {
+                    edges_w.write_pod(&el.weights.as_ref().unwrap()[k as usize])?;
+                }
+            }
+        }
+        edges_w.finish()?;
+        index_w.finish()?;
+    }
+
+    // Out-degrees (used by scatter contexts and the predictor).
+    let mut deg_w = dir.writer(DEGREES_FILE)?;
+    deg_w.write_pod_slice(&out_degrees)?;
+    deg_w.finish()?;
+
+    let meta = GraphMeta {
+        num_vertices: el.num_vertices,
+        num_edges: el.num_edges() as u64,
+        p: p as u32,
+        weighted,
+        interval_starts: starts,
+        out_blocks,
+        in_blocks,
+    };
+    meta.validate().map_err(StorageError::Corrupt)?;
+    dir.put_meta(
+        META_FILE,
+        &serde_json::to_string_pretty(&meta).expect("meta serializes"),
+    )?;
+    Ok(meta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hus_gen::rmat::{rmat, RmatConfig};
+
+    fn build_tmp(el: &EdgeList, p: u32) -> (tempfile::TempDir, StorageDir, GraphMeta) {
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("g")).unwrap();
+        let meta = build(el, &dir, &BuildConfig::with_p(p)).unwrap();
+        (tmp, dir, meta)
+    }
+
+    #[test]
+    fn builds_consistent_meta() {
+        let el = rmat(100, 600, 1, RmatConfig::default());
+        let (_t, dir, meta) = build_tmp(&el, 4);
+        assert_eq!(meta.p, 4);
+        assert_eq!(meta.num_edges, el.num_edges() as u64);
+        meta.validate().unwrap();
+        for i in 0..4 {
+            assert!(dir.exists(&GraphMeta::out_edges_file(i)));
+            assert!(dir.exists(&GraphMeta::in_edges_file(i)));
+        }
+        assert!(dir.exists(META_FILE));
+        assert!(dir.exists(DEGREES_FILE));
+    }
+
+    #[test]
+    fn shard_files_have_expected_sizes() {
+        let el = rmat(64, 300, 2, RmatConfig::default());
+        let (_t, dir, meta) = build_tmp(&el, 2);
+        for i in 0..2usize {
+            let edges_in_shard: u64 =
+                (0..2).map(|j| meta.out_block(i, j).edge_count).sum();
+            assert_eq!(
+                dir.file_len(&GraphMeta::out_edges_file(i)).unwrap(),
+                edges_in_shard * meta.edge_record_bytes()
+            );
+            let len = meta.interval_len(i) as u64;
+            assert_eq!(
+                dir.file_len(&GraphMeta::out_index_file(i)).unwrap(),
+                2 * (len + 1) * 4
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_records_are_8_bytes() {
+        let el = rmat(64, 200, 3, RmatConfig::default()).with_hash_weights(1.0, 2.0);
+        let (_t, dir, meta) = build_tmp(&el, 2);
+        assert!(meta.weighted);
+        assert_eq!(meta.edge_record_bytes(), 8);
+        let total: u64 = (0..2).map(|j| meta.out_block(0, j).edge_count).sum();
+        assert_eq!(dir.file_len(&GraphMeta::out_edges_file(0)).unwrap(), total * 8);
+    }
+
+    #[test]
+    fn block_assignment_respects_intervals() {
+        // 4 vertices, P=2: intervals {0,1} and {2,3}.
+        let el = EdgeList::from_pairs([(0, 0), (0, 2), (2, 1), (3, 3), (1, 3)]);
+        let (_t, _d, meta) = build_tmp(&el, 2);
+        assert_eq!(meta.out_block(0, 0).edge_count, 1); // 0->0
+        assert_eq!(meta.out_block(0, 1).edge_count, 2); // 0->2, 1->3
+        assert_eq!(meta.out_block(1, 0).edge_count, 1); // 2->1
+        assert_eq!(meta.out_block(1, 1).edge_count, 1); // 3->3
+        // In-blocks mirror the same grid.
+        for i in 0..2 {
+            for j in 0..2 {
+                assert_eq!(
+                    meta.out_block(i, j).edge_count,
+                    meta.in_block(i, j).edge_count,
+                    "block ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn auto_p_grows_with_graph_size() {
+        let small = BuildConfig::default().resolve_p(1000, 10_000, 4);
+        let large = BuildConfig::default().resolve_p(10_000_000, 2_000_000_000, 4);
+        assert!(large > small, "small {small} large {large}");
+        assert!(small >= 1);
+        assert!(large <= 256);
+    }
+
+    #[test]
+    fn p_never_exceeds_vertex_count() {
+        assert_eq!(BuildConfig::with_p(100).resolve_p(5, 10, 4), 5);
+    }
+
+    #[test]
+    fn rejects_invalid_edge_list() {
+        let mut el = EdgeList::from_pairs([(0, 1)]);
+        el.num_vertices = 1; // endpoint out of range
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("g")).unwrap();
+        assert!(build(&el, &dir, &BuildConfig::with_p(1)).is_err());
+    }
+
+    #[test]
+    fn empty_graph_builds() {
+        let el = EdgeList::empty(10);
+        let (_t, _d, meta) = build_tmp(&el, 2);
+        assert_eq!(meta.num_edges, 0);
+        meta.validate().unwrap();
+    }
+
+    #[test]
+    fn degree_balanced_partition_builds() {
+        let el = rmat(200, 2000, 5, RmatConfig::default());
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("g")).unwrap();
+        let cfg = BuildConfig {
+            p: Some(4),
+            partition: PartitionStrategy::BalancedOutDegree,
+            ..Default::default()
+        };
+        let meta = build(&el, &dir, &cfg).unwrap();
+        meta.validate().unwrap();
+        // Degree-balanced intervals should not be wildly uneven in edges.
+        let row_edges: Vec<u64> = (0..4)
+            .map(|i| (0..4).map(|j| meta.out_block(i, j).edge_count).sum())
+            .collect();
+        let max = *row_edges.iter().max().unwrap();
+        let min = *row_edges.iter().min().unwrap();
+        assert!(max <= min.max(1) * 4, "rows {row_edges:?}");
+    }
+}

@@ -1,0 +1,126 @@
+//! Column-oriented Pull (paper §3.3, Algorithm 3).
+//!
+//! Processing column `i`: load `D_i` once; stream in-blocks
+//! `(0, i)..(P-1, i)` sequentially, loading `S_j` and the in-index per
+//! block; every destination vertex of interval `i` locates its own
+//! in-edge range and pulls from active in-neighbors. Blocks of a column
+//! cannot be overlapped (they all write `D_i`), but within a block the
+//! destinations are disjoint, so the pull is parallelized per destination
+//! vertex with no write conflicts (§3.5).
+//!
+//! Disk I/O and CPU are overlapped as the paper describes (§3.5: "the
+//! out-edges of the next out-block can be loaded before the processing
+//! of current out-block is finished if the memory is sufficient"): a
+//! producer thread fetches block `j+1` — its `S_j`, in-index and edge
+//! records — through a bounded channel while the workers process block
+//! `j`.
+
+use crate::graph::EdgeRecords;
+use crate::program::VertexProgram;
+use crate::rop::{load_d, IterCtx};
+use crate::vertex_store::VertexStore;
+use hus_storage::{Access, Result, StorageError};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One fetched in-block, ready to process.
+struct FetchedBlock<V> {
+    /// Source interval of the block.
+    src_interval: usize,
+    /// `S_j`: the source interval's current values.
+    s_block: Vec<V>,
+    /// Per-destination CSR offsets.
+    index: Vec<u32>,
+    /// The block's edge records.
+    records: EdgeRecords,
+}
+
+/// Process column `col` under COP. `touched_col` says whether `D_col`
+/// was already initialized this iteration. Returns the number of edge
+/// records streamed (COP pays for every in-edge of the column, active or
+/// not — that is its trade).
+pub fn run_column<Pr: VertexProgram>(
+    ctx: &IterCtx<'_, Pr>,
+    store: &VertexStore<Pr::Value>,
+    col: usize,
+    touched_col: bool,
+) -> Result<u64> {
+    let meta = ctx.graph.meta();
+    let mut d_col = load_d(ctx.program, store, col, touched_col, Access::Sequential)?;
+    let dst_base = meta.interval_start(col);
+    let streamed = AtomicU64::new(0);
+
+    let fetch = |i: usize| -> Result<FetchedBlock<Pr::Value>> {
+        let s_block = store.load_current(i, Access::Sequential)?;
+        let index = ctx.graph.load_in_index(i, col, Access::Sequential)?;
+        let records = ctx.graph.stream_in_block(i, col)?;
+        Ok(FetchedBlock { src_interval: i, s_block, index, records })
+    };
+
+    let blocks: Vec<usize> =
+        (0..ctx.graph.p()).filter(|&i| meta.in_block(i, col).edge_count > 0).collect();
+
+    // One-block-deep prefetch pipeline (paper §3.5).
+    let result: Result<()> = std::thread::scope(|scope| {
+        let (tx, rx) = crossbeam::channel::bounded::<Result<FetchedBlock<Pr::Value>>>(1);
+        let producer = scope.spawn(move || {
+            for &i in &blocks {
+                let fetched = fetch(i);
+                let failed = fetched.is_err();
+                if tx.send(fetched).is_err() || failed {
+                    break; // consumer hung up or fetch failed
+                }
+            }
+        });
+        for fetched in rx {
+            let block = fetched?;
+            streamed.fetch_add(block.records.len() as u64, Ordering::Relaxed);
+            pull_block(ctx, &block, dst_base, &mut d_col);
+        }
+        producer.join().map_err(|_| StorageError::Corrupt("prefetch thread panicked".into()))?;
+        Ok(())
+    });
+    result?;
+
+    store.write_next(col, &d_col)?;
+    Ok(streamed.into_inner())
+}
+
+/// The in-memory pull of one fetched block into `D_col`, parallel over
+/// destination vertices (each owns a disjoint slice of `D_col` and a
+/// disjoint record range).
+fn pull_block<Pr: VertexProgram>(
+    ctx: &IterCtx<'_, Pr>,
+    block: &FetchedBlock<Pr::Value>,
+    dst_base: u32,
+    d_col: &mut [Pr::Value],
+) {
+    let src_base = ctx.graph.meta().interval_start(block.src_interval);
+    d_col.par_iter_mut().enumerate().for_each(|(local, dst_val)| {
+        let (lo, hi) = (block.index[local] as usize, block.index[local + 1] as usize);
+        if lo == hi {
+            return;
+        }
+        let dst = dst_base + local as u32;
+        let mut changed = false;
+        for k in lo..hi {
+            let src = block.records.neighbor(k);
+            if !ctx.active.get(src) {
+                continue;
+            }
+            let src_val = &block.s_block[(src - src_base) as usize];
+            let ectx = crate::program::EdgeCtx {
+                src,
+                dst,
+                weight: block.records.weight(k),
+                src_out_degree: ctx.graph.out_degrees()[src as usize],
+            };
+            if let Some(msg) = ctx.program.scatter(src_val, &ectx) {
+                changed |= ctx.program.combine(dst_val, msg);
+            }
+        }
+        if changed {
+            ctx.next_active.set(dst);
+        }
+    });
+}

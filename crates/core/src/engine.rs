@@ -1,0 +1,800 @@
+//! The hybrid execution engine (paper Algorithm 1).
+//!
+//! Runs a [`VertexProgram`] over a [`HusGraph`] iteration by iteration,
+//! selecting ROP or COP with the I/O-based predictor, maintaining the
+//! double-buffered vertex store and the frontier, and recording
+//! per-iteration statistics.
+
+use crate::active::ActiveSet;
+use crate::cop;
+use crate::graph::HusGraph;
+use crate::predict::{Decision, Predictor, UpdateModel};
+use crate::program::VertexProgram;
+use crate::rop::{self, IterCtx};
+use crate::stats::{IterationStats, RunStats};
+use crate::vertex_store::VertexStore;
+use hus_storage::{Result, StorageError, Throughput};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Which update strategy the run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UpdateMode {
+    /// Adaptive selection via the I/O-based predictor (the paper's
+    /// Hybrid model).
+    #[default]
+    Hybrid,
+    /// Always push (the paper's "ROP" baseline in Figures 7 and 8).
+    ForceRop,
+    /// Always pull (the paper's "COP" baseline in Figures 7 and 8).
+    ForceCop,
+}
+
+/// Granularity at which the hybrid decision is made (see the crate docs
+/// for why per-interval selection as literally written in Algorithm 1
+/// can drop updates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionGranularity {
+    /// One decision per iteration (aggregated per-interval costs).
+    #[default]
+    PerIteration,
+    /// One decision per destination column: pull the whole column, or
+    /// push only the active sources' edges of that column. Covers every
+    /// edge exactly once per iteration under any mixed selection.
+    PerColumn,
+}
+
+/// When updates made earlier in an iteration become visible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Synchrony {
+    /// Jacobi: all of an iteration's updates become visible together at
+    /// its end (one commit per iteration). Every execution strategy is
+    /// observationally equivalent under this default.
+    #[default]
+    Synchronous,
+    /// The paper's literal schedule: `Swap(S, D)` after every processed
+    /// row (ROP, Algorithm 2 lines 17–19) or column (COP, Algorithm 3
+    /// line 20), so later rows/columns of the same iteration observe
+    /// earlier updates. Converges to the same fixpoint in (usually)
+    /// fewer iterations for idempotent propagation programs; rejected
+    /// for programs with non-identity `reset` (PageRank-family), whose
+    /// per-unit re-resets would double-count. The
+    /// [`SelectionGranularity::PerColumn`] schedule always commits
+    /// synchronously regardless of this setting.
+    GaussSeidel,
+}
+
+/// Run-time configuration.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Update strategy.
+    pub mode: UpdateMode,
+    /// Update visibility schedule.
+    pub synchrony: Synchrony,
+    /// Hybrid decision granularity (ignored under `Force*`).
+    pub granularity: SelectionGranularity,
+    /// Worker threads (a dedicated rayon pool is built per run).
+    pub threads: usize,
+    /// Predictor α gate (paper: 0.05).
+    pub alpha: f64,
+    /// Use the paper's verbatim `C_rop` formula instead of the refined
+    /// one (see [`crate::predict`] module docs); ablation knob.
+    pub paper_literal_predictor: bool,
+    /// Iteration cap (`PageRank` style fixed-iteration runs set this; the
+    /// propagation algorithms usually converge first).
+    pub max_iterations: usize,
+    /// Device throughputs fed to the predictor (`T_sequential`,
+    /// `T_random`).
+    pub throughput: Throughput,
+    /// Scratch directory name for the vertex store, created under the
+    /// graph directory. `None` derives a unique name per run.
+    pub scratch_name: Option<String>,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            mode: UpdateMode::Hybrid,
+            synchrony: Synchrony::Synchronous,
+            granularity: SelectionGranularity::PerIteration,
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            alpha: 0.05,
+            paper_literal_predictor: false,
+            max_iterations: 1_000,
+            throughput: hus_storage::DeviceProfile::hdd().read,
+            scratch_name: None,
+        }
+    }
+}
+
+impl RunConfig {
+    /// Config with an explicit update mode, other fields default.
+    pub fn with_mode(mode: UpdateMode) -> Self {
+        RunConfig { mode, ..Default::default() }
+    }
+}
+
+/// A configured run of a program over a graph.
+pub struct Engine<'a, Pr: VertexProgram> {
+    graph: &'a HusGraph,
+    program: &'a Pr,
+    config: RunConfig,
+}
+
+static SCRATCH_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+impl<'a, Pr: VertexProgram> Engine<'a, Pr> {
+    /// Create an engine for `program` over `graph`.
+    pub fn new(graph: &'a HusGraph, program: &'a Pr, config: RunConfig) -> Self {
+        Engine { graph, program, config }
+    }
+
+    /// Execute to convergence (or `max_iterations`); returns the final
+    /// vertex values and the run statistics.
+    pub fn run(&self) -> Result<(Vec<Pr::Value>, RunStats)> {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(self.config.threads.max(1))
+            .build()
+            .map_err(|e| StorageError::Corrupt(format!("rayon pool: {e}")))?;
+        pool.install(|| self.run_inner())
+    }
+
+    fn scratch_dir(&self) -> Result<hus_storage::StorageDir> {
+        let name = self.config.scratch_name.clone().unwrap_or_else(|| {
+            format!(
+                "scratch_{}_{}",
+                std::process::id(),
+                SCRATCH_COUNTER.fetch_add(1, Ordering::Relaxed)
+            )
+        });
+        self.graph.dir().subdir(&name)
+    }
+
+    fn run_inner(&self) -> Result<(Vec<Pr::Value>, RunStats)> {
+        if self.config.synchrony == Synchrony::GaussSeidel && self.program.needs_reset() {
+            return Err(StorageError::Corrupt(
+                "Gauss-Seidel scheduling requires identity-reset programs \
+                 (BFS/WCC/SSSP-style); PageRank-family programs re-derive \
+                 every vertex per iteration and must run synchronously"
+                    .into(),
+            ));
+        }
+        let meta = self.graph.meta();
+        let v = meta.num_vertices;
+        let p = self.graph.p();
+        let tracker = self.graph.dir().tracker();
+        let run_start_io = tracker.snapshot();
+        let run_start = Instant::now();
+
+        let scratch = self.scratch_dir()?;
+        let mut store: VertexStore<Pr::Value> =
+            VertexStore::create(&scratch, "vals", &meta.interval_starts, |x| {
+                self.program.init(x)
+            })?;
+
+        let always = self.program.always_active();
+        let mut active = if always {
+            ActiveSet::all(v)
+        } else {
+            ActiveSet::from_fn(v, |x| self.program.initially_active(x))
+        };
+
+        let mut predictor = Predictor::new(
+            self.config.throughput,
+            meta.edge_record_bytes(),
+            std::mem::size_of::<Pr::Value>() as u64,
+        );
+        predictor.alpha = self.config.alpha;
+        predictor.paper_literal = self.config.paper_literal_predictor;
+
+        let mut iterations = Vec::new();
+        let mut total_edges = 0u64;
+        let mut converged = false;
+
+        for iteration in 0..self.config.max_iterations {
+            let active_vertices = active.count();
+            if active_vertices == 0 {
+                converged = true;
+                break;
+            }
+            let active_edges = active.active_degree_sum(0, v, self.graph.out_degrees());
+            let iter_io_start = tracker.snapshot();
+            let iter_start = Instant::now();
+            let next_active = if always { ActiveSet::all(v) } else { ActiveSet::new(v) };
+
+            let ctx = IterCtx {
+                graph: self.graph,
+                program: self.program,
+                active: &active,
+                next_active: &next_active,
+                coalesce_ratio: self.config.throughput.batched_bps
+                    / self.config.throughput.random_bps,
+                index_ratio: self.config.throughput.sequential_bps
+                    / self.config.throughput.random_bps,
+            };
+
+            // Decide the model(s) for this iteration.
+            let decision = match self.config.mode {
+                UpdateMode::ForceRop => Decision {
+                    model: UpdateModel::Rop,
+                    gated: false,
+                    c_rop: f64::NAN,
+                    c_cop: f64::NAN,
+                },
+                UpdateMode::ForceCop => Decision {
+                    model: UpdateModel::Cop,
+                    gated: false,
+                    c_rop: f64::NAN,
+                    c_cop: f64::NAN,
+                },
+                UpdateMode::Hybrid => predictor.select_iteration(
+                    active_vertices,
+                    active_edges,
+                    v as u64,
+                    meta.num_edges,
+                    p as u64,
+                ),
+            };
+
+            let mut edges_this_iter = 0u64;
+            let mut rop_units = 0u32;
+            let mut cop_units = 0u32;
+
+            let per_column = self.config.mode == UpdateMode::Hybrid
+                && self.config.granularity == SelectionGranularity::PerColumn;
+
+            if per_column {
+                // Fine-grained: decide per destination column. Edge class
+                // (i, j) is covered exactly once — by column j's mode.
+                let per_interval_edges: Vec<u64> = (0..p)
+                    .map(|i| {
+                        active.active_degree_sum(
+                            meta.interval_start(i),
+                            meta.interval_starts[i + 1],
+                            self.graph.out_degrees(),
+                        )
+                    })
+                    .collect();
+                for col in 0..p {
+                    // Estimate this column's share of each row's active
+                    // edges from the static block edge counts.
+                    let mut est = 0.0f64;
+                    for (i, &row_active) in per_interval_edges.iter().enumerate() {
+                        let row_total: u64 =
+                            (0..p).map(|j| meta.out_block(i, j).edge_count).sum();
+                        if row_total > 0 {
+                            est += row_active as f64
+                                * meta.out_block(i, col).edge_count as f64
+                                / row_total as f64;
+                        }
+                    }
+                    let d = predictor.select_interval(
+                        active_vertices,
+                        est.ceil() as u64,
+                        v as u64,
+                        meta.num_edges,
+                        p as u64,
+                    );
+                    match d.model {
+                        UpdateModel::Rop => {
+                            edges_this_iter +=
+                                rop::run_push_column(&ctx, &store, col, false)?;
+                            rop_units += 1;
+                        }
+                        UpdateModel::Cop => {
+                            edges_this_iter += cop::run_column(&ctx, &store, col, false)?;
+                            cop_units += 1;
+                        }
+                    }
+                }
+                for i in 0..p {
+                    store.commit(i);
+                }
+            } else {
+                match decision.model {
+                    UpdateModel::Rop => {
+                        if self.config.synchrony == Synchrony::GaussSeidel {
+                            // Paper-literal: every processed row loads
+                            // its destination intervals, pushes, writes
+                            // them back and swaps immediately, so later
+                            // rows observe the updates (and pay the
+                            // per-row vertex traffic of the paper's
+                            // C_rop formula).
+                            for row in 0..p {
+                                let base = meta.interval_start(row);
+                                let end = meta.interval_starts[row + 1];
+                                if active.count_range(base, end) == 0 {
+                                    continue;
+                                }
+                                let d_all = rop::d_buffers::<Pr>(&store);
+                                edges_this_iter +=
+                                    rop::run_row(&ctx, &store, row, &d_all)?;
+                                let touched = rop::store_touched::<Pr>(&store, d_all)?;
+                                for (i, t) in touched.into_iter().enumerate() {
+                                    if t {
+                                        store.commit(i);
+                                    }
+                                }
+                                rop_units += 1;
+                            }
+                        } else {
+                            // ROP holds touched destination intervals in
+                            // memory for the whole iteration (the paper's
+                            // per-row parallelism has them all resident
+                            // anyway), loading lazily on first push and
+                            // writing each back once.
+                            let d_all = rop::d_buffers::<Pr>(&store);
+                            for row in 0..p {
+                                let base = meta.interval_start(row);
+                                let end = meta.interval_starts[row + 1];
+                                if active.count_range(base, end) == 0 {
+                                    continue; // row has no active sources
+                                }
+                                edges_this_iter += rop::run_row(&ctx, &store, row, &d_all)?;
+                                rop_units += 1;
+                            }
+                            let touched = rop::store_touched::<Pr>(&store, d_all)?;
+                            for (i, t) in touched.into_iter().enumerate() {
+                                if t {
+                                    store.commit(i);
+                                } else if self.program.needs_reset() {
+                                    // Non-identity reset (PageRank-style):
+                                    // intervals that received no pushes must
+                                    // still be re-derived for this iteration.
+                                    let d = rop::load_d(
+                                        self.program,
+                                        &store,
+                                        i,
+                                        false,
+                                        hus_storage::Access::Sequential,
+                                    )?;
+                                    store.write_next(i, &d)?;
+                                    store.commit(i);
+                                }
+                            }
+                        }
+                    }
+                    UpdateModel::Cop => {
+                        if self.config.synchrony == Synchrony::GaussSeidel {
+                            // Paper-literal: Swap(S_i, D_i) right after
+                            // column i (Algorithm 3 line 20).
+                            for col in 0..p {
+                                edges_this_iter +=
+                                    cop::run_column(&ctx, &store, col, false)?;
+                                store.commit(col);
+                                cop_units += 1;
+                            }
+                        } else {
+                            for col in 0..p {
+                                edges_this_iter += cop::run_column(&ctx, &store, col, false)?;
+                                cop_units += 1;
+                            }
+                            for i in 0..p {
+                                store.commit(i);
+                            }
+                        }
+                    }
+                }
+            }
+
+            total_edges += edges_this_iter;
+            let iter_io = tracker.snapshot().since(&iter_io_start);
+            iterations.push(IterationStats {
+                iteration,
+                model: if rop_units > cop_units { UpdateModel::Rop } else { decision.model },
+                gated: decision.gated,
+                c_rop: decision.c_rop,
+                c_cop: decision.c_cop,
+                rop_units,
+                cop_units,
+                active_vertices,
+                active_edges,
+                edges_processed: edges_this_iter,
+                io: iter_io,
+                wall_seconds: iter_start.elapsed().as_secs_f64(),
+            });
+
+            active = next_active;
+            if always && iteration + 1 == self.config.max_iterations {
+                // Fixed-iteration programs never empty the frontier.
+                break;
+            }
+        }
+
+        let total_io = tracker.snapshot().since(&run_start_io);
+        let wall_seconds = run_start.elapsed().as_secs_f64();
+        let values = store.read_all_current()?;
+        Ok((
+            values,
+            RunStats {
+                iterations,
+                total_io,
+                wall_seconds,
+                edges_processed: total_edges,
+                converged,
+                threads: self.config.threads,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::BuildConfig;
+    use crate::program::EdgeCtx;
+    use hus_gen::{classic, EdgeList};
+    use hus_storage::StorageDir;
+
+    /// Min-label propagation (connected components on symmetric graphs).
+    struct MinLabel;
+
+    impl VertexProgram for MinLabel {
+        type Value = u32;
+
+        fn init(&self, v: u32) -> u32 {
+            v
+        }
+
+        fn initially_active(&self, _v: u32) -> bool {
+            true
+        }
+
+        fn scatter(&self, src_val: &u32, _ctx: &EdgeCtx) -> Option<u32> {
+            Some(*src_val)
+        }
+
+        fn combine(&self, dst_val: &mut u32, msg: u32) -> bool {
+            if msg < *dst_val {
+                *dst_val = msg;
+                true
+            } else {
+                false
+            }
+        }
+    }
+
+    fn run_on(el: &EdgeList, p: u32, mode: UpdateMode) -> Vec<u32> {
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("g")).unwrap();
+        let g = HusGraph::build_into(el, &dir, &BuildConfig::with_p(p)).unwrap();
+        let config = RunConfig { mode, threads: 2, ..Default::default() };
+        let engine = Engine::new(&g, &MinLabel, config);
+        let (values, stats) = engine.run().unwrap();
+        assert!(stats.converged, "min-label must converge");
+        values
+    }
+
+    #[test]
+    fn min_label_on_cycle_converges_to_zero() {
+        let el = classic::cycle(10);
+        for mode in [UpdateMode::ForceRop, UpdateMode::ForceCop, UpdateMode::Hybrid] {
+            let values = run_on(&el, 3, mode);
+            assert_eq!(values, vec![0; 10], "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn disconnected_components_keep_distinct_labels() {
+        // Two triangles: {0,1,2} and {3,4,5}.
+        let el = EdgeList::from_pairs([(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        let values = run_on(&el, 2, UpdateMode::Hybrid);
+        assert_eq!(values, vec![0, 0, 0, 3, 3, 3]);
+    }
+
+    #[test]
+    fn rop_and_cop_agree() {
+        let el = hus_gen::rmat(200, 1500, 3, hus_gen::RmatConfig::default());
+        let rop = run_on(&el, 4, UpdateMode::ForceRop);
+        let cop = run_on(&el, 4, UpdateMode::ForceCop);
+        assert_eq!(rop, cop);
+    }
+
+    #[test]
+    fn per_column_granularity_matches_per_iteration() {
+        let el = hus_gen::rmat(150, 900, 5, hus_gen::RmatConfig::default());
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("g")).unwrap();
+        let g = HusGraph::build_into(&el, &dir, &BuildConfig::with_p(4)).unwrap();
+        let run = |granularity| {
+            let config = RunConfig { granularity, threads: 1, ..Default::default() };
+            Engine::new(&g, &MinLabel, config).run().unwrap().0
+        };
+        assert_eq!(
+            run(SelectionGranularity::PerIteration),
+            run(SelectionGranularity::PerColumn)
+        );
+    }
+
+    #[test]
+    fn stats_capture_model_choices_and_io() {
+        let el = classic::star(64);
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("g")).unwrap();
+        let g = HusGraph::build_into(&el, &dir, &BuildConfig::with_p(2)).unwrap();
+        let (_, stats) =
+            Engine::new(&g, &MinLabel, RunConfig::with_mode(UpdateMode::ForceCop))
+                .run()
+                .unwrap();
+        assert!(stats.num_iterations() >= 2);
+        assert!(stats.total_io.total_bytes() > 0);
+        for it in &stats.iterations {
+            assert_eq!(it.model, UpdateModel::Cop);
+            assert!(it.io.seq_read_bytes > 0, "COP must stream sequentially");
+        }
+    }
+
+    #[test]
+    fn rop_uses_random_io_cop_uses_sequential() {
+        let el = hus_gen::rmat(128, 800, 4, hus_gen::RmatConfig::default());
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("g")).unwrap();
+        let g = HusGraph::build_into(&el, &dir, &BuildConfig::with_p(4)).unwrap();
+        // Disable coalescing (batched == random throughput) so the sparse
+        // tail demonstrably issues per-vertex random reads; the dense
+        // first iteration still coalesces (requested == block).
+        let rop_cfg = RunConfig {
+            mode: UpdateMode::ForceRop,
+            throughput: hus_storage::Throughput {
+                sequential_bps: 120e6,
+                random_bps: 40e6,
+                batched_bps: 40e6,
+            },
+            ..Default::default()
+        };
+        let (_, rop_stats) = Engine::new(&g, &MinLabel, rop_cfg).run().unwrap();
+        let (_, cop_stats) =
+            Engine::new(&g, &MinLabel, RunConfig::with_mode(UpdateMode::ForceCop))
+                .run()
+                .unwrap();
+        let rop_iter = &rop_stats.iterations[0];
+        let cop_iter = &cop_stats.iterations[0];
+        // The fully-active first iteration coalesces into batched
+        // sweeps; the sparse tail issues genuinely random range reads.
+        assert!(rop_iter.io.batched_read_bytes > 0);
+        assert!(rop_stats.total_io.rand_read_bytes > 0);
+        assert_eq!(cop_stats.total_io.rand_read_bytes, 0);
+        assert_eq!(cop_stats.total_io.batched_read_bytes, 0);
+        assert!(cop_iter.io.seq_read_bytes > rop_iter.io.seq_read_bytes);
+        // COP reads every edge of the graph; ROP only active ranges.
+        assert!(cop_stats.edges_processed > 0);
+    }
+
+    #[test]
+    fn max_iterations_caps_always_active_programs() {
+        /// Degenerate always-active program that keeps values fixed.
+        struct Idle;
+        impl VertexProgram for Idle {
+            type Value = u32;
+            fn init(&self, _v: u32) -> u32 {
+                0
+            }
+            fn initially_active(&self, _v: u32) -> bool {
+                true
+            }
+            fn scatter(&self, _s: &u32, _c: &EdgeCtx) -> Option<u32> {
+                None
+            }
+            fn combine(&self, _d: &mut u32, _m: u32) -> bool {
+                false
+            }
+            fn always_active(&self) -> bool {
+                true
+            }
+        }
+        let el = classic::cycle(8);
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("g")).unwrap();
+        let g = HusGraph::build_into(&el, &dir, &BuildConfig::with_p(2)).unwrap();
+        let config = RunConfig { max_iterations: 3, ..Default::default() };
+        let (_, stats) = Engine::new(&g, &Idle, config).run().unwrap();
+        assert_eq!(stats.num_iterations(), 3);
+        assert!(!stats.converged);
+    }
+}
+
+#[cfg(test)]
+mod gauss_seidel_tests {
+    use super::*;
+    use crate::program::EdgeCtx;
+    use hus_storage::StorageDir;
+
+    struct MinLabel;
+
+    impl VertexProgram for MinLabel {
+        type Value = u32;
+        fn init(&self, v: u32) -> u32 {
+            v
+        }
+        fn initially_active(&self, _v: u32) -> bool {
+            true
+        }
+        fn scatter(&self, s: &u32, _c: &EdgeCtx) -> Option<u32> {
+            Some(*s)
+        }
+        fn combine(&self, d: &mut u32, m: u32) -> bool {
+            if m < *d {
+                *d = m;
+                true
+            } else {
+                false
+            }
+        }
+    }
+
+    fn run(el: &hus_gen::EdgeList, mode: UpdateMode, synchrony: Synchrony) -> (Vec<u32>, RunStats) {
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("g")).unwrap();
+        let g = HusGraph::build_into(el, &dir, &crate::BuildConfig::with_p(4)).unwrap();
+        let config = RunConfig { mode, synchrony, threads: 1, ..Default::default() };
+        Engine::new(&g, &MinLabel, config).run().unwrap()
+    }
+
+    #[test]
+    fn gauss_seidel_reaches_same_fixpoint() {
+        let el = hus_gen::rmat(200, 1200, 13, Default::default()).symmetrize();
+        for mode in [UpdateMode::ForceRop, UpdateMode::ForceCop, UpdateMode::Hybrid] {
+            let (sync_vals, _) = run(&el, mode, Synchrony::Synchronous);
+            let (gs_vals, gs_stats) = run(&el, mode, Synchrony::GaussSeidel);
+            assert_eq!(sync_vals, gs_vals, "{mode:?}");
+            assert!(gs_stats.converged);
+        }
+    }
+
+    #[test]
+    fn gauss_seidel_converges_in_fewer_iterations() {
+        // GS visibility is at interval granularity: within a unit the
+        // pull still reads previous values, so the gain on a path is the
+        // interval-boundary crossings — a strict but modest improvement.
+        let el = hus_gen::classic::path(64);
+        let (_, sync_stats) = run(&el, UpdateMode::ForceCop, Synchrony::Synchronous);
+        let (_, gs_stats) = run(&el, UpdateMode::ForceCop, Synchrony::GaussSeidel);
+        assert!(
+            gs_stats.num_iterations() < sync_stats.num_iterations(),
+            "GS {} vs sync {}",
+            gs_stats.num_iterations(),
+            sync_stats.num_iterations()
+        );
+    }
+
+    #[test]
+    fn gauss_seidel_rejects_reset_programs() {
+        struct Reset;
+        impl VertexProgram for Reset {
+            type Value = f32;
+            fn init(&self, _v: u32) -> f32 {
+                0.0
+            }
+            fn initially_active(&self, _v: u32) -> bool {
+                true
+            }
+            fn scatter(&self, s: &f32, _c: &EdgeCtx) -> Option<f32> {
+                Some(*s)
+            }
+            fn combine(&self, d: &mut f32, m: f32) -> bool {
+                *d += m;
+                true
+            }
+            fn needs_reset(&self) -> bool {
+                true
+            }
+        }
+        let el = hus_gen::classic::cycle(8);
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("g")).unwrap();
+        let g = HusGraph::build_into(&el, &dir, &crate::BuildConfig::with_p(2)).unwrap();
+        let config =
+            RunConfig { synchrony: Synchrony::GaussSeidel, ..Default::default() };
+        assert!(Engine::new(&g, &Reset, config).run().is_err());
+    }
+}
+
+#[cfg(test)]
+mod edge_case_tests {
+    use super::*;
+    use crate::program::EdgeCtx;
+    use hus_storage::StorageDir;
+
+    struct MinLabel;
+
+    impl VertexProgram for MinLabel {
+        type Value = u32;
+        fn init(&self, v: u32) -> u32 {
+            v
+        }
+        fn initially_active(&self, _v: u32) -> bool {
+            true
+        }
+        fn scatter(&self, s: &u32, _c: &EdgeCtx) -> Option<u32> {
+            Some(*s)
+        }
+        fn combine(&self, d: &mut u32, m: u32) -> bool {
+            if m < *d {
+                *d = m;
+                true
+            } else {
+                false
+            }
+        }
+    }
+
+    fn run_on(el: &hus_gen::EdgeList, p: u32) -> (Vec<u32>, RunStats) {
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("g")).unwrap();
+        let g = HusGraph::build_into(el, &dir, &crate::BuildConfig::with_p(p)).unwrap();
+        Engine::new(&g, &MinLabel, RunConfig::default()).run().unwrap()
+    }
+
+    #[test]
+    fn edgeless_graph_converges_in_one_iteration() {
+        let el = hus_gen::EdgeList::empty(10);
+        let (values, stats) = run_on(&el, 3);
+        assert_eq!(values, (0..10).collect::<Vec<u32>>());
+        // Everyone starts active but nothing changes, so one iteration
+        // drains the frontier.
+        assert_eq!(stats.num_iterations(), 1);
+        assert!(stats.converged);
+    }
+
+    #[test]
+    fn single_vertex_graph_runs() {
+        let el = hus_gen::EdgeList::empty(1);
+        let (values, stats) = run_on(&el, 1);
+        assert_eq!(values, vec![0]);
+        assert!(stats.converged);
+    }
+
+    #[test]
+    fn no_initially_active_vertices_converges_immediately() {
+        struct Inert;
+        impl VertexProgram for Inert {
+            type Value = u32;
+            fn init(&self, _v: u32) -> u32 {
+                7
+            }
+            fn initially_active(&self, _v: u32) -> bool {
+                false
+            }
+            fn scatter(&self, _s: &u32, _c: &EdgeCtx) -> Option<u32> {
+                None
+            }
+            fn combine(&self, _d: &mut u32, _m: u32) -> bool {
+                false
+            }
+        }
+        let el = hus_gen::classic::cycle(6);
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("g")).unwrap();
+        let g = HusGraph::build_into(&el, &dir, &crate::BuildConfig::with_p(2)).unwrap();
+        let (values, stats) = Engine::new(&g, &Inert, RunConfig::default()).run().unwrap();
+        assert_eq!(stats.num_iterations(), 0);
+        assert!(stats.converged);
+        assert_eq!(values, vec![7; 6]);
+    }
+
+    #[test]
+    fn explicit_scratch_name_is_honored() {
+        let el = hus_gen::classic::cycle(8);
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("g")).unwrap();
+        let g = HusGraph::build_into(&el, &dir, &crate::BuildConfig::with_p(2)).unwrap();
+        let config =
+            RunConfig { scratch_name: Some("my_scratch".into()), ..Default::default() };
+        Engine::new(&g, &MinLabel, config).run().unwrap();
+        assert!(dir.path("my_scratch").is_dir());
+        assert!(dir.exists("my_scratch/vals_a.bin"));
+    }
+
+    #[test]
+    fn max_iterations_zero_returns_initial_values() {
+        let el = hus_gen::classic::path(5);
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("g")).unwrap();
+        let g = HusGraph::build_into(&el, &dir, &crate::BuildConfig::with_p(2)).unwrap();
+        let config = RunConfig { max_iterations: 0, ..Default::default() };
+        let (values, stats) = Engine::new(&g, &MinLabel, config).run().unwrap();
+        assert_eq!(values, vec![0, 1, 2, 3, 4]);
+        assert_eq!(stats.num_iterations(), 0);
+        assert!(!stats.converged);
+    }
+}

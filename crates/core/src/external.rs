@@ -1,0 +1,411 @@
+//! External-memory (streaming) construction of the dual-block format.
+//!
+//! [`crate::build`] keeps the whole edge list in memory, which is fine
+//! for experiments but not for graphs that are the *reason* out-of-core
+//! systems exist. This builder makes two streaming passes over a
+//! re-scannable edge source with memory bounded by
+//! `O(|V| + max_shard_edges)`:
+//!
+//! 1. **Degree pass** — count out-degrees (one `u32` per vertex) and fix
+//!    the interval boundaries.
+//! 2. **Spill pass** — append every edge to one *out-spill* (keyed by
+//!    its source interval) and one *in-spill* (destination interval),
+//!    all writes buffered and tracked.
+//! 3. **Per-shard finish** — each spill (≈ `|E|/P` edges, in memory by
+//!    the choice of `P`, exactly the paper's block-sizing rule) is
+//!    sorted and written as the shard's blocks + CSR indices.
+//!
+//! The output is **byte-identical** to the in-memory builder's (the
+//! tests assert it), so either path can build a graph directory.
+
+use crate::meta::{BlockMeta, GraphMeta, DEGREES_FILE, META_FILE};
+use crate::partition::{interval_of, interval_starts};
+use crate::builder::BuildConfig;
+use hus_gen::Edge;
+use hus_storage::{Access, Result, StorageDir, StorageError};
+
+/// A re-scannable stream of `(edge, weight)` pairs (weight ignored when
+/// `weighted` is false). Each call must yield the same sequence.
+pub trait EdgeSource {
+    /// The pass iterator.
+    type Iter: Iterator<Item = (Edge, f32)>;
+
+    /// Number of vertices.
+    fn num_vertices(&self) -> u32;
+
+    /// Whether weights are meaningful.
+    fn weighted(&self) -> bool;
+
+    /// Start a fresh pass over the edges.
+    fn scan(&self) -> Result<Self::Iter>;
+}
+
+/// An in-memory [`EdgeSource`] over an [`hus_gen::EdgeList`] (useful for
+/// tests and for small graphs; the memory bound then excludes the input
+/// itself).
+pub struct ListSource<'a>(pub &'a hus_gen::EdgeList);
+
+impl<'a> EdgeSource for ListSource<'a> {
+    type Iter = Box<dyn Iterator<Item = (Edge, f32)> + 'a>;
+
+    fn num_vertices(&self) -> u32 {
+        self.0.num_vertices
+    }
+
+    fn weighted(&self) -> bool {
+        self.0.is_weighted()
+    }
+
+    fn scan(&self) -> Result<Self::Iter> {
+        let el = self.0;
+        Ok(match &el.weights {
+            Some(w) => {
+                Box::new(el.edges.iter().zip(w.iter()).map(|(e, &w)| (*e, w)))
+            }
+            None => Box::new(el.edges.iter().map(|e| (*e, 1.0f32))),
+        })
+    }
+}
+
+/// A streaming [`EdgeSource`] over a binary edge-list file written by
+/// [`hus_gen::io::write_binary`]; each pass re-opens the file.
+pub struct BinaryFileSource {
+    path: std::path::PathBuf,
+    header: hus_gen::io::BinaryHeader,
+}
+
+impl BinaryFileSource {
+    /// Open `path` and read its header.
+    pub fn open(path: impl AsRef<std::path::Path>) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let header = hus_gen::io::read_binary_header(&path)
+            .map_err(|e| StorageError::io_at(&path, e))?;
+        Ok(BinaryFileSource { path, header })
+    }
+}
+
+impl EdgeSource for BinaryFileSource {
+    type Iter = hus_gen::io::BinaryEdgeStream;
+
+    fn num_vertices(&self) -> u32 {
+        self.header.num_vertices
+    }
+
+    fn weighted(&self) -> bool {
+        self.header.weighted
+    }
+
+    fn scan(&self) -> Result<Self::Iter> {
+        hus_gen::io::stream_binary(&self.path).map_err(|e| StorageError::io_at(&self.path, e))
+    }
+}
+
+/// Build the dual-block representation of `source` into `dir` with two
+/// streaming passes and bounded memory. Produces the same files as
+/// [`crate::build`].
+pub fn build_external<S: EdgeSource>(
+    source: &S,
+    dir: &StorageDir,
+    config: &BuildConfig,
+) -> Result<GraphMeta> {
+    let num_vertices = source.num_vertices();
+    let weighted = source.weighted();
+    let rec_bytes: usize = if weighted { 12 } else { 8 };
+
+    // Pass 1: out-degrees (also counts and validates edges).
+    let mut out_degrees = vec![0u32; num_vertices as usize];
+    let mut num_edges = 0u64;
+    for (e, _) in source.scan()? {
+        if e.src >= num_vertices || e.dst >= num_vertices {
+            return Err(StorageError::Corrupt(format!(
+                "edge {} -> {} out of range for {} vertices",
+                e.src, e.dst, num_vertices
+            )));
+        }
+        out_degrees[e.src as usize] += 1;
+        num_edges += 1;
+    }
+
+    let edge_bytes: u64 = if weighted { 8 } else { 4 };
+    let p = config.resolve_p(num_vertices, num_edges, edge_bytes) as usize;
+    let starts = interval_starts(num_vertices, p as u32, config.partition, &out_degrees);
+
+    // Pass 2: spill every edge into its source-interval and
+    // destination-interval staging files.
+    let spill_out = |i: usize| format!("spill_out_{i}.tmp");
+    let spill_in = |j: usize| format!("spill_in_{j}.tmp");
+    {
+        let mut outs: Vec<_> =
+            (0..p).map(|i| dir.writer(&spill_out(i))).collect::<Result<Vec<_>>>()?;
+        let mut ins: Vec<_> =
+            (0..p).map(|j| dir.writer(&spill_in(j))).collect::<Result<Vec<_>>>()?;
+        for (e, w) in source.scan()? {
+            let i = interval_of(&starts, e.src);
+            let j = interval_of(&starts, e.dst);
+            for writer in [&mut outs[i], &mut ins[j]] {
+                writer.write_pod(&e.src)?;
+                writer.write_pod(&e.dst)?;
+                if weighted {
+                    writer.write_pod(&w)?;
+                }
+            }
+        }
+        for w in outs {
+            w.finish()?;
+        }
+        for w in ins {
+            w.finish()?;
+        }
+    }
+
+    // Per-shard finish: sort one spill at a time and emit blocks+index.
+    let mut out_blocks = vec![BlockMeta::default(); p * p];
+    let mut in_blocks = vec![BlockMeta::default(); p * p];
+
+    let read_spill = |name: &str| -> Result<Vec<(Edge, f32)>> {
+        let reader = dir.reader(name)?;
+        let len = reader.len() as usize;
+        let mut bytes = vec![0u8; len];
+        if len > 0 {
+            reader.read_at(0, &mut bytes, Access::Sequential)?;
+        }
+        let count = len / rec_bytes;
+        let mut records = Vec::with_capacity(count);
+        for r in 0..count {
+            let at = r * rec_bytes;
+            let src = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+            let dst = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().unwrap());
+            let w = if weighted {
+                f32::from_le_bytes(bytes[at + 8..at + 12].try_into().unwrap())
+            } else {
+                1.0
+            };
+            records.push((Edge::new(src, dst), w));
+        }
+        Ok(records)
+    };
+
+    for i in 0..p {
+        let mut records = read_spill(&spill_out(i))?;
+        // Stable: within (dst-interval, src) the input order is kept —
+        // matching the in-memory builder exactly.
+        records.sort_by_key(|(e, _)| (interval_of(&starts, e.dst), e.src));
+        write_shard(
+            dir,
+            &GraphMeta::out_edges_file(i),
+            &GraphMeta::out_index_file(i),
+            &records,
+            &starts,
+            p,
+            i,
+            weighted,
+            ShardKind::Out,
+            &mut out_blocks,
+        )?;
+        std::fs::remove_file(dir.path(&spill_out(i))).ok();
+    }
+    for j in 0..p {
+        let mut records = read_spill(&spill_in(j))?;
+        records.sort_by_key(|(e, _)| (interval_of(&starts, e.src), e.dst));
+        write_shard(
+            dir,
+            &GraphMeta::in_edges_file(j),
+            &GraphMeta::in_index_file(j),
+            &records,
+            &starts,
+            p,
+            j,
+            weighted,
+            ShardKind::In,
+            &mut in_blocks,
+        )?;
+        std::fs::remove_file(dir.path(&spill_in(j))).ok();
+    }
+
+    let mut deg_w = dir.writer(DEGREES_FILE)?;
+    deg_w.write_pod_slice(&out_degrees)?;
+    deg_w.finish()?;
+
+    let meta = GraphMeta {
+        num_vertices,
+        num_edges,
+        p: p as u32,
+        weighted,
+        interval_starts: starts,
+        out_blocks,
+        in_blocks,
+    };
+    meta.validate().map_err(StorageError::Corrupt)?;
+    dir.put_meta(META_FILE, &serde_json::to_string_pretty(&meta).expect("meta serializes"))?;
+    Ok(meta)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum ShardKind {
+    /// Out-shard: blocked by destination interval, indexed by source.
+    Out,
+    /// In-shard: blocked by source interval, indexed by destination.
+    In,
+}
+
+/// Write one shard's records (already sorted by `(other-interval, own
+/// vertex)`) as `P` blocks with per-vertex CSR offsets.
+#[allow(clippy::too_many_arguments)]
+fn write_shard(
+    dir: &StorageDir,
+    edges_name: &str,
+    index_name: &str,
+    records: &[(Edge, f32)],
+    starts: &[u32],
+    p: usize,
+    own: usize,
+    weighted: bool,
+    kind: ShardKind,
+    blocks: &mut [BlockMeta],
+) -> Result<()> {
+    let base = starts[own];
+    let len = (starts[own + 1] - starts[own]) as usize;
+    let mut edges_w = dir.writer(edges_name)?;
+    let mut index_w = dir.writer(index_name)?;
+    let mut cursor = 0usize;
+    for other in 0..p {
+        // Records of block `other` form a contiguous run of the sorted
+        // shard.
+        let run_start = cursor;
+        while cursor < records.len() {
+            let (e, _) = records[cursor];
+            let o = match kind {
+                ShardKind::Out => interval_of(starts, e.dst),
+                ShardKind::In => interval_of(starts, e.src),
+            };
+            if o != other {
+                break;
+            }
+            cursor += 1;
+        }
+        let run = &records[run_start..cursor];
+        let block = match kind {
+            ShardKind::Out => &mut blocks[own * p + other],
+            ShardKind::In => &mut blocks[other * p + own],
+        };
+        block.edge_offset = edges_w.position();
+        block.edge_count = run.len() as u64;
+        block.index_offset = index_w.position();
+        let mut offsets = vec![0u32; len + 1];
+        for (e, _) in run {
+            let v = match kind {
+                ShardKind::Out => e.src,
+                ShardKind::In => e.dst,
+            };
+            offsets[(v - base) as usize + 1] += 1;
+        }
+        for v in 0..len {
+            offsets[v + 1] += offsets[v];
+        }
+        index_w.write_pod_slice(&offsets)?;
+        for (e, w) in run {
+            let neighbor = match kind {
+                ShardKind::Out => e.dst,
+                ShardKind::In => e.src,
+            };
+            edges_w.write_pod(&neighbor)?;
+            if weighted {
+                edges_w.write_pod(w)?;
+            }
+        }
+    }
+    debug_assert_eq!(cursor, records.len(), "sorted shard fully consumed");
+    edges_w.finish()?;
+    index_w.finish()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::build;
+    use hus_gen::rmat;
+
+    fn file_bytes(dir: &StorageDir, name: &str) -> Vec<u8> {
+        std::fs::read(dir.path(name)).unwrap()
+    }
+
+    fn assert_dirs_identical(a: &StorageDir, b: &StorageDir, p: usize) {
+        for i in 0..p {
+            for name in [
+                GraphMeta::out_edges_file(i),
+                GraphMeta::out_index_file(i),
+                GraphMeta::in_edges_file(i),
+                GraphMeta::in_index_file(i),
+            ] {
+                assert_eq!(file_bytes(a, &name), file_bytes(b, &name), "{name}");
+            }
+        }
+        assert_eq!(file_bytes(a, DEGREES_FILE), file_bytes(b, DEGREES_FILE));
+    }
+
+    #[test]
+    fn external_build_matches_in_memory_build_exactly() {
+        let el = rmat(300, 2500, 21, Default::default());
+        let tmp = tempfile::tempdir().unwrap();
+        let mem_dir = StorageDir::create(tmp.path().join("mem")).unwrap();
+        let ext_dir = StorageDir::create(tmp.path().join("ext")).unwrap();
+        let cfg = BuildConfig::with_p(4);
+        let mem_meta = build(&el, &mem_dir, &cfg).unwrap();
+        let ext_meta = build_external(&ListSource(&el), &ext_dir, &cfg).unwrap();
+        assert_eq!(mem_meta, ext_meta);
+        assert_dirs_identical(&mem_dir, &ext_dir, 4);
+    }
+
+    #[test]
+    fn external_build_matches_for_weighted_graphs() {
+        let el = rmat(150, 1200, 33, Default::default()).with_hash_weights(0.5, 3.0);
+        let tmp = tempfile::tempdir().unwrap();
+        let mem_dir = StorageDir::create(tmp.path().join("mem")).unwrap();
+        let ext_dir = StorageDir::create(tmp.path().join("ext")).unwrap();
+        let cfg = BuildConfig::with_p(3);
+        assert_eq!(
+            build(&el, &mem_dir, &cfg).unwrap(),
+            build_external(&ListSource(&el), &ext_dir, &cfg).unwrap()
+        );
+        assert_dirs_identical(&mem_dir, &ext_dir, 3);
+    }
+
+    #[test]
+    fn binary_file_source_streams_to_the_same_graph() {
+        let el = rmat(200, 1500, 44, Default::default()).with_hash_weights(1.0, 2.0);
+        let tmp = tempfile::tempdir().unwrap();
+        let file = tmp.path().join("g.husg");
+        hus_gen::io::write_binary(&el, &file).unwrap();
+
+        let mem_dir = StorageDir::create(tmp.path().join("mem")).unwrap();
+        let ext_dir = StorageDir::create(tmp.path().join("ext")).unwrap();
+        let cfg = BuildConfig::with_p(4);
+        build(&el, &mem_dir, &cfg).unwrap();
+        let source = BinaryFileSource::open(&file).unwrap();
+        build_external(&source, &ext_dir, &cfg).unwrap();
+        assert_dirs_identical(&mem_dir, &ext_dir, 4);
+        // A built graph opens and runs.
+        let g = crate::HusGraph::open(ext_dir).unwrap();
+        assert_eq!(g.meta().num_edges, el.num_edges() as u64);
+    }
+
+    #[test]
+    fn spill_files_are_cleaned_up() {
+        let el = rmat(100, 600, 55, Default::default());
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("g")).unwrap();
+        build_external(&ListSource(&el), &dir, &BuildConfig::with_p(3)).unwrap();
+        assert!(!dir.exists("spill_out_0.tmp"));
+        assert!(!dir.exists("spill_in_2.tmp"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_edges() {
+        let mut el = hus_gen::EdgeList::from_pairs([(0, 5)]);
+        el.num_vertices = 3;
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("g")).unwrap();
+        assert!(build_external(&ListSource(&el), &dir, &BuildConfig::with_p(2)).is_err());
+    }
+}

@@ -1,0 +1,380 @@
+//! Runtime handle to a built dual-block graph.
+
+use crate::builder::{build, BuildConfig};
+use crate::meta::{GraphMeta, DEGREES_FILE, META_FILE};
+use hus_gen::EdgeList;
+use hus_storage::{Access, ReadBackend, Result, StorageDir, StorageError};
+use std::sync::Arc;
+
+/// An opened dual-block graph: manifest, shard readers, and the
+/// out-degree table.
+pub struct HusGraph {
+    dir: StorageDir,
+    meta: GraphMeta,
+    out_degrees: Vec<u32>,
+    out_edges: Vec<Arc<dyn ReadBackend>>,
+    out_index: Vec<Arc<dyn ReadBackend>>,
+    in_edges: Vec<Arc<dyn ReadBackend>>,
+    in_index: Vec<Arc<dyn ReadBackend>>,
+}
+
+impl HusGraph {
+    /// Build `el` into `dir` and open the result.
+    pub fn build_into(el: &EdgeList, dir: &StorageDir, config: &BuildConfig) -> Result<Self> {
+        build(el, dir, config)?;
+        Self::open(dir.clone())
+    }
+
+    /// Open a previously built graph directory.
+    pub fn open(dir: StorageDir) -> Result<Self> {
+        let meta: GraphMeta = serde_json::from_str(&dir.get_meta(META_FILE)?)
+            .map_err(|e| StorageError::Corrupt(format!("bad meta.json: {e}")))?;
+        meta.validate().map_err(StorageError::Corrupt)?;
+        let p = meta.p as usize;
+        // Degrees are loaded once at open; like the manifest this is
+        // setup, so it is read untracked via std I/O.
+        let deg_bytes = std::fs::read(dir.path(DEGREES_FILE))
+            .map_err(|e| StorageError::io_at(dir.path(DEGREES_FILE), e))?;
+        let out_degrees = hus_storage::pod::to_vec::<u32>(&deg_bytes)?;
+        if out_degrees.len() != meta.num_vertices as usize {
+            return Err(StorageError::Corrupt(format!(
+                "degree table has {} entries for {} vertices",
+                out_degrees.len(),
+                meta.num_vertices
+            )));
+        }
+        let mut out_edges = Vec::with_capacity(p);
+        let mut out_index = Vec::with_capacity(p);
+        let mut in_edges = Vec::with_capacity(p);
+        let mut in_index = Vec::with_capacity(p);
+        for i in 0..p {
+            out_edges.push(dir.reader(&GraphMeta::out_edges_file(i))?);
+            out_index.push(dir.reader(&GraphMeta::out_index_file(i))?);
+            in_edges.push(dir.reader(&GraphMeta::in_edges_file(i))?);
+            in_index.push(dir.reader(&GraphMeta::in_index_file(i))?);
+        }
+        Ok(HusGraph { dir, meta, out_degrees, out_edges, out_index, in_edges, in_index })
+    }
+
+    /// The manifest.
+    pub fn meta(&self) -> &GraphMeta {
+        &self.meta
+    }
+
+    /// The storage directory (shared tracker lives here).
+    pub fn dir(&self) -> &StorageDir {
+        &self.dir
+    }
+
+    /// Out-degree table (`d_v` of the predictor).
+    pub fn out_degrees(&self) -> &[u32] {
+        &self.out_degrees
+    }
+
+    /// Number of intervals.
+    pub fn p(&self) -> usize {
+        self.meta.p as usize
+    }
+
+    /// Load out-index `(i, j)`: `interval_len(i) + 1` CSR offsets local
+    /// to out-block `(i, j)`.
+    pub fn load_out_index(&self, i: usize, j: usize, access: Access) -> Result<Vec<u32>> {
+        let block = self.meta.out_block(i, j);
+        let count = self.meta.interval_len(i) as usize + 1;
+        hus_storage::read_pod_vec(&self.out_index[i], block.index_offset, count, access)
+    }
+
+    /// Load in-index `(i, j)`: `interval_len(j) + 1` CSR offsets local to
+    /// in-block `(i, j)`.
+    pub fn load_in_index(&self, i: usize, j: usize, access: Access) -> Result<Vec<u32>> {
+        let block = self.meta.in_block(i, j);
+        let count = self.meta.interval_len(j) as usize + 1;
+        hus_storage::read_pod_vec(&self.in_index[j], block.index_offset, count, access)
+    }
+
+    /// Randomly load the two CSR offsets delimiting one vertex's edge
+    /// range in out-block `(i, j)` — an 8-byte random read. When the
+    /// frontier is far smaller than the interval, fetching entries
+    /// per-vertex beats loading the whole `len+1`-entry index array
+    /// (the engine chooses by predicted cost).
+    pub fn load_out_index_entry(&self, i: usize, j: usize, local: usize) -> Result<(u32, u32)> {
+        let block = self.meta.out_block(i, j);
+        let mut buf = [0u8; 8];
+        self.out_index[i].read_at(
+            block.index_offset + local as u64 * 4,
+            &mut buf,
+            Access::Random,
+        )?;
+        Ok((
+            u32::from_le_bytes(buf[0..4].try_into().unwrap()),
+            u32::from_le_bytes(buf[4..8].try_into().unwrap()),
+        ))
+    }
+
+    /// Randomly load records `[lo, hi)` of out-block `(i, j)` — ROP's
+    /// selective per-vertex edge fetch (`LoadOutEdges` in Algorithm 2).
+    pub fn load_out_records(
+        &self,
+        i: usize,
+        j: usize,
+        lo: u32,
+        hi: u32,
+    ) -> Result<EdgeRecords> {
+        debug_assert!(lo <= hi);
+        let block = self.meta.out_block(i, j);
+        debug_assert!((hi as u64) <= block.edge_count);
+        let m = self.meta.edge_record_bytes();
+        let offset = block.edge_offset + lo as u64 * m;
+        let len = (hi - lo) as usize * m as usize;
+        let mut data = vec![0u8; len];
+        self.out_edges[i].read_at(offset, &mut data, Access::Random)?;
+        Ok(EdgeRecords { data, weighted: self.meta.weighted })
+    }
+
+    /// Load the whole out-block `(i, j)` in one coalesced request: ROP's
+    /// elevator fetch. When a frontier is dense enough that its
+    /// per-vertex ranges cover most of a block, issuing them as one
+    /// ascending sweep is what a real disk scheduler converges to;
+    /// billed at the device's batched-sweep throughput.
+    pub fn load_out_block_batch(&self, i: usize, j: usize) -> Result<EdgeRecords> {
+        let block = self.meta.out_block(i, j);
+        let m = self.meta.edge_record_bytes();
+        let len = (block.edge_count * m) as usize;
+        let mut data = vec![0u8; len];
+        if len > 0 {
+            self.out_edges[i].read_at(block.edge_offset, &mut data, Access::Batched)?;
+        }
+        Ok(EdgeRecords { data, weighted: self.meta.weighted })
+    }
+
+    /// Sequentially stream the whole in-block `(i, j)` — COP's
+    /// `LoadInEdges` (Algorithm 3). The paper sizes `P` so a block fits
+    /// in memory; we load it in one tracked sequential read.
+    pub fn stream_in_block(&self, i: usize, j: usize) -> Result<EdgeRecords> {
+        let block = self.meta.in_block(i, j);
+        let m = self.meta.edge_record_bytes();
+        let len = (block.edge_count * m) as usize;
+        let mut data = vec![0u8; len];
+        if len > 0 {
+            self.in_edges[j].read_at(block.edge_offset, &mut data, Access::Sequential)?;
+        }
+        Ok(EdgeRecords { data, weighted: self.meta.weighted })
+    }
+
+    /// Sequentially stream the whole out-block `(i, j)` (used by the
+    /// ablation harness to measure layout costs; ROP itself reads
+    /// selectively).
+    pub fn stream_out_block(&self, i: usize, j: usize) -> Result<EdgeRecords> {
+        let block = self.meta.out_block(i, j);
+        let m = self.meta.edge_record_bytes();
+        let len = (block.edge_count * m) as usize;
+        let mut data = vec![0u8; len];
+        if len > 0 {
+            self.out_edges[i].read_at(block.edge_offset, &mut data, Access::Sequential)?;
+        }
+        Ok(EdgeRecords { data, weighted: self.meta.weighted })
+    }
+}
+
+/// A decoded run of edge records (neighbor id + optional weight each).
+///
+/// Accessors read unaligned little-endian fields straight out of the byte
+/// buffer, so no alignment requirements are imposed on block offsets.
+pub struct EdgeRecords {
+    data: Vec<u8>,
+    weighted: bool,
+}
+
+impl EdgeRecords {
+    /// Record size in bytes.
+    fn stride(&self) -> usize {
+        if self.weighted {
+            8
+        } else {
+            4
+        }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.data.len() / self.stride()
+    }
+
+    /// Whether there are no records.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Neighbor id of record `k` (destination in out-blocks, source in
+    /// in-blocks).
+    #[inline]
+    pub fn neighbor(&self, k: usize) -> u32 {
+        let s = k * self.stride();
+        u32::from_le_bytes(self.data[s..s + 4].try_into().unwrap())
+    }
+
+    /// Weight of record `k` (1.0 for unweighted graphs).
+    #[inline]
+    pub fn weight(&self, k: usize) -> f32 {
+        if !self.weighted {
+            return 1.0;
+        }
+        let s = k * 8 + 4;
+        f32::from_le_bytes(self.data[s..s + 4].try_into().unwrap())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hus_gen::rmat::{rmat, RmatConfig};
+    use hus_gen::{Csr, Edge};
+
+    fn open_graph(el: &EdgeList, p: u32) -> (tempfile::TempDir, HusGraph) {
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("g")).unwrap();
+        let g = HusGraph::build_into(el, &dir, &BuildConfig::with_p(p)).unwrap();
+        (tmp, g)
+    }
+
+    /// Reconstruct the edge set through the out-blocks + out-indices.
+    fn edges_via_out_blocks(g: &HusGraph) -> Vec<Edge> {
+        let mut edges = Vec::new();
+        let p = g.p();
+        for i in 0..p {
+            let base = g.meta().interval_start(i);
+            for j in 0..p {
+                let idx = g.load_out_index(i, j, Access::Sequential).unwrap();
+                let recs = g.stream_out_block(i, j).unwrap();
+                for v_local in 0..g.meta().interval_len(i) as usize {
+                    for k in idx[v_local]..idx[v_local + 1] {
+                        edges.push(Edge::new(base + v_local as u32, recs.neighbor(k as usize)));
+                    }
+                }
+            }
+        }
+        edges
+    }
+
+    /// Reconstruct the edge set through the in-blocks + in-indices.
+    fn edges_via_in_blocks(g: &HusGraph) -> Vec<Edge> {
+        let mut edges = Vec::new();
+        let p = g.p();
+        for j in 0..p {
+            let base = g.meta().interval_start(j);
+            for i in 0..p {
+                let idx = g.load_in_index(i, j, Access::Sequential).unwrap();
+                let recs = g.stream_in_block(i, j).unwrap();
+                for v_local in 0..g.meta().interval_len(j) as usize {
+                    for k in idx[v_local]..idx[v_local + 1] {
+                        edges.push(Edge::new(recs.neighbor(k as usize), base + v_local as u32));
+                    }
+                }
+            }
+        }
+        edges
+    }
+
+    #[test]
+    fn out_blocks_reconstruct_the_graph() {
+        let el = rmat(120, 700, 9, RmatConfig::default());
+        let (_t, g) = open_graph(&el, 4);
+        let mut got = edges_via_out_blocks(&g);
+        let mut want = el.edges.clone();
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn in_blocks_reconstruct_the_graph() {
+        let el = rmat(120, 700, 9, RmatConfig::default());
+        let (_t, g) = open_graph(&el, 4);
+        let mut got = edges_via_in_blocks(&g);
+        let mut want = el.edges;
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn selective_out_load_matches_csr() {
+        let el = rmat(80, 400, 4, RmatConfig::default());
+        let csr = Csr::from_edge_list(&el);
+        let (_t, g) = open_graph(&el, 3);
+        // For every vertex, gather out-neighbors through selective loads
+        // across all blocks of its row and compare to the CSR.
+        for v in 0..el.num_vertices {
+            let i = crate::partition::interval_of(&g.meta().interval_starts, v);
+            let local = (v - g.meta().interval_start(i)) as usize;
+            let mut got: Vec<u32> = Vec::new();
+            for j in 0..g.p() {
+                let idx = g.load_out_index(i, j, Access::Random).unwrap();
+                let (lo, hi) = (idx[local], idx[local + 1]);
+                if lo < hi {
+                    let recs = g.load_out_records(i, j, lo, hi).unwrap();
+                    got.extend((0..recs.len()).map(|k| recs.neighbor(k)));
+                }
+            }
+            let mut want: Vec<u32> = csr.out_neighbors(v).to_vec();
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn weights_survive_the_dual_block_roundtrip() {
+        let el = rmat(60, 300, 6, RmatConfig::default()).with_hash_weights(0.5, 4.5);
+        let (_t, g) = open_graph(&el, 2);
+        // Sum of weights through in-blocks equals the edge list's sum.
+        let mut total = 0.0f64;
+        for j in 0..g.p() {
+            for i in 0..g.p() {
+                let recs = g.stream_in_block(i, j).unwrap();
+                for k in 0..recs.len() {
+                    total += recs.weight(k) as f64;
+                }
+            }
+        }
+        let want: f64 = el.weights.as_ref().unwrap().iter().map(|&w| w as f64).sum();
+        assert!((total - want).abs() < 1e-3, "{total} vs {want}");
+    }
+
+    #[test]
+    fn degrees_match_edge_list() {
+        let el = rmat(90, 500, 7, RmatConfig::default());
+        let (_t, g) = open_graph(&el, 4);
+        assert_eq!(g.out_degrees(), el.out_degrees().as_slice());
+    }
+
+    #[test]
+    fn io_is_tracked_per_access_kind() {
+        let el = rmat(64, 400, 8, RmatConfig::default());
+        let (_t, g) = open_graph(&el, 2);
+        g.dir().tracker().reset();
+        g.stream_in_block(0, 0).unwrap();
+        let s = g.dir().tracker().snapshot();
+        assert_eq!(s.seq_read_bytes, g.meta().in_block(0, 0).edge_count * 4);
+        assert_eq!(s.rand_read_bytes, 0);
+        g.load_out_records(0, 0, 0, 1).unwrap();
+        let s = g.dir().tracker().snapshot();
+        assert_eq!(s.rand_read_bytes, 4);
+    }
+
+    #[test]
+    fn open_rejects_missing_meta() {
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("empty")).unwrap();
+        assert!(HusGraph::open(dir).is_err());
+    }
+
+    #[test]
+    fn unweighted_records_report_unit_weight() {
+        let recs = EdgeRecords { data: vec![1, 0, 0, 0, 2, 0, 0, 0], weighted: false };
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs.neighbor(0), 1);
+        assert_eq!(recs.neighbor(1), 2);
+        assert_eq!(recs.weight(0), 1.0);
+    }
+}

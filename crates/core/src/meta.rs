@@ -1,0 +1,238 @@
+//! On-disk layout metadata for the dual-block representation.
+//!
+//! A built graph directory contains (for `P` intervals):
+//!
+//! | file | contents |
+//! |---|---|
+//! | `meta.json` | the [`GraphMeta`] manifest |
+//! | `out_<i>.edges` | out-shard of interval `i`: out-blocks `(i,0)..(i,P-1)` concatenated; records sorted by source within each block |
+//! | `out_<i>.index` | per-block CSR offsets over interval `i`'s sources (`len_i + 1` u32 each) |
+//! | `in_<j>.edges` | in-shard of interval `j`: in-blocks `(0,j)..(P-1,j)` concatenated; records grouped by destination within each block |
+//! | `in_<j>.index` | per-block CSR offsets over interval `j`'s destinations |
+//! | `degrees.bin` | out-degree of every vertex (u32), used by scatter contexts and the predictor |
+//!
+//! Edge records are compact: an out-block stores only each edge's
+//! **destination** (the source is implied by the index), an in-block only
+//! its **source** — 4 bytes unweighted, 8 with an f32 weight. This is the
+//! "more space-efficient storage format" the paper credits for part of
+//! its PageRank I/O advantage over edge-list systems (§4.4).
+
+use serde::{Deserialize, Serialize};
+
+/// Manifest name inside a graph directory.
+pub const META_FILE: &str = "meta.json";
+/// Out-degree file name.
+pub const DEGREES_FILE: &str = "degrees.bin";
+
+/// Location of one edge block inside its shard files.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockMeta {
+    /// Byte offset of the block's first edge record in the shard `.edges`
+    /// file.
+    pub edge_offset: u64,
+    /// Number of edge records in the block.
+    pub edge_count: u64,
+    /// Byte offset of the block's CSR offset array in the shard `.index`
+    /// file.
+    pub index_offset: u64,
+}
+
+/// Manifest describing a built dual-block graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphMeta {
+    /// Number of vertices.
+    pub num_vertices: u32,
+    /// Number of directed edges.
+    pub num_edges: u64,
+    /// Number of vertex intervals (the paper's `P`).
+    pub p: u32,
+    /// Whether edge records carry an f32 weight.
+    pub weighted: bool,
+    /// Interval boundaries, `p + 1` entries; interval `i` is
+    /// `interval_starts[i]..interval_starts[i+1]`.
+    pub interval_starts: Vec<u32>,
+    /// Out-block descriptors, row-major: entry `i * p + j` is out-block
+    /// `(i, j)` (sources in interval `i`, destinations in interval `j`),
+    /// stored in `out_<i>`.
+    pub out_blocks: Vec<BlockMeta>,
+    /// In-block descriptors, entry `i * p + j` is in-block `(i, j)`
+    /// (sources in interval `i`, destinations in interval `j`), stored in
+    /// `in_<j>`.
+    pub in_blocks: Vec<BlockMeta>,
+}
+
+impl GraphMeta {
+    /// Size in bytes of one edge record (`M` in the paper's cost model).
+    pub fn edge_record_bytes(&self) -> u64 {
+        if self.weighted {
+            8
+        } else {
+            4
+        }
+    }
+
+    /// Vertices in interval `i`.
+    pub fn interval_len(&self, i: usize) -> u32 {
+        self.interval_starts[i + 1] - self.interval_starts[i]
+    }
+
+    /// First vertex of interval `i`.
+    pub fn interval_start(&self, i: usize) -> u32 {
+        self.interval_starts[i]
+    }
+
+    /// The out-block `(i, j)` descriptor.
+    pub fn out_block(&self, i: usize, j: usize) -> &BlockMeta {
+        &self.out_blocks[i * self.p as usize + j]
+    }
+
+    /// The in-block `(i, j)` descriptor.
+    pub fn in_block(&self, i: usize, j: usize) -> &BlockMeta {
+        &self.in_blocks[i * self.p as usize + j]
+    }
+
+    /// Name of interval `i`'s out-shard edge file.
+    pub fn out_edges_file(i: usize) -> String {
+        format!("out_{i}.edges")
+    }
+
+    /// Name of interval `i`'s out-shard index file.
+    pub fn out_index_file(i: usize) -> String {
+        format!("out_{i}.index")
+    }
+
+    /// Name of interval `j`'s in-shard edge file.
+    pub fn in_edges_file(j: usize) -> String {
+        format!("in_{j}.edges")
+    }
+
+    /// Name of interval `j`'s in-shard index file.
+    pub fn in_index_file(j: usize) -> String {
+        format!("in_{j}.index")
+    }
+
+    /// Validate internal consistency (boundaries monotone, block counts
+    /// match `p`², edge totals add up).
+    pub fn validate(&self) -> Result<(), String> {
+        let p = self.p as usize;
+        if self.interval_starts.len() != p + 1 {
+            return Err(format!(
+                "expected {} interval boundaries, found {}",
+                p + 1,
+                self.interval_starts.len()
+            ));
+        }
+        if self.interval_starts[0] != 0 || self.interval_starts[p] != self.num_vertices {
+            return Err("interval boundaries must span [0, num_vertices]".into());
+        }
+        if !self.interval_starts.windows(2).all(|w| w[0] <= w[1]) {
+            return Err("interval boundaries must be monotone".into());
+        }
+        if self.out_blocks.len() != p * p || self.in_blocks.len() != p * p {
+            return Err(format!(
+                "expected {} blocks per direction, found {} out / {} in",
+                p * p,
+                self.out_blocks.len(),
+                self.in_blocks.len()
+            ));
+        }
+        let out_total: u64 = self.out_blocks.iter().map(|b| b.edge_count).sum();
+        let in_total: u64 = self.in_blocks.iter().map(|b| b.edge_count).sum();
+        if out_total != self.num_edges || in_total != self.num_edges {
+            return Err(format!(
+                "edge totals disagree: meta {} vs out {} vs in {}",
+                self.num_edges, out_total, in_total
+            ));
+        }
+        for i in 0..p {
+            for j in 0..p {
+                if self.out_block(i, j).edge_count != self.in_block(i, j).edge_count {
+                    return Err(format!("block ({i},{j}) edge counts differ between directions"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GraphMeta {
+        GraphMeta {
+            num_vertices: 10,
+            num_edges: 4,
+            p: 2,
+            weighted: false,
+            interval_starts: vec![0, 5, 10],
+            out_blocks: vec![
+                BlockMeta { edge_offset: 0, edge_count: 1, index_offset: 0 },
+                BlockMeta { edge_offset: 4, edge_count: 1, index_offset: 24 },
+                BlockMeta { edge_offset: 0, edge_count: 2, index_offset: 0 },
+                BlockMeta { edge_offset: 8, edge_count: 0, index_offset: 24 },
+            ],
+            in_blocks: vec![
+                BlockMeta { edge_offset: 0, edge_count: 1, index_offset: 0 },
+                BlockMeta { edge_offset: 0, edge_count: 1, index_offset: 0 },
+                BlockMeta { edge_offset: 4, edge_count: 2, index_offset: 24 },
+                BlockMeta { edge_offset: 4, edge_count: 0, index_offset: 24 },
+            ],
+        }
+    }
+
+    #[test]
+    fn validate_accepts_consistent_meta() {
+        sample().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_bad_boundaries() {
+        let mut m = sample();
+        m.interval_starts = vec![0, 7, 3];
+        assert!(m.validate().is_err());
+        let mut m = sample();
+        m.interval_starts = vec![0, 5, 9];
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_edge_count_mismatch() {
+        let mut m = sample();
+        m.num_edges = 5;
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_direction_disagreement() {
+        let mut m = sample();
+        m.out_blocks[0].edge_count = 0;
+        m.out_blocks[1].edge_count = 2;
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn record_size_reflects_weights() {
+        let mut m = sample();
+        assert_eq!(m.edge_record_bytes(), 4);
+        m.weighted = true;
+        assert_eq!(m.edge_record_bytes(), 8);
+    }
+
+    #[test]
+    fn accessors() {
+        let m = sample();
+        assert_eq!(m.interval_len(0), 5);
+        assert_eq!(m.interval_start(1), 5);
+        assert_eq!(m.out_block(1, 0).edge_count, 2);
+        assert_eq!(m.in_block(0, 1).edge_count, 1);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let m = sample();
+        let s = serde_json::to_string(&m).unwrap();
+        let back: GraphMeta = serde_json::from_str(&s).unwrap();
+        assert_eq!(m, back);
+    }
+}

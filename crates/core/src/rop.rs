@@ -1,0 +1,266 @@
+//! Row-oriented Push (paper §3.3, Algorithm 2).
+//!
+//! Processing row `i`: load `S_i`; for every out-block `(i, j)` load the
+//! out-index and `D_j`, selectively fetch each active vertex's out-edge
+//! range (random I/O — the whole point of ROP is to pay random access in
+//! exchange for touching only active edges), push messages into `D_j`,
+//! and write `D_j` back. Out-blocks of a row have disjoint destination
+//! intervals, so they are processed in parallel (§3.5) with no write
+//! conflicts and no atomics on vertex values.
+
+use crate::active::ActiveSet;
+use crate::graph::HusGraph;
+use crate::program::{EdgeCtx, VertexProgram};
+use crate::vertex_store::VertexStore;
+use crate::VertexId;
+use hus_storage::{Access, Result};
+use parking_lot::Mutex;
+use rayon::prelude::*;
+
+/// Shared read-only state for one iteration's workers.
+pub struct IterCtx<'a, Pr: VertexProgram> {
+    /// The graph being processed.
+    pub graph: &'a HusGraph,
+    /// The user program.
+    pub program: &'a Pr,
+    /// This iteration's frontier (read-only).
+    pub active: &'a ActiveSet,
+    /// Next iteration's frontier (written concurrently).
+    pub next_active: &'a ActiveSet,
+    /// `T_batched / T_random` of the device: per-vertex selective
+    /// fetches are used only while they are predicted cheaper than one
+    /// coalesced sweep of the block (see [`push_block_into`]).
+    pub coalesce_ratio: f64,
+    /// `T_sequential / T_random` of the device: per-vertex index *entry*
+    /// fetches are used only while they are predicted cheaper than
+    /// loading the block's whole CSR offset array.
+    pub index_ratio: f64,
+}
+
+impl<Pr: VertexProgram> IterCtx<'_, Pr> {
+    fn scatter_ctx(&self, src: VertexId, dst: VertexId, weight: f32) -> EdgeCtx {
+        EdgeCtx {
+            src,
+            dst,
+            weight,
+            src_out_degree: self.graph.out_degrees()[src as usize],
+        }
+    }
+}
+
+/// Load (or initialize) interval `j`'s in-progress `D_j` buffer.
+///
+/// The first touch of an interval in an iteration starts from
+/// `reset(S_j)`; later touches continue from the partially-updated next
+/// buffer. `access` reflects the caller's I/O pattern for billing.
+pub fn load_d<Pr: VertexProgram>(
+    program: &Pr,
+    store: &VertexStore<Pr::Value>,
+    j: usize,
+    touched: bool,
+    access: Access,
+) -> Result<Vec<Pr::Value>> {
+    if touched {
+        store.load_next(j, access)
+    } else {
+        let base = store.interval_start(j);
+        let s = store.load_current(j, access)?;
+        Ok(s.iter()
+            .enumerate()
+            .map(|(k, v)| program.reset(base + k as u32, v))
+            .collect())
+    }
+}
+
+/// Iteration-resident destination buffers, loaded lazily on first touch.
+///
+/// A ROP iteration keeps touched `D_j` buffers in memory: the paper's
+/// per-row parallelism has every touched `D_j` resident simultaneously
+/// anyway, so reloading them per row would bill phantom traffic. An
+/// interval no active vertex pushes into is never loaded (and never
+/// swapped — its current values stay valid), which is what makes ROP
+/// cheap on wavefront workloads that touch a couple of intervals per
+/// iteration.
+pub type DBuffers<V> = Vec<Mutex<Option<Vec<V>>>>;
+
+/// Empty (unloaded) destination buffers for one iteration.
+pub fn d_buffers<Pr: VertexProgram>(store: &VertexStore<Pr::Value>) -> DBuffers<Pr::Value> {
+    (0..store.num_intervals()).map(|_| Mutex::new(None)).collect()
+}
+
+/// Write back every *touched* `D_j` buffer (one tracked write per
+/// touched interval) at the end of a ROP iteration; returns which
+/// intervals must be committed.
+pub fn store_touched<Pr: VertexProgram>(
+    store: &VertexStore<Pr::Value>,
+    d_all: DBuffers<Pr::Value>,
+) -> Result<Vec<bool>> {
+    let mut touched = vec![false; d_all.len()];
+    for (j, d) in d_all.into_iter().enumerate() {
+        if let Some(values) = d.into_inner() {
+            store.write_next(j, &values)?;
+            touched[j] = true;
+        }
+    }
+    Ok(touched)
+}
+
+/// Process row `i` under ROP, pushing into the iteration-resident `D`
+/// buffers. Returns the number of edges pushed.
+pub fn run_row<Pr: VertexProgram>(
+    ctx: &IterCtx<'_, Pr>,
+    store: &VertexStore<Pr::Value>,
+    row: usize,
+    d_all: &DBuffers<Pr::Value>,
+) -> Result<u64> {
+    let meta = ctx.graph.meta();
+    let base = meta.interval_start(row);
+    let end = meta.interval_starts[row + 1];
+    let actives: Vec<VertexId> = ctx.active.iter_range(base, end).collect();
+    if actives.is_empty() {
+        return Ok(0);
+    }
+    // S_i: read-only source values for the whole row. Interval value and
+    // index transfers are contiguous, so they are billed sequential; only
+    // the per-vertex edge-range fetches below are random.
+    let s_row = store.load_current(row, Access::Sequential)?;
+
+    // Out-blocks (row, 0..P) in parallel: disjoint destination intervals,
+    // so each worker owns its D_j lock without contention.
+    let edge_counts: Vec<u64> = (0..ctx.graph.p())
+        .into_par_iter()
+        .map(|j| {
+            if ctx.graph.meta().out_block(row, j).edge_count == 0 {
+                return Ok(0);
+            }
+            let mut slot = d_all[j].lock();
+            if slot.is_none() {
+                *slot = Some(load_d(ctx.program, store, j, false, Access::Sequential)?);
+            }
+            let d_j = slot.as_mut().expect("just loaded");
+            push_block_into(ctx, row, j, base, &actives, &s_row, d_j)
+        })
+        .collect::<Result<Vec<u64>>>()?;
+    Ok(edge_counts.iter().sum())
+}
+
+/// The in-memory push of one out-block into an already-loaded `D_j`.
+///
+/// Per block, ROP chooses between two fetch plans with the same cost
+/// model the predictor uses: fetching the active vertices' ranges
+/// selectively costs `requested_bytes / T_random`; one coalesced
+/// ascending sweep of the whole block costs `block_bytes / T_batched`.
+/// The cheaper plan is taken, so a dense frontier gracefully degrades to
+/// an elevator sweep instead of a seek storm.
+pub fn push_block_into<Pr: VertexProgram>(
+    ctx: &IterCtx<'_, Pr>,
+    row: usize,
+    j: usize,
+    row_base: VertexId,
+    actives: &[VertexId],
+    s_row: &[Pr::Value],
+    d_j: &mut [Pr::Value],
+) -> Result<u64> {
+    let meta = ctx.graph.meta();
+    let block_edges = meta.out_block(row, j).edge_count;
+    if block_edges == 0 {
+        return Ok(0);
+    }
+    let dst_base = meta.interval_start(j);
+    let mut pushed = 0u64;
+
+    let mut push_range =
+        |v: VertexId, recs: &crate::graph::EdgeRecords, lo: usize, hi: usize| {
+            let src_val = &s_row[(v - row_base) as usize];
+            for k in lo..hi {
+                let dst = recs.neighbor(k);
+                let ectx = ctx.scatter_ctx(v, dst, recs.weight(k));
+                if let Some(msg) = ctx.program.scatter(src_val, &ectx) {
+                    if ctx.program.combine(&mut d_j[(dst - dst_base) as usize], msg) {
+                        ctx.next_active.set(dst);
+                    }
+                }
+            }
+            pushed += (hi - lo) as u64;
+        };
+
+    // Tiny frontiers fetch each vertex's two CSR offsets individually
+    // (8 random bytes) instead of streaming the block's whole offset
+    // array — the same cost logic as every other fetch choice here.
+    let len = meta.interval_len(row) as usize;
+    let selective_index =
+        actives.len() as f64 * 8.0 * ctx.index_ratio < (len + 1) as f64 * 4.0;
+    if selective_index {
+        for &v in actives {
+            let local = (v - row_base) as usize;
+            let (lo, hi) = ctx.graph.load_out_index_entry(row, j, local)?;
+            if lo == hi {
+                continue;
+            }
+            let recs = ctx.graph.load_out_records(row, j, lo, hi)?;
+            push_range(v, &recs, 0, recs.len());
+        }
+        return Ok(pushed);
+    }
+
+    let index = ctx.graph.load_out_index(row, j, Access::Sequential)?;
+    let requested: u64 = actives
+        .iter()
+        .map(|&v| {
+            let local = (v - row_base) as usize;
+            (index[local + 1] - index[local]) as u64
+        })
+        .sum();
+    if requested == 0 {
+        return Ok(0);
+    }
+
+    if requested as f64 * ctx.coalesce_ratio >= block_edges as f64 {
+        // Dense in this block: one coalesced sweep.
+        let recs = ctx.graph.load_out_block_batch(row, j)?;
+        for &v in actives {
+            let local = (v - row_base) as usize;
+            push_range(v, &recs, index[local] as usize, index[local + 1] as usize);
+        }
+    } else {
+        // Sparse: selective random fetch of each vertex's edge range
+        // (`LoadOutEdges` in Algorithm 2).
+        for &v in actives {
+            let local = (v - row_base) as usize;
+            let (lo, hi) = (index[local], index[local + 1]);
+            if lo == hi {
+                continue;
+            }
+            let recs = ctx.graph.load_out_records(row, j, lo, hi)?;
+            push_range(v, &recs, 0, recs.len());
+        }
+    }
+    Ok(pushed)
+}
+
+/// Per-column push (the `PerColumn` hybrid schedule): for a column `j`
+/// that the predictor assigned to push, walk every source interval `i`
+/// and push only the active vertices' edges of out-block `(i, j)` into a
+/// single `D_j` buffer.
+pub fn run_push_column<Pr: VertexProgram>(
+    ctx: &IterCtx<'_, Pr>,
+    store: &VertexStore<Pr::Value>,
+    col: usize,
+    touched_col: bool,
+) -> Result<u64> {
+    let meta = ctx.graph.meta();
+    let mut d_col = load_d(ctx.program, store, col, touched_col, Access::Sequential)?;
+    let mut pushed = 0u64;
+    for i in 0..ctx.graph.p() {
+        let base = meta.interval_start(i);
+        let end = meta.interval_starts[i + 1];
+        let actives: Vec<VertexId> = ctx.active.iter_range(base, end).collect();
+        if actives.is_empty() {
+            continue;
+        }
+        let s_row = store.load_current(i, Access::Sequential)?;
+        pushed += push_block_into(ctx, i, col, base, &actives, &s_row, &mut d_col)?;
+    }
+    store.write_next(col, &d_col)?;
+    Ok(pushed)
+}

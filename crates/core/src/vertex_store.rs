@@ -1,0 +1,193 @@
+//! Double-buffered on-disk vertex value store.
+//!
+//! The paper keeps two copies of the vertex values per interval: `S_i`
+//! (previous iteration, read-only) and `D_i` (current iteration,
+//! write-only), swapped once the interval's row/column has been processed
+//! (§3.3). We realize this with two files and a per-interval "which file
+//! is current" flag, so a swap is a flag flip rather than a data copy.
+//!
+//! All loads and stores go through the tracked storage layer; the caller
+//! supplies the [`Access`] classification because the same transfer is
+//! billed at random throughput under ROP and sequential under COP
+//! (exactly as the paper's `C_rop`/`C_cop` formulas do).
+
+use crate::VertexId;
+use hus_storage::file::TrackedFile;
+use hus_storage::pod::{self, Pod};
+use hus_storage::{Access, Result, StorageDir};
+
+/// Two-file double buffer of `V` values partitioned into intervals.
+pub struct VertexStore<V: Pod> {
+    file_a: TrackedFile,
+    file_b: TrackedFile,
+    /// Per interval: whether the *current* copy lives in `file_a`.
+    current_is_a: Vec<bool>,
+    starts: Vec<VertexId>,
+    _marker: std::marker::PhantomData<V>,
+}
+
+impl<V: Pod> VertexStore<V> {
+    /// Create the two backing files under `dir` (named `<prefix>_a.bin` /
+    /// `<prefix>_b.bin`) and initialize every vertex's current value with
+    /// `init`. The initial population is written (and billed) once.
+    pub fn create(
+        dir: &StorageDir,
+        prefix: &str,
+        starts: &[VertexId],
+        mut init: impl FnMut(VertexId) -> V,
+    ) -> Result<Self> {
+        assert!(starts.len() >= 2, "need at least one interval");
+        let num_vertices = *starts.last().unwrap();
+        let bytes = num_vertices as u64 * std::mem::size_of::<V>() as u64;
+        let file_a = dir.update(&format!("{prefix}_a.bin"))?;
+        let file_b = dir.update(&format!("{prefix}_b.bin"))?;
+        file_a.set_len(bytes)?;
+        file_b.set_len(bytes)?;
+        let values: Vec<V> = (0..num_vertices).map(&mut init).collect();
+        file_a.write_at(0, pod::as_bytes(&values))?;
+        Ok(VertexStore {
+            file_a,
+            file_b,
+            current_is_a: vec![true; starts.len() - 1],
+            starts: starts.to_vec(),
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// Number of intervals.
+    pub fn num_intervals(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Number of vertices in interval `i`.
+    pub fn interval_len(&self, i: usize) -> u32 {
+        self.starts[i + 1] - self.starts[i]
+    }
+
+    /// First vertex id of interval `i`.
+    pub fn interval_start(&self, i: usize) -> VertexId {
+        self.starts[i]
+    }
+
+    fn byte_range(&self, i: usize) -> (u64, usize) {
+        let sz = std::mem::size_of::<V>() as u64;
+        (self.starts[i] as u64 * sz, self.interval_len(i) as usize)
+    }
+
+    fn load_from(&self, from_a: bool, i: usize, access: Access) -> Result<Vec<V>> {
+        let (offset, count) = self.byte_range(i);
+        let file = if from_a { &self.file_a } else { &self.file_b };
+        hus_storage::read_pod_vec(file, offset, count, access)
+    }
+
+    /// Load interval `i`'s **current** (`S_i`) values.
+    pub fn load_current(&self, i: usize, access: Access) -> Result<Vec<V>> {
+        self.load_from(self.current_is_a[i], i, access)
+    }
+
+    /// Load interval `i`'s in-progress **next** (`D_i`) values (valid
+    /// only after a prior [`Self::write_next`] this iteration).
+    pub fn load_next(&self, i: usize, access: Access) -> Result<Vec<V>> {
+        self.load_from(!self.current_is_a[i], i, access)
+    }
+
+    /// Write interval `i`'s next (`D_i`) values.
+    pub fn write_next(&self, i: usize, values: &[V]) -> Result<()> {
+        assert_eq!(values.len(), self.interval_len(i) as usize, "interval {i} length mismatch");
+        let (offset, _) = self.byte_range(i);
+        let file = if self.current_is_a[i] { &self.file_b } else { &self.file_a };
+        file.write_at(offset, pod::as_bytes(values))
+    }
+
+    /// Swap `S_i` and `D_i`: the next buffer becomes current (paper's
+    /// `Swap(S_i, D_i)`). A metadata flip; no data moves.
+    pub fn commit(&mut self, i: usize) {
+        self.current_is_a[i] = !self.current_is_a[i];
+    }
+
+    /// Read back every vertex's current value (not billed — this is the
+    /// final result collection, not part of the iteration I/O).
+    pub fn read_all_current(&self) -> Result<Vec<V>> {
+        let mut out = Vec::with_capacity(*self.starts.last().unwrap() as usize);
+        for i in 0..self.num_intervals() {
+            out.extend(self.load_current(i, Access::Sequential)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(starts: &[u32]) -> (tempfile::TempDir, StorageDir, VertexStore<u32>) {
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("s")).unwrap();
+        let vs = VertexStore::create(&dir, "vals", starts, |v| v * 10).unwrap();
+        (tmp, dir, vs)
+    }
+
+    #[test]
+    fn initial_values_visible() {
+        let (_t, _d, vs) = store(&[0, 3, 7]);
+        assert_eq!(vs.load_current(0, Access::Sequential).unwrap(), vec![0, 10, 20]);
+        assert_eq!(vs.load_current(1, Access::Sequential).unwrap(), vec![30, 40, 50, 60]);
+        assert_eq!(vs.read_all_current().unwrap(), vec![0, 10, 20, 30, 40, 50, 60]);
+    }
+
+    #[test]
+    fn write_next_invisible_until_commit() {
+        let (_t, _d, mut vs) = store(&[0, 3, 7]);
+        vs.write_next(0, &[1, 2, 3]).unwrap();
+        assert_eq!(vs.load_current(0, Access::Random).unwrap(), vec![0, 10, 20]);
+        assert_eq!(vs.load_next(0, Access::Random).unwrap(), vec![1, 2, 3]);
+        vs.commit(0);
+        assert_eq!(vs.load_current(0, Access::Random).unwrap(), vec![1, 2, 3]);
+        // Interval 1 unaffected.
+        assert_eq!(vs.load_current(1, Access::Random).unwrap(), vec![30, 40, 50, 60]);
+    }
+
+    #[test]
+    fn per_interval_flips_are_independent() {
+        let (_t, _d, mut vs) = store(&[0, 2, 4]);
+        vs.write_next(1, &[7, 8]).unwrap();
+        vs.commit(1);
+        vs.write_next(0, &[5, 6]).unwrap();
+        // interval 0 not committed yet
+        assert_eq!(vs.read_all_current().unwrap(), vec![0, 10, 7, 8]);
+        vs.commit(0);
+        assert_eq!(vs.read_all_current().unwrap(), vec![5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn double_commit_returns_to_original_buffer() {
+        let (_t, _d, mut vs) = store(&[0, 2]);
+        vs.write_next(0, &[1, 1]).unwrap();
+        vs.commit(0);
+        vs.write_next(0, &[2, 2]).unwrap();
+        vs.commit(0);
+        assert_eq!(vs.load_current(0, Access::Sequential).unwrap(), vec![2, 2]);
+        // The now-next buffer holds the iteration-1 values.
+        assert_eq!(vs.load_next(0, Access::Sequential).unwrap(), vec![1, 1]);
+    }
+
+    #[test]
+    fn io_is_tracked_with_callers_classification() {
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("s")).unwrap();
+        let vs: VertexStore<u64> = VertexStore::create(&dir, "v", &[0, 4], |_| 0).unwrap();
+        dir.tracker().reset();
+        vs.load_current(0, Access::Random).unwrap();
+        vs.write_next(0, &[1, 2, 3, 4]).unwrap();
+        let s = dir.tracker().snapshot();
+        assert_eq!(s.rand_read_bytes, 32);
+        assert_eq!(s.write_bytes, 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn write_next_rejects_wrong_length() {
+        let (_t, _d, vs) = store(&[0, 3, 7]);
+        vs.write_next(0, &[1, 2]).unwrap();
+    }
+}

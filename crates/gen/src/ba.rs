@@ -1,0 +1,101 @@
+//! Barabási–Albert preferential-attachment generator.
+//!
+//! Vertices arrive one at a time and attach `m` out-edges to existing
+//! vertices with probability proportional to their current degree,
+//! yielding a power law with exponent ≈ 3 by *growth* rather than by
+//! construction (unlike Chung–Lu) — the hubs are the oldest vertices, as
+//! in real citation/web graphs.
+
+use crate::types::{Edge, EdgeList};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Generate a Barabási–Albert graph: `n` vertices, each newcomer
+/// attaching to `m` distinct existing vertices by preferential
+/// attachment (the first `m + 1` vertices form a seed clique).
+pub fn barabasi_albert(n: u32, m: u32, seed: u64) -> EdgeList {
+    assert!(m >= 1, "need at least one attachment per vertex");
+    assert!(n > m, "need more vertices than attachments");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<Edge> = Vec::with_capacity((n as usize) * m as usize);
+    // The repeated-endpoints trick: sampling a uniform endpoint of the
+    // edge multiset IS degree-proportional sampling.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * (n as usize) * m as usize);
+
+    // Seed: a small clique over vertices 0..=m.
+    for u in 0..=m {
+        for v in 0..=m {
+            if u != v {
+                edges.push(Edge::new(u, v));
+                endpoints.push(u);
+                endpoints.push(v);
+            }
+        }
+    }
+
+    for v in m + 1..n {
+        let mut chosen: Vec<u32> = Vec::with_capacity(m as usize);
+        while chosen.len() < m as usize {
+            let t = endpoints[rng.random_range(0..endpoints.len())];
+            if t != v && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            edges.push(Edge::new(v, t));
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    EdgeList { num_vertices: n, edges, weights: None }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_count_is_clique_plus_growth() {
+        let el = barabasi_albert(100, 3, 1);
+        let clique = 4 * 3; // (m+1) * m directed edges
+        let growth = (100 - 4) * 3;
+        assert_eq!(el.num_edges(), clique + growth);
+        el.validate().unwrap();
+    }
+
+    #[test]
+    fn early_vertices_become_hubs() {
+        let el = barabasi_albert(2000, 2, 2);
+        let inn = el.in_degrees();
+        let early: u64 = inn[..20].iter().map(|&d| d as u64).sum();
+        let late: u64 = inn[1980..].iter().map(|&d| d as u64).sum();
+        assert!(early > 10 * late.max(1), "early {early} vs late {late}");
+    }
+
+    #[test]
+    fn degree_distribution_is_heavy_tailed() {
+        let el = barabasi_albert(3000, 2, 3);
+        let stats = crate::stats::GraphStats::compute(&el);
+        // In-degree hubs exist...
+        assert!(stats.max_in_degree > 50, "max in-degree {}", stats.max_in_degree);
+        // ...while out-degree is nearly constant (m per newcomer).
+        assert!(stats.max_out_degree <= 6);
+    }
+
+    #[test]
+    fn attachments_are_distinct_and_loop_free() {
+        let el = barabasi_albert(300, 4, 4);
+        assert!(el.edges.iter().all(|e| e.src != e.dst));
+        // No duplicate out-edges per newcomer.
+        let mut sorted = el.edges.clone();
+        sorted.sort_unstable();
+        let before = sorted.len();
+        sorted.dedup();
+        assert_eq!(before, sorted.len());
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(barabasi_albert(200, 2, 9).edges, barabasi_albert(200, 2, 9).edges);
+    }
+}

@@ -1,0 +1,109 @@
+//! Exact small topologies with known properties, used throughout the test
+//! suites (BFS depths, component counts, PageRank symmetry are all known
+//! in closed form for these).
+
+use crate::types::{Edge, EdgeList};
+
+/// Directed path `0 -> 1 -> ... -> n-1`.
+pub fn path(n: u32) -> EdgeList {
+    let edges = (0..n.saturating_sub(1)).map(|v| Edge::new(v, v + 1)).collect();
+    EdgeList { num_vertices: n, edges, weights: None }
+}
+
+/// Directed cycle `0 -> 1 -> ... -> n-1 -> 0`.
+pub fn cycle(n: u32) -> EdgeList {
+    assert!(n >= 2, "cycle needs at least 2 vertices");
+    let edges = (0..n).map(|v| Edge::new(v, (v + 1) % n)).collect();
+    EdgeList { num_vertices: n, edges, weights: None }
+}
+
+/// Star: center 0 with edges to and from each of the `n-1` leaves.
+pub fn star(n: u32) -> EdgeList {
+    assert!(n >= 1);
+    let mut edges = Vec::with_capacity(2 * (n as usize - 1));
+    for v in 1..n {
+        edges.push(Edge::new(0, v));
+        edges.push(Edge::new(v, 0));
+    }
+    EdgeList { num_vertices: n, edges, weights: None }
+}
+
+/// Complete directed graph on `n` vertices (all ordered pairs, no loops).
+pub fn complete(n: u32) -> EdgeList {
+    let mut edges = Vec::with_capacity((n as usize) * (n as usize - 1));
+    for u in 0..n {
+        for v in 0..n {
+            if u != v {
+                edges.push(Edge::new(u, v));
+            }
+        }
+    }
+    EdgeList { num_vertices: n, edges, weights: None }
+}
+
+/// `rows × cols` grid with bidirectional edges between 4-neighbors.
+/// Vertex `(r, c)` has id `r * cols + c`.
+pub fn grid2d(rows: u32, cols: u32) -> EdgeList {
+    assert!(rows >= 1 && cols >= 1);
+    let id = |r: u32, c: u32| r * cols + c;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push(Edge::new(id(r, c), id(r, c + 1)));
+                edges.push(Edge::new(id(r, c + 1), id(r, c)));
+            }
+            if r + 1 < rows {
+                edges.push(Edge::new(id(r, c), id(r + 1, c)));
+                edges.push(Edge::new(id(r + 1, c), id(r, c)));
+            }
+        }
+    }
+    EdgeList { num_vertices: rows * cols, edges, weights: None }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_shape() {
+        let p = path(4);
+        assert_eq!(p.num_edges(), 3);
+        assert_eq!(p.edges[0], Edge::new(0, 1));
+        assert_eq!(p.edges[2], Edge::new(2, 3));
+        assert_eq!(path(1).num_edges(), 0);
+        assert_eq!(path(0).num_edges(), 0);
+    }
+
+    #[test]
+    fn cycle_wraps() {
+        let c = cycle(3);
+        assert_eq!(c.num_edges(), 3);
+        assert!(c.edges.contains(&Edge::new(2, 0)));
+    }
+
+    #[test]
+    fn star_degrees() {
+        let s = star(5);
+        let out = s.out_degrees();
+        assert_eq!(out[0], 4);
+        assert!(out[1..].iter().all(|&d| d == 1));
+        assert_eq!(s.in_degrees()[0], 4);
+    }
+
+    #[test]
+    fn complete_edge_count() {
+        assert_eq!(complete(5).num_edges(), 20);
+        assert_eq!(complete(1).num_edges(), 0);
+    }
+
+    #[test]
+    fn grid_edge_count() {
+        // rows*(cols-1) + cols*(rows-1) undirected neighbors, ×2 directed.
+        let g = grid2d(3, 4);
+        assert_eq!(g.num_vertices, 12);
+        assert_eq!(g.num_edges(), 2 * (3 * 3 + 4 * 2));
+        g.validate().unwrap();
+    }
+}

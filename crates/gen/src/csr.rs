@@ -1,0 +1,225 @@
+//! In-memory compressed sparse row representation.
+//!
+//! Used by the reference (in-memory) algorithm implementations that the
+//! out-of-core engines are validated against, and by generators/statistics
+//! that need fast adjacency access. The out-of-core engines never build a
+//! whole-graph CSR — that is the point of the paper — but its *per-block*
+//! indices follow the same layout.
+
+use crate::types::{Edge, EdgeList, VertexId};
+
+/// Compressed sparse row adjacency with both directions and optional
+/// out-edge weights.
+#[derive(Debug, Clone)]
+pub struct Csr {
+    /// Number of vertices.
+    pub num_vertices: u32,
+    /// `out_offsets[v]..out_offsets[v+1]` indexes `out_targets` for `v`'s
+    /// out-neighbors.
+    pub out_offsets: Vec<u64>,
+    /// Destination of every out-edge, grouped by source.
+    pub out_targets: Vec<VertexId>,
+    /// Weight of every out-edge, parallel to `out_targets` (empty when
+    /// unweighted).
+    pub out_weights: Vec<f32>,
+    /// `in_offsets[v]..in_offsets[v+1]` indexes `in_sources` for `v`'s
+    /// in-neighbors.
+    pub in_offsets: Vec<u64>,
+    /// Source of every in-edge, grouped by destination.
+    pub in_sources: Vec<VertexId>,
+    /// Weight of every in-edge, parallel to `in_sources` (empty when
+    /// unweighted).
+    pub in_weights: Vec<f32>,
+}
+
+impl Csr {
+    /// Build both adjacency directions from an edge list (counting sort,
+    /// O(V + E)).
+    pub fn from_edge_list(el: &EdgeList) -> Self {
+        let n = el.num_vertices as usize;
+        let m = el.edges.len();
+        let weighted = el.is_weighted();
+
+        let mut out_offsets = vec![0u64; n + 1];
+        let mut in_offsets = vec![0u64; n + 1];
+        for e in &el.edges {
+            out_offsets[e.src as usize + 1] += 1;
+            in_offsets[e.dst as usize + 1] += 1;
+        }
+        for v in 0..n {
+            out_offsets[v + 1] += out_offsets[v];
+            in_offsets[v + 1] += in_offsets[v];
+        }
+
+        let mut out_targets = vec![0 as VertexId; m];
+        let mut in_sources = vec![0 as VertexId; m];
+        let mut out_weights = if weighted { vec![0.0f32; m] } else { Vec::new() };
+        let mut in_weights = if weighted { vec![0.0f32; m] } else { Vec::new() };
+        let mut out_cursor = out_offsets.clone();
+        let mut in_cursor = in_offsets.clone();
+        for (i, e) in el.edges.iter().enumerate() {
+            let oc = &mut out_cursor[e.src as usize];
+            out_targets[*oc as usize] = e.dst;
+            if weighted {
+                out_weights[*oc as usize] = el.weights.as_ref().unwrap()[i];
+            }
+            *oc += 1;
+            let ic = &mut in_cursor[e.dst as usize];
+            in_sources[*ic as usize] = e.src;
+            if weighted {
+                in_weights[*ic as usize] = el.weights.as_ref().unwrap()[i];
+            }
+            *ic += 1;
+        }
+
+        Csr {
+            num_vertices: el.num_vertices,
+            out_offsets,
+            out_targets,
+            out_weights,
+            in_offsets,
+            in_sources,
+            in_weights,
+        }
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Whether edges carry weights.
+    pub fn is_weighted(&self) -> bool {
+        !self.out_weights.is_empty()
+    }
+
+    /// Out-neighbors of `v`.
+    pub fn out_neighbors(&self, v: VertexId) -> &[VertexId] {
+        let s = self.out_offsets[v as usize] as usize;
+        let e = self.out_offsets[v as usize + 1] as usize;
+        &self.out_targets[s..e]
+    }
+
+    /// Out-edge weights of `v` (empty slice when unweighted).
+    pub fn out_edge_weights(&self, v: VertexId) -> &[f32] {
+        if !self.is_weighted() {
+            return &[];
+        }
+        let s = self.out_offsets[v as usize] as usize;
+        let e = self.out_offsets[v as usize + 1] as usize;
+        &self.out_weights[s..e]
+    }
+
+    /// In-neighbors of `v`.
+    pub fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        let s = self.in_offsets[v as usize] as usize;
+        let e = self.in_offsets[v as usize + 1] as usize;
+        &self.in_sources[s..e]
+    }
+
+    /// In-edge weights of `v` (empty slice when unweighted).
+    pub fn in_edge_weights(&self, v: VertexId) -> &[f32] {
+        if !self.is_weighted() {
+            return &[];
+        }
+        let s = self.in_offsets[v as usize] as usize;
+        let e = self.in_offsets[v as usize + 1] as usize;
+        &self.in_weights[s..e]
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: VertexId) -> u32 {
+        (self.out_offsets[v as usize + 1] - self.out_offsets[v as usize]) as u32
+    }
+
+    /// In-degree of `v`.
+    pub fn in_degree(&self, v: VertexId) -> u32 {
+        (self.in_offsets[v as usize + 1] - self.in_offsets[v as usize]) as u32
+    }
+
+    /// Reconstruct the edge list (out-direction order).
+    pub fn to_edge_list(&self) -> EdgeList {
+        let mut edges = Vec::with_capacity(self.num_edges());
+        let mut weights = self.is_weighted().then(|| Vec::with_capacity(self.num_edges()));
+        for v in 0..self.num_vertices {
+            for (i, &d) in self.out_neighbors(v).iter().enumerate() {
+                edges.push(Edge::new(v, d));
+                if let Some(w) = &mut weights {
+                    w.push(self.out_edge_weights(v)[i]);
+                }
+            }
+        }
+        EdgeList { num_vertices: self.num_vertices, edges, weights }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> EdgeList {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        EdgeList::from_pairs([(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn builds_both_directions() {
+        let csr = Csr::from_edge_list(&diamond());
+        assert_eq!(csr.out_neighbors(0), &[1, 2]);
+        assert_eq!(csr.out_neighbors(3), &[] as &[u32]);
+        assert_eq!(csr.in_neighbors(3), &[1, 2]);
+        assert_eq!(csr.in_neighbors(0), &[] as &[u32]);
+        assert_eq!(csr.out_degree(0), 2);
+        assert_eq!(csr.in_degree(3), 2);
+        assert_eq!(csr.num_edges(), 4);
+    }
+
+    #[test]
+    fn weighted_roundtrip() {
+        let el = diamond().with_hash_weights(1.0, 9.0);
+        let csr = Csr::from_edge_list(&el);
+        assert!(csr.is_weighted());
+        let back = csr.to_edge_list();
+        // Same multiset of (edge, weight) pairs.
+        let mut a: Vec<(Edge, u32)> = el
+            .edges
+            .iter()
+            .zip(el.weights.as_ref().unwrap())
+            .map(|(e, w)| (*e, w.to_bits()))
+            .collect();
+        let mut b: Vec<(Edge, u32)> = back
+            .edges
+            .iter()
+            .zip(back.weights.as_ref().unwrap())
+            .map(|(e, w)| (*e, w.to_bits()))
+            .collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let csr = Csr::from_edge_list(&EdgeList::empty(5));
+        assert_eq!(csr.num_edges(), 0);
+        for v in 0..5 {
+            assert_eq!(csr.out_degree(v), 0);
+            assert_eq!(csr.in_degree(v), 0);
+        }
+    }
+
+    #[test]
+    fn unweighted_weight_slices_empty() {
+        let csr = Csr::from_edge_list(&diamond());
+        assert!(!csr.is_weighted());
+        assert!(csr.out_edge_weights(0).is_empty());
+        assert!(csr.in_edge_weights(3).is_empty());
+    }
+
+    #[test]
+    fn edge_order_within_vertex_preserved() {
+        let el = EdgeList::from_pairs([(0, 5), (0, 2), (0, 9)]);
+        let csr = Csr::from_edge_list(&el);
+        assert_eq!(csr.out_neighbors(0), &[5, 2, 9]);
+    }
+}

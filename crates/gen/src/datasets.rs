@@ -1,0 +1,195 @@
+//! Dataset presets mirroring Table 2 of the paper.
+//!
+//! | Paper dataset | Vertices | Edges | Type |
+//! |---|---|---|---|
+//! | LiveJournal | 4.8 M | 69 M | social |
+//! | Twitter2010 | 42 M | 1.5 B | social |
+//! | SK2005 | 51 M | 1.9 B | social |
+//! | UK2007 | 106 M | 3.7 B | web |
+//! | UKunion | 133 M | 5.5 B | web |
+//!
+//! Each preset generates an R-MAT graph with the same vertex:edge ratio,
+//! scaled down by a configurable divisor (default 1000, env `HUS_SCALE`).
+//! Social presets use the Graph500 parameter mix; web presets use a
+//! higher-locality mix that yields larger diameters, matching the paper's
+//! observation about UK2007/UKunion (§4.1).
+
+use crate::rmat::{rmat, RmatConfig};
+use crate::types::EdgeList;
+use serde::{Deserialize, Serialize};
+
+/// The five evaluation datasets of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dataset {
+    /// LiveJournal social network (4.8M / 69M).
+    LiveJournal,
+    /// Twitter follower graph, 2010 crawl (42M / 1.5B).
+    Twitter2010,
+    /// SK 2005 host-level web/social graph (51M / 1.9B).
+    Sk2005,
+    /// UK 2007 web crawl (106M / 3.7B).
+    Uk2007,
+    /// Union of UK crawls 2006–2007 (133M / 5.5B).
+    UkUnion,
+}
+
+impl Dataset {
+    /// All presets, in the paper's Table 2 order.
+    pub const ALL: [Dataset; 5] = [
+        Dataset::LiveJournal,
+        Dataset::Twitter2010,
+        Dataset::Sk2005,
+        Dataset::Uk2007,
+        Dataset::UkUnion,
+    ];
+
+    /// The preset's generation spec.
+    pub fn spec(self) -> DatasetSpec {
+        match self {
+            Dataset::LiveJournal => DatasetSpec {
+                name: "LiveJournal",
+                base_vertices: 4_800_000,
+                base_edges: 69_000_000,
+                web_like: false,
+                seed: 0x11,
+            },
+            Dataset::Twitter2010 => DatasetSpec {
+                name: "Twitter2010",
+                base_vertices: 42_000_000,
+                base_edges: 1_500_000_000,
+                web_like: false,
+                seed: 0x22,
+            },
+            Dataset::Sk2005 => DatasetSpec {
+                name: "SK2005",
+                base_vertices: 51_000_000,
+                base_edges: 1_900_000_000,
+                web_like: false,
+                seed: 0x33,
+            },
+            Dataset::Uk2007 => DatasetSpec {
+                name: "UK2007",
+                base_vertices: 106_000_000,
+                base_edges: 3_700_000_000,
+                web_like: true,
+                seed: 0x44,
+            },
+            Dataset::UkUnion => DatasetSpec {
+                name: "UKunion",
+                base_vertices: 133_000_000,
+                base_edges: 5_500_000_000,
+                web_like: true,
+                seed: 0x55,
+            },
+        }
+    }
+
+    /// Generate the preset at the scale from `HUS_SCALE` (default 1000).
+    pub fn generate(self) -> EdgeList {
+        self.spec().generate(env_scale())
+    }
+
+    /// Generate the preset with an explicit scale divisor.
+    pub fn generate_at_scale(self, scale: f64) -> EdgeList {
+        self.spec().generate(scale)
+    }
+
+    /// Preset name as in the paper.
+    pub fn name(self) -> &'static str {
+        self.spec().name
+    }
+}
+
+/// Scale divisor from the `HUS_SCALE` env var (default 1000.0).
+pub fn env_scale() -> f64 {
+    std::env::var("HUS_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|&s| s >= 1.0)
+        .unwrap_or(1000.0)
+}
+
+/// Generation spec for one dataset preset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Paper name of the dataset.
+    pub name: &'static str,
+    /// Paper vertex count.
+    pub base_vertices: u64,
+    /// Paper edge count.
+    pub base_edges: u64,
+    /// Use web-graph R-MAT parameters (larger diameter).
+    pub web_like: bool,
+    /// Generation seed (per-dataset, so presets differ).
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// Vertex count after dividing by `scale`.
+    pub fn scaled_vertices(&self, scale: f64) -> u32 {
+        ((self.base_vertices as f64 / scale).ceil() as u64).clamp(16, u32::MAX as u64) as u32
+    }
+
+    /// Edge count after dividing by `scale`.
+    pub fn scaled_edges(&self, scale: f64) -> usize {
+        ((self.base_edges as f64 / scale).ceil() as usize).max(32)
+    }
+
+    /// Generate the R-MAT graph at the given scale divisor.
+    pub fn generate(&self, scale: f64) -> EdgeList {
+        let config = if self.web_like { RmatConfig::web() } else { RmatConfig::default() };
+        rmat(self.scaled_vertices(scale), self.scaled_edges(scale), self.seed, config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_match_paper() {
+        for d in Dataset::ALL {
+            let s = d.spec();
+            let paper_ratio = s.base_edges as f64 / s.base_vertices as f64;
+            let scaled_ratio =
+                s.scaled_edges(1000.0) as f64 / s.scaled_vertices(1000.0) as f64;
+            assert!(
+                (paper_ratio - scaled_ratio).abs() / paper_ratio < 0.01,
+                "{}: paper {paper_ratio:.1} vs scaled {scaled_ratio:.1}",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_valid() {
+        let a = Dataset::LiveJournal.generate_at_scale(10_000.0);
+        let b = Dataset::LiveJournal.generate_at_scale(10_000.0);
+        assert_eq!(a.edges, b.edges);
+        a.validate().unwrap();
+        assert!(a.num_edges() > 1000);
+    }
+
+    #[test]
+    fn presets_differ() {
+        let lj = Dataset::LiveJournal.generate_at_scale(50_000.0);
+        let tw = Dataset::Twitter2010.generate_at_scale(50_000.0);
+        assert_ne!(lj.edges, tw.edges);
+    }
+
+    #[test]
+    fn ordering_matches_paper_sizes() {
+        // UKunion is the largest, LiveJournal the smallest, at any scale.
+        let sizes: Vec<u64> = Dataset::ALL.iter().map(|d| d.spec().base_edges).collect();
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        assert_eq!(sizes, sorted);
+    }
+
+    #[test]
+    fn scale_floor_prevents_degenerate_graphs() {
+        let s = Dataset::LiveJournal.spec();
+        assert!(s.scaled_vertices(1e12) >= 16);
+        assert!(s.scaled_edges(1e12) >= 32);
+    }
+}

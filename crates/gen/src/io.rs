@@ -1,0 +1,343 @@
+//! Edge-list file I/O: a small binary format plus a whitespace text
+//! parser (the formats real datasets like SNAP's LiveJournal ship in).
+
+use crate::types::{Edge, EdgeList};
+use hus_storage::pod;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Magic bytes of the binary edge-list format.
+pub const MAGIC: [u8; 4] = *b"HUSG";
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// Write an edge list in the binary format:
+/// `MAGIC, version: u32, num_vertices: u32, flags: u32 (bit0 = weighted),
+/// num_edges: u64, edges: [Edge], weights: [f32]` (all little-endian).
+pub fn write_binary(el: &EdgeList, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(&MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&el.num_vertices.to_le_bytes())?;
+    let flags: u32 = if el.is_weighted() { 1 } else { 0 };
+    w.write_all(&flags.to_le_bytes())?;
+    w.write_all(&(el.edges.len() as u64).to_le_bytes())?;
+    w.write_all(pod::as_bytes(&el.edges))?;
+    if let Some(weights) = &el.weights {
+        w.write_all(pod::as_bytes(weights))?;
+    }
+    w.flush()
+}
+
+/// Read an edge list written by [`write_binary`].
+pub fn read_binary(path: impl AsRef<Path>) -> io::Result<EdgeList> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported version {version}"),
+        ));
+    }
+    let num_vertices = read_u32(&mut r)?;
+    let flags = read_u32(&mut r)?;
+    let num_edges = read_u64(&mut r)? as usize;
+    let mut edges = vec![Edge::new(0, 0); num_edges];
+    r.read_exact(pod::as_bytes_mut(&mut edges))?;
+    let weights = if flags & 1 != 0 {
+        let mut w = vec![0.0f32; num_edges];
+        r.read_exact(pod::as_bytes_mut(&mut w))?;
+        Some(w)
+    } else {
+        None
+    };
+    let el = EdgeList { num_vertices, edges, weights };
+    el.validate().map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    Ok(el)
+}
+
+/// Parse a whitespace-separated text edge list: one `src dst [weight]`
+/// per line; lines starting with `#` or `%` are comments.
+pub fn read_text(path: impl AsRef<Path>) -> io::Result<EdgeList> {
+    parse_text(BufReader::new(File::open(path)?))
+}
+
+/// Parse edge-list text from any reader (see [`read_text`]).
+pub fn parse_text(reader: impl BufRead) -> io::Result<EdgeList> {
+    let mut edges = Vec::new();
+    let mut weights: Vec<f32> = Vec::new();
+    let mut any_weight = false;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let bad = |what: &str| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: {what}: {trimmed:?}", lineno + 1),
+            )
+        };
+        let src: u32 =
+            parts.next().ok_or_else(|| bad("missing src"))?.parse().map_err(|_| bad("bad src"))?;
+        let dst: u32 =
+            parts.next().ok_or_else(|| bad("missing dst"))?.parse().map_err(|_| bad("bad dst"))?;
+        let w: Option<f32> = match parts.next() {
+            Some(tok) => Some(tok.parse().map_err(|_| bad("bad weight"))?),
+            None => None,
+        };
+        edges.push(Edge::new(src, dst));
+        match w {
+            Some(w) => {
+                any_weight = true;
+                weights.push(w);
+            }
+            None => weights.push(1.0),
+        }
+    }
+    let num_vertices = edges.iter().map(|e| e.src.max(e.dst) + 1).max().unwrap_or(0);
+    Ok(EdgeList { num_vertices, edges, weights: any_weight.then_some(weights) })
+}
+
+/// Write an edge list as text (`src dst [weight]` per line).
+pub fn write_text(el: &EdgeList, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for (i, e) in el.edges.iter().enumerate() {
+        match &el.weights {
+            Some(weights) => writeln!(w, "{} {} {}", e.src, e.dst, weights[i])?,
+            None => writeln!(w, "{} {}", e.src, e.dst)?,
+        }
+    }
+    w.flush()
+}
+
+/// Header of a binary edge-list file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BinaryHeader {
+    /// Vertex count.
+    pub num_vertices: u32,
+    /// Edge count.
+    pub num_edges: u64,
+    /// Whether per-edge weights follow the edge array.
+    pub weighted: bool,
+}
+
+/// Byte size of the fixed header.
+pub const HEADER_BYTES: u64 = 24;
+
+/// Read just the header of a binary edge-list file.
+pub fn read_binary_header(path: impl AsRef<Path>) -> io::Result<BinaryHeader> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported version {version}"),
+        ));
+    }
+    let num_vertices = read_u32(&mut r)?;
+    let flags = read_u32(&mut r)?;
+    let num_edges = read_u64(&mut r)?;
+    Ok(BinaryHeader { num_vertices, num_edges, weighted: flags & 1 != 0 })
+}
+
+/// A buffered streaming iterator over a binary edge-list file, yielding
+/// `(edge, weight)` pairs (weight 1.0 for unweighted files) without
+/// loading the file into memory. Weights live after the edge array, so
+/// a weighted stream maintains a second buffered cursor.
+pub struct BinaryEdgeStream {
+    edges: BufReader<File>,
+    weights: Option<BufReader<File>>,
+    remaining: u64,
+}
+
+/// Open a streaming pass over a binary edge-list file.
+pub fn stream_binary(path: impl AsRef<Path>) -> io::Result<BinaryEdgeStream> {
+    use std::io::Seek;
+    let path = path.as_ref();
+    let header = read_binary_header(path)?;
+    let mut edges = BufReader::new(File::open(path)?);
+    edges.seek(io::SeekFrom::Start(HEADER_BYTES))?;
+    let weights = if header.weighted {
+        let mut w = BufReader::new(File::open(path)?);
+        w.seek(io::SeekFrom::Start(HEADER_BYTES + header.num_edges * 8))?;
+        Some(w)
+    } else {
+        None
+    };
+    Ok(BinaryEdgeStream { edges, weights, remaining: header.num_edges })
+}
+
+impl Iterator for BinaryEdgeStream {
+    type Item = (Edge, f32);
+
+    fn next(&mut self) -> Option<(Edge, f32)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let mut rec = [0u8; 8];
+        self.edges.read_exact(&mut rec).ok()?;
+        let edge = Edge::new(
+            u32::from_le_bytes(rec[0..4].try_into().unwrap()),
+            u32::from_le_bytes(rec[4..8].try_into().unwrap()),
+        );
+        let weight = match &mut self.weights {
+            Some(w) => {
+                let mut wb = [0u8; 4];
+                w.read_exact(&mut wb).ok()?;
+                f32::from_le_bytes(wb)
+            }
+            None => 1.0,
+        };
+        Some((edge, weight))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining as usize, Some(self.remaining as usize))
+    }
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rmat::{rmat, RmatConfig};
+
+    #[test]
+    fn binary_roundtrip_unweighted() {
+        let tmp = tempfile::tempdir().unwrap();
+        let p = tmp.path().join("g.husg");
+        let el = rmat(200, 1000, 1, RmatConfig::default());
+        write_binary(&el, &p).unwrap();
+        let back = read_binary(&p).unwrap();
+        assert_eq!(el, back);
+    }
+
+    #[test]
+    fn binary_roundtrip_weighted() {
+        let tmp = tempfile::tempdir().unwrap();
+        let p = tmp.path().join("g.husg");
+        let el = rmat(100, 400, 2, RmatConfig::default()).with_hash_weights(0.5, 2.0);
+        write_binary(&el, &p).unwrap();
+        let back = read_binary(&p).unwrap();
+        assert_eq!(el, back);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let tmp = tempfile::tempdir().unwrap();
+        let p = tmp.path().join("bad.bin");
+        std::fs::write(&p, b"NOPE0000000000000000000000").unwrap();
+        assert!(read_binary(&p).is_err());
+    }
+
+    #[test]
+    fn text_parse_with_comments_and_weights() {
+        let text = "# a comment\n% another\n0 1 2.5\n1 2 0.5\n\n2 0 1.0\n";
+        let el = parse_text(io::Cursor::new(text)).unwrap();
+        assert_eq!(el.num_edges(), 3);
+        assert_eq!(el.num_vertices, 3);
+        assert_eq!(el.weights.as_ref().unwrap()[0], 2.5);
+    }
+
+    #[test]
+    fn text_parse_unweighted() {
+        let el = parse_text(io::Cursor::new("0 1\n1 2\n")).unwrap();
+        assert!(el.weights.is_none());
+        assert_eq!(el.num_edges(), 2);
+    }
+
+    #[test]
+    fn text_parse_rejects_garbage() {
+        assert!(parse_text(io::Cursor::new("0 x\n")).is_err());
+        assert!(parse_text(io::Cursor::new("5\n")).is_err());
+        assert!(parse_text(io::Cursor::new("0 1 notafloat\n")).is_err());
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let tmp = tempfile::tempdir().unwrap();
+        let p = tmp.path().join("g.txt");
+        let el = rmat(50, 200, 3, RmatConfig::default()).with_hash_weights(1.0, 3.0);
+        write_text(&el, &p).unwrap();
+        let back = read_text(&p).unwrap();
+        assert_eq!(el.edges, back.edges);
+        // Text roundtrip of f32 weights is exact for values printed by
+        // Rust's shortest-roundtrip float formatting.
+        assert_eq!(el.weights, back.weights);
+    }
+
+    #[test]
+    fn header_matches_write() {
+        let tmp = tempfile::tempdir().unwrap();
+        let p = tmp.path().join("g.husg");
+        let el = rmat(100, 500, 8, RmatConfig::default()).with_hash_weights(1.0, 2.0);
+        write_binary(&el, &p).unwrap();
+        let h = read_binary_header(&p).unwrap();
+        assert_eq!(h.num_vertices, 100);
+        assert_eq!(h.num_edges, el.num_edges() as u64);
+        assert!(h.weighted);
+    }
+
+    #[test]
+    fn streaming_matches_full_read() {
+        let tmp = tempfile::tempdir().unwrap();
+        let p = tmp.path().join("g.husg");
+        let el = rmat(120, 800, 9, RmatConfig::default()).with_hash_weights(0.5, 4.0);
+        write_binary(&el, &p).unwrap();
+        let streamed: Vec<(Edge, f32)> = stream_binary(&p).unwrap().collect();
+        assert_eq!(streamed.len(), el.num_edges());
+        for (k, (e, w)) in streamed.iter().enumerate() {
+            assert_eq!(*e, el.edges[k]);
+            assert_eq!(*w, el.weights.as_ref().unwrap()[k]);
+        }
+    }
+
+    #[test]
+    fn streaming_unweighted_yields_unit_weights() {
+        let tmp = tempfile::tempdir().unwrap();
+        let p = tmp.path().join("g.husg");
+        let el = rmat(50, 300, 10, RmatConfig::default());
+        write_binary(&el, &p).unwrap();
+        let streamed: Vec<(Edge, f32)> = stream_binary(&p).unwrap().collect();
+        assert!(streamed.iter().all(|(_, w)| *w == 1.0));
+        assert_eq!(streamed.len(), el.num_edges());
+        // size_hint is exact.
+        let mut s = stream_binary(&p).unwrap();
+        assert_eq!(s.size_hint(), (el.num_edges(), Some(el.num_edges())));
+        s.next();
+        assert_eq!(s.size_hint().0, el.num_edges() - 1);
+    }
+
+    #[test]
+    fn empty_text_is_empty_graph() {
+        let el = parse_text(io::Cursor::new("# nothing\n")).unwrap();
+        assert_eq!(el.num_vertices, 0);
+        assert_eq!(el.num_edges(), 0);
+    }
+}

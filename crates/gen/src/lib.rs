@@ -1,0 +1,42 @@
+//! # hus-gen — graph data model, synthetic generators, and dataset presets
+//!
+//! The HUS-Graph paper evaluates on five real-world power-law graphs
+//! (Table 2: LiveJournal, Twitter2010, SK2005, UK2007, UKunion). Those
+//! datasets are not redistributable here, so this crate provides:
+//!
+//! * the shared **graph data model** ([`Edge`], [`EdgeList`], [`Csr`])
+//!   used by every engine and builder in the workspace,
+//! * **generators** with the degree skew the paper's systems are designed
+//!   around — [`fn@rmat`] (Kronecker/R-MAT power-law graphs), [`chung_lu`]
+//!   (expected power-law degree sequences), [`erdos_renyi`],
+//!   [`barabasi_albert`] (preferential-attachment growth),
+//!   [`watts_strogatz`] (tunable-diameter small worlds), and exact
+//!   small topologies ([`classic`]) for tests,
+//! * [`datasets`] — presets that mirror Table 2's vertex/edge ratios at a
+//!   configurable scale (`HUS_SCALE`), and
+//! * **edge-list I/O** ([`io`]) in a small binary format plus a
+//!   whitespace text parser.
+
+#![warn(missing_docs)]
+
+pub mod ba;
+pub mod classic;
+pub mod csr;
+pub mod datasets;
+pub mod er;
+pub mod io;
+pub mod powerlaw;
+pub mod rmat;
+pub mod smallworld;
+pub mod stats;
+pub mod types;
+
+pub use ba::barabasi_albert;
+pub use classic::{complete, cycle, grid2d, path, star};
+pub use csr::Csr;
+pub use datasets::{Dataset, DatasetSpec};
+pub use er::erdos_renyi;
+pub use powerlaw::chung_lu;
+pub use rmat::{rmat, RmatConfig};
+pub use smallworld::watts_strogatz;
+pub use types::{Edge, EdgeList, VertexId};

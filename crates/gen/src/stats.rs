@@ -1,0 +1,130 @@
+//! Degree statistics and distribution summaries.
+//!
+//! Used by the Table 2 regenerator to document the synthetic datasets and
+//! by tests that assert the generators actually produce the skew the
+//! paper's hybrid strategy depends on.
+
+use crate::types::EdgeList;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a directed graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Vertex count.
+    pub num_vertices: u32,
+    /// Edge count.
+    pub num_edges: u64,
+    /// Mean out-degree.
+    pub avg_degree: f64,
+    /// Largest out-degree.
+    pub max_out_degree: u32,
+    /// Largest in-degree.
+    pub max_in_degree: u32,
+    /// Fraction of edges owned by the top 1% of vertices by out-degree.
+    pub top1pct_edge_share: f64,
+    /// Gini coefficient of the out-degree distribution (0 = uniform,
+    /// → 1 = maximally skewed).
+    pub degree_gini: f64,
+    /// log2-bucketed out-degree histogram: `histogram[k]` counts vertices
+    /// with out-degree in `[2^k, 2^(k+1))`; bucket 0 also counts degree-0.
+    pub degree_histogram: Vec<u64>,
+}
+
+impl GraphStats {
+    /// Compute statistics for an edge list.
+    pub fn compute(el: &EdgeList) -> Self {
+        let out = el.out_degrees();
+        let inn = el.in_degrees();
+        let n = el.num_vertices.max(1) as f64;
+        let m = el.num_edges() as u64;
+
+        let max_out_degree = out.iter().copied().max().unwrap_or(0);
+        let max_in_degree = inn.iter().copied().max().unwrap_or(0);
+
+        let mut sorted: Vec<u32> = out.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let top_k = ((el.num_vertices as usize).div_ceil(100)).max(1);
+        let top_sum: u64 = sorted.iter().take(top_k).map(|&d| d as u64).sum();
+        let top1pct_edge_share = if m == 0 { 0.0 } else { top_sum as f64 / m as f64 };
+
+        // Gini over the (ascending) degree sequence.
+        let mut asc = sorted;
+        asc.reverse();
+        let total: f64 = asc.iter().map(|&d| d as f64).sum();
+        let degree_gini = if total == 0.0 {
+            0.0
+        } else {
+            let weighted: f64 =
+                asc.iter().enumerate().map(|(i, &d)| (i as f64 + 1.0) * d as f64).sum();
+            (2.0 * weighted) / (n * total) - (n + 1.0) / n
+        };
+
+        let mut degree_histogram = Vec::new();
+        for &d in &out {
+            let bucket = if d <= 1 { 0 } else { (31 - d.leading_zeros()) as usize };
+            if degree_histogram.len() <= bucket {
+                degree_histogram.resize(bucket + 1, 0);
+            }
+            degree_histogram[bucket] += 1;
+        }
+
+        GraphStats {
+            num_vertices: el.num_vertices,
+            num_edges: m,
+            avg_degree: m as f64 / n,
+            max_out_degree,
+            max_in_degree,
+            top1pct_edge_share,
+            degree_gini,
+            degree_histogram,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classic::{complete, star};
+    use crate::rmat::{rmat, RmatConfig};
+    use crate::types::EdgeList;
+
+    #[test]
+    fn uniform_graph_has_low_gini() {
+        let stats = GraphStats::compute(&complete(50));
+        assert!(stats.degree_gini.abs() < 0.05, "gini {}", stats.degree_gini);
+        assert_eq!(stats.max_out_degree, 49);
+        assert_eq!(stats.num_edges, 50 * 49);
+    }
+
+    #[test]
+    fn star_is_maximally_skewed() {
+        let stats = GraphStats::compute(&star(100));
+        assert_eq!(stats.max_out_degree, 99);
+        assert!(stats.top1pct_edge_share >= 0.5, "{}", stats.top1pct_edge_share);
+        assert!(stats.degree_gini > 0.4, "gini {}", stats.degree_gini);
+    }
+
+    #[test]
+    fn rmat_more_skewed_than_uniform() {
+        let r = GraphStats::compute(&rmat(2048, 30_000, 1, RmatConfig::default()));
+        let u = GraphStats::compute(&crate::er::erdos_renyi(2048, 30_000, 1));
+        assert!(r.degree_gini > u.degree_gini + 0.1, "rmat {} er {}", r.degree_gini, u.degree_gini);
+        assert!(r.max_out_degree > u.max_out_degree);
+    }
+
+    #[test]
+    fn histogram_counts_all_vertices() {
+        let el = rmat(1000, 8000, 2, RmatConfig::default());
+        let stats = GraphStats::compute(&el);
+        let total: u64 = stats.degree_histogram.iter().sum();
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let stats = GraphStats::compute(&EdgeList::empty(10));
+        assert_eq!(stats.num_edges, 0);
+        assert_eq!(stats.avg_degree, 0.0);
+        assert_eq!(stats.degree_gini, 0.0);
+    }
+}

@@ -1,0 +1,320 @@
+//! Core graph data model shared by all engines.
+
+use hus_storage::pod::Pod;
+use serde::{Deserialize, Serialize};
+
+/// Vertex identifier. 32 bits covers the paper's largest graph (UKunion,
+/// 133M vertices) with room to spare, and keeps edge records at 8 bytes —
+/// the `M` of the paper's cost model.
+pub type VertexId = u32;
+
+/// A directed edge `src -> dst`.
+///
+/// `#[repr(C)]` with two `u32` fields: no padding, so it is [`Pod`] and is
+/// stored on disk as 8 raw little-endian bytes.
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Edge {
+    /// Source vertex.
+    pub src: VertexId,
+    /// Destination vertex.
+    pub dst: VertexId,
+}
+
+// SAFETY: #[repr(C)] struct of two u32: size 8 = 4+4 (no padding), any bit
+// pattern valid, no pointers.
+unsafe impl Pod for Edge {}
+
+impl Edge {
+    /// Construct an edge.
+    pub fn new(src: VertexId, dst: VertexId) -> Self {
+        Edge { src, dst }
+    }
+
+    /// The same edge with endpoints swapped.
+    pub fn reversed(&self) -> Self {
+        Edge { src: self.dst, dst: self.src }
+    }
+}
+
+/// An in-memory edge list with optional per-edge weights.
+///
+/// This is the interchange format between generators, file I/O, and the
+/// on-disk representation builders. `weights`, when present, is parallel
+/// to `edges` (same length, same order).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EdgeList {
+    /// Number of vertices; all edge endpoints are `< num_vertices`.
+    pub num_vertices: u32,
+    /// The directed edges.
+    pub edges: Vec<Edge>,
+    /// Optional weights parallel to `edges`.
+    pub weights: Option<Vec<f32>>,
+}
+
+impl EdgeList {
+    /// An edge list over `num_vertices` vertices with no edges.
+    pub fn empty(num_vertices: u32) -> Self {
+        EdgeList { num_vertices, edges: Vec::new(), weights: None }
+    }
+
+    /// Build from raw `(src, dst)` pairs, inferring `num_vertices` as
+    /// `max endpoint + 1`.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (u32, u32)>) -> Self {
+        let edges: Vec<Edge> = pairs.into_iter().map(|(s, d)| Edge::new(s, d)).collect();
+        let num_vertices = edges.iter().map(|e| e.src.max(e.dst) + 1).max().unwrap_or(0);
+        EdgeList { num_vertices, edges, weights: None }
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the list carries weights.
+    pub fn is_weighted(&self) -> bool {
+        self.weights.is_some()
+    }
+
+    /// Attach deterministic pseudo-random weights in `[min, max)` derived
+    /// from each edge's endpoints (stable across runs and platforms).
+    pub fn with_hash_weights(mut self, min: f32, max: f32) -> Self {
+        assert!(max > min, "weight range must be non-empty");
+        let span = max - min;
+        let weights = self
+            .edges
+            .iter()
+            .map(|e| {
+                let h = splitmix64(((e.src as u64) << 32) | e.dst as u64);
+                // take 24 bits for a uniform float in [0,1)
+                let unit = (h >> 40) as f32 / (1u64 << 24) as f32;
+                min + unit * span
+            })
+            .collect();
+        self.weights = Some(weights);
+        self
+    }
+
+    /// Make the graph undirected by adding the reverse of every edge
+    /// (the paper's convention: "undirected graph is supported by adding
+    /// two opposite edges", §3.1). Weights are duplicated.
+    pub fn symmetrize(mut self) -> Self {
+        let n = self.edges.len();
+        self.edges.reserve(n);
+        for i in 0..n {
+            let rev = self.edges[i].reversed();
+            self.edges.push(rev);
+        }
+        if let Some(w) = &mut self.weights {
+            w.extend_from_within(0..n);
+        }
+        self
+    }
+
+    /// Remove self-loops and duplicate edges (keeping the first
+    /// occurrence of each `(src,dst)` pair and its weight).
+    pub fn dedup(mut self) -> Self {
+        let mut order: Vec<u32> = (0..self.edges.len() as u32).collect();
+        let edges = &self.edges;
+        order.sort_unstable_by_key(|&i| (edges[i as usize], i));
+        let mut keep = vec![false; self.edges.len()];
+        let mut prev: Option<Edge> = None;
+        for &i in &order {
+            let e = self.edges[i as usize];
+            if e.src == e.dst {
+                continue;
+            }
+            if prev != Some(e) {
+                keep[i as usize] = true;
+                prev = Some(e);
+            }
+        }
+        let mut w_iter = self.weights.take().map(|w| w.into_iter());
+        let mut new_edges = Vec::new();
+        let mut new_weights = w_iter.is_some().then(Vec::new);
+        for (i, e) in self.edges.iter().enumerate() {
+            let w = w_iter.as_mut().map(|it| it.next().expect("weights parallel to edges"));
+            if keep[i] {
+                new_edges.push(*e);
+                if let (Some(nw), Some(w)) = (&mut new_weights, w) {
+                    nw.push(w);
+                }
+            }
+        }
+        self.edges = new_edges;
+        self.weights = new_weights;
+        self
+    }
+
+    /// Relabel vertices with a pseudo-random permutation derived from
+    /// `seed` (Fisher–Yates over [`splitmix64`] draws). The structure is
+    /// unchanged; only ids move. Useful to strip accidental id-order
+    /// locality from synthetic generators — real datasets are rarely
+    /// labeled in traversal order.
+    pub fn relabel(mut self, seed: u64) -> Self {
+        let n = self.num_vertices as usize;
+        let mut perm: Vec<u32> = (0..self.num_vertices).collect();
+        let mut state = seed;
+        for i in (1..n).rev() {
+            state = splitmix64(state);
+            let j = (state % (i as u64 + 1)) as usize;
+            perm.swap(i, j);
+        }
+        for e in &mut self.edges {
+            e.src = perm[e.src as usize];
+            e.dst = perm[e.dst as usize];
+        }
+        self
+    }
+
+    /// Panic-on-failure validation: all endpoints in range, weights
+    /// parallel. Used by tests and builders in debug paths.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, e) in self.edges.iter().enumerate() {
+            if e.src >= self.num_vertices || e.dst >= self.num_vertices {
+                return Err(format!(
+                    "edge #{i} ({} -> {}) out of range for {} vertices",
+                    e.src, e.dst, self.num_vertices
+                ));
+            }
+        }
+        if let Some(w) = &self.weights {
+            if w.len() != self.edges.len() {
+                return Err(format!(
+                    "weights length {} does not match edge count {}",
+                    w.len(),
+                    self.edges.len()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Out-degree of every vertex.
+    pub fn out_degrees(&self) -> Vec<u32> {
+        let mut d = vec![0u32; self.num_vertices as usize];
+        for e in &self.edges {
+            d[e.src as usize] += 1;
+        }
+        d
+    }
+
+    /// In-degree of every vertex.
+    pub fn in_degrees(&self) -> Vec<u32> {
+        let mut d = vec![0u32; self.num_vertices as usize];
+        for e in &self.edges {
+            d[e.dst as usize] += 1;
+        }
+        d
+    }
+}
+
+/// SplitMix64 — tiny, high-quality 64-bit mixer used for deterministic
+/// hash-derived weights and sampling decisions.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_is_8_bytes() {
+        assert_eq!(std::mem::size_of::<Edge>(), 8);
+        assert_eq!(std::mem::align_of::<Edge>(), 4);
+    }
+
+    #[test]
+    fn from_pairs_infers_vertex_count() {
+        let el = EdgeList::from_pairs([(0, 3), (2, 1)]);
+        assert_eq!(el.num_vertices, 4);
+        assert_eq!(el.num_edges(), 2);
+        el.validate().unwrap();
+    }
+
+    #[test]
+    fn symmetrize_doubles_edges() {
+        let el = EdgeList::from_pairs([(0, 1), (1, 2)]).with_hash_weights(1.0, 2.0).symmetrize();
+        assert_eq!(el.num_edges(), 4);
+        assert_eq!(el.edges[2], Edge::new(1, 0));
+        assert_eq!(el.edges[3], Edge::new(2, 1));
+        let w = el.weights.unwrap();
+        assert_eq!(w.len(), 4);
+        assert_eq!(w[0], w[2]);
+        assert_eq!(w[1], w[3]);
+    }
+
+    #[test]
+    fn dedup_removes_loops_and_duplicates() {
+        let el = EdgeList::from_pairs([(0, 1), (1, 1), (0, 1), (2, 0), (0, 1)]).dedup();
+        assert_eq!(el.edges, vec![Edge::new(0, 1), Edge::new(2, 0)]);
+    }
+
+    #[test]
+    fn dedup_keeps_first_weight() {
+        let mut el = EdgeList::from_pairs([(0, 1), (0, 1), (1, 2)]);
+        el.weights = Some(vec![10.0, 20.0, 30.0]);
+        let el = el.dedup();
+        assert_eq!(el.edges.len(), 2);
+        assert_eq!(el.weights.unwrap(), vec![10.0, 30.0]);
+    }
+
+    #[test]
+    fn degrees() {
+        let el = EdgeList::from_pairs([(0, 1), (0, 2), (2, 1)]);
+        assert_eq!(el.out_degrees(), vec![2, 0, 1]);
+        assert_eq!(el.in_degrees(), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn validate_catches_out_of_range() {
+        let mut el = EdgeList::from_pairs([(0, 1)]);
+        el.num_vertices = 1;
+        assert!(el.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_weight_mismatch() {
+        let mut el = EdgeList::from_pairs([(0, 1), (1, 0)]);
+        el.weights = Some(vec![1.0]);
+        assert!(el.validate().is_err());
+    }
+
+    #[test]
+    fn hash_weights_in_range_and_deterministic() {
+        let el1 = EdgeList::from_pairs([(0, 1), (1, 2), (2, 3)]).with_hash_weights(1.0, 5.0);
+        let el2 = EdgeList::from_pairs([(0, 1), (1, 2), (2, 3)]).with_hash_weights(1.0, 5.0);
+        let w1 = el1.weights.unwrap();
+        assert_eq!(w1, el2.weights.unwrap());
+        assert!(w1.iter().all(|&w| (1.0..5.0).contains(&w)));
+    }
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let el = EdgeList::from_pairs([(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let r = el.clone().relabel(9);
+        r.validate().unwrap();
+        assert_eq!(r.num_edges(), el.num_edges());
+        // Degree multiset is preserved.
+        let mut a = el.out_degrees();
+        let mut b = r.out_degrees();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        // And it actually moved ids (overwhelmingly likely).
+        assert_ne!(r.edges, el.edges);
+        // Same permutation twice = same result.
+        assert_eq!(el.clone().relabel(9).edges, r.edges);
+    }
+
+    #[test]
+    fn splitmix_is_stable() {
+        // Reference values from the public-domain splitmix64 definition.
+        assert_eq!(splitmix64(0), 0xE220A8397B1DCDAF);
+        assert_ne!(splitmix64(1), splitmix64(2));
+    }
+}

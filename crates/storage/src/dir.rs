@@ -1,0 +1,285 @@
+//! A directory of named storage files sharing one I/O tracker.
+//!
+//! Each engine's on-disk representation (dual-block shards, PSW shards,
+//! grid blocks, vertex stores) lives inside a `StorageDir`. The directory
+//! decides which read backend to use (positioned file reads or mmap) and
+//! hands out tracked readers/writers.
+
+use crate::buffer::TrackedWriter;
+use crate::error::{Result, StorageError};
+use crate::file::{FileBackend, TrackedFile};
+use crate::mmap::MmapBackend;
+#[allow(unused_imports)] // used in the Cached backend arm
+use crate::cache::CachedBackend;
+use crate::tracker::IoTracker;
+use crate::ReadBackend;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Which mechanism serves reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// Positioned `pread` calls on a shared file descriptor.
+    #[default]
+    File,
+    /// Shared read-only memory map (zero-copy block access).
+    Mmap,
+    /// File reads behind a per-file LRU page cache of the given byte
+    /// budget — models an explicit memory budget: cache hits are not
+    /// billed as device I/O (see [`crate::cache`]).
+    Cached {
+        /// Cache budget per opened file, in bytes.
+        budget_bytes: u64,
+    },
+}
+
+/// A directory of named data files with shared I/O accounting.
+#[derive(Clone)]
+pub struct StorageDir {
+    root: PathBuf,
+    tracker: Arc<IoTracker>,
+    kind: BackendKind,
+}
+
+impl StorageDir {
+    /// Create (or reuse) the directory at `root` with the default
+    /// file-read backend.
+    pub fn create(root: impl AsRef<Path>) -> Result<Self> {
+        Self::create_with(root, BackendKind::File)
+    }
+
+    /// Create (or reuse) the directory at `root`, selecting the read
+    /// backend.
+    pub fn create_with(root: impl AsRef<Path>, kind: BackendKind) -> Result<Self> {
+        let root = root.as_ref().to_path_buf();
+        std::fs::create_dir_all(&root).map_err(|e| StorageError::io_at(&root, e))?;
+        Ok(StorageDir { root, tracker: Arc::new(IoTracker::new()), kind })
+    }
+
+    /// Open an existing directory (errors if absent).
+    pub fn open(root: impl AsRef<Path>) -> Result<Self> {
+        let root = root.as_ref().to_path_buf();
+        if !root.is_dir() {
+            return Err(StorageError::MissingFile(root));
+        }
+        Ok(StorageDir { root, tracker: Arc::new(IoTracker::new()), kind: BackendKind::File })
+    }
+
+    /// Switch the read backend (builder-style).
+    pub fn with_backend(mut self, kind: BackendKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// A nested directory sharing this directory's tracker and backend
+    /// (used e.g. for per-run vertex-store scratch space whose traffic
+    /// must count toward the same run's I/O).
+    pub fn subdir(&self, name: &str) -> Result<StorageDir> {
+        let root = self.root.join(name);
+        std::fs::create_dir_all(&root).map_err(|e| StorageError::io_at(&root, e))?;
+        Ok(StorageDir { root, tracker: Arc::clone(&self.tracker), kind: self.kind })
+    }
+
+    /// The shared tracker for this directory.
+    pub fn tracker(&self) -> Arc<IoTracker> {
+        Arc::clone(&self.tracker)
+    }
+
+    /// Root path of the directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Absolute path of a named file inside the directory.
+    pub fn path(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+
+    /// Whether a named file exists.
+    pub fn exists(&self, name: &str) -> bool {
+        self.path(name).is_file()
+    }
+
+    /// Length in bytes of a named file.
+    pub fn file_len(&self, name: &str) -> Result<u64> {
+        let p = self.path(name);
+        let md = std::fs::metadata(&p).map_err(|e| StorageError::io_at(&p, e))?;
+        Ok(md.len())
+    }
+
+    /// Open a named file for tracked reading with the configured backend.
+    pub fn reader(&self, name: &str) -> Result<Arc<dyn ReadBackend>> {
+        let p = self.path(name);
+        if !p.is_file() {
+            return Err(StorageError::MissingFile(p));
+        }
+        Ok(match self.kind {
+            BackendKind::File => Arc::new(FileBackend::open(p, self.tracker())?),
+            BackendKind::Mmap => Arc::new(MmapBackend::open(p, self.tracker())?),
+            BackendKind::Cached { budget_bytes } => Arc::new(crate::CachedBackend::with_budget(
+                FileBackend::open(p, self.tracker())?,
+                budget_bytes as usize,
+            )),
+        })
+    }
+
+    /// Create (truncate) a named file and return a buffered tracked
+    /// writer for streaming output.
+    pub fn writer(&self, name: &str) -> Result<TrackedWriter> {
+        if let Some(parent) = self.path(name).parent() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| StorageError::io_at(parent.to_path_buf(), e))?;
+        }
+        TrackedWriter::create(self.path(name), self.tracker())
+    }
+
+    /// Open (creating if needed) a named file for tracked positioned
+    /// read/write access.
+    pub fn update(&self, name: &str) -> Result<TrackedFile> {
+        if let Some(parent) = self.path(name).parent() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| StorageError::io_at(parent.to_path_buf(), e))?;
+        }
+        TrackedFile::open_rw(self.path(name), self.tracker())
+    }
+
+    /// Write a small metadata string (manifest); not billed as data I/O.
+    pub fn put_meta(&self, name: &str, contents: &str) -> Result<()> {
+        let p = self.path(name);
+        std::fs::write(&p, contents).map_err(|e| StorageError::io_at(p, e))
+    }
+
+    /// Read back a metadata string; not billed as data I/O.
+    pub fn get_meta(&self, name: &str) -> Result<String> {
+        let p = self.path(name);
+        std::fs::read_to_string(&p).map_err(|e| StorageError::io_at(p, e))
+    }
+
+    /// Sum of the sizes of all regular files under the directory —
+    /// the on-disk footprint of a representation.
+    pub fn disk_footprint(&self) -> Result<u64> {
+        fn walk(dir: &Path, acc: &mut u64) -> std::io::Result<()> {
+            for entry in std::fs::read_dir(dir)? {
+                let entry = entry?;
+                let md = entry.metadata()?;
+                if md.is_dir() {
+                    walk(&entry.path(), acc)?;
+                } else {
+                    *acc += md.len();
+                }
+            }
+            Ok(())
+        }
+        let mut acc = 0;
+        walk(&self.root, &mut acc).map_err(|e| StorageError::io_at(self.root.clone(), e))?;
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracker::Access;
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("store")).unwrap();
+        let mut w = dir.writer("edges.bin").unwrap();
+        w.write_all(&[1, 2, 3, 4]).unwrap();
+        w.finish().unwrap();
+        let r = dir.reader("edges.bin").unwrap();
+        let mut buf = [0u8; 4];
+        r.read_at(0, &mut buf, Access::Sequential).unwrap();
+        assert_eq!(buf, [1, 2, 3, 4]);
+        let s = dir.tracker().snapshot();
+        assert_eq!(s.write_bytes, 4);
+        assert_eq!(s.seq_read_bytes, 4);
+    }
+
+    #[test]
+    fn mmap_backend_selected() {
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create_with(tmp.path().join("m"), BackendKind::Mmap).unwrap();
+        let mut w = dir.writer("x.bin").unwrap();
+        w.write_all(&[9; 32]).unwrap();
+        w.finish().unwrap();
+        let r = dir.reader("x.bin").unwrap();
+        assert_eq!(r.len(), 32);
+    }
+
+    #[test]
+    fn missing_file_error() {
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("s")).unwrap();
+        assert!(matches!(dir.reader("nope.bin"), Err(StorageError::MissingFile(_))));
+        assert!(!dir.exists("nope.bin"));
+    }
+
+    #[test]
+    fn nested_names_create_subdirs() {
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("s")).unwrap();
+        let mut w = dir.writer("shards/out/0.bin").unwrap();
+        w.write_all(&[1]).unwrap();
+        w.finish().unwrap();
+        assert!(dir.exists("shards/out/0.bin"));
+        assert_eq!(dir.file_len("shards/out/0.bin").unwrap(), 1);
+    }
+
+    #[test]
+    fn meta_roundtrip_not_billed() {
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("s")).unwrap();
+        dir.put_meta("meta.json", "{\"p\":4}").unwrap();
+        assert_eq!(dir.get_meta("meta.json").unwrap(), "{\"p\":4}");
+        assert_eq!(dir.tracker().snapshot().total_bytes(), 0);
+    }
+
+    #[test]
+    fn disk_footprint_sums_files() {
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("s")).unwrap();
+        let mut w = dir.writer("a.bin").unwrap();
+        w.write_all(&[0; 10]).unwrap();
+        w.finish().unwrap();
+        let mut w = dir.writer("sub/b.bin").unwrap();
+        w.write_all(&[0; 5]).unwrap();
+        w.finish().unwrap();
+        assert_eq!(dir.disk_footprint().unwrap(), 15);
+    }
+
+    #[test]
+    fn open_missing_dir_fails() {
+        let tmp = tempfile::tempdir().unwrap();
+        assert!(StorageDir::open(tmp.path().join("absent")).is_err());
+    }
+}
+
+#[cfg(test)]
+mod cached_backend_tests {
+    use super::*;
+    use crate::tracker::Access;
+
+    #[test]
+    fn cached_kind_serves_hits_unbilled() {
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create_with(
+            tmp.path().join("c"),
+            BackendKind::Cached { budget_bytes: 1 << 20 },
+        )
+        .unwrap();
+        let mut w = dir.writer("x.bin").unwrap();
+        w.write_all(&[5u8; 4096]).unwrap();
+        w.finish().unwrap();
+        dir.tracker().reset();
+        let r = dir.reader("x.bin").unwrap();
+        let mut buf = [0u8; 64];
+        r.read_at(0, &mut buf, Access::Random).unwrap();
+        let first = dir.tracker().snapshot().total_bytes();
+        r.read_at(0, &mut buf, Access::Random).unwrap();
+        r.read_at(8, &mut buf, Access::Random).unwrap();
+        assert_eq!(dir.tracker().snapshot().total_bytes(), first, "hits unbilled");
+        assert_eq!(buf, [5u8; 64]);
+    }
+}

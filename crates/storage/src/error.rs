@@ -1,0 +1,109 @@
+//! Error type for the storage substrate.
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+/// Errors raised by the storage substrate.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An underlying I/O error, annotated with the file it occurred on.
+    Io {
+        /// Path of the file involved, when known.
+        path: Option<PathBuf>,
+        /// The raw OS error.
+        source: io::Error,
+    },
+    /// A read past the end of a backing file.
+    OutOfBounds {
+        /// Requested start offset.
+        offset: u64,
+        /// Requested length in bytes.
+        len: u64,
+        /// Actual file size in bytes.
+        file_len: u64,
+    },
+    /// A named file was not found inside a [`crate::StorageDir`].
+    MissingFile(PathBuf),
+    /// A byte buffer could not be reinterpreted as a typed slice.
+    BadCast {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// Metadata (header/manifest) content failed validation.
+    Corrupt(String),
+}
+
+impl StorageError {
+    /// Wrap an [`io::Error`] with the path that produced it.
+    pub fn io_at(path: impl Into<PathBuf>, source: io::Error) -> Self {
+        StorageError::Io {
+            path: Some(path.into()),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io { path: Some(p), source } => {
+                write!(f, "I/O error on {}: {source}", p.display())
+            }
+            StorageError::Io { path: None, source } => write!(f, "I/O error: {source}"),
+            StorageError::OutOfBounds { offset, len, file_len } => write!(
+                f,
+                "read of {len} bytes at offset {offset} exceeds file length {file_len}"
+            ),
+            StorageError::MissingFile(p) => write!(f, "missing storage file {}", p.display()),
+            StorageError::BadCast { detail } => write!(f, "bad pod cast: {detail}"),
+            StorageError::Corrupt(msg) => write!(f, "corrupt storage metadata: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(source: io::Error) -> Self {
+        StorageError::Io { path: None, source }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_path() {
+        let err = StorageError::io_at("/tmp/x.bin", io::Error::other("boom"));
+        let msg = err.to_string();
+        assert!(msg.contains("/tmp/x.bin"), "{msg}");
+        assert!(msg.contains("boom"), "{msg}");
+    }
+
+    #[test]
+    fn display_out_of_bounds() {
+        let err = StorageError::OutOfBounds { offset: 10, len: 20, file_len: 16 };
+        let msg = err.to_string();
+        assert!(msg.contains("20 bytes at offset 10"), "{msg}");
+        assert!(msg.contains("16"), "{msg}");
+    }
+
+    #[test]
+    fn from_io_error_has_source() {
+        use std::error::Error as _;
+        let err: StorageError = io::Error::other("inner").into();
+        assert!(err.source().is_some());
+    }
+}

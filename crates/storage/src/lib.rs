@@ -1,0 +1,88 @@
+//! # hus-storage — tracked out-of-core storage substrate
+//!
+//! Every out-of-core engine in this workspace (HUS-Graph itself as well as
+//! the GraphChi- and GridGraph-style baselines) performs its disk I/O
+//! through this crate, so that all systems are measured identically.
+//!
+//! The crate provides:
+//!
+//! * [`StorageDir`] — a directory of named data files with a shared
+//!   [`IoTracker`]; readers classify every access as [`Access::Sequential`]
+//!   or [`Access::Random`], mirroring the distinction at the heart of the
+//!   HUS-Graph paper (§2.1, §3.4).
+//! * [`ReadBackend`] implementations backed by positioned file reads
+//!   ([`file::FileBackend`]) or memory maps ([`mmap::MmapBackend`]).
+//! * [`DeviceProfile`] / [`CostModel`] — the paper's I/O time model
+//!   (`bytes / throughput + seeks`), with HDD and SSD presets used by the
+//!   experiment harness to reproduce Figure 11.
+//! * [`probe`] — a small `fio`-like throughput measurement of the host,
+//!   which can feed measured `T_sequential` / `T_random` into the
+//!   predictor instead of a preset profile.
+//! * [`pod`] — safe-by-construction byte ⇄ typed-slice conversions used by
+//!   the on-disk formats of all engines.
+//! * [`cache`] — an LRU page cache over any backend, modeling an explicit
+//!   memory budget (cache hits are not billed as device I/O).
+
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod cache;
+pub mod device;
+pub mod dir;
+pub mod error;
+pub mod file;
+pub mod mmap;
+pub mod pod;
+pub mod probe;
+pub mod tracker;
+
+pub use buffer::{BlockStream, TrackedWriter};
+pub use cache::{CacheStats, CachedBackend};
+pub use device::{CostModel, DeviceProfile, Throughput};
+pub use dir::{BackendKind, StorageDir};
+pub use error::{Result, StorageError};
+pub use file::FileBackend;
+pub use mmap::MmapBackend;
+pub use pod::Pod;
+pub use tracker::{Access, IoSnapshot, IoTracker};
+
+/// Object-safe read interface shared by the file and mmap backends.
+///
+/// Offsets are absolute byte offsets within the backing file. Callers must
+/// classify each access so that the shared [`IoTracker`] can attribute the
+/// traffic to the sequential or random bucket.
+pub trait ReadBackend: Send + Sync {
+    /// Read exactly `buf.len()` bytes starting at byte `offset`.
+    fn read_at(&self, offset: u64, buf: &mut [u8], access: Access) -> Result<()>;
+
+    /// Total length of the backing file in bytes.
+    fn len(&self) -> u64;
+
+    /// Whether the backing file is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T: ReadBackend + ?Sized> ReadBackend for std::sync::Arc<T> {
+    fn read_at(&self, offset: u64, buf: &mut [u8], access: Access) -> Result<()> {
+        (**self).read_at(offset, buf, access)
+    }
+
+    fn len(&self) -> u64 {
+        (**self).len()
+    }
+}
+
+/// Read a `Vec<T>` of `count` items starting at `offset`, copying out of the
+/// backend (alignment-safe for any `offset`).
+pub fn read_pod_vec<T: Pod, B: ReadBackend + ?Sized>(
+    backend: &B,
+    offset: u64,
+    count: usize,
+    access: Access,
+) -> Result<Vec<T>> {
+    let mut out: Vec<T> = vec![T::zeroed(); count];
+    backend.read_at(offset, pod::as_bytes_mut(&mut out), access)?;
+    Ok(out)
+}

@@ -1,0 +1,161 @@
+//! `fio`-like host throughput measurement.
+//!
+//! The paper measures `T_sequential` and `T_random` with a disk benchmark
+//! before running experiments (§3.4: "the disk access throughput ... can
+//! be measured by using several measurement tools such as fio"). This
+//! module provides the same capability for this host: it writes a scratch
+//! file, then times sequential chunked reads and scattered small reads.
+//!
+//! Note: on a machine with ample page cache the numbers come out
+//! memory-speed; the experiment harness therefore defaults to the
+//! deterministic [`crate::DeviceProfile`] presets and uses the probe only
+//! when explicitly requested (`HUS_PROBE=1`).
+
+use crate::device::Throughput;
+use crate::error::{Result, StorageError};
+use std::fs::OpenOptions;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::time::Instant;
+
+/// Options for a throughput probe run.
+#[derive(Debug, Clone)]
+pub struct ProbeOptions {
+    /// Size of the scratch file.
+    pub file_bytes: usize,
+    /// Chunk size for the sequential pass.
+    pub seq_chunk: usize,
+    /// Request size for the random pass.
+    pub rand_request: usize,
+    /// Number of random requests to issue.
+    pub rand_ops: usize,
+}
+
+impl Default for ProbeOptions {
+    fn default() -> Self {
+        ProbeOptions {
+            file_bytes: 64 << 20,
+            seq_chunk: 1 << 20,
+            rand_request: 4096,
+            rand_ops: 2048,
+        }
+    }
+}
+
+impl ProbeOptions {
+    /// A tiny configuration suitable for unit tests.
+    pub fn tiny() -> Self {
+        ProbeOptions { file_bytes: 1 << 20, seq_chunk: 64 << 10, rand_request: 512, rand_ops: 64 }
+    }
+}
+
+/// Result of a probe run.
+#[derive(Debug, Clone, Copy)]
+pub struct ProbeReport {
+    /// Measured read throughputs.
+    pub read: Throughput,
+    /// Measured (buffered) write throughput, bytes/second.
+    pub write_bps: f64,
+}
+
+/// Measure sequential/random read and write throughput using a scratch
+/// file inside `dir`. The scratch file is removed afterwards.
+pub fn measure(dir: &Path, opts: &ProbeOptions) -> Result<ProbeReport> {
+    let path = dir.join(".hus-probe.tmp");
+    let result = measure_inner(&path, opts);
+    let _ = std::fs::remove_file(&path);
+    result
+}
+
+fn measure_inner(path: &Path, opts: &ProbeOptions) -> Result<ProbeReport> {
+    assert!(opts.seq_chunk > 0 && opts.rand_request > 0 && opts.file_bytes >= opts.seq_chunk);
+    // Write pass.
+    let pattern = vec![0xA5u8; opts.seq_chunk];
+    let mut file = OpenOptions::new()
+        .read(true)
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(path)
+        .map_err(|e| StorageError::io_at(path.to_path_buf(), e))?;
+    let write_start = Instant::now();
+    let mut written = 0usize;
+    while written < opts.file_bytes {
+        let n = pattern.len().min(opts.file_bytes - written);
+        file.write_all(&pattern[..n]).map_err(|e| StorageError::io_at(path.to_path_buf(), e))?;
+        written += n;
+    }
+    file.sync_data().map_err(|e| StorageError::io_at(path.to_path_buf(), e))?;
+    let write_secs = write_start.elapsed().as_secs_f64().max(1e-9);
+
+    // Sequential read pass.
+    file.seek(SeekFrom::Start(0)).map_err(|e| StorageError::io_at(path.to_path_buf(), e))?;
+    let mut buf = vec![0u8; opts.seq_chunk];
+    let seq_start = Instant::now();
+    let mut read_total = 0usize;
+    while read_total < opts.file_bytes {
+        let n = buf.len().min(opts.file_bytes - read_total);
+        file.read_exact(&mut buf[..n]).map_err(|e| StorageError::io_at(path.to_path_buf(), e))?;
+        read_total += n;
+    }
+    let seq_secs = seq_start.elapsed().as_secs_f64().max(1e-9);
+
+    // Random read pass: stride through the file with a non-trivial jump so
+    // requests are scattered but deterministic.
+    let slots = (opts.file_bytes / opts.rand_request).max(1);
+    let stride = (slots / 2).max(1) | 1; // odd stride visits many slots
+    let mut small = vec![0u8; opts.rand_request];
+    let rand_start = Instant::now();
+    let mut slot = 0usize;
+    for _ in 0..opts.rand_ops {
+        slot = (slot + stride) % slots;
+        let off = (slot * opts.rand_request) as u64;
+        file.seek(SeekFrom::Start(off)).map_err(|e| StorageError::io_at(path.to_path_buf(), e))?;
+        file.read_exact(&mut small).map_err(|e| StorageError::io_at(path.to_path_buf(), e))?;
+    }
+    let rand_secs = rand_start.elapsed().as_secs_f64().max(1e-9);
+
+    Ok(ProbeReport {
+        read: Throughput {
+            sequential_bps: opts.file_bytes as f64 / seq_secs,
+            random_bps: (opts.rand_ops * opts.rand_request) as f64 / rand_secs,
+            // A sorted sweep sits between the two; approximate with the
+            // geometric mean of the measured extremes.
+            batched_bps: (opts.file_bytes as f64 / seq_secs
+                * ((opts.rand_ops * opts.rand_request) as f64 / rand_secs))
+                .sqrt(),
+        },
+        write_bps: opts.file_bytes as f64 / write_secs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_produces_positive_throughputs() {
+        let tmp = tempfile::tempdir().unwrap();
+        let report = measure(tmp.path(), &ProbeOptions::tiny()).unwrap();
+        assert!(report.read.sequential_bps > 0.0);
+        assert!(report.read.random_bps > 0.0);
+        assert!(report.write_bps > 0.0);
+    }
+
+    #[test]
+    fn probe_cleans_up_scratch_file() {
+        let tmp = tempfile::tempdir().unwrap();
+        measure(tmp.path(), &ProbeOptions::tiny()).unwrap();
+        assert!(!tmp.path().join(".hus-probe.tmp").exists());
+    }
+
+    #[test]
+    fn probe_feeds_device_profile() {
+        let tmp = tempfile::tempdir().unwrap();
+        let report = measure(tmp.path(), &ProbeOptions::tiny()).unwrap();
+        let profile =
+            crate::DeviceProfile::from_measured("this-host", report.read, report.write_bps);
+        assert_eq!(profile.name, "this-host");
+        assert!(profile.read.sequential_bps > 0.0);
+    }
+}

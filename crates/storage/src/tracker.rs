@@ -1,0 +1,254 @@
+//! Byte-accurate I/O accounting shared by all engines.
+//!
+//! The HUS-Graph paper's central trade-off is *I/O amount* versus *I/O
+//! access locality* (§1, §2.1). To measure both, every read performed
+//! through this crate is classified by its caller as sequential (block
+//! streaming) or random (per-vertex edge-range loads), and counted here.
+//! The experiment harness diffs [`IoSnapshot`]s around each run to report
+//! the paper's "I/O amount" figures, and the [`crate::CostModel`] converts
+//! snapshots into modeled wall time.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Classification of a read access, as seen by the disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Access {
+    /// Part of a large streaming scan; billed at sequential throughput.
+    Sequential,
+    /// An isolated positioned read; billed at random throughput plus a
+    /// seek.
+    Random,
+    /// A coalesced ascending sweep over scattered ranges (elevator
+    /// order): cheaper than independent seeks, slower than a pure
+    /// stream. Billed at the device's batched throughput.
+    Batched,
+}
+
+/// Thread-safe I/O counters. Cheap to share via `Arc`; all updates are
+/// relaxed atomics (counters are independent, no ordering needed).
+#[derive(Debug, Default)]
+pub struct IoTracker {
+    seq_read_bytes: AtomicU64,
+    seq_read_ops: AtomicU64,
+    rand_read_bytes: AtomicU64,
+    rand_read_ops: AtomicU64,
+    batched_read_bytes: AtomicU64,
+    batched_read_ops: AtomicU64,
+    write_bytes: AtomicU64,
+    write_ops: AtomicU64,
+}
+
+impl IoTracker {
+    /// A fresh tracker with all counters at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a read of `bytes` bytes with the given access pattern.
+    pub fn record_read(&self, access: Access, bytes: u64) {
+        match access {
+            Access::Sequential => {
+                self.seq_read_bytes.fetch_add(bytes, Ordering::Relaxed);
+                self.seq_read_ops.fetch_add(1, Ordering::Relaxed);
+            }
+            Access::Random => {
+                self.rand_read_bytes.fetch_add(bytes, Ordering::Relaxed);
+                self.rand_read_ops.fetch_add(1, Ordering::Relaxed);
+            }
+            Access::Batched => {
+                self.batched_read_bytes.fetch_add(bytes, Ordering::Relaxed);
+                self.batched_read_ops.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Record a write of `bytes` bytes (writes are modeled as sequential;
+    /// every engine here writes whole vertex chunks or whole shards).
+    pub fn record_write(&self, bytes: u64) {
+        self.write_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.write_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Capture the current counter values.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            seq_read_bytes: self.seq_read_bytes.load(Ordering::Relaxed),
+            seq_read_ops: self.seq_read_ops.load(Ordering::Relaxed),
+            rand_read_bytes: self.rand_read_bytes.load(Ordering::Relaxed),
+            rand_read_ops: self.rand_read_ops.load(Ordering::Relaxed),
+            batched_read_bytes: self.batched_read_bytes.load(Ordering::Relaxed),
+            batched_read_ops: self.batched_read_ops.load(Ordering::Relaxed),
+            write_bytes: self.write_bytes.load(Ordering::Relaxed),
+            write_ops: self.write_ops.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&self) {
+        self.seq_read_bytes.store(0, Ordering::Relaxed);
+        self.seq_read_ops.store(0, Ordering::Relaxed);
+        self.rand_read_bytes.store(0, Ordering::Relaxed);
+        self.rand_read_ops.store(0, Ordering::Relaxed);
+        self.batched_read_bytes.store(0, Ordering::Relaxed);
+        self.batched_read_ops.store(0, Ordering::Relaxed);
+        self.write_bytes.store(0, Ordering::Relaxed);
+        self.write_ops.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of the tracker's counters. Supports subtraction to
+/// obtain per-phase deltas.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoSnapshot {
+    /// Bytes read with [`Access::Sequential`].
+    pub seq_read_bytes: u64,
+    /// Number of sequential read calls.
+    pub seq_read_ops: u64,
+    /// Bytes read with [`Access::Random`].
+    pub rand_read_bytes: u64,
+    /// Number of random read calls (each modeled as one seek).
+    pub rand_read_ops: u64,
+    /// Bytes read with [`Access::Batched`].
+    pub batched_read_bytes: u64,
+    /// Number of batched sweep calls.
+    pub batched_read_ops: u64,
+    /// Bytes written.
+    pub write_bytes: u64,
+    /// Number of write calls.
+    pub write_ops: u64,
+}
+
+impl IoSnapshot {
+    /// Total bytes read, regardless of pattern.
+    pub fn read_bytes(&self) -> u64 {
+        self.seq_read_bytes + self.rand_read_bytes + self.batched_read_bytes
+    }
+
+    /// Total bytes transferred (reads plus writes) — the paper's
+    /// "I/O amount".
+    pub fn total_bytes(&self) -> u64 {
+        self.read_bytes() + self.write_bytes
+    }
+
+    /// Counter-wise difference `self - earlier` (saturating, so a reset
+    /// tracker never produces an underflow panic).
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            seq_read_bytes: self.seq_read_bytes.saturating_sub(earlier.seq_read_bytes),
+            seq_read_ops: self.seq_read_ops.saturating_sub(earlier.seq_read_ops),
+            rand_read_bytes: self.rand_read_bytes.saturating_sub(earlier.rand_read_bytes),
+            rand_read_ops: self.rand_read_ops.saturating_sub(earlier.rand_read_ops),
+            batched_read_bytes: self
+                .batched_read_bytes
+                .saturating_sub(earlier.batched_read_bytes),
+            batched_read_ops: self.batched_read_ops.saturating_sub(earlier.batched_read_ops),
+            write_bytes: self.write_bytes.saturating_sub(earlier.write_bytes),
+            write_ops: self.write_ops.saturating_sub(earlier.write_ops),
+        }
+    }
+
+    /// Counter-wise sum.
+    pub fn plus(&self, other: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            seq_read_bytes: self.seq_read_bytes + other.seq_read_bytes,
+            seq_read_ops: self.seq_read_ops + other.seq_read_ops,
+            rand_read_bytes: self.rand_read_bytes + other.rand_read_bytes,
+            rand_read_ops: self.rand_read_ops + other.rand_read_ops,
+            batched_read_bytes: self.batched_read_bytes + other.batched_read_bytes,
+            batched_read_ops: self.batched_read_ops + other.batched_read_ops,
+            write_bytes: self.write_bytes + other.write_bytes,
+            write_ops: self.write_ops + other.write_ops,
+        }
+    }
+
+    /// Total bytes expressed in (decimal) gigabytes, as the paper's
+    /// I/O-amount plots use.
+    pub fn total_gb(&self) -> f64 {
+        self.total_bytes() as f64 / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn records_by_class() {
+        let t = IoTracker::new();
+        t.record_read(Access::Sequential, 100);
+        t.record_read(Access::Random, 8);
+        t.record_read(Access::Random, 8);
+        t.record_write(32);
+        let s = t.snapshot();
+        assert_eq!(s.seq_read_bytes, 100);
+        assert_eq!(s.seq_read_ops, 1);
+        assert_eq!(s.rand_read_bytes, 16);
+        assert_eq!(s.rand_read_ops, 2);
+        assert_eq!(s.write_bytes, 32);
+        assert_eq!(s.read_bytes(), 116);
+        assert_eq!(s.total_bytes(), 148);
+    }
+
+    #[test]
+    fn since_computes_delta() {
+        let t = IoTracker::new();
+        t.record_read(Access::Sequential, 10);
+        let a = t.snapshot();
+        t.record_read(Access::Sequential, 5);
+        t.record_write(7);
+        let b = t.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.seq_read_bytes, 5);
+        assert_eq!(d.write_bytes, 7);
+        assert_eq!(d.seq_read_ops, 1);
+    }
+
+    #[test]
+    fn since_saturates_after_reset() {
+        let t = IoTracker::new();
+        t.record_read(Access::Random, 100);
+        let a = t.snapshot();
+        t.reset();
+        let b = t.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.rand_read_bytes, 0);
+    }
+
+    #[test]
+    fn concurrent_updates_sum() {
+        let t = Arc::new(IoTracker::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        t.record_read(Access::Sequential, 3);
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        assert_eq!(t.snapshot().seq_read_bytes, 12_000);
+        assert_eq!(t.snapshot().seq_read_ops, 4_000);
+    }
+
+    #[test]
+    fn plus_adds() {
+        let a = IoSnapshot { seq_read_bytes: 1, write_bytes: 2, ..Default::default() };
+        let b = IoSnapshot { seq_read_bytes: 3, rand_read_ops: 4, ..Default::default() };
+        let c = a.plus(&b);
+        assert_eq!(c.seq_read_bytes, 4);
+        assert_eq!(c.write_bytes, 2);
+        assert_eq!(c.rand_read_ops, 4);
+    }
+
+    #[test]
+    fn gb_conversion() {
+        let s = IoSnapshot { seq_read_bytes: 2_000_000_000, ..Default::default() };
+        assert!((s.total_gb() - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,78 @@
+//! Social-network influence analysis: standard PageRank vs
+//! PageRank-Delta on a LiveJournal-like social graph.
+//!
+//! Demonstrates the workload distinction at the heart of the paper:
+//! standard PageRank keeps every vertex active (the hybrid engine stays
+//! in COP), while PageRank-Delta's frontier drains as ranks converge —
+//! so the engine starts in COP and switches to ROP for the long tail,
+//! doing a fraction of the I/O for the same ranking.
+//!
+//! ```sh
+//! cargo run --release --example social_influence
+//! ```
+
+use husgraph::algos::PageRankDelta;
+use husgraph::core::{Engine, RunConfig, UpdateModel};
+use husgraph::gen::Dataset;
+use husgraph::Graph;
+
+fn main() -> hus_storage::Result<()> {
+    let edges = Dataset::LiveJournal.generate_at_scale(500.0);
+    println!(
+        "LiveJournal-like social graph: {} users, {} follow edges",
+        edges.num_vertices,
+        edges.num_edges()
+    );
+
+    let dir = std::env::temp_dir().join(format!("husgraph-social-{}", std::process::id()));
+    let graph = Graph::build(&edges, &dir)?;
+    let n = graph.num_vertices();
+
+    // Standard PageRank: 5 iterations, everything always active.
+    let (ranks, pr_stats) = graph.pagerank(5)?;
+
+    // PageRank-Delta: run to convergence; frontier shrinks over time.
+    // A looser tolerance than the library default trades a little rank
+    // precision for a longer sparse tail (the regime ROP exists for).
+    let mut delta_program = PageRankDelta::new(n);
+    delta_program.tolerance = 0.05 / n as f32;
+    let config = RunConfig { max_iterations: 100, ..Default::default() };
+    let (delta_values, delta_stats) =
+        Engine::new(graph.inner(), &delta_program, config).run()?;
+
+    // Influence ranking agreement between the two.
+    let top_of = |scores: &[f32]| -> Vec<u32> {
+        let mut idx: Vec<u32> = (0..n).collect();
+        idx.sort_by(|&a, &b| scores[b as usize].total_cmp(&scores[a as usize]));
+        idx.truncate(10);
+        idx
+    };
+    let pr_top = top_of(&ranks);
+    let delta_ranks: Vec<f32> = delta_values.iter().map(|rd| rd.rank).collect();
+    let delta_top = top_of(&delta_ranks);
+    let overlap = pr_top.iter().filter(|v| delta_top.contains(v)).count();
+
+    println!("\ntop-10 influencers (standard PageRank): {pr_top:?}");
+    println!("top-10 influencers (PageRank-Delta):   {delta_top:?}");
+    println!("overlap: {overlap}/10");
+
+    println!("\n{:<22} {:>12} {:>12} {:>8} {:>8}", "run", "iterations", "I/O (MB)", "ROP", "COP");
+    for (name, stats) in [("PageRank", &pr_stats), ("PageRank-Delta", &delta_stats)] {
+        println!(
+            "{:<22} {:>12} {:>12.1} {:>8} {:>8}",
+            name,
+            stats.num_iterations(),
+            stats.total_io.total_bytes() as f64 / 1e6,
+            stats.iterations_with_model(UpdateModel::Rop),
+            stats.iterations_with_model(UpdateModel::Cop),
+        );
+    }
+    println!(
+        "\nPageRank-Delta's shrinking frontier lets the hybrid engine switch \
+         from COP to ROP once the predicted selective-load cost drops below a \
+         full streaming pass."
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

@@ -1,0 +1,337 @@
+//! `hus` — command-line front end to the HUS-Graph engine.
+//!
+//! ```text
+//! hus gen    <rmat|er|ws|ba> <vertices> <edges-or-param> <out.husg> [--seed N] [--weighted]
+//! hus build  <edges.{husg,txt}> <graph-dir> [--p N] [--external]
+//! hus stats  <graph-dir>
+//! hus bfs    <graph-dir> <source> [--mode hybrid|rop|cop]
+//! hus sssp   <graph-dir> <source> [--mode ...]
+//! hus wcc    <graph-dir> [--mode ...]
+//! hus pagerank <graph-dir> [--iters N] [--top K]
+//! hus diameter <graph-dir> [--sources N]
+//! hus convert <in.{husg,txt}> <out.{husg,txt}>
+//! hus probe  [dir]
+//! ```
+//!
+//! Algorithms print the run's iteration trace, I/O ledger, and modeled
+//! HDD time alongside a result summary.
+
+use hus_algos::{Bfs, PageRank, Sssp, Wcc};
+use hus_core::{
+    build, build_external, BinaryFileSource, BuildConfig, Engine, HusGraph, ListSource,
+    RunConfig, RunStats, UpdateMode, VertexProgram,
+};
+use hus_gen::EdgeList;
+use hus_storage::{CostModel, DeviceProfile, StorageDir};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  hus gen <rmat|er|ws|ba> <vertices> <edges> <out.husg> [--seed N] [--weighted]
+  hus build <edges.{husg,txt}> <graph-dir> [--p N] [--external]
+  hus stats <graph-dir>
+  hus bfs <graph-dir> <source> [--mode hybrid|rop|cop]
+  hus sssp <graph-dir> <source> [--mode hybrid|rop|cop]
+  hus wcc <graph-dir> [--mode hybrid|rop|cop]
+  hus pagerank <graph-dir> [--iters N] [--top K]
+  hus diameter <graph-dir> [--sources N]
+  hus convert <in.{husg,txt}> <out.{husg,txt}>
+  hus probe [dir]";
+
+type CliResult = Result<(), String>;
+
+fn run(args: &[String]) -> CliResult {
+    let mut it = args.iter();
+    let cmd = it.next().ok_or("missing command")?;
+    let rest: Vec<&String> = it.collect();
+    match cmd.as_str() {
+        "gen" => cmd_gen(&rest),
+        "build" => cmd_build(&rest),
+        "stats" => cmd_stats(&rest),
+        "bfs" => cmd_algo(&rest, Algo::Bfs),
+        "sssp" => cmd_algo(&rest, Algo::Sssp),
+        "wcc" => cmd_algo(&rest, Algo::Wcc),
+        "pagerank" => cmd_pagerank(&rest),
+        "diameter" => cmd_diameter(&rest),
+        "convert" => cmd_convert(&rest),
+        "probe" => cmd_probe(&rest),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn flag_value<'a>(rest: &'a [&String], name: &str) -> Option<&'a str> {
+    rest.iter().position(|a| *a == name).and_then(|i| rest.get(i + 1)).map(|s| s.as_str())
+}
+
+fn has_flag(rest: &[&String], name: &str) -> bool {
+    rest.iter().any(|a| *a == name)
+}
+
+fn positional<'a>(rest: &'a [&String], k: usize) -> Result<&'a str, String> {
+    rest.iter()
+        .filter(|a| !a.starts_with("--"))
+        .nth(k)
+        .map(|s| s.as_str())
+        .ok_or_else(|| format!("missing argument #{}", k + 1))
+}
+
+fn parse<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad {what}: {s:?}"))
+}
+
+fn cmd_gen(rest: &[&String]) -> CliResult {
+    let family = positional(rest, 0)?;
+    let n: u32 = parse(positional(rest, 1)?, "vertex count")?;
+    let m: usize = parse(positional(rest, 2)?, "edge count / parameter")?;
+    let out = positional(rest, 3)?;
+    let seed: u64 = flag_value(rest, "--seed").map(|s| parse(s, "seed")).transpose()?.unwrap_or(42);
+    let mut el: EdgeList = match family {
+        "rmat" => hus_gen::rmat(n, m, seed, Default::default()),
+        "er" => hus_gen::erdos_renyi(n, m, seed),
+        "ws" => hus_gen::watts_strogatz(n, (m as u32).max(1), 0.05, seed),
+        "ba" => hus_gen::barabasi_albert(n, (m as u32).max(1), seed),
+        other => return Err(format!("unknown family {other:?} (rmat|er|ws|ba)")),
+    };
+    if has_flag(rest, "--weighted") {
+        el = el.with_hash_weights(0.1, 10.0);
+    }
+    hus_gen::io::write_binary(&el, out).map_err(|e| e.to_string())?;
+    println!("wrote {} vertices / {} edges to {out}", el.num_vertices, el.num_edges());
+    Ok(())
+}
+
+fn cmd_build(rest: &[&String]) -> CliResult {
+    let input = positional(rest, 0)?;
+    let out = positional(rest, 1)?;
+    let mut config = BuildConfig::default();
+    if let Some(p) = flag_value(rest, "--p") {
+        config.p = Some(parse(p, "partition count")?);
+    }
+    let dir = StorageDir::create(out).map_err(|e| e.to_string())?;
+    let start = std::time::Instant::now();
+    let meta = if has_flag(rest, "--external") && input.ends_with(".husg") {
+        let source = BinaryFileSource::open(input).map_err(|e| e.to_string())?;
+        build_external(&source, &dir, &config).map_err(|e| e.to_string())?
+    } else {
+        let el = if input.ends_with(".husg") {
+            hus_gen::io::read_binary(input).map_err(|e| e.to_string())?
+        } else {
+            hus_gen::io::read_text(input).map_err(|e| e.to_string())?
+        };
+        if has_flag(rest, "--external") {
+            build_external(&ListSource(&el), &dir, &config).map_err(|e| e.to_string())?
+        } else {
+            build(&el, &dir, &config).map_err(|e| e.to_string())?
+        }
+    };
+    println!(
+        "built {out}: {} vertices, {} edges, P = {} intervals, {:.1} MB on disk, {:.2}s",
+        meta.num_vertices,
+        meta.num_edges,
+        meta.p,
+        dir.disk_footprint().map_err(|e| e.to_string())? as f64 / 1e6,
+        start.elapsed().as_secs_f64()
+    );
+    Ok(())
+}
+
+fn cmd_stats(rest: &[&String]) -> CliResult {
+    let dir = StorageDir::open(positional(rest, 0)?).map_err(|e| e.to_string())?;
+    let g = HusGraph::open(dir).map_err(|e| e.to_string())?;
+    let meta = g.meta();
+    println!("vertices:  {}", meta.num_vertices);
+    println!("edges:     {}", meta.num_edges);
+    println!("intervals: {}", meta.p);
+    println!("weighted:  {}", meta.weighted);
+    println!("record:    {} bytes/edge", meta.edge_record_bytes());
+    let max_deg = g.out_degrees().iter().max().copied().unwrap_or(0);
+    println!("max out-degree: {max_deg}");
+    println!(
+        "disk footprint: {:.1} MB",
+        g.dir().disk_footprint().map_err(|e| e.to_string())? as f64 / 1e6
+    );
+    for i in 0..g.p() {
+        let row: u64 = (0..g.p()).map(|j| meta.out_block(i, j).edge_count).sum();
+        println!("  interval {i}: vertices {:8}, out-edges {row}", meta.interval_len(i));
+    }
+    Ok(())
+}
+
+enum Algo {
+    Bfs,
+    Sssp,
+    Wcc,
+}
+
+fn parse_mode(rest: &[&String]) -> Result<UpdateMode, String> {
+    Ok(match flag_value(rest, "--mode").unwrap_or("hybrid") {
+        "hybrid" => UpdateMode::Hybrid,
+        "rop" => UpdateMode::ForceRop,
+        "cop" => UpdateMode::ForceCop,
+        other => return Err(format!("unknown mode {other:?}")),
+    })
+}
+
+fn open_graph(path: &str) -> Result<HusGraph, String> {
+    HusGraph::open(StorageDir::open(path).map_err(|e| e.to_string())?).map_err(|e| e.to_string())
+}
+
+fn report_run(stats: &RunStats) {
+    println!("\niter  model  active-vertices  active-edges");
+    for itn in &stats.iterations {
+        println!(
+            "{:4}  {:5}  {:15}  {:12}",
+            itn.iteration + 1,
+            itn.model.to_string(),
+            itn.active_vertices,
+            itn.active_edges
+        );
+    }
+    let model = CostModel::new(DeviceProfile::hdd());
+    println!(
+        "\n{} iterations, {:.1} MB I/O ({:.1} seq / {:.1} rand / {:.1} batched / {:.1} written)",
+        stats.num_iterations(),
+        stats.total_io.total_bytes() as f64 / 1e6,
+        stats.total_io.seq_read_bytes as f64 / 1e6,
+        stats.total_io.rand_read_bytes as f64 / 1e6,
+        stats.total_io.batched_read_bytes as f64 / 1e6,
+        stats.total_io.write_bytes as f64 / 1e6,
+    );
+    println!(
+        "wall {:.2}s, modeled 7200rpm-HDD {:.2}s",
+        stats.wall_seconds,
+        stats.modeled_seconds(&model)
+    );
+}
+
+fn run_program<Pr: VertexProgram>(
+    g: &HusGraph,
+    program: &Pr,
+    mode: UpdateMode,
+    max_iterations: usize,
+) -> Result<(Vec<Pr::Value>, RunStats), String> {
+    let config = RunConfig { mode, max_iterations, ..Default::default() };
+    Engine::new(g, program, config).run().map_err(|e| e.to_string())
+}
+
+fn cmd_algo(rest: &[&String], algo: Algo) -> CliResult {
+    let g = open_graph(positional(rest, 0)?)?;
+    let mode = parse_mode(rest)?;
+    match algo {
+        Algo::Bfs => {
+            let source: u32 = parse(positional(rest, 1)?, "source")?;
+            let (levels, stats) = run_program(&g, &Bfs::new(source), mode, 100_000)?;
+            let reached = levels.iter().filter(|&&l| l != u32::MAX).count();
+            println!("BFS from {source}: reached {reached}/{} vertices", levels.len());
+            report_run(&stats);
+        }
+        Algo::Sssp => {
+            let source: u32 = parse(positional(rest, 1)?, "source")?;
+            let (dist, stats) = run_program(&g, &Sssp::new(source), mode, 100_000)?;
+            let reached = dist.iter().filter(|d| d.is_finite()).count();
+            let max = dist.iter().filter(|d| d.is_finite()).fold(0.0f32, |a, &b| a.max(b));
+            println!(
+                "SSSP from {source}: reached {reached}/{} vertices, max distance {max:.2}",
+                dist.len()
+            );
+            report_run(&stats);
+        }
+        Algo::Wcc => {
+            let (labels, stats) = run_program(&g, &Wcc, mode, 100_000)?;
+            let mut unique = labels.clone();
+            unique.sort_unstable();
+            unique.dedup();
+            println!("WCC: {} components over {} vertices", unique.len(), labels.len());
+            report_run(&stats);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_pagerank(rest: &[&String]) -> CliResult {
+    let g = open_graph(positional(rest, 0)?)?;
+    let iters: usize =
+        flag_value(rest, "--iters").map(|s| parse(s, "iterations")).transpose()?.unwrap_or(5);
+    let top: usize = flag_value(rest, "--top").map(|s| parse(s, "top")).transpose()?.unwrap_or(10);
+    let n = g.meta().num_vertices;
+    let (ranks, stats) = run_program(&g, &PageRank::new(n), UpdateMode::Hybrid, iters)?;
+    let mut order: Vec<u32> = (0..n).collect();
+    order.sort_by(|&a, &b| ranks[b as usize].total_cmp(&ranks[a as usize]));
+    println!("top {top} vertices by PageRank ({iters} iterations):");
+    for &v in order.iter().take(top) {
+        println!("  {v:10}  {:.8}", ranks[v as usize]);
+    }
+    report_run(&stats);
+    Ok(())
+}
+
+fn cmd_diameter(rest: &[&String]) -> CliResult {
+    let g = open_graph(positional(rest, 0)?)?;
+    let sources: usize =
+        flag_value(rest, "--sources").map(|s| parse(s, "sources")).transpose()?.unwrap_or(16);
+    let nf = hus_algos::diameter::estimate(&g, sources, 42, RunConfig::default())
+        .map_err(|e| e.to_string())?;
+    println!(
+        "neighborhood function from {} sampled sources (graph: {} vertices):",
+        nf.sources,
+        g.meta().num_vertices
+    );
+    for (h, &c) in nf.counts.iter().enumerate() {
+        println!("  depth {h:4}: {c:12} (source, vertex) pairs reached");
+    }
+    println!("effective diameter (90%): {}", nf.effective_diameter(0.9));
+    println!("max sampled depth:        {}", nf.max_depth());
+    Ok(())
+}
+
+fn cmd_convert(rest: &[&String]) -> CliResult {
+    let input = positional(rest, 0)?;
+    let output = positional(rest, 1)?;
+    let el = if input.ends_with(".husg") {
+        hus_gen::io::read_binary(input).map_err(|e| e.to_string())?
+    } else {
+        hus_gen::io::read_text(input).map_err(|e| e.to_string())?
+    };
+    if output.ends_with(".husg") {
+        hus_gen::io::write_binary(&el, output).map_err(|e| e.to_string())?;
+    } else {
+        hus_gen::io::write_text(&el, output).map_err(|e| e.to_string())?;
+    }
+    println!(
+        "converted {} -> {} ({} vertices, {} edges{})",
+        input,
+        output,
+        el.num_vertices,
+        el.num_edges(),
+        if el.is_weighted() { ", weighted" } else { "" }
+    );
+    Ok(())
+}
+
+fn cmd_probe(rest: &[&String]) -> CliResult {
+    let dir = rest
+        .first()
+        .map(|s| std::path::PathBuf::from(s.as_str()))
+        .unwrap_or_else(std::env::temp_dir);
+    let report = hus_storage::probe::measure(&dir, &hus_storage::probe::ProbeOptions::default())
+        .map_err(|e| e.to_string())?;
+    println!("throughput probe in {}:", dir.display());
+    println!("  sequential read: {:8.1} MB/s", report.read.sequential_bps / 1e6);
+    println!("  random read:     {:8.1} MB/s", report.read.random_bps / 1e6);
+    println!("  batched (est.):  {:8.1} MB/s", report.read.batched_bps / 1e6);
+    println!("  write:           {:8.1} MB/s", report.write_bps / 1e6);
+    println!("(page cache inflates these on most hosts; see hus-storage::probe docs)");
+    Ok(())
+}

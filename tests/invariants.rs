@@ -1,0 +1,159 @@
+//! Algorithm-level invariants checked on engine output (not just
+//! equality with references): structural facts that must hold for *any*
+//! correct BFS/SSSP/WCC/PageRank, probed on random graphs.
+
+use husgraph::algos::{Bfs, PageRank, Sssp, Wcc, UNREACHED};
+use husgraph::core::{BuildConfig, Engine, HusGraph, RunConfig, UpdateMode};
+use husgraph::gen::{Csr, EdgeList};
+use husgraph::storage::StorageDir;
+use proptest::prelude::*;
+
+fn arb_graph(max_v: u32, max_e: usize) -> impl Strategy<Value = EdgeList> {
+    (3..max_v).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n, 0..n), 1..max_e).prop_map(move |pairs| {
+            let mut el = EdgeList::from_pairs(pairs);
+            el.num_vertices = n;
+            el
+        })
+    })
+}
+
+fn build(el: &EdgeList, p: u32) -> (tempfile::TempDir, HusGraph) {
+    let tmp = tempfile::tempdir().unwrap();
+    let dir = StorageDir::create(tmp.path().join("g")).unwrap();
+    let g = HusGraph::build_into(el, &dir, &BuildConfig::with_p(p)).unwrap();
+    (tmp, g)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// BFS levels satisfy the edge relaxation property:
+    /// `level[dst] <= level[src] + 1` for every edge with reached src,
+    /// and every reached non-source vertex has an in-neighbor exactly
+    /// one level shallower (a valid BFS tree exists).
+    #[test]
+    fn bfs_levels_are_tight(el in arb_graph(60, 300), p in 1u32..5) {
+        let (_t, g) = build(&el, p);
+        let (levels, _) =
+            Engine::new(&g, &Bfs::new(0), RunConfig::default()).run().unwrap();
+        for e in &el.edges {
+            let (ls, ld) = (levels[e.src as usize], levels[e.dst as usize]);
+            if ls != UNREACHED {
+                prop_assert!(ld != UNREACHED && ld <= ls + 1, "edge {e:?}: {ls} -> {ld}");
+            }
+        }
+        let csr = Csr::from_edge_list(&el);
+        for v in 0..el.num_vertices {
+            let l = levels[v as usize];
+            if v == 0 || l == UNREACHED {
+                continue;
+            }
+            let has_parent = csr
+                .in_neighbors(v)
+                .iter()
+                .any(|&u| levels[u as usize] != UNREACHED && levels[u as usize] + 1 == l);
+            prop_assert!(has_parent, "vertex {v} at level {l} has no parent");
+        }
+    }
+
+    /// SSSP distances satisfy the triangle inequality over every edge and
+    /// are realized by some in-edge (each reached vertex's distance is
+    /// exactly an in-neighbor's distance plus the edge weight).
+    #[test]
+    fn sssp_distances_are_tight(el in arb_graph(50, 250), p in 1u32..5) {
+        let el = el.with_hash_weights(0.5, 2.0);
+        let (_t, g) = build(&el, p);
+        let (dist, _) =
+            Engine::new(&g, &Sssp::new(0), RunConfig::default()).run().unwrap();
+        let csr = Csr::from_edge_list(&el);
+        for v in 0..el.num_vertices {
+            let ws = csr.out_edge_weights(v);
+            for (k, &w) in csr.out_neighbors(v).iter().enumerate() {
+                let lhs = dist[w as usize];
+                let rhs = dist[v as usize] + ws[k];
+                prop_assert!(
+                    lhs <= rhs + 1e-4,
+                    "edge {v}->{w}: {lhs} > {} + {}",
+                    dist[v as usize],
+                    ws[k]
+                );
+            }
+        }
+        for v in 1..el.num_vertices {
+            let d = dist[v as usize];
+            if !d.is_finite() {
+                continue;
+            }
+            let ws = csr.in_edge_weights(v);
+            let realized = csr.in_neighbors(v).iter().enumerate().any(|(k, &u)| {
+                (dist[u as usize] + ws[k] - d).abs() <= 1e-4 * d.max(1.0)
+            });
+            prop_assert!(realized, "vertex {v} distance {d} realized by no in-edge");
+        }
+    }
+
+    /// WCC labels on a symmetrized graph: endpoints of every edge share a
+    /// label, every label is the minimum id of its member set, and labels
+    /// are themselves members of their own component.
+    #[test]
+    fn wcc_labels_are_consistent(el in arb_graph(50, 200), p in 1u32..5) {
+        let el = el.symmetrize();
+        let (_t, g) = build(&el, p);
+        let (labels, _) = Engine::new(&g, &Wcc, RunConfig::default()).run().unwrap();
+        for e in &el.edges {
+            prop_assert_eq!(labels[e.src as usize], labels[e.dst as usize]);
+        }
+        for (v, &l) in labels.iter().enumerate() {
+            prop_assert!(l <= v as u32, "label exceeds member id");
+            prop_assert_eq!(labels[l as usize], l, "label {} is not its own root", l);
+        }
+    }
+
+    /// PageRank: every rank is at least the teleport term, total rank is
+    /// bounded by 1, and rank mass is conserved exactly on graphs where
+    /// every vertex has an out-edge.
+    #[test]
+    fn pagerank_mass_properties(el in arb_graph(40, 300), p in 1u32..4) {
+        // Ensure no dangling vertices: add a cycle over all vertices.
+        let n = el.num_vertices;
+        let mut el = el;
+        for v in 0..n {
+            el.edges.push(husgraph::gen::Edge::new(v, (v + 1) % n));
+        }
+        let el = el.dedup();
+        let (_t, g) = build(&el, p);
+        let pr = PageRank::new(n);
+        let config = RunConfig { max_iterations: 5, ..Default::default() };
+        let (ranks, _) = Engine::new(&g, &pr, config).run().unwrap();
+        let base = 0.15 / n as f32;
+        let total: f32 = ranks.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-3, "mass {total}");
+        for (v, &r) in ranks.iter().enumerate() {
+            prop_assert!(r >= base * 0.999, "vertex {v} rank {r} below teleport {base}");
+        }
+    }
+
+    /// The engine's per-iteration statistics are internally consistent:
+    /// iteration indices are dense, frontier counts match what the
+    /// algorithm reports, and the per-iteration I/O deltas sum to the
+    /// run's total.
+    #[test]
+    fn run_stats_are_internally_consistent(el in arb_graph(60, 250), p in 1u32..5) {
+        let (_t, g) = build(&el, p);
+        let (_, stats) =
+            Engine::new(&g, &Bfs::new(0), RunConfig::default()).run().unwrap();
+        for (k, it) in stats.iterations.iter().enumerate() {
+            prop_assert_eq!(it.iteration, k);
+            prop_assert!(it.active_vertices > 0, "empty frontier must terminate");
+        }
+        let summed = stats
+            .iterations
+            .iter()
+            .fold(husgraph::storage::IoSnapshot::default(), |acc, it| acc.plus(&it.io));
+        // Total includes vertex-store setup, so it dominates the sum.
+        prop_assert!(summed.total_bytes() <= stats.total_io.total_bytes());
+        let edges: u64 = stats.iterations.iter().map(|it| it.edges_processed).sum();
+        prop_assert_eq!(edges, stats.edges_processed);
+    }
+}

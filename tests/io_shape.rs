@@ -1,0 +1,143 @@
+//! Cross-system I/O-shape assertions — the qualitative claims behind the
+//! paper's Figures 7 and 9, checked as invariants at test scale:
+//!
+//! * HUS-Graph moves less data than GridGraph, which moves less than
+//!   GraphChi, on frontier-driven algorithms;
+//! * GraphChi's writes are of the same order as its reads (edge-value
+//!   write-back);
+//! * forced ROP reads the fewest bytes, forced COP the most, and the
+//!   hybrid sits between them;
+//! * COP performs no random reads at all.
+
+use husgraph::algos::{Bfs, PageRank};
+use husgraph::baselines::{BaselineConfig, GraphChiEngine, GridGraphEngine, GridStore, PswStore};
+use husgraph::core::{BuildConfig, Engine, HusGraph, RunConfig, UpdateMode};
+use husgraph::gen::EdgeList;
+use husgraph::storage::StorageDir;
+
+fn graph() -> EdgeList {
+    husgraph::gen::rmat(600, 6000, 77, Default::default())
+}
+
+struct Arena {
+    _tmp: tempfile::TempDir,
+    hus: HusGraph,
+    grid: GridStore,
+    psw: PswStore,
+}
+
+fn build_all(el: &EdgeList, p: u32) -> Arena {
+    let tmp = tempfile::tempdir().unwrap();
+    let hus = HusGraph::build_into(
+        el,
+        &StorageDir::create(tmp.path().join("hus")).unwrap(),
+        &BuildConfig::with_p(p),
+    )
+    .unwrap();
+    let grid =
+        GridStore::build_into(el, &StorageDir::create(tmp.path().join("grid")).unwrap(), p)
+            .unwrap();
+    let psw = PswStore::build_into(el, &StorageDir::create(tmp.path().join("psw")).unwrap(), p)
+        .unwrap();
+    hus.dir().tracker().reset();
+    grid.dir().tracker().reset();
+    psw.dir().tracker().reset();
+    Arena { _tmp: tmp, hus, grid, psw }
+}
+
+#[test]
+fn bfs_io_ordering_hus_grid_graphchi() {
+    let el = graph();
+    let arena = build_all(&el, 4);
+    let (_, hus) =
+        Engine::new(&arena.hus, &Bfs::new(0), RunConfig::default()).run().unwrap();
+    arena.grid.dir().tracker().reset();
+    let (_, grid) =
+        GridGraphEngine::new(&arena.grid, &Bfs::new(0), BaselineConfig::default()).run().unwrap();
+    arena.psw.dir().tracker().reset();
+    let (_, psw) =
+        GraphChiEngine::new(&arena.psw, &Bfs::new(0), BaselineConfig::default()).run().unwrap();
+    let (h, g, c) =
+        (hus.total_io.total_bytes(), grid.total_io.total_bytes(), psw.total_io.total_bytes());
+    assert!(h < g, "HUS {h} must move less than GridGraph {g}");
+    assert!(g < c, "GridGraph {g} must move less than GraphChi {c}");
+}
+
+#[test]
+fn graphchi_write_volume_is_comparable_to_reads() {
+    let el = graph();
+    let arena = build_all(&el, 3);
+    let cfg = BaselineConfig { max_iterations: 5, ..Default::default() };
+    let (_, stats) =
+        GraphChiEngine::new(&arena.psw, &PageRank::new(el.num_vertices), cfg).run().unwrap();
+    let io = stats.total_io;
+    assert!(
+        io.write_bytes * 3 > io.read_bytes(),
+        "edge-value write-back should be the same order as reads: wrote {} read {}",
+        io.write_bytes,
+        io.read_bytes()
+    );
+}
+
+#[test]
+fn forced_modes_bracket_the_hybrid_io() {
+    let el = graph();
+    let arena = build_all(&el, 4);
+    let run = |mode| {
+        arena.hus.dir().tracker().reset();
+        let (_, stats) =
+            Engine::new(&arena.hus, &Bfs::new(0), RunConfig::with_mode(mode)).run().unwrap();
+        stats.total_io.total_bytes()
+    };
+    let rop = run(UpdateMode::ForceRop);
+    let cop = run(UpdateMode::ForceCop);
+    let hybrid = run(UpdateMode::Hybrid);
+    assert!(rop < cop, "selective access must move less data: rop {rop} cop {cop}");
+    assert!(hybrid <= cop, "hybrid {hybrid} must not exceed cop {cop}");
+    // The hybrid may slightly exceed pure ROP (it pays COP's streaming in
+    // dense iterations in exchange for time), but must stay well under
+    // 2x.
+    assert!(hybrid < rop * 2, "hybrid {hybrid} vs rop {rop}");
+}
+
+#[test]
+fn cop_is_purely_sequential_rop_mixes() {
+    let el = graph();
+    let arena = build_all(&el, 4);
+    arena.hus.dir().tracker().reset();
+    let (_, cop) =
+        Engine::new(&arena.hus, &Bfs::new(0), RunConfig::with_mode(UpdateMode::ForceCop))
+            .run()
+            .unwrap();
+    assert_eq!(cop.total_io.rand_read_bytes, 0);
+    assert_eq!(cop.total_io.batched_read_bytes, 0);
+    assert!(cop.total_io.seq_read_bytes > 0);
+    arena.hus.dir().tracker().reset();
+    let (_, rop) =
+        Engine::new(&arena.hus, &Bfs::new(0), RunConfig::with_mode(UpdateMode::ForceRop))
+            .run()
+            .unwrap();
+    assert!(
+        rop.total_io.rand_read_bytes + rop.total_io.batched_read_bytes > 0,
+        "ROP must perform selective reads"
+    );
+}
+
+#[test]
+fn pagerank_io_is_iteration_proportional_for_full_io_systems() {
+    // Full-I/O systems move ~the same bytes every PageRank iteration.
+    let el = graph();
+    let arena = build_all(&el, 3);
+    let cfg = BaselineConfig { max_iterations: 4, ..Default::default() };
+    let (_, stats) =
+        GridGraphEngine::new(&arena.grid, &PageRank::new(el.num_vertices), cfg).run().unwrap();
+    let per_iter: Vec<u64> =
+        stats.iterations.iter().map(|it| it.io.total_bytes()).collect();
+    let first = per_iter[0];
+    for (i, &b) in per_iter.iter().enumerate() {
+        assert!(
+            b.abs_diff(first) * 20 < first,
+            "iteration {i} moved {b}, expected ~{first}"
+        );
+    }
+}
