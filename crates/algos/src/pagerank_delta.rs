@@ -110,11 +110,7 @@ mod tests {
         let (got, stats) = run(&el, UpdateMode::Hybrid, 3);
         assert!(stats.converged, "delta PR should drain its frontier");
         for (v, (g, w)) in got.iter().zip(&want).enumerate() {
-            assert!(
-                (g.rank - w).abs() <= 0.02 * w.max(1e-6),
-                "vertex {v}: {} vs {w}",
-                g.rank
-            );
+            assert!((g.rank - w).abs() <= 0.02 * w.max(1e-6), "vertex {v}: {} vs {w}", g.rank);
         }
     }
 

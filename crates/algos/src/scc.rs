@@ -37,11 +37,7 @@ pub fn scc_of_pivot(
 ) -> Result<Vec<bool>> {
     let (fwd, _) = Engine::new(graph, &Bfs::new(pivot), config.clone()).run()?;
     let (bwd, _) = Engine::new(transposed, &Bfs::new(pivot), config).run()?;
-    Ok(fwd
-        .iter()
-        .zip(&bwd)
-        .map(|(&f, &b)| f != u32::MAX && b != u32::MAX)
-        .collect())
+    Ok(fwd.iter().zip(&bwd).map(|(&f, &b)| f != u32::MAX && b != u32::MAX).collect())
 }
 
 /// In-memory reference: Tarjan's SCC algorithm (iterative), returning a
@@ -88,8 +84,7 @@ pub fn tarjan_scc(csr: &hus_gen::Csr) -> Vec<u32> {
             } else {
                 call.pop();
                 if let Some(&(parent, _)) = call.last() {
-                    lowlink[parent as usize] =
-                        lowlink[parent as usize].min(lowlink[v as usize]);
+                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
                 }
                 if lowlink[v as usize] == index[v as usize] {
                     // v roots an SCC: pop it off the stack.

@@ -95,8 +95,8 @@ mod tests {
 
     #[test]
     fn weighted_multiply_matches_dense_reference() {
-        let el = hus_gen::rmat(80, 500, 13, hus_gen::RmatConfig::default())
-            .with_hash_weights(0.5, 2.0);
+        let el =
+            hus_gen::rmat(80, 500, 13, hus_gen::RmatConfig::default()).with_hash_weights(0.5, 2.0);
         let x: Vec<f32> = (0..80).map(|v| (v as f32 * 0.37).sin()).collect();
         let want = dense_reference(&el, &x);
         for mode in [UpdateMode::ForceRop, UpdateMode::ForceCop] {

@@ -25,6 +25,7 @@ use hus_core::program::EdgeCtx;
 use hus_core::stats::{IterationStats, RunStats};
 use hus_core::VertexProgram;
 use hus_gen::EdgeList;
+use hus_obs::span;
 use hus_storage::file::TrackedFile;
 use hus_storage::{pod, Access, ReadBackend, Result, StorageDir, StorageError};
 use serde::{Deserialize, Serialize};
@@ -141,9 +142,8 @@ impl PswStore {
     pub fn open(dir: StorageDir) -> Result<Self> {
         let meta: PswMeta = serde_json::from_str(&dir.get_meta(PSW_META)?)
             .map_err(|e| StorageError::Corrupt(format!("bad psw meta: {e}")))?;
-        let shards = (0..meta.p as usize)
-            .map(|k| dir.reader(&shard_file(k)))
-            .collect::<Result<Vec<_>>>()?;
+        let shards =
+            (0..meta.p as usize).map(|k| dir.reader(&shard_file(k))).collect::<Result<Vec<_>>>()?;
         let deg_bytes = std::fs::read(dir.path("psw_degrees.bin"))
             .map_err(|e| StorageError::io_at(dir.path("psw_degrees.bin"), e))?;
         let out_degrees = pod::to_vec::<u32>(&deg_bytes)?;
@@ -194,8 +194,7 @@ impl<V: pod::Pod> ShardValues<V> {
             n,
             Access::Sequential,
         )?;
-        let valid =
-            hus_storage::read_pod_vec::<u8, _>(&self.valid, lo, n, Access::Sequential)?;
+        let valid = hus_storage::read_pod_vec::<u8, _>(&self.valid, lo, n, Access::Sequential)?;
         Ok((vals, valid))
     }
 
@@ -225,6 +224,7 @@ impl<'a, Pr: VertexProgram> GraphChiEngine<'a, Pr> {
         let v = meta.num_vertices;
         let p = meta.p as usize;
         let m = meta.record_bytes() as usize;
+        hus_obs::init_from_env();
         let tracker = self.store.dir.tracker();
         let run_io_start = tracker.snapshot();
         let run_start = Instant::now();
@@ -266,12 +266,19 @@ impl<'a, Pr: VertexProgram> GraphChiEngine<'a, Pr> {
             let mut edges_this_iter = 0u64;
 
             for j in 0..p {
-                edges_this_iter +=
-                    self.execute_interval(j, m, &shard_values, &vertex_vals, &active, &next_active)?;
+                let _s = span!("psw.interval", interval = j);
+                edges_this_iter += self.execute_interval(
+                    j,
+                    m,
+                    &shard_values,
+                    &vertex_vals,
+                    &active,
+                    &next_active,
+                )?;
             }
 
             total_edges += edges_this_iter;
-            iterations.push(IterationStats {
+            let it = IterationStats {
                 iteration,
                 // Vertex-centric gather — the pull side of the paper's
                 // classification (§2.2).
@@ -286,19 +293,20 @@ impl<'a, Pr: VertexProgram> GraphChiEngine<'a, Pr> {
                 edges_processed: edges_this_iter,
                 io: tracker.snapshot().since(&io_start),
                 wall_seconds: t_start.elapsed().as_secs_f64(),
-            });
+                phases: hus_obs::finish_iteration("graphchi", iteration),
+            };
+            if let Some(sink) = hus_obs::sink::trace() {
+                sink.emit_iteration("graphchi", &it);
+            }
+            iterations.push(it);
             active = next_active;
             if always && iteration + 1 == self.config.max_iterations {
                 break;
             }
         }
 
-        let values: Vec<Pr::Value> = hus_storage::read_pod_vec(
-            &vertex_vals,
-            0,
-            v as usize,
-            Access::Sequential,
-        )?;
+        let values: Vec<Pr::Value> =
+            hus_storage::read_pod_vec(&vertex_vals, 0, v as usize, Access::Sequential)?;
         let stats = RunStats {
             iterations,
             total_io: tracker.snapshot().since(&run_io_start),
@@ -307,6 +315,9 @@ impl<'a, Pr: VertexProgram> GraphChiEngine<'a, Pr> {
             converged,
             threads: self.config.threads,
         };
+        if let Some(sink) = hus_obs::sink::trace() {
+            sink.emit_run("graphchi", &stats);
+        }
         Ok((values, stats))
     }
 
@@ -366,8 +377,7 @@ impl<'a, Pr: VertexProgram> GraphChiEngine<'a, Pr> {
         // shard j) is scattered to in place.
         let own_lo = meta.window_offsets[j][j] as usize;
         let own_hi = meta.window_offsets[j][j + 1] as usize;
-        let own_offsets =
-            src_offsets_of(&mem_edges[own_lo * m..own_hi * m], m, base, len);
+        let own_offsets = src_offsets_of(&mem_edges[own_lo * m..own_hi * m], m, base, len);
 
         // Vertex values of the execution interval.
         let mut vals: Vec<Pr::Value> = hus_storage::read_pod_vec(
@@ -526,9 +536,7 @@ mod tests {
         let want = reference::bfs_levels(&csr, 0);
         let (_t, store) = psw(&el, 4);
         let (got, stats) =
-            GraphChiEngine::new(&store, &Bfs::new(0), BaselineConfig::default())
-                .run()
-                .unwrap();
+            GraphChiEngine::new(&store, &Bfs::new(0), BaselineConfig::default()).run().unwrap();
         assert!(stats.converged);
         assert_eq!(got, want);
     }
@@ -539,25 +547,22 @@ mod tests {
         let csr = Csr::from_edge_list(&el);
         let want = reference::wcc_labels(&csr);
         let (_t, store) = psw(&el, 3);
-        let (got, _) =
-            GraphChiEngine::new(&store, &Wcc, BaselineConfig::default()).run().unwrap();
+        let (got, _) = GraphChiEngine::new(&store, &Wcc, BaselineConfig::default()).run().unwrap();
         assert_eq!(got, want);
     }
 
     #[test]
     fn sssp_reaches_dijkstra_distances() {
-        let el = hus_gen::rmat(150, 1100, 5, hus_gen::RmatConfig::default())
-            .with_hash_weights(0.1, 4.0);
+        let el =
+            hus_gen::rmat(150, 1100, 5, hus_gen::RmatConfig::default()).with_hash_weights(0.1, 4.0);
         let csr = Csr::from_edge_list(&el);
         let want = reference::sssp_distances(&csr, 0);
         let (_t, store) = psw(&el, 3);
         let (got, _) =
-            GraphChiEngine::new(&store, &Sssp::new(0), BaselineConfig::default())
-                .run()
-                .unwrap();
+            GraphChiEngine::new(&store, &Sssp::new(0), BaselineConfig::default()).run().unwrap();
         for (v, (g, w)) in got.iter().zip(&want).enumerate() {
-            let ok = (g.is_infinite() && w.is_infinite())
-                || (g - w).abs() <= 1e-4 * w.abs().max(1.0);
+            let ok =
+                (g.is_infinite() && w.is_infinite()) || (g - w).abs() <= 1e-4 * w.abs().max(1.0);
             assert!(ok, "v{v}: {g} vs {w}");
         }
     }
@@ -569,8 +574,7 @@ mod tests {
         let want = reference::pagerank(&csr, 0.85, 60);
         let (_t, store) = psw(&el, 3);
         let cfg = BaselineConfig { max_iterations: 60, ..Default::default() };
-        let (got, _) =
-            GraphChiEngine::new(&store, &PageRank::new(100), cfg).run().unwrap();
+        let (got, _) = GraphChiEngine::new(&store, &PageRank::new(100), cfg).run().unwrap();
         for (v, (g, w)) in got.iter().zip(&want).enumerate() {
             assert!((g - w).abs() <= 0.02 * w.max(1e-6), "v{v}: {g} vs {w}");
         }
@@ -583,8 +587,7 @@ mod tests {
         let el = hus_gen::rmat(150, 1200, 7, hus_gen::RmatConfig::default());
         let (_t, store) = psw(&el, 3);
         let cfg = BaselineConfig { max_iterations: 3, ..Default::default() };
-        let (_vals, stats) =
-            GraphChiEngine::new(&store, &PageRank::new(150), cfg).run().unwrap();
+        let (_vals, stats) = GraphChiEngine::new(&store, &PageRank::new(150), cfg).run().unwrap();
         let e = el.num_edges() as u64;
         for it in &stats.iterations {
             // mem shard + windows ≈ 2E values of 4 bytes plus validity.
@@ -609,9 +612,7 @@ mod tests {
         let (_, chi_stats) =
             GraphChiEngine::new(&psw_store, &PageRank::new(200), cfg.clone()).run().unwrap();
         let (_, grid_stats) =
-            crate::gridgraph::GridGraphEngine::new(&grid, &PageRank::new(200), cfg)
-                .run()
-                .unwrap();
+            crate::gridgraph::GridGraphEngine::new(&grid, &PageRank::new(200), cfg).run().unwrap();
         assert!(
             chi_stats.total_io.total_bytes() > grid_stats.total_io.total_bytes(),
             "GraphChi {} vs GridGraph {}",

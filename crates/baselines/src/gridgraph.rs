@@ -21,6 +21,7 @@ use hus_core::stats::{IterationStats, RunStats};
 use hus_core::vertex_store::VertexStore;
 use hus_core::VertexProgram;
 use hus_gen::EdgeList;
+use hus_obs::span;
 use hus_storage::{Access, ReadBackend, Result, StorageDir, StorageError};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -172,15 +173,14 @@ impl<'a, Pr: VertexProgram> GridGraphEngine<'a, Pr> {
         let v = meta.num_vertices;
         let p = meta.p as usize;
         let m = meta.record_bytes() as usize;
+        hus_obs::init_from_env();
         let tracker = self.store.dir.tracker();
         let run_io_start = tracker.snapshot();
         let run_start = Instant::now();
 
         let scratch = self.store.dir.subdir(&scratch_name(&self.config, "grid"))?;
         let mut values: VertexStore<Pr::Value> =
-            VertexStore::create(&scratch, "vals", &meta.interval_starts, |x| {
-                self.program.init(x)
-            })?;
+            VertexStore::create(&scratch, "vals", &meta.interval_starts, |x| self.program.init(x))?;
 
         let always = self.program.always_active();
         let mut active = if always {
@@ -199,8 +199,7 @@ impl<'a, Pr: VertexProgram> GridGraphEngine<'a, Pr> {
                 converged = true;
                 break;
             }
-            let active_edges =
-                active.active_degree_sum(0, v, &self.store.out_degrees);
+            let active_edges = active.active_degree_sum(0, v, &self.store.out_degrees);
             let io_start = tracker.snapshot();
             let t_start = Instant::now();
             let next_active = if always { ActiveSet::all(v) } else { ActiveSet::new(v) };
@@ -216,6 +215,7 @@ impl<'a, Pr: VertexProgram> GridGraphEngine<'a, Pr> {
 
             // Destination-major streaming-apply pass.
             for j in 0..p {
+                let _s = span!("stream.column", interval = j);
                 let dst_base = meta.interval_starts[j];
                 // D_j: destination chunk, loaded once per column,
                 // initialized from reset(S_j).
@@ -261,10 +261,7 @@ impl<'a, Pr: VertexProgram> GridGraphEngine<'a, Pr> {
                         };
                         let src_val = &s_i[(src - src_base) as usize];
                         if let Some(msg) = self.program.scatter(src_val, &ctx) {
-                            if self
-                                .program
-                                .combine(&mut d_j[(dst - dst_base) as usize], msg)
-                            {
+                            if self.program.combine(&mut d_j[(dst - dst_base) as usize], msg) {
                                 next_active.set(dst);
                             }
                         }
@@ -272,12 +269,15 @@ impl<'a, Pr: VertexProgram> GridGraphEngine<'a, Pr> {
                 }
                 values.write_next(j, &d_j)?;
             }
-            for j in 0..p {
-                values.commit(j);
+            {
+                let _s = span!("sync");
+                for j in 0..p {
+                    values.commit(j);
+                }
             }
 
             total_edges += edges_this_iter;
-            iterations.push(IterationStats {
+            let it = IterationStats {
                 iteration,
                 // GridGraph is a pure push system (paper §2.2).
                 model: UpdateModel::Rop,
@@ -291,7 +291,12 @@ impl<'a, Pr: VertexProgram> GridGraphEngine<'a, Pr> {
                 edges_processed: edges_this_iter,
                 io: tracker.snapshot().since(&io_start),
                 wall_seconds: t_start.elapsed().as_secs_f64(),
-            });
+                phases: hus_obs::finish_iteration("gridgraph", iteration),
+            };
+            if let Some(sink) = hus_obs::sink::trace() {
+                sink.emit_iteration("gridgraph", &it);
+            }
+            iterations.push(it);
             active = next_active;
             if always && iteration + 1 == self.config.max_iterations {
                 break;
@@ -306,6 +311,9 @@ impl<'a, Pr: VertexProgram> GridGraphEngine<'a, Pr> {
             converged,
             threads: self.config.threads,
         };
+        if let Some(sink) = hus_obs::sink::trace() {
+            sink.emit_run("gridgraph", &stats);
+        }
         Ok((values.read_all_current()?, stats))
     }
 }
@@ -329,10 +337,7 @@ mod tests {
         let (_t, store) = grid(&el, 4);
         let total: u64 = store.meta.block_counts.iter().sum();
         assert_eq!(total, el.num_edges() as u64);
-        assert_eq!(
-            store.dir.file_len(GRID_EDGES).unwrap(),
-            total * store.meta.record_bytes()
-        );
+        assert_eq!(store.dir.file_len(GRID_EDGES).unwrap(), total * store.meta.record_bytes());
         // Offsets are monotone in storage order.
         let mut prev = 0;
         for j in 0..4 {
@@ -351,9 +356,7 @@ mod tests {
         let want = reference::bfs_levels(&csr, 0);
         let (_t, store) = grid(&el, 4);
         let (got, stats) =
-            GridGraphEngine::new(&store, &Bfs::new(0), BaselineConfig::default())
-                .run()
-                .unwrap();
+            GridGraphEngine::new(&store, &Bfs::new(0), BaselineConfig::default()).run().unwrap();
         assert!(stats.converged);
         assert_eq!(got, want);
     }
@@ -364,8 +367,7 @@ mod tests {
         let csr = Csr::from_edge_list(&el);
         let want = reference::wcc_labels(&csr);
         let (_t, store) = grid(&el, 3);
-        let (got, _) =
-            GridGraphEngine::new(&store, &Wcc, BaselineConfig::default()).run().unwrap();
+        let (got, _) = GridGraphEngine::new(&store, &Wcc, BaselineConfig::default()).run().unwrap();
         assert_eq!(got, want);
     }
 
@@ -376,8 +378,7 @@ mod tests {
         let want = reference::pagerank(&csr, 0.85, 5);
         let (_t, store) = grid(&el, 3);
         let cfg = BaselineConfig { max_iterations: 5, ..Default::default() };
-        let (got, _) =
-            GridGraphEngine::new(&store, &PageRank::new(120), cfg).run().unwrap();
+        let (got, _) = GridGraphEngine::new(&store, &PageRank::new(120), cfg).run().unwrap();
         for (v, (g, w)) in got.iter().zip(&want).enumerate() {
             assert!((g - w).abs() <= 1e-3 * w.max(1e-6), "v{v}: {g} vs {w}");
         }
@@ -391,9 +392,7 @@ mod tests {
         let (_t, store) = grid(&el, 4);
         store.dir().tracker().reset();
         let (_vals, stats) =
-            GridGraphEngine::new(&store, &Bfs::new(99), BaselineConfig::default())
-                .run()
-                .unwrap();
+            GridGraphEngine::new(&store, &Bfs::new(99), BaselineConfig::default()).run().unwrap();
         // Vertex 99 has no out-edges: one iteration, zero edges streamed
         // except blocks of its (active) interval.
         let streamed = stats.edges_processed;
@@ -407,9 +406,7 @@ mod tests {
         let el = hus_gen::rmat(200, 2000, 6, hus_gen::RmatConfig::default());
         let (_t, store) = grid(&el, 2);
         let (_vals, stats) =
-            GridGraphEngine::new(&store, &Bfs::new(0), BaselineConfig::default())
-                .run()
-                .unwrap();
+            GridGraphEngine::new(&store, &Bfs::new(0), BaselineConfig::default()).run().unwrap();
         let first_iter = &stats.iterations[0];
         // Vertex 0's interval spans half the grid: both its blocks
         // stream fully even though only vertex 0 is active.
@@ -423,9 +420,7 @@ mod tests {
         let el = hus_gen::rmat(100, 700, 7, hus_gen::RmatConfig::default());
         let (_t, store) = grid(&el, 2);
         let (_vals, stats) =
-            GridGraphEngine::new(&store, &Bfs::new(0), BaselineConfig::default())
-                .run()
-                .unwrap();
+            GridGraphEngine::new(&store, &Bfs::new(0), BaselineConfig::default()).run().unwrap();
         assert_eq!(stats.total_io.rand_read_bytes, 0, "GridGraph never reads randomly");
         assert!(stats.total_io.seq_read_bytes > 0);
     }

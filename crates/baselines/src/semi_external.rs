@@ -16,6 +16,7 @@ use hus_core::predict::UpdateModel;
 use hus_core::program::EdgeCtx;
 use hus_core::stats::{IterationStats, RunStats};
 use hus_core::{HusGraph, VertexProgram};
+use hus_obs::span;
 use hus_storage::{Access, Result};
 use std::time::Instant;
 
@@ -37,6 +38,7 @@ impl<'a, Pr: VertexProgram> SemiExternalEngine<'a, Pr> {
         let meta = self.graph.meta();
         let v = meta.num_vertices;
         let p = self.graph.p();
+        hus_obs::init_from_env();
         let tracker = self.graph.dir().tracker();
         let run_io_start = tracker.snapshot();
         let run_start = Instant::now();
@@ -68,8 +70,11 @@ impl<'a, Pr: VertexProgram> SemiExternalEngine<'a, Pr> {
             let mut edges_this_iter = 0u64;
 
             // Next values start from reset(current) — synchronous.
-            let mut next: Vec<Pr::Value> =
-                current.iter().enumerate().map(|(x, val)| self.program.reset(x as u32, val)).collect();
+            let mut next: Vec<Pr::Value> = current
+                .iter()
+                .enumerate()
+                .map(|(x, val)| self.program.reset(x as u32, val))
+                .collect();
 
             for i in 0..p {
                 let base = meta.interval_start(i);
@@ -78,6 +83,7 @@ impl<'a, Pr: VertexProgram> SemiExternalEngine<'a, Pr> {
                 if actives.is_empty() {
                     continue;
                 }
+                let _s = span!("push.row", interval = i);
                 for j in 0..p {
                     let block_edges = meta.out_block(i, j).edge_count;
                     if block_edges == 0 {
@@ -97,11 +103,8 @@ impl<'a, Pr: VertexProgram> SemiExternalEngine<'a, Pr> {
                         continue;
                     }
                     let coalesce = requested as f64 * 40.0 >= block_edges as f64;
-                    let batch = if coalesce {
-                        Some(self.graph.load_out_block_batch(i, j)?)
-                    } else {
-                        None
-                    };
+                    let batch =
+                        if coalesce { Some(self.graph.load_out_block_batch(i, j)?) } else { None };
                     for &src in &actives {
                         let local = (src - base) as usize;
                         let (lo, hi) = (index[local], index[local + 1]);
@@ -110,28 +113,22 @@ impl<'a, Pr: VertexProgram> SemiExternalEngine<'a, Pr> {
                         }
                         let n = (hi - lo) as usize;
                         let src_val = current[src as usize];
-                        let mut push =
-                            |records: &hus_core::graph::EdgeRecords, offset: usize| {
-                                for k in 0..n {
-                                    let dst = records.neighbor(offset + k);
-                                    let ctx = EdgeCtx {
-                                        src,
-                                        dst,
-                                        weight: records.weight(offset + k),
-                                        src_out_degree: self.graph.out_degrees()
-                                            [src as usize],
-                                    };
-                                    if let Some(msg) = self.program.scatter(&src_val, &ctx)
-                                    {
-                                        if self
-                                            .program
-                                            .combine(&mut next[dst as usize], msg)
-                                        {
-                                            next_active.set(dst);
-                                        }
+                        let mut push = |records: &hus_core::graph::EdgeRecords, offset: usize| {
+                            for k in 0..n {
+                                let dst = records.neighbor(offset + k);
+                                let ctx = EdgeCtx {
+                                    src,
+                                    dst,
+                                    weight: records.weight(offset + k),
+                                    src_out_degree: self.graph.out_degrees()[src as usize],
+                                };
+                                if let Some(msg) = self.program.scatter(&src_val, &ctx) {
+                                    if self.program.combine(&mut next[dst as usize], msg) {
+                                        next_active.set(dst);
                                     }
                                 }
-                            };
+                            }
+                        };
                         match &batch {
                             Some(b) => push(b, lo as usize),
                             None => push(&self.graph.load_out_records(i, j, lo, hi)?, 0),
@@ -143,7 +140,7 @@ impl<'a, Pr: VertexProgram> SemiExternalEngine<'a, Pr> {
 
             current = next;
             total_edges += edges_this_iter;
-            iterations.push(IterationStats {
+            let it = IterationStats {
                 iteration,
                 model: UpdateModel::Rop,
                 gated: false,
@@ -156,7 +153,12 @@ impl<'a, Pr: VertexProgram> SemiExternalEngine<'a, Pr> {
                 edges_processed: edges_this_iter,
                 io: tracker.snapshot().since(&io_start),
                 wall_seconds: t_start.elapsed().as_secs_f64(),
-            });
+                phases: hus_obs::finish_iteration("semi-external", iteration),
+            };
+            if let Some(sink) = hus_obs::sink::trace() {
+                sink.emit_iteration("semi-external", &it);
+            }
+            iterations.push(it);
             active = next_active;
             if always && iteration + 1 == self.config.max_iterations {
                 break;
@@ -171,6 +173,9 @@ impl<'a, Pr: VertexProgram> SemiExternalEngine<'a, Pr> {
             converged,
             threads: self.config.threads,
         };
+        if let Some(sink) = hus_obs::sink::trace() {
+            sink.emit_run("semi-external", &stats);
+        }
         Ok((current, stats))
     }
 }
@@ -206,8 +211,7 @@ mod tests {
         let el = hus_gen::rmat(150, 600, 4, Default::default()).symmetrize();
         let want = reference::wcc_labels(&Csr::from_edge_list(&el));
         let (_t, g) = graph(&el, 3);
-        let (got, _) =
-            SemiExternalEngine::new(&g, &Wcc, BaselineConfig::default()).run().unwrap();
+        let (got, _) = SemiExternalEngine::new(&g, &Wcc, BaselineConfig::default()).run().unwrap();
         assert_eq!(got, want);
     }
 
@@ -217,8 +221,7 @@ mod tests {
         let want = reference::pagerank(&Csr::from_edge_list(&el), 0.85, 5);
         let (_t, g) = graph(&el, 3);
         let cfg = BaselineConfig { max_iterations: 5, ..Default::default() };
-        let (got, _) =
-            SemiExternalEngine::new(&g, &PageRank::new(120), cfg).run().unwrap();
+        let (got, _) = SemiExternalEngine::new(&g, &PageRank::new(120), cfg).run().unwrap();
         for (v, (gv, w)) in got.iter().zip(&want).enumerate() {
             assert!((gv - w).abs() <= 1e-3 * w.max(1e-6), "v{v}: {gv} vs {w}");
         }

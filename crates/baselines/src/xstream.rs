@@ -30,6 +30,7 @@ use hus_core::stats::{IterationStats, RunStats};
 use hus_core::vertex_store::VertexStore;
 use hus_core::VertexProgram;
 use hus_gen::EdgeList;
+use hus_obs::span;
 use hus_storage::{pod, Access, ReadBackend, Result, StorageDir, StorageError};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -166,15 +167,14 @@ impl<'a, Pr: VertexProgram> XStreamEngine<'a, Pr> {
         let m = meta.record_bytes() as usize;
         let value_size = std::mem::size_of::<Pr::Value>();
         let update_size = 4 + value_size; // dst id + message
+        hus_obs::init_from_env();
         let tracker = self.store.dir.tracker();
         let run_io_start = tracker.snapshot();
         let run_start = Instant::now();
 
         let scratch = self.store.dir.subdir(&scratch_name(&self.config, "xs"))?;
         let mut values: VertexStore<Pr::Value> =
-            VertexStore::create(&scratch, "vals", &meta.interval_starts, |x| {
-                self.program.init(x)
-            })?;
+            VertexStore::create(&scratch, "vals", &meta.interval_starts, |x| self.program.init(x))?;
 
         let always = self.program.always_active();
         let mut active = if always {
@@ -204,6 +204,7 @@ impl<'a, Pr: VertexProgram> XStreamEngine<'a, Pr> {
                 .map(|j| scratch.writer(&format!("updates_{j}.bin")))
                 .collect::<Result<Vec<_>>>()?;
             for i in 0..k {
+                let _s = span!("scatter.partition", interval = i);
                 let s_i = values.load_current(i, Access::Sequential)?;
                 let src_base = meta.interval_starts[i];
                 let count = meta.partition_counts[i] as usize;
@@ -230,9 +231,7 @@ impl<'a, Pr: VertexProgram> XStreamEngine<'a, Pr> {
                         weight,
                         src_out_degree: self.store.out_degrees[src as usize],
                     };
-                    if let Some(msg) =
-                        self.program.scatter(&s_i[(src - src_base) as usize], &ctx)
-                    {
+                    if let Some(msg) = self.program.scatter(&s_i[(src - src_base) as usize], &ctx) {
                         let j = hus_core::partition::interval_of(&meta.interval_starts, dst);
                         update_writers[j].write_pod(&dst)?;
                         update_writers[j].write_pod(&msg)?;
@@ -245,6 +244,7 @@ impl<'a, Pr: VertexProgram> XStreamEngine<'a, Pr> {
 
             // --- Gather phase: stream updates, fold into vertex values. --
             for j in 0..k {
+                let _s = span!("gather.partition", interval = j);
                 let dst_base = meta.interval_starts[j];
                 let s_j = values.load_current(j, Access::Sequential)?;
                 let mut d_j: Vec<Pr::Value> = s_j
@@ -261,20 +261,22 @@ impl<'a, Pr: VertexProgram> XStreamEngine<'a, Pr> {
                 for r in 0..len / update_size {
                     let at = r * update_size;
                     let dst = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
-                    let msg =
-                        pod::to_vec::<Pr::Value>(&bytes[at + 4..at + 4 + value_size])?[0];
+                    let msg = pod::to_vec::<Pr::Value>(&bytes[at + 4..at + 4 + value_size])?[0];
                     if self.program.combine(&mut d_j[(dst - dst_base) as usize], msg) {
                         next_active.set(dst);
                     }
                 }
                 values.write_next(j, &d_j)?;
             }
-            for j in 0..k {
-                values.commit(j);
+            {
+                let _s = span!("sync");
+                for j in 0..k {
+                    values.commit(j);
+                }
             }
 
             total_edges += edges_this_iter;
-            iterations.push(IterationStats {
+            let it = IterationStats {
                 iteration,
                 // Edge-centric scatter = push classification (§2.2).
                 model: UpdateModel::Rop,
@@ -288,7 +290,12 @@ impl<'a, Pr: VertexProgram> XStreamEngine<'a, Pr> {
                 edges_processed: edges_this_iter,
                 io: tracker.snapshot().since(&io_start),
                 wall_seconds: t_start.elapsed().as_secs_f64(),
-            });
+                phases: hus_obs::finish_iteration("xstream", iteration),
+            };
+            if let Some(sink) = hus_obs::sink::trace() {
+                sink.emit_iteration("xstream", &it);
+            }
+            iterations.push(it);
             active = next_active;
             if always && iteration + 1 == self.config.max_iterations {
                 break;
@@ -303,6 +310,9 @@ impl<'a, Pr: VertexProgram> XStreamEngine<'a, Pr> {
             converged,
             threads: self.config.threads,
         };
+        if let Some(sink) = hus_obs::sink::trace() {
+            sink.emit_run("xstream", &stats);
+        }
         Ok((values.read_all_current()?, stats))
     }
 }
@@ -348,8 +358,7 @@ mod tests {
         let el = hus_gen::rmat(150, 600, 4, Default::default()).symmetrize();
         let want = reference::wcc_labels(&Csr::from_edge_list(&el));
         let (_t, store) = xs(&el, 3);
-        let (got, _) =
-            XStreamEngine::new(&store, &Wcc, BaselineConfig::default()).run().unwrap();
+        let (got, _) = XStreamEngine::new(&store, &Wcc, BaselineConfig::default()).run().unwrap();
         assert_eq!(got, want);
     }
 
@@ -359,8 +368,7 @@ mod tests {
         let want = reference::pagerank(&Csr::from_edge_list(&el), 0.85, 5);
         let (_t, store) = xs(&el, 3);
         let cfg = BaselineConfig { max_iterations: 5, ..Default::default() };
-        let (got, _) =
-            XStreamEngine::new(&store, &PageRank::new(120), cfg).run().unwrap();
+        let (got, _) = XStreamEngine::new(&store, &PageRank::new(120), cfg).run().unwrap();
         for (v, (g, w)) in got.iter().zip(&want).enumerate() {
             assert!((g - w).abs() <= 1e-3 * w.max(1e-6), "v{v}: {g} vs {w}");
         }
@@ -373,8 +381,7 @@ mod tests {
         let el = hus_gen::rmat(150, 1200, 6, Default::default());
         let (_t, store) = xs(&el, 3);
         let cfg = BaselineConfig { max_iterations: 2, ..Default::default() };
-        let (_vals, stats) =
-            XStreamEngine::new(&store, &PageRank::new(150), cfg).run().unwrap();
+        let (_vals, stats) = XStreamEngine::new(&store, &PageRank::new(150), cfg).run().unwrap();
         let e = el.num_edges() as u64;
         for it in &stats.iterations {
             assert!(

@@ -2,7 +2,9 @@
 //! in-block streaming (COP's fetch), selective out-record loads (ROP's
 //! fetch), and vertex-store interval transfers.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput as CrThroughput};
+use criterion::{
+    criterion_group, criterion_main, BatchSize, Criterion, Throughput as CrThroughput,
+};
 use hus_core::vertex_store::VertexStore;
 use hus_core::{build, BuildConfig, HusGraph};
 use hus_gen::rmat;

@@ -5,9 +5,9 @@
 //! against the paper-literal formula. α = 0 forces COP always; α = 1
 //! leaves every decision to the cost comparison.
 
+use hus_bench::fmt_secs;
 use hus_bench::harness::{env_p, env_threads, modeled_hdd_seconds};
 use hus_bench::{build_stores, run_hus, workload, AlgoKind, Table};
-use hus_bench::fmt_secs;
 use hus_core::{RunConfig, UpdateModel};
 use hus_gen::Dataset;
 

@@ -9,8 +9,8 @@
 //! linearly with P.
 
 use hus_bench::harness::{env_threads, modeled_hdd_seconds};
-use hus_bench::{run_hus, workload, AlgoKind, Table};
 use hus_bench::{fmt_gb, fmt_secs};
+use hus_bench::{run_hus, workload, AlgoKind, Table};
 use hus_core::{build, BuildConfig, HusGraph, PartitionStrategy, RunConfig};
 use hus_gen::Dataset;
 use hus_storage::StorageDir;
@@ -31,8 +31,7 @@ fn main() {
             "modeled time",
             "run I/O",
         ]);
-        for strategy in [PartitionStrategy::EqualVertices, PartitionStrategy::BalancedOutDegree]
-        {
+        for strategy in [PartitionStrategy::EqualVertices, PartitionStrategy::BalancedOutDegree] {
             for p in [2u32, 4, 8, 16, 32] {
                 let tmp = tempfile::tempdir().expect("tempdir");
                 let dir = StorageDir::create(tmp.path().join("g")).expect("dir");
@@ -43,12 +42,8 @@ fn main() {
                 let footprint = dir.disk_footprint().expect("footprint");
                 let graph = HusGraph::open(dir).expect("open");
                 graph.dir().tracker().reset();
-                let stats = run_hus(
-                    &graph,
-                    &w,
-                    RunConfig { threads, ..Default::default() },
-                )
-                .expect("run");
+                let stats =
+                    run_hus(&graph, &w, RunConfig { threads, ..Default::default() }).expect("run");
                 t.row(vec![
                     p.to_string(),
                     match strategy {

@@ -7,9 +7,9 @@
 //! cost of per-row vertex write-backs under ROP (exactly the vertex
 //! traffic the paper's `C_rop` formula charges per interval).
 
+use hus_bench::fmt_secs;
 use hus_bench::harness::{env_p, env_threads, modeled_hdd_seconds, workload};
 use hus_bench::{build_stores, AlgoKind, Table};
-use hus_bench::fmt_secs;
 use hus_core::{RunConfig, Synchrony, UpdateMode};
 use hus_gen::Dataset;
 
@@ -23,13 +23,7 @@ fn main() {
         let tmp = tempfile::tempdir().expect("tempdir");
         let w = workload(Dataset::Uk2007, algo);
         let stores = build_stores(&w.el, p, tmp.path()).expect("build");
-        let mut t = Table::new(&[
-            "mode",
-            "synchrony",
-            "iterations",
-            "I/O (MB)",
-            "modeled time",
-        ]);
+        let mut t = Table::new(&["mode", "synchrony", "iterations", "I/O (MB)", "modeled time"]);
         for mode in [UpdateMode::ForceRop, UpdateMode::ForceCop, UpdateMode::Hybrid] {
             for synchrony in [Synchrony::Synchronous, Synchrony::GaussSeidel] {
                 stores.hus.dir().tracker().reset();

@@ -36,8 +36,12 @@ fn main() {
         let mut rows = Vec::new();
         for sys in [SystemKind::GraphChi, SystemKind::GridGraph, SystemKind::Hus] {
             let stats = run_system(&stores, sys, &w, threads).expect("run");
-            rows.push((sys, stats.num_iterations(), stats.total_io.total_bytes(),
-                       modeled_hdd_seconds(&stats)));
+            rows.push((
+                sys,
+                stats.num_iterations(),
+                stats.total_io.total_bytes(),
+                modeled_hdd_seconds(&stats),
+            ));
         }
         let hus_secs = rows.last().expect("hus row").3;
         for (sys, iters, bytes, secs) in rows {

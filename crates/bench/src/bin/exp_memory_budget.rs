@@ -7,9 +7,9 @@
 //! working set — and the hybrid's advantage narrows, since re-streamed
 //! COP blocks become cache hits.
 
+use hus_bench::fmt_secs;
 use hus_bench::harness::{env_p, env_threads, modeled_hdd_seconds};
 use hus_bench::{run_hus, workload, AlgoKind, Table};
-use hus_bench::fmt_secs;
 use hus_core::{BuildConfig, HusGraph, RunConfig, UpdateMode};
 use hus_gen::Dataset;
 use hus_storage::{BackendKind, StorageDir};
@@ -28,12 +28,8 @@ fn main() {
         hus_core::build(&w.el, &plain, &BuildConfig::with_p(p)).expect("build");
         let edges_bytes = w.el.num_edges() as u64 * if w.el.is_weighted() { 8 } else { 4 };
 
-        let mut t = Table::new(&[
-            "cache budget",
-            "device I/O (MB)",
-            "modeled HDD",
-            "mode mix (ROP/COP)",
-        ]);
+        let mut t =
+            Table::new(&["cache budget", "device I/O (MB)", "modeled HDD", "mode mix (ROP/COP)"]);
         for budget in [0u64, edges_bytes / 8, edges_bytes / 2, edges_bytes * 2] {
             let kind = if budget == 0 {
                 BackendKind::File

@@ -10,9 +10,9 @@
 //! seek-bound), on the SSD profile it pulls far ahead — while needing
 //! `|V| × N` bytes of RAM that true out-of-core systems do not.
 
+use hus_bench::fmt_secs;
 use hus_bench::harness::{env_p, env_threads};
 use hus_bench::{build_stores, run_system, workload, AlgoKind, SystemKind, Table};
-use hus_bench::fmt_secs;
 use hus_gen::Dataset;
 use hus_storage::{CostModel, DeviceProfile};
 

@@ -12,9 +12,9 @@
 //! standing in for the deterministic-parallelism constraint its paper
 //! describes.
 
+use hus_bench::fmt_secs;
 use hus_bench::harness::{env_p, run_system};
 use hus_bench::{build_stores, workload, AlgoKind, SystemKind, Table};
-use hus_bench::fmt_secs;
 use hus_gen::Dataset;
 use hus_storage::{CostModel, DeviceProfile};
 
@@ -44,11 +44,7 @@ fn main() {
             }
             t.row(cells);
         }
-        t.print(&format!(
-            "{} on {} ({label}, modeled seconds)",
-            algo.name(),
-            dataset.name()
-        ));
+        t.print(&format!("{} on {} ({label}, modeled seconds)", algo.name(), dataset.name()));
     }
     println!(
         "\nShape check: the in-memory graph scales with threads (GraphChi \

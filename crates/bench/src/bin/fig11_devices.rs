@@ -9,9 +9,9 @@
 //! hybrid chooses more ROP iterations on the SSD — the runs genuinely
 //! differ, not just their pricing.
 
+use hus_bench::fmt_secs;
 use hus_bench::harness::{env_p, env_threads};
 use hus_bench::{build_stores, run_hus, run_system, workload, AlgoKind, SystemKind, Table};
-use hus_bench::fmt_secs;
 use hus_core::RunConfig;
 use hus_gen::Dataset;
 use hus_storage::{CostModel, DeviceProfile};

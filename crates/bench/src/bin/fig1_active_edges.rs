@@ -19,8 +19,7 @@ fn main() {
 
     for algo in [AlgoKind::PageRank, AlgoKind::Bfs, AlgoKind::Wcc] {
         let w = workload(Dataset::LiveJournal, algo);
-        let stores =
-            build_stores(&w.el, p, &tmp.path().join(algo.name())).expect("build stores");
+        let stores = build_stores(&w.el, p, &tmp.path().join(algo.name())).expect("build stores");
         let stats = run_hus(&stores.hus, &w, RunConfig::default()).expect("run");
         let e = w.el.num_edges() as f64;
         let pct: Vec<f64> =
@@ -31,9 +30,7 @@ fn main() {
     let iters = series.iter().map(|(_, s)| s.len()).max().unwrap_or(0);
     let mut t = Table::new(&["iteration", "PageRank %", "BFS %", "WCC %"]);
     for i in 0..iters {
-        let cell = |s: &[f64]| {
-            s.get(i).map(|v| format!("{v:.2}")).unwrap_or_else(|| "-".into())
-        };
+        let cell = |s: &[f64]| s.get(i).map(|v| format!("{v:.2}")).unwrap_or_else(|| "-".into());
         t.row(vec![
             (i + 1).to_string(),
             cell(&series[0].1),

@@ -21,8 +21,7 @@ fn main() {
         let mut io_t = Table::new(&["algorithm", "ROP", "COP", "Hybrid"]);
         for algo in [AlgoKind::Bfs, AlgoKind::Wcc, AlgoKind::Sssp] {
             let w = workload(dataset, algo);
-            let stores =
-                build_stores(&w.el, p, &tmp.path().join(algo.name())).expect("build");
+            let stores = build_stores(&w.el, p, &tmp.path().join(algo.name())).expect("build");
             let mut times = Vec::new();
             let mut ios = Vec::new();
             let mut hybrid_best = true;

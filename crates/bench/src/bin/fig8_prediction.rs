@@ -20,7 +20,9 @@ fn main() {
     let scale = hus_gen::datasets::env_scale();
     let p = env_p();
     let threads = env_threads();
-    println!("# Figure 8: per-iteration runtime of ROP/COP/Hybrid — UKunion (scale {scale}, P={p})");
+    println!(
+        "# Figure 8: per-iteration runtime of ROP/COP/Hybrid — UKunion (scale {scale}, P={p})"
+    );
 
     let tmp = tempfile::tempdir().expect("tempdir");
     for algo in [AlgoKind::Bfs, AlgoKind::Wcc] {
@@ -49,9 +51,11 @@ fn main() {
             let g = |s: &[f64]| s.get(i).copied();
             let chosen = hybrid.iterations.get(i).map(|it| it.model);
             let faster = match (g(&rop_s), g(&cop_s)) {
-                (Some(r), Some(c)) => {
-                    Some(if r <= c { hus_core::UpdateModel::Rop } else { hus_core::UpdateModel::Cop })
-                }
+                (Some(r), Some(c)) => Some(if r <= c {
+                    hus_core::UpdateModel::Rop
+                } else {
+                    hus_core::UpdateModel::Cop
+                }),
                 _ => None,
             };
             let verdict = match (chosen, faster) {

@@ -6,9 +6,9 @@
 //! 3.9x/1.9x smaller than GraphChi/GridGraph on PageRank and 18.4x/8.8x
 //! smaller on the propagation algorithms.
 
+use hus_bench::fmt_gb;
 use hus_bench::harness::{env_p, env_threads};
 use hus_bench::{build_stores, run_system, workload, AlgoKind, SystemKind, Table};
-use hus_bench::fmt_gb;
 use hus_gen::Dataset;
 
 fn main() {
@@ -29,8 +29,7 @@ fn main() {
         ]);
         for algo in [AlgoKind::PageRank, AlgoKind::Bfs, AlgoKind::Sssp] {
             let w = workload(dataset, algo);
-            let stores =
-                build_stores(&w.el, p, &tmp.path().join(algo.name())).expect("build");
+            let stores = build_stores(&w.el, p, &tmp.path().join(algo.name())).expect("build");
             let mut bytes = [0u64; 3];
             for (si, sys) in
                 [SystemKind::GraphChi, SystemKind::GridGraph, SystemKind::Hus].iter().enumerate()

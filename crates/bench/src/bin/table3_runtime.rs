@@ -15,16 +15,11 @@ fn main() {
     let scale = hus_gen::datasets::env_scale();
     let p = env_p();
     let threads = env_threads();
-    println!("# Table 3: Execution time (modeled HDD seconds; scale {scale}, P={p}, {threads} threads)");
+    println!(
+        "# Table 3: Execution time (modeled HDD seconds; scale {scale}, P={p}, {threads} threads)"
+    );
 
-    let mut t = Table::new(&[
-        "Dataset",
-        "System",
-        "PageRank",
-        "BFS",
-        "WCC",
-        "SSSP",
-    ]);
+    let mut t = Table::new(&["Dataset", "System", "PageRank", "BFS", "WCC", "SSSP"]);
     let mut speedups: Vec<(String, f64)> = Vec::new();
 
     for dataset in Dataset::ALL {
@@ -33,8 +28,7 @@ fn main() {
         let mut secs = vec![[0.0f64; 3]; AlgoKind::ALL.len()];
         for (ai, algo) in AlgoKind::ALL.iter().enumerate() {
             let w = workload(dataset, *algo);
-            let stores =
-                build_stores(&w.el, p, &tmp.path().join(algo.name())).expect("build");
+            let stores = build_stores(&w.el, p, &tmp.path().join(algo.name())).expect("build");
             for (si, sys) in
                 [SystemKind::GraphChi, SystemKind::GridGraph, SystemKind::Hus].iter().enumerate()
             {

@@ -8,7 +8,7 @@ use hus_baselines::{
 };
 use hus_core::{BuildConfig, Engine, HusGraph, RunConfig, RunStats, UpdateMode};
 use hus_gen::{Dataset, EdgeList};
-use hus_storage::{CostModel, DeviceProfile, Result, StorageDir};
+use hus_storage::{CostModel, DeviceProfile, Result, StorageDir, Throughput};
 use std::path::Path;
 
 /// Which engine to run.
@@ -115,9 +115,8 @@ pub fn pick_source(el: &EdgeList) -> u32 {
         return 0;
     }
     let csr = hus_gen::Csr::from_edge_list(el);
-    let mut candidates: Vec<u32> = (0..el.num_vertices)
-        .filter(|&v| degrees[v as usize] > 0)
-        .collect();
+    let mut candidates: Vec<u32> =
+        (0..el.num_vertices).filter(|&v| degrees[v as usize] > 0).collect();
     candidates.sort_by_key(|&v| degrees[v as usize]);
     for &v in candidates.iter().take(16) {
         let levels = hus_algos::reference::bfs_levels(&csr, v);
@@ -126,12 +125,7 @@ pub fn pick_source(el: &EdgeList) -> u32 {
             return v;
         }
     }
-    degrees
-        .iter()
-        .enumerate()
-        .max_by_key(|(_, &d)| d)
-        .map(|(v, _)| v as u32)
-        .unwrap_or(0)
+    degrees.iter().enumerate().max_by_key(|(_, &d)| d).map(|(v, _)| v as u32).unwrap_or(0)
 }
 
 /// All three on-disk representations of one edge list, each in its own
@@ -173,6 +167,9 @@ pub const PAGERANK_ITERS: usize = 5;
 pub fn run_hus(graph: &HusGraph, w: &Workload, mut config: RunConfig) -> Result<RunStats> {
     if w.algo == AlgoKind::PageRank {
         config.max_iterations = PAGERANK_ITERS;
+    }
+    if let Some(tp) = env_probe_throughput() {
+        config.throughput = tp;
     }
     let stats = match w.algo {
         AlgoKind::PageRank => {
@@ -234,13 +231,9 @@ pub fn run_system(
             };
             let stats = match w.algo {
                 AlgoKind::PageRank => {
-                    XStreamEngine::new(&stores.xs, &PageRank::new(w.el.num_vertices), cfg)
-                        .run()?
-                        .1
+                    XStreamEngine::new(&stores.xs, &PageRank::new(w.el.num_vertices), cfg).run()?.1
                 }
-                AlgoKind::Bfs => {
-                    XStreamEngine::new(&stores.xs, &Bfs::new(w.source), cfg).run()?.1
-                }
+                AlgoKind::Bfs => XStreamEngine::new(&stores.xs, &Bfs::new(w.source), cfg).run()?.1,
                 AlgoKind::Wcc => XStreamEngine::new(&stores.xs, &Wcc, cfg).run()?.1,
                 AlgoKind::Sssp => {
                     XStreamEngine::new(&stores.xs, &Sssp::new(w.source), cfg).run()?.1
@@ -319,6 +312,28 @@ pub fn env_p() -> u32 {
 /// modeled CPU term divides by it).
 pub fn env_threads() -> usize {
     std::env::var("HUS_THREADS").ok().and_then(|s| s.parse().ok()).unwrap_or(16)
+}
+
+/// Environment knob: `HUS_PROBE=1` measures the host's real read
+/// throughputs with the fio-style probe (`hus_storage::probe`, the same
+/// measurement `hus probe` prints) and feeds them to the hybrid
+/// predictor in place of the device preset. Measured once per process;
+/// probe failures fall back to the preset with a warning.
+pub fn env_probe_throughput() -> Option<Throughput> {
+    static PROBED: std::sync::OnceLock<Option<Throughput>> = std::sync::OnceLock::new();
+    *PROBED.get_or_init(|| {
+        if std::env::var("HUS_PROBE").as_deref() != Ok("1") {
+            return None;
+        }
+        let opts = hus_storage::probe::ProbeOptions::default();
+        match hus_storage::probe::measure(&std::env::temp_dir(), &opts) {
+            Ok(report) => Some(report.read),
+            Err(e) => {
+                eprintln!("warning: HUS_PROBE probe failed ({e}); using the device preset");
+                None
+            }
+        }
+    })
 }
 
 #[cfg(test)]

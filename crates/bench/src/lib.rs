@@ -19,5 +19,7 @@
 pub mod harness;
 pub mod report;
 
-pub use harness::{build_stores, run_hus, run_system, workload, AlgoKind, Stores, SystemKind, Workload};
+pub use harness::{
+    build_stores, run_hus, run_system, workload, AlgoKind, Stores, SystemKind, Workload,
+};
 pub use report::{fmt_gb, fmt_secs, fmt_speedup, Table};

@@ -7,8 +7,8 @@
 //! `out-index(i,j)` / `in-index(i,j)` structures that enable ROP's
 //! selective loads and COP's per-destination parallelism).
 
-pub use crate::partition::PartitionStrategy;
 use crate::meta::{BlockMeta, GraphMeta, DEGREES_FILE, META_FILE};
+pub use crate::partition::PartitionStrategy;
 use crate::partition::{interval_of, interval_starts};
 use hus_gen::EdgeList;
 use hus_storage::{Result, StorageDir, StorageError};
@@ -163,10 +163,7 @@ pub fn build(el: &EdgeList, dir: &StorageDir, config: &BuildConfig) -> Result<Gr
         in_blocks,
     };
     meta.validate().map_err(StorageError::Corrupt)?;
-    dir.put_meta(
-        META_FILE,
-        &serde_json::to_string_pretty(&meta).expect("meta serializes"),
-    )?;
+    dir.put_meta(META_FILE, &serde_json::to_string_pretty(&meta).expect("meta serializes"))?;
     Ok(meta)
 }
 
@@ -202,17 +199,13 @@ mod tests {
         let el = rmat(64, 300, 2, RmatConfig::default());
         let (_t, dir, meta) = build_tmp(&el, 2);
         for i in 0..2usize {
-            let edges_in_shard: u64 =
-                (0..2).map(|j| meta.out_block(i, j).edge_count).sum();
+            let edges_in_shard: u64 = (0..2).map(|j| meta.out_block(i, j).edge_count).sum();
             assert_eq!(
                 dir.file_len(&GraphMeta::out_edges_file(i)).unwrap(),
                 edges_in_shard * meta.edge_record_bytes()
             );
             let len = meta.interval_len(i) as u64;
-            assert_eq!(
-                dir.file_len(&GraphMeta::out_index_file(i)).unwrap(),
-                2 * (len + 1) * 4
-            );
+            assert_eq!(dir.file_len(&GraphMeta::out_index_file(i)).unwrap(), 2 * (len + 1) * 4);
         }
     }
 
@@ -235,7 +228,7 @@ mod tests {
         assert_eq!(meta.out_block(0, 1).edge_count, 2); // 0->2, 1->3
         assert_eq!(meta.out_block(1, 0).edge_count, 1); // 2->1
         assert_eq!(meta.out_block(1, 1).edge_count, 1); // 3->3
-        // In-blocks mirror the same grid.
+                                                        // In-blocks mirror the same grid.
         for i in 0..2 {
             for j in 0..2 {
                 assert_eq!(
@@ -291,9 +284,8 @@ mod tests {
         let meta = build(&el, &dir, &cfg).unwrap();
         meta.validate().unwrap();
         // Degree-balanced intervals should not be wildly uneven in edges.
-        let row_edges: Vec<u64> = (0..4)
-            .map(|i| (0..4).map(|j| meta.out_block(i, j).edge_count).sum())
-            .collect();
+        let row_edges: Vec<u64> =
+            (0..4).map(|i| (0..4).map(|j| meta.out_block(i, j).edge_count).sum()).collect();
         let max = *row_edges.iter().max().unwrap();
         let min = *row_edges.iter().min().unwrap();
         assert!(max <= min.max(1) * 4, "rows {row_edges:?}");

@@ -23,6 +23,10 @@ use hus_storage::{Access, Result, StorageError};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Sizes (in edge records) of the streamed in-blocks — the distribution
+/// behind COP's sequential-I/O bill.
+static BLOCK_EDGES: hus_obs::LazyHistogram = hus_obs::LazyHistogram::new("cop.block_edges");
+
 /// One fetched in-block, ready to process.
 struct FetchedBlock<V> {
     /// Source interval of the block.
@@ -74,6 +78,7 @@ pub fn run_column<Pr: VertexProgram>(
         });
         for fetched in rx {
             let block = fetched?;
+            BLOCK_EDGES.record(block.records.len() as u64);
             streamed.fetch_add(block.records.len() as u64, Ordering::Relaxed);
             pull_block(ctx, &block, dst_base, &mut d_col);
         }

@@ -13,9 +13,50 @@ use crate::program::VertexProgram;
 use crate::rop::{self, IterCtx};
 use crate::stats::{IterationStats, RunStats};
 use crate::vertex_store::VertexStore;
-use hus_storage::{Result, StorageError, Throughput};
+use hus_obs::span;
+use hus_storage::{IoSnapshot, IoTracker, Result, StorageError, Throughput};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// Frontier size at each iteration start (log₂ buckets).
+static FRONTIER_HIST: hus_obs::LazyHistogram = hus_obs::LazyHistogram::new("engine.frontier_size");
+/// Active out-edges at each iteration start.
+static ACTIVE_EDGES_HIST: hus_obs::LazyHistogram =
+    hus_obs::LazyHistogram::new("engine.active_edges");
+
+/// Laps the run's `IoTracker` at phase boundaries, attributing each
+/// delta's bytes to the phase that just ended; merged into the
+/// span-derived [`hus_obs::PhaseStat`]s at iteration end. Inert (no
+/// snapshots) while collection is disabled.
+struct PhaseIoMeter {
+    enabled: bool,
+    last: IoSnapshot,
+    acc: hus_obs::PhaseIo,
+}
+
+impl PhaseIoMeter {
+    fn start(tracker: &IoTracker) -> Self {
+        let enabled = hus_obs::enabled();
+        PhaseIoMeter {
+            enabled,
+            last: if enabled { tracker.snapshot() } else { IoSnapshot::default() },
+            acc: hus_obs::PhaseIo::new(),
+        }
+    }
+
+    fn lap(&mut self, tracker: &IoTracker, phase: &'static str) {
+        if !self.enabled {
+            return;
+        }
+        let now = tracker.snapshot();
+        self.acc.add(phase, now.since(&self.last).total_bytes());
+        self.last = now;
+    }
+
+    fn merge_into(&self, phases: &mut [hus_obs::PhaseStat]) {
+        self.acc.merge_into(phases);
+    }
+}
 
 /// Which update strategy the run uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -132,6 +173,7 @@ impl<'a, Pr: VertexProgram> Engine<'a, Pr> {
     /// Execute to convergence (or `max_iterations`); returns the final
     /// vertex values and the run statistics.
     pub fn run(&self) -> Result<(Vec<Pr::Value>, RunStats)> {
+        hus_obs::init_from_env();
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(self.config.threads.max(1))
             .build()
@@ -168,9 +210,7 @@ impl<'a, Pr: VertexProgram> Engine<'a, Pr> {
 
         let scratch = self.scratch_dir()?;
         let mut store: VertexStore<Pr::Value> =
-            VertexStore::create(&scratch, "vals", &meta.interval_starts, |x| {
-                self.program.init(x)
-            })?;
+            VertexStore::create(&scratch, "vals", &meta.interval_starts, |x| self.program.init(x))?;
 
         let always = self.program.always_active();
         let mut active = if always {
@@ -198,9 +238,45 @@ impl<'a, Pr: VertexProgram> Engine<'a, Pr> {
                 break;
             }
             let active_edges = active.active_degree_sum(0, v, self.graph.out_degrees());
+            FRONTIER_HIST.record(active_vertices);
+            ACTIVE_EDGES_HIST.record(active_edges);
             let iter_io_start = tracker.snapshot();
             let iter_start = Instant::now();
-            let next_active = if always { ActiveSet::all(v) } else { ActiveSet::new(v) };
+            let mut phase_io = PhaseIoMeter::start(&tracker);
+
+            // Decide the model(s) for this iteration.
+            let next_active;
+            let decision;
+            {
+                let _s = span!("predict");
+                next_active = if always { ActiveSet::all(v) } else { ActiveSet::new(v) };
+                decision = match self.config.mode {
+                    UpdateMode::ForceRop => Decision {
+                        model: UpdateModel::Rop,
+                        gated: false,
+                        c_rop: f64::NAN,
+                        c_cop: f64::NAN,
+                    },
+                    UpdateMode::ForceCop => Decision {
+                        model: UpdateModel::Cop,
+                        gated: false,
+                        c_rop: f64::NAN,
+                        c_cop: f64::NAN,
+                    },
+                    UpdateMode::Hybrid => {
+                        let d = predictor.select_iteration(
+                            active_vertices,
+                            active_edges,
+                            v as u64,
+                            meta.num_edges,
+                            p as u64,
+                        );
+                        crate::predict::count_decision(&d);
+                        d
+                    }
+                };
+            }
+            phase_io.lap(&tracker, "predict");
 
             let ctx = IterCtx {
                 graph: self.graph,
@@ -213,29 +289,6 @@ impl<'a, Pr: VertexProgram> Engine<'a, Pr> {
                     / self.config.throughput.random_bps,
             };
 
-            // Decide the model(s) for this iteration.
-            let decision = match self.config.mode {
-                UpdateMode::ForceRop => Decision {
-                    model: UpdateModel::Rop,
-                    gated: false,
-                    c_rop: f64::NAN,
-                    c_cop: f64::NAN,
-                },
-                UpdateMode::ForceCop => Decision {
-                    model: UpdateModel::Cop,
-                    gated: false,
-                    c_rop: f64::NAN,
-                    c_cop: f64::NAN,
-                },
-                UpdateMode::Hybrid => predictor.select_iteration(
-                    active_vertices,
-                    active_edges,
-                    v as u64,
-                    meta.num_edges,
-                    p as u64,
-                ),
-            };
-
             let mut edges_this_iter = 0u64;
             let mut rop_units = 0u32;
             let mut cop_units = 0u32;
@@ -246,50 +299,69 @@ impl<'a, Pr: VertexProgram> Engine<'a, Pr> {
             if per_column {
                 // Fine-grained: decide per destination column. Edge class
                 // (i, j) is covered exactly once — by column j's mode.
-                let per_interval_edges: Vec<u64> = (0..p)
-                    .map(|i| {
-                        active.active_degree_sum(
-                            meta.interval_start(i),
-                            meta.interval_starts[i + 1],
-                            self.graph.out_degrees(),
-                        )
-                    })
-                    .collect();
+                let per_interval_edges: Vec<u64> = {
+                    let _s = span!("predict");
+                    (0..p)
+                        .map(|i| {
+                            active.active_degree_sum(
+                                meta.interval_start(i),
+                                meta.interval_starts[i + 1],
+                                self.graph.out_degrees(),
+                            )
+                        })
+                        .collect()
+                };
                 for col in 0..p {
                     // Estimate this column's share of each row's active
                     // edges from the static block edge counts.
-                    let mut est = 0.0f64;
-                    for (i, &row_active) in per_interval_edges.iter().enumerate() {
-                        let row_total: u64 =
-                            (0..p).map(|j| meta.out_block(i, j).edge_count).sum();
-                        if row_total > 0 {
-                            est += row_active as f64
-                                * meta.out_block(i, col).edge_count as f64
-                                / row_total as f64;
+                    let d = {
+                        let _s = span!("predict");
+                        let mut est = 0.0f64;
+                        for (i, &row_active) in per_interval_edges.iter().enumerate() {
+                            let row_total: u64 =
+                                (0..p).map(|j| meta.out_block(i, j).edge_count).sum();
+                            if row_total > 0 {
+                                est += row_active as f64 * meta.out_block(i, col).edge_count as f64
+                                    / row_total as f64;
+                            }
                         }
-                    }
-                    let d = predictor.select_interval(
-                        active_vertices,
-                        est.ceil() as u64,
-                        v as u64,
-                        meta.num_edges,
-                        p as u64,
-                    );
+                        let d = predictor.select_interval(
+                            active_vertices,
+                            est.ceil() as u64,
+                            v as u64,
+                            meta.num_edges,
+                            p as u64,
+                        );
+                        crate::predict::count_decision(&d);
+                        d
+                    };
+                    phase_io.lap(&tracker, "predict");
                     match d.model {
                         UpdateModel::Rop => {
-                            edges_this_iter +=
-                                rop::run_push_column(&ctx, &store, col, false)?;
+                            {
+                                let _s = span!("rop.column", interval = col);
+                                edges_this_iter += rop::run_push_column(&ctx, &store, col, false)?;
+                            }
+                            phase_io.lap(&tracker, "rop");
                             rop_units += 1;
                         }
                         UpdateModel::Cop => {
-                            edges_this_iter += cop::run_column(&ctx, &store, col, false)?;
+                            {
+                                let _s = span!("cop.column", interval = col);
+                                edges_this_iter += cop::run_column(&ctx, &store, col, false)?;
+                            }
+                            phase_io.lap(&tracker, "cop");
                             cop_units += 1;
                         }
                     }
                 }
-                for i in 0..p {
-                    store.commit(i);
+                {
+                    let _s = span!("sync");
+                    for i in 0..p {
+                        store.commit(i);
+                    }
                 }
+                phase_io.lap(&tracker, "sync");
             } else {
                 match decision.model {
                     UpdateModel::Rop => {
@@ -306,15 +378,18 @@ impl<'a, Pr: VertexProgram> Engine<'a, Pr> {
                                 if active.count_range(base, end) == 0 {
                                     continue;
                                 }
-                                let d_all = rop::d_buffers::<Pr>(&store);
-                                edges_this_iter +=
-                                    rop::run_row(&ctx, &store, row, &d_all)?;
-                                let touched = rop::store_touched::<Pr>(&store, d_all)?;
-                                for (i, t) in touched.into_iter().enumerate() {
-                                    if t {
-                                        store.commit(i);
+                                {
+                                    let _s = span!("rop.row", interval = row);
+                                    let d_all = rop::d_buffers::<Pr>(&store);
+                                    edges_this_iter += rop::run_row(&ctx, &store, row, &d_all)?;
+                                    let touched = rop::store_touched::<Pr>(&store, d_all)?;
+                                    for (i, t) in touched.into_iter().enumerate() {
+                                        if t {
+                                            store.commit(i);
+                                        }
                                     }
                                 }
+                                phase_io.lap(&tracker, "rop");
                                 rop_units += 1;
                             }
                         } else {
@@ -330,28 +405,40 @@ impl<'a, Pr: VertexProgram> Engine<'a, Pr> {
                                 if active.count_range(base, end) == 0 {
                                     continue; // row has no active sources
                                 }
-                                edges_this_iter += rop::run_row(&ctx, &store, row, &d_all)?;
+                                {
+                                    let _s = span!("rop.row", interval = row);
+                                    edges_this_iter += rop::run_row(&ctx, &store, row, &d_all)?;
+                                }
+                                phase_io.lap(&tracker, "rop");
                                 rop_units += 1;
                             }
-                            let touched = rop::store_touched::<Pr>(&store, d_all)?;
-                            for (i, t) in touched.into_iter().enumerate() {
-                                if t {
-                                    store.commit(i);
-                                } else if self.program.needs_reset() {
-                                    // Non-identity reset (PageRank-style):
-                                    // intervals that received no pushes must
-                                    // still be re-derived for this iteration.
-                                    let d = rop::load_d(
-                                        self.program,
-                                        &store,
-                                        i,
-                                        false,
-                                        hus_storage::Access::Sequential,
-                                    )?;
-                                    store.write_next(i, &d)?;
-                                    store.commit(i);
+                            let touched = {
+                                let _s = span!("gather");
+                                rop::store_touched::<Pr>(&store, d_all)?
+                            };
+                            phase_io.lap(&tracker, "gather");
+                            {
+                                let _s = span!("sync");
+                                for (i, t) in touched.into_iter().enumerate() {
+                                    if t {
+                                        store.commit(i);
+                                    } else if self.program.needs_reset() {
+                                        // Non-identity reset (PageRank-style):
+                                        // intervals that received no pushes must
+                                        // still be re-derived for this iteration.
+                                        let d = rop::load_d(
+                                            self.program,
+                                            &store,
+                                            i,
+                                            false,
+                                            hus_storage::Access::Sequential,
+                                        )?;
+                                        store.write_next(i, &d)?;
+                                        store.commit(i);
+                                    }
                                 }
                             }
+                            phase_io.lap(&tracker, "sync");
                         }
                     }
                     UpdateModel::Cop => {
@@ -359,27 +446,43 @@ impl<'a, Pr: VertexProgram> Engine<'a, Pr> {
                             // Paper-literal: Swap(S_i, D_i) right after
                             // column i (Algorithm 3 line 20).
                             for col in 0..p {
-                                edges_this_iter +=
-                                    cop::run_column(&ctx, &store, col, false)?;
-                                store.commit(col);
+                                {
+                                    let _s = span!("cop.column", interval = col);
+                                    edges_this_iter += cop::run_column(&ctx, &store, col, false)?;
+                                    store.commit(col);
+                                }
+                                phase_io.lap(&tracker, "cop");
                                 cop_units += 1;
                             }
                         } else {
                             for col in 0..p {
-                                edges_this_iter += cop::run_column(&ctx, &store, col, false)?;
+                                {
+                                    let _s = span!("cop.column", interval = col);
+                                    edges_this_iter += cop::run_column(&ctx, &store, col, false)?;
+                                }
+                                phase_io.lap(&tracker, "cop");
                                 cop_units += 1;
                             }
-                            for i in 0..p {
-                                store.commit(i);
+                            {
+                                let _s = span!("sync");
+                                for i in 0..p {
+                                    store.commit(i);
+                                }
                             }
+                            phase_io.lap(&tracker, "sync");
                         }
                     }
                 }
             }
 
             total_edges += edges_this_iter;
+            // Capture the clocks before draining spans: emitting trace
+            // records does file I/O that must not count as engine time.
+            let wall_seconds = iter_start.elapsed().as_secs_f64();
             let iter_io = tracker.snapshot().since(&iter_io_start);
-            iterations.push(IterationStats {
+            let mut phases = hus_obs::finish_iteration("hus", iteration);
+            phase_io.merge_into(&mut phases);
+            let it = IterationStats {
                 iteration,
                 model: if rop_units > cop_units { UpdateModel::Rop } else { decision.model },
                 gated: decision.gated,
@@ -391,8 +494,13 @@ impl<'a, Pr: VertexProgram> Engine<'a, Pr> {
                 active_edges,
                 edges_processed: edges_this_iter,
                 io: iter_io,
-                wall_seconds: iter_start.elapsed().as_secs_f64(),
-            });
+                wall_seconds,
+                phases,
+            };
+            if let Some(sink) = hus_obs::sink::trace() {
+                sink.emit_iteration("hus", &it);
+            }
+            iterations.push(it);
 
             active = next_active;
             if always && iteration + 1 == self.config.max_iterations {
@@ -404,17 +512,18 @@ impl<'a, Pr: VertexProgram> Engine<'a, Pr> {
         let total_io = tracker.snapshot().since(&run_start_io);
         let wall_seconds = run_start.elapsed().as_secs_f64();
         let values = store.read_all_current()?;
-        Ok((
-            values,
-            RunStats {
-                iterations,
-                total_io,
-                wall_seconds,
-                edges_processed: total_edges,
-                converged,
-                threads: self.config.threads,
-            },
-        ))
+        let stats = RunStats {
+            iterations,
+            total_io,
+            wall_seconds,
+            edges_processed: total_edges,
+            converged,
+            threads: self.config.threads,
+        };
+        if let Some(sink) = hus_obs::sink::trace() {
+            sink.emit_run("hus", &stats);
+        }
+        Ok((values, stats))
     }
 }
 
@@ -500,10 +609,7 @@ mod tests {
             let config = RunConfig { granularity, threads: 1, ..Default::default() };
             Engine::new(&g, &MinLabel, config).run().unwrap().0
         };
-        assert_eq!(
-            run(SelectionGranularity::PerIteration),
-            run(SelectionGranularity::PerColumn)
-        );
+        assert_eq!(run(SelectionGranularity::PerIteration), run(SelectionGranularity::PerColumn));
     }
 
     #[test]
@@ -513,9 +619,7 @@ mod tests {
         let dir = StorageDir::create(tmp.path().join("g")).unwrap();
         let g = HusGraph::build_into(&el, &dir, &BuildConfig::with_p(2)).unwrap();
         let (_, stats) =
-            Engine::new(&g, &MinLabel, RunConfig::with_mode(UpdateMode::ForceCop))
-                .run()
-                .unwrap();
+            Engine::new(&g, &MinLabel, RunConfig::with_mode(UpdateMode::ForceCop)).run().unwrap();
         assert!(stats.num_iterations() >= 2);
         assert!(stats.total_io.total_bytes() > 0);
         for it in &stats.iterations {
@@ -544,9 +648,7 @@ mod tests {
         };
         let (_, rop_stats) = Engine::new(&g, &MinLabel, rop_cfg).run().unwrap();
         let (_, cop_stats) =
-            Engine::new(&g, &MinLabel, RunConfig::with_mode(UpdateMode::ForceCop))
-                .run()
-                .unwrap();
+            Engine::new(&g, &MinLabel, RunConfig::with_mode(UpdateMode::ForceCop)).run().unwrap();
         let rop_iter = &rop_stats.iterations[0];
         let cop_iter = &cop_stats.iterations[0];
         // The fully-active first iteration coalesces into batched
@@ -558,6 +660,51 @@ mod tests {
         assert!(cop_iter.io.seq_read_bytes > rop_iter.io.seq_read_bytes);
         // COP reads every edge of the graph; ROP only active ranges.
         assert!(cop_stats.edges_processed > 0);
+    }
+
+    #[test]
+    fn phases_populate_when_collection_enabled() {
+        let el = hus_gen::rmat(300, 2000, 9, hus_gen::RmatConfig::default());
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("g")).unwrap();
+        let g = HusGraph::build_into(&el, &dir, &BuildConfig::with_p(4)).unwrap();
+        hus_obs::set_enabled(true);
+        let config = RunConfig { threads: 1, ..Default::default() };
+        let run = Engine::new(&g, &MinLabel, config).run();
+        hus_obs::set_enabled(false);
+        hus_obs::span::drain(); // leave the global collector clean
+        let (_, stats) = run.unwrap();
+        // The span collector is process-global, so concurrent tests may
+        // steal or add events; assert structure, not exact totals.
+        assert!(
+            stats.iterations.iter().any(|it| !it.phases.is_empty()),
+            "enabling collection must populate phase breakdowns"
+        );
+        let known = ["predict", "rop", "cop", "gather", "sync"];
+        for it in &stats.iterations {
+            for ph in &it.phases {
+                assert!(known.contains(&ph.name.as_str()), "unexpected phase {}", ph.name);
+                assert!(ph.count > 0);
+                assert!(ph.wall_seconds >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn phases_stay_empty_when_collection_disabled() {
+        let el = classic::cycle(12);
+        let values = run_on(&el, 2, UpdateMode::Hybrid);
+        assert_eq!(values, vec![0; 12]);
+        // run_on asserts convergence; a fresh run here checks phases.
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("g")).unwrap();
+        let g = HusGraph::build_into(&el, &dir, &BuildConfig::with_p(2)).unwrap();
+        let (_, stats) = Engine::new(&g, &MinLabel, RunConfig::default()).run().unwrap();
+        // Unless another test concurrently enabled the global flag,
+        // disabled runs carry no phase data.
+        if !hus_obs::enabled() {
+            assert!(stats.iterations.iter().all(|it| it.phases.is_empty()));
+        }
     }
 
     #[test]
@@ -683,8 +830,7 @@ mod gauss_seidel_tests {
         let tmp = tempfile::tempdir().unwrap();
         let dir = StorageDir::create(tmp.path().join("g")).unwrap();
         let g = HusGraph::build_into(&el, &dir, &crate::BuildConfig::with_p(2)).unwrap();
-        let config =
-            RunConfig { synchrony: Synchrony::GaussSeidel, ..Default::default() };
+        let config = RunConfig { synchrony: Synchrony::GaussSeidel, ..Default::default() };
         assert!(Engine::new(&g, &Reset, config).run().is_err());
     }
 }
@@ -778,8 +924,7 @@ mod edge_case_tests {
         let tmp = tempfile::tempdir().unwrap();
         let dir = StorageDir::create(tmp.path().join("g")).unwrap();
         let g = HusGraph::build_into(&el, &dir, &crate::BuildConfig::with_p(2)).unwrap();
-        let config =
-            RunConfig { scratch_name: Some("my_scratch".into()), ..Default::default() };
+        let config = RunConfig { scratch_name: Some("my_scratch".into()), ..Default::default() };
         Engine::new(&g, &MinLabel, config).run().unwrap();
         assert!(dir.path("my_scratch").is_dir());
         assert!(dir.exists("my_scratch/vals_a.bin"));

@@ -18,9 +18,9 @@
 //! The output is **byte-identical** to the in-memory builder's (the
 //! tests assert it), so either path can build a graph directory.
 
+use crate::builder::BuildConfig;
 use crate::meta::{BlockMeta, GraphMeta, DEGREES_FILE, META_FILE};
 use crate::partition::{interval_of, interval_starts};
-use crate::builder::BuildConfig;
 use hus_gen::Edge;
 use hus_storage::{Access, Result, StorageDir, StorageError};
 
@@ -59,9 +59,7 @@ impl<'a> EdgeSource for ListSource<'a> {
     fn scan(&self) -> Result<Self::Iter> {
         let el = self.0;
         Ok(match &el.weights {
-            Some(w) => {
-                Box::new(el.edges.iter().zip(w.iter()).map(|(e, &w)| (*e, w)))
-            }
+            Some(w) => Box::new(el.edges.iter().zip(w.iter()).map(|(e, &w)| (*e, w))),
             None => Box::new(el.edges.iter().map(|e| (*e, 1.0f32))),
         })
     }
@@ -78,8 +76,8 @@ impl BinaryFileSource {
     /// Open `path` and read its header.
     pub fn open(path: impl AsRef<std::path::Path>) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
-        let header = hus_gen::io::read_binary_header(&path)
-            .map_err(|e| StorageError::io_at(&path, e))?;
+        let header =
+            hus_gen::io::read_binary_header(&path).map_err(|e| StorageError::io_at(&path, e))?;
         Ok(BinaryFileSource { path, header })
     }
 }

@@ -113,13 +113,7 @@ impl HusGraph {
 
     /// Randomly load records `[lo, hi)` of out-block `(i, j)` — ROP's
     /// selective per-vertex edge fetch (`LoadOutEdges` in Algorithm 2).
-    pub fn load_out_records(
-        &self,
-        i: usize,
-        j: usize,
-        lo: u32,
-        hi: u32,
-    ) -> Result<EdgeRecords> {
+    pub fn load_out_records(&self, i: usize, j: usize, lo: u32, hi: u32) -> Result<EdgeRecords> {
         debug_assert!(lo <= hi);
         let block = self.meta.out_block(i, j);
         debug_assert!((hi as u64) <= block.edge_count);

@@ -54,8 +54,8 @@ pub mod vertex_store;
 
 pub use active::ActiveSet;
 pub use builder::{build, BuildConfig, PartitionStrategy};
-pub use external::{build_external, BinaryFileSource, EdgeSource, ListSource};
 pub use engine::{Engine, RunConfig, SelectionGranularity, Synchrony, UpdateMode};
+pub use external::{build_external, BinaryFileSource, EdgeSource, ListSource};
 pub use graph::HusGraph;
 pub use meta::{BlockMeta, GraphMeta};
 pub use predict::{Predictor, UpdateModel};

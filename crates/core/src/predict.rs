@@ -107,8 +107,7 @@ impl Predictor {
 
     /// `C_cop` for one interval (independent of the frontier).
     pub fn c_cop(&self, num_edges: u64, num_vertices: u64, p: u64) -> f64 {
-        (num_edges as f64 / p as f64 * self.edge_bytes as f64
-            + self.vertex_bytes(num_vertices, p))
+        (num_edges as f64 / p as f64 * self.edge_bytes as f64 + self.vertex_bytes(num_vertices, p))
             / self.throughput.sequential_bps
     }
 
@@ -180,6 +179,26 @@ impl Predictor {
     }
 }
 
+static GATED: hus_obs::LazyCounter = hus_obs::LazyCounter::new("predict.gated");
+static ROP_SELECTED: hus_obs::LazyCounter = hus_obs::LazyCounter::new("predict.rop_selected");
+static COP_SELECTED: hus_obs::LazyCounter = hus_obs::LazyCounter::new("predict.cop_selected");
+
+/// Count a committed decision in the metric registry. The engine calls
+/// this for decisions it acts on — not from inside `select_*`, which
+/// ablations and benchmarks evaluate speculatively in tight sweeps.
+pub fn count_decision(d: &Decision) {
+    if !hus_obs::enabled() {
+        return;
+    }
+    if d.gated {
+        GATED.incr();
+    } else if d.model == UpdateModel::Rop {
+        ROP_SELECTED.incr();
+    } else {
+        COP_SELECTED.incr();
+    }
+}
+
 /// Outcome of a prediction.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Decision {
@@ -198,7 +217,11 @@ mod tests {
     use super::*;
 
     fn hdd_predictor() -> Predictor {
-        Predictor::new(Throughput { sequential_bps: 120e6, random_bps: 1e6, batched_bps: 40e6 }, 4, 4)
+        Predictor::new(
+            Throughput { sequential_bps: 120e6, random_bps: 1e6, batched_bps: 40e6 },
+            4,
+            4,
+        )
     }
 
     #[test]
@@ -294,7 +317,11 @@ mod tests {
     #[test]
     fn faster_random_device_shifts_crossover_toward_rop() {
         let hdd = hdd_predictor();
-        let ssd = Predictor::new(Throughput { sequential_bps: 450e6, random_bps: 250e6, batched_bps: 400e6 }, 4, 4);
+        let ssd = Predictor::new(
+            Throughput { sequential_bps: 450e6, random_bps: 250e6, batched_bps: 400e6 },
+            4,
+            4,
+        );
         // A frontier density where the HDD prefers COP but the SSD,
         // whose random reads are nearly free, prefers ROP.
         let (v, e, parts) = (10_000_000u64, 100_000_000u64, 16u64);

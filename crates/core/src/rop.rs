@@ -17,6 +17,14 @@ use hus_storage::{Access, Result};
 use parking_lot::Mutex;
 use rayon::prelude::*;
 
+/// Sizes (in edges) of the selectively-fetched per-vertex ranges — the
+/// distribution behind ROP's random-I/O bill.
+static RANGE_EDGES: hus_obs::LazyHistogram = hus_obs::LazyHistogram::new("rop.range_edges");
+/// Blocks processed with one coalesced (elevator) sweep.
+static COALESCED_SWEEPS: hus_obs::LazyCounter = hus_obs::LazyCounter::new("rop.coalesced_sweeps");
+/// Blocks processed with per-vertex selective fetches.
+static SELECTIVE_BLOCKS: hus_obs::LazyCounter = hus_obs::LazyCounter::new("rop.selective_blocks");
+
 /// Shared read-only state for one iteration's workers.
 pub struct IterCtx<'a, Pr: VertexProgram> {
     /// The graph being processed.
@@ -39,12 +47,7 @@ pub struct IterCtx<'a, Pr: VertexProgram> {
 
 impl<Pr: VertexProgram> IterCtx<'_, Pr> {
     fn scatter_ctx(&self, src: VertexId, dst: VertexId, weight: f32) -> EdgeCtx {
-        EdgeCtx {
-            src,
-            dst,
-            weight,
-            src_out_degree: self.graph.out_degrees()[src as usize],
-        }
+        EdgeCtx { src, dst, weight, src_out_degree: self.graph.out_degrees()[src as usize] }
     }
 }
 
@@ -65,10 +68,7 @@ pub fn load_d<Pr: VertexProgram>(
     } else {
         let base = store.interval_start(j);
         let s = store.load_current(j, access)?;
-        Ok(s.iter()
-            .enumerate()
-            .map(|(k, v)| program.reset(base + k as u32, v))
-            .collect())
+        Ok(s.iter().enumerate().map(|(k, v)| program.reset(base + k as u32, v)).collect())
     }
 }
 
@@ -169,34 +169,34 @@ pub fn push_block_into<Pr: VertexProgram>(
     let dst_base = meta.interval_start(j);
     let mut pushed = 0u64;
 
-    let mut push_range =
-        |v: VertexId, recs: &crate::graph::EdgeRecords, lo: usize, hi: usize| {
-            let src_val = &s_row[(v - row_base) as usize];
-            for k in lo..hi {
-                let dst = recs.neighbor(k);
-                let ectx = ctx.scatter_ctx(v, dst, recs.weight(k));
-                if let Some(msg) = ctx.program.scatter(src_val, &ectx) {
-                    if ctx.program.combine(&mut d_j[(dst - dst_base) as usize], msg) {
-                        ctx.next_active.set(dst);
-                    }
+    let mut push_range = |v: VertexId, recs: &crate::graph::EdgeRecords, lo: usize, hi: usize| {
+        let src_val = &s_row[(v - row_base) as usize];
+        for k in lo..hi {
+            let dst = recs.neighbor(k);
+            let ectx = ctx.scatter_ctx(v, dst, recs.weight(k));
+            if let Some(msg) = ctx.program.scatter(src_val, &ectx) {
+                if ctx.program.combine(&mut d_j[(dst - dst_base) as usize], msg) {
+                    ctx.next_active.set(dst);
                 }
             }
-            pushed += (hi - lo) as u64;
-        };
+        }
+        pushed += (hi - lo) as u64;
+    };
 
     // Tiny frontiers fetch each vertex's two CSR offsets individually
     // (8 random bytes) instead of streaming the block's whole offset
     // array — the same cost logic as every other fetch choice here.
     let len = meta.interval_len(row) as usize;
-    let selective_index =
-        actives.len() as f64 * 8.0 * ctx.index_ratio < (len + 1) as f64 * 4.0;
+    let selective_index = actives.len() as f64 * 8.0 * ctx.index_ratio < (len + 1) as f64 * 4.0;
     if selective_index {
+        SELECTIVE_BLOCKS.incr();
         for &v in actives {
             let local = (v - row_base) as usize;
             let (lo, hi) = ctx.graph.load_out_index_entry(row, j, local)?;
             if lo == hi {
                 continue;
             }
+            RANGE_EDGES.record((hi - lo) as u64);
             let recs = ctx.graph.load_out_records(row, j, lo, hi)?;
             push_range(v, &recs, 0, recs.len());
         }
@@ -217,6 +217,7 @@ pub fn push_block_into<Pr: VertexProgram>(
 
     if requested as f64 * ctx.coalesce_ratio >= block_edges as f64 {
         // Dense in this block: one coalesced sweep.
+        COALESCED_SWEEPS.incr();
         let recs = ctx.graph.load_out_block_batch(row, j)?;
         for &v in actives {
             let local = (v - row_base) as usize;
@@ -225,12 +226,14 @@ pub fn push_block_into<Pr: VertexProgram>(
     } else {
         // Sparse: selective random fetch of each vertex's edge range
         // (`LoadOutEdges` in Algorithm 2).
+        SELECTIVE_BLOCKS.incr();
         for &v in actives {
             let local = (v - row_base) as usize;
             let (lo, hi) = (index[local], index[local + 1]);
             if lo == hi {
                 continue;
             }
+            RANGE_EDGES.record((hi - lo) as u64);
             let recs = ctx.graph.load_out_records(row, j, lo, hi)?;
             push_range(v, &recs, 0, recs.len());
         }

@@ -6,6 +6,7 @@
 //! Table 3 / Figure 7 / Figure 11 metric) identically across systems.
 
 use crate::predict::UpdateModel;
+use hus_obs::PhaseStat;
 use hus_storage::{CostModel, IoSnapshot};
 use serde::{Deserialize, Serialize};
 
@@ -38,6 +39,10 @@ pub struct IterationStats {
     pub io: IoSnapshot,
     /// Wall-clock seconds of the iteration.
     pub wall_seconds: f64,
+    /// Per-phase wall/I-O breakdown (predict / rop / cop / gather /
+    /// sync), populated when `hus_obs` collection is enabled (e.g.
+    /// `HUS_TRACE` is set); empty otherwise.
+    pub phases: Vec<PhaseStat>,
 }
 
 impl IterationStats {
@@ -85,6 +90,22 @@ impl RunStats {
     pub fn iterations_with_model(&self, model: UpdateModel) -> usize {
         self.iterations.iter().filter(|it| it.model == model).count()
     }
+
+    /// One-line human summary, e.g.
+    /// `12 iters (8 rop / 4 cop) | 1.2e6 edges | 0.35 GB I/O | 0.42 s | converged | 8 threads`.
+    pub fn summary(&self) -> String {
+        let rop = self.iterations_with_model(UpdateModel::Rop);
+        let cop = self.iterations_with_model(UpdateModel::Cop);
+        format!(
+            "{} iters ({rop} rop / {cop} cop) | {:.3e} edges | {} I/O | {} | {} | {} threads",
+            self.num_iterations(),
+            self.edges_processed as f64,
+            hus_obs::fmt_gb(self.total_io.total_bytes()),
+            hus_obs::fmt_secs(self.wall_seconds),
+            if self.converged { "converged" } else { "iteration-capped" },
+            self.threads,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -111,6 +132,7 @@ mod tests {
                 ..Default::default()
             },
             wall_seconds: 0.5,
+            phases: Vec::new(),
         }
     }
 
@@ -129,8 +151,7 @@ mod tests {
         };
         let model = CostModel::new(DeviceProfile::hdd());
         let total = stats.modeled_seconds(&model);
-        let parts: f64 =
-            stats.iterations.iter().map(|it| it.modeled_seconds(&model, 4)).sum();
+        let parts: f64 = stats.iterations.iter().map(|it| it.modeled_seconds(&model, 4)).sum();
         assert!((total - parts).abs() < 1e-12);
         assert!(total > 1.0, "1s of sequential + 1s+seek of random: {total}");
     }
@@ -173,8 +194,11 @@ mod tests {
 
     #[test]
     fn serializes_to_json() {
+        let mut it = iter_stats(UpdateModel::Cop, 5, 0);
+        it.phases =
+            vec![PhaseStat { name: "cop".into(), wall_seconds: 0.4, count: 3, io_bytes: 512 }];
         let stats = RunStats {
-            iterations: vec![iter_stats(UpdateModel::Cop, 5, 0)],
+            iterations: vec![it],
             total_io: IoSnapshot::default(),
             wall_seconds: 0.1,
             edges_processed: 100,
@@ -185,5 +209,27 @@ mod tests {
         let back: RunStats = serde_json::from_str(&s).unwrap();
         assert_eq!(back.iterations.len(), 1);
         assert_eq!(back.iterations[0].model, UpdateModel::Cop);
+        assert_eq!(back.iterations[0].phases, stats.iterations[0].phases);
+    }
+
+    #[test]
+    fn summary_is_one_line_and_mentions_the_vitals() {
+        let stats = RunStats {
+            iterations: vec![
+                iter_stats(UpdateModel::Rop, 0, 10),
+                iter_stats(UpdateModel::Cop, 10, 0),
+            ],
+            total_io: IoSnapshot { seq_read_bytes: 2_000_000_000, ..Default::default() },
+            wall_seconds: 1.5,
+            edges_processed: 12345,
+            converged: true,
+            threads: 8,
+        };
+        let s = stats.summary();
+        assert!(!s.contains('\n'));
+        assert!(s.contains("2 iters"), "{s}");
+        assert!(s.contains("1 rop / 1 cop"), "{s}");
+        assert!(s.contains("converged"), "{s}");
+        assert!(s.contains("8 threads"), "{s}");
     }
 }

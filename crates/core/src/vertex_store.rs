@@ -16,6 +16,11 @@ use hus_storage::file::TrackedFile;
 use hus_storage::pod::{self, Pod};
 use hus_storage::{Access, Result, StorageDir};
 
+/// Nanosecond latency of interval value loads (`S_i`/`D_i` reads).
+static LOAD_NS: hus_obs::LazyHistogram = hus_obs::LazyHistogram::new("store.load_ns");
+/// Nanosecond latency of interval value write-backs (`D_i` stores).
+static WRITE_NS: hus_obs::LazyHistogram = hus_obs::LazyHistogram::new("store.write_ns");
+
 /// Two-file double buffer of `V` values partitioned into intervals.
 pub struct VertexStore<V: Pod> {
     file_a: TrackedFile,
@@ -77,7 +82,10 @@ impl<V: Pod> VertexStore<V> {
     fn load_from(&self, from_a: bool, i: usize, access: Access) -> Result<Vec<V>> {
         let (offset, count) = self.byte_range(i);
         let file = if from_a { &self.file_a } else { &self.file_b };
-        hus_storage::read_pod_vec(file, offset, count, access)
+        let t0 = hus_obs::latency_timer();
+        let values = hus_storage::read_pod_vec(file, offset, count, access);
+        LOAD_NS.record_elapsed(t0);
+        values
     }
 
     /// Load interval `i`'s **current** (`S_i`) values.
@@ -96,7 +104,10 @@ impl<V: Pod> VertexStore<V> {
         assert_eq!(values.len(), self.interval_len(i) as usize, "interval {i} length mismatch");
         let (offset, _) = self.byte_range(i);
         let file = if self.current_is_a[i] { &self.file_b } else { &self.file_a };
-        file.write_at(offset, pod::as_bytes(values))
+        let t0 = hus_obs::latency_timer();
+        let res = file.write_at(offset, pod::as_bytes(values));
+        WRITE_NS.record_elapsed(t0);
+        res
     }
 
     /// Swap `S_i` and `D_i`: the next buffer becomes current (paper's

@@ -151,8 +151,7 @@ mod tests {
         for d in Dataset::ALL {
             let s = d.spec();
             let paper_ratio = s.base_edges as f64 / s.base_vertices as f64;
-            let scaled_ratio =
-                s.scaled_edges(1000.0) as f64 / s.scaled_vertices(1000.0) as f64;
+            let scaled_ratio = s.scaled_edges(1000.0) as f64 / s.scaled_vertices(1000.0) as f64;
             assert!(
                 (paper_ratio - scaled_ratio).abs() / paper_ratio < 0.01,
                 "{}: paper {paper_ratio:.1} vs scaled {scaled_ratio:.1}",

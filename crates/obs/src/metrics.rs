@@ -1,0 +1,398 @@
+//! Metric registry: named counters, gauges, and log₂-bucketed
+//! histograms.
+//!
+//! Handles are `Arc`s served by a global [`Registry`]; instrumentation
+//! sites look a metric up once (at construction / first touch) and then
+//! update it with relaxed atomics, so steady-state cost is an atomic
+//! add — cheap enough for per-I/O latency recording.
+
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Monotone event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins instantaneous value.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log₂ buckets: bucket 0 holds value 0, bucket `i ≥ 1`
+/// holds values in `[2^(i-1), 2^i)`; the last bucket absorbs the tail.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Lock-free histogram over `u64` samples with power-of-two buckets.
+///
+/// Designed for nanosecond latencies: 64 buckets cover the full `u64`
+/// range, recording is a branch-free index computation plus three
+/// relaxed atomic adds.
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Bucket index for a sample: 0 for 0, else `floor(log2(v)) + 1`.
+    #[inline]
+    pub fn bucket_index(value: u64) -> usize {
+        (64 - value.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Inclusive upper bound of bucket `i` (`u64::MAX` for the last).
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= 63 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples (wraps only after ~584 years of nanoseconds).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Consistent-enough copy of the current state (buckets are read
+    /// relaxed; concurrent recording may skew counts by a few samples).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: self.count(),
+            sum: self.sum(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram").field("count", &self.count()).field("sum", &self.sum()).finish()
+    }
+}
+
+/// Owned copy of a [`Histogram`]'s state.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (see [`HISTOGRAM_BUCKETS`]).
+    pub buckets: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`): the upper bound of the
+    /// bucket containing the `q`-th ranked sample. Resolution is the
+    /// power-of-two bucket width.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Histogram::bucket_upper_bound(i);
+            }
+        }
+        Histogram::bucket_upper_bound(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// Name-keyed store of metrics. `get`-style methods create on first
+/// use and hand back `Arc` handles to cache at the call site.
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<&'static str, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<&'static str, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// Fresh, empty registry (tests; production uses [`global`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counter handle for `name`, created on first use.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        Arc::clone(self.counters.lock().entry(name).or_default())
+    }
+
+    /// Gauge handle for `name`, created on first use.
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        Arc::clone(self.gauges.lock().entry(name).or_default())
+    }
+
+    /// Histogram handle for `name`, created on first use.
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        Arc::clone(self.histograms.lock().entry(name).or_default())
+    }
+
+    /// Snapshot every histogram, name-sorted.
+    pub fn histogram_snapshots(&self) -> Vec<(&'static str, HistogramSnapshot)> {
+        self.histograms.lock().iter().map(|(n, h)| (*n, h.snapshot())).collect()
+    }
+
+    /// Read every counter, name-sorted.
+    pub fn counter_values(&self) -> Vec<(&'static str, u64)> {
+        self.counters.lock().iter().map(|(n, c)| (*n, c.get())).collect()
+    }
+}
+
+/// The process-wide registry.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// A `static`-declarable counter that binds to the [`global`] registry
+/// on first *enabled* use. While collection is disabled every call is
+/// one relaxed load and a branch; nothing is registered.
+pub struct LazyCounter {
+    name: &'static str,
+    cell: OnceLock<Arc<Counter>>,
+}
+
+impl LazyCounter {
+    /// Declare a counter by name (registered lazily).
+    pub const fn new(name: &'static str) -> Self {
+        LazyCounter { name, cell: OnceLock::new() }
+    }
+
+    /// Add `n` if collection is enabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.cell.get_or_init(|| global().counter(self.name)).add(n);
+    }
+
+    /// Add one if collection is enabled.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+}
+
+/// A `static`-declarable gauge; see [`LazyCounter`].
+pub struct LazyGauge {
+    name: &'static str,
+    cell: OnceLock<Arc<Gauge>>,
+}
+
+impl LazyGauge {
+    /// Declare a gauge by name (registered lazily).
+    pub const fn new(name: &'static str) -> Self {
+        LazyGauge { name, cell: OnceLock::new() }
+    }
+
+    /// Overwrite the value if collection is enabled.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.cell.get_or_init(|| global().gauge(self.name)).set(v);
+    }
+}
+
+/// A `static`-declarable histogram; see [`LazyCounter`].
+pub struct LazyHistogram {
+    name: &'static str,
+    cell: OnceLock<Arc<Histogram>>,
+}
+
+impl LazyHistogram {
+    /// Declare a histogram by name (registered lazily).
+    pub const fn new(name: &'static str) -> Self {
+        LazyHistogram { name, cell: OnceLock::new() }
+    }
+
+    /// Record a sample if collection is enabled.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.cell.get_or_init(|| global().histogram(self.name)).record(value);
+    }
+
+    /// Record the nanoseconds elapsed since a [`latency_timer`] start
+    /// (no-op when the timer was not armed).
+    #[inline]
+    pub fn record_elapsed(&self, start: Option<std::time::Instant>) {
+        if let Some(t0) = start {
+            self.record(t0.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// Start a latency timer — `Some(now)` only while collection is
+/// enabled, so the disabled path never reads the clock. Pair with
+/// [`LazyHistogram::record_elapsed`].
+#[inline]
+pub fn latency_timer() -> Option<std::time::Instant> {
+    if crate::enabled() {
+        Some(std::time::Instant::now())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bucket_edges() {
+        // Bucket 0 is exactly {0}; bucket i≥1 is [2^(i-1), 2^i).
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        for i in 1..63 {
+            let lo = 1u64 << (i - 1);
+            let hi = (1u64 << i) - 1;
+            assert_eq!(Histogram::bucket_index(lo), i, "lower edge of bucket {i}");
+            assert_eq!(Histogram::bucket_index(hi), i, "upper edge of bucket {i}");
+        }
+        assert_eq!(Histogram::bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(Histogram::bucket_upper_bound(0), 0);
+        assert_eq!(Histogram::bucket_upper_bound(3), 7);
+        assert_eq!(Histogram::bucket_upper_bound(63), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_records_and_snapshots() {
+        let h = Histogram::default();
+        for v in [0, 1, 1, 5, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1007);
+        assert_eq!(s.buckets[0], 1); // 0
+        assert_eq!(s.buckets[1], 2); // 1, 1
+        assert_eq!(s.buckets[3], 1); // 5
+        assert_eq!(s.buckets[10], 1); // 1000 ∈ [512, 1024)
+        assert!((s.mean() - 201.4).abs() < 1e-9);
+        // Median sample is 1 → bucket 1 upper bound.
+        assert_eq!(s.quantile(0.5), 1);
+        assert_eq!(s.quantile(1.0), 1023);
+    }
+
+    #[test]
+    fn registry_returns_shared_handles() {
+        let r = Registry::new();
+        let a = r.counter("io.reads");
+        let b = r.counter("io.reads");
+        a.add(3);
+        b.incr();
+        assert_eq!(r.counter("io.reads").get(), 4);
+        assert_eq!(r.counter_values(), vec![("io.reads", 4)]);
+
+        let g = r.gauge("cache.pages");
+        g.set(17);
+        assert_eq!(r.gauge("cache.pages").get(), 17);
+
+        let h = r.histogram("lat");
+        h.record(9);
+        assert_eq!(r.histogram_snapshots()[0].1.count, 1);
+    }
+
+    #[test]
+    fn lazy_handles_gate_on_enabled() {
+        static C: LazyCounter = LazyCounter::new("test.lazy.counter");
+        static H: LazyHistogram = LazyHistogram::new("test.lazy.hist");
+        let _g = crate::TEST_GATE.lock();
+        crate::set_enabled(false);
+        C.add(100);
+        H.record(1);
+        assert!(latency_timer().is_none());
+        // Disabled updates register nothing and count nothing.
+        assert!(!global().counter_values().iter().any(|(n, _)| *n == "test.lazy.counter"));
+        crate::set_enabled(true);
+        C.incr();
+        C.incr();
+        let t = latency_timer();
+        assert!(t.is_some());
+        H.record_elapsed(t);
+        crate::set_enabled(false);
+        assert_eq!(global().counter("test.lazy.counter").get(), 2);
+        assert_eq!(global().histogram("test.lazy.hist").count(), 1);
+    }
+}

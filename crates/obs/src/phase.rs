@@ -1,0 +1,145 @@
+//! Aggregation of drained spans into per-phase wall-time totals.
+//!
+//! The engine's iteration loop opens depth-0 spans whose dotted names
+//! start with the phase (`predict`, `rop.row`, `cop.column`, `gather`,
+//! `sync`, …). [`aggregate`] sums only depth-0 spans so nested detail
+//! spans never double-count, and keeps phases in first-appearance
+//! order, which matches execution order within an iteration.
+//!
+//! Wall time comes from spans; bytes come from the caller: engines that
+//! also meter I/O lap an [`PhaseIo`] accumulator at phase boundaries
+//! (diffing their `IoTracker` snapshots) and merge the byte totals into
+//! the aggregated stats.
+
+use crate::span::SpanEvent;
+use serde::{Deserialize, Serialize};
+
+/// Wall time and I/O attributed to one phase of one iteration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseStat {
+    /// Phase name (first segment of the span names rolled up here).
+    pub name: String,
+    /// Total wall seconds across this phase's depth-0 spans.
+    pub wall_seconds: f64,
+    /// Number of depth-0 spans rolled up (e.g. ROP rows processed).
+    pub count: u64,
+    /// Bytes of tracked I/O attributed to the phase (0 when the engine
+    /// does not meter I/O per phase).
+    pub io_bytes: u64,
+}
+
+/// Roll depth-0 spans up into per-phase totals, first-appearance order.
+pub fn aggregate(events: &[SpanEvent]) -> Vec<PhaseStat> {
+    let mut phases: Vec<PhaseStat> = Vec::new();
+    for e in events {
+        if e.depth != 0 {
+            continue;
+        }
+        let name = e.phase();
+        let wall = e.dur_ns as f64 * 1e-9;
+        match phases.iter_mut().find(|p| p.name == name) {
+            Some(p) => {
+                p.wall_seconds += wall;
+                p.count += 1;
+            }
+            None => phases.push(PhaseStat {
+                name: name.to_string(),
+                wall_seconds: wall,
+                count: 1,
+                io_bytes: 0,
+            }),
+        }
+    }
+    phases
+}
+
+/// Sum of phase wall times (for consistency checks against the
+/// iteration's own wall clock).
+pub fn total_wall_seconds(phases: &[PhaseStat]) -> f64 {
+    phases.iter().map(|p| p.wall_seconds).sum()
+}
+
+/// Per-phase byte accumulator, lapped by the engine at phase
+/// boundaries and merged into the span-derived [`PhaseStat`]s.
+#[derive(Debug, Default)]
+pub struct PhaseIo {
+    entries: Vec<(&'static str, u64)>,
+}
+
+impl PhaseIo {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attribute `bytes` to `phase` (summing across laps).
+    pub fn add(&mut self, phase: &'static str, bytes: u64) {
+        match self.entries.iter_mut().find(|(n, _)| *n == phase) {
+            Some((_, b)) => *b += bytes,
+            None => self.entries.push((phase, bytes)),
+        }
+    }
+
+    /// Fold the accumulated bytes into matching phases (by name).
+    /// Bytes for a phase with no span are dropped — spans and laps are
+    /// expected to bracket the same regions.
+    pub fn merge_into(&self, phases: &mut [PhaseStat]) {
+        for (name, bytes) in &self.entries {
+            if let Some(p) = phases.iter_mut().find(|p| p.name == *name) {
+                p.io_bytes += bytes;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanEvent;
+
+    fn ev(name: &'static str, depth: u16, dur_ns: u64) -> SpanEvent {
+        SpanEvent { name, start_ns: 0, dur_ns, depth, field: None }
+    }
+
+    #[test]
+    fn aggregates_depth_zero_only_in_first_appearance_order() {
+        let events = vec![
+            ev("predict", 0, 1_000),
+            ev("rop.push", 1, 400), // nested: ignored
+            ev("rop.row", 0, 2_000),
+            ev("rop.row", 0, 3_000),
+            ev("sync", 0, 500),
+        ];
+        let phases = aggregate(&events);
+        assert_eq!(phases.len(), 3);
+        assert_eq!(phases[0].name, "predict");
+        assert!((phases[0].wall_seconds - 1e-6).abs() < 1e-12);
+        assert_eq!(phases[0].count, 1);
+        assert_eq!(phases[1].name, "rop");
+        assert!((phases[1].wall_seconds - 5e-6).abs() < 1e-12);
+        assert_eq!(phases[1].count, 2);
+        assert_eq!(phases[2].name, "sync");
+        assert!((total_wall_seconds(&phases) - 6.5e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_io_merges_by_name_and_sums_laps() {
+        let mut phases = aggregate(&[ev("rop.row", 0, 1_000), ev("sync", 0, 100)]);
+        let mut io = PhaseIo::new();
+        io.add("rop", 4096);
+        io.add("rop", 1024);
+        io.add("sync", 64);
+        io.add("ghost", 7); // no matching phase: dropped
+        io.merge_into(&mut phases);
+        assert_eq!(phases[0].io_bytes, 5120);
+        assert_eq!(phases[1].io_bytes, 64);
+    }
+
+    #[test]
+    fn phase_stat_serde_roundtrip() {
+        let p = PhaseStat { name: "cop".into(), wall_seconds: 0.125, count: 7, io_bytes: 512 };
+        let json = serde_json::to_string(&p).unwrap();
+        let back: PhaseStat = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

@@ -1,0 +1,187 @@
+//! JSONL event sink.
+//!
+//! One serialized record per line, flushed per write so a trace is
+//! readable even if the process aborts mid-run. The process-wide trace
+//! sink is installed by [`crate::init_from_env`] from `HUS_TRACE`, or
+//! explicitly via [`install_trace`].
+
+use crate::span::SpanEvent;
+use parking_lot::Mutex;
+use serde::Serialize;
+use serde_json::Value;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::OnceLock;
+
+/// Line-oriented JSON writer.
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Create (truncate) the sink file.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<JsonlSink> {
+        let file = File::create(path)?;
+        Ok(JsonlSink { writer: Mutex::new(BufWriter::new(file)) })
+    }
+
+    /// Write one record as one line. I/O errors are reported once to
+    /// stderr and otherwise swallowed — tracing must never fail a run.
+    pub fn emit<T: Serialize>(&self, record: &T) {
+        let line = match serde_json::to_string(record) {
+            Ok(l) => l,
+            Err(e) => {
+                warn_once(&format!("trace serialize failed: {e}"));
+                return;
+            }
+        };
+        let mut w = self.writer.lock();
+        if writeln!(w, "{line}").and_then(|_| w.flush()).is_err() {
+            warn_once("trace write failed; further records may be lost");
+        }
+    }
+
+    /// Emit a span as a `{"type":"span",...}` record, tagged with the
+    /// engine that produced it and the iteration it was drained in.
+    pub fn emit_span(&self, engine: &str, iteration: usize, e: &SpanEvent) {
+        let mut fields = vec![
+            ("type".to_string(), Value::Str("span".to_string())),
+            ("engine".to_string(), Value::Str(engine.to_string())),
+            ("iteration".to_string(), Value::U64(iteration as u64)),
+            ("name".to_string(), Value::Str(e.name.to_string())),
+            ("start_ns".to_string(), Value::U64(e.start_ns)),
+            ("dur_ns".to_string(), Value::U64(e.dur_ns)),
+            ("depth".to_string(), Value::U64(e.depth as u64)),
+        ];
+        if let Some((k, v)) = e.field {
+            fields.push((k.to_string(), Value::U64(v)));
+        }
+        self.emit(&Value::Object(fields));
+    }
+
+    /// Emit `record` flattened into a `{"type": tag, "engine": ...}`
+    /// object (non-object serializations land under a `"value"` key).
+    pub fn emit_tagged<T: Serialize>(&self, tag: &str, engine: &str, record: &T) {
+        let mut fields = vec![
+            ("type".to_string(), Value::Str(tag.to_string())),
+            ("engine".to_string(), Value::Str(engine.to_string())),
+        ];
+        match record.to_value() {
+            Value::Object(obj) => fields.extend(obj),
+            other => fields.push(("value".to_string(), other)),
+        }
+        self.emit(&Value::Object(fields));
+    }
+
+    /// Emit one `{"type":"iteration",...}` record (an `IterationStats`
+    /// or anything else serializing to an object).
+    pub fn emit_iteration<T: Serialize>(&self, engine: &str, stats: &T) {
+        self.emit_tagged("iteration", engine, stats);
+    }
+
+    /// Emit one `{"type":"run",...}` record at the end of a run.
+    pub fn emit_run<T: Serialize>(&self, engine: &str, stats: &T) {
+        self.emit_tagged("run", engine, stats);
+    }
+}
+
+fn warn_once(msg: &str) {
+    static WARNED: OnceLock<()> = OnceLock::new();
+    let mut first = false;
+    WARNED.get_or_init(|| {
+        first = true;
+    });
+    if first {
+        eprintln!("warning: {msg}");
+    }
+}
+
+static TRACE: OnceLock<JsonlSink> = OnceLock::new();
+
+/// Install the process-wide trace sink (first install wins).
+pub fn install_trace(sink: JsonlSink) {
+    let _ = TRACE.set(sink);
+}
+
+/// The installed trace sink, if any.
+pub fn trace() -> Option<&'static JsonlSink> {
+    TRACE.get()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Rec {
+        iteration: usize,
+        wall_seconds: f64,
+        model: String,
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("t.jsonl");
+        let sink = JsonlSink::create(&path).unwrap();
+        let records = vec![
+            Rec { iteration: 0, wall_seconds: 0.5, model: "Rop".into() },
+            Rec { iteration: 1, wall_seconds: 0.25, model: "Cop".into() },
+        ];
+        for r in &records {
+            sink.emit(r);
+        }
+        drop(sink);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let back: Vec<Rec> = text.lines().map(|l| serde_json::from_str(l).unwrap()).collect();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn span_records_carry_fields() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("s.jsonl");
+        let sink = JsonlSink::create(&path).unwrap();
+        let e = SpanEvent {
+            name: "rop.row",
+            start_ns: 10,
+            dur_ns: 250,
+            depth: 0,
+            field: Some(("interval", 4)),
+        };
+        sink.emit_span("hus", 7, &e);
+        drop(sink);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let v: Value = serde_json::from_str(text.trim()).unwrap();
+        assert_eq!(v.get("type"), Some(&Value::Str("span".into())));
+        assert_eq!(v.get("engine"), Some(&Value::Str("hus".into())));
+        assert_eq!(v.get("iteration"), Some(&Value::U64(7)));
+        assert_eq!(v.get("name"), Some(&Value::Str("rop.row".into())));
+        assert_eq!(v.get("dur_ns"), Some(&Value::U64(250)));
+        assert_eq!(v.get("interval"), Some(&Value::U64(4)));
+    }
+
+    #[test]
+    fn tagged_records_flatten_objects() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("r.jsonl");
+        let sink = JsonlSink::create(&path).unwrap();
+        sink.emit_iteration(
+            "graphchi",
+            &Rec { iteration: 2, wall_seconds: 0.75, model: "Cop".into() },
+        );
+        sink.emit_run("graphchi", &3u64);
+        drop(sink);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<Value> = text.lines().map(|l| serde_json::from_str(l).unwrap()).collect();
+        assert_eq!(lines[0].get("type"), Some(&Value::Str("iteration".into())));
+        assert_eq!(lines[0].get("engine"), Some(&Value::Str("graphchi".into())));
+        assert_eq!(lines[0].get("iteration"), Some(&Value::U64(2)));
+        assert_eq!(lines[0].get("model"), Some(&Value::Str("Cop".into())));
+        // Non-object payloads nest under "value".
+        assert_eq!(lines[1].get("type"), Some(&Value::Str("run".into())));
+        assert_eq!(lines[1].get("value"), Some(&Value::U64(3)));
+    }
+}

@@ -1,0 +1,200 @@
+//! RAII span timers.
+//!
+//! A span is opened with [`crate::span!`] and measures wall time until
+//! its guard drops. Spans nest: each guard records the depth at which
+//! it opened, children close before their parent, so the drained event
+//! stream lists children before the enclosing parent span.
+//!
+//! Closed spans buffer in a thread-local vector; when a depth-0 span
+//! closes, the thread's buffer is flushed into the global collector.
+//! The engine drains the collector once per iteration with [`drain`]
+//! and aggregates depth-0 events into [`crate::PhaseStat`]s.
+
+use parking_lot::Mutex;
+use std::cell::{Cell, RefCell};
+use std::time::Instant;
+
+/// One closed span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// Static dotted name; the first segment is the phase
+    /// (`"rop.row"` → phase `rop`).
+    pub name: &'static str,
+    /// Start offset from the process trace epoch, nanoseconds.
+    pub start_ns: u64,
+    /// Wall duration, nanoseconds.
+    pub dur_ns: u64,
+    /// Nesting depth at open (0 = top level on its thread).
+    pub depth: u16,
+    /// Optional structured field, e.g. `("interval", 3)`.
+    pub field: Option<(&'static str, u64)>,
+}
+
+impl SpanEvent {
+    /// The phase this span belongs to: the dotted name's first segment.
+    pub fn phase(&self) -> &'static str {
+        self.name.split('.').next().unwrap_or(self.name)
+    }
+}
+
+static COLLECTOR: Mutex<Vec<SpanEvent>> = Mutex::new(Vec::new());
+
+thread_local! {
+    static DEPTH: Cell<u16> = const { Cell::new(0) };
+    static LOCAL: RefCell<Vec<SpanEvent>> = const { RefCell::new(Vec::new()) };
+}
+
+fn epoch() -> Instant {
+    static EPOCH: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Open a span; prefer the [`crate::span!`] macro. Returns an inert
+/// guard (no allocation, no clock read) when collection is disabled.
+pub fn enter(name: &'static str, field: Option<(&'static str, u64)>) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard { live: None };
+    }
+    let depth = DEPTH.with(|d| {
+        let cur = d.get();
+        d.set(cur + 1);
+        cur
+    });
+    SpanGuard { live: Some(LiveSpan { name, field, depth, start: Instant::now() }) }
+}
+
+/// Take every span flushed since the last drain, in flush order.
+pub fn drain() -> Vec<SpanEvent> {
+    std::mem::take(&mut *COLLECTOR.lock())
+}
+
+/// Flush the calling thread's buffered spans to the global collector
+/// even if no depth-0 span closed (used by tests and at run end).
+pub fn flush_thread() {
+    LOCAL.with(|l| {
+        let mut local = l.borrow_mut();
+        if !local.is_empty() {
+            COLLECTOR.lock().append(&mut local);
+        }
+    });
+}
+
+struct LiveSpan {
+    name: &'static str,
+    field: Option<(&'static str, u64)>,
+    depth: u16,
+    start: Instant,
+}
+
+/// RAII guard measuring one span; records on drop.
+pub struct SpanGuard {
+    live: Option<LiveSpan>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(span) = self.live.take() else { return };
+        let dur_ns = span.start.elapsed().as_nanos() as u64;
+        let start_ns = span.start.duration_since(epoch()).as_nanos() as u64;
+        DEPTH.with(|d| d.set(span.depth));
+        let event =
+            SpanEvent { name: span.name, start_ns, dur_ns, depth: span.depth, field: span.field };
+        LOCAL.with(|l| l.borrow_mut().push(event));
+        if span.depth == 0 {
+            flush_thread();
+        }
+    }
+}
+
+/// Open an RAII span timer: `span!("rop.row")` or
+/// `span!("rop.row", interval = i)`. Bind the result
+/// (`let _s = span!(..)`) so the span covers the intended scope.
+#[macro_export]
+macro_rules! span {
+    ($name:literal) => {
+        $crate::span::enter($name, ::core::option::Option::None)
+    };
+    ($name:literal, $key:ident = $value:expr) => {
+        $crate::span::enter(
+            $name,
+            ::core::option::Option::Some((stringify!($key), ($value) as u64)),
+        )
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_clean_collector<R>(f: impl FnOnce() -> R) -> R {
+        // Span tests share the process-global collector, so they
+        // serialize on the crate gate and drain before releasing it.
+        let _g = crate::TEST_GATE.lock();
+        crate::set_enabled(true);
+        drain();
+        let r = f();
+        crate::set_enabled(false);
+        drain();
+        r
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _g = crate::TEST_GATE.lock();
+        crate::set_enabled(false);
+        drain();
+        {
+            let _s = crate::span!("predict");
+        }
+        flush_thread();
+        assert!(drain().is_empty());
+    }
+
+    #[test]
+    fn nesting_depths_and_drain_order() {
+        let events = with_clean_collector(|| {
+            {
+                let _outer = crate::span!("rop.row", interval = 3);
+                {
+                    let _inner = crate::span!("rop.push");
+                    let _deeper = crate::span!("rop.fetch");
+                }
+                let _sibling = crate::span!("rop.writeback");
+            }
+            drain()
+        });
+        // Children close (and thus appear) before their parent; the
+        // parent's depth-0 close flushes the whole thread buffer.
+        let names: Vec<&str> = events.iter().map(|e| e.name).collect();
+        assert_eq!(names, ["rop.fetch", "rop.push", "rop.writeback", "rop.row"]);
+        let depths: Vec<u16> = events.iter().map(|e| e.depth).collect();
+        assert_eq!(depths, [2, 1, 1, 0]);
+        assert_eq!(events[3].field, Some(("interval", 3)));
+        assert!(events.iter().all(|e| e.phase() == "rop"));
+        // The parent span contains its children in time.
+        let parent = &events[3];
+        for child in &events[..3] {
+            assert!(child.start_ns >= parent.start_ns);
+            assert!(child.start_ns + child.dur_ns <= parent.start_ns + parent.dur_ns + 1_000);
+        }
+    }
+
+    #[test]
+    fn sequential_top_level_spans_flush_each() {
+        let events = with_clean_collector(|| {
+            {
+                let _a = crate::span!("predict");
+            }
+            {
+                let _b = crate::span!("sync");
+            }
+            drain()
+        });
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "predict");
+        assert_eq!(events[1].name, "sync");
+        assert!(events[0].depth == 0 && events[1].depth == 0);
+        // Wall-clock ordering across separate top-level spans.
+        assert!(events[1].start_ns >= events[0].start_ns + events[0].dur_ns);
+    }
+}

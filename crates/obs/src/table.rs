@@ -1,0 +1,126 @@
+//! Plain-text table rendering — the human-readable sink.
+//!
+//! Moved here from the bench crate's report module so engines and the
+//! profiler can render per-iteration phase tables without depending on
+//! the experiment harness; `hus-bench` re-exports these names.
+
+/// A simple aligned text table (markdown-flavored) printed to stdout.
+#[derive(Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render as a markdown table string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::from("|");
+            for (c, cell) in cells.iter().enumerate() {
+                line.push_str(&format!(" {:<width$} |", cell, width = widths[c]));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('|');
+        for w in &widths {
+            out.push_str(&format!("{:-<width$}|", "", width = w + 2));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Print the table with a title.
+    pub fn print(&self, title: &str) {
+        println!("\n## {title}\n");
+        print!("{}", self.render());
+    }
+}
+
+/// Format seconds compactly (`1.23 s`, `45.6 ms`).
+pub fn fmt_secs(s: f64) -> String {
+    if !s.is_finite() {
+        "-".to_string()
+    } else if s >= 100.0 {
+        format!("{s:.0} s")
+    } else if s >= 1.0 {
+        format!("{s:.2} s")
+    } else {
+        format!("{:.1} ms", s * 1e3)
+    }
+}
+
+/// Format a byte count as decimal GB/MB.
+pub fn fmt_gb(bytes: u64) -> String {
+    let b = bytes as f64;
+    if b >= 1e9 {
+        format!("{:.2} GB", b / 1e9)
+    } else {
+        format!("{:.1} MB", b / 1e6)
+    }
+}
+
+/// Format a speedup factor (`3.2x`).
+pub fn fmt_speedup(factor: f64) -> String {
+    format!("{factor:.1}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_markdown() {
+        let mut t = Table::new(&["sys", "time"]);
+        t.row(vec!["HUS-Graph".into(), "1.2 s".into()]);
+        t.row(vec!["GraphChi".into(), "12 s".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("| sys"));
+        assert!(lines[1].starts_with("|--"));
+        assert!(lines[2].contains("HUS-Graph"));
+        // all lines same width
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        Table::new(&["a", "b"]).row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_secs(0.0123), "12.3 ms");
+        assert_eq!(fmt_secs(3.456), "3.46 s");
+        assert_eq!(fmt_secs(250.0), "250 s");
+        assert_eq!(fmt_secs(f64::NAN), "-");
+        assert_eq!(fmt_gb(1_500_000), "1.5 MB");
+        assert_eq!(fmt_gb(2_340_000_000), "2.34 GB");
+        assert_eq!(fmt_speedup(3.24), "3.2x");
+    }
+}

@@ -23,6 +23,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Default page size (64 KiB — readahead-window sized).
 pub const DEFAULT_PAGE_BYTES: usize = 64 << 10;
 
+/// Process-wide cache effectiveness counters (sum across all caches).
+static HITS: hus_obs::LazyCounter = hus_obs::LazyCounter::new("storage.cache.hits");
+static MISSES: hus_obs::LazyCounter = hus_obs::LazyCounter::new("storage.cache.misses");
+static EVICTIONS: hus_obs::LazyCounter = hus_obs::LazyCounter::new("storage.cache.evictions");
+/// Nanoseconds to fetch one page from the inner backend on a miss.
+static PAGE_FETCH_NS: hus_obs::LazyHistogram =
+    hus_obs::LazyHistogram::new("storage.cache.page_fetch_ns");
+
 /// Cache hit/miss counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -130,7 +138,9 @@ impl<B: ReadBackend> CachedBackend<B> {
                 Access::Random => Access::Batched,
                 other => other,
             };
+            let t0 = hus_obs::latency_timer();
             self.inner.read_at(start, &mut buf, billed)?;
+            PAGE_FETCH_NS.record_elapsed(t0);
         }
         Ok(buf)
     }
@@ -155,8 +165,7 @@ impl<B: ReadBackend> ReadBackend for CachedBackend<B> {
             let page_start = page * self.page_bytes as u64;
             // Slice of this page the caller wants.
             let want_start = offset.max(page_start);
-            let want_end =
-                (offset + buf.len() as u64).min(page_start + self.page_bytes as u64);
+            let want_end = (offset + buf.len() as u64).min(page_start + self.page_bytes as u64);
             let in_page = (want_start - page_start) as usize;
             let n = (want_end - want_start) as usize;
 
@@ -172,6 +181,7 @@ impl<B: ReadBackend> ReadBackend for CachedBackend<B> {
                 };
                 if hit.is_some() {
                     state.stats.hits += 1;
+                    HITS.incr();
                 }
                 hit
             };
@@ -182,13 +192,14 @@ impl<B: ReadBackend> ReadBackend for CachedBackend<B> {
                     let out = data[in_page..in_page + n].to_vec();
                     let mut state = self.state.lock();
                     state.stats.misses += 1;
+                    MISSES.incr();
                     if state.pages.len() >= self.max_pages {
                         // Evict the least-recently used page.
-                        if let Some((&victim, _)) =
-                            state.pages.iter().min_by_key(|(_, e)| e.stamp)
+                        if let Some((&victim, _)) = state.pages.iter().min_by_key(|(_, e)| e.stamp)
                         {
                             state.pages.remove(&victim);
                             state.stats.evictions += 1;
+                            EVICTIONS.incr();
                         }
                     }
                     state.pages.insert(page, PageEntry { data, stamp });

@@ -6,11 +6,11 @@
 //! hands out tracked readers/writers.
 
 use crate::buffer::TrackedWriter;
+#[allow(unused_imports)] // used in the Cached backend arm
+use crate::cache::CachedBackend;
 use crate::error::{Result, StorageError};
 use crate::file::{FileBackend, TrackedFile};
 use crate::mmap::MmapBackend;
-#[allow(unused_imports)] // used in the Cached backend arm
-use crate::cache::CachedBackend;
 use crate::tracker::IoTracker;
 use crate::ReadBackend;
 use std::path::{Path, PathBuf};

@@ -40,10 +40,7 @@ pub enum StorageError {
 impl StorageError {
     /// Wrap an [`io::Error`] with the path that produced it.
     pub fn io_at(path: impl Into<PathBuf>, source: io::Error) -> Self {
-        StorageError::Io {
-            path: Some(path.into()),
-            source,
-        }
+        StorageError::Io { path: Some(path.into()), source }
     }
 }
 
@@ -54,10 +51,9 @@ impl fmt::Display for StorageError {
                 write!(f, "I/O error on {}: {source}", p.display())
             }
             StorageError::Io { path: None, source } => write!(f, "I/O error: {source}"),
-            StorageError::OutOfBounds { offset, len, file_len } => write!(
-                f,
-                "read of {len} bytes at offset {offset} exceeds file length {file_len}"
-            ),
+            StorageError::OutOfBounds { offset, len, file_len } => {
+                write!(f, "read of {len} bytes at offset {offset} exceeds file length {file_len}")
+            }
             StorageError::MissingFile(p) => write!(f, "missing storage file {}", p.display()),
             StorageError::BadCast { detail } => write!(f, "bad pod cast: {detail}"),
             StorageError::Corrupt(msg) => write!(f, "corrupt storage metadata: {msg}"),

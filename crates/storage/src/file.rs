@@ -11,6 +11,24 @@ use std::sync::Arc;
 #[cfg(unix)]
 use std::os::unix::fs::FileExt;
 
+/// Per-access-class `pread` latency in nanoseconds.
+static READ_NS_SEQ: hus_obs::LazyHistogram =
+    hus_obs::LazyHistogram::new("storage.file.read_ns.seq");
+static READ_NS_RAND: hus_obs::LazyHistogram =
+    hus_obs::LazyHistogram::new("storage.file.read_ns.rand");
+static READ_NS_BATCHED: hus_obs::LazyHistogram =
+    hus_obs::LazyHistogram::new("storage.file.read_ns.batched");
+/// `pwrite` latency in nanoseconds.
+static WRITE_NS: hus_obs::LazyHistogram = hus_obs::LazyHistogram::new("storage.file.write_ns");
+
+fn read_latency_hist(access: Access) -> &'static hus_obs::LazyHistogram {
+    match access {
+        Access::Sequential => &READ_NS_SEQ,
+        Access::Random => &READ_NS_RAND,
+        Access::Batched => &READ_NS_BATCHED,
+    }
+}
+
 /// Read-only backend over a plain file using positioned (`pread`) reads.
 ///
 /// Safe for concurrent use from many threads: positioned reads carry their
@@ -43,9 +61,9 @@ impl ReadBackend for FileBackend {
         if offset + want > self.len {
             return Err(StorageError::OutOfBounds { offset, len: want, file_len: self.len });
         }
-        self.file
-            .read_exact_at(buf, offset)
-            .map_err(|e| StorageError::io_at(&self.path, e))?;
+        let t0 = hus_obs::latency_timer();
+        self.file.read_exact_at(buf, offset).map_err(|e| StorageError::io_at(&self.path, e))?;
+        read_latency_hist(access).record_elapsed(t0);
         self.tracker.record_read(access, want);
         Ok(())
     }
@@ -83,9 +101,9 @@ impl TrackedFile {
 
     /// Write `data` at `offset`, growing the file if needed.
     pub fn write_at(&self, offset: u64, data: &[u8]) -> Result<()> {
-        self.file
-            .write_all_at(data, offset)
-            .map_err(|e| StorageError::io_at(&self.path, e))?;
+        let t0 = hus_obs::latency_timer();
+        self.file.write_all_at(data, offset).map_err(|e| StorageError::io_at(&self.path, e))?;
+        WRITE_NS.record_elapsed(t0);
         self.tracker.record_write(data.len() as u64);
         let end = offset + data.len() as u64;
         self.len.fetch_max(end, Ordering::Relaxed);
@@ -117,9 +135,9 @@ impl ReadBackend for TrackedFile {
         if offset + want > len {
             return Err(StorageError::OutOfBounds { offset, len: want, file_len: len });
         }
-        self.file
-            .read_exact_at(buf, offset)
-            .map_err(|e| StorageError::io_at(&self.path, e))?;
+        let t0 = hus_obs::latency_timer();
+        self.file.read_exact_at(buf, offset).map_err(|e| StorageError::io_at(&self.path, e))?;
+        read_latency_hist(access).record_elapsed(t0);
         self.tracker.record_read(access, want);
         Ok(())
     }

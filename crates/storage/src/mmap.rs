@@ -14,6 +14,23 @@ use std::fs::File;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+/// Per-access-class mmap copy-out latency in nanoseconds (page faults on
+/// a cold map show up as slow outliers here).
+static READ_NS_SEQ: hus_obs::LazyHistogram =
+    hus_obs::LazyHistogram::new("storage.mmap.read_ns.seq");
+static READ_NS_RAND: hus_obs::LazyHistogram =
+    hus_obs::LazyHistogram::new("storage.mmap.read_ns.rand");
+static READ_NS_BATCHED: hus_obs::LazyHistogram =
+    hus_obs::LazyHistogram::new("storage.mmap.read_ns.batched");
+
+fn read_latency_hist(access: Access) -> &'static hus_obs::LazyHistogram {
+    match access {
+        Access::Sequential => &READ_NS_SEQ,
+        Access::Random => &READ_NS_RAND,
+        Access::Batched => &READ_NS_BATCHED,
+    }
+}
+
 /// Read-only mmap-backed storage backend.
 pub struct MmapBackend {
     path: PathBuf,
@@ -60,8 +77,10 @@ impl MmapBackend {
 impl ReadBackend for MmapBackend {
     fn read_at(&self, offset: u64, buf: &mut [u8], access: Access) -> Result<()> {
         let want = buf.len();
+        let t0 = hus_obs::latency_timer();
         let slice = self.slice(offset, want, access)?;
         buf.copy_from_slice(slice);
+        read_latency_hist(access).record_elapsed(t0);
         Ok(())
     }
 

@@ -11,6 +11,14 @@
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Request-size distributions per access class (log-bucketed; populated
+/// only while `hus_obs` collection is enabled).
+static READ_SEQ_BYTES: hus_obs::LazyHistogram = hus_obs::LazyHistogram::new("io.read_bytes.seq");
+static READ_RAND_BYTES: hus_obs::LazyHistogram = hus_obs::LazyHistogram::new("io.read_bytes.rand");
+static READ_BATCHED_BYTES: hus_obs::LazyHistogram =
+    hus_obs::LazyHistogram::new("io.read_bytes.batched");
+static WRITE_BYTES: hus_obs::LazyHistogram = hus_obs::LazyHistogram::new("io.write_bytes");
+
 /// Classification of a read access, as seen by the disk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Access {
@@ -51,14 +59,17 @@ impl IoTracker {
             Access::Sequential => {
                 self.seq_read_bytes.fetch_add(bytes, Ordering::Relaxed);
                 self.seq_read_ops.fetch_add(1, Ordering::Relaxed);
+                READ_SEQ_BYTES.record(bytes);
             }
             Access::Random => {
                 self.rand_read_bytes.fetch_add(bytes, Ordering::Relaxed);
                 self.rand_read_ops.fetch_add(1, Ordering::Relaxed);
+                READ_RAND_BYTES.record(bytes);
             }
             Access::Batched => {
                 self.batched_read_bytes.fetch_add(bytes, Ordering::Relaxed);
                 self.batched_read_ops.fetch_add(1, Ordering::Relaxed);
+                READ_BATCHED_BYTES.record(bytes);
             }
         }
     }
@@ -68,6 +79,7 @@ impl IoTracker {
     pub fn record_write(&self, bytes: u64) {
         self.write_bytes.fetch_add(bytes, Ordering::Relaxed);
         self.write_ops.fetch_add(1, Ordering::Relaxed);
+        WRITE_BYTES.record(bytes);
     }
 
     /// Capture the current counter values.
@@ -139,9 +151,7 @@ impl IoSnapshot {
             seq_read_ops: self.seq_read_ops.saturating_sub(earlier.seq_read_ops),
             rand_read_bytes: self.rand_read_bytes.saturating_sub(earlier.rand_read_bytes),
             rand_read_ops: self.rand_read_ops.saturating_sub(earlier.rand_read_ops),
-            batched_read_bytes: self
-                .batched_read_bytes
-                .saturating_sub(earlier.batched_read_bytes),
+            batched_read_bytes: self.batched_read_bytes.saturating_sub(earlier.batched_read_bytes),
             batched_read_ops: self.batched_read_ops.saturating_sub(earlier.batched_read_ops),
             write_bytes: self.write_bytes.saturating_sub(earlier.write_bytes),
             write_ops: self.write_ops.saturating_sub(earlier.write_ops),
@@ -244,6 +254,35 @@ mod tests {
         assert_eq!(c.seq_read_bytes, 4);
         assert_eq!(c.write_bytes, 2);
         assert_eq!(c.rand_read_ops, 4);
+    }
+
+    #[test]
+    fn since_inverts_plus_on_every_field() {
+        let a = IoSnapshot {
+            seq_read_bytes: 100,
+            seq_read_ops: 3,
+            rand_read_bytes: 40,
+            rand_read_ops: 5,
+            batched_read_bytes: 64,
+            batched_read_ops: 1,
+            write_bytes: 256,
+            write_ops: 2,
+        };
+        let b = IoSnapshot {
+            seq_read_bytes: 7,
+            seq_read_ops: 1,
+            rand_read_bytes: 8,
+            rand_read_ops: 2,
+            batched_read_bytes: 16,
+            batched_read_ops: 4,
+            write_bytes: 32,
+            write_ops: 8,
+        };
+        // The diff of a later cumulative snapshot against an earlier one
+        // recovers exactly the traffic in between, field by field.
+        assert_eq!(a.plus(&b).since(&a), b);
+        assert_eq!(a.since(&a), IoSnapshot::default());
+        assert_eq!(a.plus(&b).since(&a).total_bytes(), b.total_bytes());
     }
 
     #[test]

@@ -15,9 +15,8 @@ fn main() -> hus_storage::Result<()> {
 
     // 1. A large-ish edge file on disk (in real use this is your dataset;
     //    here we synthesize one).
-    let edges = husgraph::gen::Dataset::Twitter2010
-        .generate_at_scale(500.0)
-        .with_hash_weights(1.0, 2.0);
+    let edges =
+        husgraph::gen::Dataset::Twitter2010.generate_at_scale(500.0).with_hash_weights(1.0, 2.0);
     let file = dir.join("twitter.husg");
     husgraph::gen::io::write_binary(&edges, &file).map_err(hus_storage::StorageError::from)?;
     println!(
@@ -47,8 +46,7 @@ fn main() -> hus_storage::Result<()> {
     graph_dir.tracker().reset();
     let graph = HusGraph::open(graph_dir)?;
     let sssp = husgraph::algos::Sssp::new(0);
-    let engine =
-        husgraph::core::Engine::new(&graph, &sssp, husgraph::core::RunConfig::default());
+    let engine = husgraph::core::Engine::new(&graph, &sssp, husgraph::core::RunConfig::default());
     let (dist, stats) = engine.run()?;
     println!(
         "\nSSSP over the externally-built graph: reached {} vertices in {} iterations",

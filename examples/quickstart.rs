@@ -45,7 +45,8 @@ fn main() -> hus_storage::Result<()> {
 
     // 4. PageRank, five iterations as in the paper.
     let (ranks, pr_stats) = graph.pagerank(5)?;
-    let mut top: Vec<(u32, f32)> = ranks.iter().copied().enumerate().map(|(v, r)| (v as u32, r)).collect();
+    let mut top: Vec<(u32, f32)> =
+        ranks.iter().copied().enumerate().map(|(v, r)| (v as u32, r)).collect();
     top.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!("\nPageRank (5 iterations): top 5 vertices");
     for (v, r) in top.iter().take(5) {

@@ -29,11 +29,7 @@ fn main() -> hus_storage::Result<()> {
     // Row-major grid ids give the wavefront strong interval locality:
     // with P = 8, each step touches only a couple of intervals, so ROP
     // loads a fraction of the index/vertex data per step.
-    let graph = Graph::build_with(
-        &roads,
-        &dir,
-        &husgraph::core::BuildConfig::with_p(8),
-    )?;
+    let graph = Graph::build_with(&roads, &dir, &husgraph::core::BuildConfig::with_p(8))?;
 
     // Route from the north-west corner.
     let depot = 0u32;

@@ -37,8 +37,7 @@ fn main() -> hus_storage::Result<()> {
     let mut delta_program = PageRankDelta::new(n);
     delta_program.tolerance = 0.05 / n as f32;
     let config = RunConfig { max_iterations: 100, ..Default::default() };
-    let (delta_values, delta_stats) =
-        Engine::new(graph.inner(), &delta_program, config).run()?;
+    let (delta_values, delta_stats) = Engine::new(graph.inner(), &delta_program, config).run()?;
 
     // Influence ranking agreement between the two.
     let top_of = |scores: &[f32]| -> Vec<u32> {

@@ -18,8 +18,8 @@
 
 use hus_algos::{Bfs, PageRank, Sssp, Wcc};
 use hus_core::{
-    build, build_external, BinaryFileSource, BuildConfig, Engine, HusGraph, ListSource,
-    RunConfig, RunStats, UpdateMode, VertexProgram,
+    build, build_external, BinaryFileSource, BuildConfig, Engine, HusGraph, ListSource, RunConfig,
+    RunStats, UpdateMode, VertexProgram,
 };
 use hus_gen::EdgeList;
 use hus_storage::{CostModel, DeviceProfile, StorageDir};

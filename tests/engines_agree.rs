@@ -20,11 +20,14 @@ struct Arena {
 
 fn build_all(el: &EdgeList, p: u32) -> Arena {
     let tmp = tempfile::tempdir().unwrap();
-    let hus =
-        HusGraph::build_into(el, &StorageDir::create(tmp.path().join("hus")).unwrap(), &BuildConfig::with_p(p))
-            .unwrap();
-    let grid =
-        GridStore::build_into(el, &StorageDir::create(tmp.path().join("grid")).unwrap(), p).unwrap();
+    let hus = HusGraph::build_into(
+        el,
+        &StorageDir::create(tmp.path().join("hus")).unwrap(),
+        &BuildConfig::with_p(p),
+    )
+    .unwrap();
+    let grid = GridStore::build_into(el, &StorageDir::create(tmp.path().join("grid")).unwrap(), p)
+        .unwrap();
     let psw =
         PswStore::build_into(el, &StorageDir::create(tmp.path().join("psw")).unwrap(), p).unwrap();
     Arena { _tmp: tmp, hus, grid, psw }
@@ -59,7 +62,8 @@ fn bfs_agrees_across_all_engines() {
         assert_eq!(hus_run(&arena, &Bfs::new(0), mode, gran, 1000), want, "{mode:?}/{gran:?}");
     }
     let cfg = BaselineConfig { threads: 2, ..Default::default() };
-    let (grid_levels, _) = GridGraphEngine::new(&arena.grid, &Bfs::new(0), cfg.clone()).run().unwrap();
+    let (grid_levels, _) =
+        GridGraphEngine::new(&arena.grid, &Bfs::new(0), cfg.clone()).run().unwrap();
     assert_eq!(grid_levels, want, "GridGraph");
     let (psw_levels, _) = GraphChiEngine::new(&arena.psw, &Bfs::new(0), cfg).run().unwrap();
     assert_eq!(psw_levels, want, "GraphChi");
@@ -84,8 +88,8 @@ fn sssp_agrees_across_all_engines() {
     let want = reference::sssp_distances(&Csr::from_edge_list(&el), 0);
     let close = |got: &[f32], label: &str| {
         for (v, (g, w)) in got.iter().zip(&want).enumerate() {
-            let ok = (g.is_infinite() && w.is_infinite())
-                || (g - w).abs() <= 1e-4 * w.abs().max(1.0);
+            let ok =
+                (g.is_infinite() && w.is_infinite()) || (g - w).abs() <= 1e-4 * w.abs().max(1.0);
             assert!(ok, "{label} vertex {v}: {g} vs {w}");
         }
     };
@@ -161,17 +165,12 @@ fn xstream_and_semi_external_agree_too() {
     let want = reference::bfs_levels(&Csr::from_edge_list(&el), 0);
     let arena = build_all(&el, 4);
     let tmp = tempfile::tempdir().unwrap();
-    let xs = XStreamStore::build_into(
-        &el,
-        &StorageDir::create(tmp.path().join("xs")).unwrap(),
-        4,
-    )
-    .unwrap();
+    let xs = XStreamStore::build_into(&el, &StorageDir::create(tmp.path().join("xs")).unwrap(), 4)
+        .unwrap();
     let cfg = BaselineConfig::default();
     let (xs_levels, _) = XStreamEngine::new(&xs, &Bfs::new(0), cfg.clone()).run().unwrap();
     assert_eq!(xs_levels, want, "X-Stream");
-    let (se_levels, _) =
-        SemiExternalEngine::new(&arena.hus, &Bfs::new(0), cfg).run().unwrap();
+    let (se_levels, _) = SemiExternalEngine::new(&arena.hus, &Bfs::new(0), cfg).run().unwrap();
     assert_eq!(se_levels, want, "semi-external");
 }
 
@@ -182,12 +181,8 @@ fn gauss_seidel_engines_reach_reference_fixpoints() {
     let want = reference::wcc_labels(&Csr::from_edge_list(&el));
     let arena = build_all(&el, 4);
     for mode in [UpdateMode::ForceRop, UpdateMode::ForceCop, UpdateMode::Hybrid] {
-        let config = RunConfig {
-            mode,
-            synchrony: Synchrony::GaussSeidel,
-            threads: 2,
-            ..Default::default()
-        };
+        let config =
+            RunConfig { mode, synchrony: Synchrony::GaussSeidel, threads: 2, ..Default::default() };
         let (got, stats) = Engine::new(&arena.hus, &Wcc, config).run().unwrap();
         assert!(stats.converged);
         assert_eq!(got, want, "{mode:?}");

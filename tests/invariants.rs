@@ -3,7 +3,7 @@
 //! correct BFS/SSSP/WCC/PageRank, probed on random graphs.
 
 use husgraph::algos::{Bfs, PageRank, Sssp, Wcc, UNREACHED};
-use husgraph::core::{BuildConfig, Engine, HusGraph, RunConfig, UpdateMode};
+use husgraph::core::{BuildConfig, Engine, HusGraph, RunConfig};
 use husgraph::gen::{Csr, EdgeList};
 use husgraph::storage::StorageDir;
 use proptest::prelude::*;

@@ -34,11 +34,10 @@ fn build_all(el: &EdgeList, p: u32) -> Arena {
         &BuildConfig::with_p(p),
     )
     .unwrap();
-    let grid =
-        GridStore::build_into(el, &StorageDir::create(tmp.path().join("grid")).unwrap(), p)
-            .unwrap();
-    let psw = PswStore::build_into(el, &StorageDir::create(tmp.path().join("psw")).unwrap(), p)
+    let grid = GridStore::build_into(el, &StorageDir::create(tmp.path().join("grid")).unwrap(), p)
         .unwrap();
+    let psw =
+        PswStore::build_into(el, &StorageDir::create(tmp.path().join("psw")).unwrap(), p).unwrap();
     hus.dir().tracker().reset();
     grid.dir().tracker().reset();
     psw.dir().tracker().reset();
@@ -49,8 +48,7 @@ fn build_all(el: &EdgeList, p: u32) -> Arena {
 fn bfs_io_ordering_hus_grid_graphchi() {
     let el = graph();
     let arena = build_all(&el, 4);
-    let (_, hus) =
-        Engine::new(&arena.hus, &Bfs::new(0), RunConfig::default()).run().unwrap();
+    let (_, hus) = Engine::new(&arena.hus, &Bfs::new(0), RunConfig::default()).run().unwrap();
     arena.grid.dir().tracker().reset();
     let (_, grid) =
         GridGraphEngine::new(&arena.grid, &Bfs::new(0), BaselineConfig::default()).run().unwrap();
@@ -131,13 +129,9 @@ fn pagerank_io_is_iteration_proportional_for_full_io_systems() {
     let cfg = BaselineConfig { max_iterations: 4, ..Default::default() };
     let (_, stats) =
         GridGraphEngine::new(&arena.grid, &PageRank::new(el.num_vertices), cfg).run().unwrap();
-    let per_iter: Vec<u64> =
-        stats.iterations.iter().map(|it| it.io.total_bytes()).collect();
+    let per_iter: Vec<u64> = stats.iterations.iter().map(|it| it.io.total_bytes()).collect();
     let first = per_iter[0];
     for (i, &b) in per_iter.iter().enumerate() {
-        assert!(
-            b.abs_diff(first) * 20 < first,
-            "iteration {i} moved {b}, expected ~{first}"
-        );
+        assert!(b.abs_diff(first) * 20 < first, "iteration {i} moved {b}, expected ~{first}");
     }
 }

@@ -90,19 +90,14 @@ fn mmap_backend_produces_identical_results() {
     let tmp = tempfile::tempdir().unwrap();
     let path = tmp.path().join("g");
     let file_dir = StorageDir::create(&path).unwrap();
-    let g_file =
-        HusGraph::build_into(&el, &file_dir, &BuildConfig::with_p(4)).unwrap();
+    let g_file = HusGraph::build_into(&el, &file_dir, &BuildConfig::with_p(4)).unwrap();
     let (want, _) =
-        Engine::new(&g_file, &husgraph::algos::Bfs::new(0), RunConfig::default())
-            .run()
-            .unwrap();
+        Engine::new(&g_file, &husgraph::algos::Bfs::new(0), RunConfig::default()).run().unwrap();
     // Re-open the same directory with the mmap read backend.
     let mmap_dir = StorageDir::open(&path).unwrap().with_backend(BackendKind::Mmap);
     let g_mmap = HusGraph::open(mmap_dir).unwrap();
     let (got, stats) =
-        Engine::new(&g_mmap, &husgraph::algos::Bfs::new(0), RunConfig::default())
-            .run()
-            .unwrap();
+        Engine::new(&g_mmap, &husgraph::algos::Bfs::new(0), RunConfig::default()).run().unwrap();
     assert_eq!(got, want);
     // Accounting is identical regardless of the backend serving reads.
     assert!(stats.total_io.total_bytes() > 0);

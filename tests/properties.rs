@@ -11,9 +11,7 @@
 use husgraph::algos::{reference, Bfs, Wcc};
 use husgraph::core::partition::{interval_of, interval_starts, PartitionStrategy};
 use husgraph::core::predict::Predictor;
-use husgraph::core::{
-    BuildConfig, Engine, HusGraph, RunConfig, SelectionGranularity, UpdateMode,
-};
+use husgraph::core::{BuildConfig, Engine, HusGraph, RunConfig, SelectionGranularity, UpdateMode};
 use husgraph::gen::{Csr, Edge, EdgeList};
 use husgraph::storage::{Access, StorageDir, Throughput};
 use proptest::prelude::*;

@@ -1,0 +1,247 @@
+//! Offline stand-in for `criterion`, with the API shape the workspace's
+//! benches use: `Criterion`, `benchmark_group`, `bench_function`,
+//! `Bencher::{iter, iter_batched}`, `Throughput`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is intentionally simple: each benchmark runs a short
+//! calibration pass to size the batch, then `sample_size` timed batches,
+//! and prints min/median/mean per-iteration times (plus throughput when
+//! configured). No statistical outlier analysis, no HTML reports, no
+//! baseline comparison — enough to eyeball regressions in an offline
+//! container.
+
+use std::time::{Duration, Instant};
+
+/// Target time per sample batch during measurement.
+const TARGET_SAMPLE: Duration = Duration::from_millis(20);
+
+/// How benchmark input setup cost relates to the routine (mirrors
+/// criterion's enum; this stand-in sizes batches the same way for all
+/// variants except `PerIteration`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Cheap inputs: large batches.
+    SmallInput,
+    /// Expensive inputs: smaller batches.
+    LargeInput,
+    /// Re-create the input for every single call.
+    PerIteration,
+}
+
+/// Work-per-iteration declaration for derived throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Set how many timed samples each benchmark records.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group {name} ==");
+        let sample_size = self.sample_size;
+        BenchmarkGroup { _criterion: self, name, sample_size, throughput: None }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        run_benchmark(&name.into(), self.sample_size, None, f);
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declare per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, name.into());
+        run_benchmark(&full, self.sample_size, self.throughput, f);
+    }
+
+    /// End the group (printing already happened per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure to time the routine.
+pub struct Bencher {
+    /// Iterations to run in the current timed batch.
+    iters: u64,
+    /// Accumulated routine time for the current batch.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` back-to-back for the batch.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+    }
+}
+
+fn run_benchmark(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // Calibrate: how many iterations fit in the target sample time?
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let iters_per_sample =
+        (TARGET_SAMPLE.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut samples = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher { iters: iters_per_sample, elapsed: Duration::ZERO };
+        f(&mut b);
+        samples.push(b.elapsed.as_secs_f64() / iters_per_sample as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!("  ({:.1} Melem/s)", n as f64 / median / 1e6),
+        Some(Throughput::Bytes(n)) => {
+            format!("  ({:.1} MiB/s)", n as f64 / median / (1 << 20) as f64)
+        }
+        None => String::new(),
+    };
+    println!(
+        "{name:<40} min {}  median {}  mean {}{rate}",
+        fmt_time(min),
+        fmt_time(median),
+        fmt_time(mean),
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:8.1}ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:8.2}us", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:8.2}ms", secs * 1e3)
+    } else {
+        format!("{secs:8.3}s ")
+    }
+}
+
+/// Declare a set of benchmark functions (both criterion forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Entry point running the declared groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn times_a_trivial_routine() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_with_batched_setup() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("sum", |b| {
+            b.iter_batched(
+                || (0u64..100).collect::<Vec<_>>(),
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,77 @@
+//! Offline stand-in for `crossbeam`: just the bounded MPSC channel the
+//! COP prefetch pipeline uses, delegating to `std::sync::mpsc`'s
+//! rendezvous-capable `sync_channel`.
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Sending half; `send` blocks while the channel is full.
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    /// Receiving half; iterate to drain until all senders drop.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// Send failed because the receiver disconnected.
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    /// Create a channel holding at most `cap` in-flight messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+
+    impl<T> Sender<T> {
+        /// Block until the message is accepted or the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block for the next message; `None` when all senders dropped.
+        pub fn recv(&self) -> Option<T> {
+            self.0.recv().ok()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::Iter<'a, T>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bounded_roundtrip() {
+        let (tx, rx) = super::channel::bounded(1);
+        let producer = std::thread::spawn(move || {
+            for i in 0..10u32 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<u32> = rx.into_iter().collect();
+        producer.join().unwrap();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,82 @@
+//! Offline stand-in for `memmap2`.
+//!
+//! Without the real crate there is no safe portable `mmap(2)` wrapper,
+//! so [`Mmap`] emulates a read-only map by reading the whole file into
+//! memory at `map` time. Semantics relied on by this workspace hold:
+//! `Deref<Target = [u8]>`, a stable `len`, and contents frozen at map
+//! time (the builders never rewrite a published file). The difference is
+//! residency: pages are always resident rather than demand-paged, which
+//! only matters for the paper's *modeled* I/O, tracked separately by
+//! `IoTracker` at the logical access layer.
+
+use std::fs::File;
+use std::ops::Deref;
+use std::os::unix::fs::FileExt;
+
+/// Read-only "memory map" of an entire file.
+pub struct Mmap {
+    data: Vec<u8>,
+}
+
+impl Mmap {
+    /// Snapshot `file`'s current contents.
+    ///
+    /// # Safety
+    ///
+    /// Unsafe only for signature compatibility with the real crate
+    /// (where an underlying file mutation would alias mapped memory);
+    /// this emulation copies, so the call is actually safe.
+    pub unsafe fn map(file: &File) -> std::io::Result<Mmap> {
+        // Positional reads: independent of (and not disturbing) the
+        // caller's file cursor, like a real map.
+        let len = file.metadata()?.len() as usize;
+        let mut data = vec![0u8; len];
+        file.read_exact_at(&mut data, 0)?;
+        Ok(Mmap { data })
+    }
+
+    /// Mapped length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Seek, SeekFrom, Write};
+
+    #[test]
+    fn maps_whole_file_regardless_of_cursor() {
+        let dir = std::env::temp_dir().join(format!("memmap2-stub-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.bin");
+        let mut f = File::create(&path).unwrap();
+        f.write_all(&[1, 2, 3, 4]).unwrap();
+        drop(f);
+        let mut f = File::open(&path).unwrap();
+        f.seek(SeekFrom::Start(2)).unwrap();
+        let m = unsafe { Mmap::map(&f) }.unwrap();
+        assert_eq!(&m[..], &[1, 2, 3, 4]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,144 @@
+//! Offline stand-in for `rand`, providing the surface the generators
+//! use: `StdRng::seed_from_u64`, `random::<f64>()`, and
+//! `random_range(lo..hi)`. Backed by SplitMix64 — statistically fine
+//! for synthetic graph generation, NOT cryptographic. Note the stream
+//! differs from the real `rand` crate's `StdRng`, so generated graphs
+//! are deterministic per seed but not bit-identical to upstream's.
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Derive the full generator state from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The sampling methods the workspace calls (named to match the
+/// `random`/`random_range` spelling of modern `rand`).
+pub trait RngExt {
+    /// Next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A sample of `T` over its natural range (`f64` ∈ [0, 1)).
+    fn random<T: Sample>(&mut self) -> T {
+        T::sample(self.next_u64())
+    }
+
+    /// Uniform sample from a half-open integer range.
+    fn random_range<T: UniformInt>(&mut self, range: std::ops::Range<T>) -> T {
+        T::from_uniform(self.next_u64(), range)
+    }
+}
+
+/// Types drawable by [`RngExt::random`].
+pub trait Sample {
+    /// Map 64 uniform bits to a sample.
+    fn sample(bits: u64) -> Self;
+}
+
+impl Sample for f64 {
+    fn sample(bits: u64) -> f64 {
+        // 53 top bits → [0, 1).
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Sample for f32 {
+    fn sample(bits: u64) -> f32 {
+        (bits >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Sample for u64 {
+    fn sample(bits: u64) -> u64 {
+        bits
+    }
+}
+
+impl Sample for u32 {
+    fn sample(bits: u64) -> u32 {
+        (bits >> 32) as u32
+    }
+}
+
+impl Sample for bool {
+    fn sample(bits: u64) -> bool {
+        bits >> 63 == 1
+    }
+}
+
+/// Integer types usable with [`RngExt::random_range`].
+pub trait UniformInt: Copy {
+    /// Map 64 uniform bits into `range` (panics if empty).
+    fn from_uniform(bits: u64, range: std::ops::Range<Self>) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn from_uniform(bits: u64, range: std::ops::Range<$t>) -> $t {
+                assert!(range.start < range.end, "empty sample range");
+                let span = (range.end - range.start) as u64;
+                // Modulo bias is < span/2^64 — irrelevant at graph-gen
+                // span sizes.
+                range.start + (bits % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize);
+
+pub mod rngs {
+    use super::{RngExt, SeedableRng};
+
+    /// Deterministic generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngExt for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let f = rng.random::<f64>();
+            assert!((0.0..1.0).contains(&f));
+            let n = rng.random_range(5u32..17);
+            assert!((5..17).contains(&n));
+            let m = rng.random_range(0usize..3);
+            assert!(m < 3);
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! Offline stand-in for `rayon`, covering the surface this workspace
+//! uses: `ThreadPoolBuilder`/`ThreadPool::install`, `into_par_iter()`
+//! on integer ranges with `map(..).collect()`, and
+//! `par_iter_mut().enumerate().for_each(..)` on slices.
+//!
+//! Parallelism is real (scoped OS threads) but simple: no work
+//! stealing, no splitting heuristics. Fan-out work shares one atomic
+//! index; slice work is split into contiguous chunks. `install` records
+//! the pool's thread count in a thread-local that parallel operations
+//! on the same thread consult, mirroring how rayon scopes work to the
+//! installed pool.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    /// Worker budget installed for the current thread (0 = pool default).
+    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// The worker budget parallel operations on this thread should use.
+pub fn current_num_threads() -> usize {
+    let t = INSTALLED_THREADS.with(Cell::get);
+    if t == 0 {
+        default_threads()
+    } else {
+        t
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Pool construction failure (never produced by this stand-in; the type
+/// exists so caller error plumbing compiles unchanged).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// Start with the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the worker count (0 = one per available core).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 { default_threads() } else { self.num_threads };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A worker budget; threads are spawned per operation, not kept alive.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's budget installed for nested parallel
+    /// operations.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let prev = INSTALLED_THREADS.with(|c| c.replace(self.num_threads));
+        let result = op();
+        INSTALLED_THREADS.with(|c| c.set(prev));
+        result
+    }
+
+    /// Configured worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fan-out: into_par_iter().map().collect()
+// ---------------------------------------------------------------------------
+
+/// Conversion into a parallel iterator (materializes the items).
+pub trait IntoParallelIterator {
+    /// Item type produced.
+    type Item: Send;
+    /// Convert; the stand-in eagerly collects the items.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+macro_rules! impl_range_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+impl_range_par_iter!(u32, u64, usize);
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// Materialized parallel iterator.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Parallel map; `f` runs concurrently across the worker budget.
+    pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap { items: self.items, f }
+    }
+
+    /// Run `f` on every item concurrently.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        parallel_map(self.items, &|item| f(item));
+    }
+}
+
+/// Mapped parallel iterator, consumed by [`ParMap::collect`].
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> ParMap<T, F> {
+    /// Evaluate in parallel (input order preserved) and collect.
+    pub fn collect<C>(self) -> C
+    where
+        F: Fn(T) -> C::Item + Sync,
+        C: FromParallelIterator,
+    {
+        C::from_ordered(parallel_map(self.items, &self.f))
+    }
+}
+
+/// Collection targets for [`ParMap::collect`].
+pub trait FromParallelIterator {
+    /// Element type collected.
+    type Item: Send;
+    /// Build the collection from results in input order.
+    fn from_ordered(items: Vec<Self::Item>) -> Self;
+}
+
+impl<T: Send> FromParallelIterator for Vec<T> {
+    type Item = T;
+    fn from_ordered(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// Short-circuiting collect: first error wins (by input order).
+impl<T: Send, E: Send> FromParallelIterator for Result<Vec<T>, E> {
+    type Item = Result<T, E>;
+    fn from_ordered(items: Vec<Result<T, E>>) -> Self {
+        items.into_iter().collect()
+    }
+}
+
+/// Evaluate `f` over `items` on the installed worker budget, returning
+/// results in input order.
+fn parallel_map<T: Send, U: Send, F: Fn(T) -> U + Sync>(items: Vec<T>, f: &F) -> Vec<U> {
+    let workers = current_num_threads().min(items.len());
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<(Option<T>, Option<U>)>> =
+        items.into_iter().map(|t| Mutex::new((Some(t), None))).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= slots.len() {
+                    break;
+                }
+                let input = slots[i].lock().unwrap().0.take().expect("slot claimed once");
+                let output = f(input);
+                slots[i].lock().unwrap().1 = Some(output);
+            });
+        }
+    });
+    slots.into_iter().map(|s| s.into_inner().unwrap().1.expect("all slots computed")).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Slices: par_iter_mut().enumerate().for_each()
+// ---------------------------------------------------------------------------
+
+/// `par_iter_mut` entry point for slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Borrow as a parallel mutable iterator.
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+/// Parallel mutable borrow of a slice.
+pub struct ParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Pair each element with its index.
+    pub fn enumerate(self) -> ParEnumerateMut<'a, T> {
+        ParEnumerateMut { slice: self.slice }
+    }
+
+    /// Run `f` on every element, split across the worker budget.
+    pub fn for_each<F: Fn(&mut T) + Sync>(self, f: F) {
+        ParEnumerateMut { slice: self.slice }.for_each(|(_, v)| f(v))
+    }
+}
+
+/// Enumerated parallel mutable iterator.
+pub struct ParEnumerateMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<T: Send> ParEnumerateMut<'_, T> {
+    /// Run `f((index, &mut element))` over contiguous chunks in
+    /// parallel.
+    pub fn for_each<F: Fn((usize, &mut T)) + Sync>(self, f: F) {
+        let len = self.slice.len();
+        let workers = current_num_threads().min(len);
+        if workers <= 1 {
+            for (i, v) in self.slice.iter_mut().enumerate() {
+                f((i, v));
+            }
+            return;
+        }
+        let chunk = len.div_ceil(workers);
+        std::thread::scope(|scope| {
+            for (k, part) in self.slice.chunks_mut(chunk).enumerate() {
+                let f = &f;
+                scope.spawn(move || {
+                    let base = k * chunk;
+                    for (i, v) in part.iter_mut().enumerate() {
+                        f((base + i, v));
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Drop-in for `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{FromParallelIterator, IntoParallelIterator, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<u64> = (0u32..1000).into_par_iter().map(|i| i as u64 * 2).collect();
+        assert_eq!(out, (0u64..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn result_collect_short_circuits_by_order() {
+        let out: Result<Vec<u32>, String> = (0u32..100)
+            .into_par_iter()
+            .map(|i| if i >= 40 { Err(format!("bad {i}")) } else { Ok(i) })
+            .collect();
+        assert_eq!(out.unwrap_err(), "bad 40");
+    }
+
+    #[test]
+    fn enumerate_for_each_touches_every_index() {
+        let mut data = vec![0usize; 997];
+        data.par_iter_mut().enumerate().for_each(|(i, v)| *v = i + 1);
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i + 1));
+    }
+
+    #[test]
+    fn install_scopes_thread_budget() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+    }
+}

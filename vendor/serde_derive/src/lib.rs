@@ -1,0 +1,244 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crates.io dependency set is unavailable in this build
+//! environment, so the workspace vendors a minimal `serde` data model
+//! (see `vendor/serde`) and this proc-macro derives its two traits for
+//! the shapes the workspace actually uses:
+//!
+//! * structs with named fields (no generics, no `#[serde(...)]` attrs),
+//! * enums whose variants are all unit variants.
+//!
+//! Anything else is rejected with a compile-time panic so a future
+//! change that needs more serde surface fails loudly instead of
+//! serializing garbage.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What the derive input turned out to be.
+enum Shape {
+    /// Named fields of a braced struct, in declaration order.
+    Struct(Vec<String>),
+    /// Unit variants of an enum, in declaration order.
+    Enum(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let body = match &shape {
+        Shape::Struct(fields) => {
+            let pairs: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{pairs}])")
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "Self::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                    )
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let body = match &shape {
+        Shape::Struct(fields) => {
+            let inits: String =
+                fields.iter().map(|f| format!("{f}: ::serde::from_field(v, \"{f}\")?,")).collect();
+            format!("::std::result::Result::Ok(Self {{ {inits} }})")
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok(Self::{v}),"))
+                .collect();
+            format!(
+                "match ::serde::as_variant(v)? {{ {arms} other => \
+                 ::std::result::Result::Err(::serde::DeError::new(::std::format!(\
+                 \"unknown variant `{{other}}` for {name}\"))) }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+/// Parse the derive input down to (type name, shape). Attributes and
+/// visibility are skipped; generics are unsupported.
+fn parse_item(input: TokenStream) -> (String, Shape) {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            // `#[...]` / `#![...]` attribute: skip the bracket group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if matches!(iter.peek(), Some(TokenTree::Punct(b)) if b.as_char() == '!') {
+                    iter.next();
+                }
+                iter.next();
+            }
+            TokenTree::Ident(id) => {
+                let kw = id.to_string();
+                if kw == "pub" {
+                    // Optional `pub(crate)` / `pub(super)` scope group.
+                    if matches!(
+                        iter.peek(),
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                    ) {
+                        iter.next();
+                    }
+                } else if kw == "struct" || kw == "enum" {
+                    let name = match iter.next() {
+                        Some(TokenTree::Ident(n)) => n.to_string(),
+                        other => panic!("serde derive: expected type name, got {other:?}"),
+                    };
+                    // Everything up to the brace body; `<` would mean
+                    // generics, which the stub does not support.
+                    for tt2 in iter.by_ref() {
+                        match tt2 {
+                            TokenTree::Punct(p) if p.as_char() == '<' => {
+                                panic!("serde derive stub: generic type `{name}` unsupported")
+                            }
+                            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                                let shape = if kw == "struct" {
+                                    Shape::Struct(parse_named_fields(g.stream()))
+                                } else {
+                                    Shape::Enum(parse_unit_variants(g.stream()))
+                                };
+                                return (name, shape);
+                            }
+                            TokenTree::Punct(p) if p.as_char() == ';' => {
+                                panic!("serde derive stub: tuple/unit struct `{name}` unsupported")
+                            }
+                            _ => {}
+                        }
+                    }
+                    panic!("serde derive: no body found for `{name}`");
+                }
+            }
+            _ => {}
+        }
+    }
+    panic!("serde derive: no struct or enum found in input");
+}
+
+/// Field names of a braced struct body, tolerating attributes,
+/// visibility, and commas nested inside generic argument lists.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    'fields: loop {
+        // Skip doc comments / attributes before the field.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                _ => break,
+            }
+        }
+        let name = loop {
+            match iter.next() {
+                None => break 'fields,
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if matches!(
+                        iter.peek(),
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                    ) {
+                        iter.next();
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => panic!("serde derive: unexpected token {other:?} in struct body"),
+            }
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        fields.push(name);
+        // Skip the type: ends at a comma outside any `<...>` nesting
+        // (brackets and parens arrive pre-grouped in the token tree).
+        let mut angle_depth = 0i32;
+        loop {
+            match iter.next() {
+                None => break 'fields,
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Variant names of an enum body; any variant with a payload is
+/// rejected.
+fn parse_unit_variants(body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                _ => break,
+            }
+        }
+        match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => {
+                let v = id.to_string();
+                match iter.next() {
+                    None => {
+                        variants.push(v);
+                        break;
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(v),
+                    Some(TokenTree::Group(_)) => {
+                        panic!("serde derive stub: enum variant `{v}` with payload unsupported")
+                    }
+                    Some(other) => {
+                        panic!("serde derive: unexpected token {other:?} after variant `{v}`")
+                    }
+                }
+            }
+            Some(other) => panic!("serde derive: unexpected token {other:?} in enum body"),
+        }
+    }
+    variants
+}

@@ -1,0 +1,70 @@
+//! Offline stand-in for `tempfile`: the `tempdir()`/[`TempDir`] subset
+//! this workspace uses. Directory names combine the process id, a
+//! process-wide counter, and the monotonic clock, so concurrent tests
+//! and repeated runs never collide.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A directory under the system temp root, deleted on drop.
+pub struct TempDir {
+    path: PathBuf,
+}
+
+/// Create a fresh uniquely-named temporary directory.
+pub fn tempdir() -> std::io::Result<TempDir> {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos())
+        .unwrap_or(0);
+    let name = format!(
+        "hus-tmp-{}-{}-{nanos}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed),
+    );
+    let path = std::env::temp_dir().join(name);
+    std::fs::create_dir_all(&path)?;
+    Ok(TempDir { path })
+}
+
+impl TempDir {
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Delete now and report any error (drop ignores errors).
+    pub fn close(self) -> std::io::Result<()> {
+        let path = self.path.clone();
+        std::mem::forget(self);
+        std::fs::remove_dir_all(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn creates_then_removes() {
+        let dir = super::tempdir().unwrap();
+        let path = dir.path().to_path_buf();
+        assert!(path.is_dir());
+        std::fs::write(path.join("f"), b"x").unwrap();
+        drop(dir);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn distinct_paths() {
+        let a = super::tempdir().unwrap();
+        let b = super::tempdir().unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+}
