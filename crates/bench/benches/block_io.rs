@@ -8,7 +8,7 @@ use criterion::{
 use hus_core::vertex_store::VertexStore;
 use hus_core::{build, BuildConfig, HusGraph};
 use hus_gen::rmat;
-use hus_storage::{Access, StorageDir};
+use hus_storage::{Access, CachedBackend, ReadBackend, StorageDir};
 use std::hint::black_box;
 
 fn graph_dir(vertices: u32, edges: usize, p: u32) -> (tempfile::TempDir, HusGraph) {
@@ -89,7 +89,6 @@ fn bench_vertex_store(c: &mut Criterion) {
 }
 
 fn bench_cache(c: &mut Criterion) {
-    use hus_storage::{CachedBackend, ReadBackend};
     let tmp = tempfile::tempdir().unwrap();
     let dir = StorageDir::create(tmp.path().join("s")).unwrap();
     let mut w = dir.writer("d.bin").unwrap();
@@ -113,9 +112,103 @@ fn bench_cache(c: &mut Criterion) {
     g.finish();
 }
 
+/// One contended trial: `threads` workers each issue `reads` record-sized
+/// (64 B) reads scattered over their own disjoint slice of hot
+/// (pre-warmed) pages; returns the wall-clock for all of them to finish.
+/// The access shape mirrors selective ROP probes — tiny reads, all cache
+/// hits — so the cost is dominated by page lookup, exactly where a single
+/// global lock serialises and a sharded cache does not.
+fn contended_reads<B: ReadBackend + Send + Sync>(
+    cache: &CachedBackend<B>,
+    threads: usize,
+    pages_per_thread: u64,
+    reads: usize,
+) -> std::time::Duration {
+    let start = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads as u64 {
+            scope.spawn(move || {
+                let mut buf = vec![0u8; 64];
+                let region = t * pages_per_thread * 4096;
+                let span = pages_per_thread * 4096 - 64;
+                let mut lcg = t.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+                for _ in 0..reads {
+                    lcg = lcg.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                    cache
+                        .read_at(region + lcg % span, &mut buf, hus_storage::Access::Random)
+                        .unwrap();
+                }
+                black_box(buf[0]);
+            });
+        }
+    });
+    start.elapsed()
+}
+
+fn bench_contended_cache(c: &mut Criterion) {
+    const THREADS: usize = 8;
+    const PAGES_PER_THREAD: u64 = 16;
+    const READS: usize = 20_000;
+
+    let tmp = tempfile::tempdir().unwrap();
+    let dir = StorageDir::create(tmp.path().join("s")).unwrap();
+    let mut w = dir.writer("d.bin").unwrap();
+    w.write_pod_slice(&(0u64..262_144).collect::<Vec<u64>>()).unwrap(); // 2 MiB
+    w.finish().unwrap();
+
+    let sharded = CachedBackend::with_shards(dir.reader("d.bin").unwrap(), 4 << 20, 4096, 16);
+    let single = CachedBackend::with_shards(dir.reader("d.bin").unwrap(), 4 << 20, 4096, 1);
+    // Warm every page both caches will serve so the trials measure pure
+    // hit-path lock contention, not disk reads.
+    let mut buf = vec![0u8; 4096];
+    for off in (0..THREADS as u64 * PAGES_PER_THREAD).map(|p| p * 4096) {
+        sharded.read_at(off, &mut buf, Access::Random).unwrap();
+        single.read_at(off, &mut buf, Access::Random).unwrap();
+    }
+
+    let mut g = c.benchmark_group("page_cache_contended");
+    g.sample_size(10);
+    g.bench_function("sharded_8thread", |b| {
+        b.iter(|| contended_reads(&sharded, THREADS, PAGES_PER_THREAD, READS))
+    });
+    g.bench_function("single_lock_8thread", |b| {
+        b.iter(|| contended_reads(&single, THREADS, PAGES_PER_THREAD, READS))
+    });
+    g.finish();
+
+    // Side-channel summary for CI: medians over fresh trials, written next
+    // to the workspace manifest as BENCH_pipeline.json.
+    let median = |cache: &CachedBackend<_>| {
+        let mut ns: Vec<u128> = (0..9)
+            .map(|_| contended_reads(cache, THREADS, PAGES_PER_THREAD, READS).as_nanos())
+            .collect();
+        ns.sort_unstable();
+        ns[ns.len() / 2]
+    };
+    let sharded_ns = median(&sharded);
+    let single_ns = median(&single);
+    // `host_cores` qualifies the speedup: shard-vs-single-lock contention
+    // only materialises when the worker threads actually run in parallel;
+    // on a single-core host the two configurations converge to the same
+    // timesliced throughput and the ratio is noise around 1.0.
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let out = format!(
+        "{{\n  \"bench\": \"page_cache_contended\",\n  \"threads\": {THREADS},\n  \
+         \"host_cores\": {cores},\n  \
+         \"sharded_shards\": {},\n  \"sharded_ns_median\": {sharded_ns},\n  \
+         \"single_lock_ns_median\": {single_ns},\n  \"speedup\": {:.2}\n}}\n",
+        sharded.num_shards(),
+        single_ns as f64 / sharded_ns as f64,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+    std::fs::write(path, &out).unwrap();
+    println!("wrote {path}:\n{out}");
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_builder, bench_block_reads, bench_vertex_store, bench_cache
+    targets = bench_builder, bench_block_reads, bench_vertex_store, bench_cache,
+        bench_contended_cache
 }
 criterion_main!(benches);

@@ -172,6 +172,15 @@ fn main() {
         println!("counters:");
         println!("{}", t.render());
     }
+    let gauges = hus_obs::metrics::global().gauge_values();
+    if !gauges.is_empty() {
+        let mut t = Table::new(&["gauge", "value"]);
+        for (name, v) in &gauges {
+            t.row(vec![name.to_string(), v.to_string()]);
+        }
+        println!("gauges (last set value):");
+        println!("{}", t.render());
+    }
     let hists = hus_obs::metrics::global().histogram_snapshots();
     if !hists.is_empty() {
         let mut t = Table::new(&["histogram", "count", "mean", "p50", "p99"]);

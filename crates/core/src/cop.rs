@@ -11,21 +11,43 @@
 //! Disk I/O and CPU are overlapped as the paper describes (§3.5: "the
 //! out-edges of the next out-block can be loaded before the processing
 //! of current out-block is finished if the memory is sufficient"): a
-//! producer thread fetches block `j+1` — its `S_j`, in-index and edge
-//! records — through a bounded channel while the workers process block
-//! `j`.
+//! small pool of producer threads fetches up to
+//! [`readahead`](crate::engine::RunConfig::readahead_blocks) blocks ahead
+//! of the consumer — each block's `S_j`, in-index and edge records —
+//! while the workers process the current block. Blocks are delivered
+//! strictly in column order regardless of which producer finishes first,
+//! so the result is bit-identical to a serial fetch loop; a fetch error
+//! cancels the remaining producers eagerly and surfaces to the caller,
+//! with the bytes of any already-prefetched-but-unconsumed blocks
+//! reported via the `cop.readahead_unused_bytes` counter.
+//!
+//! Across columns of a synchronous iteration, [`run_columns`] also
+//! overlaps each column's `D` write-back with the next column's first
+//! fetches (the write happens on a helper thread while the next column
+//! starts streaming).
 
 use crate::graph::EdgeRecords;
 use crate::program::VertexProgram;
 use crate::rop::{load_d, IterCtx};
 use crate::vertex_store::VertexStore;
+use hus_obs::span;
 use hus_storage::{Access, Result, StorageError};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 
 /// Sizes (in edge records) of the streamed in-blocks — the distribution
 /// behind COP's sequential-I/O bill.
 static BLOCK_EDGES: hus_obs::LazyHistogram = hus_obs::LazyHistogram::new("cop.block_edges");
+/// Readahead window depth currently in effect.
+static READAHEAD_DEPTH: hus_obs::LazyGauge = hus_obs::LazyGauge::new("cop.readahead_depth");
+/// Nanoseconds the consumer waited for its next in-order block — near
+/// zero when the prefetchers keep up, the full fetch latency when not.
+static QUEUE_WAIT_NS: hus_obs::LazyHistogram = hus_obs::LazyHistogram::new("cop.queue_wait_ns");
+/// Edge-record bytes fetched ahead but never consumed (error paths).
+static READAHEAD_UNUSED: hus_obs::LazyCounter =
+    hus_obs::LazyCounter::new("cop.readahead_unused_bytes");
 
 /// One fetched in-block, ready to process.
 struct FetchedBlock<V> {
@@ -39,20 +61,34 @@ struct FetchedBlock<V> {
     records: EdgeRecords,
 }
 
-/// Process column `col` under COP. `touched_col` says whether `D_col`
-/// was already initialized this iteration. Returns the number of edge
-/// records streamed (COP pays for every in-edge of the column, active or
-/// not — that is its trade).
-pub fn run_column<Pr: VertexProgram>(
+/// Shared state of the ordered prefetch pipeline.
+struct PipelineState<V> {
+    /// Blocks fetched but not yet consumed, keyed by sequence number.
+    ready: BTreeMap<usize, Result<FetchedBlock<V>>>,
+    /// Next sequence number the consumer will take; producers stay
+    /// within `next_emit + depth`.
+    next_emit: usize,
+    /// Set by the consumer (on error) or by a failed producer; everyone
+    /// drains out promptly instead of fetching blocks nobody will read.
+    cancelled: bool,
+}
+
+/// Process column `col` under COP with a readahead window of
+/// `readahead` blocks. `touched_col` says whether `D_col` was already
+/// initialized this iteration. Returns the updated `D_col` (not yet
+/// written back) and the number of edge records streamed (COP pays for
+/// every in-edge of the column, active or not — that is its trade).
+fn process_column<Pr: VertexProgram>(
     ctx: &IterCtx<'_, Pr>,
     store: &VertexStore<Pr::Value>,
     col: usize,
     touched_col: bool,
-) -> Result<u64> {
+    readahead: usize,
+) -> Result<(Vec<Pr::Value>, u64)> {
     let meta = ctx.graph.meta();
     let mut d_col = load_d(ctx.program, store, col, touched_col, Access::Sequential)?;
     let dst_base = meta.interval_start(col);
-    let streamed = AtomicU64::new(0);
+    let mut streamed = 0u64;
 
     let fetch = |i: usize| -> Result<FetchedBlock<Pr::Value>> {
         let s_block = store.load_current(i, Access::Sequential)?;
@@ -64,31 +100,163 @@ pub fn run_column<Pr: VertexProgram>(
     let blocks: Vec<usize> =
         (0..ctx.graph.p()).filter(|&i| meta.in_block(i, col).edge_count > 0).collect();
 
-    // One-block-deep prefetch pipeline (paper §3.5).
-    let result: Result<()> = std::thread::scope(|scope| {
-        let (tx, rx) = crossbeam::channel::bounded::<Result<FetchedBlock<Pr::Value>>>(1);
-        let producer = scope.spawn(move || {
-            for &i in &blocks {
-                let fetched = fetch(i);
-                let failed = fetched.is_err();
-                if tx.send(fetched).is_err() || failed {
-                    break; // consumer hung up or fetch failed
-                }
-            }
-        });
-        for fetched in rx {
-            let block = fetched?;
+    let depth = readahead.max(1).min(blocks.len());
+    READAHEAD_DEPTH.set(depth as u64);
+    if blocks.len() <= 1 {
+        // Nothing to overlap: fetch inline.
+        for &i in &blocks {
+            let block = fetch(i)?;
             BLOCK_EDGES.record(block.records.len() as u64);
-            streamed.fetch_add(block.records.len() as u64, Ordering::Relaxed);
+            streamed += block.records.len() as u64;
             pull_block(ctx, &block, dst_base, &mut d_col);
         }
-        producer.join().map_err(|_| StorageError::Corrupt("prefetch thread panicked".into()))?;
+        return Ok((d_col, streamed));
+    }
+
+    // N-deep ordered prefetch pipeline (paper §3.5): producers claim
+    // sequence numbers, fetch within the sliding window, and park the
+    // result in the ready map; the consumer takes blocks strictly in
+    // order.
+    let state = Mutex::new(PipelineState::<Pr::Value> {
+        ready: BTreeMap::new(),
+        next_emit: 0,
+        cancelled: false,
+    });
+    let wakeup = Condvar::new();
+    let next_fetch = AtomicUsize::new(0);
+    let producers = depth.min(4);
+    let record_bytes = meta.edge_record_bytes();
+
+    let result: Result<()> = std::thread::scope(|scope| {
+        for _ in 0..producers {
+            scope.spawn(|| loop {
+                let seq = next_fetch.fetch_add(1, Ordering::Relaxed);
+                if seq >= blocks.len() {
+                    break;
+                }
+                {
+                    let mut st = state.lock().expect("pipeline state poisoned");
+                    while !st.cancelled && seq >= st.next_emit + depth {
+                        st = wakeup.wait(st).expect("pipeline state poisoned");
+                    }
+                    if st.cancelled {
+                        break;
+                    }
+                }
+                let fetched = fetch(blocks[seq]);
+                let failed = fetched.is_err();
+                let mut st = state.lock().expect("pipeline state poisoned");
+                if failed {
+                    // Stop the pool eagerly; the consumer will hit the
+                    // error when it reaches this sequence number.
+                    st.cancelled = true;
+                }
+                st.ready.insert(seq, fetched);
+                wakeup.notify_all();
+                if failed {
+                    break;
+                }
+            });
+        }
+
+        for seq in 0..blocks.len() {
+            let t0 = hus_obs::latency_timer();
+            let fetched = {
+                let mut st = state.lock().expect("pipeline state poisoned");
+                loop {
+                    if let Some(b) = st.ready.remove(&seq) {
+                        st.next_emit = seq + 1;
+                        wakeup.notify_all();
+                        break b;
+                    }
+                    st = wakeup.wait(st).expect("pipeline state poisoned");
+                }
+            };
+            QUEUE_WAIT_NS.record_elapsed(t0);
+            let block = match fetched {
+                Ok(b) => b,
+                Err(e) => {
+                    // Cancel the pool and account for blocks that were
+                    // fetched ahead but will never be consumed.
+                    let mut st = state.lock().expect("pipeline state poisoned");
+                    st.cancelled = true;
+                    let unused: u64 = st
+                        .ready
+                        .values()
+                        .filter_map(|r| r.as_ref().ok())
+                        .map(|b| b.records.len() as u64 * record_bytes)
+                        .sum();
+                    if unused > 0 {
+                        READAHEAD_UNUSED.add(unused);
+                    }
+                    st.ready.clear();
+                    wakeup.notify_all();
+                    return Err(e);
+                }
+            };
+            BLOCK_EDGES.record(block.records.len() as u64);
+            streamed += block.records.len() as u64;
+            pull_block(ctx, &block, dst_base, &mut d_col);
+        }
         Ok(())
     });
     result?;
 
+    Ok((d_col, streamed))
+}
+
+/// Process column `col` under COP and write `D_col` back synchronously.
+/// Used by the Gauss-Seidel and per-column schedules, whose visibility
+/// rules need the write (and commit) to happen before the next unit.
+pub fn run_column<Pr: VertexProgram>(
+    ctx: &IterCtx<'_, Pr>,
+    store: &VertexStore<Pr::Value>,
+    col: usize,
+    touched_col: bool,
+    readahead: usize,
+) -> Result<u64> {
+    let (d_col, streamed) = process_column(ctx, store, col, touched_col, readahead)?;
     store.write_next(col, &d_col)?;
-    Ok(streamed.into_inner())
+    Ok(streamed)
+}
+
+/// Process all `P` columns of a synchronous COP iteration, overlapping
+/// each column's `D` write-back with the next column's fetches: the
+/// write runs on a helper thread while the next column starts streaming
+/// (commits still happen together afterwards, so visibility is
+/// unchanged). Returns the total edge records streamed.
+pub fn run_columns<Pr: VertexProgram>(
+    ctx: &IterCtx<'_, Pr>,
+    store: &VertexStore<Pr::Value>,
+    readahead: usize,
+) -> Result<u64> {
+    fn join_write(pending: Option<std::thread::ScopedJoinHandle<'_, Result<()>>>) -> Result<()> {
+        match pending {
+            Some(h) => {
+                h.join().map_err(|_| StorageError::Corrupt("write-back thread panicked".into()))?
+            }
+            None => Ok(()),
+        }
+    }
+
+    let mut streamed = 0u64;
+    std::thread::scope(|scope| -> Result<()> {
+        let mut pending = None;
+        for col in 0..ctx.graph.p() {
+            let processed = {
+                let _s = span!("cop.column", interval = col);
+                process_column(ctx, store, col, false, readahead)
+            };
+            // The previous column's write-back overlapped this column's
+            // processing; collect it before publishing the next one.
+            join_write(pending.take())?;
+            let (d_col, n) = processed?;
+            streamed += n;
+            pending = Some(scope.spawn(move || store.write_next(col, &d_col)));
+        }
+        join_write(pending)
+    })?;
+    Ok(streamed)
 }
 
 /// The in-memory pull of one fetched block into `D_col`, parallel over
@@ -128,4 +296,102 @@ fn pull_block<Pr: VertexProgram>(
             ctx.next_active.set(dst);
         }
     });
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::BuildConfig;
+    use crate::engine::{Engine, RunConfig, UpdateMode};
+    use crate::graph::HusGraph;
+    use crate::meta::GraphMeta;
+    use crate::program::{EdgeCtx, VertexProgram};
+    use hus_storage::StorageDir;
+
+    struct MinLabel;
+
+    impl VertexProgram for MinLabel {
+        type Value = u32;
+        fn init(&self, v: u32) -> u32 {
+            v
+        }
+        fn initially_active(&self, _v: u32) -> bool {
+            true
+        }
+        fn scatter(&self, s: &u32, _c: &EdgeCtx) -> Option<u32> {
+            Some(*s)
+        }
+        fn combine(&self, d: &mut u32, m: u32) -> bool {
+            if m < *d {
+                *d = m;
+                true
+            } else {
+                false
+            }
+        }
+    }
+
+    /// Satellite: a mid-stream fetch failure must surface as an error to
+    /// the caller (not hang the pipeline, not panic a producer). The
+    /// in-edges shard is truncated *after* open, so `FileBackend`'s
+    /// cached length admits the read and the underlying `pread` fails
+    /// mid-column.
+    #[test]
+    fn mid_stream_storage_error_surfaces_not_hangs() {
+        let el = hus_gen::rmat(300, 3000, 5, Default::default());
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("g")).unwrap();
+        let g = HusGraph::build_into(&el, &dir, &BuildConfig::with_p(4)).unwrap();
+
+        // Corrupt column 2's in-edge shard under the open graph.
+        let victim = dir.path(&GraphMeta::in_edges_file(2));
+        let orig_len = std::fs::metadata(&victim).unwrap().len();
+        assert!(orig_len > 8);
+        let f = std::fs::OpenOptions::new().write(true).open(&victim).unwrap();
+        f.set_len(4).unwrap();
+        drop(f);
+
+        let cfg = RunConfig {
+            mode: UpdateMode::ForceCop,
+            threads: 2,
+            readahead_blocks: 4,
+            ..Default::default()
+        };
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        let handle = std::thread::spawn(move || {
+            let result = Engine::new(&g, &MinLabel, cfg).run();
+            done_tx.send(result.is_err()).unwrap();
+        });
+        // The run must finish promptly with an error; a deadlocked
+        // pipeline would leave the channel empty.
+        let failed = done_rx
+            .recv_timeout(std::time::Duration::from_secs(30))
+            .expect("COP run hung on a mid-stream storage error");
+        assert!(failed, "truncated shard must surface a StorageError");
+        handle.join().unwrap();
+    }
+
+    /// Readahead depth must not change results or modeled I/O bytes on
+    /// the success path: every prefetched block is consumed.
+    #[test]
+    fn deep_readahead_matches_shallow_bit_for_bit() {
+        let el = hus_gen::rmat(400, 4000, 21, Default::default());
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("g")).unwrap();
+        let g = HusGraph::build_into(&el, &dir, &BuildConfig::with_p(6)).unwrap();
+        let run = |readahead: usize| {
+            g.dir().tracker().reset();
+            let cfg = RunConfig {
+                mode: UpdateMode::ForceCop,
+                threads: 4,
+                readahead_blocks: readahead,
+                ..Default::default()
+            };
+            let (values, stats) = Engine::new(&g, &MinLabel, cfg).run().unwrap();
+            (values, stats.total_io.total_bytes())
+        };
+        let (shallow_vals, shallow_bytes) = run(1);
+        let (deep_vals, deep_bytes) = run(6);
+        assert_eq!(shallow_vals, deep_vals);
+        assert_eq!(shallow_bytes, deep_bytes, "readahead must not change modeled I/O");
+    }
 }

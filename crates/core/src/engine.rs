@@ -15,6 +15,7 @@ use crate::stats::{IterationStats, RunStats};
 use crate::vertex_store::VertexStore;
 use hus_obs::span;
 use hus_storage::{IoSnapshot, IoTracker, Result, StorageError, Throughput};
+use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -130,6 +131,39 @@ pub struct RunConfig {
     /// Scratch directory name for the vertex store, created under the
     /// graph directory. `None` derives a unique name per run.
     pub scratch_name: Option<String>,
+    /// Process independent ROP rows concurrently under the run's thread
+    /// pool (synchronous schedule only; Gauss-Seidel keeps its ordered
+    /// row sweep). Rows push into disjoint-by-lock `D_j` buffers, so the
+    /// result is identical to the serial walk for commutative combines.
+    /// Env override: `HUS_PARALLEL_ROWS=0` disables.
+    pub parallel_rows: bool,
+    /// COP readahead window in blocks: how many in-blocks the producer
+    /// pool may fetch ahead of the consumer. `0` (the default) sizes the
+    /// window from the thread budget (`threads` clamped to 2..=8 — each
+    /// resident block costs one in-block plus one `S` interval of
+    /// memory). Env override: `HUS_READAHEAD`.
+    pub readahead_blocks: usize,
+    /// Maximum byte gap between two selective ROP edge ranges that are
+    /// still merged into a single batched multi-range read. Merging
+    /// kicks in only when the device's batched throughput actually beats
+    /// its random throughput. Env override: `HUS_MERGE_SLACK`.
+    pub range_merge_slack: u64,
+}
+
+/// Default [`RunConfig::range_merge_slack`]: one 4 KiB device sector —
+/// ranges closer than a sector apart cost the device nothing extra to
+/// read as one run.
+pub const DEFAULT_MERGE_SLACK: u64 = 4096;
+
+fn env_parse<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+fn env_flag(name: &str, default: bool) -> bool {
+    match std::env::var(name) {
+        Ok(v) => !(v.is_empty() || v == "0" || v.eq_ignore_ascii_case("false")),
+        Err(_) => default,
+    }
 }
 
 impl Default for RunConfig {
@@ -144,6 +178,9 @@ impl Default for RunConfig {
             max_iterations: 1_000,
             throughput: hus_storage::DeviceProfile::hdd().read,
             scratch_name: None,
+            parallel_rows: env_flag("HUS_PARALLEL_ROWS", true),
+            readahead_blocks: env_parse("HUS_READAHEAD", 0),
+            range_merge_slack: env_parse("HUS_MERGE_SLACK", DEFAULT_MERGE_SLACK),
         }
     }
 }
@@ -152,6 +189,16 @@ impl RunConfig {
     /// Config with an explicit update mode, other fields default.
     pub fn with_mode(mode: UpdateMode) -> Self {
         RunConfig { mode, ..Default::default() }
+    }
+
+    /// The COP readahead depth this config resolves to (`0` = auto-sized
+    /// from the thread budget).
+    pub fn effective_readahead(&self) -> usize {
+        if self.readahead_blocks == 0 {
+            self.threads.clamp(2, 8)
+        } else {
+            self.readahead_blocks
+        }
     }
 }
 
@@ -287,7 +334,9 @@ impl<'a, Pr: VertexProgram> Engine<'a, Pr> {
                     / self.config.throughput.random_bps,
                 index_ratio: self.config.throughput.sequential_bps
                     / self.config.throughput.random_bps,
+                merge_slack: self.config.range_merge_slack,
             };
+            let readahead = self.config.effective_readahead();
 
             let mut edges_this_iter = 0u64;
             let mut rop_units = 0u32;
@@ -348,7 +397,8 @@ impl<'a, Pr: VertexProgram> Engine<'a, Pr> {
                         UpdateModel::Cop => {
                             {
                                 let _s = span!("cop.column", interval = col);
-                                edges_this_iter += cop::run_column(&ctx, &store, col, false)?;
+                                edges_this_iter +=
+                                    cop::run_column(&ctx, &store, col, false, readahead)?;
                             }
                             phase_io.lap(&tracker, "cop");
                             cop_units += 1;
@@ -399,18 +449,40 @@ impl<'a, Pr: VertexProgram> Engine<'a, Pr> {
                             // anyway), loading lazily on first push and
                             // writing each back once.
                             let d_all = rop::d_buffers::<Pr>(&store);
-                            for row in 0..p {
-                                let base = meta.interval_start(row);
-                                let end = meta.interval_starts[row + 1];
-                                if active.count_range(base, end) == 0 {
-                                    continue; // row has no active sources
-                                }
-                                {
-                                    let _s = span!("rop.row", interval = row);
-                                    edges_this_iter += rop::run_row(&ctx, &store, row, &d_all)?;
-                                }
+                            let rows: Vec<usize> = (0..p)
+                                .filter(|&row| {
+                                    let base = meta.interval_start(row);
+                                    let end = meta.interval_starts[row + 1];
+                                    active.count_range(base, end) > 0
+                                })
+                                .collect();
+                            rop_units += rows.len() as u32;
+                            if self.config.parallel_rows
+                                && self.config.threads > 1
+                                && rows.len() > 1
+                            {
+                                // Rows are independent (§3.5: per-D_j
+                                // locks serialize pushes into a shared
+                                // destination); per-row edge counts are
+                                // aggregated afterwards instead of a
+                                // shared mutable counter.
+                                let row_edges: Vec<u64> = rows
+                                    .into_par_iter()
+                                    .map(|row| {
+                                        let _s = span!("rop.row", interval = row);
+                                        rop::run_row(&ctx, &store, row, &d_all)
+                                    })
+                                    .collect::<Result<Vec<u64>>>()?;
+                                edges_this_iter += row_edges.iter().sum::<u64>();
                                 phase_io.lap(&tracker, "rop");
-                                rop_units += 1;
+                            } else {
+                                for row in rows {
+                                    {
+                                        let _s = span!("rop.row", interval = row);
+                                        edges_this_iter += rop::run_row(&ctx, &store, row, &d_all)?;
+                                    }
+                                    phase_io.lap(&tracker, "rop");
+                                }
                             }
                             let touched = {
                                 let _s = span!("gather");
@@ -444,25 +516,26 @@ impl<'a, Pr: VertexProgram> Engine<'a, Pr> {
                     UpdateModel::Cop => {
                         if self.config.synchrony == Synchrony::GaussSeidel {
                             // Paper-literal: Swap(S_i, D_i) right after
-                            // column i (Algorithm 3 line 20).
+                            // column i (Algorithm 3 line 20). The
+                            // write-back must land before the next
+                            // column starts, so no cross-column overlap.
                             for col in 0..p {
                                 {
                                     let _s = span!("cop.column", interval = col);
-                                    edges_this_iter += cop::run_column(&ctx, &store, col, false)?;
+                                    edges_this_iter +=
+                                        cop::run_column(&ctx, &store, col, false, readahead)?;
                                     store.commit(col);
                                 }
                                 phase_io.lap(&tracker, "cop");
                                 cop_units += 1;
                             }
                         } else {
-                            for col in 0..p {
-                                {
-                                    let _s = span!("cop.column", interval = col);
-                                    edges_this_iter += cop::run_column(&ctx, &store, col, false)?;
-                                }
-                                phase_io.lap(&tracker, "cop");
-                                cop_units += 1;
-                            }
+                            // Synchronous: columns write disjoint next
+                            // buffers, so each column's write-back
+                            // overlaps the next column's fetches.
+                            edges_this_iter += cop::run_columns(&ctx, &store, readahead)?;
+                            phase_io.lap(&tracker, "cop");
+                            cop_units += p as u32;
                             {
                                 let _s = span!("sync");
                                 for i in 0..p {

@@ -24,6 +24,16 @@ pub const META_FILE: &str = "meta.json";
 /// Out-degree file name.
 pub const DEGREES_FILE: &str = "degrees.bin";
 
+/// Bytes of one CSR offset entry in a shard `.index` file (little-endian
+/// `u32`). ROP's cost comparisons are phrased in these units; changing
+/// the on-disk offset width must update this constant (and the crossover
+/// regression test in [`crate::rop`]) in the same commit.
+pub const INDEX_ENTRY_BYTES: u64 = 4;
+/// Bytes fetched when probing a single vertex's edge range: its two
+/// delimiting CSR offsets, read as one 8-byte random access
+/// ([`crate::graph::HusGraph::load_out_index_entry`]).
+pub const INDEX_PROBE_BYTES: u64 = 2 * INDEX_ENTRY_BYTES;
+
 /// Location of one edge block inside its shard files.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BlockMeta {

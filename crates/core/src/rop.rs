@@ -10,6 +10,7 @@
 
 use crate::active::ActiveSet;
 use crate::graph::HusGraph;
+use crate::meta::{INDEX_ENTRY_BYTES, INDEX_PROBE_BYTES};
 use crate::program::{EdgeCtx, VertexProgram};
 use crate::vertex_store::VertexStore;
 use crate::VertexId;
@@ -24,6 +25,10 @@ static RANGE_EDGES: hus_obs::LazyHistogram = hus_obs::LazyHistogram::new("rop.ra
 static COALESCED_SWEEPS: hus_obs::LazyCounter = hus_obs::LazyCounter::new("rop.coalesced_sweeps");
 /// Blocks processed with per-vertex selective fetches.
 static SELECTIVE_BLOCKS: hus_obs::LazyCounter = hus_obs::LazyCounter::new("rop.selective_blocks");
+/// Ranges per coalesced multi-range run (runs of length 1 stay random
+/// reads and are not recorded here).
+static MERGED_RUN_RANGES: hus_obs::LazyHistogram =
+    hus_obs::LazyHistogram::new("rop.merged_run_ranges");
 
 /// Shared read-only state for one iteration's workers.
 pub struct IterCtx<'a, Pr: VertexProgram> {
@@ -43,6 +48,12 @@ pub struct IterCtx<'a, Pr: VertexProgram> {
     /// fetches are used only while they are predicted cheaper than
     /// loading the block's whole CSR offset array.
     pub index_ratio: f64,
+    /// Maximum byte gap between two selective edge ranges that are still
+    /// merged into one batched multi-range read
+    /// ([`RunConfig::range_merge_slack`](crate::engine::RunConfig)).
+    /// Merging is disabled whenever `coalesce_ratio <= 1.0` — if batched
+    /// transfers are no faster than random ones there is nothing to win.
+    pub merge_slack: u64,
 }
 
 impl<Pr: VertexProgram> IterCtx<'_, Pr> {
@@ -144,6 +155,48 @@ pub fn run_row<Pr: VertexProgram>(
     Ok(edge_counts.iter().sum())
 }
 
+/// Whether a frontier of `active_count` sources in an interval of
+/// `interval_len` vertices should probe each vertex's two delimiting CSR
+/// offsets individually ([`INDEX_PROBE_BYTES`] random bytes each) rather
+/// than stream the block's whole `interval_len + 1`-entry offset array.
+///
+/// The crossover is a byte-cost comparison at the device's
+/// `T_sequential / T_random` ratio (`index_ratio`):
+/// `active_count * INDEX_PROBE_BYTES * index_ratio <
+///  (interval_len + 1) * INDEX_ENTRY_BYTES`.
+pub fn selective_index_probe(active_count: usize, interval_len: usize, index_ratio: f64) -> bool {
+    active_count as f64 * INDEX_PROBE_BYTES as f64 * index_ratio
+        < (interval_len + 1) as f64 * INDEX_ENTRY_BYTES as f64
+}
+
+/// Group sorted disjoint `(vertex, lo, hi)` edge ranges into coalesced
+/// runs: consecutive ranges whose byte gap is at most `slack_bytes`
+/// share a run (issued as one batched multi-range read). `None` disables
+/// merging — every range becomes its own singleton run.
+fn merge_runs(
+    plan: &[(VertexId, u32, u32)],
+    record_bytes: u64,
+    slack_bytes: Option<u64>,
+) -> Vec<std::ops::Range<usize>> {
+    if plan.is_empty() {
+        return Vec::new();
+    }
+    let Some(slack) = slack_bytes else {
+        return (0..plan.len()).map(|k| k..k + 1).collect();
+    };
+    let mut runs = Vec::new();
+    let mut start = 0usize;
+    for k in 1..plan.len() {
+        let gap_records = plan[k].1.saturating_sub(plan[k - 1].2) as u64;
+        if gap_records * record_bytes > slack {
+            runs.push(start..k);
+            start = k;
+        }
+    }
+    runs.push(start..plan.len());
+    runs
+}
+
 /// The in-memory push of one out-block into an already-loaded `D_j`.
 ///
 /// Per block, ROP chooses between two fetch plans with the same cost
@@ -151,7 +204,10 @@ pub fn run_row<Pr: VertexProgram>(
 /// selectively costs `requested_bytes / T_random`; one coalesced
 /// ascending sweep of the whole block costs `block_bytes / T_batched`.
 /// The cheaper plan is taken, so a dense frontier gracefully degrades to
-/// an elevator sweep instead of a seek storm.
+/// an elevator sweep instead of a seek storm. Within the selective plan,
+/// ranges whose gaps fit under [`IterCtx::merge_slack`] are additionally
+/// merged into batched multi-range runs (fewer operations, identical
+/// bytes).
 pub fn push_block_into<Pr: VertexProgram>(
     ctx: &IterCtx<'_, Pr>,
     row: usize,
@@ -184,58 +240,77 @@ pub fn push_block_into<Pr: VertexProgram>(
     };
 
     // Tiny frontiers fetch each vertex's two CSR offsets individually
-    // (8 random bytes) instead of streaming the block's whole offset
-    // array — the same cost logic as every other fetch choice here.
+    // instead of streaming the block's whole offset array — the same
+    // cost logic as every other fetch choice here.
     let len = meta.interval_len(row) as usize;
-    let selective_index = actives.len() as f64 * 8.0 * ctx.index_ratio < (len + 1) as f64 * 4.0;
-    if selective_index {
-        SELECTIVE_BLOCKS.incr();
-        for &v in actives {
-            let local = (v - row_base) as usize;
-            let (lo, hi) = ctx.graph.load_out_index_entry(row, j, local)?;
-            if lo == hi {
-                continue;
+    let plan: Vec<(VertexId, u32, u32)> =
+        if selective_index_probe(actives.len(), len, ctx.index_ratio) {
+            SELECTIVE_BLOCKS.incr();
+            let mut probed = Vec::with_capacity(actives.len());
+            for &v in actives {
+                let local = (v - row_base) as usize;
+                let (lo, hi) = ctx.graph.load_out_index_entry(row, j, local)?;
+                if lo < hi {
+                    probed.push((v, lo, hi));
+                }
             }
+            probed
+        } else {
+            let index = ctx.graph.load_out_index(row, j, Access::Sequential)?;
+            let requested: u64 = actives
+                .iter()
+                .map(|&v| {
+                    let local = (v - row_base) as usize;
+                    (index[local + 1] - index[local]) as u64
+                })
+                .sum();
+            if requested == 0 {
+                return Ok(0);
+            }
+
+            if requested as f64 * ctx.coalesce_ratio >= block_edges as f64 {
+                // Dense in this block: one coalesced sweep.
+                COALESCED_SWEEPS.incr();
+                let recs = ctx.graph.load_out_block_batch(row, j)?;
+                for &v in actives {
+                    let local = (v - row_base) as usize;
+                    push_range(v, &recs, index[local] as usize, index[local + 1] as usize);
+                }
+                return Ok(pushed);
+            }
+            // Sparse: selective fetch of each vertex's edge range
+            // (`LoadOutEdges` in Algorithm 2).
+            SELECTIVE_BLOCKS.incr();
+            actives
+                .iter()
+                .filter_map(|&v| {
+                    let local = (v - row_base) as usize;
+                    let (lo, hi) = (index[local], index[local + 1]);
+                    (lo < hi).then_some((v, lo, hi))
+                })
+                .collect()
+        };
+
+    // Execute the selective plan. Ranges arrive sorted by vertex, which
+    // is ascending file order in a CSR block, so nearby actives form
+    // mergeable runs: each multi-range run is one batched operation
+    // billing exactly the requested bytes, singletons stay random reads.
+    let record_bytes = meta.edge_record_bytes();
+    let slack = (ctx.coalesce_ratio > 1.0).then_some(ctx.merge_slack);
+    for run_at in merge_runs(&plan, record_bytes, slack) {
+        let run = &plan[run_at];
+        if let [(v, lo, hi)] = *run {
             RANGE_EDGES.record((hi - lo) as u64);
             let recs = ctx.graph.load_out_records(row, j, lo, hi)?;
             push_range(v, &recs, 0, recs.len());
-        }
-        return Ok(pushed);
-    }
-
-    let index = ctx.graph.load_out_index(row, j, Access::Sequential)?;
-    let requested: u64 = actives
-        .iter()
-        .map(|&v| {
-            let local = (v - row_base) as usize;
-            (index[local + 1] - index[local]) as u64
-        })
-        .sum();
-    if requested == 0 {
-        return Ok(0);
-    }
-
-    if requested as f64 * ctx.coalesce_ratio >= block_edges as f64 {
-        // Dense in this block: one coalesced sweep.
-        COALESCED_SWEEPS.incr();
-        let recs = ctx.graph.load_out_block_batch(row, j)?;
-        for &v in actives {
-            let local = (v - row_base) as usize;
-            push_range(v, &recs, index[local] as usize, index[local + 1] as usize);
-        }
-    } else {
-        // Sparse: selective random fetch of each vertex's edge range
-        // (`LoadOutEdges` in Algorithm 2).
-        SELECTIVE_BLOCKS.incr();
-        for &v in actives {
-            let local = (v - row_base) as usize;
-            let (lo, hi) = (index[local], index[local + 1]);
-            if lo == hi {
-                continue;
+        } else {
+            MERGED_RUN_RANGES.record(run.len() as u64);
+            let ranges: Vec<(u32, u32)> = run.iter().map(|&(_, lo, hi)| (lo, hi)).collect();
+            let fetched = ctx.graph.load_out_record_ranges(row, j, &ranges)?;
+            for (recs, &(v, lo, hi)) in fetched.iter().zip(run) {
+                RANGE_EDGES.record((hi - lo) as u64);
+                push_range(v, recs, 0, recs.len());
             }
-            RANGE_EDGES.record((hi - lo) as u64);
-            let recs = ctx.graph.load_out_records(row, j, lo, hi)?;
-            push_range(v, &recs, 0, recs.len());
         }
     }
     Ok(pushed)
@@ -266,4 +341,44 @@ pub fn run_push_column<Pr: VertexProgram>(
     }
     store.write_next(col, &d_col)?;
     Ok(pushed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression: the selective-index crossover is pinned to the
+    /// on-disk layout constants. If the record layout changes (e.g. u64
+    /// CSR offsets), these exact boundaries move and this test must be
+    /// updated together with [`crate::meta::INDEX_ENTRY_BYTES`].
+    #[test]
+    fn selective_index_crossover_is_pinned_to_layout() {
+        // index_ratio 3.0, interval of 600 vertices: the full offset
+        // array costs (600 + 1) * 4 = 2404 sequential bytes; one probe
+        // costs 8 * 3.0 = 24 random-byte equivalents. Crossover at
+        // 2404 / 24 = 100.17 actives.
+        assert!(selective_index_probe(100, 600, 3.0));
+        assert!(!selective_index_probe(101, 600, 3.0));
+        // index_ratio 1.0 degenerates to "probe while fewer than half
+        // the offsets are needed": (99 + 1) * 4 / 8 = 50.
+        assert!(selective_index_probe(49, 99, 1.0));
+        assert!(!selective_index_probe(50, 99, 1.0));
+        // An empty frontier always probes (vacuously cheap).
+        assert!(selective_index_probe(0, 1_000_000, 100.0));
+    }
+
+    #[test]
+    fn merge_runs_groups_by_byte_gap() {
+        // Ranges in records; record_bytes 4 → byte gap = 4 * record gap.
+        let plan: Vec<(VertexId, u32, u32)> =
+            vec![(0, 0, 10), (1, 10, 12), (2, 14, 20), (3, 100, 101)];
+        // Slack 8 bytes = 2 records: gaps are 0, 2, and 80 records.
+        let runs = merge_runs(&plan, 4, Some(8));
+        assert_eq!(runs, vec![0..3, 3..4]);
+        // Slack 0 still merges directly adjacent ranges.
+        assert_eq!(merge_runs(&plan, 4, Some(0)), vec![0..2, 2..3, 3..4]);
+        // Disabled merging yields singletons.
+        assert_eq!(merge_runs(&plan, 4, None), vec![0..1, 1..2, 2..3, 3..4]);
+        assert!(merge_runs(&[], 4, Some(64)).is_empty());
+    }
 }

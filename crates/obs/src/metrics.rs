@@ -209,6 +209,11 @@ impl Registry {
     pub fn counter_values(&self) -> Vec<(&'static str, u64)> {
         self.counters.lock().iter().map(|(n, c)| (*n, c.get())).collect()
     }
+
+    /// Read every gauge, name-sorted.
+    pub fn gauge_values(&self) -> Vec<(&'static str, u64)> {
+        self.gauges.lock().iter().map(|(n, g)| (*n, g.get())).collect()
+    }
 }
 
 /// The process-wide registry.

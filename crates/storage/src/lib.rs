@@ -55,6 +55,21 @@ pub trait ReadBackend: Send + Sync {
     /// Read exactly `buf.len()` bytes starting at byte `offset`.
     fn read_at(&self, offset: u64, buf: &mut [u8], access: Access) -> Result<()>;
 
+    /// Fill several disjoint ranges in one logical request.
+    ///
+    /// The default implementation loops [`ReadBackend::read_at`] (one
+    /// tracked access per range); backends with a cheaper multi-range
+    /// path — notably [`FileBackend`], which issues a single spanning
+    /// `pread` — override it and bill the *requested* bytes once, so the
+    /// modeled byte count is identical either way and only the operation
+    /// count shrinks. Callers pass ranges sorted by offset.
+    fn read_ranges(&self, ranges: &mut [RangeRead<'_>], access: Access) -> Result<()> {
+        for r in ranges {
+            self.read_at(r.offset, r.buf, access)?;
+        }
+        Ok(())
+    }
+
     /// Total length of the backing file in bytes.
     fn len(&self) -> u64;
 
@@ -64,9 +79,22 @@ pub trait ReadBackend: Send + Sync {
     }
 }
 
+/// One destination range of a [`ReadBackend::read_ranges`] request: fill
+/// `buf` from the backing file starting at byte `offset`.
+pub struct RangeRead<'a> {
+    /// Absolute byte offset of the range.
+    pub offset: u64,
+    /// Destination buffer; its length is the range length.
+    pub buf: &'a mut [u8],
+}
+
 impl<T: ReadBackend + ?Sized> ReadBackend for std::sync::Arc<T> {
     fn read_at(&self, offset: u64, buf: &mut [u8], access: Access) -> Result<()> {
         (**self).read_at(offset, buf, access)
+    }
+
+    fn read_ranges(&self, ranges: &mut [RangeRead<'_>], access: Access) -> Result<()> {
+        (**self).read_ranges(ranges, access)
     }
 
     fn len(&self) -> u64 {

@@ -8,7 +8,7 @@
 
 use crate::error::{Result, StorageError};
 use crate::tracker::{Access, IoTracker};
-use crate::ReadBackend;
+use crate::{RangeRead, ReadBackend};
 use memmap2::Mmap;
 use std::fs::File;
 use std::path::{Path, PathBuf};
@@ -81,6 +81,42 @@ impl ReadBackend for MmapBackend {
         let slice = self.slice(offset, want, access)?;
         buf.copy_from_slice(slice);
         read_latency_hist(access).record_elapsed(t0);
+        Ok(())
+    }
+
+    /// Multi-range copy-out billed as one tracked operation, matching
+    /// [`crate::FileBackend`]'s spanning read: a memory map has no
+    /// syscall to save, but the op-count accounting must agree between
+    /// backends.
+    fn read_ranges(&self, ranges: &mut [RangeRead<'_>], access: Access) -> Result<()> {
+        match ranges {
+            [] => return Ok(()),
+            [only] => return self.read_at(only.offset, only.buf, access),
+            _ => {}
+        }
+        let total = self.len();
+        let mut requested = 0u64;
+        for r in ranges.iter() {
+            if r.offset + r.buf.len() as u64 > total {
+                return Err(StorageError::OutOfBounds {
+                    offset: r.offset,
+                    len: r.buf.len() as u64,
+                    file_len: total,
+                });
+            }
+            requested += r.buf.len() as u64;
+        }
+        if requested == 0 {
+            return Ok(());
+        }
+        let t0 = hus_obs::latency_timer();
+        let map = self.map.as_ref().expect("non-empty checked above");
+        for r in ranges.iter_mut() {
+            let s = r.offset as usize;
+            r.buf.copy_from_slice(&map[s..s + r.buf.len()]);
+        }
+        read_latency_hist(access).record_elapsed(t0);
+        self.tracker.record_read(access, requested);
         Ok(())
     }
 

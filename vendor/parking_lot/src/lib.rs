@@ -3,7 +3,7 @@
 //! A poisoned lock — some holder panicked — propagates the panic, which
 //! matches how this workspace treats worker panics (fatal).
 
-use std::sync::MutexGuard;
+pub use std::sync::MutexGuard;
 
 /// Mutual exclusion with an infallible `lock()`.
 pub struct Mutex<T: ?Sized> {
@@ -26,6 +26,17 @@ impl<T: ?Sized> Mutex<T> {
     /// Acquire the lock, blocking until available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
         self.inner.lock().expect("mutex poisoned: a holder panicked")
+    }
+
+    /// Acquire the lock only if it is free right now.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+            Err(std::sync::TryLockError::Poisoned(_)) => {
+                panic!("mutex poisoned: a holder panicked")
+            }
+        }
     }
 
     /// Mutable access without locking (requires exclusive ownership).
@@ -55,5 +66,14 @@ mod tests {
         let m = Mutex::new(1u32);
         *m.lock() += 41;
         assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn try_lock_fails_while_held() {
+        let m = Mutex::new(0u32);
+        let guard = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(guard);
+        assert!(m.try_lock().is_some());
     }
 }
