@@ -226,7 +226,9 @@ impl<'a, Pr: VertexProgram> GraphChiEngine<'a, Pr> {
         let m = meta.record_bytes() as usize;
         hus_obs::init_from_env();
         let tracker = self.store.dir.tracker();
+        let resilience = self.store.dir.resilience();
         let run_io_start = tracker.snapshot();
+        let run_res_start = resilience.snapshot();
         let run_start = Instant::now();
 
         let scratch = self.store.dir.subdir(&scratch_name(&self.config, "psw"))?;
@@ -314,6 +316,7 @@ impl<'a, Pr: VertexProgram> GraphChiEngine<'a, Pr> {
             edges_processed: total_edges,
             converged,
             threads: self.config.threads,
+            resilience: resilience.snapshot().since(&run_res_start),
         };
         if let Some(sink) = hus_obs::sink::trace() {
             sink.emit_run("graphchi", &stats);

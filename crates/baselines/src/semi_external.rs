@@ -40,7 +40,9 @@ impl<'a, Pr: VertexProgram> SemiExternalEngine<'a, Pr> {
         let p = self.graph.p();
         hus_obs::init_from_env();
         let tracker = self.graph.dir().tracker();
+        let resilience = self.graph.dir().resilience();
         let run_io_start = tracker.snapshot();
+        let run_res_start = resilience.snapshot();
         let run_start = Instant::now();
 
         // All vertex state pinned in memory: the semi-external premise.
@@ -172,6 +174,7 @@ impl<'a, Pr: VertexProgram> SemiExternalEngine<'a, Pr> {
             edges_processed: total_edges,
             converged,
             threads: self.config.threads,
+            resilience: resilience.snapshot().since(&run_res_start),
         };
         if let Some(sink) = hus_obs::sink::trace() {
             sink.emit_run("semi-external", &stats);

@@ -169,7 +169,9 @@ impl<'a, Pr: VertexProgram> XStreamEngine<'a, Pr> {
         let update_size = 4 + value_size; // dst id + message
         hus_obs::init_from_env();
         let tracker = self.store.dir.tracker();
+        let resilience = self.store.dir.resilience();
         let run_io_start = tracker.snapshot();
+        let run_res_start = resilience.snapshot();
         let run_start = Instant::now();
 
         let scratch = self.store.dir.subdir(&scratch_name(&self.config, "xs"))?;
@@ -309,6 +311,7 @@ impl<'a, Pr: VertexProgram> XStreamEngine<'a, Pr> {
             edges_processed: total_edges,
             converged,
             threads: self.config.threads,
+            resilience: resilience.snapshot().since(&run_res_start),
         };
         if let Some(sink) = hus_obs::sink::trace() {
             sink.emit_run("xstream", &stats);

@@ -11,7 +11,8 @@ use crate::meta::{BlockMeta, GraphMeta, DEGREES_FILE, META_FILE};
 pub use crate::partition::PartitionStrategy;
 use crate::partition::{interval_of, interval_starts};
 use hus_gen::EdgeList;
-use hus_storage::{Result, StorageDir, StorageError};
+use hus_storage::checksum::{Crc32c, ShardFooter};
+use hus_storage::{pod, Result, StorageDir, StorageError};
 
 /// Build-time configuration.
 #[derive(Debug, Clone)]
@@ -80,10 +81,15 @@ pub fn build(el: &EdgeList, dir: &StorageDir, config: &BuildConfig) -> Result<Gr
     let mut in_blocks = vec![BlockMeta::default(); p * p];
 
     // Out-shards: for each source interval i, blocks (i, 0..P) sorted by
-    // source within each block.
+    // source within each block. Per-block CRC-32C checksums are
+    // accumulated as the records stream out and sealed into a footer at
+    // the end of each file (appended untracked: integrity metadata, not
+    // modeled data I/O — see docs/FORMAT.md).
     for i in 0..p {
         let mut edges_w = dir.writer(&GraphMeta::out_edges_file(i))?;
         let mut index_w = dir.writer(&GraphMeta::out_index_file(i))?;
+        let mut edge_crcs = Vec::with_capacity(p);
+        let mut index_crcs = Vec::with_capacity(p);
         let base = starts[i];
         let len = (starts[i + 1] - starts[i]) as usize;
         for j in 0..p {
@@ -101,17 +107,25 @@ pub fn build(el: &EdgeList, dir: &StorageDir, config: &BuildConfig) -> Result<Gr
             for v in 0..len {
                 offsets[v + 1] += offsets[v];
             }
+            index_crcs.push(hus_storage::crc32c(pod::as_bytes(&offsets)));
             index_w.write_pod_slice(&offsets)?;
+            let mut crc = Crc32c::new();
             for &k in &ids {
                 let e = &el.edges[k as usize];
+                crc.update(pod::as_bytes(std::slice::from_ref(&e.dst)));
                 edges_w.write_pod(&e.dst)?;
                 if weighted {
-                    edges_w.write_pod(&el.weights.as_ref().unwrap()[k as usize])?;
+                    let w = &el.weights.as_ref().unwrap()[k as usize];
+                    crc.update(pod::as_bytes(std::slice::from_ref(w)));
+                    edges_w.write_pod(w)?;
                 }
             }
+            edge_crcs.push(crc.finish());
         }
         edges_w.finish()?;
         index_w.finish()?;
+        ShardFooter::new(edge_crcs).append_to(&dir.path(&GraphMeta::out_edges_file(i)))?;
+        ShardFooter::new(index_crcs).append_to(&dir.path(&GraphMeta::out_index_file(i)))?;
     }
 
     // In-shards: for each destination interval j, blocks (0..P, j) sorted
@@ -119,6 +133,8 @@ pub fn build(el: &EdgeList, dir: &StorageDir, config: &BuildConfig) -> Result<Gr
     for j in 0..p {
         let mut edges_w = dir.writer(&GraphMeta::in_edges_file(j))?;
         let mut index_w = dir.writer(&GraphMeta::in_index_file(j))?;
+        let mut edge_crcs = Vec::with_capacity(p);
+        let mut index_crcs = Vec::with_capacity(p);
         let base = starts[j];
         let len = (starts[j + 1] - starts[j]) as usize;
         for i in 0..p {
@@ -135,17 +151,25 @@ pub fn build(el: &EdgeList, dir: &StorageDir, config: &BuildConfig) -> Result<Gr
             for v in 0..len {
                 offsets[v + 1] += offsets[v];
             }
+            index_crcs.push(hus_storage::crc32c(pod::as_bytes(&offsets)));
             index_w.write_pod_slice(&offsets)?;
+            let mut crc = Crc32c::new();
             for &k in &ids {
                 let e = &el.edges[k as usize];
+                crc.update(pod::as_bytes(std::slice::from_ref(&e.src)));
                 edges_w.write_pod(&e.src)?;
                 if weighted {
-                    edges_w.write_pod(&el.weights.as_ref().unwrap()[k as usize])?;
+                    let w = &el.weights.as_ref().unwrap()[k as usize];
+                    crc.update(pod::as_bytes(std::slice::from_ref(w)));
+                    edges_w.write_pod(w)?;
                 }
             }
+            edge_crcs.push(crc.finish());
         }
         edges_w.finish()?;
         index_w.finish()?;
+        ShardFooter::new(edge_crcs).append_to(&dir.path(&GraphMeta::in_edges_file(j)))?;
+        ShardFooter::new(index_crcs).append_to(&dir.path(&GraphMeta::in_index_file(j)))?;
     }
 
     // Out-degrees (used by scatter contexts and the predictor).
@@ -158,6 +182,7 @@ pub fn build(el: &EdgeList, dir: &StorageDir, config: &BuildConfig) -> Result<Gr
         num_edges: el.num_edges() as u64,
         p: p as u32,
         weighted,
+        checksums: true,
         interval_starts: starts,
         out_blocks,
         in_blocks,
@@ -198,14 +223,18 @@ mod tests {
     fn shard_files_have_expected_sizes() {
         let el = rmat(64, 300, 2, RmatConfig::default());
         let (_t, dir, meta) = build_tmp(&el, 2);
+        let footer = hus_storage::checksum::footer_len(2);
         for i in 0..2usize {
             let edges_in_shard: u64 = (0..2).map(|j| meta.out_block(i, j).edge_count).sum();
             assert_eq!(
                 dir.file_len(&GraphMeta::out_edges_file(i)).unwrap(),
-                edges_in_shard * meta.edge_record_bytes()
+                edges_in_shard * meta.edge_record_bytes() + footer
             );
             let len = meta.interval_len(i) as u64;
-            assert_eq!(dir.file_len(&GraphMeta::out_index_file(i)).unwrap(), 2 * (len + 1) * 4);
+            assert_eq!(
+                dir.file_len(&GraphMeta::out_index_file(i)).unwrap(),
+                2 * (len + 1) * 4 + footer
+            );
         }
     }
 
@@ -216,7 +245,32 @@ mod tests {
         assert!(meta.weighted);
         assert_eq!(meta.edge_record_bytes(), 8);
         let total: u64 = (0..2).map(|j| meta.out_block(0, j).edge_count).sum();
-        assert_eq!(dir.file_len(&GraphMeta::out_edges_file(0)).unwrap(), total * 8);
+        assert_eq!(
+            dir.file_len(&GraphMeta::out_edges_file(0)).unwrap(),
+            total * 8 + hus_storage::checksum::footer_len(2)
+        );
+    }
+
+    #[test]
+    fn footers_record_per_block_payload_crcs() {
+        let el = rmat(64, 300, 4, RmatConfig::default());
+        let (_t, dir, meta) = build_tmp(&el, 2);
+        assert!(meta.checksums);
+        for i in 0..2usize {
+            let name = GraphMeta::out_edges_file(i);
+            let footer = ShardFooter::read_from(&dir.path(&name), 2).unwrap();
+            let bytes = std::fs::read(dir.path(&name)).unwrap();
+            for j in 0..2usize {
+                let b = meta.out_block(i, j);
+                let start = b.edge_offset as usize;
+                let end = start + (b.edge_count * meta.edge_record_bytes()) as usize;
+                assert_eq!(
+                    footer.crcs[j],
+                    hus_storage::crc32c(&bytes[start..end]),
+                    "out-shard {i} block {j}"
+                );
+            }
+        }
     }
 
     #[test]

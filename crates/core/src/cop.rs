@@ -48,6 +48,12 @@ static QUEUE_WAIT_NS: hus_obs::LazyHistogram = hus_obs::LazyHistogram::new("cop.
 /// Edge-record bytes fetched ahead but never consumed (error paths).
 static READAHEAD_UNUSED: hus_obs::LazyCounter =
     hus_obs::LazyCounter::new("cop.readahead_unused_bytes");
+/// Columns degraded from the readahead pipeline to a synchronous fetch
+/// loop after a non-corruption pipeline failure.
+static OBS_SYNC_FALLBACKS: hus_obs::LazyCounter =
+    hus_obs::LazyCounter::new("storage.fallback.sync");
+/// Log the pipeline→synchronous degradation once per process.
+static SYNC_FALLBACK_ONCE: std::sync::Once = std::sync::Once::new();
 
 /// One fetched in-block, ready to process.
 struct FetchedBlock<V> {
@@ -59,6 +65,28 @@ struct FetchedBlock<V> {
     index: Vec<u32>,
     /// The block's edge records.
     records: EdgeRecords,
+}
+
+/// Unwind guard for the prefetch pipeline: if the thread holding it
+/// panics (e.g. the consumer processing damaged-but-unverified bytes,
+/// see DESIGN.md §9), the pipeline is cancelled and every parked
+/// thread woken — otherwise the enclosing `thread::scope` would join
+/// producers that are waiting on a condvar nobody will ever signal,
+/// turning the panic into a deadlock.
+struct CancelOnUnwind<'a, V> {
+    state: &'a Mutex<PipelineState<V>>,
+    wakeup: &'a Condvar,
+}
+
+impl<V> Drop for CancelOnUnwind<'_, V> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            if let Ok(mut st) = self.state.lock() {
+                st.cancelled = true;
+            }
+            self.wakeup.notify_all();
+        }
+    }
 }
 
 /// Shared state of the ordered prefetch pipeline.
@@ -78,7 +106,38 @@ struct PipelineState<V> {
 /// initialized this iteration. Returns the updated `D_col` (not yet
 /// written back) and the number of edge records streamed (COP pays for
 /// every in-edge of the column, active or not — that is its trade).
+///
+/// If the readahead pipeline fails with a non-corruption error (a
+/// transient fault that survived the retry policy, a thread-pool
+/// breakage, ...), the column is re-run once with a plain synchronous
+/// fetch loop before the error is surfaced — the degradation is logged
+/// once and counted in `storage.fallback.sync` / the run's
+/// [`ResilienceSnapshot`](hus_storage::ResilienceSnapshot). Corruption
+/// (checksum mismatches, bad casts) is never masked by a retry.
 fn process_column<Pr: VertexProgram>(
+    ctx: &IterCtx<'_, Pr>,
+    store: &VertexStore<Pr::Value>,
+    col: usize,
+    touched_col: bool,
+    readahead: usize,
+) -> Result<(Vec<Pr::Value>, u64)> {
+    match process_column_inner(ctx, store, col, touched_col, readahead) {
+        Err(e) if readahead > 1 && !e.is_corruption() => {
+            hus_storage::retry::warn_once(
+                &SYNC_FALLBACK_ONCE,
+                "COP readahead pipeline failed; degrading to synchronous block fetches",
+            );
+            OBS_SYNC_FALLBACKS.add(1);
+            ctx.graph.dir().resilience().record_sync_fallback();
+            process_column_inner(ctx, store, col, touched_col, 0)
+        }
+        other => other,
+    }
+}
+
+/// The actual column walk; `readahead == 0` forces the fully
+/// synchronous fetch loop (degraded mode), `>= 1` sizes the pipeline.
+fn process_column_inner<Pr: VertexProgram>(
     ctx: &IterCtx<'_, Pr>,
     store: &VertexStore<Pr::Value>,
     col: usize,
@@ -102,8 +161,8 @@ fn process_column<Pr: VertexProgram>(
 
     let depth = readahead.max(1).min(blocks.len());
     READAHEAD_DEPTH.set(depth as u64);
-    if blocks.len() <= 1 {
-        // Nothing to overlap: fetch inline.
+    if readahead == 0 || blocks.len() <= 1 {
+        // Nothing to overlap (or degraded mode): fetch inline.
         for &i in &blocks {
             let block = fetch(i)?;
             BLOCK_EDGES.record(block.records.len() as u64);
@@ -129,36 +188,40 @@ fn process_column<Pr: VertexProgram>(
 
     let result: Result<()> = std::thread::scope(|scope| {
         for _ in 0..producers {
-            scope.spawn(|| loop {
-                let seq = next_fetch.fetch_add(1, Ordering::Relaxed);
-                if seq >= blocks.len() {
-                    break;
-                }
-                {
-                    let mut st = state.lock().expect("pipeline state poisoned");
-                    while !st.cancelled && seq >= st.next_emit + depth {
-                        st = wakeup.wait(st).expect("pipeline state poisoned");
-                    }
-                    if st.cancelled {
+            scope.spawn(|| {
+                let _cancel = CancelOnUnwind { state: &state, wakeup: &wakeup };
+                loop {
+                    let seq = next_fetch.fetch_add(1, Ordering::Relaxed);
+                    if seq >= blocks.len() {
                         break;
                     }
-                }
-                let fetched = fetch(blocks[seq]);
-                let failed = fetched.is_err();
-                let mut st = state.lock().expect("pipeline state poisoned");
-                if failed {
-                    // Stop the pool eagerly; the consumer will hit the
-                    // error when it reaches this sequence number.
-                    st.cancelled = true;
-                }
-                st.ready.insert(seq, fetched);
-                wakeup.notify_all();
-                if failed {
-                    break;
+                    {
+                        let mut st = state.lock().expect("pipeline state poisoned");
+                        while !st.cancelled && seq >= st.next_emit + depth {
+                            st = wakeup.wait(st).expect("pipeline state poisoned");
+                        }
+                        if st.cancelled {
+                            break;
+                        }
+                    }
+                    let fetched = fetch(blocks[seq]);
+                    let failed = fetched.is_err();
+                    let mut st = state.lock().expect("pipeline state poisoned");
+                    if failed {
+                        // Stop the pool eagerly; the consumer will hit the
+                        // error when it reaches this sequence number.
+                        st.cancelled = true;
+                    }
+                    st.ready.insert(seq, fetched);
+                    wakeup.notify_all();
+                    if failed {
+                        break;
+                    }
                 }
             });
         }
 
+        let _cancel = CancelOnUnwind { state: &state, wakeup: &wakeup };
         for seq in 0..blocks.len() {
             let t0 = hus_obs::latency_timer();
             let fetched = {

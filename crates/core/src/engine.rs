@@ -107,6 +107,24 @@ pub enum Synchrony {
 }
 
 /// Run-time configuration.
+///
+/// [`Default`] resolves every knob from the environment where an
+/// override exists (`HUS_PARALLEL_ROWS`, `HUS_READAHEAD`,
+/// `HUS_MERGE_SLACK`, `HUS_VERIFY`; see the README's knob table).
+/// Struct-update syntax pins just the fields a caller cares about:
+///
+/// ```
+/// use hus_core::{RunConfig, UpdateMode};
+///
+/// let cfg = RunConfig {
+///     threads: 2,
+///     max_iterations: 10,
+///     verify_checksums: true,
+///     ..RunConfig::with_mode(UpdateMode::ForceCop)
+/// };
+/// assert_eq!(cfg.mode, UpdateMode::ForceCop);
+/// assert!(cfg.effective_readahead() >= 1);
+/// ```
 #[derive(Debug, Clone)]
 pub struct RunConfig {
     /// Update strategy.
@@ -148,6 +166,12 @@ pub struct RunConfig {
     /// kicks in only when the device's batched throughput actually beats
     /// its random throughput. Env override: `HUS_MERGE_SLACK`.
     pub range_merge_slack: u64,
+    /// Verify per-block CRC-32C checksums (stored in the shard footers by
+    /// the builder) on every full-block read. Detects on-disk corruption
+    /// at the exact `(i, j)` block; costs one pass over each block read.
+    /// Graphs built before checksums existed are read unverified even
+    /// when this is set. Env override: `HUS_VERIFY=1` enables.
+    pub verify_checksums: bool,
 }
 
 /// Default [`RunConfig::range_merge_slack`]: one 4 KiB device sector —
@@ -159,7 +183,7 @@ fn env_parse<T: std::str::FromStr>(name: &str, default: T) -> T {
     std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
 }
 
-fn env_flag(name: &str, default: bool) -> bool {
+pub(crate) fn env_flag(name: &str, default: bool) -> bool {
     match std::env::var(name) {
         Ok(v) => !(v.is_empty() || v == "0" || v.eq_ignore_ascii_case("false")),
         Err(_) => default,
@@ -181,6 +205,7 @@ impl Default for RunConfig {
             parallel_rows: env_flag("HUS_PARALLEL_ROWS", true),
             readahead_blocks: env_parse("HUS_READAHEAD", 0),
             range_merge_slack: env_parse("HUS_MERGE_SLACK", DEFAULT_MERGE_SLACK),
+            verify_checksums: env_flag("HUS_VERIFY", false),
         }
     }
 }
@@ -219,6 +244,39 @@ impl<'a, Pr: VertexProgram> Engine<'a, Pr> {
 
     /// Execute to convergence (or `max_iterations`); returns the final
     /// vertex values and the run statistics.
+    ///
+    /// ```
+    /// use hus_core::{BuildConfig, Engine, HusGraph, RunConfig};
+    /// use hus_storage::StorageDir;
+    ///
+    /// // Single-source reachability as a minimal VertexProgram
+    /// // (values must be Pod, so 0/1 in a u32 stands in for bool).
+    /// struct Reach;
+    /// impl hus_core::VertexProgram for Reach {
+    ///     type Value = u32;
+    ///     fn init(&self, v: u32) -> u32 { (v == 0) as u32 }
+    ///     fn initially_active(&self, v: u32) -> bool { v == 0 }
+    ///     fn scatter(&self, s: &u32, _: &hus_core::EdgeCtx) -> Option<u32> {
+    ///         (*s == 1).then_some(1)
+    ///     }
+    ///     fn combine(&self, d: &mut u32, m: u32) -> bool {
+    ///         let grew = m == 1 && *d == 0;
+    ///         *d |= m;
+    ///         grew
+    ///     }
+    /// }
+    ///
+    /// let edges = hus_gen::classic::cycle(8);
+    /// let tmp = tempfile::tempdir().unwrap();
+    /// let dir = StorageDir::create(tmp.path().join("g")).unwrap();
+    /// let graph = HusGraph::build_into(&edges, &dir, &BuildConfig::with_p(2)).unwrap();
+    ///
+    /// let cfg = RunConfig { threads: 1, ..Default::default() };
+    /// let (reached, stats) = Engine::new(&graph, &Reach, cfg).run().unwrap();
+    /// assert!(reached.iter().all(|&r| r == 1), "a cycle reaches everything");
+    /// assert!(stats.converged);
+    /// assert_eq!(stats.resilience.giveups, 0);
+    /// ```
     pub fn run(&self) -> Result<(Vec<Pr::Value>, RunStats)> {
         hus_obs::init_from_env();
         let pool = rayon::ThreadPoolBuilder::new()
@@ -251,8 +309,11 @@ impl<'a, Pr: VertexProgram> Engine<'a, Pr> {
         let meta = self.graph.meta();
         let v = meta.num_vertices;
         let p = self.graph.p();
+        self.graph.set_verify(self.config.verify_checksums);
         let tracker = self.graph.dir().tracker();
+        let resilience = self.graph.dir().resilience();
         let run_start_io = tracker.snapshot();
+        let run_start_res = resilience.snapshot();
         let run_start = Instant::now();
 
         let scratch = self.scratch_dir()?;
@@ -592,6 +653,7 @@ impl<'a, Pr: VertexProgram> Engine<'a, Pr> {
             edges_processed: total_edges,
             converged,
             threads: self.config.threads,
+            resilience: resilience.snapshot().since(&run_start_res),
         };
         if let Some(sink) = hus_obs::sink::trace() {
             sink.emit_run("hus", &stats);

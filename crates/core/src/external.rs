@@ -22,7 +22,8 @@ use crate::builder::BuildConfig;
 use crate::meta::{BlockMeta, GraphMeta, DEGREES_FILE, META_FILE};
 use crate::partition::{interval_of, interval_starts};
 use hus_gen::Edge;
-use hus_storage::{Access, Result, StorageDir, StorageError};
+use hus_storage::checksum::{Crc32c, ShardFooter};
+use hus_storage::{pod, Access, Result, StorageDir, StorageError};
 
 /// A re-scannable stream of `(edge, weight)` pairs (weight ignored when
 /// `weighted` is false). Each call must yield the same sequence.
@@ -229,6 +230,7 @@ pub fn build_external<S: EdgeSource>(
         num_edges,
         p: p as u32,
         weighted,
+        checksums: true,
         interval_starts: starts,
         out_blocks,
         in_blocks,
@@ -265,6 +267,8 @@ fn write_shard(
     let len = (starts[own + 1] - starts[own]) as usize;
     let mut edges_w = dir.writer(edges_name)?;
     let mut index_w = dir.writer(index_name)?;
+    let mut edge_crcs = Vec::with_capacity(p);
+    let mut index_crcs = Vec::with_capacity(p);
     let mut cursor = 0usize;
     for other in 0..p {
         // Records of block `other` form a contiguous run of the sorted
@@ -300,21 +304,28 @@ fn write_shard(
         for v in 0..len {
             offsets[v + 1] += offsets[v];
         }
+        index_crcs.push(hus_storage::crc32c(pod::as_bytes(&offsets)));
         index_w.write_pod_slice(&offsets)?;
+        let mut crc = Crc32c::new();
         for (e, w) in run {
             let neighbor = match kind {
                 ShardKind::Out => e.dst,
                 ShardKind::In => e.src,
             };
+            crc.update(pod::as_bytes(std::slice::from_ref(&neighbor)));
             edges_w.write_pod(&neighbor)?;
             if weighted {
+                crc.update(pod::as_bytes(std::slice::from_ref(w)));
                 edges_w.write_pod(w)?;
             }
         }
+        edge_crcs.push(crc.finish());
     }
     debug_assert_eq!(cursor, records.len(), "sorted shard fully consumed");
     edges_w.finish()?;
     index_w.finish()?;
+    ShardFooter::new(edge_crcs).append_to(&dir.path(edges_name))?;
+    ShardFooter::new(index_crcs).append_to(&dir.path(index_name))?;
     Ok(())
 }
 

@@ -3,8 +3,25 @@
 use crate::builder::{build, BuildConfig};
 use crate::meta::{GraphMeta, DEGREES_FILE, META_FILE};
 use hus_gen::EdgeList;
+use hus_storage::checksum::ShardFooter;
 use hus_storage::{Access, RangeRead, ReadBackend, Result, StorageDir, StorageError};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
+/// Per-file, per-block CRC-32C tables loaded from the shard footers of a
+/// checksummed graph (`GraphMeta::checksums`). Outer index is the shard
+/// file, inner index the block's position within that file.
+struct GraphChecksums {
+    /// `out_edges[i][j]`: CRC of out-block `(i, j)` payload.
+    out_edges: Vec<Vec<u32>>,
+    /// `out_index[i][j]`: CRC of out-block `(i, j)`'s CSR offset array.
+    out_index: Vec<Vec<u32>>,
+    /// `in_edges[j][i]`: CRC of in-block `(i, j)` payload (in-shard `j`
+    /// concatenates blocks by source interval `i`).
+    in_edges: Vec<Vec<u32>>,
+    /// `in_index[j][i]`: CRC of in-block `(i, j)`'s CSR offset array.
+    in_index: Vec<Vec<u32>>,
+}
 
 /// An opened dual-block graph: manifest, shard readers, and the
 /// out-degree table.
@@ -16,6 +33,8 @@ pub struct HusGraph {
     out_index: Vec<Arc<dyn ReadBackend>>,
     in_edges: Vec<Arc<dyn ReadBackend>>,
     in_index: Vec<Arc<dyn ReadBackend>>,
+    checksums: Option<GraphChecksums>,
+    verify: AtomicBool,
 }
 
 impl HusGraph {
@@ -53,7 +72,82 @@ impl HusGraph {
             in_edges.push(dir.reader(&GraphMeta::in_edges_file(i))?);
             in_index.push(dir.reader(&GraphMeta::in_index_file(i))?);
         }
-        Ok(HusGraph { dir, meta, out_degrees, out_edges, out_index, in_edges, in_index })
+        // Footers are integrity metadata, loaded untracked at open like
+        // the manifest. A graph that claims checksums but lacks a valid
+        // footer on any shard file is rejected as corrupt.
+        let checksums = if meta.checksums {
+            let load = |name: String| ShardFooter::read_from(&dir.path(&name), p).map(|f| f.crcs);
+            Some(GraphChecksums {
+                out_edges: (0..p)
+                    .map(|i| load(GraphMeta::out_edges_file(i)))
+                    .collect::<Result<_>>()?,
+                out_index: (0..p)
+                    .map(|i| load(GraphMeta::out_index_file(i)))
+                    .collect::<Result<_>>()?,
+                in_edges: (0..p)
+                    .map(|j| load(GraphMeta::in_edges_file(j)))
+                    .collect::<Result<_>>()?,
+                in_index: (0..p)
+                    .map(|j| load(GraphMeta::in_index_file(j)))
+                    .collect::<Result<_>>()?,
+            })
+        } else {
+            None
+        };
+        let verify = AtomicBool::new(crate::engine::env_flag("HUS_VERIFY", false));
+        Ok(HusGraph {
+            dir,
+            meta,
+            out_degrees,
+            out_edges,
+            out_index,
+            in_edges,
+            in_index,
+            checksums,
+            verify,
+        })
+    }
+
+    /// Enable or disable read-side checksum verification at runtime
+    /// (initially set from the `HUS_VERIFY` environment variable; the
+    /// engine re-applies `RunConfig::verify_checksums` before each run).
+    /// Verification requires the graph to carry checksum footers
+    /// ([`GraphMeta::checksums`]); enabling it on an unchecksummed graph
+    /// is a no-op.
+    pub fn set_verify(&self, on: bool) {
+        self.verify.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether full-block reads are currently verified against the shard
+    /// checksum footers.
+    pub fn verify_enabled(&self) -> bool {
+        self.verify.load(Ordering::Relaxed) && self.checksums.is_some()
+    }
+
+    /// Verify a freshly read full block's payload against its stored CRC.
+    /// Partial (selective) reads cannot be verified — CRCs cover whole
+    /// blocks — which is why ROP's per-vertex random fetches pass through
+    /// unchecked; see DESIGN.md §9.
+    fn verify_block(
+        &self,
+        stored: u32,
+        data: &[u8],
+        file: String,
+        block: (usize, usize),
+        offset: u64,
+    ) -> Result<()> {
+        let actual = hus_storage::crc32c(data);
+        if actual == stored {
+            return Ok(());
+        }
+        self.dir.resilience().record_checksum_failure();
+        Err(StorageError::ChecksumMismatch {
+            path: self.dir.path(&file),
+            block: (block.0 as u32, block.1 as u32),
+            offset,
+            expected: stored,
+            actual,
+        })
     }
 
     /// The manifest.
@@ -81,7 +175,20 @@ impl HusGraph {
     pub fn load_out_index(&self, i: usize, j: usize, access: Access) -> Result<Vec<u32>> {
         let block = self.meta.out_block(i, j);
         let count = self.meta.interval_len(i) as usize + 1;
-        hus_storage::read_pod_vec(&self.out_index[i], block.index_offset, count, access)
+        let idx: Vec<u32> =
+            hus_storage::read_pod_vec(&self.out_index[i], block.index_offset, count, access)?;
+        if self.verify_enabled() {
+            if let Some(cs) = &self.checksums {
+                self.verify_block(
+                    cs.out_index[i][j],
+                    hus_storage::pod::as_bytes(&idx),
+                    GraphMeta::out_index_file(i),
+                    (i, j),
+                    block.index_offset,
+                )?;
+            }
+        }
+        Ok(idx)
     }
 
     /// Load in-index `(i, j)`: `interval_len(j) + 1` CSR offsets local to
@@ -89,7 +196,20 @@ impl HusGraph {
     pub fn load_in_index(&self, i: usize, j: usize, access: Access) -> Result<Vec<u32>> {
         let block = self.meta.in_block(i, j);
         let count = self.meta.interval_len(j) as usize + 1;
-        hus_storage::read_pod_vec(&self.in_index[j], block.index_offset, count, access)
+        let idx: Vec<u32> =
+            hus_storage::read_pod_vec(&self.in_index[j], block.index_offset, count, access)?;
+        if self.verify_enabled() {
+            if let Some(cs) = &self.checksums {
+                self.verify_block(
+                    cs.in_index[j][i],
+                    hus_storage::pod::as_bytes(&idx),
+                    GraphMeta::in_index_file(j),
+                    (i, j),
+                    block.index_offset,
+                )?;
+            }
+        }
+        Ok(idx)
     }
 
     /// Randomly load the two CSR offsets delimiting one vertex's edge
@@ -176,6 +296,17 @@ impl HusGraph {
         if len > 0 {
             self.out_edges[i].read_at(block.edge_offset, &mut data, Access::Batched)?;
         }
+        if self.verify_enabled() {
+            if let Some(cs) = &self.checksums {
+                self.verify_block(
+                    cs.out_edges[i][j],
+                    &data,
+                    GraphMeta::out_edges_file(i),
+                    (i, j),
+                    block.edge_offset,
+                )?;
+            }
+        }
         Ok(EdgeRecords { data, weighted: self.meta.weighted })
     }
 
@@ -189,6 +320,17 @@ impl HusGraph {
         let mut data = vec![0u8; len];
         if len > 0 {
             self.in_edges[j].read_at(block.edge_offset, &mut data, Access::Sequential)?;
+        }
+        if self.verify_enabled() {
+            if let Some(cs) = &self.checksums {
+                self.verify_block(
+                    cs.in_edges[j][i],
+                    &data,
+                    GraphMeta::in_edges_file(j),
+                    (i, j),
+                    block.edge_offset,
+                )?;
+            }
         }
         Ok(EdgeRecords { data, weighted: self.meta.weighted })
     }
@@ -204,6 +346,17 @@ impl HusGraph {
         if len > 0 {
             self.out_edges[i].read_at(block.edge_offset, &mut data, Access::Sequential)?;
         }
+        if self.verify_enabled() {
+            if let Some(cs) = &self.checksums {
+                self.verify_block(
+                    cs.out_edges[i][j],
+                    &data,
+                    GraphMeta::out_edges_file(i),
+                    (i, j),
+                    block.edge_offset,
+                )?;
+            }
+        }
         Ok(EdgeRecords { data, weighted: self.meta.weighted })
     }
 }
@@ -212,6 +365,7 @@ impl HusGraph {
 ///
 /// Accessors read unaligned little-endian fields straight out of the byte
 /// buffer, so no alignment requirements are imposed on block offsets.
+#[derive(Debug)]
 pub struct EdgeRecords {
     data: Vec<u8>,
     weighted: bool,
@@ -423,6 +577,53 @@ mod tests {
         let tmp = tempfile::tempdir().unwrap();
         let dir = StorageDir::create(tmp.path().join("empty")).unwrap();
         assert!(HusGraph::open(dir).is_err());
+    }
+
+    #[test]
+    fn verification_catches_on_disk_corruption_at_exact_block() {
+        let el = rmat(120, 700, 13, RmatConfig::default());
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("g")).unwrap();
+        let g = HusGraph::build_into(&el, &dir, &BuildConfig::with_p(3)).unwrap();
+        let (i, j) = (0..3)
+            .flat_map(|i| (0..3).map(move |j| (i, j)))
+            .find(|&(i, j)| g.meta().out_block(i, j).edge_count > 0)
+            .expect("some non-empty block");
+        let block = *g.meta().out_block(i, j);
+        drop(g);
+
+        // Flip one payload byte of that block on disk.
+        let path = dir.path(&GraphMeta::out_edges_file(i));
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[block.edge_offset as usize + 2] ^= 0x10;
+        std::fs::write(&path, bytes).unwrap();
+
+        let g = HusGraph::open(dir).unwrap();
+        // Verification off: the damaged bytes are served silently.
+        g.set_verify(false);
+        g.stream_out_block(i, j).unwrap();
+        assert_eq!(g.dir().resilience().snapshot().checksum_failures, 0);
+        // Verification on: the exact block and offset are named.
+        g.set_verify(true);
+        assert!(g.verify_enabled());
+        match g.stream_out_block(i, j).unwrap_err() {
+            StorageError::ChecksumMismatch { path, block: b, offset, expected, actual } => {
+                assert!(path.ends_with(GraphMeta::out_edges_file(i)));
+                assert_eq!(b, (i as u32, j as u32));
+                assert_eq!(offset, block.edge_offset);
+                assert_ne!(expected, actual);
+            }
+            other => panic!("expected ChecksumMismatch, got {other}"),
+        }
+        assert_eq!(g.dir().resilience().snapshot().checksum_failures, 1);
+        // The sibling batched loader reports the same failure.
+        assert!(g.load_out_block_batch(i, j).unwrap_err().is_corruption());
+        // Undamaged blocks still verify clean.
+        for jj in 0..3 {
+            if jj != j {
+                g.stream_out_block(i, jj).unwrap();
+            }
+        }
     }
 
     #[test]

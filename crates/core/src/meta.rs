@@ -16,6 +16,11 @@
 //! its **source** — 4 bytes unweighted, 8 with an f32 weight. This is the
 //! "more space-efficient storage format" the paper credits for part of
 //! its PageRank I/O advantage over edge-list systems (§4.4).
+//!
+//! When [`GraphMeta::checksums`] is set (the builder always sets it),
+//! every `.edges` / `.index` file additionally ends with a per-block
+//! CRC-32C footer ([`hus_storage::checksum`]). The byte-authoritative
+//! spec of all of the above lives in `docs/FORMAT.md`.
 
 use serde::{Deserialize, Serialize};
 
@@ -58,6 +63,11 @@ pub struct GraphMeta {
     pub p: u32,
     /// Whether edge records carry an f32 weight.
     pub weighted: bool,
+    /// Whether every shard and index file carries a per-block CRC-32C
+    /// checksum footer (see `docs/FORMAT.md`). Written by the builder;
+    /// read-side verification is gated separately by
+    /// `RunConfig::verify_checksums` / `HUS_VERIFY`.
+    pub checksums: bool,
     /// Interval boundaries, `p + 1` entries; interval `i` is
     /// `interval_starts[i]..interval_starts[i+1]`.
     pub interval_starts: Vec<u32>,
@@ -175,6 +185,7 @@ mod tests {
             num_edges: 4,
             p: 2,
             weighted: false,
+            checksums: false,
             interval_starts: vec![0, 5, 10],
             out_blocks: vec![
                 BlockMeta { edge_offset: 0, edge_count: 1, index_offset: 0 },

@@ -7,7 +7,7 @@
 
 use crate::predict::UpdateModel;
 use hus_obs::PhaseStat;
-use hus_storage::{CostModel, IoSnapshot};
+use hus_storage::{CostModel, IoSnapshot, ResilienceSnapshot};
 use serde::{Deserialize, Serialize};
 
 /// Measurements for one iteration.
@@ -67,6 +67,11 @@ pub struct RunStats {
     pub converged: bool,
     /// Worker threads used.
     pub threads: usize,
+    /// Storage resilience events during the run: retries of transient
+    /// read errors, giveups, degradations (mmap→file, batched→per-range,
+    /// readahead→sync) and checksum failures. All zero on a healthy run;
+    /// see DESIGN.md §9.
+    pub resilience: ResilienceSnapshot,
 }
 
 impl RunStats {
@@ -93,10 +98,12 @@ impl RunStats {
 
     /// One-line human summary, e.g.
     /// `12 iters (8 rop / 4 cop) | 1.2e6 edges | 0.35 GB I/O | 0.42 s | converged | 8 threads`.
+    /// Runs with resilience events append a segment such as
+    /// `| 3 retries / 0 giveups / 1 fallbacks`.
     pub fn summary(&self) -> String {
         let rop = self.iterations_with_model(UpdateModel::Rop);
         let cop = self.iterations_with_model(UpdateModel::Cop);
-        format!(
+        let mut s = format!(
             "{} iters ({rop} rop / {cop} cop) | {:.3e} edges | {} I/O | {} | {} | {} threads",
             self.num_iterations(),
             self.edges_processed as f64,
@@ -104,7 +111,16 @@ impl RunStats {
             hus_obs::fmt_secs(self.wall_seconds),
             if self.converged { "converged" } else { "iteration-capped" },
             self.threads,
-        )
+        );
+        if self.resilience.any() {
+            s.push_str(&format!(
+                " | {} retries / {} giveups / {} fallbacks",
+                self.resilience.retries,
+                self.resilience.giveups,
+                self.resilience.total_fallbacks(),
+            ));
+        }
+        s
     }
 }
 
@@ -148,6 +164,7 @@ mod tests {
             edges_processed: 200,
             converged: true,
             threads: 4,
+            resilience: Default::default(),
         };
         let model = CostModel::new(DeviceProfile::hdd());
         let total = stats.modeled_seconds(&model);
@@ -169,6 +186,7 @@ mod tests {
             edges_processed: 300,
             converged: false,
             threads: 1,
+            resilience: Default::default(),
         };
         assert_eq!(stats.iterations_with_model(UpdateModel::Rop), 2);
         assert_eq!(stats.iterations_with_model(UpdateModel::Cop), 1);
@@ -188,6 +206,7 @@ mod tests {
             edges_processed: 0,
             converged: true,
             threads: 1,
+            resilience: Default::default(),
         };
         assert!((stats.io_gb() - 2.0).abs() < 1e-9);
     }
@@ -204,6 +223,7 @@ mod tests {
             edges_processed: 100,
             converged: true,
             threads: 2,
+            resilience: Default::default(),
         };
         let s = serde_json::to_string(&stats).unwrap();
         let back: RunStats = serde_json::from_str(&s).unwrap();
@@ -224,6 +244,7 @@ mod tests {
             edges_processed: 12345,
             converged: true,
             threads: 8,
+            resilience: Default::default(),
         };
         let s = stats.summary();
         assert!(!s.contains('\n'));

@@ -1,0 +1,143 @@
+//! Central registry of the workspace's `HUS_*` environment knobs.
+//!
+//! Every crate that reads an environment variable registers it here, so
+//! there is exactly one place that knows the full set, its defaults and
+//! its semantics. The README's "Environment knobs" table is generated
+//! from this registry by [`markdown_table`] and kept in sync by the
+//! `docs_sync` integration test — edit this file, then paste the
+//! regenerated table between the README's `env-table` markers (the test
+//! prints the expected text on mismatch).
+
+/// One documented environment variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnvKnob {
+    /// Variable name, e.g. `HUS_TRACE`.
+    pub name: &'static str,
+    /// Rendered default (`unset` when absence is meaningful).
+    pub default: &'static str,
+    /// One-line effect description (markdown allowed).
+    pub effect: &'static str,
+}
+
+/// Every `HUS_*` environment variable the workspace reads, sorted by
+/// name. The `docs_sync` integration test greps the source tree and
+/// fails if a variable is read but not registered here (or vice versa).
+pub const KNOBS: &[EnvKnob] = &[
+    EnvKnob {
+        name: "HUS_FAULT",
+        default: "unset",
+        effect: "storage fault injection for resilience testing, e.g. \
+                 `seed=7,eio=0.01,short=0.005,flip=0.001,delay=0.01,delay_ms=2` \
+                 (probabilities per read op; see `docs/FORMAT.md` and `DESIGN.md` §9)",
+    },
+    EnvKnob {
+        name: "HUS_MERGE_SLACK",
+        default: "`4096`",
+        effect: "max byte gap between selective ROP ranges merged into one batched read \
+                 (active only when the device's batched rate beats its random rate)",
+    },
+    EnvKnob {
+        name: "HUS_P",
+        default: "`8`",
+        effect: "partition/interval count for all systems (experiment binaries)",
+    },
+    EnvKnob {
+        name: "HUS_PARALLEL_ROWS",
+        default: "`1`",
+        effect: "`0` disables row-parallel ROP (independent rows processed concurrently \
+                 under the run's thread pool; see `DESIGN.md` §6)",
+    },
+    EnvKnob {
+        name: "HUS_PROBE",
+        default: "unset",
+        effect: "`1` measures the host's real `T_sequential`/`T_random` once with the \
+                 built-in fio-style probe (same measurement as `hus probe`) and feeds \
+                 them to the hybrid predictor instead of the device preset",
+    },
+    EnvKnob {
+        name: "HUS_READAHEAD",
+        default: "`0`",
+        effect: "COP readahead window in blocks; `0` auto-sizes from the thread budget \
+                 (threads clamped to 2..=8)",
+    },
+    EnvKnob {
+        name: "HUS_RETRIES",
+        default: "`4`",
+        effect: "max read attempts per storage operation for transient errors \
+                 (exponential backoff with deterministic jitter; `1` disables retries)",
+    },
+    EnvKnob {
+        name: "HUS_SCALE",
+        default: "`1000`",
+        effect: "divides the paper's dataset sizes (smaller = bigger graphs)",
+    },
+    EnvKnob {
+        name: "HUS_THREADS",
+        default: "`16`",
+        effect: "worker threads (the paper machine's core count; experiment binaries)",
+    },
+    EnvKnob {
+        name: "HUS_TRACE",
+        default: "unset",
+        effect: "`path.jsonl` enables observability and streams span/iteration/run \
+                 records there (see `DESIGN.md` §8)",
+    },
+    EnvKnob {
+        name: "HUS_VERIFY",
+        default: "unset",
+        effect: "`1` verifies per-block CRC-32C checksums on every full-block read, \
+                 surfacing on-disk corruption as a typed error naming the exact block \
+                 (see `docs/FORMAT.md`)",
+    },
+];
+
+/// Look up a knob by variable name.
+pub fn knob(name: &str) -> Option<&'static EnvKnob> {
+    KNOBS.iter().find(|k| k.name == name)
+}
+
+/// Render the registry as the README's markdown table (header + one row
+/// per knob, sorted by name).
+pub fn markdown_table() -> String {
+    let mut out = String::from("| variable | default | effect |\n|---|---|---|\n");
+    for k in KNOBS {
+        out.push_str(&format!("| `{}` | {} | {} |\n", k.name, k.default, k.effect));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knobs_are_sorted_and_unique() {
+        for pair in KNOBS.windows(2) {
+            assert!(pair[0].name < pair[1].name, "{} vs {}", pair[0].name, pair[1].name);
+        }
+    }
+
+    #[test]
+    fn every_knob_is_namespaced() {
+        for k in KNOBS {
+            assert!(k.name.starts_with("HUS_"), "{}", k.name);
+            assert!(!k.effect.is_empty());
+            assert!(!k.default.is_empty());
+        }
+    }
+
+    #[test]
+    fn lookup_finds_registered_names() {
+        assert!(knob("HUS_TRACE").is_some());
+        assert!(knob("NOT_A_REGISTERED_KNOB").is_none());
+    }
+
+    #[test]
+    fn table_has_one_row_per_knob() {
+        let t = markdown_table();
+        assert_eq!(t.lines().count(), 2 + KNOBS.len());
+        for k in KNOBS {
+            assert!(t.contains(&format!("| `{}` |", k.name)));
+        }
+    }
+}

@@ -20,12 +20,16 @@
 //! load and branch. [`init_from_env`] flips it on when `HUS_TRACE` is
 //! set; engines may also force it per run.
 
+#![warn(missing_docs)]
+
+pub mod env;
 pub mod metrics;
 pub mod phase;
 pub mod sink;
 pub mod span;
 pub mod table;
 
+pub use env::{knob, EnvKnob, KNOBS};
 pub use metrics::{
     latency_timer, Counter, Gauge, Histogram, HistogramSnapshot, LazyCounter, LazyGauge,
     LazyHistogram, Registry,

@@ -6,15 +6,19 @@
 //! hands out tracked readers/writers.
 
 use crate::buffer::TrackedWriter;
-#[allow(unused_imports)] // used in the Cached backend arm
 use crate::cache::CachedBackend;
 use crate::error::{Result, StorageError};
+use crate::fault::{FaultInjectBackend, FaultSpec};
 use crate::file::{FileBackend, TrackedFile};
 use crate::mmap::MmapBackend;
+use crate::retry::{warn_once, ResilienceTracker, RetryBackend, RetryPolicy};
 use crate::tracker::IoTracker;
 use crate::ReadBackend;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+
+static OBS_MMAP_FALLBACKS: hus_obs::LazyCounter =
+    hus_obs::LazyCounter::new("storage.fallback.mmap");
 
 /// Which mechanism serves reads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -39,6 +43,9 @@ pub struct StorageDir {
     root: PathBuf,
     tracker: Arc<IoTracker>,
     kind: BackendKind,
+    resilience: Arc<ResilienceTracker>,
+    retry: RetryPolicy,
+    faults: Option<FaultSpec>,
 }
 
 impl StorageDir {
@@ -49,11 +56,12 @@ impl StorageDir {
     }
 
     /// Create (or reuse) the directory at `root`, selecting the read
-    /// backend.
+    /// backend. The fault-injection spec, if any, is captured from
+    /// `HUS_FAULT` at this point.
     pub fn create_with(root: impl AsRef<Path>, kind: BackendKind) -> Result<Self> {
         let root = root.as_ref().to_path_buf();
         std::fs::create_dir_all(&root).map_err(|e| StorageError::io_at(&root, e))?;
-        Ok(StorageDir { root, tracker: Arc::new(IoTracker::new()), kind })
+        Ok(Self::assemble(root, kind))
     }
 
     /// Open an existing directory (errors if absent).
@@ -62,7 +70,18 @@ impl StorageDir {
         if !root.is_dir() {
             return Err(StorageError::MissingFile(root));
         }
-        Ok(StorageDir { root, tracker: Arc::new(IoTracker::new()), kind: BackendKind::File })
+        Ok(Self::assemble(root, BackendKind::File))
+    }
+
+    fn assemble(root: PathBuf, kind: BackendKind) -> Self {
+        StorageDir {
+            root,
+            tracker: Arc::new(IoTracker::new()),
+            kind,
+            resilience: Arc::new(ResilienceTracker::new()),
+            retry: RetryPolicy::from_env(),
+            faults: FaultSpec::from_env(),
+        }
     }
 
     /// Switch the read backend (builder-style).
@@ -71,18 +90,45 @@ impl StorageDir {
         self
     }
 
-    /// A nested directory sharing this directory's tracker and backend
-    /// (used e.g. for per-run vertex-store scratch space whose traffic
-    /// must count toward the same run's I/O).
+    /// Override the fault-injection spec captured from `HUS_FAULT`
+    /// (builder-style). `None` disables injection. Tests use this instead
+    /// of mutating process-global environment variables.
+    pub fn with_faults(mut self, spec: Option<FaultSpec>) -> Self {
+        self.faults = spec.filter(FaultSpec::injects_faults);
+        self
+    }
+
+    /// Override the retry policy (builder-style).
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// A nested directory sharing this directory's tracker, backend and
+    /// resilience accounting (used e.g. for per-run vertex-store scratch
+    /// space whose traffic must count toward the same run's I/O).
     pub fn subdir(&self, name: &str) -> Result<StorageDir> {
         let root = self.root.join(name);
         std::fs::create_dir_all(&root).map_err(|e| StorageError::io_at(&root, e))?;
-        Ok(StorageDir { root, tracker: Arc::clone(&self.tracker), kind: self.kind })
+        Ok(StorageDir {
+            root,
+            tracker: Arc::clone(&self.tracker),
+            kind: self.kind,
+            resilience: Arc::clone(&self.resilience),
+            retry: self.retry,
+            faults: self.faults,
+        })
     }
 
     /// The shared tracker for this directory.
     pub fn tracker(&self) -> Arc<IoTracker> {
         Arc::clone(&self.tracker)
+    }
+
+    /// The shared resilience (retry/fallback/corruption) counters for
+    /// this directory tree.
+    pub fn resilience(&self) -> Arc<ResilienceTracker> {
+        Arc::clone(&self.resilience)
     }
 
     /// Root path of the directory.
@@ -108,18 +154,49 @@ impl StorageDir {
     }
 
     /// Open a named file for tracked reading with the configured backend.
+    ///
+    /// The handed-out backend is composed as
+    /// `Cached?( Retry( FaultInject?( File | Mmap ) ) )`: retries sit
+    /// below the page cache (hits never consult the device) and above
+    /// fault injection (injected transient faults exercise the real retry
+    /// path). If an mmap cannot be established, the reader degrades to
+    /// the positioned-read file backend — logged once and counted in
+    /// [`ResilienceTracker::snapshot`] as an `mmap_fallback`.
     pub fn reader(&self, name: &str) -> Result<Arc<dyn ReadBackend>> {
         let p = self.path(name);
         if !p.is_file() {
             return Err(StorageError::MissingFile(p));
         }
-        Ok(match self.kind {
+        let mut cache_budget = None;
+        let base: Arc<dyn ReadBackend> = match self.kind {
             BackendKind::File => Arc::new(FileBackend::open(p, self.tracker())?),
-            BackendKind::Mmap => Arc::new(MmapBackend::open(p, self.tracker())?),
-            BackendKind::Cached { budget_bytes } => Arc::new(crate::CachedBackend::with_budget(
-                FileBackend::open(p, self.tracker())?,
-                budget_bytes as usize,
-            )),
+            BackendKind::Mmap => match MmapBackend::open(&p, self.tracker()) {
+                Ok(m) => Arc::new(m),
+                Err(e) => {
+                    static WARNED: std::sync::Once = std::sync::Once::new();
+                    warn_once(
+                        &WARNED,
+                        &format!("mmap of {} failed ({e}); degrading to file backend", p.display()),
+                    );
+                    self.resilience.record_mmap_fallback();
+                    OBS_MMAP_FALLBACKS.add(1);
+                    Arc::new(FileBackend::open(p, self.tracker())?)
+                }
+            },
+            BackendKind::Cached { budget_bytes } => {
+                cache_budget = Some(budget_bytes as usize);
+                Arc::new(FileBackend::open(p, self.tracker())?)
+            }
+        };
+        let faulty: Arc<dyn ReadBackend> = match self.faults {
+            Some(spec) => Arc::new(FaultInjectBackend::new(base, spec)),
+            None => base,
+        };
+        let retried: Arc<dyn ReadBackend> =
+            Arc::new(RetryBackend::new(faulty, self.retry, Arc::clone(&self.resilience)));
+        Ok(match cache_budget {
+            Some(budget) => Arc::new(CachedBackend::with_budget(retried, budget)),
+            None => retried,
         })
     }
 

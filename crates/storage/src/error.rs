@@ -35,12 +35,61 @@ pub enum StorageError {
     },
     /// Metadata (header/manifest) content failed validation.
     Corrupt(String),
+    /// A block's payload bytes did not match the CRC-32C recorded in the
+    /// shard's checksum footer (see `docs/FORMAT.md`). Names the exact
+    /// file, block and byte offset so the damage can be located on disk.
+    ChecksumMismatch {
+        /// Path of the shard or index file.
+        path: PathBuf,
+        /// Grid coordinates `(i, j)` of the damaged block.
+        block: (u32, u32),
+        /// Byte offset of the block's payload within the file.
+        offset: u64,
+        /// CRC-32C recorded by the builder.
+        expected: u32,
+        /// CRC-32C computed over the bytes actually read.
+        actual: u32,
+    },
 }
 
 impl StorageError {
     /// Wrap an [`io::Error`] with the path that produced it.
     pub fn io_at(path: impl Into<PathBuf>, source: io::Error) -> Self {
         StorageError::Io { path: Some(path.into()), source }
+    }
+
+    /// Whether retrying the same operation could plausibly succeed.
+    ///
+    /// Transient errors are interrupted/timed-out syscalls, short reads
+    /// (`UnexpectedEof` from a racing writer or a flaky device) and the
+    /// raw `EIO`/`EAGAIN` family. Everything else — corruption, checksum
+    /// mismatches, out-of-bounds requests, missing files, cast failures —
+    /// is permanent: retrying would deterministically fail again.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            StorageError::Io { source, .. } => {
+                matches!(
+                    source.kind(),
+                    io::ErrorKind::Interrupted
+                        | io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::UnexpectedEof
+                ) || matches!(source.raw_os_error(), Some(code) if code == 5 /* EIO */ || code == 11 /* EAGAIN */)
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether this error indicates damaged on-disk data (as opposed to a
+    /// failed access). Degradation paths must *not* mask corruption by
+    /// falling back to a different read strategy.
+    pub fn is_corruption(&self) -> bool {
+        matches!(
+            self,
+            StorageError::Corrupt(_)
+                | StorageError::ChecksumMismatch { .. }
+                | StorageError::BadCast { .. }
+        )
     }
 }
 
@@ -57,6 +106,14 @@ impl fmt::Display for StorageError {
             StorageError::MissingFile(p) => write!(f, "missing storage file {}", p.display()),
             StorageError::BadCast { detail } => write!(f, "bad pod cast: {detail}"),
             StorageError::Corrupt(msg) => write!(f, "corrupt storage metadata: {msg}"),
+            StorageError::ChecksumMismatch { path, block, offset, expected, actual } => write!(
+                f,
+                "checksum mismatch in {} block ({}, {}) at offset {offset}: \
+                 stored 0x{expected:08X}, computed 0x{actual:08X}",
+                path.display(),
+                block.0,
+                block.1
+            ),
         }
     }
 }
@@ -101,5 +158,38 @@ mod tests {
         use std::error::Error as _;
         let err: StorageError = io::Error::other("inner").into();
         assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn transient_classification() {
+        let eintr: StorageError = io::Error::from(io::ErrorKind::Interrupted).into();
+        assert!(eintr.is_transient());
+        let eio: StorageError = io::Error::from_raw_os_error(5).into();
+        assert!(eio.is_transient());
+        let short: StorageError = io::Error::from(io::ErrorKind::UnexpectedEof).into();
+        assert!(short.is_transient());
+        let denied: StorageError = io::Error::from(io::ErrorKind::PermissionDenied).into();
+        assert!(!denied.is_transient());
+        assert!(!StorageError::Corrupt("x".into()).is_transient());
+        assert!(!StorageError::MissingFile("/x".into()).is_transient());
+    }
+
+    #[test]
+    fn corruption_classification_and_display() {
+        let err = StorageError::ChecksumMismatch {
+            path: "/tmp/out_3.edges".into(),
+            block: (3, 1),
+            offset: 8192,
+            expected: 0xDEAD_BEEF,
+            actual: 0x0BAD_F00D,
+        };
+        assert!(err.is_corruption());
+        assert!(!err.is_transient());
+        let msg = err.to_string();
+        assert!(msg.contains("out_3.edges"), "{msg}");
+        assert!(msg.contains("(3, 1)"), "{msg}");
+        assert!(msg.contains("8192"), "{msg}");
+        assert!(msg.contains("0xDEADBEEF"), "{msg}");
+        assert!(!StorageError::OutOfBounds { offset: 0, len: 1, file_len: 0 }.is_corruption());
     }
 }

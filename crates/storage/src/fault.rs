@@ -1,0 +1,311 @@
+//! Deterministic fault injection for exercising failure paths.
+//!
+//! [`FaultInjectBackend`] wraps any [`ReadBackend`] and injects faults
+//! according to a [`FaultSpec`], normally supplied through the `HUS_FAULT`
+//! environment variable (captured when a [`crate::StorageDir`] is created)
+//! or per-directory via [`crate::StorageDir::with_faults`]. Four fault
+//! classes are modeled:
+//!
+//! * **Transient `EIO`** (`eio=p`) — the read fails with the raw OS error
+//!   `EIO` before touching the device; a retry sees a fresh draw.
+//! * **Short read** (`short=p`) — the read fails with `UnexpectedEof`, the
+//!   error a positioned `read_exact` surfaces when a device returns fewer
+//!   bytes than asked.
+//! * **Bit flip** (`flip=p`) — one bit of the returned buffer is inverted.
+//!   Flips are keyed by the *read offset*, not the attempt number, so the
+//!   same read always sees the same damage: a flip models **permanent**
+//!   on-media corruption that only checksum verification can catch.
+//! * **Latency spike** (`delay_p=p`, `delay_ms=n`) — the read sleeps
+//!   `n` ms before being served, exercising timeout-adjacent paths.
+//!
+//! All draws derive from a user-supplied `seed` through a splitmix64 hash,
+//! so a fixed seed and a fixed read sequence reproduce the same fault
+//! pattern. Transient draws are keyed by a per-backend operation counter;
+//! under multi-threaded runs the interleaving (and hence which operation
+//! draws a fault) can vary, but flips stay bound to their offsets.
+//!
+//! ```
+//! use hus_storage::fault::FaultSpec;
+//! let spec = FaultSpec::parse("seed=42,eio=0.01,delay_p=0.005,delay_ms=2").unwrap();
+//! assert_eq!(spec.seed, 42);
+//! assert!(spec.eio > 0.0 && spec.flip == 0.0);
+//! ```
+
+use crate::error::{Result, StorageError};
+use crate::tracker::Access;
+use crate::{RangeRead, ReadBackend};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Environment variable holding the fault specification.
+pub const FAULT_ENV: &str = "HUS_FAULT";
+
+/// Parsed fault-injection specification (see the [module docs](self)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Seed for all deterministic draws.
+    pub seed: u64,
+    /// Probability of a transient `EIO` per read operation.
+    pub eio: f64,
+    /// Probability of a short read (`UnexpectedEof`) per read operation.
+    pub short: f64,
+    /// Probability of a (permanent, offset-keyed) bit flip per range read.
+    pub flip: f64,
+    /// Probability of a latency spike per read operation.
+    pub delay_p: f64,
+    /// Duration of a latency spike in milliseconds.
+    pub delay_ms: u64,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec { seed: 0, eio: 0.0, short: 0.0, flip: 0.0, delay_p: 0.0, delay_ms: 1 }
+    }
+}
+
+impl FaultSpec {
+    /// Parse a comma-separated `key=value` spec, e.g.
+    /// `seed=42,eio=0.01,short=0.005,flip=0.001,delay_p=0.01,delay_ms=5`.
+    /// Unknown keys and malformed values are rejected.
+    pub fn parse(s: &str) -> std::result::Result<Self, String> {
+        let mut spec = FaultSpec::default();
+        for part in s.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) =
+                part.split_once('=').ok_or_else(|| format!("missing '=' in `{part}`"))?;
+            let prob = |v: &str| -> std::result::Result<f64, String> {
+                let p: f64 = v.parse().map_err(|_| format!("bad probability `{v}` for {key}"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("probability {p} for {key} outside [0, 1]"));
+                }
+                Ok(p)
+            };
+            match key.trim() {
+                "seed" => {
+                    spec.seed = value.parse().map_err(|_| format!("bad seed `{value}`"))?;
+                }
+                "eio" => spec.eio = prob(value)?,
+                "short" => spec.short = prob(value)?,
+                "flip" => spec.flip = prob(value)?,
+                "delay_p" => spec.delay_p = prob(value)?,
+                "delay_ms" => {
+                    spec.delay_ms = value.parse().map_err(|_| format!("bad delay_ms `{value}`"))?;
+                }
+                other => return Err(format!("unknown fault key `{other}`")),
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Read and parse [`FAULT_ENV`]. Returns `None` when unset or when the
+    /// spec injects nothing; an unparsable spec is reported to stderr once
+    /// and treated as absent (never silently corrupts a run).
+    pub fn from_env() -> Option<Self> {
+        let raw = std::env::var(FAULT_ENV).ok()?;
+        match Self::parse(&raw) {
+            Ok(spec) if spec.injects_faults() => Some(spec),
+            Ok(_) => None,
+            Err(e) => {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| eprintln!("[hus-storage] ignoring invalid {FAULT_ENV}: {e}"));
+                None
+            }
+        }
+    }
+
+    /// Whether any fault class has nonzero probability.
+    pub fn injects_faults(&self) -> bool {
+        self.eio > 0.0 || self.short > 0.0 || self.flip > 0.0 || self.delay_p > 0.0
+    }
+}
+
+/// splitmix64 finalizer — a cheap, well-mixed hash for fault draws.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Map a hash to a uniform draw in `[0, 1)`.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A [`ReadBackend`] wrapper injecting deterministic faults per a
+/// [`FaultSpec`]. Wraps *below* the retry layer, so transient injected
+/// faults exercise the real retry path end to end.
+pub struct FaultInjectBackend {
+    inner: Arc<dyn ReadBackend>,
+    spec: FaultSpec,
+    ops: AtomicU64,
+}
+
+impl FaultInjectBackend {
+    /// Wrap `inner`, injecting faults per `spec`.
+    pub fn new(inner: Arc<dyn ReadBackend>, spec: FaultSpec) -> Self {
+        FaultInjectBackend { inner, spec, ops: AtomicU64::new(0) }
+    }
+
+    /// Draw the transient faults (delay, EIO, short read) for one
+    /// operation. Returns an error if the operation should fail.
+    fn transient_draw(&self) -> Result<()> {
+        let op = self.ops.fetch_add(1, Ordering::Relaxed);
+        let h = mix(self.spec.seed ^ op);
+        if self.spec.delay_p > 0.0 && unit(mix(h ^ 0xD31A)) < self.spec.delay_p {
+            std::thread::sleep(std::time::Duration::from_millis(self.spec.delay_ms));
+        }
+        if self.spec.eio > 0.0 && unit(mix(h ^ 0xE10)) < self.spec.eio {
+            return Err(StorageError::Io {
+                path: None,
+                source: std::io::Error::from_raw_os_error(5), // EIO
+            });
+        }
+        if self.spec.short > 0.0 && unit(mix(h ^ 0x5807)) < self.spec.short {
+            return Err(StorageError::Io {
+                path: None,
+                source: std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "injected short read",
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Apply the (offset-keyed, hence permanent) bit-flip draw to a
+    /// successfully read buffer.
+    fn maybe_flip(&self, offset: u64, buf: &mut [u8]) {
+        if self.spec.flip <= 0.0 || buf.is_empty() {
+            return;
+        }
+        let h = mix(self.spec.seed ^ 0xF11F ^ offset.rotate_left(17));
+        if unit(h) < self.spec.flip {
+            let bit = (mix(h) % (buf.len() as u64 * 8)) as usize;
+            buf[bit / 8] ^= 1 << (bit % 8);
+        }
+    }
+}
+
+impl ReadBackend for FaultInjectBackend {
+    fn read_at(&self, offset: u64, buf: &mut [u8], access: Access) -> Result<()> {
+        self.transient_draw()?;
+        self.inner.read_at(offset, buf, access)?;
+        self.maybe_flip(offset, buf);
+        Ok(())
+    }
+
+    fn read_ranges(&self, ranges: &mut [RangeRead<'_>], access: Access) -> Result<()> {
+        // One transient draw per batched operation (it is one device
+        // request), then per-range flip draws keyed by each range offset.
+        self.transient_draw()?;
+        self.inner.read_ranges(ranges, access)?;
+        for r in ranges {
+            self.maybe_flip(r.offset, r.buf);
+        }
+        Ok(())
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::file::FileBackend;
+    use crate::tracker::IoTracker;
+    use std::io::Write;
+
+    fn backend(content: &[u8]) -> (tempfile::TempDir, Arc<dyn ReadBackend>) {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("d.bin");
+        let mut f = std::fs::File::create(&path).unwrap();
+        f.write_all(content).unwrap();
+        drop(f);
+        let b = FileBackend::open(&path, Arc::new(IoTracker::new())).unwrap();
+        (dir, Arc::new(b))
+    }
+
+    #[test]
+    fn parse_full_spec_and_rejects_garbage() {
+        let s = FaultSpec::parse("seed=7, eio=0.5, short=0.25, flip=1, delay_p=0.1, delay_ms=3")
+            .unwrap();
+        assert_eq!(s.seed, 7);
+        assert_eq!(s.eio, 0.5);
+        assert_eq!(s.short, 0.25);
+        assert_eq!(s.flip, 1.0);
+        assert_eq!(s.delay_ms, 3);
+        assert!(s.injects_faults());
+        assert!(FaultSpec::parse("eio=2").is_err(), "probability > 1");
+        assert!(FaultSpec::parse("bogus=1").is_err(), "unknown key");
+        assert!(FaultSpec::parse("eio").is_err(), "missing value");
+        assert!(!FaultSpec::parse("seed=9").unwrap().injects_faults());
+    }
+
+    #[test]
+    fn eio_faults_are_transient_and_seed_deterministic() {
+        let (_d, inner) = backend(&[7u8; 64]);
+        let spec = FaultSpec { seed: 1, eio: 0.5, ..Default::default() };
+        let f = FaultInjectBackend::new(Arc::clone(&inner), spec);
+        let mut outcomes = Vec::new();
+        let mut buf = [0u8; 8];
+        for _ in 0..64 {
+            outcomes.push(f.read_at(0, &mut buf, Access::Random).is_ok());
+        }
+        assert!(outcomes.iter().any(|&ok| ok), "some reads succeed");
+        assert!(outcomes.iter().any(|&ok| !ok), "some reads fail at p=0.5");
+        // Same seed, same op sequence → identical outcome pattern.
+        let f2 = FaultInjectBackend::new(inner, spec);
+        let replay: Vec<bool> =
+            (0..64).map(|_| f2.read_at(0, &mut buf, Access::Random).is_ok()).collect();
+        assert_eq!(outcomes, replay);
+        // Every injected failure is classified transient.
+        let f3 = FaultInjectBackend::new(f2.inner.clone(), FaultSpec { eio: 1.0, ..spec });
+        let err = f3.read_at(0, &mut buf, Access::Random).unwrap_err();
+        assert!(err.is_transient(), "{err}");
+    }
+
+    #[test]
+    fn short_reads_surface_as_unexpected_eof() {
+        let (_d, inner) = backend(&[7u8; 64]);
+        let spec = FaultSpec { seed: 3, short: 1.0, ..Default::default() };
+        let f = FaultInjectBackend::new(inner, spec);
+        let mut buf = [0u8; 8];
+        let err = f.read_at(0, &mut buf, Access::Sequential).unwrap_err();
+        assert!(err.is_transient());
+        assert!(err.to_string().contains("short read"), "{err}");
+    }
+
+    #[test]
+    fn bit_flips_are_permanent_per_offset() {
+        let (_d, inner) = backend(&[0u8; 256]);
+        let spec = FaultSpec { seed: 5, flip: 1.0, ..Default::default() };
+        let f = FaultInjectBackend::new(inner, spec);
+        let mut a = [0u8; 32];
+        let mut b = [0u8; 32];
+        f.read_at(64, &mut a, Access::Random).unwrap();
+        f.read_at(64, &mut b, Access::Random).unwrap();
+        assert_ne!(a, [0u8; 32], "exactly one bit flipped");
+        assert_eq!(a, b, "same offset → same damage on every attempt");
+        assert_eq!(a.iter().map(|x| x.count_ones()).sum::<u32>(), 1);
+        let mut c = [0u8; 32];
+        f.read_at(128, &mut c, Access::Random).unwrap();
+        assert_ne!(a, c, "different offsets see independent flips");
+    }
+
+    #[test]
+    fn read_ranges_one_draw_per_batch_and_flips_by_range() {
+        let (_d, inner) = backend(&(0..=255u8).collect::<Vec<_>>());
+        let spec = FaultSpec { seed: 11, flip: 1.0, ..Default::default() };
+        let f = FaultInjectBackend::new(inner, spec);
+        let (mut x, mut y) = ([0u8; 4], [0u8; 4]);
+        let mut ranges =
+            [RangeRead { offset: 0, buf: &mut x }, RangeRead { offset: 16, buf: &mut y }];
+        f.read_ranges(&mut ranges, Access::Batched).unwrap();
+        assert_ne!(x, [0, 1, 2, 3], "first range drew its own flip");
+        assert_ne!(y, [16, 17, 18, 19], "second range drew its own flip");
+    }
+}

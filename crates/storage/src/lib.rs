@@ -22,28 +22,38 @@
 //!   the on-disk formats of all engines.
 //! * [`cache`] — an LRU page cache over any backend, modeling an explicit
 //!   memory budget (cache hits are not billed as device I/O).
+//! * [`checksum`] / [`fault`] / [`retry`] — the storage resilience layer:
+//!   CRC-32C shard footers, deterministic fault injection (`HUS_FAULT`),
+//!   and transparent retry with bounded backoff plus degradation paths
+//!   (mmap→file, batched→per-range). See DESIGN.md §9.
 
 #![warn(missing_docs)]
 
 pub mod buffer;
 pub mod cache;
+pub mod checksum;
 pub mod device;
 pub mod dir;
 pub mod error;
+pub mod fault;
 pub mod file;
 pub mod mmap;
 pub mod pod;
 pub mod probe;
+pub mod retry;
 pub mod tracker;
 
 pub use buffer::{BlockStream, TrackedWriter};
 pub use cache::{CacheStats, CachedBackend};
+pub use checksum::{crc32c, Crc32c, ShardFooter};
 pub use device::{CostModel, DeviceProfile, Throughput};
 pub use dir::{BackendKind, StorageDir};
 pub use error::{Result, StorageError};
+pub use fault::{FaultInjectBackend, FaultSpec};
 pub use file::FileBackend;
 pub use mmap::MmapBackend;
 pub use pod::Pod;
+pub use retry::{ResilienceSnapshot, ResilienceTracker, RetryBackend, RetryPolicy};
 pub use tracker::{Access, IoSnapshot, IoTracker};
 
 /// Object-safe read interface shared by the file and mmap backends.
@@ -51,6 +61,26 @@ pub use tracker::{Access, IoSnapshot, IoTracker};
 /// Offsets are absolute byte offsets within the backing file. Callers must
 /// classify each access so that the shared [`IoTracker`] can attribute the
 /// traffic to the sequential or random bucket.
+///
+/// Backends are normally obtained from [`StorageDir::reader`], which
+/// composes tracking, fault injection, retry and caching:
+///
+/// ```
+/// use hus_storage::{Access, ReadBackend, StorageDir};
+///
+/// let tmp = tempfile::tempdir()?;
+/// let dir = StorageDir::create(tmp.path())?;
+/// let mut w = dir.writer("edges.bin")?;
+/// w.write_all(&[10, 20, 30, 40])?;
+/// w.finish()?;
+///
+/// let r = dir.reader("edges.bin")?;
+/// let mut buf = [0u8; 2];
+/// r.read_at(1, &mut buf, Access::Random)?;
+/// assert_eq!(buf, [20, 30]);
+/// assert_eq!(r.len(), 4);
+/// # Ok::<(), hus_storage::StorageError>(())
+/// ```
 pub trait ReadBackend: Send + Sync {
     /// Read exactly `buf.len()` bytes starting at byte `offset`.
     fn read_at(&self, offset: u64, buf: &mut [u8], access: Access) -> Result<()>;

@@ -38,6 +38,7 @@ pub use hus_algos as algos;
 pub use hus_baselines as baselines;
 pub use hus_core as core;
 pub use hus_gen as gen;
+pub use hus_obs as obs;
 pub use hus_storage as storage;
 
 use hus_algos::{Bfs, PageRank, Sssp, Wcc};

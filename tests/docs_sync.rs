@@ -1,0 +1,173 @@
+//! Documentation-vs-code synchronization tests (satellite of the
+//! storage-resilience PR): the README's environment-knob table is
+//! generated from `hus_obs::env::KNOBS`, and `docs/FORMAT.md`'s byte
+//! offsets mirror the source constants. These tests fail — printing
+//! the expected text — whenever either side drifts.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn read(rel: &str) -> String {
+    let path = repo_root().join(rel);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+/// The README's env table lives between these markers and must equal
+/// `hus_obs::env::markdown_table()` verbatim.
+#[test]
+fn readme_env_table_matches_registry() {
+    let readme = read("README.md");
+    let begin = "<!-- env-table:begin";
+    let end = "<!-- env-table:end -->";
+    let start = readme.find(begin).expect("README.md lost its env-table:begin marker");
+    let start = readme[start..].find('\n').map(|n| start + n + 1).unwrap();
+    let stop = readme.find(end).expect("README.md lost its env-table:end marker");
+    let actual = &readme[start..stop];
+    let expected = husgraph::obs::env::markdown_table();
+    assert!(
+        actual == expected,
+        "README env table is out of sync with hus_obs::env::KNOBS.\n\
+         Replace the table between the markers with:\n\n{expected}"
+    );
+}
+
+/// Every `HUS_*` variable read anywhere in the source tree must be
+/// registered in `hus_obs::env::KNOBS`, and every registered knob must
+/// still be read somewhere (no stale docs).
+#[test]
+fn env_registry_is_complete_and_live() {
+    let mut sources = Vec::new();
+    collect_rs(&repo_root().join("crates"), &mut sources);
+    collect_rs(&repo_root().join("src"), &mut sources);
+    assert!(sources.len() > 20, "source scan looks broken: {} files", sources.len());
+
+    let mut used = BTreeSet::new();
+    for path in &sources {
+        let text = std::fs::read_to_string(path).unwrap();
+        for name in hus_tokens(&text) {
+            used.insert(name);
+        }
+    }
+    let registered: BTreeSet<String> =
+        husgraph::obs::env::KNOBS.iter().map(|k| k.name.to_string()).collect();
+
+    let unregistered: Vec<_> = used.difference(&registered).collect();
+    assert!(
+        unregistered.is_empty(),
+        "HUS_* variables read in source but missing from hus_obs::env::KNOBS: {unregistered:?}"
+    );
+    let stale: Vec<_> = registered.difference(&used).collect();
+    assert!(
+        stale.is_empty(),
+        "knobs registered in hus_obs::env::KNOBS but never read in source: {stale:?}"
+    );
+}
+
+/// `docs/FORMAT.md` states byte-level constants; they must equal the
+/// source-of-truth values in `hus_core::meta` and
+/// `hus_storage::checksum`.
+#[test]
+fn format_md_constants_match_source() {
+    use husgraph::core::meta::{INDEX_ENTRY_BYTES, INDEX_PROBE_BYTES};
+    use husgraph::storage::checksum::{
+        footer_len, FOOTER_FIXED_BYTES, FOOTER_MAGIC, FOOTER_VERSION,
+    };
+
+    let fmt = read("docs/FORMAT.md");
+    for row in [
+        format!("| `INDEX_ENTRY_BYTES` | {INDEX_ENTRY_BYTES} |"),
+        format!("| `INDEX_PROBE_BYTES` | {INDEX_PROBE_BYTES} |"),
+        format!("| `FOOTER_MAGIC` | `0x{FOOTER_MAGIC:08X}` |"),
+        format!("| `FOOTER_VERSION` | {FOOTER_VERSION} |"),
+        format!("| `FOOTER_FIXED_BYTES` | {FOOTER_FIXED_BYTES} |"),
+    ] {
+        assert!(fmt.contains(&row), "docs/FORMAT.md is missing or has a stale row: {row}");
+    }
+
+    // The magic really is the bytes "HUSC", as the doc claims.
+    assert_eq!(FOOTER_MAGIC.to_le_bytes(), *b"HUSC");
+    // The documented size formula.
+    for n in [0usize, 1, 8, 1000] {
+        assert_eq!(footer_len(n), FOOTER_FIXED_BYTES + 4 * n as u64);
+    }
+    // The documented CRC-32C check values.
+    assert_eq!(husgraph::storage::crc32c(b""), 0);
+    assert_eq!(husgraph::storage::crc32c(b"123456789"), 0xE306_9283);
+    assert!(fmt.contains("0xE3069283"), "FORMAT.md lost its CRC check value");
+
+    // Record sizes as documented.
+    let mut meta = sample_meta();
+    assert_eq!(meta.edge_record_bytes(), 4);
+    meta.weighted = true;
+    assert_eq!(meta.edge_record_bytes(), 8);
+}
+
+/// Shard/index/degree file names used throughout FORMAT.md match the
+/// naming functions.
+#[test]
+fn format_md_file_names_match_source() {
+    use husgraph::core::meta::{GraphMeta, DEGREES_FILE, META_FILE};
+    let fmt = read("docs/FORMAT.md");
+    assert_eq!(GraphMeta::out_edges_file(3), "out_3.edges");
+    assert_eq!(GraphMeta::out_index_file(3), "out_3.index");
+    assert_eq!(GraphMeta::in_edges_file(5), "in_5.edges");
+    assert_eq!(GraphMeta::in_index_file(5), "in_5.index");
+    for name in [META_FILE, DEGREES_FILE, "out_<i>.edges", "out_<i>.index", "in_<j>.edges"] {
+        assert!(fmt.contains(name), "docs/FORMAT.md never mentions `{name}`");
+    }
+}
+
+fn sample_meta() -> husgraph::core::GraphMeta {
+    husgraph::core::GraphMeta {
+        num_vertices: 2,
+        num_edges: 1,
+        p: 1,
+        weighted: false,
+        checksums: true,
+        interval_starts: vec![0, 2],
+        out_blocks: vec![Default::default()],
+        in_blocks: vec![Default::default()],
+    }
+}
+
+/// Recursively gather `.rs` files (skipping `target/`).
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Extract `HUS_[A-Z0-9_]+` tokens from source text.
+fn hus_tokens(text: &str) -> Vec<String> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while let Some(pos) = text[i..].find("HUS_") {
+        let start = i + pos;
+        // Skip matches embedded in longer identifiers (e.g. `X_HUS_Y`).
+        let standalone =
+            start == 0 || !(bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_');
+        let mut end = start + 4;
+        while end < bytes.len() && (bytes[end].is_ascii_uppercase() || bytes[end] == b'_') {
+            end += 1;
+        }
+        if standalone && end > start + 4 {
+            out.push(text[start..end].trim_end_matches('_').to_string());
+        }
+        i = end;
+    }
+    out
+}
