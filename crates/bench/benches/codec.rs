@@ -1,0 +1,119 @@
+//! Benchmarks of the per-block edge codecs: encode and decode
+//! throughput over real dual-block record runs, plus a side-channel
+//! summary (compression ratio and decode throughput) written to
+//! `BENCH_codec.json` for CI.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput as CrThroughput};
+use hus_codec::Codec;
+use hus_core::{BuildConfig, HusGraph};
+use hus_gen::rmat;
+use hus_storage::StorageDir;
+use std::hint::black_box;
+
+/// Decoded record runs (unweighted: 4-byte LE neighbor ids) of every
+/// non-empty in-block of `g` — the exact byte sequences the builder
+/// hands to `Codec::encode`.
+fn in_block_runs(g: &HusGraph) -> Vec<Vec<u8>> {
+    let mut runs = Vec::new();
+    for j in 0..g.p() {
+        for i in 0..g.p() {
+            let recs = g.stream_in_block(i, j).unwrap();
+            if recs.is_empty() {
+                continue;
+            }
+            let mut run = Vec::with_capacity(recs.len() * 4);
+            for k in 0..recs.len() {
+                run.extend_from_slice(&recs.neighbor(k).to_le_bytes());
+            }
+            runs.push(run);
+        }
+    }
+    runs
+}
+
+fn encode_all(codec: Codec, runs: &[Vec<u8>], out: &mut Vec<Vec<u8>>) -> usize {
+    out.clear();
+    let mut total = 0;
+    for run in runs {
+        let mut enc = Vec::new();
+        codec.encode(run, 4, &mut enc);
+        total += enc.len();
+        out.push(enc);
+    }
+    total
+}
+
+fn decode_all(codec: Codec, encoded: &[Vec<u8>], runs: &[Vec<u8>], scratch: &mut Vec<u8>) {
+    for (enc, run) in encoded.iter().zip(runs) {
+        scratch.resize(run.len(), 0);
+        codec.decode(enc, 4, scratch).unwrap();
+        black_box(scratch.last());
+    }
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let tmp = tempfile::tempdir().unwrap();
+    let dir = StorageDir::create(tmp.path().join("g")).unwrap();
+    let el = rmat(1 << 16, 400_000, 7, Default::default());
+    let g = HusGraph::build_into(&el, &dir, &BuildConfig::with_p_codec(8, Codec::Raw)).unwrap();
+    let runs = in_block_runs(&g);
+    let decoded_bytes: u64 = runs.iter().map(|r| r.len() as u64).sum();
+
+    let mut group = c.benchmark_group("codec");
+    group.throughput(CrThroughput::Bytes(decoded_bytes));
+    let mut encoded = Vec::new();
+    for codec in Codec::ALL {
+        group.bench_function(format!("encode/{}", codec.name()), |b| {
+            b.iter(|| black_box(encode_all(codec, &runs, &mut encoded)))
+        });
+        encode_all(codec, &runs, &mut encoded);
+        let mut scratch = Vec::new();
+        group.bench_function(format!("decode/{}", codec.name()), |b| {
+            b.iter(|| decode_all(codec, &encoded, &runs, &mut scratch))
+        });
+    }
+    group.finish();
+
+    // Side-channel summary for CI: compression ratio from a real
+    // delta-varint build of the same graph, decode throughput as the
+    // median of fresh whole-shard decode passes.
+    let dv_dir = StorageDir::create(tmp.path().join("dv")).unwrap();
+    let dv = HusGraph::build_into(&el, &dv_dir, &BuildConfig::with_p_codec(8, Codec::DeltaVarint))
+        .unwrap();
+    let meta = dv.meta();
+    let mut decode_mbps = Vec::new();
+    for codec in Codec::ALL {
+        let enc_total = encode_all(codec, &runs, &mut encoded) as u64;
+        let mut scratch = Vec::new();
+        let mut ns: Vec<u128> = (0..9)
+            .map(|_| {
+                let t0 = std::time::Instant::now();
+                decode_all(codec, &encoded, &runs, &mut scratch);
+                t0.elapsed().as_nanos()
+            })
+            .collect();
+        ns.sort_unstable();
+        let median = ns[ns.len() / 2].max(1);
+        decode_mbps.push((codec.name(), enc_total, decoded_bytes as f64 * 1e3 / median as f64));
+    }
+    let [(_, _, raw_mbps), (_, dv_enc, dv_mbps)] = decode_mbps[..] else { unreachable!() };
+    let out = format!(
+        "{{\n  \"bench\": \"codec\",\n  \"edges\": {},\n  \"decoded_bytes\": {decoded_bytes},\n  \
+         \"delta_varint_encoded_bytes\": {dv_enc},\n  \
+         \"compression_ratio\": {:.3},\n  \
+         \"raw_decode_mb_per_s\": {raw_mbps:.1},\n  \
+         \"delta_varint_decode_mb_per_s\": {dv_mbps:.1}\n}}\n",
+        meta.num_edges,
+        meta.compression_ratio(),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_codec.json");
+    std::fs::write(path, &out).unwrap();
+    println!("wrote {path}:\n{out}");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_codecs
+}
+criterion_main!(benches);

@@ -43,7 +43,7 @@ fn bench_active_set(c: &mut Criterion) {
 fn bench_predictor(c: &mut Criterion) {
     let predictor = Predictor::new(
         Throughput { sequential_bps: 120e6, random_bps: 1e6, batched_bps: 40e6 },
-        4,
+        4.0,
         4,
     );
     c.bench_function("predictor/select_iteration", |b| {

@@ -1,0 +1,556 @@
+//! Pluggable per-block edge codecs for HUS-Graph shard files.
+//!
+//! Every edge block in a shard (`out_<i>.edges` / `in_<j>.edges`) is a
+//! run of fixed-width records: a little-endian `u32` neighbor id,
+//! optionally followed by an `f32` weight. This crate defines the
+//! [`EdgeBlockCodec`] trait that maps such a *decoded* record run to
+//! the *encoded* bytes actually stored on disk, plus the two built-in
+//! implementations:
+//!
+//! * [`RawCodec`] — the identity transform; bit-compatible with the
+//!   pre-codec on-disk format.
+//! * [`DeltaVarintCodec`] — delta + LEB128 varint compression of the
+//!   neighbor column. Blocks are written from per-source (per-dest)
+//!   CSR runs of sorted neighbor ids confined to one destination
+//!   (source) interval, so consecutive deltas are small; zigzag
+//!   encoding keeps the occasional negative delta at a run boundary
+//!   cheap. Weights, when present, are stored raw after the neighbor
+//!   stream (they are incompressible float bits).
+//!
+//! The codec in force is chosen at build time (`hus build --codec` /
+//! the `HUS_CODEC` environment variable), recorded in `meta.json` and
+//! in every shard footer, and auto-detected by readers. Encoding is
+//! strictly per block: a block can always be decoded knowing only its
+//! encoded bytes, its decoded length, and the record width.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Environment variable naming the build-time codec (`raw` or
+/// `delta-varint`).
+pub const CODEC_ENV: &str = "HUS_CODEC";
+
+/// Wire id of [`RawCodec`], stored in `meta.json` and shard footers.
+pub const CODEC_RAW: u16 = 0;
+
+/// Wire id of [`DeltaVarintCodec`].
+pub const CODEC_DELTA_VARINT: u16 = 1;
+
+/// Decode-side failure: the encoded bytes do not describe a block of
+/// the expected decoded length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The encoded payload ended before the expected record count was
+    /// produced.
+    Truncated {
+        /// Records successfully decoded before input ran out.
+        decoded_records: usize,
+        /// Records the caller expected.
+        expected_records: usize,
+    },
+    /// Bytes were left over after decoding the expected record count.
+    TrailingBytes {
+        /// Number of undecoded bytes at the tail of the payload.
+        extra: usize,
+    },
+    /// A varint ran past 10 bytes or past the end of the payload.
+    BadVarint,
+    /// A decoded neighbor id fell outside the `u32` range (corrupt
+    /// delta chain).
+    ValueOutOfRange,
+    /// The caller-supplied decoded length is not a whole number of
+    /// records.
+    BadDecodedLen {
+        /// The offending decoded length in bytes.
+        decoded_len: usize,
+        /// The record width in bytes.
+        record_bytes: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { decoded_records, expected_records } => write!(
+                f,
+                "encoded block truncated: {decoded_records} of {expected_records} records"
+            ),
+            CodecError::TrailingBytes { extra } => {
+                write!(f, "encoded block has {extra} trailing bytes")
+            }
+            CodecError::BadVarint => write!(f, "malformed LEB128 varint"),
+            CodecError::ValueOutOfRange => write!(f, "decoded neighbor id out of u32 range"),
+            CodecError::BadDecodedLen { decoded_len, record_bytes } => write!(
+                f,
+                "decoded length {decoded_len} is not a multiple of record width {record_bytes}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A reversible transform between a block's decoded record run and its
+/// on-disk bytes.
+///
+/// Implementations must be pure functions of their inputs: the same
+/// decoded bytes always encode to the same payload (builders rely on
+/// this for reproducible shards), and `decode(encode(x)) == x` for
+/// every well-formed record run.
+pub trait EdgeBlockCodec: Send + Sync {
+    /// Wire id recorded in `meta.json` and shard footers.
+    fn id(&self) -> u16;
+    /// Stable human-readable name (`raw`, `delta-varint`).
+    fn name(&self) -> &'static str;
+    /// Encode `raw` (a whole block of `record_bytes`-wide records)
+    /// into `out`. `out` is cleared first; on return it holds exactly
+    /// the on-disk payload.
+    fn encode(&self, raw: &[u8], record_bytes: usize, out: &mut Vec<u8>);
+    /// Decode `encoded` into `out`, which the caller sizes to the
+    /// block's exact decoded length. Fails if the payload does not
+    /// describe exactly `out.len() / record_bytes` records.
+    fn decode(&self, encoded: &[u8], record_bytes: usize, out: &mut [u8])
+        -> Result<(), CodecError>;
+}
+
+/// The identity codec: encoded bytes are the decoded record run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RawCodec;
+
+impl EdgeBlockCodec for RawCodec {
+    fn id(&self) -> u16 {
+        CODEC_RAW
+    }
+
+    fn name(&self) -> &'static str {
+        "raw"
+    }
+
+    fn encode(&self, raw: &[u8], _record_bytes: usize, out: &mut Vec<u8>) {
+        out.clear();
+        out.extend_from_slice(raw);
+    }
+
+    fn decode(
+        &self,
+        encoded: &[u8],
+        record_bytes: usize,
+        out: &mut [u8],
+    ) -> Result<(), CodecError> {
+        if !out.len().is_multiple_of(record_bytes) {
+            return Err(CodecError::BadDecodedLen { decoded_len: out.len(), record_bytes });
+        }
+        if encoded.len() < out.len() {
+            return Err(CodecError::Truncated {
+                decoded_records: encoded.len() / record_bytes,
+                expected_records: out.len() / record_bytes,
+            });
+        }
+        if encoded.len() > out.len() {
+            return Err(CodecError::TrailingBytes { extra: encoded.len() - out.len() });
+        }
+        out.copy_from_slice(encoded);
+        Ok(())
+    }
+}
+
+/// Delta + LEB128 varint codec for the neighbor column.
+///
+/// Payload layout for a block of `n > 0` records (empty blocks encode
+/// to zero bytes):
+///
+/// 1. `varint(base)` where `base` is the smallest neighbor id in the
+///    block;
+/// 2. `n` varints, the `k`-th being `zigzag(neighbor[k] - prev)` with
+///    `prev` starting at `base` and then tracking `neighbor[k-1]`;
+/// 3. for weighted graphs, `n` raw little-endian `f32` weights in
+///    record order.
+///
+/// Record order is preserved exactly — decoding reproduces the input
+/// bit for bit, so engine results (including float accumulation
+/// order) are identical across codecs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeltaVarintCodec;
+
+impl EdgeBlockCodec for DeltaVarintCodec {
+    fn id(&self) -> u16 {
+        CODEC_DELTA_VARINT
+    }
+
+    fn name(&self) -> &'static str {
+        "delta-varint"
+    }
+
+    fn encode(&self, raw: &[u8], record_bytes: usize, out: &mut Vec<u8>) {
+        debug_assert!(record_bytes == 4 || record_bytes == 8);
+        debug_assert_eq!(raw.len() % record_bytes, 0);
+        out.clear();
+        let n = raw.len() / record_bytes;
+        if n == 0 {
+            return;
+        }
+        let neighbor = |k: usize| {
+            let at = k * record_bytes;
+            u32::from_le_bytes(raw[at..at + 4].try_into().unwrap())
+        };
+        let base = (0..n).map(neighbor).min().unwrap();
+        write_varint(out, base as u64);
+        let mut prev = base as i64;
+        for k in 0..n {
+            let v = neighbor(k) as i64;
+            write_varint(out, zigzag(v - prev));
+            prev = v;
+        }
+        if record_bytes == 8 {
+            for k in 0..n {
+                let at = k * record_bytes + 4;
+                out.extend_from_slice(&raw[at..at + 4]);
+            }
+        }
+    }
+
+    fn decode(
+        &self,
+        encoded: &[u8],
+        record_bytes: usize,
+        out: &mut [u8],
+    ) -> Result<(), CodecError> {
+        if !out.len().is_multiple_of(record_bytes) {
+            return Err(CodecError::BadDecodedLen { decoded_len: out.len(), record_bytes });
+        }
+        let n = out.len() / record_bytes;
+        if n == 0 {
+            return if encoded.is_empty() {
+                Ok(())
+            } else {
+                Err(CodecError::TrailingBytes { extra: encoded.len() })
+            };
+        }
+        let mut pos = 0usize;
+        let err_at = |k: usize| CodecError::Truncated { decoded_records: k, expected_records: n };
+        let base = read_varint(encoded, &mut pos).map_err(|_| err_at(0))?;
+        if base > u32::MAX as u64 {
+            return Err(CodecError::ValueOutOfRange);
+        }
+        let mut prev = base as i64;
+        for k in 0..n {
+            let z = read_varint(encoded, &mut pos).map_err(|_| err_at(k))?;
+            let v = prev + unzigzag(z);
+            if !(0..=u32::MAX as i64).contains(&v) {
+                return Err(CodecError::ValueOutOfRange);
+            }
+            let at = k * record_bytes;
+            out[at..at + 4].copy_from_slice(&(v as u32).to_le_bytes());
+            prev = v;
+        }
+        if record_bytes == 8 {
+            let want = 4 * n;
+            let have = encoded.len() - pos;
+            if have < want {
+                return Err(CodecError::Truncated {
+                    decoded_records: have / 4,
+                    expected_records: n,
+                });
+            }
+            for k in 0..n {
+                let at = k * record_bytes + 4;
+                out[at..at + 4].copy_from_slice(&encoded[pos..pos + 4]);
+                pos += 4;
+            }
+        }
+        if pos != encoded.len() {
+            return Err(CodecError::TrailingBytes { extra: encoded.len() - pos });
+        }
+        Ok(())
+    }
+}
+
+/// The set of built-in codecs, as a copyable selector used in build
+/// configs, `meta.json`, and footers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Codec {
+    /// Identity codec; bit-compatible with the pre-codec format.
+    #[default]
+    Raw,
+    /// Delta + varint compression of the neighbor column.
+    DeltaVarint,
+}
+
+impl Codec {
+    /// Every built-in codec, in wire-id order.
+    pub const ALL: [Codec; 2] = [Codec::Raw, Codec::DeltaVarint];
+
+    /// Wire id (`meta.json` / footer field).
+    pub fn id(self) -> u16 {
+        match self {
+            Codec::Raw => CODEC_RAW,
+            Codec::DeltaVarint => CODEC_DELTA_VARINT,
+        }
+    }
+
+    /// Canonical name, as written to `meta.json` and accepted by
+    /// `hus build --codec` / `HUS_CODEC`.
+    pub fn name(self) -> &'static str {
+        self.as_dyn().name()
+    }
+
+    /// Look a codec up by wire id.
+    pub fn from_id(id: u16) -> Option<Codec> {
+        Codec::ALL.into_iter().find(|c| c.id() == id)
+    }
+
+    /// Parse a codec name (case-insensitive; `delta_varint`,
+    /// `deltavarint`, and `dv` are accepted aliases).
+    pub fn from_name(name: &str) -> Option<Codec> {
+        match name.to_ascii_lowercase().as_str() {
+            "raw" => Some(Codec::Raw),
+            "delta-varint" | "delta_varint" | "deltavarint" | "dv" => Some(Codec::DeltaVarint),
+            _ => None,
+        }
+    }
+
+    /// Read `HUS_CODEC` from the environment; unset, empty, or
+    /// unparsable values fall back to [`Codec::Raw`], matching how the
+    /// engine treats its other knobs.
+    pub fn from_env() -> Codec {
+        match std::env::var(CODEC_ENV) {
+            Ok(v) => Codec::from_name(v.trim()).unwrap_or_default(),
+            Err(_) => Codec::Raw,
+        }
+    }
+
+    /// The codec as a trait object, for storage-layer plumbing.
+    pub fn as_dyn(self) -> &'static dyn EdgeBlockCodec {
+        match self {
+            Codec::Raw => &RawCodec,
+            Codec::DeltaVarint => &DeltaVarintCodec,
+        }
+    }
+
+    /// True for the identity codec, whose encoded bytes equal the
+    /// decoded record run.
+    pub fn is_raw(self) -> bool {
+        self == Codec::Raw
+    }
+
+    /// Encode a whole block (see [`EdgeBlockCodec::encode`]).
+    pub fn encode(self, raw: &[u8], record_bytes: usize, out: &mut Vec<u8>) {
+        self.as_dyn().encode(raw, record_bytes, out)
+    }
+
+    /// Decode a whole block (see [`EdgeBlockCodec::decode`]).
+    pub fn decode(
+        self,
+        encoded: &[u8],
+        record_bytes: usize,
+        out: &mut [u8],
+    ) -> Result<(), CodecError> {
+        self.as_dyn().decode(encoded, record_bytes, out)
+    }
+}
+
+impl fmt::Display for Codec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Codec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Codec::from_name(s).ok_or_else(|| {
+            let names: Vec<_> = Codec::ALL.iter().map(|c| c.name()).collect();
+            format!("unknown codec {s:?} (expected one of: {})", names.join(", "))
+        })
+    }
+}
+
+/// Append `v` to `out` as an LEB128 varint (7 payload bits per byte,
+/// high bit = continuation).
+pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read an LEB128 varint from `buf` at `*pos`, advancing `*pos` past
+/// it. Fails on truncation or a varint longer than 10 bytes.
+pub fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos).ok_or(CodecError::BadVarint)?;
+        *pos += 1;
+        if shift >= 64 || (shift == 63 && byte > 1) {
+            return Err(CodecError::BadVarint);
+        }
+        v |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Zigzag-map a signed delta to an unsigned varint payload
+/// (`0, -1, 1, -2, … → 0, 1, 2, 3, …`).
+pub fn zigzag(d: i64) -> u64 {
+    ((d << 1) ^ (d >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(z: u64) -> i64 {
+    ((z >> 1) as i64) ^ -((z & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn records(neighbors: &[u32], weights: Option<&[f32]>) -> (Vec<u8>, usize) {
+        let mut raw = Vec::new();
+        for (k, &n) in neighbors.iter().enumerate() {
+            raw.extend_from_slice(&n.to_le_bytes());
+            if let Some(w) = weights {
+                raw.extend_from_slice(&w[k].to_le_bytes());
+            }
+        }
+        (raw, if weights.is_some() { 8 } else { 4 })
+    }
+
+    fn roundtrip(codec: Codec, neighbors: &[u32], weights: Option<&[f32]>) -> usize {
+        let (raw, m) = records(neighbors, weights);
+        let mut enc = Vec::new();
+        codec.encode(&raw, m, &mut enc);
+        let mut dec = vec![0u8; raw.len()];
+        codec.decode(&enc, m, &mut dec).unwrap();
+        assert_eq!(dec, raw, "{codec} round trip diverged");
+        enc.len()
+    }
+
+    #[test]
+    fn varint_roundtrip_at_boundaries() {
+        let mut buf = Vec::new();
+        for v in [0u64, 1, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            buf.clear();
+            write_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncation_and_overflow() {
+        let mut pos = 0;
+        assert_eq!(read_varint(&[0x80], &mut pos), Err(CodecError::BadVarint));
+        let mut pos = 0;
+        assert_eq!(read_varint(&[0x80; 11], &mut pos), Err(CodecError::BadVarint));
+    }
+
+    #[test]
+    fn zigzag_is_a_bijection_on_small_deltas() {
+        for d in -1000i64..=1000 {
+            assert_eq!(unzigzag(zigzag(d)), d);
+        }
+        for d in [i64::MIN, i64::MAX, i64::MIN + 1, i64::MAX - 1] {
+            assert_eq!(unzigzag(zigzag(d)), d);
+        }
+        // Small magnitudes stay small: one varint byte up to |d| = 63.
+        assert!(zigzag(63) < 128 && zigzag(-63) < 128);
+    }
+
+    #[test]
+    fn both_codecs_roundtrip_typical_blocks() {
+        let sorted: Vec<u32> = (0..500).map(|k| k * 3 + 7).collect();
+        let unsorted = [9u32, 2, 2, 40_000, 3, u32::MAX, 0, 12345];
+        let weights: Vec<f32> = (0..8).map(|k| k as f32 * 0.5 - 1.0).collect();
+        for codec in Codec::ALL {
+            roundtrip(codec, &[], None);
+            roundtrip(codec, &[42], None);
+            roundtrip(codec, &sorted, None);
+            roundtrip(codec, &unsorted, None);
+            roundtrip(codec, &unsorted, Some(&weights));
+            roundtrip(codec, &[u32::MAX, 0, u32::MAX], None);
+        }
+    }
+
+    #[test]
+    fn delta_varint_shrinks_sorted_runs() {
+        // Dense sorted neighbors in a 16 Ki interval: one byte per
+        // delta vs four raw.
+        let run: Vec<u32> = (0..4096).map(|k| 100_000 + k * 2).collect();
+        let enc = roundtrip(Codec::DeltaVarint, &run, None);
+        let raw = roundtrip(Codec::Raw, &run, None);
+        assert!(enc * 2 < raw, "expected >2x compression, got {enc} vs {raw}");
+    }
+
+    #[test]
+    fn raw_codec_is_the_identity() {
+        let (raw, m) = records(&[1, 2, 3], None);
+        let mut enc = Vec::new();
+        Codec::Raw.encode(&raw, m, &mut enc);
+        assert_eq!(enc, raw);
+    }
+
+    #[test]
+    fn decode_rejects_malformed_payloads() {
+        let (raw, m) = records(&[5, 6, 7], None);
+        let mut enc = Vec::new();
+        for codec in Codec::ALL {
+            codec.encode(&raw, m, &mut enc);
+            let mut out = vec![0u8; raw.len()];
+            // Truncated payload.
+            assert!(codec.decode(&enc[..enc.len() - 1], m, &mut out).is_err());
+            // Trailing garbage.
+            let mut long = enc.clone();
+            long.push(0);
+            assert!(codec.decode(&long, m, &mut out).is_err());
+            // Misaligned decoded length.
+            assert!(matches!(
+                codec.decode(&enc, m, &mut [0u8; 5]),
+                Err(CodecError::BadDecodedLen { .. })
+            ));
+        }
+        // A delta chain that runs past u32::MAX.
+        let mut bad = Vec::new();
+        write_varint(&mut bad, u32::MAX as u64); // base
+        write_varint(&mut bad, zigzag(0));
+        write_varint(&mut bad, zigzag(1)); // overflows u32
+        let mut out = vec![0u8; 8];
+        assert_eq!(Codec::DeltaVarint.decode(&bad, 4, &mut out), Err(CodecError::ValueOutOfRange));
+    }
+
+    #[test]
+    fn names_and_ids_resolve_and_are_distinct() {
+        for codec in Codec::ALL {
+            assert_eq!(Codec::from_id(codec.id()), Some(codec));
+            assert_eq!(Codec::from_name(codec.name()), Some(codec));
+            assert_eq!(codec.name().parse::<Codec>().unwrap(), codec);
+            assert_eq!(codec.as_dyn().id(), codec.id());
+        }
+        assert_eq!(Codec::from_name("DELTA_VARINT"), Some(Codec::DeltaVarint));
+        assert_eq!(Codec::from_name("lz77"), None);
+        assert!("lz77".parse::<Codec>().is_err());
+        assert_eq!(Codec::from_id(99), None);
+    }
+
+    #[test]
+    fn env_selection_defaults_to_raw() {
+        // `from_env` reads HUS_CODEC; in the test environment the
+        // variable is either unset (raw) or set by a CI matrix leg.
+        let got = Codec::from_env();
+        match std::env::var(CODEC_ENV) {
+            Ok(v) => assert_eq!(got, Codec::from_name(&v).unwrap_or_default()),
+            Err(_) => assert_eq!(got, Codec::Raw),
+        }
+    }
+}

@@ -10,8 +10,9 @@
 use crate::meta::{BlockMeta, GraphMeta, DEGREES_FILE, META_FILE};
 pub use crate::partition::PartitionStrategy;
 use crate::partition::{interval_of, interval_starts};
+use hus_codec::Codec;
 use hus_gen::EdgeList;
-use hus_storage::checksum::{Crc32c, ShardFooter};
+use hus_storage::checksum::ShardFooter;
 use hus_storage::{pod, Result, StorageDir, StorageError};
 
 /// Build-time configuration.
@@ -25,6 +26,10 @@ pub struct BuildConfig {
     pub partition: PartitionStrategy,
     /// Memory budget used by automatic `P` selection.
     pub memory_budget_bytes: u64,
+    /// Per-block edge codec for the `.edges` payloads (defaults to the
+    /// `HUS_CODEC` environment variable, falling back to raw). Recorded
+    /// in `meta.json` and every shard footer so readers auto-detect.
+    pub codec: Codec,
 }
 
 impl Default for BuildConfig {
@@ -33,6 +38,7 @@ impl Default for BuildConfig {
             p: None,
             partition: PartitionStrategy::EqualVertices,
             memory_budget_bytes: 64 << 20,
+            codec: Codec::from_env(),
         }
     }
 }
@@ -41,6 +47,12 @@ impl BuildConfig {
     /// Fixed interval count.
     pub fn with_p(p: u32) -> Self {
         BuildConfig { p: Some(p), ..Default::default() }
+    }
+
+    /// Fixed interval count and explicit codec (ignoring `HUS_CODEC`);
+    /// used by tests that assert raw byte layouts or compare codecs.
+    pub fn with_p_codec(p: u32, codec: Codec) -> Self {
+        BuildConfig { p: Some(p), codec, ..Default::default() }
     }
 
     /// Resolve the interval count for a graph of the given size.
@@ -79,12 +91,18 @@ pub fn build(el: &EdgeList, dir: &StorageDir, config: &BuildConfig) -> Result<Gr
 
     let mut out_blocks = vec![BlockMeta::default(); p * p];
     let mut in_blocks = vec![BlockMeta::default(); p * p];
+    let codec = config.codec;
+    // Reusable per-block scratch: the decoded record run and its
+    // encoded payload.
+    let mut raw_buf: Vec<u8> = Vec::new();
+    let mut enc_buf: Vec<u8> = Vec::new();
 
     // Out-shards: for each source interval i, blocks (i, 0..P) sorted by
-    // source within each block. Per-block CRC-32C checksums are
-    // accumulated as the records stream out and sealed into a footer at
-    // the end of each file (appended untracked: integrity metadata, not
-    // modeled data I/O — see docs/FORMAT.md).
+    // source within each block. Each block's records are gathered,
+    // codec-encoded, and written as one payload; the per-block CRC-32C
+    // covers the *encoded* bytes and is sealed into a footer at the end
+    // of each file (appended untracked: integrity metadata, not modeled
+    // data I/O — see docs/FORMAT.md).
     for i in 0..p {
         let mut edges_w = dir.writer(&GraphMeta::out_edges_file(i))?;
         let mut index_w = dir.writer(&GraphMeta::out_index_file(i))?;
@@ -92,11 +110,11 @@ pub fn build(el: &EdgeList, dir: &StorageDir, config: &BuildConfig) -> Result<Gr
         let mut index_crcs = Vec::with_capacity(p);
         let base = starts[i];
         let len = (starts[i + 1] - starts[i]) as usize;
+        let mut decoded_pos = 0u64;
         for j in 0..p {
             let mut ids = buckets[i * p + j].clone();
             ids.sort_by_key(|&k| el.edges[k as usize].src); // stable: preserves input order per source
             let block = &mut out_blocks[i * p + j];
-            block.edge_offset = edges_w.position();
             block.edge_count = ids.len() as u64;
             block.index_offset = index_w.position();
             // CSR offsets over this interval's sources, local to the block.
@@ -109,22 +127,27 @@ pub fn build(el: &EdgeList, dir: &StorageDir, config: &BuildConfig) -> Result<Gr
             }
             index_crcs.push(hus_storage::crc32c(pod::as_bytes(&offsets)));
             index_w.write_pod_slice(&offsets)?;
-            let mut crc = Crc32c::new();
+            raw_buf.clear();
             for &k in &ids {
                 let e = &el.edges[k as usize];
-                crc.update(pod::as_bytes(std::slice::from_ref(&e.dst)));
-                edges_w.write_pod(&e.dst)?;
+                raw_buf.extend_from_slice(pod::as_bytes(std::slice::from_ref(&e.dst)));
                 if weighted {
                     let w = &el.weights.as_ref().unwrap()[k as usize];
-                    crc.update(pod::as_bytes(std::slice::from_ref(w)));
-                    edges_w.write_pod(w)?;
+                    raw_buf.extend_from_slice(pod::as_bytes(std::slice::from_ref(w)));
                 }
             }
-            edge_crcs.push(crc.finish());
+            codec.encode(&raw_buf, edge_bytes as usize, &mut enc_buf);
+            block.edge_offset = decoded_pos;
+            block.encoded_offset = edges_w.position();
+            block.encoded_bytes = enc_buf.len() as u64;
+            decoded_pos += raw_buf.len() as u64;
+            edge_crcs.push(hus_storage::crc32c(&enc_buf));
+            edges_w.write_all(&enc_buf)?;
         }
         edges_w.finish()?;
         index_w.finish()?;
-        ShardFooter::new(edge_crcs).append_to(&dir.path(&GraphMeta::out_edges_file(i)))?;
+        ShardFooter::with_codec(edge_crcs, codec.id())
+            .append_to(&dir.path(&GraphMeta::out_edges_file(i)))?;
         ShardFooter::new(index_crcs).append_to(&dir.path(&GraphMeta::out_index_file(i)))?;
     }
 
@@ -137,11 +160,11 @@ pub fn build(el: &EdgeList, dir: &StorageDir, config: &BuildConfig) -> Result<Gr
         let mut index_crcs = Vec::with_capacity(p);
         let base = starts[j];
         let len = (starts[j + 1] - starts[j]) as usize;
+        let mut decoded_pos = 0u64;
         for i in 0..p {
             let mut ids = buckets[i * p + j].clone();
             ids.sort_by_key(|&k| el.edges[k as usize].dst);
             let block = &mut in_blocks[i * p + j];
-            block.edge_offset = edges_w.position();
             block.edge_count = ids.len() as u64;
             block.index_offset = index_w.position();
             let mut offsets = vec![0u32; len + 1];
@@ -153,22 +176,27 @@ pub fn build(el: &EdgeList, dir: &StorageDir, config: &BuildConfig) -> Result<Gr
             }
             index_crcs.push(hus_storage::crc32c(pod::as_bytes(&offsets)));
             index_w.write_pod_slice(&offsets)?;
-            let mut crc = Crc32c::new();
+            raw_buf.clear();
             for &k in &ids {
                 let e = &el.edges[k as usize];
-                crc.update(pod::as_bytes(std::slice::from_ref(&e.src)));
-                edges_w.write_pod(&e.src)?;
+                raw_buf.extend_from_slice(pod::as_bytes(std::slice::from_ref(&e.src)));
                 if weighted {
                     let w = &el.weights.as_ref().unwrap()[k as usize];
-                    crc.update(pod::as_bytes(std::slice::from_ref(w)));
-                    edges_w.write_pod(w)?;
+                    raw_buf.extend_from_slice(pod::as_bytes(std::slice::from_ref(w)));
                 }
             }
-            edge_crcs.push(crc.finish());
+            codec.encode(&raw_buf, edge_bytes as usize, &mut enc_buf);
+            block.edge_offset = decoded_pos;
+            block.encoded_offset = edges_w.position();
+            block.encoded_bytes = enc_buf.len() as u64;
+            decoded_pos += raw_buf.len() as u64;
+            edge_crcs.push(hus_storage::crc32c(&enc_buf));
+            edges_w.write_all(&enc_buf)?;
         }
         edges_w.finish()?;
         index_w.finish()?;
-        ShardFooter::new(edge_crcs).append_to(&dir.path(&GraphMeta::in_edges_file(j)))?;
+        ShardFooter::with_codec(edge_crcs, codec.id())
+            .append_to(&dir.path(&GraphMeta::in_edges_file(j)))?;
         ShardFooter::new(index_crcs).append_to(&dir.path(&GraphMeta::in_index_file(j)))?;
     }
 
@@ -183,6 +211,7 @@ pub fn build(el: &EdgeList, dir: &StorageDir, config: &BuildConfig) -> Result<Gr
         p: p as u32,
         weighted,
         checksums: true,
+        codec: codec.name().to_string(),
         interval_starts: starts,
         out_blocks,
         in_blocks,
@@ -221,15 +250,14 @@ mod tests {
 
     #[test]
     fn shard_files_have_expected_sizes() {
+        // Codec-generic: every `.edges` file is exactly its blocks'
+        // encoded payloads plus the footer, whatever HUS_CODEC is set to.
         let el = rmat(64, 300, 2, RmatConfig::default());
         let (_t, dir, meta) = build_tmp(&el, 2);
         let footer = hus_storage::checksum::footer_len(2);
         for i in 0..2usize {
-            let edges_in_shard: u64 = (0..2).map(|j| meta.out_block(i, j).edge_count).sum();
-            assert_eq!(
-                dir.file_len(&GraphMeta::out_edges_file(i)).unwrap(),
-                edges_in_shard * meta.edge_record_bytes() + footer
-            );
+            let payload: u64 = (0..2).map(|j| meta.out_block(i, j).encoded_bytes).sum();
+            assert_eq!(dir.file_len(&GraphMeta::out_edges_file(i)).unwrap(), payload + footer);
             let len = meta.interval_len(i) as u64;
             assert_eq!(
                 dir.file_len(&GraphMeta::out_index_file(i)).unwrap(),
@@ -239,37 +267,94 @@ mod tests {
     }
 
     #[test]
+    fn raw_codec_layout_is_byte_identical_to_decoded() {
+        // Under the raw codec (pinned, regardless of HUS_CODEC) the
+        // encoded space equals the decoded space: each record is 4/8
+        // bytes at its logical offset.
+        let el = rmat(64, 300, 2, RmatConfig::default());
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("g")).unwrap();
+        let meta = build(&el, &dir, &BuildConfig::with_p_codec(2, Codec::Raw)).unwrap();
+        let footer = hus_storage::checksum::footer_len(2);
+        for i in 0..2usize {
+            let edges_in_shard: u64 = (0..2).map(|j| meta.out_block(i, j).edge_count).sum();
+            assert_eq!(
+                dir.file_len(&GraphMeta::out_edges_file(i)).unwrap(),
+                edges_in_shard * meta.edge_record_bytes() + footer
+            );
+            for j in 0..2usize {
+                let b = meta.out_block(i, j);
+                assert_eq!(b.encoded_offset, b.edge_offset);
+                assert_eq!(b.encoded_bytes, b.edge_count * meta.edge_record_bytes());
+            }
+        }
+    }
+
+    #[test]
     fn weighted_records_are_8_bytes() {
         let el = rmat(64, 200, 3, RmatConfig::default()).with_hash_weights(1.0, 2.0);
         let (_t, dir, meta) = build_tmp(&el, 2);
         assert!(meta.weighted);
         assert_eq!(meta.edge_record_bytes(), 8);
-        let total: u64 = (0..2).map(|j| meta.out_block(0, j).edge_count).sum();
+        let payload: u64 = (0..2).map(|j| meta.out_block(0, j).encoded_bytes).sum();
         assert_eq!(
             dir.file_len(&GraphMeta::out_edges_file(0)).unwrap(),
-            total * 8 + hus_storage::checksum::footer_len(2)
+            payload + hus_storage::checksum::footer_len(2)
         );
     }
 
     #[test]
     fn footers_record_per_block_payload_crcs() {
+        // Codec-generic: footers checksum the encoded payload bytes and
+        // carry the codec's wire id.
         let el = rmat(64, 300, 4, RmatConfig::default());
         let (_t, dir, meta) = build_tmp(&el, 2);
         assert!(meta.checksums);
         for i in 0..2usize {
             let name = GraphMeta::out_edges_file(i);
             let footer = ShardFooter::read_from(&dir.path(&name), 2).unwrap();
+            assert_eq!(footer.codec, meta.codec().unwrap().id());
             let bytes = std::fs::read(dir.path(&name)).unwrap();
             for j in 0..2usize {
                 let b = meta.out_block(i, j);
-                let start = b.edge_offset as usize;
-                let end = start + (b.edge_count * meta.edge_record_bytes()) as usize;
+                let start = b.encoded_offset as usize;
+                let end = start + b.encoded_bytes as usize;
                 assert_eq!(
                     footer.crcs[j],
                     hus_storage::crc32c(&bytes[start..end]),
                     "out-shard {i} block {j}"
                 );
             }
+            // Index files are never compressed.
+            let idx = ShardFooter::read_from(&dir.path(&GraphMeta::out_index_file(i)), 2).unwrap();
+            assert_eq!(idx.codec, hus_codec::CODEC_RAW);
+        }
+    }
+
+    #[test]
+    fn delta_varint_build_shrinks_shards() {
+        let el = rmat(1 << 12, 40_000, 7, RmatConfig::default());
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("g")).unwrap();
+        let meta = build(&el, &dir, &BuildConfig::with_p_codec(4, Codec::DeltaVarint)).unwrap();
+        assert_eq!(meta.codec().unwrap(), Codec::DeltaVarint);
+        meta.validate().unwrap();
+        assert!(
+            meta.encoded_edge_bytes() < meta.decoded_edge_bytes(),
+            "delta-varint should shrink sorted shard payloads: {} vs {}",
+            meta.encoded_edge_bytes(),
+            meta.decoded_edge_bytes()
+        );
+        assert!(meta.compression_ratio() > 1.0);
+        assert!(meta.disk_edge_bytes() < meta.edge_record_bytes() as f64);
+        // Blocks remain decodable one by one against meta's spans.
+        let bytes = std::fs::read(dir.path(&GraphMeta::out_edges_file(0))).unwrap();
+        for j in 0..4usize {
+            let b = meta.out_block(0, j);
+            let enc =
+                &bytes[b.encoded_offset as usize..(b.encoded_offset + b.encoded_bytes) as usize];
+            let mut dec = vec![0u8; (b.edge_count * 4) as usize];
+            Codec::DeltaVarint.decode(enc, 4, &mut dec).unwrap();
         }
     }
 

@@ -327,9 +327,12 @@ impl<'a, Pr: VertexProgram> Engine<'a, Pr> {
             ActiveSet::from_fn(v, |x| self.program.initially_active(x))
         };
 
+        // `M` is the *on-disk* bytes per edge: for codec-compressed
+        // graphs the predicted costs must reflect the encoded payload
+        // that actually travels from the device, not the decoded width.
         let mut predictor = Predictor::new(
             self.config.throughput,
-            meta.edge_record_bytes(),
+            meta.disk_edge_bytes(),
             std::mem::size_of::<Pr::Value>() as u64,
         );
         predictor.alpha = self.config.alpha;

@@ -21,8 +21,9 @@
 use crate::builder::BuildConfig;
 use crate::meta::{BlockMeta, GraphMeta, DEGREES_FILE, META_FILE};
 use crate::partition::{interval_of, interval_starts};
+use hus_codec::Codec;
 use hus_gen::Edge;
-use hus_storage::checksum::{Crc32c, ShardFooter};
+use hus_storage::checksum::ShardFooter;
 use hus_storage::{pod, Access, Result, StorageDir, StorageError};
 
 /// A re-scannable stream of `(edge, weight)` pairs (weight ignored when
@@ -198,6 +199,7 @@ pub fn build_external<S: EdgeSource>(
             p,
             i,
             weighted,
+            config.codec,
             ShardKind::Out,
             &mut out_blocks,
         )?;
@@ -215,6 +217,7 @@ pub fn build_external<S: EdgeSource>(
             p,
             j,
             weighted,
+            config.codec,
             ShardKind::In,
             &mut in_blocks,
         )?;
@@ -231,6 +234,7 @@ pub fn build_external<S: EdgeSource>(
         p: p as u32,
         weighted,
         checksums: true,
+        codec: config.codec.name().to_string(),
         interval_starts: starts,
         out_blocks,
         in_blocks,
@@ -249,7 +253,8 @@ enum ShardKind {
 }
 
 /// Write one shard's records (already sorted by `(other-interval, own
-/// vertex)`) as `P` blocks with per-vertex CSR offsets.
+/// vertex)`) as `P` codec-encoded blocks with per-vertex CSR offsets —
+/// byte-identical to the in-memory builder's output for the same codec.
 #[allow(clippy::too_many_arguments)]
 fn write_shard(
     dir: &StorageDir,
@@ -260,15 +265,20 @@ fn write_shard(
     p: usize,
     own: usize,
     weighted: bool,
+    codec: Codec,
     kind: ShardKind,
     blocks: &mut [BlockMeta],
 ) -> Result<()> {
     let base = starts[own];
     let len = (starts[own + 1] - starts[own]) as usize;
+    let record_bytes: usize = if weighted { 8 } else { 4 };
     let mut edges_w = dir.writer(edges_name)?;
     let mut index_w = dir.writer(index_name)?;
     let mut edge_crcs = Vec::with_capacity(p);
     let mut index_crcs = Vec::with_capacity(p);
+    let mut raw_buf: Vec<u8> = Vec::new();
+    let mut enc_buf: Vec<u8> = Vec::new();
+    let mut decoded_pos = 0u64;
     let mut cursor = 0usize;
     for other in 0..p {
         // Records of block `other` form a contiguous run of the sorted
@@ -290,7 +300,6 @@ fn write_shard(
             ShardKind::Out => &mut blocks[own * p + other],
             ShardKind::In => &mut blocks[other * p + own],
         };
-        block.edge_offset = edges_w.position();
         block.edge_count = run.len() as u64;
         block.index_offset = index_w.position();
         let mut offsets = vec![0u32; len + 1];
@@ -306,25 +315,29 @@ fn write_shard(
         }
         index_crcs.push(hus_storage::crc32c(pod::as_bytes(&offsets)));
         index_w.write_pod_slice(&offsets)?;
-        let mut crc = Crc32c::new();
+        raw_buf.clear();
         for (e, w) in run {
             let neighbor = match kind {
                 ShardKind::Out => e.dst,
                 ShardKind::In => e.src,
             };
-            crc.update(pod::as_bytes(std::slice::from_ref(&neighbor)));
-            edges_w.write_pod(&neighbor)?;
+            raw_buf.extend_from_slice(pod::as_bytes(std::slice::from_ref(&neighbor)));
             if weighted {
-                crc.update(pod::as_bytes(std::slice::from_ref(w)));
-                edges_w.write_pod(w)?;
+                raw_buf.extend_from_slice(pod::as_bytes(std::slice::from_ref(w)));
             }
         }
-        edge_crcs.push(crc.finish());
+        codec.encode(&raw_buf, record_bytes, &mut enc_buf);
+        block.edge_offset = decoded_pos;
+        block.encoded_offset = edges_w.position();
+        block.encoded_bytes = enc_buf.len() as u64;
+        decoded_pos += raw_buf.len() as u64;
+        edge_crcs.push(hus_storage::crc32c(&enc_buf));
+        edges_w.write_all(&enc_buf)?;
     }
     debug_assert_eq!(cursor, records.len(), "sorted shard fully consumed");
     edges_w.finish()?;
     index_w.finish()?;
-    ShardFooter::new(edge_crcs).append_to(&dir.path(edges_name))?;
+    ShardFooter::with_codec(edge_crcs, codec.id()).append_to(&dir.path(edges_name))?;
     ShardFooter::new(index_crcs).append_to(&dir.path(index_name))?;
     Ok(())
 }
@@ -378,6 +391,21 @@ mod tests {
             build_external(&ListSource(&el), &ext_dir, &cfg).unwrap()
         );
         assert_dirs_identical(&mem_dir, &ext_dir, 3);
+    }
+
+    #[test]
+    fn external_build_matches_under_delta_varint() {
+        // The byte-identity guarantee holds per codec, not just for raw.
+        let el = rmat(300, 2500, 21, Default::default());
+        let tmp = tempfile::tempdir().unwrap();
+        let mem_dir = StorageDir::create(tmp.path().join("mem")).unwrap();
+        let ext_dir = StorageDir::create(tmp.path().join("ext")).unwrap();
+        let cfg = BuildConfig::with_p_codec(4, Codec::DeltaVarint);
+        let mem_meta = build(&el, &mem_dir, &cfg).unwrap();
+        let ext_meta = build_external(&ListSource(&el), &ext_dir, &cfg).unwrap();
+        assert_eq!(mem_meta, ext_meta);
+        assert_eq!(mem_meta.codec().unwrap(), Codec::DeltaVarint);
+        assert_dirs_identical(&mem_dir, &ext_dir, 4);
     }
 
     #[test]

@@ -40,16 +40,35 @@ pub const INDEX_ENTRY_BYTES: u64 = 4;
 pub const INDEX_PROBE_BYTES: u64 = 2 * INDEX_ENTRY_BYTES;
 
 /// Location of one edge block inside its shard files.
+///
+/// Blocks carry both address spaces: `edge_offset` is the block's
+/// position in the *decoded* record stream (what readers address), and
+/// `encoded_offset` / `encoded_bytes` locate the possibly-compressed
+/// payload actually stored in the `.edges` file. Under the `raw` codec
+/// the two spaces coincide (`encoded_offset == edge_offset`,
+/// `encoded_bytes == edge_count * record_bytes`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BlockMeta {
-    /// Byte offset of the block's first edge record in the shard `.edges`
-    /// file.
+    /// Byte offset of the block's first edge record in the decoded
+    /// record stream of its shard (equals the on-disk offset for the
+    /// `raw` codec).
     pub edge_offset: u64,
     /// Number of edge records in the block.
     pub edge_count: u64,
     /// Byte offset of the block's CSR offset array in the shard `.index`
-    /// file.
+    /// file (index files are never compressed).
     pub index_offset: u64,
+    /// Byte offset of the block's encoded payload in the `.edges` file.
+    pub encoded_offset: u64,
+    /// Encoded payload length in bytes (on-disk size of the block).
+    pub encoded_bytes: u64,
+}
+
+impl BlockMeta {
+    /// Decoded size of the block in bytes.
+    pub fn decoded_bytes(&self, record_bytes: u64) -> u64 {
+        self.edge_count * record_bytes
+    }
 }
 
 /// Manifest describing a built dual-block graph.
@@ -68,6 +87,11 @@ pub struct GraphMeta {
     /// read-side verification is gated separately by
     /// `RunConfig::verify_checksums` / `HUS_VERIFY`.
     pub checksums: bool,
+    /// Name of the per-block edge codec the `.edges` payloads are
+    /// encoded with (`raw` or `delta-varint`; see the `hus-codec`
+    /// crate). Also recorded as a wire id in every shard footer, which
+    /// readers cross-check at open.
+    pub codec: String,
     /// Interval boundaries, `p + 1` entries; interval `i` is
     /// `interval_starts[i]..interval_starts[i+1]`.
     pub interval_starts: Vec<u32>,
@@ -82,13 +106,53 @@ pub struct GraphMeta {
 }
 
 impl GraphMeta {
-    /// Size in bytes of one edge record (`M` in the paper's cost model).
+    /// Size in bytes of one *decoded* edge record.
     pub fn edge_record_bytes(&self) -> u64 {
         if self.weighted {
             8
         } else {
             4
         }
+    }
+
+    /// Resolve the manifest's codec name to a [`hus_codec::Codec`].
+    pub fn codec(&self) -> Result<hus_codec::Codec, String> {
+        hus_codec::Codec::from_name(&self.codec)
+            .ok_or_else(|| format!("meta.json names unknown codec {:?}", self.codec))
+    }
+
+    /// Total encoded (on-disk) bytes of all out-shard plus in-shard edge
+    /// payloads, excluding index files and checksum footers.
+    pub fn encoded_edge_bytes(&self) -> u64 {
+        self.out_blocks.iter().chain(&self.in_blocks).map(|b| b.encoded_bytes).sum()
+    }
+
+    /// Total decoded bytes of the same payloads
+    /// (`2 * num_edges * record_bytes`).
+    pub fn decoded_edge_bytes(&self) -> u64 {
+        2 * self.num_edges * self.edge_record_bytes()
+    }
+
+    /// Mean bytes-on-disk per stored edge record — the paper's `M`
+    /// reinterpreted for compressed shards, consumed by the ROP/COP
+    /// cost predictor. Each edge is stored twice (one out-block, one
+    /// in-block record), so the denominator is `2 * num_edges`. Falls
+    /// back to the decoded record width for empty graphs.
+    pub fn disk_edge_bytes(&self) -> f64 {
+        if self.num_edges == 0 {
+            return self.edge_record_bytes() as f64;
+        }
+        self.encoded_edge_bytes() as f64 / (2.0 * self.num_edges as f64)
+    }
+
+    /// Decoded-to-encoded size ratio of the edge payloads (1.0 for the
+    /// raw codec or an empty graph; > 1.0 means the codec saved bytes).
+    pub fn compression_ratio(&self) -> f64 {
+        let encoded = self.encoded_edge_bytes();
+        if encoded == 0 {
+            return 1.0;
+        }
+        self.decoded_edge_bytes() as f64 / encoded as f64
     }
 
     /// Vertices in interval `i`.
@@ -171,6 +235,20 @@ impl GraphMeta {
                 }
             }
         }
+        let codec = self.codec()?;
+        if codec.is_raw() {
+            let m = self.edge_record_bytes();
+            for (dir, blocks) in [("out", &self.out_blocks), ("in", &self.in_blocks)] {
+                for (k, b) in blocks.iter().enumerate() {
+                    if b.encoded_offset != b.edge_offset || b.encoded_bytes != b.edge_count * m {
+                        return Err(format!(
+                            "raw codec requires encoded == decoded layout, violated by \
+                             {dir}-block {k}"
+                        ));
+                    }
+                }
+            }
+        }
         Ok(())
     }
 }
@@ -179,6 +257,17 @@ impl GraphMeta {
 mod tests {
     use super::*;
 
+    /// A raw-layout block descriptor: encoded space == decoded space.
+    fn raw_block(edge_offset: u64, edge_count: u64, index_offset: u64) -> BlockMeta {
+        BlockMeta {
+            edge_offset,
+            edge_count,
+            index_offset,
+            encoded_offset: edge_offset,
+            encoded_bytes: edge_count * 4,
+        }
+    }
+
     fn sample() -> GraphMeta {
         GraphMeta {
             num_vertices: 10,
@@ -186,18 +275,19 @@ mod tests {
             p: 2,
             weighted: false,
             checksums: false,
+            codec: "raw".into(),
             interval_starts: vec![0, 5, 10],
             out_blocks: vec![
-                BlockMeta { edge_offset: 0, edge_count: 1, index_offset: 0 },
-                BlockMeta { edge_offset: 4, edge_count: 1, index_offset: 24 },
-                BlockMeta { edge_offset: 0, edge_count: 2, index_offset: 0 },
-                BlockMeta { edge_offset: 8, edge_count: 0, index_offset: 24 },
+                raw_block(0, 1, 0),
+                raw_block(4, 1, 24),
+                raw_block(0, 2, 0),
+                raw_block(8, 0, 24),
             ],
             in_blocks: vec![
-                BlockMeta { edge_offset: 0, edge_count: 1, index_offset: 0 },
-                BlockMeta { edge_offset: 0, edge_count: 1, index_offset: 0 },
-                BlockMeta { edge_offset: 4, edge_count: 2, index_offset: 24 },
-                BlockMeta { edge_offset: 4, edge_count: 0, index_offset: 24 },
+                raw_block(0, 1, 0),
+                raw_block(0, 1, 0),
+                raw_block(4, 2, 24),
+                raw_block(4, 0, 24),
             ],
         }
     }
@@ -255,5 +345,43 @@ mod tests {
         let s = serde_json::to_string(&m).unwrap();
         let back: GraphMeta = serde_json::from_str(&s).unwrap();
         assert_eq!(m, back);
+    }
+
+    #[test]
+    fn validate_rejects_unknown_codec_and_fake_raw_layout() {
+        let mut m = sample();
+        m.codec = "lz77".into();
+        assert!(m.validate().unwrap_err().contains("unknown codec"));
+        // Raw codec with an encoded layout that disagrees with the
+        // decoded one is inconsistent.
+        let mut m = sample();
+        m.out_blocks[0].encoded_bytes = 3;
+        assert!(m.validate().unwrap_err().contains("raw codec"));
+    }
+
+    #[test]
+    fn disk_edge_bytes_reflects_encoded_payload() {
+        let mut m = sample();
+        assert_eq!(m.codec().unwrap(), hus_codec::Codec::Raw);
+        // Raw: on-disk bytes per edge == record width exactly.
+        assert_eq!(m.disk_edge_bytes(), 4.0);
+        assert_eq!(m.compression_ratio(), 1.0);
+        // Compressed: halve every encoded payload.
+        m.codec = "delta-varint".into();
+        for b in m.out_blocks.iter_mut().chain(&mut m.in_blocks) {
+            b.encoded_bytes = b.edge_count * 2;
+        }
+        m.validate().unwrap();
+        assert_eq!(m.disk_edge_bytes(), 2.0);
+        assert_eq!(m.compression_ratio(), 2.0);
+        // Empty graphs fall back to the record width.
+        let empty = GraphMeta {
+            num_edges: 0,
+            out_blocks: vec![Default::default(); 4],
+            in_blocks: vec![Default::default(); 4],
+            ..sample()
+        };
+        assert_eq!(empty.disk_edge_bytes(), 4.0);
+        assert_eq!(empty.compression_ratio(), 1.0);
     }
 }

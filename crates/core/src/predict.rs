@@ -53,7 +53,7 @@ impl std::fmt::Display for UpdateModel {
 /// use hus_core::predict::{Predictor, UpdateModel};
 /// use hus_storage::DeviceProfile;
 ///
-/// let p = Predictor::new(DeviceProfile::hdd().read, 4, 4);
+/// let p = Predictor::new(DeviceProfile::hdd().read, 4.0, 4);
 /// // A tiny frontier prefers selective pushes...
 /// let sparse = p.select_iteration(100, 1_000, 1_000_000, 20_000_000, 8);
 /// assert_eq!(sparse.model, UpdateModel::Rop);
@@ -66,8 +66,14 @@ impl std::fmt::Display for UpdateModel {
 pub struct Predictor {
     /// Measured or assumed disk throughputs (`T_sequential`, `T_random`).
     pub throughput: Throughput,
-    /// Edge record size `M` in bytes.
-    pub edge_bytes: u64,
+    /// On-disk bytes per edge record `M`. For raw graphs this is the
+    /// record width (4 unweighted, 8 weighted); for codec-compressed
+    /// graphs it is the *encoded* shard payload divided by the stored
+    /// record count ([`crate::meta::GraphMeta::disk_edge_bytes`]) — the
+    /// costs model what actually travels from the device, so a graph
+    /// that compresses 2× halves both `C_rop`'s and `C_cop`'s edge
+    /// terms.
+    pub edge_bytes: f64,
     /// Vertex value size `N` in bytes.
     pub value_bytes: u64,
     /// Active-fraction gate α: when `|active| ≥ α·|V|` COP is selected
@@ -81,7 +87,7 @@ pub struct Predictor {
 impl Predictor {
     /// Predictor with the paper's defaults on the given device
     /// throughputs.
-    pub fn new(throughput: Throughput, edge_bytes: u64, value_bytes: u64) -> Self {
+    pub fn new(throughput: Throughput, edge_bytes: f64, value_bytes: u64) -> Self {
         Predictor { throughput, edge_bytes, value_bytes, alpha: 0.05, paper_literal: false }
     }
 
@@ -101,13 +107,13 @@ impl Predictor {
 
     /// `C_rop` for one interval with `active_out_edges = Σ_{v∈A_i} d_v`.
     pub fn c_rop(&self, active_out_edges: u64, num_vertices: u64, p: u64) -> f64 {
-        active_out_edges as f64 * self.edge_bytes as f64 / self.throughput.random_bps
+        active_out_edges as f64 * self.edge_bytes / self.throughput.random_bps
             + self.vertex_bytes(num_vertices, p) / self.rop_vertex_bps()
     }
 
     /// `C_cop` for one interval (independent of the frontier).
     pub fn c_cop(&self, num_edges: u64, num_vertices: u64, p: u64) -> f64 {
-        (num_edges as f64 / p as f64 * self.edge_bytes as f64 + self.vertex_bytes(num_vertices, p))
+        (num_edges as f64 / p as f64 * self.edge_bytes + self.vertex_bytes(num_vertices, p))
             / self.throughput.sequential_bps
     }
 
@@ -159,11 +165,9 @@ impl Predictor {
             };
         }
         let vb = self.vertex_bytes(num_vertices, p) * p as f64;
-        let c_rop = active_out_edges_total as f64 * self.edge_bytes as f64
-            / self.throughput.random_bps
+        let c_rop = active_out_edges_total as f64 * self.edge_bytes / self.throughput.random_bps
             + vb / self.rop_vertex_bps();
-        let c_cop =
-            (num_edges as f64 * self.edge_bytes as f64 + vb) / self.throughput.sequential_bps;
+        let c_cop = (num_edges as f64 * self.edge_bytes + vb) / self.throughput.sequential_bps;
         let model = if c_rop <= c_cop { UpdateModel::Rop } else { UpdateModel::Cop };
         Decision { model, gated: false, c_rop, c_cop }
     }
@@ -172,10 +176,9 @@ impl Predictor {
     /// predicted costs cross over — below it ROP wins, above it COP.
     pub fn crossover_active_edges(&self, num_vertices: u64, num_edges: u64, p: u64) -> f64 {
         let vb = self.vertex_bytes(num_vertices, p) * p as f64;
-        let c_cop =
-            (num_edges as f64 * self.edge_bytes as f64 + vb) / self.throughput.sequential_bps;
+        let c_cop = (num_edges as f64 * self.edge_bytes + vb) / self.throughput.sequential_bps;
         let rop_fixed = vb / self.rop_vertex_bps();
-        ((c_cop - rop_fixed) * self.throughput.random_bps / self.edge_bytes as f64).max(0.0)
+        ((c_cop - rop_fixed) * self.throughput.random_bps / self.edge_bytes).max(0.0)
     }
 }
 
@@ -219,7 +222,7 @@ mod tests {
     fn hdd_predictor() -> Predictor {
         Predictor::new(
             Throughput { sequential_bps: 120e6, random_bps: 1e6, batched_bps: 40e6 },
-            4,
+            4.0,
             4,
         )
     }
@@ -315,11 +318,51 @@ mod tests {
     }
 
     #[test]
+    fn costs_scale_with_encoded_disk_bytes_per_edge() {
+        // The predictor's `M` is GraphMeta::disk_edge_bytes(): the
+        // *encoded* on-disk payload per edge. A codec that halves the
+        // shard bytes must halve both edge terms — compression moves the
+        // ROP/COP crossover, which is the point of feeding the cost
+        // model encoded byte counts.
+        let tput = Throughput { sequential_bps: 120e6, random_bps: 1e6, batched_bps: 40e6 };
+        let raw = Predictor::new(tput, 4.0, 4);
+        let compressed = Predictor::new(tput, 2.0, 4);
+        let (v, e, parts) = (1_000_000u64, 20_000_000u64, 8u64);
+        let vertex_term = raw.vertex_bytes(v, parts) / tput.sequential_bps;
+        let raw_edge_term = raw.c_cop(e, v, parts) - vertex_term;
+        let comp_edge_term = compressed.c_cop(e, v, parts) - vertex_term;
+        assert!((comp_edge_term - raw_edge_term / 2.0).abs() / raw_edge_term < 1e-12);
+        let raw_rop_edges =
+            raw.c_rop(10_000, v, parts) - raw.vertex_bytes(v, parts) / tput.sequential_bps;
+        let comp_rop_edges = compressed.c_rop(10_000, v, parts)
+            - compressed.vertex_bytes(v, parts) / tput.sequential_bps;
+        assert!((comp_rop_edges - raw_rop_edges / 2.0).abs() / raw_rop_edges < 1e-12);
+        // And the crossover frontier grows: cheaper streams tolerate
+        // larger frontiers before COP wins... both models shrink
+        // equally in the edge term, so the crossover in *edges* stays
+        // put, but the predicted costs themselves must drop.
+        assert!(compressed.c_cop(e, v, parts) < raw.c_cop(e, v, parts));
+    }
+
+    #[test]
+    fn fractional_edge_bytes_are_preserved() {
+        // disk_edge_bytes is rarely integral; make sure nothing rounds.
+        let tput = Throughput { sequential_bps: 100e6, random_bps: 1e6, batched_bps: 40e6 };
+        let p = Predictor::new(tput, 2.5, 4);
+        let c_a = p.c_cop(1_000_000, 10_000, 4);
+        let q = Predictor::new(tput, 2.0, 4);
+        let c_b = q.c_cop(1_000_000, 10_000, 4);
+        let edge_a = c_a - p.vertex_bytes(10_000, 4) / tput.sequential_bps;
+        let edge_b = c_b - q.vertex_bytes(10_000, 4) / tput.sequential_bps;
+        assert!((edge_a / edge_b - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
     fn faster_random_device_shifts_crossover_toward_rop() {
         let hdd = hdd_predictor();
         let ssd = Predictor::new(
             Throughput { sequential_bps: 450e6, random_bps: 250e6, batched_bps: 400e6 },
-            4,
+            4.0,
             4,
         );
         // A frontier density where the HDD prefers COP but the SSD,

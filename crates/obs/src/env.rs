@@ -24,6 +24,21 @@ pub struct EnvKnob {
 /// fails if a variable is read but not registered here (or vice versa).
 pub const KNOBS: &[EnvKnob] = &[
     EnvKnob {
+        name: "HUS_CODEC",
+        default: "`raw`",
+        effect: "per-block edge codec for `hus build` and the builder APIs: `raw` \
+                 (bit-compatible with pre-codec graphs) or `delta-varint` \
+                 (delta + LEB128 varint of the non-indexed endpoint; see \
+                 `docs/FORMAT.md`). Readers auto-detect from `meta.json`",
+    },
+    EnvKnob {
+        name: "HUS_CODEC_CACHE",
+        default: "`16777216`",
+        effect: "decoded-block cache budget in bytes per compressed shard file \
+                 (partial reads decode whole blocks once and serve later touches \
+                 from the cache; `0` disables)",
+    },
+    EnvKnob {
         name: "HUS_FAULT",
         default: "unset",
         effect: "storage fault injection for resilience testing, e.g. \

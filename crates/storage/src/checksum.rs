@@ -27,10 +27,11 @@ use std::path::Path;
 pub const FOOTER_MAGIC: u32 = u32::from_le_bytes(*b"HUSC");
 
 /// Version of the footer layout described in `docs/FORMAT.md`.
-pub const FOOTER_VERSION: u16 = 1;
+/// Version 2 repurposed the reserved flags field as the codec id.
+pub const FOOTER_VERSION: u16 = 2;
 
 /// Footer bytes independent of the block count: magic (4) + version (2) +
-/// flags (2) + block count (4) + trailing footer CRC (4).
+/// codec id (2) + block count (4) + trailing footer CRC (4).
 pub const FOOTER_FIXED_BYTES: u64 = 16;
 
 /// Reflected CRC-32C polynomial (Castagnoli).
@@ -111,14 +112,27 @@ pub fn footer_len(blocks: usize) -> u64 {
 /// Decoded per-block checksum footer of one shard or index file.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardFooter {
-    /// CRC-32C of each block's payload bytes, in block order.
+    /// CRC-32C of each block's *on-disk* (encoded) payload bytes, in
+    /// block order.
     pub crcs: Vec<u32>,
+    /// Wire id of the codec the payload blocks are encoded with
+    /// (`hus_codec::CODEC_RAW` for index files and uncompressed
+    /// shards). Readers cross-check this against `meta.json` so a
+    /// mismatched manifest is detected before any block is decoded.
+    pub codec: u16,
 }
 
 impl ShardFooter {
-    /// Footer over the given per-block checksums.
+    /// Footer over the given per-block checksums, for a raw-encoded
+    /// payload.
     pub fn new(crcs: Vec<u32>) -> Self {
-        ShardFooter { crcs }
+        ShardFooter { crcs, codec: hus_codec::CODEC_RAW }
+    }
+
+    /// Footer over the given per-block checksums with an explicit
+    /// codec id.
+    pub fn with_codec(crcs: Vec<u32>, codec: u16) -> Self {
+        ShardFooter { crcs, codec }
     }
 
     /// Serialize to the on-disk layout (see `docs/FORMAT.md`).
@@ -126,7 +140,7 @@ impl ShardFooter {
         let mut out = Vec::with_capacity(footer_len(self.crcs.len()) as usize);
         out.extend_from_slice(&FOOTER_MAGIC.to_le_bytes());
         out.extend_from_slice(&FOOTER_VERSION.to_le_bytes());
-        out.extend_from_slice(&0u16.to_le_bytes()); // flags, reserved
+        out.extend_from_slice(&self.codec.to_le_bytes());
         out.extend_from_slice(&(self.crcs.len() as u32).to_le_bytes());
         for crc in &self.crcs {
             out.extend_from_slice(&crc.to_le_bytes());
@@ -165,6 +179,7 @@ impl ShardFooter {
                 "unsupported shard footer version {version} (expected {FOOTER_VERSION})"
             )));
         }
+        let codec = u16::from_le_bytes(bytes[6..8].try_into().unwrap());
         let count = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
         if bytes.len() != footer_len(count) as usize {
             return Err(StorageError::Corrupt(format!(
@@ -176,7 +191,7 @@ impl ShardFooter {
             .chunks_exact(4)
             .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
             .collect();
-        Ok(ShardFooter { crcs })
+        Ok(ShardFooter { crcs, codec })
     }
 
     /// Append this footer to an existing payload file. The write is *not*
@@ -238,6 +253,17 @@ mod tests {
         let bytes = f.encode();
         assert_eq!(bytes.len() as u64, footer_len(3));
         assert_eq!(ShardFooter::decode(&bytes).unwrap(), f);
+    }
+
+    #[test]
+    fn footer_records_the_codec_id() {
+        let f = ShardFooter::with_codec(vec![1, 2], hus_codec::CODEC_DELTA_VARINT);
+        let bytes = f.encode();
+        // The codec id sits in the former reserved-flags slot.
+        assert_eq!(u16::from_le_bytes(bytes[6..8].try_into().unwrap()), f.codec);
+        let back = ShardFooter::decode(&bytes).unwrap();
+        assert_eq!(back, f);
+        assert_eq!(ShardFooter::new(vec![1]).codec, hus_codec::CODEC_RAW);
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //!   the on-disk formats of all engines.
 //! * [`cache`] — an LRU page cache over any backend, modeling an explicit
 //!   memory budget (cache hits are not billed as device I/O).
+//! * [`codec_backend`] — a decoding view over codec-compressed shard
+//!   files (see the `hus-codec` crate); readers address decoded record
+//!   offsets while the tracker bills the encoded on-disk bytes.
 //! * [`checksum`] / [`fault`] / [`retry`] — the storage resilience layer:
 //!   CRC-32C shard footers, deterministic fault injection (`HUS_FAULT`),
 //!   and transparent retry with bounded backoff plus degradation paths
@@ -32,6 +35,7 @@
 pub mod buffer;
 pub mod cache;
 pub mod checksum;
+pub mod codec_backend;
 pub mod device;
 pub mod dir;
 pub mod error;
@@ -46,6 +50,7 @@ pub mod tracker;
 pub use buffer::{BlockStream, TrackedWriter};
 pub use cache::{CacheStats, CachedBackend};
 pub use checksum::{crc32c, Crc32c, ShardFooter};
+pub use codec_backend::{BlockSpan, CodecBackend};
 pub use device::{CostModel, DeviceProfile, Throughput};
 pub use dir::{BackendKind, StorageDir};
 pub use error::{Result, StorageError};

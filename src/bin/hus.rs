@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! hus gen    <rmat|er|ws|ba> <vertices> <edges-or-param> <out.husg> [--seed N] [--weighted]
-//! hus build  <edges.{husg,txt}> <graph-dir> [--p N] [--external]
+//! hus build  <edges.{husg,txt}> <graph-dir> [--p N] [--external] [--codec raw|delta-varint]
 //! hus stats  <graph-dir>
 //! hus bfs    <graph-dir> <source> [--mode hybrid|rop|cop]
 //! hus sssp   <graph-dir> <source> [--mode ...]
@@ -40,7 +40,7 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   hus gen <rmat|er|ws|ba> <vertices> <edges> <out.husg> [--seed N] [--weighted]
-  hus build <edges.{husg,txt}> <graph-dir> [--p N] [--external]
+  hus build <edges.{husg,txt}> <graph-dir> [--p N] [--external] [--codec raw|delta-varint]
   hus stats <graph-dir>
   hus bfs <graph-dir> <source> [--mode hybrid|rop|cop]
   hus sssp <graph-dir> <source> [--mode hybrid|rop|cop]
@@ -119,6 +119,11 @@ fn cmd_build(rest: &[&String]) -> CliResult {
     if let Some(p) = flag_value(rest, "--p") {
         config.p = Some(parse(p, "partition count")?);
     }
+    if let Some(codec) = flag_value(rest, "--codec") {
+        // Explicit flag beats the HUS_CODEC default; a typo'd name is a
+        // loud error, not a silent raw build.
+        config.codec = codec.parse().map_err(|e| format!("--codec: {e}"))?;
+    }
     let dir = StorageDir::create(out).map_err(|e| e.to_string())?;
     let start = std::time::Instant::now();
     let meta = if has_flag(rest, "--external") && input.ends_with(".husg") {
@@ -137,10 +142,13 @@ fn cmd_build(rest: &[&String]) -> CliResult {
         }
     };
     println!(
-        "built {out}: {} vertices, {} edges, P = {} intervals, {:.1} MB on disk, {:.2}s",
+        "built {out}: {} vertices, {} edges, P = {} intervals, codec {} ({:.2}x), \
+         {:.1} MB on disk, {:.2}s",
         meta.num_vertices,
         meta.num_edges,
         meta.p,
+        meta.codec,
+        meta.compression_ratio(),
         dir.disk_footprint().map_err(|e| e.to_string())? as f64 / 1e6,
         start.elapsed().as_secs_f64()
     );
@@ -156,6 +164,12 @@ fn cmd_stats(rest: &[&String]) -> CliResult {
     println!("intervals: {}", meta.p);
     println!("weighted:  {}", meta.weighted);
     println!("record:    {} bytes/edge", meta.edge_record_bytes());
+    println!("codec:     {}", meta.codec);
+    println!(
+        "on disk:   {:.2} bytes/edge ({:.2}x compression)",
+        meta.disk_edge_bytes(),
+        meta.compression_ratio()
+    );
     let max_deg = g.out_degrees().iter().max().copied().unwrap_or(0);
     println!("max out-degree: {max_deg}");
     println!(

@@ -27,6 +27,7 @@
 //! The full API lives in the member crates:
 //!
 //! * [`storage`] — tracked file/mmap backends, device cost models
+//! * [`codec`] — per-block edge codecs (raw, delta-varint)
 //! * [`gen`] — synthetic graph generators and dataset presets
 //! * [`core`] — the dual-block representation, ROP/COP, the hybrid engine
 //! * [`algos`] — BFS, WCC, SSSP, PageRank(-Delta), SpMV + references
@@ -36,6 +37,7 @@
 
 pub use hus_algos as algos;
 pub use hus_baselines as baselines;
+pub use hus_codec as codec;
 pub use hus_core as core;
 pub use hus_gen as gen;
 pub use hus_obs as obs;

@@ -77,6 +77,8 @@ fn format_md_constants_match_source() {
         footer_len, FOOTER_FIXED_BYTES, FOOTER_MAGIC, FOOTER_VERSION,
     };
 
+    use husgraph::codec::{CODEC_DELTA_VARINT, CODEC_RAW};
+
     let fmt = read("docs/FORMAT.md");
     for row in [
         format!("| `INDEX_ENTRY_BYTES` | {INDEX_ENTRY_BYTES} |"),
@@ -84,8 +86,22 @@ fn format_md_constants_match_source() {
         format!("| `FOOTER_MAGIC` | `0x{FOOTER_MAGIC:08X}` |"),
         format!("| `FOOTER_VERSION` | {FOOTER_VERSION} |"),
         format!("| `FOOTER_FIXED_BYTES` | {FOOTER_FIXED_BYTES} |"),
+        format!("| `CODEC_RAW` | {CODEC_RAW} |"),
+        format!("| `CODEC_DELTA_VARINT` | {CODEC_DELTA_VARINT} |"),
     ] {
         assert!(fmt.contains(&row), "docs/FORMAT.md is missing or has a stale row: {row}");
+    }
+
+    // The wire ids documented in FORMAT.md are the codecs' self-reported
+    // ids, and names round-trip through the meta.json representation.
+    for codec in husgraph::codec::Codec::ALL {
+        assert_eq!(codec, codec.name().parse().unwrap());
+        assert_eq!(Some(codec), husgraph::codec::Codec::from_id(codec.id()));
+        assert!(
+            fmt.contains(codec.name()),
+            "docs/FORMAT.md never mentions codec `{}`",
+            codec.name()
+        );
     }
 
     // The magic really is the bytes "HUSC", as the doc claims.
@@ -128,6 +144,7 @@ fn sample_meta() -> husgraph::core::GraphMeta {
         p: 1,
         weighted: false,
         checksums: true,
+        codec: "raw".into(),
         interval_starts: vec![0, 2],
         out_blocks: vec![Default::default()],
         in_blocks: vec![Default::default()],

@@ -136,7 +136,7 @@ proptest! {
     ) {
         let pred = Predictor::new(
             Throughput { sequential_bps: 120e6, random_bps: 1e6, batched_bps: 40e6 },
-            4,
+            4.0,
             4,
         );
         let (v, e, p) = (1_000_000u64, 20_000_000u64, 8u64);

@@ -23,7 +23,11 @@ fn fast_retry() -> RetryPolicy {
 fn build_graph(path: &Path) -> HusGraph {
     let el = hus_gen::rmat(600, 6000, 42, Default::default());
     let dir = StorageDir::create(path).unwrap();
-    HusGraph::build_into(&el, &dir, &BuildConfig::with_p(4)).unwrap()
+    // Raw pinned (regardless of HUS_CODEC): the corruption tests below
+    // flip bytes at blocks' decoded offsets, which are only their
+    // on-disk offsets in the uncompressed layout.
+    let cfg = BuildConfig::with_p_codec(4, husgraph::codec::Codec::Raw);
+    HusGraph::build_into(&el, &dir, &cfg).unwrap()
 }
 
 fn reopen(path: &Path, faults: Option<FaultSpec>, verify: bool) -> HusGraph {
