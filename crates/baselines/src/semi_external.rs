@@ -175,6 +175,7 @@ impl<'a, Pr: VertexProgram> SemiExternalEngine<'a, Pr> {
             converged,
             threads: self.config.threads,
             resilience: resilience.snapshot().since(&run_res_start),
+            checkpoints: Default::default(),
         };
         if let Some(sink) = hus_obs::sink::trace() {
             sink.emit_run("semi-external", &stats);

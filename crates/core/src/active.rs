@@ -105,6 +105,35 @@ impl ActiveSet {
         self.iter_range(0, self.num_vertices)
     }
 
+    /// Snapshot the raw bitmap words (little-endian bit order within
+    /// each word), for checkpointing. Taken between iterations, when no
+    /// concurrent mutation is in flight.
+    pub fn to_words(&self) -> Vec<u64> {
+        self.words.iter().map(|w| w.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Rebuild a set from a [`ActiveSet::to_words`] snapshot. Returns
+    /// `None` when the snapshot's shape contradicts `num_vertices`
+    /// (wrong word count, or bits set past the last vertex) — callers
+    /// treat that as an invalid checkpoint, not a panic.
+    pub fn from_words(num_vertices: u32, words: &[u64]) -> Option<Self> {
+        let set = Self::new(num_vertices);
+        if words.len() != set.words.len() {
+            return None;
+        }
+        let valid_last = match num_vertices % 64 {
+            0 => u64::MAX,
+            r => (1u64 << r) - 1,
+        };
+        for (i, (&w, slot)) in words.iter().zip(&set.words).enumerate() {
+            if i + 1 == words.len() && w & !valid_last != 0 {
+                return None;
+            }
+            slot.store(w, Ordering::Relaxed);
+        }
+        Some(set)
+    }
+
     /// Sum of `degrees[v]` over active `v` in `[start, end)` — the
     /// paper's `Σ_{v ∈ A_i} d_v` (number of active out-edges of an
     /// interval, §3.4).
@@ -218,6 +247,23 @@ mod tests {
         assert_eq!(s.active_degree_sum(0, 10, &degrees), 25);
         assert_eq!(s.active_degree_sum(0, 5, &degrees), 4);
         assert_eq!(s.active_degree_sum(5, 10, &degrees), 21);
+    }
+
+    #[test]
+    fn words_snapshot_roundtrips_and_rejects_bad_shapes() {
+        let s = ActiveSet::from_fn(100, |v| v % 7 == 0);
+        let words = s.to_words();
+        let r = ActiveSet::from_words(100, &words).unwrap();
+        assert_eq!(r.iter().collect::<Vec<_>>(), s.iter().collect::<Vec<_>>());
+        // Wrong word count.
+        assert!(ActiveSet::from_words(100, &words[..1]).is_none());
+        // Bits past the last vertex.
+        let mut bad = words.clone();
+        *bad.last_mut().unwrap() |= 1u64 << 63;
+        assert!(ActiveSet::from_words(100, &bad).is_none());
+        // Exact multiples of 64 use the full last word.
+        let full = ActiveSet::all(128);
+        assert_eq!(ActiveSet::from_words(128, &full.to_words()).unwrap().count(), 128);
     }
 
     #[test]

@@ -13,7 +13,8 @@ use crate::partition::{interval_of, interval_starts};
 use hus_codec::Codec;
 use hus_gen::EdgeList;
 use hus_storage::checksum::ShardFooter;
-use hus_storage::{pod, Result, StorageDir, StorageError};
+use hus_storage::durable::crash_point;
+use hus_storage::{pod, BuildManifest, Result, StagingDir, StorageDir, StorageError};
 
 /// Build-time configuration.
 #[derive(Debug, Clone)]
@@ -70,8 +71,33 @@ impl BuildConfig {
     }
 }
 
+/// Finish a staged build: persist `meta.json`, capture and write the
+/// generation-stamped `MANIFEST` over the staged files, and atomically
+/// commit the staging directory into place (DESIGN.md §10). Shared by
+/// the in-memory and external builders.
+pub(crate) fn finalize_build(staging: StagingDir, meta: &GraphMeta) -> Result<()> {
+    let out = staging.dir();
+    out.put_meta(META_FILE, &serde_json::to_string_pretty(meta).expect("meta serializes"))?;
+    crash_point("build.meta");
+    let files = GraphMeta::data_files(meta.p);
+    let manifest = BuildManifest::capture(
+        out.root(),
+        staging.generation(),
+        files.iter().map(|(name, footer)| (name.as_str(), *footer)),
+    )?;
+    manifest.write_to(out.root())?;
+    crash_point("build.manifest");
+    staging.commit()
+}
+
 /// Build the dual-block representation of `el` inside `dir`, returning
 /// the manifest (also persisted as `meta.json`).
+///
+/// The build is **atomic**: everything is written into a sibling
+/// `<dir>.tmp-<nonce>` staging directory, fsync'd, sealed with a
+/// `MANIFEST`, and renamed over `dir` in one step — a crash at any
+/// point leaves `dir` either untouched or fully built, never half
+/// written (see DESIGN.md §10).
 pub fn build(el: &EdgeList, dir: &StorageDir, config: &BuildConfig) -> Result<GraphMeta> {
     el.validate().map_err(StorageError::Corrupt)?;
     let weighted = el.is_weighted();
@@ -80,6 +106,9 @@ pub fn build(el: &EdgeList, dir: &StorageDir, config: &BuildConfig) -> Result<Gr
     let p = config.resolve_p(el.num_vertices, el.num_edges() as u64, edge_bytes);
     let starts = interval_starts(el.num_vertices, p, config.partition, &out_degrees);
     let p = p as usize;
+
+    let staging = dir.staging()?;
+    let out = staging.dir().clone();
 
     // Bucket edge indices into the P×P grid.
     let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); p * p];
@@ -104,8 +133,8 @@ pub fn build(el: &EdgeList, dir: &StorageDir, config: &BuildConfig) -> Result<Gr
     // of each file (appended untracked: integrity metadata, not modeled
     // data I/O — see docs/FORMAT.md).
     for i in 0..p {
-        let mut edges_w = dir.writer(&GraphMeta::out_edges_file(i))?;
-        let mut index_w = dir.writer(&GraphMeta::out_index_file(i))?;
+        let mut edges_w = out.writer(&GraphMeta::out_edges_file(i))?;
+        let mut index_w = out.writer(&GraphMeta::out_index_file(i))?;
         let mut edge_crcs = Vec::with_capacity(p);
         let mut index_crcs = Vec::with_capacity(p);
         let base = starts[i];
@@ -144,18 +173,20 @@ pub fn build(el: &EdgeList, dir: &StorageDir, config: &BuildConfig) -> Result<Gr
             edge_crcs.push(hus_storage::crc32c(&enc_buf));
             edges_w.write_all(&enc_buf)?;
         }
+        crash_point("build.shard_mid"); // torn: buffered writes lost
         edges_w.finish()?;
         index_w.finish()?;
         ShardFooter::with_codec(edge_crcs, codec.id())
-            .append_to(&dir.path(&GraphMeta::out_edges_file(i)))?;
-        ShardFooter::new(index_crcs).append_to(&dir.path(&GraphMeta::out_index_file(i)))?;
+            .append_to(&out.path(&GraphMeta::out_edges_file(i)))?;
+        ShardFooter::new(index_crcs).append_to(&out.path(&GraphMeta::out_index_file(i)))?;
+        crash_point("build.shard");
     }
 
     // In-shards: for each destination interval j, blocks (0..P, j) sorted
     // by destination within each block.
     for j in 0..p {
-        let mut edges_w = dir.writer(&GraphMeta::in_edges_file(j))?;
-        let mut index_w = dir.writer(&GraphMeta::in_index_file(j))?;
+        let mut edges_w = out.writer(&GraphMeta::in_edges_file(j))?;
+        let mut index_w = out.writer(&GraphMeta::in_index_file(j))?;
         let mut edge_crcs = Vec::with_capacity(p);
         let mut index_crcs = Vec::with_capacity(p);
         let base = starts[j];
@@ -196,14 +227,16 @@ pub fn build(el: &EdgeList, dir: &StorageDir, config: &BuildConfig) -> Result<Gr
         edges_w.finish()?;
         index_w.finish()?;
         ShardFooter::with_codec(edge_crcs, codec.id())
-            .append_to(&dir.path(&GraphMeta::in_edges_file(j)))?;
-        ShardFooter::new(index_crcs).append_to(&dir.path(&GraphMeta::in_index_file(j)))?;
+            .append_to(&out.path(&GraphMeta::in_edges_file(j)))?;
+        ShardFooter::new(index_crcs).append_to(&out.path(&GraphMeta::in_index_file(j)))?;
+        crash_point("build.shard");
     }
 
     // Out-degrees (used by scatter contexts and the predictor).
-    let mut deg_w = dir.writer(DEGREES_FILE)?;
+    let mut deg_w = out.writer(DEGREES_FILE)?;
     deg_w.write_pod_slice(&out_degrees)?;
     deg_w.finish()?;
+    crash_point("build.degrees");
 
     let meta = GraphMeta {
         num_vertices: el.num_vertices,
@@ -217,7 +250,7 @@ pub fn build(el: &EdgeList, dir: &StorageDir, config: &BuildConfig) -> Result<Gr
         in_blocks,
     };
     meta.validate().map_err(StorageError::Corrupt)?;
-    dir.put_meta(META_FILE, &serde_json::to_string_pretty(&meta).expect("meta serializes"))?;
+    finalize_build(staging, &meta)?;
     Ok(meta)
 }
 
@@ -377,6 +410,23 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn build_writes_a_manifest_and_leaves_no_staging_residue() {
+        let el = rmat(100, 600, 1, RmatConfig::default());
+        let (_t, dir, meta) = build_tmp(&el, 2);
+        let manifest = BuildManifest::load_from(dir.root()).unwrap().expect("manifest written");
+        assert_eq!(manifest.generation, 1);
+        assert_eq!(manifest.files.len(), 4 * 2 + 1, "4 files per interval plus degrees");
+        manifest.verify_files(dir.root()).unwrap();
+        assert!(dir.staging_siblings().is_empty(), "no staging residue");
+        // A rebuild over the existing dir swaps wholesale and bumps the
+        // generation stamp.
+        let meta2 = build(&el, &dir, &BuildConfig::with_p(2)).unwrap();
+        assert_eq!(meta2, meta);
+        assert_eq!(BuildManifest::load_from(dir.root()).unwrap().unwrap().generation, 2);
+        assert!(dir.staging_siblings().is_empty());
     }
 
     #[test]

@@ -1,0 +1,252 @@
+//! Iteration checkpoint/restore for long engine runs (DESIGN.md §10).
+//!
+//! With `RunConfig::checkpoint_every = K` (env: `HUS_CKPT`), the engine
+//! snapshots the complete iteration state — every vertex's current
+//! value, the frontier bitmap, and the iteration number — every K
+//! iterations into the run's scratch directory. Snapshots are
+//! **double-buffered** across two slot files and CRC-sealed, so a crash
+//! while writing one slot (a torn checkpoint) falls back to the other:
+//! the freshest *valid* checkpoint always survives. A restarted run
+//! with the same scratch directory resumes from it bit-identically.
+//!
+//! Checkpoint I/O is fault-tolerance overhead, not part of the modeled
+//! engine traffic, so it bypasses the tracked storage layer (like the
+//! manifest and footers at open) and is accounted separately via the
+//! `ckpt.*` metrics and [`crate::stats::CheckpointStats`].
+
+use crate::active::ActiveSet;
+use hus_storage::pod::{self, Pod};
+use hus_storage::{crc32c, durable, Result, StorageDir, StorageError};
+
+/// Magic prefix of a checkpoint file: ASCII `HUSK` as a LE `u32`.
+pub const CKPT_MAGIC: u32 = u32::from_le_bytes(*b"HUSK");
+
+/// Checkpoint format version.
+pub const CKPT_VERSION: u16 = 1;
+
+/// Fixed header size in bytes (magic, version, value width, iteration,
+/// vertex count, bitmap word count).
+pub const CKPT_HEADER_BYTES: usize = 24;
+
+/// The two slot files a manager alternates between (double buffering).
+pub const CKPT_SLOTS: [&str; 2] = ["ckpt_0.bin", "ckpt_1.bin"];
+
+/// Checkpoints written this process.
+static CKPT_WRITES: hus_obs::LazyCounter = hus_obs::LazyCounter::new("ckpt.writes");
+/// Total checkpoint bytes written.
+static CKPT_BYTES: hus_obs::LazyCounter = hus_obs::LazyCounter::new("ckpt.bytes");
+/// Runs resumed from a checkpoint.
+static CKPT_RESUMES: hus_obs::LazyCounter = hus_obs::LazyCounter::new("ckpt.resumes");
+/// Nanosecond latency of checkpoint saves (encode + write + fsync).
+static CKPT_SAVE_NS: hus_obs::LazyHistogram = hus_obs::LazyHistogram::new("ckpt.save_ns");
+
+/// A decoded checkpoint: the state needed to re-enter the iteration
+/// loop exactly where the saved run left off.
+pub struct CheckpointSnapshot<V> {
+    /// Iteration that had fully completed when this was taken; the
+    /// resumed run continues at `iteration + 1`.
+    pub iteration: u64,
+    /// Every vertex's current value (post-commit of `iteration`).
+    pub values: Vec<V>,
+    /// Frontier bitmap words ([`ActiveSet::to_words`]) for the next
+    /// iteration.
+    pub active_words: Vec<u64>,
+}
+
+/// Writes and restores double-buffered checkpoints in a scratch
+/// directory.
+pub struct CheckpointManager {
+    dir: StorageDir,
+    num_vertices: u32,
+    next_slot: usize,
+}
+
+impl CheckpointManager {
+    /// Manage checkpoints for a run over `num_vertices` vertices, slot
+    /// files living in `dir` (the engine's scratch directory).
+    pub fn new(dir: StorageDir, num_vertices: u32) -> Self {
+        CheckpointManager { dir, num_vertices, next_slot: 0 }
+    }
+
+    fn encode<V: Pod>(&self, iteration: u64, values: &[V], words: &[u64]) -> Vec<u8> {
+        let value_bytes = std::mem::size_of::<V>();
+        let mut buf = Vec::with_capacity(
+            CKPT_HEADER_BYTES + std::mem::size_of_val(values) + std::mem::size_of_val(words) + 4,
+        );
+        buf.extend_from_slice(&CKPT_MAGIC.to_le_bytes());
+        buf.extend_from_slice(&CKPT_VERSION.to_le_bytes());
+        buf.extend_from_slice(&(value_bytes as u16).to_le_bytes());
+        buf.extend_from_slice(&iteration.to_le_bytes());
+        buf.extend_from_slice(&self.num_vertices.to_le_bytes());
+        buf.extend_from_slice(&(words.len() as u32).to_le_bytes());
+        debug_assert_eq!(buf.len(), CKPT_HEADER_BYTES);
+        buf.extend_from_slice(pod::as_bytes(values));
+        buf.extend_from_slice(pod::as_bytes(words));
+        let crc = crc32c(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        buf
+    }
+
+    fn decode<V: Pod>(&self, bytes: &[u8]) -> Option<CheckpointSnapshot<V>> {
+        if bytes.len() < CKPT_HEADER_BYTES + 4 {
+            return None;
+        }
+        let (body, trailer) = bytes.split_at(bytes.len() - 4);
+        if crc32c(body) != u32::from_le_bytes(trailer.try_into().unwrap()) {
+            return None;
+        }
+        let u32_at = |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+        let u16_at = |at: usize| u16::from_le_bytes(bytes[at..at + 2].try_into().unwrap());
+        let value_bytes = std::mem::size_of::<V>();
+        if u32_at(0) != CKPT_MAGIC || u16_at(4) != CKPT_VERSION || u16_at(6) as usize != value_bytes
+        {
+            return None;
+        }
+        let iteration = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+        let num_vertices = u32_at(16) as usize;
+        let num_words = u32_at(20) as usize;
+        if num_vertices != self.num_vertices as usize
+            || body.len() != CKPT_HEADER_BYTES + num_vertices * value_bytes + num_words * 8
+        {
+            return None;
+        }
+        let values_end = CKPT_HEADER_BYTES + num_vertices * value_bytes;
+        let values = pod::to_vec::<V>(&bytes[CKPT_HEADER_BYTES..values_end]).ok()?;
+        let active_words = pod::to_vec::<u64>(&body[values_end..]).ok()?;
+        Some(CheckpointSnapshot { iteration, values, active_words })
+    }
+
+    /// Persist a checkpoint of the just-completed `iteration` into the
+    /// next slot (alternating), fsync'd; returns the bytes written.
+    pub fn save<V: Pod>(
+        &mut self,
+        iteration: u64,
+        values: &[V],
+        active: &ActiveSet,
+    ) -> Result<u64> {
+        let t0 = hus_obs::latency_timer();
+        let buf = self.encode(iteration, values, &active.to_words());
+        let path = self.dir.path(CKPT_SLOTS[self.next_slot]);
+        std::fs::write(&path, &buf).map_err(|e| StorageError::io_at(&path, e))?;
+        durable::sync_file(&path)?;
+        self.next_slot ^= 1;
+        CKPT_WRITES.incr();
+        CKPT_BYTES.add(buf.len() as u64);
+        CKPT_SAVE_NS.record_elapsed(t0);
+        Ok(buf.len() as u64)
+    }
+
+    /// Load the freshest **valid** checkpoint from either slot, if any.
+    /// Torn or foreign (wrong vertex count / value width) slots are
+    /// skipped; the next save overwrites the *other* slot, so the
+    /// restored state survives even a crash during the first
+    /// post-resume checkpoint.
+    pub fn load_latest<V: Pod>(&mut self) -> Option<CheckpointSnapshot<V>> {
+        let mut best: Option<(usize, CheckpointSnapshot<V>)> = None;
+        for (slot, name) in CKPT_SLOTS.iter().enumerate() {
+            let Ok(bytes) = std::fs::read(self.dir.path(name)) else { continue };
+            let Some(snap) = self.decode::<V>(&bytes) else { continue };
+            if best.as_ref().is_none_or(|(_, b)| snap.iteration > b.iteration) {
+                best = Some((slot, snap));
+            }
+        }
+        let (slot, snap) = best?;
+        self.next_slot = slot ^ 1;
+        CKPT_RESUMES.incr();
+        Some(snap)
+    }
+
+    /// Remove both slot files (after a run completes; a finished run's
+    /// checkpoints must not hijack the next run of the same scratch).
+    pub fn clear(&self) {
+        for name in CKPT_SLOTS {
+            std::fs::remove_file(self.dir.path(name)).ok();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manager(nv: u32) -> (tempfile::TempDir, CheckpointManager) {
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("scratch")).unwrap();
+        (tmp, CheckpointManager::new(dir, nv))
+    }
+
+    fn frontier(nv: u32) -> ActiveSet {
+        ActiveSet::from_fn(nv, |v| v % 3 == 0)
+    }
+
+    #[test]
+    fn save_load_roundtrips_bit_identically() {
+        let (_t, mut m) = manager(100);
+        let values: Vec<f32> = (0..100).map(|v| v as f32 * 0.25).collect();
+        let n = m.save(7, &values, &frontier(100)).unwrap();
+        assert_eq!(n as usize, CKPT_HEADER_BYTES + 400 + 2 * 8 + 4);
+        let snap = m.load_latest::<f32>().unwrap();
+        assert_eq!(snap.iteration, 7);
+        assert_eq!(
+            snap.values.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            values.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        let restored = ActiveSet::from_words(100, &snap.active_words).unwrap();
+        assert_eq!(restored.count(), frontier(100).count());
+    }
+
+    #[test]
+    fn slots_alternate_and_latest_wins() {
+        let (_t, mut m) = manager(10);
+        let vals: Vec<u32> = (0..10).collect();
+        m.save(0, &vals, &frontier(10)).unwrap();
+        m.save(1, &vals, &frontier(10)).unwrap();
+        assert!(m.dir.exists(CKPT_SLOTS[0]) && m.dir.exists(CKPT_SLOTS[1]));
+        assert_eq!(m.load_latest::<u32>().unwrap().iteration, 1);
+        // The next save must target the slot NOT holding iteration 1.
+        assert_eq!(m.next_slot, 0);
+    }
+
+    #[test]
+    fn torn_checkpoint_falls_back_to_previous_slot() {
+        let (_t, mut m) = manager(10);
+        let vals: Vec<u32> = (0..10).collect();
+        m.save(4, &vals, &frontier(10)).unwrap(); // slot 0
+        m.save(5, &vals, &frontier(10)).unwrap(); // slot 1
+                                                  // Tear the newer checkpoint mid-write.
+        let path = m.dir.path(CKPT_SLOTS[1]);
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        let snap = m.load_latest::<u32>().unwrap();
+        assert_eq!(snap.iteration, 4, "torn slot skipped");
+        assert_eq!(m.next_slot, 1, "next save overwrites the torn slot");
+    }
+
+    #[test]
+    fn foreign_checkpoints_are_rejected() {
+        let (_t, mut m) = manager(10);
+        let vals: Vec<u32> = (0..10).collect();
+        m.save(3, &vals, &frontier(10)).unwrap();
+        // Wrong value width for the program that tries to restore.
+        assert!(m.load_latest::<u64>().is_none());
+        // Wrong vertex count.
+        let mut other = CheckpointManager::new(m.dir.clone(), 11);
+        assert!(other.load_latest::<u32>().is_none());
+        // Flipped payload byte fails the CRC.
+        let path = m.dir.path(CKPT_SLOTS[0]);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[CKPT_HEADER_BYTES] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(m.load_latest::<u32>().is_none());
+    }
+
+    #[test]
+    fn clear_removes_both_slots() {
+        let (_t, mut m) = manager(10);
+        let vals: Vec<u32> = (0..10).collect();
+        m.save(0, &vals, &frontier(10)).unwrap();
+        m.save(1, &vals, &frontier(10)).unwrap();
+        m.clear();
+        assert!(m.load_latest::<u32>().is_none());
+    }
+}

@@ -172,6 +172,13 @@ pub struct RunConfig {
     /// Graphs built before checksums existed are read unverified even
     /// when this is set. Env override: `HUS_VERIFY=1` enables.
     pub verify_checksums: bool,
+    /// Checkpoint the full iteration state (vertex values + frontier)
+    /// into the scratch directory every this many iterations; `0` (the
+    /// default) disables checkpointing. A rerun with the same
+    /// [`RunConfig::scratch_name`] resumes from the freshest valid
+    /// checkpoint bit-identically (see DESIGN.md §10 and
+    /// [`crate::checkpoint`]). Env override: `HUS_CKPT`.
+    pub checkpoint_every: u32,
 }
 
 /// Default [`RunConfig::range_merge_slack`]: one 4 KiB device sector —
@@ -206,6 +213,7 @@ impl Default for RunConfig {
             readahead_blocks: env_parse("HUS_READAHEAD", 0),
             range_merge_slack: env_parse("HUS_MERGE_SLACK", DEFAULT_MERGE_SLACK),
             verify_checksums: env_flag("HUS_VERIFY", false),
+            checkpoint_every: env_parse("HUS_CKPT", 0),
         }
     }
 }
@@ -317,14 +325,48 @@ impl<'a, Pr: VertexProgram> Engine<'a, Pr> {
         let run_start = Instant::now();
 
         let scratch = self.scratch_dir()?;
-        let mut store: VertexStore<Pr::Value> =
-            VertexStore::create(&scratch, "vals", &meta.interval_starts, |x| self.program.init(x))?;
-
         let always = self.program.always_active();
-        let mut active = if always {
-            ActiveSet::all(v)
-        } else {
-            ActiveSet::from_fn(v, |x| self.program.initially_active(x))
+
+        // Checkpoint/restore (DESIGN.md §10): with checkpointing on,
+        // adopt the freshest valid snapshot left in the scratch
+        // directory by an interrupted earlier run of the same
+        // `scratch_name` — the store and frontier are rebuilt from it
+        // bit-identically and the loop re-enters where it left off.
+        let mut ckpt_mgr = (self.config.checkpoint_every > 0)
+            .then(|| crate::checkpoint::CheckpointManager::new(scratch.clone(), v));
+        let mut ckpt_stats = crate::stats::CheckpointStats::default();
+        let mut start_iteration = 0usize;
+        let mut restored: Option<(Vec<Pr::Value>, ActiveSet)> = None;
+        if let Some(mgr) = &mut ckpt_mgr {
+            if let Some(snap) = mgr.load_latest::<Pr::Value>() {
+                match ActiveSet::from_words(v, &snap.active_words) {
+                    Some(frontier) if (snap.iteration as usize) < self.config.max_iterations => {
+                        start_iteration = snap.iteration as usize + 1;
+                        ckpt_stats.resumed_from = Some(snap.iteration);
+                        restored = Some((snap.values, frontier));
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        let (mut store, mut active): (VertexStore<Pr::Value>, ActiveSet) = match restored {
+            Some((values, frontier)) => (
+                VertexStore::create(&scratch, "vals", &meta.interval_starts, |x| {
+                    values[x as usize]
+                })?,
+                frontier,
+            ),
+            None => (
+                VertexStore::create(&scratch, "vals", &meta.interval_starts, |x| {
+                    self.program.init(x)
+                })?,
+                if always {
+                    ActiveSet::all(v)
+                } else {
+                    ActiveSet::from_fn(v, |x| self.program.initially_active(x))
+                },
+            ),
         };
 
         // `M` is the *on-disk* bytes per edge: for codec-compressed
@@ -342,7 +384,7 @@ impl<'a, Pr: VertexProgram> Engine<'a, Pr> {
         let mut total_edges = 0u64;
         let mut converged = false;
 
-        for iteration in 0..self.config.max_iterations {
+        for iteration in start_iteration..self.config.max_iterations {
             let active_vertices = active.count();
             if active_vertices == 0 {
                 converged = true;
@@ -640,12 +682,28 @@ impl<'a, Pr: VertexProgram> Engine<'a, Pr> {
             iterations.push(it);
 
             active = next_active;
+            if let Some(mgr) = &mut ckpt_mgr {
+                if (iteration + 1) % self.config.checkpoint_every as usize == 0 {
+                    let values = store.read_all_current()?;
+                    let bytes = mgr.save(iteration as u64, &values, &active)?;
+                    ckpt_stats.written += 1;
+                    ckpt_stats.bytes += bytes;
+                }
+            }
+            // Crash point for the recovery test harness: armed via
+            // `HUS_CRASH_AT=engine.iteration_end:<n>`, inert otherwise.
+            hus_storage::durable::crash_point("engine.iteration_end");
             if always && iteration + 1 == self.config.max_iterations {
                 // Fixed-iteration programs never empty the frontier.
                 break;
             }
         }
 
+        // A finished run's checkpoints must not hijack the next run of
+        // the same scratch directory.
+        if let Some(mgr) = &ckpt_mgr {
+            mgr.clear();
+        }
         let total_io = tracker.snapshot().since(&run_start_io);
         let wall_seconds = run_start.elapsed().as_secs_f64();
         let values = store.read_all_current()?;
@@ -657,6 +715,7 @@ impl<'a, Pr: VertexProgram> Engine<'a, Pr> {
             converged,
             threads: self.config.threads,
             resilience: resilience.snapshot().since(&run_start_res),
+            checkpoints: ckpt_stats,
         };
         if let Some(sink) = hus_obs::sink::trace() {
             sink.emit_run("hus", &stats);
@@ -1066,6 +1125,51 @@ mod edge_case_tests {
         Engine::new(&g, &MinLabel, config).run().unwrap();
         assert!(dir.path("my_scratch").is_dir());
         assert!(dir.exists("my_scratch/vals_a.bin"));
+    }
+
+    #[test]
+    fn checkpointing_run_matches_plain_run_and_clears_slots() {
+        let el = hus_gen::classic::cycle(12);
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("g")).unwrap();
+        let g = HusGraph::build_into(&el, &dir, &crate::BuildConfig::with_p(2)).unwrap();
+        let plain = Engine::new(&g, &MinLabel, RunConfig::default()).run().unwrap();
+        let config = RunConfig {
+            scratch_name: Some("ck".into()),
+            checkpoint_every: 2,
+            ..Default::default()
+        };
+        let (values, stats) = Engine::new(&g, &MinLabel, config).run().unwrap();
+        assert_eq!(values, plain.0, "checkpointing must not change results");
+        assert!(stats.checkpoints.written > 0);
+        assert!(stats.checkpoints.bytes > 0);
+        assert_eq!(stats.checkpoints.resumed_from, None);
+        // A completed run leaves no checkpoint behind to hijack reruns.
+        assert!(!dir.exists("ck/ckpt_0.bin") && !dir.exists("ck/ckpt_1.bin"));
+    }
+
+    #[test]
+    fn resumes_from_a_checkpoint_in_the_scratch_dir() {
+        let el = hus_gen::classic::cycle(12);
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("g")).unwrap();
+        let g = HusGraph::build_into(&el, &dir, &crate::BuildConfig::with_p(2)).unwrap();
+        let (reference, _) = Engine::new(&g, &MinLabel, RunConfig::default()).run().unwrap();
+        // Seed the scratch directory with a checkpoint representing a
+        // fully-converged iteration 5 (final values, empty frontier).
+        let scratch = dir.subdir("resume_me").unwrap();
+        let mut mgr = crate::checkpoint::CheckpointManager::new(scratch, 12);
+        mgr.save(5, &reference, &ActiveSet::new(12)).unwrap();
+        let config = RunConfig {
+            scratch_name: Some("resume_me".into()),
+            checkpoint_every: 3,
+            ..Default::default()
+        };
+        let (values, stats) = Engine::new(&g, &MinLabel, config).run().unwrap();
+        assert_eq!(values, reference, "restored values are the checkpointed values");
+        assert_eq!(stats.checkpoints.resumed_from, Some(5));
+        assert_eq!(stats.num_iterations(), 0, "empty frontier converges immediately");
+        assert!(stats.converged);
     }
 
     #[test]

@@ -17,14 +17,25 @@
 //!
 //! The output is **byte-identical** to the in-memory builder's (the
 //! tests assert it), so either path can build a graph directory.
+//!
+//! Like the in-memory builder, everything is written into a sibling
+//! staging directory and committed by one atomic rename. On top of
+//! that, the external builder is **resumable**: after each phase
+//! (degrees, spill, every finished shard) it records a CRC-sealed
+//! [`PROGRESS_FILE`] inside the staging directory, so a build that is
+//! killed mid-way picks up from the last durable phase instead of
+//! repeating the streaming passes (DESIGN.md §10).
 
-use crate::builder::BuildConfig;
-use crate::meta::{BlockMeta, GraphMeta, DEGREES_FILE, META_FILE};
+use crate::builder::{finalize_build, BuildConfig};
+use crate::meta::{BlockMeta, GraphMeta, DEGREES_FILE};
 use crate::partition::{interval_of, interval_starts};
 use hus_codec::Codec;
 use hus_gen::Edge;
 use hus_storage::checksum::ShardFooter;
-use hus_storage::{pod, Access, Result, StorageDir, StorageError};
+use hus_storage::durable::crash_point;
+use hus_storage::manifest::{seal_text, unseal_text};
+use hus_storage::{pod, Access, Result, StagingDir, StorageDir, StorageError};
+use serde::{Deserialize, Serialize};
 
 /// A re-scannable stream of `(edge, weight)` pairs (weight ignored when
 /// `weighted` is false). Each call must yield the same sequence.
@@ -100,9 +111,107 @@ impl EdgeSource for BinaryFileSource {
     }
 }
 
+/// Name of the CRC-sealed per-phase progress file an external build
+/// keeps inside its staging directory. Never present in a committed
+/// graph directory.
+pub const PROGRESS_FILE: &str = "progress.json";
+
+/// Per-phase progress of a staged external build, persisted (sealed
+/// with a `#crc32c:` trailer like the `MANIFEST`) after every durable
+/// phase so an interrupted build can resume.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BuildProgress {
+    /// Identity of (source, config); a resume with a different input or
+    /// configuration discards the stale staging directory.
+    fingerprint: String,
+    degrees_done: bool,
+    spilled: bool,
+    /// Out-shards fully written (edges + index + footers durable).
+    out_shards_done: u32,
+    /// In-shards fully written.
+    in_shards_done: u32,
+    num_edges: u64,
+    p: u32,
+    interval_starts: Vec<u32>,
+    out_blocks: Vec<BlockMeta>,
+    in_blocks: Vec<BlockMeta>,
+}
+
+impl BuildProgress {
+    fn fresh(fingerprint: String) -> Self {
+        BuildProgress {
+            fingerprint,
+            degrees_done: false,
+            spilled: false,
+            out_shards_done: 0,
+            in_shards_done: 0,
+            num_edges: 0,
+            p: 0,
+            interval_starts: Vec::new(),
+            out_blocks: Vec::new(),
+            in_blocks: Vec::new(),
+        }
+    }
+
+    /// Shape invariants that make the resumed state safe to index into.
+    fn coherent(&self) -> bool {
+        if !self.degrees_done {
+            return !self.spilled && self.out_shards_done == 0 && self.in_shards_done == 0;
+        }
+        let p = self.p as usize;
+        p >= 1
+            && self.interval_starts.len() == p + 1
+            && self.out_blocks.len() == p * p
+            && self.in_blocks.len() == p * p
+            && self.out_shards_done as usize <= p
+            && self.in_shards_done as usize <= p
+            && (self.spilled || (self.out_shards_done == 0 && self.in_shards_done == 0))
+    }
+}
+
+fn save_progress(out: &StorageDir, prog: &BuildProgress) -> Result<()> {
+    let mut body = serde_json::to_string(prog).expect("progress serializes");
+    body.push('\n');
+    out.put_meta(PROGRESS_FILE, &seal_text(&body))?;
+    hus_storage::durable::sync_file(&out.path(PROGRESS_FILE))
+}
+
+/// Load and validate the progress file of a staging directory; `None`
+/// when absent, torn, or recorded for a different (source, config).
+fn load_progress(out: &StorageDir, fingerprint: &str) -> Option<BuildProgress> {
+    let text = out.get_meta(PROGRESS_FILE).ok()?;
+    let body = unseal_text(&text).ok()?;
+    let prog: BuildProgress = serde_json::from_str(body).ok()?;
+    (prog.fingerprint == fingerprint && prog.coherent()).then_some(prog)
+}
+
+/// Adopt the most recent resumable staging sibling of `dir`, or begin a
+/// fresh one. Staging directories whose progress is missing, torn, or
+/// from a different build are discarded (their `StagingDir` drop
+/// removes them).
+fn adopt_or_begin(dir: &StorageDir, fingerprint: &str) -> Result<(StagingDir, BuildProgress)> {
+    for cand in dir.staging_siblings().into_iter().rev() {
+        let Ok(staging) = StagingDir::adopt(dir, cand) else { continue };
+        match load_progress(staging.dir(), fingerprint) {
+            Some(prog) => return Ok((staging, prog)),
+            None => drop(staging), // stale: removed by Drop
+        }
+    }
+    Ok((dir.staging()?, BuildProgress::fresh(fingerprint.to_string())))
+}
+
+fn spill_out(i: usize) -> String {
+    format!("spill_out_{i}.tmp")
+}
+
+fn spill_in(j: usize) -> String {
+    format!("spill_in_{j}.tmp")
+}
+
 /// Build the dual-block representation of `source` into `dir` with two
 /// streaming passes and bounded memory. Produces the same files as
-/// [`crate::build`].
+/// [`crate::build`], staged and committed atomically; an interrupted
+/// build left in a staging sibling resumes from its last durable phase.
 pub fn build_external<S: EdgeSource>(
     source: &S,
     dir: &StorageDir,
@@ -111,34 +220,63 @@ pub fn build_external<S: EdgeSource>(
     let num_vertices = source.num_vertices();
     let weighted = source.weighted();
     let rec_bytes: usize = if weighted { 12 } else { 8 };
+    let fingerprint = format!(
+        "v={num_vertices} w={weighted} codec={} part={:?} p={:?} budget={}",
+        config.codec.name(),
+        config.partition,
+        config.p,
+        config.memory_budget_bytes,
+    );
 
-    // Pass 1: out-degrees (also counts and validates edges).
-    let mut out_degrees = vec![0u32; num_vertices as usize];
-    let mut num_edges = 0u64;
-    for (e, _) in source.scan()? {
-        if e.src >= num_vertices || e.dst >= num_vertices {
-            return Err(StorageError::Corrupt(format!(
-                "edge {} -> {} out of range for {} vertices",
-                e.src, e.dst, num_vertices
-            )));
+    let (staging, mut prog) = adopt_or_begin(dir, &fingerprint)?;
+    let out = staging.dir().clone();
+
+    if !prog.degrees_done {
+        // Pass 1: out-degrees (also counts and validates edges).
+        let mut out_degrees = vec![0u32; num_vertices as usize];
+        let mut num_edges = 0u64;
+        for (e, _) in source.scan()? {
+            if e.src >= num_vertices || e.dst >= num_vertices {
+                return Err(StorageError::Corrupt(format!(
+                    "edge {} -> {} out of range for {} vertices",
+                    e.src, e.dst, num_vertices
+                )));
+            }
+            out_degrees[e.src as usize] += 1;
+            num_edges += 1;
         }
-        out_degrees[e.src as usize] += 1;
-        num_edges += 1;
+
+        let edge_bytes: u64 = if weighted { 8 } else { 4 };
+        let p = config.resolve_p(num_vertices, num_edges, edge_bytes) as usize;
+        let starts = interval_starts(num_vertices, p as u32, config.partition, &out_degrees);
+
+        // degrees.bin is both a final output and the checkpoint that
+        // lets a resume skip pass 1 entirely.
+        let mut deg_w = out.writer(DEGREES_FILE)?;
+        deg_w.write_pod_slice(&out_degrees)?;
+        deg_w.finish_synced()?;
+
+        prog.num_edges = num_edges;
+        prog.p = p as u32;
+        prog.interval_starts = starts;
+        prog.out_blocks = vec![BlockMeta::default(); p * p];
+        prog.in_blocks = vec![BlockMeta::default(); p * p];
+        prog.degrees_done = true;
+        save_progress(&out, &prog)?;
+        crash_point("ext.degrees");
     }
+    let p = prog.p as usize;
+    let starts = prog.interval_starts.clone();
+    let num_edges = prog.num_edges;
 
-    let edge_bytes: u64 = if weighted { 8 } else { 4 };
-    let p = config.resolve_p(num_vertices, num_edges, edge_bytes) as usize;
-    let starts = interval_starts(num_vertices, p as u32, config.partition, &out_degrees);
-
-    // Pass 2: spill every edge into its source-interval and
-    // destination-interval staging files.
-    let spill_out = |i: usize| format!("spill_out_{i}.tmp");
-    let spill_in = |j: usize| format!("spill_in_{j}.tmp");
-    {
+    if !prog.spilled {
+        // Pass 2: spill every edge into its source-interval and
+        // destination-interval staging files (truncating any partial
+        // spill from an interrupted earlier attempt).
         let mut outs: Vec<_> =
-            (0..p).map(|i| dir.writer(&spill_out(i))).collect::<Result<Vec<_>>>()?;
+            (0..p).map(|i| out.writer(&spill_out(i))).collect::<Result<Vec<_>>>()?;
         let mut ins: Vec<_> =
-            (0..p).map(|j| dir.writer(&spill_in(j))).collect::<Result<Vec<_>>>()?;
+            (0..p).map(|j| out.writer(&spill_in(j))).collect::<Result<Vec<_>>>()?;
         for (e, w) in source.scan()? {
             let i = interval_of(&starts, e.src);
             let j = interval_of(&starts, e.dst);
@@ -150,20 +288,19 @@ pub fn build_external<S: EdgeSource>(
                 }
             }
         }
-        for w in outs {
-            w.finish()?;
+        for w in outs.into_iter().chain(ins) {
+            w.finish_synced()?;
         }
-        for w in ins {
-            w.finish()?;
-        }
+        prog.spilled = true;
+        save_progress(&out, &prog)?;
+        crash_point("ext.spill");
     }
 
     // Per-shard finish: sort one spill at a time and emit blocks+index.
-    let mut out_blocks = vec![BlockMeta::default(); p * p];
-    let mut in_blocks = vec![BlockMeta::default(); p * p];
-
+    // Each completed shard advances the durable progress cursor, so a
+    // resume re-does at most one shard.
     let read_spill = |name: &str| -> Result<Vec<(Edge, f32)>> {
-        let reader = dir.reader(name)?;
+        let reader = out.reader(name)?;
         let len = reader.len() as usize;
         let mut bytes = vec![0u8; len];
         if len > 0 {
@@ -185,13 +322,13 @@ pub fn build_external<S: EdgeSource>(
         Ok(records)
     };
 
-    for i in 0..p {
+    for i in prog.out_shards_done as usize..p {
         let mut records = read_spill(&spill_out(i))?;
         // Stable: within (dst-interval, src) the input order is kept —
         // matching the in-memory builder exactly.
         records.sort_by_key(|(e, _)| (interval_of(&starts, e.dst), e.src));
         write_shard(
-            dir,
+            &out,
             &GraphMeta::out_edges_file(i),
             &GraphMeta::out_index_file(i),
             &records,
@@ -201,15 +338,18 @@ pub fn build_external<S: EdgeSource>(
             weighted,
             config.codec,
             ShardKind::Out,
-            &mut out_blocks,
+            &mut prog.out_blocks,
         )?;
-        std::fs::remove_file(dir.path(&spill_out(i))).ok();
+        prog.out_shards_done = i as u32 + 1;
+        save_progress(&out, &prog)?;
+        crash_point("ext.shard");
+        std::fs::remove_file(out.path(&spill_out(i))).ok();
     }
-    for j in 0..p {
+    for j in prog.in_shards_done as usize..p {
         let mut records = read_spill(&spill_in(j))?;
         records.sort_by_key(|(e, _)| (interval_of(&starts, e.src), e.dst));
         write_shard(
-            dir,
+            &out,
             &GraphMeta::in_edges_file(j),
             &GraphMeta::in_index_file(j),
             &records,
@@ -219,14 +359,13 @@ pub fn build_external<S: EdgeSource>(
             weighted,
             config.codec,
             ShardKind::In,
-            &mut in_blocks,
+            &mut prog.in_blocks,
         )?;
-        std::fs::remove_file(dir.path(&spill_in(j))).ok();
+        prog.in_shards_done = j as u32 + 1;
+        save_progress(&out, &prog)?;
+        crash_point("ext.shard");
+        std::fs::remove_file(out.path(&spill_in(j))).ok();
     }
-
-    let mut deg_w = dir.writer(DEGREES_FILE)?;
-    deg_w.write_pod_slice(&out_degrees)?;
-    deg_w.finish()?;
 
     let meta = GraphMeta {
         num_vertices,
@@ -236,11 +375,20 @@ pub fn build_external<S: EdgeSource>(
         checksums: true,
         codec: config.codec.name().to_string(),
         interval_starts: starts,
-        out_blocks,
-        in_blocks,
+        out_blocks: prog.out_blocks.clone(),
+        in_blocks: prog.in_blocks.clone(),
     };
     meta.validate().map_err(StorageError::Corrupt)?;
-    dir.put_meta(META_FILE, &serde_json::to_string_pretty(&meta).expect("meta serializes"))?;
+
+    // Sweep build-time scratch so it never ships in the committed
+    // directory (a crash after a shard's progress record can leave its
+    // spill behind).
+    std::fs::remove_file(out.path(PROGRESS_FILE)).ok();
+    for k in 0..p {
+        std::fs::remove_file(out.path(&spill_out(k))).ok();
+        std::fs::remove_file(out.path(&spill_in(k))).ok();
+    }
+    finalize_build(staging, &meta)?;
     Ok(meta)
 }
 
@@ -435,6 +583,34 @@ mod tests {
         build_external(&ListSource(&el), &dir, &BuildConfig::with_p(3)).unwrap();
         assert!(!dir.exists("spill_out_0.tmp"));
         assert!(!dir.exists("spill_in_2.tmp"));
+    }
+
+    #[test]
+    fn stale_staging_with_mismatched_fingerprint_is_discarded() {
+        let el = rmat(100, 600, 55, Default::default());
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("g")).unwrap();
+        // Plant a staging sibling recorded for a different build and
+        // "crash" so its Drop cleanup never runs.
+        let staging = dir.staging().unwrap();
+        save_progress(staging.dir(), &BuildProgress::fresh("other-build".into())).unwrap();
+        std::mem::forget(staging);
+        assert_eq!(dir.staging_siblings().len(), 1);
+
+        let meta = build_external(&ListSource(&el), &dir, &BuildConfig::with_p(3)).unwrap();
+        assert!(dir.staging_siblings().is_empty(), "stale staging swept");
+        assert_eq!(meta.p, 3);
+        crate::HusGraph::open(dir).unwrap();
+    }
+
+    #[test]
+    fn committed_directory_has_no_progress_file() {
+        let el = rmat(100, 600, 55, Default::default());
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("g")).unwrap();
+        build_external(&ListSource(&el), &dir, &BuildConfig::with_p(3)).unwrap();
+        assert!(!dir.exists(PROGRESS_FILE));
+        assert!(dir.exists(hus_storage::MANIFEST_FILE));
     }
 
     #[test]

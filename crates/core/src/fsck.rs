@@ -1,0 +1,418 @@
+//! Deep offline integrity check for graph directories (`hus fsck`).
+//!
+//! Open-time validation ([`crate::HusGraph::open`]) is deliberately
+//! shallow — manifest presence plus per-file lengths. This module is
+//! the thorough counterpart: it walks the `MANIFEST`, re-verifies every
+//! block payload and CSR index segment against the shard footers'
+//! CRC-32C tables, cross-checks the footer codec ids against
+//! `meta.json`, and validates index monotonicity — reporting every
+//! problem it finds instead of stopping at the first (DESIGN.md §10).
+//!
+//! With `repair`, it also quarantines leftovers that are *not* part of
+//! the committed directory: stale `.tmp-*` staging siblings from
+//! interrupted builds and orphaned iteration checkpoints in scratch
+//! directories.
+
+use crate::checkpoint::CKPT_SLOTS;
+use crate::meta::{GraphMeta, DEGREES_FILE, INDEX_ENTRY_BYTES, META_FILE};
+use hus_storage::checksum::{footer_len, ShardFooter};
+use hus_storage::{crc32c, Access, BuildManifest, Result, StorageDir};
+use std::path::PathBuf;
+
+/// Everything one `fsck` pass found.
+pub struct FsckReport {
+    /// Directory checked.
+    pub root: PathBuf,
+    /// Manifest generation, when a valid `MANIFEST` is present.
+    pub generation: Option<u64>,
+    /// Data files examined.
+    pub files_checked: usize,
+    /// Blocks whose payload CRC was re-verified.
+    pub blocks_checked: u64,
+    /// Integrity problems; empty means the directory is sound.
+    pub issues: Vec<String>,
+    /// Leftovers that are not corruption but warrant cleanup: stale
+    /// staging siblings and orphaned checkpoints. Quarantined when
+    /// `repair` is set.
+    pub stale: Vec<String>,
+    /// Repair actions performed (with `repair`).
+    pub repairs: Vec<String>,
+}
+
+impl FsckReport {
+    /// Whether the committed directory itself is fully intact.
+    pub fn is_clean(&self) -> bool {
+        self.issues.is_empty()
+    }
+
+    /// Human-readable multi-line report.
+    pub fn render(&self) -> String {
+        let mut s = format!("fsck {}\n", self.root.display());
+        match self.generation {
+            Some(g) => s.push_str(&format!("  manifest: generation {g}\n")),
+            None => s.push_str("  manifest: absent (legacy layout, checked from meta.json)\n"),
+        }
+        s.push_str(&format!(
+            "  checked: {} files, {} blocks\n",
+            self.files_checked, self.blocks_checked
+        ));
+        for issue in &self.issues {
+            s.push_str(&format!("  ISSUE: {issue}\n"));
+        }
+        for stale in &self.stale {
+            s.push_str(&format!("  stale: {stale}\n"));
+        }
+        for repair in &self.repairs {
+            s.push_str(&format!("  repaired: {repair}\n"));
+        }
+        s.push_str(if self.is_clean() { "  status: clean\n" } else { "  status: CORRUPT\n" });
+        s
+    }
+}
+
+/// Run a full integrity check over `dir`; with `repair`, also
+/// quarantine stale staging siblings and orphaned checkpoints into
+/// `<dir>/quarantine/`. Returns `Err` only for environmental failures
+/// (e.g. an unreadable root); corruption is reported in the
+/// [`FsckReport`], never as an error.
+pub fn fsck(dir: &StorageDir, repair: bool) -> Result<FsckReport> {
+    let mut report = FsckReport {
+        root: dir.root().to_path_buf(),
+        generation: None,
+        files_checked: 0,
+        blocks_checked: 0,
+        issues: Vec::new(),
+        stale: Vec::new(),
+        repairs: Vec::new(),
+    };
+
+    // 1. Manifest: shape and per-file lengths.
+    match BuildManifest::load_from(dir.root()) {
+        Ok(Some(manifest)) => {
+            report.generation = Some(manifest.generation);
+            if let Err(e) = manifest.verify_files(dir.root()) {
+                report.issues.push(e.to_string());
+            }
+        }
+        Ok(None) => {}
+        Err(e) => report.issues.push(e.to_string()),
+    }
+
+    // 2. meta.json: without it no deep checks are possible.
+    let meta: GraphMeta =
+        match dir.get_meta(META_FILE).map_err(|e| e.to_string()).and_then(|text| {
+            serde_json::from_str(&text).map_err(|e| format!("bad {META_FILE}: {e}"))
+        }) {
+            Ok(meta) => meta,
+            Err(e) => {
+                report.issues.push(e);
+                scan_stale(dir, repair, &mut report);
+                return Ok(report);
+            }
+        };
+    if let Err(e) = meta.validate() {
+        report.issues.push(format!("{META_FILE}: {e}"));
+        scan_stale(dir, repair, &mut report);
+        return Ok(report);
+    }
+    report.files_checked += 1;
+    let p = meta.p as usize;
+    let codec = match meta.codec() {
+        Ok(c) => c,
+        Err(e) => {
+            report.issues.push(format!("{META_FILE}: {e}"));
+            scan_stale(dir, repair, &mut report);
+            return Ok(report);
+        }
+    };
+
+    // 3. Every shard file: length, footer, per-block payload CRCs,
+    //    index monotonicity.
+    for own in 0..p {
+        let shards = [
+            (GraphMeta::out_edges_file(own), GraphMeta::out_index_file(own), true),
+            (GraphMeta::in_edges_file(own), GraphMeta::in_index_file(own), false),
+        ];
+        for (edges_name, index_name, is_out) in shards {
+            let block = |other: usize| {
+                if is_out {
+                    meta.out_block(own, other)
+                } else {
+                    meta.in_block(other, own)
+                }
+            };
+            check_file(
+                dir,
+                &edges_name,
+                &mut report,
+                meta.checksums.then_some(codec.id()),
+                p,
+                (0..p).map(|o| (block(o).encoded_offset, block(o).encoded_bytes)).collect(),
+            );
+            let seg = (meta.interval_len(own) as u64 + 1) * INDEX_ENTRY_BYTES;
+            check_file(
+                dir,
+                &index_name,
+                &mut report,
+                meta.checksums.then_some(hus_codec::CODEC_RAW),
+                p,
+                (0..p).map(|o| (block(o).index_offset, seg)).collect(),
+            );
+            // CSR invariants per index block: offsets start at 0, are
+            // non-decreasing, and end at the block's edge count.
+            for other in 0..p {
+                let b = block(other);
+                if let Err(issue) =
+                    check_index_block(dir, &index_name, b.index_offset, seg, b.edge_count)
+                {
+                    report.issues.push(format!("{index_name}: block {other}: {issue}"));
+                }
+            }
+        }
+    }
+
+    // 4. Degree table.
+    report.files_checked += 1;
+    let want = meta.num_vertices as u64 * 4;
+    match std::fs::metadata(dir.path(DEGREES_FILE)) {
+        Err(_) => report.issues.push(format!("{DEGREES_FILE} is missing")),
+        Ok(md) if md.len() != want => {
+            report.issues.push(format!("{DEGREES_FILE}: expected {want} bytes, found {}", md.len()))
+        }
+        Ok(_) => {}
+    }
+
+    scan_stale(dir, repair, &mut report);
+    Ok(report)
+}
+
+/// Length + footer + per-block CRC checks for one shard file.
+/// `blocks` holds each block's `(offset, byte length)` within the
+/// file's payload region.
+fn check_file(
+    dir: &StorageDir,
+    name: &str,
+    report: &mut FsckReport,
+    footer_codec: Option<u16>,
+    p: usize,
+    blocks: Vec<(u64, u64)>,
+) {
+    report.files_checked += 1;
+    let payload: u64 = blocks.iter().map(|&(_, len)| len).sum();
+    let Some(expect_codec) = footer_codec else {
+        // Un-checksummed graph: only the length is checkable.
+        match std::fs::metadata(dir.path(name)) {
+            Err(_) => report.issues.push(format!("{name} is missing")),
+            Ok(md) if md.len() != payload => {
+                report.issues.push(format!("{name}: expected {payload} bytes, found {}", md.len()))
+            }
+            Ok(_) => {}
+        }
+        return;
+    };
+    let want = payload + footer_len(p);
+    match std::fs::metadata(dir.path(name)) {
+        Err(_) => {
+            report.issues.push(format!("{name} is missing"));
+            return;
+        }
+        Ok(md) if md.len() != want => {
+            report.issues.push(format!("{name}: expected {want} bytes, found {}", md.len()));
+            return;
+        }
+        Ok(_) => {}
+    }
+    let footer = match ShardFooter::read_from(&dir.path(name), p) {
+        Ok(f) => f,
+        Err(e) => {
+            report.issues.push(format!("{name}: bad footer: {e}"));
+            return;
+        }
+    };
+    if footer.codec != expect_codec {
+        report.issues.push(format!(
+            "{name}: footer codec id {} disagrees with {META_FILE} (id {expect_codec})",
+            footer.codec
+        ));
+        return;
+    }
+    // Re-verify every block payload against the footer CRC table,
+    // reading through the tracked/fault-injected reader stack.
+    let reader = match dir.reader(name) {
+        Ok(r) => r,
+        Err(e) => {
+            report.issues.push(format!("{name}: unreadable: {e}"));
+            return;
+        }
+    };
+    for (b, &(offset, len)) in blocks.iter().enumerate() {
+        let mut buf = vec![0u8; len as usize];
+        if let Err(e) = reader.read_at(offset, &mut buf, Access::Sequential) {
+            report.issues.push(format!("{name}: block {b}: read failed: {e}"));
+            continue;
+        }
+        report.blocks_checked += 1;
+        let got = crc32c(&buf);
+        if got != footer.crcs[b] {
+            report.issues.push(format!(
+                "{name}: block {b}: payload CRC mismatch (footer {:08X}, found {got:08X})",
+                footer.crcs[b]
+            ));
+        }
+    }
+}
+
+/// CSR offset-array invariants for one index block.
+fn check_index_block(
+    dir: &StorageDir,
+    name: &str,
+    offset: u64,
+    len: u64,
+    edge_count: u64,
+) -> std::result::Result<(), String> {
+    let reader = dir.reader(name).map_err(|e| format!("unreadable: {e}"))?;
+    let offsets: Vec<u32> = hus_storage::read_pod_vec(
+        &*reader,
+        offset,
+        (len / INDEX_ENTRY_BYTES) as usize,
+        Access::Sequential,
+    )
+    .map_err(|e| format!("read failed: {e}"))?;
+    if offsets.first() != Some(&0) {
+        return Err(format!("CSR offsets start at {:?}, not 0", offsets.first()));
+    }
+    if let Some(w) = offsets.windows(2).position(|w| w[0] > w[1]) {
+        return Err(format!("CSR offsets decrease at entry {w}"));
+    }
+    if offsets.last().copied().unwrap_or(0) as u64 != edge_count {
+        return Err(format!(
+            "CSR offsets end at {}, but the block holds {edge_count} edges",
+            offsets.last().copied().unwrap_or(0)
+        ));
+    }
+    Ok(())
+}
+
+/// Find (and with `repair`, quarantine) stale staging siblings and
+/// orphaned checkpoint slots in scratch subdirectories.
+fn scan_stale(dir: &StorageDir, repair: bool, report: &mut FsckReport) {
+    let mut targets: Vec<PathBuf> = dir.staging_siblings();
+    // Orphaned checkpoints: scratch subdirectories still holding slot
+    // files (their run was killed; a finished run clears them).
+    if let Ok(entries) = std::fs::read_dir(dir.root()) {
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() && CKPT_SLOTS.iter().any(|s| path.join(s).is_file()) {
+                targets.push(path);
+            }
+        }
+    }
+    targets.sort();
+    for path in targets {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("?").to_string();
+        if repair {
+            let qdir = dir.root().join("quarantine");
+            let dest = qdir.join(&name);
+            match std::fs::create_dir_all(&qdir).and_then(|_| std::fs::rename(&path, &dest)) {
+                Ok(()) => report.repairs.push(format!("{name} -> quarantine/{name}")),
+                Err(e) => report.issues.push(format!("quarantine of {name} failed: {e}")),
+            }
+        } else {
+            report.stale.push(name);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build, BuildConfig};
+    use hus_gen::rmat::rmat;
+
+    fn built(p: u32) -> (tempfile::TempDir, StorageDir) {
+        let el = rmat(150, 900, 17, Default::default());
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("g")).unwrap();
+        build(&el, &dir, &BuildConfig::with_p(p)).unwrap();
+        (tmp, dir)
+    }
+
+    #[test]
+    fn clean_directory_passes() {
+        let (_t, dir) = built(3);
+        let report = fsck(&dir, false).unwrap();
+        assert!(report.is_clean(), "{}", report.render());
+        assert_eq!(report.generation, Some(1));
+        // meta + degrees + 4 files per interval.
+        assert_eq!(report.files_checked, 2 + 4 * 3);
+        // 2 shard kinds × 2 file kinds × p files × p blocks.
+        assert_eq!(report.blocks_checked, 4 * 3 * 3);
+        assert!(report.render().contains("status: clean"));
+    }
+
+    #[test]
+    fn flipped_payload_byte_is_pinned_to_its_block() {
+        let (_t, dir) = built(3);
+        let name = GraphMeta::out_edges_file(1);
+        let path = dir.path(&name);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] ^= 0x01; // first payload byte = block 0 of out-shard 1
+        std::fs::write(&path, &bytes).unwrap();
+        let report = fsck(&dir, false).unwrap();
+        assert!(!report.is_clean());
+        assert!(
+            report.issues.iter().any(|i| i.contains(&name) && i.contains("block 0")),
+            "issue names file and block: {:?}",
+            report.issues
+        );
+    }
+
+    #[test]
+    fn truncated_and_missing_files_are_reported_not_fatal() {
+        let (_t, dir) = built(3);
+        std::fs::remove_file(dir.path(&GraphMeta::in_index_file(0))).unwrap();
+        let path = dir.path(&GraphMeta::out_index_file(2));
+        let len = std::fs::metadata(&path).unwrap().len();
+        std::fs::OpenOptions::new().write(true).open(&path).unwrap().set_len(len - 3).unwrap();
+        let report = fsck(&dir, false).unwrap();
+        assert!(report.issues.iter().any(|i| i.contains("in_0.index")), "{:?}", report.issues);
+        assert!(report.issues.iter().any(|i| i.contains("out_2.index")), "{:?}", report.issues);
+    }
+
+    #[test]
+    fn repair_quarantines_staging_and_orphaned_checkpoints() {
+        let (_t, dir) = built(2);
+        // Stale staging sibling (simulated crash: no Drop).
+        let staging = dir.staging().unwrap();
+        staging.dir().put_meta("partial.bin", "x").unwrap();
+        std::mem::forget(staging);
+        // Orphaned checkpoint in a scratch dir.
+        let scratch = dir.subdir("scratch_dead").unwrap();
+        let mut mgr = crate::checkpoint::CheckpointManager::new(scratch, 4);
+        mgr.save(1, &[1u32, 2, 3, 4], &crate::ActiveSet::new(4)).unwrap();
+
+        let before = fsck(&dir, false).unwrap();
+        assert!(before.is_clean(), "stale leftovers are not corruption");
+        assert_eq!(before.stale.len(), 2, "{:?}", before.stale);
+
+        let repaired = fsck(&dir, true).unwrap();
+        assert_eq!(repaired.repairs.len(), 2, "{:?}", repaired.repairs);
+        assert!(dir.staging_siblings().is_empty());
+        assert!(!dir.path("scratch_dead").exists());
+        assert!(dir.root().join("quarantine").is_dir());
+
+        let after = fsck(&dir, false).unwrap();
+        assert!(after.is_clean());
+        assert!(after.stale.is_empty());
+    }
+
+    #[test]
+    fn legacy_directory_without_manifest_is_checked_deeply() {
+        let (_t, dir) = built(2);
+        std::fs::remove_file(dir.path(hus_storage::MANIFEST_FILE)).unwrap();
+        let report = fsck(&dir, false).unwrap();
+        assert!(report.is_clean(), "{}", report.render());
+        assert_eq!(report.generation, None);
+        assert!(report.blocks_checked > 0, "deep checks still run");
+    }
+}

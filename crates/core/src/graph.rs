@@ -4,12 +4,53 @@ use crate::builder::{build, BuildConfig};
 use crate::meta::{GraphMeta, DEGREES_FILE, META_FILE};
 use hus_codec::Codec;
 use hus_gen::EdgeList;
-use hus_storage::checksum::ShardFooter;
+use hus_storage::checksum::{footer_len, ShardFooter};
 use hus_storage::{
-    Access, BlockSpan, CodecBackend, RangeRead, ReadBackend, Result, StorageDir, StorageError,
+    Access, BlockSpan, BuildManifest, CodecBackend, RangeRead, ReadBackend, Result, StorageDir,
+    StorageError,
 };
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
+/// Layout check for pre-`MANIFEST` (legacy) directories: recompute
+/// every data file's expected length from `meta.json` and verify
+/// existence + length, mirroring what
+/// [`BuildManifest::verify_files`] does for manifest-bearing
+/// directories. Deep CRC verification stays the job of `hus fsck`.
+fn verify_legacy_layout(dir: &StorageDir, meta: &GraphMeta) -> Result<()> {
+    let p = meta.p as usize;
+    let foot = if meta.checksums { footer_len(p) } else { 0 };
+    let mut expected: Vec<(String, u64)> = Vec::with_capacity(4 * p + 1);
+    for i in 0..p {
+        let out_edges: u64 = (0..p).map(|j| meta.out_block(i, j).encoded_bytes).sum();
+        let in_edges: u64 = (0..p).map(|ii| meta.in_block(ii, i).encoded_bytes).sum();
+        let index = p as u64 * (meta.interval_len(i) as u64 + 1) * crate::meta::INDEX_ENTRY_BYTES;
+        expected.push((GraphMeta::out_edges_file(i), out_edges + foot));
+        expected.push((GraphMeta::out_index_file(i), index + foot));
+        expected.push((GraphMeta::in_edges_file(i), in_edges + foot));
+        expected.push((GraphMeta::in_index_file(i), index + foot));
+    }
+    expected.push((DEGREES_FILE.to_string(), 4 * meta.num_vertices as u64));
+    for (name, want) in expected {
+        match std::fs::metadata(dir.path(&name)) {
+            Err(_) => {
+                return Err(StorageError::IncompleteBuild {
+                    path: dir.root().to_path_buf(),
+                    detail: format!("{name} is missing (meta.json expects {want} bytes)"),
+                })
+            }
+            Ok(md) if md.len() != want => {
+                return Err(StorageError::ManifestMismatch {
+                    path: dir.root().to_path_buf(),
+                    file: name,
+                    detail: format!("expected {want} bytes (from meta.json), found {}", md.len()),
+                })
+            }
+            Ok(_) => {}
+        }
+    }
+    Ok(())
+}
 
 /// Per-file, per-block CRC-32C tables loaded from the shard footers of a
 /// checksummed graph (`GraphMeta::checksums`). Outer index is the shard
@@ -51,10 +92,36 @@ impl HusGraph {
     }
 
     /// Open a previously built graph directory.
+    ///
+    /// Opening validates the directory against its generation-stamped
+    /// `MANIFEST` (every data file present with its recorded length);
+    /// a directory left behind by an interrupted build or partial
+    /// deletion is rejected with a typed
+    /// [`StorageError::IncompleteBuild`] /
+    /// [`StorageError::ManifestMismatch`] naming the offending file.
+    /// Legacy directories without a `MANIFEST` get an equivalent check
+    /// computed from `meta.json` (DESIGN.md §10).
     pub fn open(dir: StorageDir) -> Result<Self> {
-        let meta: GraphMeta = serde_json::from_str(&dir.get_meta(META_FILE)?)
+        let manifest = BuildManifest::load_from(dir.root())?;
+        let meta_text = match dir.get_meta(META_FILE) {
+            Ok(text) => text,
+            Err(e) if !dir.exists(META_FILE) => {
+                return Err(StorageError::IncompleteBuild {
+                    path: dir.root().to_path_buf(),
+                    detail: format!(
+                        "{META_FILE} is missing — interrupted or partially deleted build ({e})"
+                    ),
+                })
+            }
+            Err(e) => return Err(e),
+        };
+        let meta: GraphMeta = serde_json::from_str(&meta_text)
             .map_err(|e| StorageError::Corrupt(format!("bad meta.json: {e}")))?;
         meta.validate().map_err(StorageError::Corrupt)?;
+        match &manifest {
+            Some(m) => m.verify_files(dir.root())?,
+            None => verify_legacy_layout(&dir, &meta)?,
+        }
         let p = meta.p as usize;
         // Degrees are loaded once at open; like the manifest this is
         // setup, so it is read untracked via std I/O.
@@ -681,6 +748,62 @@ mod tests {
         let tmp = tempfile::tempdir().unwrap();
         let dir = StorageDir::create(tmp.path().join("empty")).unwrap();
         assert!(HusGraph::open(dir).is_err());
+    }
+
+    fn built_dir(el: &EdgeList, p: u32) -> (tempfile::TempDir, StorageDir) {
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("g")).unwrap();
+        build(el, &dir, &BuildConfig::with_p(p)).unwrap();
+        (tmp, dir)
+    }
+
+    #[test]
+    fn open_rejects_partially_deleted_dir_naming_the_file() {
+        let el = rmat(120, 700, 13, RmatConfig::default());
+        let (_tmp, dir) = built_dir(&el, 3);
+        std::fs::remove_file(dir.path(&GraphMeta::out_edges_file(1))).unwrap();
+        match HusGraph::open(dir) {
+            Err(StorageError::IncompleteBuild { detail, .. }) => {
+                assert!(detail.contains("out_1.edges"), "names the file: {detail}");
+            }
+            Err(other) => panic!("expected IncompleteBuild, got {other:?}"),
+            Ok(_) => panic!("open accepted an incomplete directory"),
+        }
+    }
+
+    #[test]
+    fn open_rejects_truncated_shard_with_typed_error() {
+        let el = rmat(120, 700, 13, RmatConfig::default());
+        let (_tmp, dir) = built_dir(&el, 3);
+        let path = dir.path(&GraphMeta::in_index_file(2));
+        let len = std::fs::metadata(&path).unwrap().len();
+        std::fs::OpenOptions::new().write(true).open(&path).unwrap().set_len(len - 7).unwrap();
+        match HusGraph::open(dir) {
+            Err(StorageError::ManifestMismatch { file, detail, .. }) => {
+                assert_eq!(file, "in_2.index");
+                assert!(detail.contains("found"), "states found length: {detail}");
+            }
+            Err(other) => panic!("expected ManifestMismatch, got {other:?}"),
+            Ok(_) => panic!("open accepted a truncated file"),
+        }
+    }
+
+    #[test]
+    fn legacy_dir_without_manifest_still_opens_and_is_still_checked() {
+        let el = rmat(120, 700, 13, RmatConfig::default());
+        let (_tmp, dir) = built_dir(&el, 3);
+        std::fs::remove_file(dir.path(hus_storage::MANIFEST_FILE)).unwrap();
+        // Pre-manifest layouts open fine...
+        HusGraph::open(dir.clone()).unwrap();
+        // ...and still get an equivalent completeness check from meta.
+        std::fs::remove_file(dir.path(DEGREES_FILE)).unwrap();
+        match HusGraph::open(dir) {
+            Err(StorageError::IncompleteBuild { detail, .. }) => {
+                assert!(detail.contains(DEGREES_FILE), "names the file: {detail}");
+            }
+            Err(other) => panic!("expected IncompleteBuild, got {other:?}"),
+            Ok(_) => panic!("open accepted an incomplete directory"),
+        }
     }
 
     #[test]

@@ -40,9 +40,11 @@
 
 pub mod active;
 pub mod builder;
+pub mod checkpoint;
 pub mod cop;
 pub mod engine;
 pub mod external;
+pub mod fsck;
 pub mod graph;
 pub mod meta;
 pub mod partition;
@@ -56,11 +58,12 @@ pub use active::ActiveSet;
 pub use builder::{build, BuildConfig, PartitionStrategy};
 pub use engine::{Engine, RunConfig, SelectionGranularity, Synchrony, UpdateMode};
 pub use external::{build_external, BinaryFileSource, EdgeSource, ListSource};
+pub use fsck::{fsck, FsckReport};
 pub use graph::HusGraph;
 pub use meta::{BlockMeta, GraphMeta};
 pub use predict::{Predictor, UpdateModel};
 pub use program::{EdgeCtx, VertexProgram};
-pub use stats::{IterationStats, RunStats};
+pub use stats::{CheckpointStats, IterationStats, RunStats};
 
 /// Re-export of the vertex id type used across the workspace.
 pub type VertexId = hus_gen::VertexId;

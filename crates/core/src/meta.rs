@@ -195,6 +195,25 @@ impl GraphMeta {
         format!("in_{j}.index")
     }
 
+    /// Every data file of a graph with `p` intervals, in deterministic
+    /// build order, each paired with whether it carries a per-block
+    /// checksum footer (all shard and index files do; the degree table
+    /// does not). This is the file set the build `MANIFEST` records
+    /// and open-time validation / `hus fsck` walk.
+    pub fn data_files(p: u32) -> Vec<(String, bool)> {
+        let mut out = Vec::with_capacity(4 * p as usize + 1);
+        for i in 0..p as usize {
+            out.push((Self::out_edges_file(i), true));
+            out.push((Self::out_index_file(i), true));
+        }
+        for j in 0..p as usize {
+            out.push((Self::in_edges_file(j), true));
+            out.push((Self::in_index_file(j), true));
+        }
+        out.push((DEGREES_FILE.to_string(), false));
+        out
+    }
+
     /// Validate internal consistency (boundaries monotone, block counts
     /// match `p`², edge totals add up).
     pub fn validate(&self) -> Result<(), String> {

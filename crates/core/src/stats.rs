@@ -72,6 +72,23 @@ pub struct RunStats {
     /// readahead→sync) and checksum failures. All zero on a healthy run;
     /// see DESIGN.md §9.
     pub resilience: ResilienceSnapshot,
+    /// Checkpoint/restore activity (`RunConfig::checkpoint_every` /
+    /// `HUS_CKPT`); all zero when checkpointing is off. See DESIGN.md
+    /// §10.
+    pub checkpoints: CheckpointStats,
+}
+
+/// Checkpoint/restore accounting for one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckpointStats {
+    /// Checkpoints written during the run.
+    pub written: u32,
+    /// Total checkpoint bytes written (not part of the modeled engine
+    /// I/O).
+    pub bytes: u64,
+    /// `Some(k)` when the run resumed from a checkpoint taken at the
+    /// end of iteration `k` (so execution re-entered at `k + 1`).
+    pub resumed_from: Option<u64>,
 }
 
 impl RunStats {
@@ -165,6 +182,7 @@ mod tests {
             converged: true,
             threads: 4,
             resilience: Default::default(),
+            checkpoints: Default::default(),
         };
         let model = CostModel::new(DeviceProfile::hdd());
         let total = stats.modeled_seconds(&model);
@@ -187,6 +205,7 @@ mod tests {
             converged: false,
             threads: 1,
             resilience: Default::default(),
+            checkpoints: Default::default(),
         };
         assert_eq!(stats.iterations_with_model(UpdateModel::Rop), 2);
         assert_eq!(stats.iterations_with_model(UpdateModel::Cop), 1);
@@ -207,6 +226,7 @@ mod tests {
             converged: true,
             threads: 1,
             resilience: Default::default(),
+            checkpoints: Default::default(),
         };
         assert!((stats.io_gb() - 2.0).abs() < 1e-9);
     }
@@ -224,6 +244,7 @@ mod tests {
             converged: true,
             threads: 2,
             resilience: Default::default(),
+            checkpoints: Default::default(),
         };
         let s = serde_json::to_string(&stats).unwrap();
         let back: RunStats = serde_json::from_str(&s).unwrap();
@@ -245,6 +266,7 @@ mod tests {
             converged: true,
             threads: 8,
             resilience: Default::default(),
+            checkpoints: Default::default(),
         };
         let s = stats.summary();
         assert!(!s.contains('\n'));

@@ -24,6 +24,14 @@ pub struct EnvKnob {
 /// fails if a variable is read but not registered here (or vice versa).
 pub const KNOBS: &[EnvKnob] = &[
     EnvKnob {
+        name: "HUS_CKPT",
+        default: "`0`",
+        effect: "checkpoint the full iteration state (vertex values + frontier) into \
+                 the run's scratch directory every this many iterations; a rerun with \
+                 the same scratch resumes bit-identically (`0` disables; see \
+                 `DESIGN.md` §10)",
+    },
+    EnvKnob {
         name: "HUS_CODEC",
         default: "`raw`",
         effect: "per-block edge codec for `hus build` and the builder APIs: `raw` \
@@ -39,6 +47,14 @@ pub const KNOBS: &[EnvKnob] = &[
                  from the cache; `0` disables)",
     },
     EnvKnob {
+        name: "HUS_CRASH_AT",
+        default: "unset",
+        effect: "recovery-test hook: `<point>` (or `<point>:<n>` for the n-th hit) \
+                 kills the process with exit code 86 at that named staged-write \
+                 point, simulating a power cut (see `DESIGN.md` §10; never set in \
+                 production)",
+    },
+    EnvKnob {
         name: "HUS_FAULT",
         default: "unset",
         effect: "storage fault injection for resilience testing, e.g. \
@@ -50,6 +66,13 @@ pub const KNOBS: &[EnvKnob] = &[
         default: "`4096`",
         effect: "max byte gap between selective ROP ranges merged into one batched read \
                  (active only when the device's batched rate beats its random rate)",
+    },
+    EnvKnob {
+        name: "HUS_NO_FSYNC",
+        default: "unset",
+        effect: "`1` disables every fsync in the builders, staging commits and \
+                 checkpoint writer — trades crash durability for speed (test \
+                 suites); the write *ordering* is unchanged",
     },
     EnvKnob {
         name: "HUS_P",

@@ -62,6 +62,20 @@ impl TrackedWriter {
         self.tracker.record_write(self.written);
         Ok(self.written)
     }
+
+    /// Like [`TrackedWriter::finish`], but also fsync the file so the
+    /// bytes are durable before the caller records progress past them
+    /// (subject to the `HUS_NO_FSYNC` escape hatch). Builders use this
+    /// for files whose existence a later crash-recovery phase relies
+    /// on; see DESIGN.md §10.
+    pub fn finish_synced(mut self) -> Result<u64> {
+        self.inner.flush().map_err(|e| StorageError::io_at(&self.path, e))?;
+        if crate::durable::fsync_enabled() {
+            self.inner.get_ref().sync_all().map_err(|e| StorageError::io_at(&self.path, e))?;
+        }
+        self.tracker.record_write(self.written);
+        Ok(self.written)
+    }
 }
 
 /// Chunked sequential scan over a byte range of a backend.

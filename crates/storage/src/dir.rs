@@ -7,9 +7,11 @@
 
 use crate::buffer::TrackedWriter;
 use crate::cache::CachedBackend;
+use crate::durable;
 use crate::error::{Result, StorageError};
 use crate::fault::{FaultInjectBackend, FaultSpec};
 use crate::file::{FileBackend, TrackedFile};
+use crate::manifest::BuildManifest;
 use crate::mmap::MmapBackend;
 use crate::retry::{warn_once, ResilienceTracker, RetryBackend, RetryPolicy};
 use crate::tracker::IoTracker;
@@ -232,6 +234,38 @@ impl StorageDir {
         std::fs::read_to_string(&p).map_err(|e| StorageError::io_at(p, e))
     }
 
+    /// Begin an atomic build of this directory: a same-filesystem
+    /// sibling staging directory `<root>.tmp-<nonce>` sharing this
+    /// directory's tracker, backend and resilience accounting. Write
+    /// the build into [`StagingDir::dir`], then [`StagingDir::commit`]
+    /// to fsync and atomically rename it over this root. Dropping the
+    /// handle without committing removes the staging directory; a
+    /// crash (no `Drop`) leaves it behind for resume or
+    /// `hus fsck --repair` quarantine.
+    pub fn staging(&self) -> Result<StagingDir> {
+        StagingDir::begin(self)
+    }
+
+    /// Leftover `<root>.tmp-*` staging siblings of this directory —
+    /// the residue of crashed builds, candidates for resume
+    /// (external builder) or quarantine (`hus fsck --repair`).
+    pub fn staging_siblings(&self) -> Vec<PathBuf> {
+        staging_siblings_of(&self.root)
+    }
+
+    /// Clone of this handle rooted elsewhere, sharing the tracker,
+    /// backend, resilience counters, retry policy and fault spec.
+    fn rerooted(&self, root: PathBuf) -> StorageDir {
+        StorageDir {
+            root,
+            tracker: Arc::clone(&self.tracker),
+            kind: self.kind,
+            resilience: Arc::clone(&self.resilience),
+            retry: self.retry,
+            faults: self.faults,
+        }
+    }
+
     /// Sum of the sizes of all regular files under the directory —
     /// the on-disk footprint of a representation.
     pub fn disk_footprint(&self) -> Result<u64> {
@@ -250,6 +284,231 @@ impl StorageDir {
         let mut acc = 0;
         walk(&self.root, &mut acc).map_err(|e| StorageError::io_at(self.root.clone(), e))?;
         Ok(acc)
+    }
+}
+
+/// `<base>.<suffix>` next to `base` (same parent directory, so renames
+/// between the two are atomic same-filesystem operations).
+fn sibling_path(base: &Path, suffix: &str) -> PathBuf {
+    let name = base.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+    base.with_file_name(format!("{name}.{suffix}"))
+}
+
+fn staging_siblings_of(root: &Path) -> Vec<PathBuf> {
+    let Some(name) = root.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+        return Vec::new();
+    };
+    let prefix = format!("{name}.tmp-");
+    let Some(parent) = root.parent() else { return Vec::new() };
+    let parent = if parent.as_os_str().is_empty() { Path::new(".") } else { parent };
+    let Ok(entries) = std::fs::read_dir(parent) else { return Vec::new() };
+    let mut out: Vec<PathBuf> = entries
+        .flatten()
+        .filter(|e| e.file_name().to_string_lossy().starts_with(&prefix) && e.path().is_dir())
+        .map(|e| e.path())
+        .collect();
+    out.sort();
+    out
+}
+
+/// An in-progress atomic build of a [`StorageDir`] (see
+/// [`StorageDir::staging`]).
+///
+/// The commit protocol (DESIGN.md §10): fsync every staged file, fsync
+/// the staging directory, atomically rename it over the target root,
+/// fsync the parent directory. A crash before the rename leaves the
+/// target untouched; after it, the target is the complete new build.
+pub struct StagingDir {
+    dir: StorageDir,
+    target_root: PathBuf,
+    nonce: String,
+    generation: u64,
+    committed: bool,
+}
+
+impl StagingDir {
+    fn begin(target: &StorageDir) -> Result<Self> {
+        let nonce = format!(
+            "{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos())
+                .unwrap_or(0)
+        );
+        let root = sibling_path(&target.root, &format!("tmp-{nonce}"));
+        std::fs::create_dir_all(&root).map_err(|e| StorageError::io_at(&root, e))?;
+        Ok(StagingDir {
+            dir: target.rerooted(root),
+            target_root: target.root.clone(),
+            nonce,
+            generation: BuildManifest::next_generation(&target.root),
+            committed: false,
+        })
+    }
+
+    /// Adopt an existing staging sibling (from
+    /// [`StorageDir::staging_siblings`]) left behind by a crashed
+    /// build, so a resumable builder can continue where it stopped.
+    pub fn adopt(target: &StorageDir, staging_root: PathBuf) -> Result<Self> {
+        if !staging_root.is_dir() {
+            return Err(StorageError::MissingFile(staging_root));
+        }
+        let nonce = staging_root
+            .file_name()
+            .and_then(|n| n.to_string_lossy().rsplit_once(".tmp-").map(|(_, s)| s.to_string()))
+            .unwrap_or_else(|| format!("{}", std::process::id()));
+        Ok(StagingDir {
+            dir: target.rerooted(staging_root),
+            target_root: target.root.clone(),
+            nonce,
+            generation: BuildManifest::next_generation(&target.root),
+            committed: false,
+        })
+    }
+
+    /// The staging directory to write the build into.
+    pub fn dir(&self) -> &StorageDir {
+        &self.dir
+    }
+
+    /// Generation number this build will stamp into its manifest.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Make the staged build durable and atomically swap it into place
+    /// at the target root. On return the target directory is the new
+    /// build; the staging directory no longer exists.
+    pub fn commit(mut self) -> Result<()> {
+        sync_tree(self.dir.root())?;
+        durable::crash_point("build.pre_rename");
+        let staging = self.dir.root().to_path_buf();
+        match std::fs::rename(&staging, &self.target_root) {
+            Ok(()) => {}
+            Err(_) => {
+                // The target exists and is non-empty (a rebuild):
+                // rename it aside, swap in the staging dir, drop the
+                // old build. A crash between the two renames leaves
+                // the target absent — a state open-time validation
+                // reports cleanly.
+                let old = sibling_path(&self.target_root, &format!("old-{}", self.nonce));
+                std::fs::rename(&self.target_root, &old)
+                    .map_err(|e| StorageError::io_at(&self.target_root, e))?;
+                std::fs::rename(&staging, &self.target_root)
+                    .map_err(|e| StorageError::io_at(&staging, e))?;
+                let _ = std::fs::remove_dir_all(&old);
+            }
+        }
+        durable::sync_parent_dir(&self.target_root)?;
+        durable::crash_point("build.post_rename");
+        self.committed = true;
+        Ok(())
+    }
+}
+
+impl Drop for StagingDir {
+    fn drop(&mut self) {
+        if !self.committed {
+            // Failed (errored) build: clean up. A *crash* never runs
+            // this, deliberately leaving the staging dir for resume.
+            let _ = std::fs::remove_dir_all(self.dir.root());
+        }
+    }
+}
+
+/// Fsync every regular file and directory under `root`, depth-first
+/// (no-op under `HUS_NO_FSYNC=1`).
+fn sync_tree(root: &Path) -> Result<()> {
+    if !durable::fsync_enabled() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(root).map_err(|e| StorageError::io_at(root, e))? {
+        let entry = entry.map_err(|e| StorageError::io_at(root, e))?;
+        let path = entry.path();
+        if path.is_dir() {
+            sync_tree(&path)?;
+        } else {
+            durable::sync_file(&path)?;
+        }
+    }
+    durable::sync_dir(root)
+}
+
+#[cfg(test)]
+mod staging_tests {
+    use super::*;
+
+    #[test]
+    fn commit_swaps_staging_over_empty_target() {
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("g")).unwrap();
+        let staging = dir.staging().unwrap();
+        assert_eq!(staging.generation(), 1);
+        staging.dir().put_meta("hello.txt", "hi").unwrap();
+        let staging_root = staging.dir().root().to_path_buf();
+        assert!(staging_root.is_dir());
+        staging.commit().unwrap();
+        assert!(!staging_root.exists(), "staging dir must be gone after commit");
+        assert_eq!(dir.get_meta("hello.txt").unwrap(), "hi");
+    }
+
+    #[test]
+    fn commit_replaces_nonempty_target_and_bumps_generation() {
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("g")).unwrap();
+        dir.put_meta("stale.txt", "old").unwrap();
+        BuildManifest::new(4).write_to(dir.root()).unwrap();
+        let staging = dir.staging().unwrap();
+        assert_eq!(staging.generation(), 5, "generation continues from the old manifest");
+        staging.dir().put_meta("fresh.txt", "new").unwrap();
+        staging.commit().unwrap();
+        assert!(!dir.exists("stale.txt"), "old build contents are replaced wholesale");
+        assert_eq!(dir.get_meta("fresh.txt").unwrap(), "new");
+        // No .old- or .tmp- residue.
+        assert!(dir.staging_siblings().is_empty());
+        let residue: Vec<_> = std::fs::read_dir(tmp.path())
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n != "g")
+            .collect();
+        assert!(residue.is_empty(), "leftovers: {residue:?}");
+    }
+
+    #[test]
+    fn dropped_staging_cleans_up_and_siblings_are_listed() {
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("g")).unwrap();
+        {
+            let staging = dir.staging().unwrap();
+            staging.dir().put_meta("x", "y").unwrap();
+            assert_eq!(dir.staging_siblings().len(), 1);
+        } // dropped uncommitted
+        assert!(dir.staging_siblings().is_empty(), "drop must clean up");
+
+        // A crashed build's leftover (simulated by creating one
+        // manually) is listed and adoptable.
+        let leftover = tmp.path().join("g.tmp-dead");
+        std::fs::create_dir(&leftover).unwrap();
+        std::fs::write(leftover.join("partial.bin"), [0u8; 3]).unwrap();
+        assert_eq!(dir.staging_siblings(), vec![leftover.clone()]);
+        let adopted = StagingDir::adopt(&dir, leftover).unwrap();
+        assert!(adopted.dir().exists("partial.bin"));
+        adopted.commit().unwrap();
+        assert!(dir.exists("partial.bin"));
+    }
+
+    #[test]
+    fn staging_shares_the_io_tracker() {
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("g")).unwrap();
+        let staging = dir.staging().unwrap();
+        let mut w = staging.dir().writer("data.bin").unwrap();
+        w.write_all(&[0u8; 64]).unwrap();
+        w.finish().unwrap();
+        assert_eq!(dir.tracker().snapshot().write_bytes, 64);
+        staging.commit().unwrap();
     }
 }
 

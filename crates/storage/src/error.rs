@@ -50,6 +50,29 @@ pub enum StorageError {
         /// CRC-32C computed over the bytes actually read.
         actual: u32,
     },
+    /// A graph directory is not a complete build: its `MANIFEST` is
+    /// missing or torn, or a file the build must produce never made it
+    /// to disk. Raised by open-time validation so an interrupted build
+    /// (crash before the atomic rename, partial deletion) surfaces as
+    /// one actionable error instead of an arbitrary downstream I/O
+    /// failure. See DESIGN.md §10.
+    IncompleteBuild {
+        /// Root of the offending graph directory.
+        path: PathBuf,
+        /// What exactly is incomplete (names the missing piece).
+        detail: String,
+    },
+    /// A file disagrees with what the directory's `MANIFEST` (or, for
+    /// pre-manifest legacy dirs, `meta.json`) says it should be —
+    /// typically a length mismatch from truncation.
+    ManifestMismatch {
+        /// Root of the offending graph directory.
+        path: PathBuf,
+        /// Name of the file that disagrees.
+        file: String,
+        /// How it disagrees (expected vs found).
+        detail: String,
+    },
 }
 
 impl StorageError {
@@ -89,6 +112,8 @@ impl StorageError {
             StorageError::Corrupt(_)
                 | StorageError::ChecksumMismatch { .. }
                 | StorageError::BadCast { .. }
+                | StorageError::IncompleteBuild { .. }
+                | StorageError::ManifestMismatch { .. }
         )
     }
 }
@@ -114,6 +139,12 @@ impl fmt::Display for StorageError {
                 block.0,
                 block.1
             ),
+            StorageError::IncompleteBuild { path, detail } => {
+                write!(f, "incomplete build at {}: {detail}", path.display())
+            }
+            StorageError::ManifestMismatch { path, file, detail } => {
+                write!(f, "manifest mismatch in {}: {file}: {detail}", path.display())
+            }
         }
     }
 }
@@ -191,5 +222,29 @@ mod tests {
         assert!(msg.contains("8192"), "{msg}");
         assert!(msg.contains("0xDEADBEEF"), "{msg}");
         assert!(!StorageError::OutOfBounds { offset: 0, len: 1, file_len: 0 }.is_corruption());
+    }
+
+    #[test]
+    fn build_lifecycle_errors_classify_as_corruption() {
+        let incomplete = StorageError::IncompleteBuild {
+            path: "/tmp/g".into(),
+            detail: "out_1.edges is missing".into(),
+        };
+        assert!(incomplete.is_corruption());
+        assert!(!incomplete.is_transient());
+        let msg = incomplete.to_string();
+        assert!(msg.contains("incomplete build"), "{msg}");
+        assert!(msg.contains("out_1.edges"), "{msg}");
+
+        let mismatch = StorageError::ManifestMismatch {
+            path: "/tmp/g".into(),
+            file: "out_0.index".into(),
+            detail: "expected 128 bytes, found 100".into(),
+        };
+        assert!(mismatch.is_corruption());
+        assert!(!mismatch.is_transient());
+        let msg = mismatch.to_string();
+        assert!(msg.contains("out_0.index"), "{msg}");
+        assert!(msg.contains("expected 128 bytes, found 100"), "{msg}");
     }
 }

@@ -29,6 +29,11 @@
 //!   CRC-32C shard footers, deterministic fault injection (`HUS_FAULT`),
 //!   and transparent retry with bounded backoff plus degradation paths
 //!   (mmap→file, batched→per-range). See DESIGN.md §9.
+//! * [`manifest`] / [`durable`] / [`StagingDir`] — the crash-consistent
+//!   build lifecycle: sibling staging directories committed by atomic
+//!   rename, generation-stamped `MANIFEST` files, fsync discipline with
+//!   a `HUS_NO_FSYNC` escape hatch, and `HUS_CRASH_AT` crash points for
+//!   the recovery test harness. See DESIGN.md §10.
 
 #![warn(missing_docs)]
 
@@ -38,9 +43,11 @@ pub mod checksum;
 pub mod codec_backend;
 pub mod device;
 pub mod dir;
+pub mod durable;
 pub mod error;
 pub mod fault;
 pub mod file;
+pub mod manifest;
 pub mod mmap;
 pub mod pod;
 pub mod probe;
@@ -52,10 +59,11 @@ pub use cache::{CacheStats, CachedBackend};
 pub use checksum::{crc32c, Crc32c, ShardFooter};
 pub use codec_backend::{BlockSpan, CodecBackend};
 pub use device::{CostModel, DeviceProfile, Throughput};
-pub use dir::{BackendKind, StorageDir};
+pub use dir::{BackendKind, StagingDir, StorageDir};
 pub use error::{Result, StorageError};
 pub use fault::{FaultInjectBackend, FaultSpec};
 pub use file::FileBackend;
+pub use manifest::{BuildManifest, ManifestEntry, MANIFEST_FILE};
 pub use mmap::MmapBackend;
 pub use pod::Pod;
 pub use retry::{ResilienceSnapshot, ResilienceTracker, RetryBackend, RetryPolicy};

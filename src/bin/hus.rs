@@ -4,6 +4,7 @@
 //! hus gen    <rmat|er|ws|ba> <vertices> <edges-or-param> <out.husg> [--seed N] [--weighted]
 //! hus build  <edges.{husg,txt}> <graph-dir> [--p N] [--external] [--codec raw|delta-varint]
 //! hus stats  <graph-dir>
+//! hus fsck   <graph-dir> [--repair]
 //! hus bfs    <graph-dir> <source> [--mode hybrid|rop|cop]
 //! hus sssp   <graph-dir> <source> [--mode ...]
 //! hus wcc    <graph-dir> [--mode ...]
@@ -42,6 +43,7 @@ const USAGE: &str = "usage:
   hus gen <rmat|er|ws|ba> <vertices> <edges> <out.husg> [--seed N] [--weighted]
   hus build <edges.{husg,txt}> <graph-dir> [--p N] [--external] [--codec raw|delta-varint]
   hus stats <graph-dir>
+  hus fsck <graph-dir> [--repair]
   hus bfs <graph-dir> <source> [--mode hybrid|rop|cop]
   hus sssp <graph-dir> <source> [--mode hybrid|rop|cop]
   hus wcc <graph-dir> [--mode hybrid|rop|cop]
@@ -60,6 +62,7 @@ fn run(args: &[String]) -> CliResult {
         "gen" => cmd_gen(&rest),
         "build" => cmd_build(&rest),
         "stats" => cmd_stats(&rest),
+        "fsck" => cmd_fsck(&rest),
         "bfs" => cmd_algo(&rest, Algo::Bfs),
         "sssp" => cmd_algo(&rest, Algo::Sssp),
         "wcc" => cmd_algo(&rest, Algo::Wcc),
@@ -179,6 +182,19 @@ fn cmd_stats(rest: &[&String]) -> CliResult {
     for i in 0..g.p() {
         let row: u64 = (0..g.p()).map(|j| meta.out_block(i, j).edge_count).sum();
         println!("  interval {i}: vertices {:8}, out-edges {row}", meta.interval_len(i));
+    }
+    Ok(())
+}
+
+/// Deep integrity check: exits non-zero (without the generic usage
+/// banner) when the directory is corrupt, so scripts and CI can gate on
+/// it.
+fn cmd_fsck(rest: &[&String]) -> CliResult {
+    let dir = StorageDir::open(positional(rest, 0)?).map_err(|e| e.to_string())?;
+    let report = hus_core::fsck(&dir, has_flag(rest, "--repair")).map_err(|e| e.to_string())?;
+    print!("{}", report.render());
+    if !report.is_clean() {
+        std::process::exit(1);
     }
     Ok(())
 }

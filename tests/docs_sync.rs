@@ -137,6 +137,39 @@ fn format_md_file_names_match_source() {
     }
 }
 
+/// The crash-consistency artifacts documented in FORMAT.md — the build
+/// `MANIFEST` and the engine's checkpoint slots — must match the
+/// source constants byte for byte.
+#[test]
+fn format_md_lifecycle_constants_match_source() {
+    use husgraph::core::checkpoint::{CKPT_HEADER_BYTES, CKPT_MAGIC, CKPT_SLOTS, CKPT_VERSION};
+    use husgraph::storage::manifest::{
+        MANIFEST_FILE, MANIFEST_MAGIC, MANIFEST_VERSION, TRAILER_PREFIX,
+    };
+
+    let fmt = read("docs/FORMAT.md");
+    for row in [
+        format!("| `MANIFEST_VERSION` | {MANIFEST_VERSION} |"),
+        format!("| `CKPT_MAGIC` | `0x{CKPT_MAGIC:08X}` |"),
+        format!("| `CKPT_VERSION` | {CKPT_VERSION} |"),
+        format!("| `CKPT_HEADER_BYTES` | {CKPT_HEADER_BYTES} |"),
+    ] {
+        assert!(fmt.contains(&row), "docs/FORMAT.md is missing or has a stale row: {row}");
+    }
+
+    // The magic really is the bytes "HUSK", as the doc claims, and the
+    // documented file/line tokens are the source-of-truth values.
+    assert_eq!(CKPT_MAGIC.to_le_bytes(), *b"HUSK");
+    assert_eq!(MANIFEST_FILE, "MANIFEST");
+    for token in [MANIFEST_FILE, MANIFEST_MAGIC, TRAILER_PREFIX, "progress.json"] {
+        assert!(fmt.contains(token), "docs/FORMAT.md never mentions `{token}`");
+    }
+    for slot in CKPT_SLOTS {
+        assert!(fmt.contains(slot), "docs/FORMAT.md never mentions checkpoint slot `{slot}`");
+    }
+    assert_eq!(husgraph::core::external::PROGRESS_FILE, "progress.json");
+}
+
 fn sample_meta() -> husgraph::core::GraphMeta {
     husgraph::core::GraphMeta {
         num_vertices: 2,

@@ -1,0 +1,264 @@
+//! Crash-recovery: the crash-at-any-point property for both builders,
+//! resumable external builds, and checkpointed engine runs.
+//!
+//! The harness re-executes this test binary as a child process with
+//! `HUS_CRASH_AT=<point>` armed, so the child genuinely dies (exit code
+//! [`CRASH_EXIT_CODE`], no `Drop` cleanup, buffered writes lost) at each
+//! staged write point. The parent then asserts the contract from
+//! DESIGN.md §10: after a crash at *any* point, the target directory is
+//! either absent, fully valid (deep-verified by `fsck`), or `open()`
+//! fails with a typed `IncompleteBuild`/`ManifestMismatch` error —
+//! never silently wrong. On top of that, interrupted external builds
+//! must resume to byte-identical output, and a killed checkpointed
+//! engine run must resume to bit-identical PageRank values.
+//!
+//! The guarded `recovery_child_*` tests are the child-process entry
+//! points: inert (they return immediately) unless `RECOVERY_CHILD`
+//! names them, so a normal `cargo test` run is unaffected.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use husgraph::algos::PageRank;
+use husgraph::core::{build_external, fsck, BuildConfig, Engine, HusGraph, ListSource, RunConfig};
+use husgraph::gen::EdgeList;
+use husgraph::storage::durable::CRASH_EXIT_CODE;
+use husgraph::storage::{StorageDir, StorageError};
+
+/// Deterministic workload shared by parent and child processes.
+fn edges() -> EdgeList {
+    husgraph::gen::rmat(600, 5_000, 42, Default::default())
+}
+
+fn build_config() -> BuildConfig {
+    BuildConfig::with_p(3)
+}
+
+/// Engine config for the kill/resume test: single-threaded (so float
+/// accumulation order is fixed and bitwise comparison is meaningful),
+/// checkpoint every 2 iterations into a well-known scratch name.
+fn engine_config() -> RunConfig {
+    RunConfig {
+        threads: 1,
+        max_iterations: 8,
+        checkpoint_every: 2,
+        scratch_name: Some("rck".into()),
+        ..Default::default()
+    }
+}
+
+fn child_role() -> Option<String> {
+    std::env::var("RECOVERY_CHILD").ok()
+}
+
+fn recovery_dir() -> PathBuf {
+    PathBuf::from(std::env::var("RECOVERY_DIR").expect("RECOVERY_DIR set for child"))
+}
+
+/// Child entry point: in-memory build of the shared workload.
+#[test]
+fn recovery_child_mem_build() {
+    if child_role().as_deref() != Some("mem_build") {
+        return;
+    }
+    let dir = StorageDir::create(recovery_dir().join("g")).unwrap();
+    HusGraph::build_into(&edges(), &dir, &build_config()).unwrap();
+}
+
+/// Child entry point: external (streaming) build of the shared workload.
+#[test]
+fn recovery_child_ext_build() {
+    if child_role().as_deref() != Some("ext_build") {
+        return;
+    }
+    let el = edges();
+    let dir = StorageDir::create(recovery_dir().join("g")).unwrap();
+    build_external(&ListSource(&el), &dir, &build_config()).unwrap();
+}
+
+/// Child entry point: checkpointed PageRank over a pre-built graph.
+#[test]
+fn recovery_child_engine_run() {
+    if child_role().as_deref() != Some("engine_run") {
+        return;
+    }
+    let g = HusGraph::open(StorageDir::open(recovery_dir().join("g")).unwrap()).unwrap();
+    let pr = PageRank::new(g.meta().num_vertices);
+    Engine::new(&g, &pr, engine_config()).run().unwrap();
+}
+
+/// Re-execute this test binary running exactly `test` with
+/// `HUS_CRASH_AT=crash_at` armed; returns the child's exit code.
+/// `HUS_NO_FSYNC=1` keeps the sweep fast — crash points fire via
+/// `process::exit`, so buffered-but-unflushed data is lost either way.
+fn run_child(test: &str, role: &str, dir: &Path, crash_at: &str) -> Option<i32> {
+    let status = Command::new(std::env::current_exe().unwrap())
+        .arg(test)
+        .arg("--exact")
+        .arg("--test-threads=1")
+        .env("RECOVERY_CHILD", role)
+        .env("RECOVERY_DIR", dir)
+        .env("HUS_CRASH_AT", crash_at)
+        .env("HUS_NO_FSYNC", "1")
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .status()
+        .unwrap();
+    status.code()
+}
+
+/// The §10 contract: after a crash, the target is absent, fully valid
+/// (deep-verified), or rejected by `open()` with a typed lifecycle
+/// error. Anything else is silent corruption.
+fn assert_crash_left_consistent_state(target: &Path, point: &str) {
+    if !target.exists() {
+        return; // crash before the staging dir was even created
+    }
+    let dir = StorageDir::open(target).unwrap();
+    match HusGraph::open(dir.clone()) {
+        Ok(_) => {
+            let report = fsck(&dir, false).unwrap();
+            assert!(
+                report.is_clean(),
+                "crash at `{point}`: directory opened but fsck disagrees:\n{}",
+                report.render()
+            );
+        }
+        Err(StorageError::IncompleteBuild { .. }) | Err(StorageError::ManifestMismatch { .. }) => {}
+        Err(other) => panic!("crash at `{point}` surfaced as an untyped error: {other}"),
+    }
+}
+
+/// Crash the given builder child at `point`, check the §10 contract,
+/// then rebuild over the crashed state and require a clean result.
+fn crash_then_recover(test: &str, role: &str, point: &str, rebuild: impl Fn(&StorageDir)) {
+    let tmp = tempfile::tempdir().unwrap();
+    let code = run_child(test, role, tmp.path(), point);
+    assert_eq!(code, Some(CRASH_EXIT_CODE), "point `{point}` never fired (exit {code:?})");
+
+    let target = tmp.path().join("g");
+    assert_crash_left_consistent_state(&target, point);
+
+    // Recovery: building again over whatever the crash left behind must
+    // succeed and deep-verify clean.
+    let dir = StorageDir::create(&target).unwrap();
+    rebuild(&dir);
+    let report = fsck(&dir, false).unwrap();
+    assert!(report.is_clean(), "rebuild after `{point}` not clean:\n{}", report.render());
+    let g = HusGraph::open(dir).unwrap();
+    assert_eq!(g.meta().num_edges, edges().num_edges() as u64);
+}
+
+#[test]
+fn in_memory_build_crash_at_any_point_is_never_silently_wrong() {
+    // Every staged write point of the in-memory builder, including a
+    // torn shard (`build.shard_mid` fires with writes still buffered)
+    // and both sides of the atomic rename.
+    for point in [
+        "build.shard_mid",
+        "build.shard",
+        "build.shard:3",
+        "build.degrees",
+        "build.meta",
+        "build.manifest",
+        "build.pre_rename",
+        "build.post_rename",
+    ] {
+        crash_then_recover("recovery_child_mem_build", "mem_build", point, |dir| {
+            HusGraph::build_into(&edges(), dir, &build_config()).unwrap();
+        });
+    }
+}
+
+#[test]
+fn external_build_crash_at_any_point_is_never_silently_wrong() {
+    // External-builder phase boundaries plus the shared finalize points.
+    for point in [
+        "ext.degrees",
+        "ext.spill",
+        "ext.shard",
+        "ext.shard:3",
+        "build.meta",
+        "build.manifest",
+        "build.pre_rename",
+        "build.post_rename",
+    ] {
+        crash_then_recover("recovery_child_ext_build", "ext_build", point, |dir| {
+            let el = edges();
+            build_external(&ListSource(&el), dir, &build_config()).unwrap();
+        });
+    }
+}
+
+#[test]
+fn interrupted_external_build_resumes_to_byte_identical_output() {
+    let tmp = tempfile::tempdir().unwrap();
+    let el = edges();
+
+    // Uninterrupted reference build.
+    let ref_dir = StorageDir::create(tmp.path().join("ref")).unwrap();
+    build_external(&ListSource(&el), &ref_dir, &build_config()).unwrap();
+
+    // Crash mid shard phase: degrees and spills are durable, some
+    // shards are done, progress.json records exactly how far.
+    let code = run_child("recovery_child_ext_build", "ext_build", tmp.path(), "ext.shard:2");
+    assert_eq!(code, Some(CRASH_EXIT_CODE));
+
+    let dir = StorageDir::create(tmp.path().join("g")).unwrap();
+    assert!(!dir.staging_siblings().is_empty(), "crash left a resumable staging sibling");
+    build_external(&ListSource(&el), &dir, &build_config()).unwrap();
+    assert!(dir.staging_siblings().is_empty(), "staging sibling adopted and committed");
+
+    // Every committed file — shards, indexes, degrees, meta.json and the
+    // generation-stamped MANIFEST — is byte-identical to the reference.
+    let listing = |root: &Path| -> Vec<String> {
+        let mut names: Vec<String> = std::fs::read_dir(root)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        names.sort();
+        names
+    };
+    let names = listing(&tmp.path().join("ref"));
+    assert_eq!(names, listing(&tmp.path().join("g")));
+    for name in &names {
+        let a = std::fs::read(tmp.path().join("ref").join(name)).unwrap();
+        let b = std::fs::read(tmp.path().join("g").join(name)).unwrap();
+        assert_eq!(a, b, "file `{name}` differs between resumed and uninterrupted builds");
+    }
+}
+
+#[test]
+fn killed_checkpointed_run_resumes_bit_identical_pagerank() {
+    let tmp = tempfile::tempdir().unwrap();
+    let dir = StorageDir::create(tmp.path().join("g")).unwrap();
+    HusGraph::build_into(&edges(), &dir, &build_config()).unwrap();
+
+    // Uninterrupted 8-iteration reference (separate scratch, no
+    // checkpointing so nothing could possibly leak between the runs).
+    let g = HusGraph::open(StorageDir::open(tmp.path().join("g")).unwrap()).unwrap();
+    let pr = PageRank::new(g.meta().num_vertices);
+    let ref_cfg =
+        RunConfig { scratch_name: Some("ref".into()), checkpoint_every: 0, ..engine_config() };
+    let (ref_vals, ref_stats) = Engine::new(&g, &pr, ref_cfg).run().unwrap();
+    assert_eq!(ref_stats.num_iterations(), 8);
+
+    // Kill a checkpointed run at the end of iteration 4 (the 5th hit of
+    // `engine.iteration_end`). Checkpoints were saved after iterations
+    // 1 and 3, so the freshest durable snapshot is iteration 3.
+    let code =
+        run_child("recovery_child_engine_run", "engine_run", tmp.path(), "engine.iteration_end:5");
+    assert_eq!(code, Some(CRASH_EXIT_CODE));
+
+    // Resume with the same scratch: re-enters at iteration 4 and the
+    // final ranks are bit-for-bit the uninterrupted run's.
+    let (vals, stats) = Engine::new(&g, &pr, engine_config()).run().unwrap();
+    assert_eq!(stats.checkpoints.resumed_from, Some(3), "resumed from the iteration-3 snapshot");
+    assert_eq!(stats.num_iterations(), 4, "iterations 4..8 re-run, 0..4 skipped");
+    assert!(stats.checkpoints.written > 0);
+    assert_eq!(
+        vals.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        ref_vals.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "resumed PageRank is not bit-identical to the uninterrupted run"
+    );
+}
