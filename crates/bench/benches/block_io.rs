@@ -187,16 +187,16 @@ fn bench_contended_cache(c: &mut Criterion) {
     };
     let sharded_ns = median(&sharded);
     let single_ns = median(&single);
-    // `host_cores` qualifies the speedup: shard-vs-single-lock contention
-    // only materialises when the worker threads actually run in parallel;
-    // on a single-core host the two configurations converge to the same
-    // timesliced throughput and the ratio is noise around 1.0.
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    // `host_cores` (from the shared preamble) qualifies the speedup:
+    // shard-vs-single-lock contention only materialises when the worker
+    // threads actually run in parallel; on a single-core host the two
+    // configurations converge to the same timesliced throughput and the
+    // ratio is noise around 1.0.
     let out = format!(
-        "{{\n  \"bench\": \"page_cache_contended\",\n  \"threads\": {THREADS},\n  \
-         \"host_cores\": {cores},\n  \
+        "{{\n  {},\n  \"threads\": {THREADS},\n  \
          \"sharded_shards\": {},\n  \"sharded_ns_median\": {sharded_ns},\n  \
          \"single_lock_ns_median\": {single_ns},\n  \"speedup\": {:.2}\n}}\n",
+        hus_bench::bench_json_preamble("page_cache_contended"),
         sharded.num_shards(),
         single_ns as f64 / sharded_ns as f64,
     );

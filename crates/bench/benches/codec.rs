@@ -98,11 +98,12 @@ fn bench_codecs(c: &mut Criterion) {
     }
     let [(_, _, raw_mbps), (_, dv_enc, dv_mbps)] = decode_mbps[..] else { unreachable!() };
     let out = format!(
-        "{{\n  \"bench\": \"codec\",\n  \"edges\": {},\n  \"decoded_bytes\": {decoded_bytes},\n  \
+        "{{\n  {},\n  \"edges\": {},\n  \"decoded_bytes\": {decoded_bytes},\n  \
          \"delta_varint_encoded_bytes\": {dv_enc},\n  \
          \"compression_ratio\": {:.3},\n  \
          \"raw_decode_mb_per_s\": {raw_mbps:.1},\n  \
          \"delta_varint_decode_mb_per_s\": {dv_mbps:.1}\n}}\n",
+        hus_bench::bench_json_preamble("codec"),
         meta.num_edges,
         meta.compression_ratio(),
     );

@@ -80,5 +80,72 @@ fn bench_pagerank(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_bfs, bench_pagerank);
+/// Telemetry overhead check: the same PageRank workload with
+/// instrumentation fully disabled (the default path — every metric call
+/// is one relaxed atomic load), with registry metrics on, and with
+/// per-block heatmap attribution on. The disabled path is the
+/// acceptance-gated one: its cost over an uninstrumented engine is the
+/// atomic-load checks alone, and the emitted `BENCH_overhead.json`
+/// records the measured on/off deltas so CI can watch for regressions.
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let (_tmp, stores, n) = stores();
+    let pr = PageRank::new(n);
+    let run_once = || {
+        let cfg = RunConfig { max_iterations: 5, threads: 2, ..Default::default() };
+        black_box(Engine::new(&stores.hus, &pr, cfg).run().unwrap().1)
+    };
+    let configure = |metrics: bool, heatmap: bool| {
+        hus_obs::set_enabled(metrics);
+        hus_obs::set_heatmap_enabled(heatmap);
+        hus_obs::attr::reset();
+    };
+
+    let mut g = c.benchmark_group("telemetry_pagerank5_10k_100k");
+    g.sample_size(10);
+    for (name, metrics, heatmap) in
+        [("off", false, false), ("metrics", true, false), ("metrics_heatmap", true, true)]
+    {
+        g.bench_function(name, |b| {
+            configure(metrics, heatmap);
+            b.iter(run_once)
+        });
+    }
+    g.finish();
+
+    // Side-channel medians for CI: fresh trials per configuration,
+    // interleaved round-robin so drift (page cache warmup, thermal)
+    // spreads evenly across the three arms.
+    let mut wall: [Vec<u128>; 3] = Default::default();
+    for _ in 0..9 {
+        for (slot, &(metrics, heatmap)) in
+            [(false, false), (true, false), (true, true)].iter().enumerate()
+        {
+            configure(metrics, heatmap);
+            let t0 = std::time::Instant::now();
+            run_once();
+            wall[slot].push(t0.elapsed().as_nanos());
+        }
+    }
+    configure(false, false);
+    let median = |v: &mut Vec<u128>| {
+        v.sort_unstable();
+        v[v.len() / 2].max(1)
+    };
+    let [mut off, mut metrics, mut heat] = wall;
+    let (off_ns, metrics_ns, heat_ns) = (median(&mut off), median(&mut metrics), median(&mut heat));
+    let pct = |on: u128| (on as f64 / off_ns as f64 - 1.0) * 100.0;
+    let out = format!(
+        "{{\n  {},\n  \"pagerank_iters\": 5,\n  \"off_ns_median\": {off_ns},\n  \
+         \"metrics_ns_median\": {metrics_ns},\n  \"metrics_heatmap_ns_median\": {heat_ns},\n  \
+         \"metrics_overhead_pct\": {:.2},\n  \"metrics_heatmap_overhead_pct\": {:.2}\n}}\n",
+        hus_bench::bench_json_preamble("telemetry_overhead"),
+        pct(metrics_ns),
+        pct(heat_ns),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_overhead.json");
+    std::fs::write(path, &out).unwrap();
+    println!("wrote {path}:\n{out}");
+}
+
+criterion_group!(benches, bench_bfs, bench_pagerank, bench_telemetry_overhead);
 criterion_main!(benches);

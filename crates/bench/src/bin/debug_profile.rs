@@ -94,6 +94,9 @@ fn main() {
         p
     };
     hus_obs::init_from_env();
+    // Profiling wants the per-block attribution registry regardless of
+    // whether the caller exported HUS_HEATMAP.
+    hus_obs::set_heatmap_enabled(true);
 
     let p = harness::env_p();
     let threads = harness::env_threads();
@@ -127,6 +130,16 @@ fn main() {
             it.io.batched_read_bytes as f64 / 1e3,
             it.io.write_bytes as f64 / 1e3
         );
+    }
+
+    // Cost-model audit trail: the predictor's committed C_rop/C_cop per
+    // iteration against the I/O the iteration actually performed (HUS
+    // engines only; the baselines never run the predictor).
+    if matches!(system, SystemKind::Hus | SystemKind::HusRop | SystemKind::HusCop) {
+        let tput = harness::env_probe_throughput()
+            .unwrap_or_else(|| hus_storage::DeviceProfile::hdd().read);
+        println!("\ncost-model audit (predicted vs actual, predictor throughputs):");
+        print!("{}", hus_core::audit::render_table(&hus_core::audit::audit_rows(&stats, &tput)));
     }
 
     // Phase breakdown aggregated from the engine's in-band stats.
@@ -195,6 +208,29 @@ fn main() {
         }
         println!("histograms (*_ns in nanoseconds; quantiles are pow-2 bucket bounds):");
         println!("{}", t.render());
+    }
+
+    // Hottest blocks by attributed device traffic: what each (i, j)
+    // edge block actually cost in raw bytes, cache behavior and decode
+    // time (per-block attribution registry).
+    let hot_blocks = hus_obs::attr::top_k(10);
+    if !hot_blocks.is_empty() {
+        let mut t =
+            Table::new(&["block", "raw", "encoded", "cache hit%", "decode", "retries", "degraded"]);
+        for b in &hot_blocks {
+            t.row(vec![
+                format!("({}, {})", b.i, b.j),
+                hus_obs::fmt_gb(b.raw_bytes),
+                hus_obs::fmt_gb(b.encoded_bytes),
+                format!("{:.1}", b.hit_rate() * 100.0),
+                hus_obs::fmt_secs(b.decode_ns as f64 * 1e-9),
+                b.retries.to_string(),
+                b.degradations.to_string(),
+            ]);
+        }
+        println!("hottest blocks (attribution registry):");
+        println!("{}", t.render());
+        print!("{}", hus_obs::attr::render_heatmap(&hus_obs::attr::snapshot()));
     }
 
     // Hottest blocks: the longest unit spans in the trace file.

@@ -297,6 +297,19 @@ fn baseline_iters(algo: AlgoKind) -> usize {
     }
 }
 
+/// Schema version stamped into every `BENCH_*.json` side-channel file
+/// (bump when an emitter's field set changes shape).
+pub const BENCH_SCHEMA: u32 = 2;
+
+/// Uniform preamble for the `BENCH_*.json` emitters: bench name, the
+/// shared schema version, and the host's core count — results are only
+/// comparable between hosts of similar parallelism, so every file
+/// carries the qualifier.
+pub fn bench_json_preamble(bench: &str) -> String {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    format!("\"bench\": {bench:?},\n  \"schema\": {BENCH_SCHEMA},\n  \"host_cores\": {cores}")
+}
+
 /// Modeled HDD runtime of a run (the paper's evaluation device).
 pub fn modeled_hdd_seconds(stats: &RunStats) -> f64 {
     stats.modeled_seconds(&CostModel::new(DeviceProfile::hdd()))

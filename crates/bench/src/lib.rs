@@ -20,6 +20,7 @@ pub mod harness;
 pub mod report;
 
 pub use harness::{
-    build_stores, run_hus, run_system, workload, AlgoKind, Stores, SystemKind, Workload,
+    bench_json_preamble, build_stores, run_hus, run_system, workload, AlgoKind, Stores, SystemKind,
+    Workload, BENCH_SCHEMA,
 };
 pub use report::{fmt_gb, fmt_secs, fmt_speedup, Table};

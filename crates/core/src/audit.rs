@@ -1,0 +1,258 @@
+//! Cost-model audit trail: predicted vs. actual per iteration.
+//!
+//! The predictor (paper §3.4) commits to ROP or COP from the *predicted*
+//! costs `C_rop`/`C_cop` before any I/O happens. This module closes the
+//! loop after the fact: for every iteration of a finished run it pairs
+//! the decision's predicted cost with the I/O time the same throughput
+//! numbers assign to the bytes that were actually moved, and summarizes
+//! how far off the model was. `hus audit` and `debug_profile` render the
+//! result; the engine feeds the same per-iteration error into the
+//! `predict.misprediction_pct` histogram so a live `/metrics` scrape
+//! shows model quality without waiting for the run to end.
+
+use crate::predict::UpdateModel;
+use crate::stats::RunStats;
+use hus_storage::{IoSnapshot, Throughput};
+
+/// One iteration's predicted-vs-actual record.
+#[derive(Debug, Clone, Copy)]
+pub struct AuditRow {
+    /// Iteration index.
+    pub iteration: usize,
+    /// Model the engine executed.
+    pub model: UpdateModel,
+    /// Whether the α gate short-circuited the cost comparison.
+    pub gated: bool,
+    /// Predicted ROP cost in seconds (NaN when gated or forced).
+    pub c_rop: f64,
+    /// Predicted COP cost in seconds (NaN when gated or forced).
+    pub c_cop: f64,
+    /// The chosen model's predicted cost (NaN when unavailable).
+    pub predicted: f64,
+    /// Modeled I/O seconds for the bytes the iteration actually moved,
+    /// billed at the same [`Throughput`] the predictor used.
+    pub actual: f64,
+    /// Bytes the iteration actually transferred (reads + writes).
+    pub bytes: u64,
+    /// Measured wall-clock seconds.
+    pub wall_seconds: f64,
+}
+
+impl AuditRow {
+    /// Relative prediction error `|predicted − actual| / actual` as a
+    /// percentage; `None` when the row carries no usable prediction
+    /// (gated, forced-mode, or a zero-I/O iteration).
+    pub fn error_pct(&self) -> Option<f64> {
+        if self.gated || !self.predicted.is_finite() || self.actual <= 0.0 {
+            return None;
+        }
+        Some((self.predicted - self.actual).abs() / self.actual * 100.0)
+    }
+}
+
+/// Modeled seconds to move `io`'s bytes at the given read throughputs.
+///
+/// This is deliberately the predictor's view of the device — the three
+/// read classes at their measured rates, writes billed sequentially —
+/// not the richer [`hus_storage::CostModel`], so "actual" is in the
+/// same units as `C_rop`/`C_cop` and the comparison isolates the
+/// *prediction* error rather than differences between time models.
+pub fn io_seconds(tput: &Throughput, io: &IoSnapshot) -> f64 {
+    io.seq_read_bytes as f64 / tput.sequential_bps
+        + io.rand_read_bytes as f64 / tput.random_bps
+        + io.batched_read_bytes as f64 / tput.batched_bps
+        + io.write_bytes as f64 / tput.sequential_bps
+}
+
+/// Pair every iteration of `stats` with its modeled actual cost.
+pub fn audit_rows(stats: &RunStats, tput: &Throughput) -> Vec<AuditRow> {
+    stats
+        .iterations
+        .iter()
+        .map(|it| {
+            let predicted = match it.model {
+                UpdateModel::Rop => it.c_rop,
+                UpdateModel::Cop => it.c_cop,
+            };
+            AuditRow {
+                iteration: it.iteration,
+                model: it.model,
+                gated: it.gated,
+                c_rop: it.c_rop,
+                c_cop: it.c_cop,
+                predicted,
+                actual: io_seconds(tput, &it.io),
+                bytes: it.io.total_bytes(),
+                wall_seconds: it.wall_seconds,
+            }
+        })
+        .collect()
+}
+
+/// Mean relative prediction error over the rows that carry one, as a
+/// percentage. `None` when every iteration was gated or forced.
+pub fn misprediction_ratio(rows: &[AuditRow]) -> Option<f64> {
+    let errs: Vec<f64> = rows.iter().filter_map(AuditRow::error_pct).collect();
+    if errs.is_empty() {
+        None
+    } else {
+        Some(errs.iter().sum::<f64>() / errs.len() as f64)
+    }
+}
+
+fn fmt_cost(c: f64) -> String {
+    if c.is_finite() {
+        format!("{c:.4}")
+    } else {
+        "-".into()
+    }
+}
+
+/// Render the audit trail as an aligned text table (one row per
+/// iteration) followed by the misprediction summary line.
+pub fn render_table(rows: &[AuditRow]) -> String {
+    let mut t = hus_obs::table::Table::new(&[
+        "iter",
+        "model",
+        "gated",
+        "C_rop",
+        "C_cop",
+        "predicted",
+        "actual",
+        "err%",
+        "bytes",
+        "wall_s",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.iteration.to_string(),
+            r.model.to_string(),
+            if r.gated { "yes".into() } else { "no".into() },
+            fmt_cost(r.c_rop),
+            fmt_cost(r.c_cop),
+            fmt_cost(r.predicted),
+            format!("{:.4}", r.actual),
+            r.error_pct().map(|e| format!("{e:.1}")).unwrap_or_else(|| "-".into()),
+            hus_obs::table::fmt_gb(r.bytes),
+            format!("{:.3}", r.wall_seconds),
+        ]);
+    }
+    let summary = match misprediction_ratio(rows) {
+        Some(pct) => format!("misprediction ratio (mean |pred-actual|/actual): {pct:.1}%"),
+        None => "misprediction ratio: n/a (all iterations gated or forced)".into(),
+    };
+    format!("{}\n{}\n", t.render(), summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::IterationStats;
+
+    fn tput() -> Throughput {
+        Throughput { sequential_bps: 100e6, random_bps: 1e6, batched_bps: 40e6 }
+    }
+
+    fn iter_stats(
+        iteration: usize,
+        model: UpdateModel,
+        gated: bool,
+        c_rop: f64,
+        c_cop: f64,
+        io: IoSnapshot,
+    ) -> IterationStats {
+        IterationStats {
+            iteration,
+            model,
+            gated,
+            c_rop,
+            c_cop,
+            rop_units: 0,
+            cop_units: 0,
+            active_vertices: 1,
+            active_edges: 1,
+            edges_processed: 1,
+            io,
+            wall_seconds: 0.5,
+            phases: Vec::new(),
+        }
+    }
+
+    fn run(iters: Vec<IterationStats>) -> RunStats {
+        RunStats {
+            iterations: iters,
+            total_io: IoSnapshot::default(),
+            wall_seconds: 1.0,
+            edges_processed: 1,
+            converged: true,
+            threads: 1,
+            resilience: Default::default(),
+            checkpoints: Default::default(),
+        }
+    }
+
+    #[test]
+    fn io_seconds_bills_each_class_at_its_rate() {
+        let io = IoSnapshot {
+            seq_read_bytes: 100_000_000,    // 1s sequential
+            rand_read_bytes: 1_000_000,     // 1s random
+            batched_read_bytes: 40_000_000, // 1s batched
+            write_bytes: 200_000_000,       // 2s at sequential
+            ..Default::default()
+        };
+        assert!((io_seconds(&tput(), &io) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rows_pick_the_chosen_models_cost() {
+        let io = IoSnapshot { seq_read_bytes: 100_000_000, ..Default::default() };
+        let stats = run(vec![
+            iter_stats(0, UpdateModel::Rop, false, 2.0, 3.0, io),
+            iter_stats(1, UpdateModel::Cop, false, 4.0, 0.5, io),
+        ]);
+        let rows = audit_rows(&stats, &tput());
+        assert_eq!(rows[0].predicted, 2.0);
+        assert_eq!(rows[1].predicted, 0.5);
+        assert!((rows[0].actual - 1.0).abs() < 1e-9);
+        assert_eq!(rows[0].bytes, 100_000_000);
+    }
+
+    #[test]
+    fn gated_rows_carry_no_error() {
+        let io = IoSnapshot { seq_read_bytes: 100_000_000, ..Default::default() };
+        let stats = run(vec![iter_stats(0, UpdateModel::Cop, true, f64::NAN, f64::NAN, io)]);
+        let rows = audit_rows(&stats, &tput());
+        assert!(rows[0].error_pct().is_none());
+        assert!(misprediction_ratio(&rows).is_none());
+    }
+
+    #[test]
+    fn misprediction_ratio_averages_nongated_errors() {
+        let io = IoSnapshot { seq_read_bytes: 100_000_000, ..Default::default() };
+        // actual = 1.0s; predictions 2.0 (100% off) and 1.5 (50% off).
+        let stats = run(vec![
+            iter_stats(0, UpdateModel::Rop, false, 2.0, 9.0, io),
+            iter_stats(1, UpdateModel::Rop, false, 1.5, 9.0, io),
+            iter_stats(2, UpdateModel::Cop, true, f64::NAN, f64::NAN, io),
+        ]);
+        let rows = audit_rows(&stats, &tput());
+        let ratio = misprediction_ratio(&rows).unwrap();
+        assert!((ratio - 75.0).abs() < 1e-9, "{ratio}");
+    }
+
+    #[test]
+    fn table_renders_every_iteration_and_summary() {
+        let io = IoSnapshot { seq_read_bytes: 100_000_000, ..Default::default() };
+        let stats = run(vec![
+            iter_stats(0, UpdateModel::Rop, false, 2.0, 3.0, io),
+            iter_stats(1, UpdateModel::Cop, true, f64::NAN, f64::NAN, io),
+        ]);
+        let out = render_table(&audit_rows(&stats, &tput()));
+        assert!(out.contains("C_rop"), "{out}");
+        assert!(out.contains("ROP"));
+        assert!(out.contains("COP"));
+        assert!(out.contains("misprediction ratio"));
+        // Gated row renders dashes for the unavailable costs.
+        assert!(out.lines().any(|l| l.contains("yes") && l.contains('-')), "{out}");
+    }
+}

@@ -129,6 +129,20 @@ fn process_column<Pr: VertexProgram>(
             );
             OBS_SYNC_FALLBACKS.add(1);
             ctx.graph.dir().resilience().record_sync_fallback();
+            if hus_obs::heatmap_enabled() {
+                // Every non-empty block of the column is re-fetched
+                // synchronously; mark them all degraded on the heatmap.
+                for i in 0..ctx.graph.p() {
+                    if ctx.graph.meta().in_block(i, col).edge_count > 0 {
+                        hus_obs::attr::record_at(
+                            i as u32,
+                            col as u32,
+                            hus_obs::BlockStat::Degradations,
+                            1,
+                        );
+                    }
+                }
+            }
             process_column_inner(ctx, store, col, touched_col, 0)
         }
         other => other,
@@ -150,10 +164,15 @@ fn process_column_inner<Pr: VertexProgram>(
     let mut streamed = 0u64;
 
     let fetch = |i: usize| -> Result<FetchedBlock<Pr::Value>> {
-        let s_block = store.load_current(i, Access::Sequential)?;
-        let index = ctx.graph.load_in_index(i, col, Access::Sequential)?;
-        let records = ctx.graph.stream_in_block(i, col)?;
-        Ok(FetchedBlock { src_interval: i, s_block, index, records })
+        // The whole fetch (vertex chunk + index + edge stream) runs
+        // under block (i, col)'s attribution scope, so the heatmap sees
+        // the column's vertex-value traffic too, not just edge bytes.
+        hus_obs::attr::with_block(i as u32, col as u32, || {
+            let s_block = store.load_current(i, Access::Sequential)?;
+            let index = ctx.graph.load_in_index(i, col, Access::Sequential)?;
+            let records = ctx.graph.stream_in_block(i, col)?;
+            Ok(FetchedBlock { src_interval: i, s_block, index, records })
+        })
     };
 
     let blocks: Vec<usize> =

@@ -24,6 +24,20 @@ static FRONTIER_HIST: hus_obs::LazyHistogram = hus_obs::LazyHistogram::new("engi
 /// Active out-edges at each iteration start.
 static ACTIVE_EDGES_HIST: hus_obs::LazyHistogram =
     hus_obs::LazyHistogram::new("engine.active_edges");
+/// Current iteration index — a gauge so live views (`hus top`, the
+/// `/metrics` exporter) can show run progress mid-flight.
+static ITERATION_GAUGE: hus_obs::LazyGauge = hus_obs::LazyGauge::new("engine.iteration");
+/// Frontier size of the iteration in flight (gauge counterpart of the
+/// `engine.frontier_size` histogram, for live views).
+static ACTIVE_VERTICES_GAUGE: hus_obs::LazyGauge =
+    hus_obs::LazyGauge::new("engine.active_vertices");
+/// Edges processed so far across the run.
+static EDGES_PROCESSED: hus_obs::LazyCounter = hus_obs::LazyCounter::new("engine.edges_processed");
+/// Per-iteration relative error of the chosen model's predicted cost
+/// versus the iteration's modeled I/O seconds, in percent (non-gated
+/// hybrid iterations only; see [`crate::audit`]).
+static MISPREDICTION_PCT: hus_obs::LazyHistogram =
+    hus_obs::LazyHistogram::new("predict.misprediction_pct");
 
 /// Laps the run's `IoTracker` at phase boundaries, attributing each
 /// delta's bytes to the phase that just ended; merged into the
@@ -393,6 +407,8 @@ impl<'a, Pr: VertexProgram> Engine<'a, Pr> {
             let active_edges = active.active_degree_sum(0, v, self.graph.out_degrees());
             FRONTIER_HIST.record(active_vertices);
             ACTIVE_EDGES_HIST.record(active_edges);
+            ITERATION_GAUGE.set(iteration as u64);
+            ACTIVE_VERTICES_GAUGE.set(active_vertices);
             let iter_io_start = tracker.snapshot();
             let iter_start = Instant::now();
             let mut phase_io = PhaseIoMeter::start(&tracker);
@@ -659,6 +675,23 @@ impl<'a, Pr: VertexProgram> Engine<'a, Pr> {
             // records does file I/O that must not count as engine time.
             let wall_seconds = iter_start.elapsed().as_secs_f64();
             let iter_io = tracker.snapshot().since(&iter_io_start);
+            EDGES_PROCESSED.add(edges_this_iter);
+            if !decision.gated && decision.c_rop.is_finite() {
+                // Audit the committed prediction against what the same
+                // throughput numbers say the moved bytes cost.
+                let predicted = match decision.model {
+                    UpdateModel::Rop => decision.c_rop,
+                    UpdateModel::Cop => decision.c_cop,
+                };
+                let actual = crate::audit::io_seconds(&self.config.throughput, &iter_io);
+                if actual > 0.0 {
+                    let err_pct = (predicted - actual).abs() / actual * 100.0;
+                    MISPREDICTION_PCT.record(err_pct as u64);
+                }
+            }
+            // Mirror the always-on resilience totals into the registry so
+            // an exporter attached mid-run sees the full history.
+            resilience.publish();
             let mut phases = hus_obs::finish_iteration("hus", iteration);
             phase_io.merge_into(&mut phases);
             let it = IterationStats {

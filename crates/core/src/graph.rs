@@ -273,6 +273,7 @@ impl HusGraph {
             return Ok(());
         }
         self.dir.resilience().record_checksum_failure();
+        hus_obs::attr::record_at(block.0 as u32, block.1 as u32, hus_obs::BlockStat::Retries, 1);
         Err(StorageError::ChecksumMismatch {
             path: self.dir.path(&file),
             block: (block.0 as u32, block.1 as u32),
@@ -350,8 +351,9 @@ impl HusGraph {
     pub fn load_out_index(&self, i: usize, j: usize, access: Access) -> Result<Vec<u32>> {
         let block = self.meta.out_block(i, j);
         let count = self.meta.interval_len(i) as usize + 1;
-        let idx: Vec<u32> =
-            hus_storage::read_pod_vec(&self.out_index[i], block.index_offset, count, access)?;
+        let idx: Vec<u32> = hus_obs::attr::with_block(i as u32, j as u32, || {
+            hus_storage::read_pod_vec(&self.out_index[i], block.index_offset, count, access)
+        })?;
         if self.verify_enabled() {
             if let Some(cs) = &self.checksums {
                 self.verify_block(
@@ -371,8 +373,9 @@ impl HusGraph {
     pub fn load_in_index(&self, i: usize, j: usize, access: Access) -> Result<Vec<u32>> {
         let block = self.meta.in_block(i, j);
         let count = self.meta.interval_len(j) as usize + 1;
-        let idx: Vec<u32> =
-            hus_storage::read_pod_vec(&self.in_index[j], block.index_offset, count, access)?;
+        let idx: Vec<u32> = hus_obs::attr::with_block(i as u32, j as u32, || {
+            hus_storage::read_pod_vec(&self.in_index[j], block.index_offset, count, access)
+        })?;
         if self.verify_enabled() {
             if let Some(cs) = &self.checksums {
                 self.verify_block(
@@ -395,11 +398,13 @@ impl HusGraph {
     pub fn load_out_index_entry(&self, i: usize, j: usize, local: usize) -> Result<(u32, u32)> {
         let block = self.meta.out_block(i, j);
         let mut buf = [0u8; 8];
-        self.out_index[i].read_at(
-            block.index_offset + local as u64 * 4,
-            &mut buf,
-            Access::Random,
-        )?;
+        hus_obs::attr::with_block(i as u32, j as u32, || {
+            self.out_index[i].read_at(
+                block.index_offset + local as u64 * 4,
+                &mut buf,
+                Access::Random,
+            )
+        })?;
         Ok((
             u32::from_le_bytes(buf[0..4].try_into().unwrap()),
             u32::from_le_bytes(buf[4..8].try_into().unwrap()),
@@ -420,7 +425,9 @@ impl HusGraph {
         let offset = block.edge_offset + lo as u64 * m;
         let len = (hi - lo) as usize * m as usize;
         let mut data = vec![0u8; len];
-        self.out_edges[i].read_at(offset, &mut data, Access::Random)?;
+        hus_obs::attr::with_block(i as u32, j as u32, || {
+            self.out_edges[i].read_at(offset, &mut data, Access::Random)
+        })?;
         if lo == 0 && hi as u64 == block.edge_count {
             self.verify_raw_out_block(i, j, &data, block.edge_offset)?;
         }
@@ -457,7 +464,9 @@ impl HusGraph {
                 buf: buf.as_mut_slice(),
             })
             .collect();
-        self.out_edges[i].read_ranges(&mut reqs, Access::Batched)?;
+        hus_obs::attr::with_block(i as u32, j as u32, || {
+            self.out_edges[i].read_ranges(&mut reqs, Access::Batched)
+        })?;
         drop(reqs);
         if let [(0, hi)] = ranges {
             // A single merged range that swallowed the whole block is a
@@ -483,7 +492,9 @@ impl HusGraph {
         let len = (block.edge_count * m) as usize;
         let mut data = vec![0u8; len];
         if len > 0 {
-            self.out_edges[i].read_at(block.edge_offset, &mut data, Access::Batched)?;
+            hus_obs::attr::with_block(i as u32, j as u32, || {
+                self.out_edges[i].read_at(block.edge_offset, &mut data, Access::Batched)
+            })?;
         }
         self.verify_raw_out_block(i, j, &data, block.edge_offset)?;
         Ok(EdgeRecords { data, weighted: self.meta.weighted })
@@ -498,7 +509,9 @@ impl HusGraph {
         let len = (block.edge_count * m) as usize;
         let mut data = vec![0u8; len];
         if len > 0 {
-            self.in_edges[j].read_at(block.edge_offset, &mut data, Access::Sequential)?;
+            hus_obs::attr::with_block(i as u32, j as u32, || {
+                self.in_edges[j].read_at(block.edge_offset, &mut data, Access::Sequential)
+            })?;
         }
         self.verify_raw_in_block(i, j, &data, block.edge_offset)?;
         Ok(EdgeRecords { data, weighted: self.meta.weighted })
@@ -513,7 +526,9 @@ impl HusGraph {
         let len = (block.edge_count * m) as usize;
         let mut data = vec![0u8; len];
         if len > 0 {
-            self.out_edges[i].read_at(block.edge_offset, &mut data, Access::Sequential)?;
+            hus_obs::attr::with_block(i as u32, j as u32, || {
+                self.out_edges[i].read_at(block.edge_offset, &mut data, Access::Sequential)
+            })?;
         }
         self.verify_raw_out_block(i, j, &data, block.edge_offset)?;
         Ok(EdgeRecords { data, weighted: self.meta.weighted })

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod active;
+pub mod audit;
 pub mod builder;
 pub mod checkpoint;
 pub mod cop;

@@ -217,6 +217,22 @@ pub fn push_block_into<Pr: VertexProgram>(
     s_row: &[Pr::Value],
     d_j: &mut [Pr::Value],
 ) -> Result<u64> {
+    // The whole per-block push runs under (row, j)'s attribution scope:
+    // index probes, selective fetches, and sweeps all land on one cell.
+    hus_obs::attr::with_block(row as u32, j as u32, || {
+        push_block_inner(ctx, row, j, row_base, actives, s_row, d_j)
+    })
+}
+
+fn push_block_inner<Pr: VertexProgram>(
+    ctx: &IterCtx<'_, Pr>,
+    row: usize,
+    j: usize,
+    row_base: VertexId,
+    actives: &[VertexId],
+    s_row: &[Pr::Value],
+    d_j: &mut [Pr::Value],
+) -> Result<u64> {
     let meta = ctx.graph.meta();
     let block_edges = meta.out_block(row, j).edge_count;
     if block_edges == 0 {

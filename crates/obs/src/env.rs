@@ -62,10 +62,27 @@ pub const KNOBS: &[EnvKnob] = &[
                  (probabilities per read op; see `docs/FORMAT.md` and `DESIGN.md` §9)",
     },
     EnvKnob {
+        name: "HUS_HEATMAP",
+        default: "unset",
+        effect: "`1` enables per-block I/O attribution: raw/encoded/decoded bytes, \
+                 cache hits/misses, decode time, retries and degradations per \
+                 `(i, j)` edge block, rendered by `hus audit`, `hus top`, \
+                 `debug_profile` and the `/metrics` exporter (see \
+                 `docs/OBSERVABILITY.md`)",
+    },
+    EnvKnob {
         name: "HUS_MERGE_SLACK",
         default: "`4096`",
         effect: "max byte gap between selective ROP ranges merged into one batched read \
                  (active only when the device's batched rate beats its random rate)",
+    },
+    EnvKnob {
+        name: "HUS_METRICS_ADDR",
+        default: "unset",
+        effect: "`host:port` (e.g. `127.0.0.1:9464`) starts the dependency-free \
+                 OpenMetrics/Prometheus exporter serving `/metrics` and `/healthz` \
+                 from the live registry; setting it also enables metric collection \
+                 (see `docs/OBSERVABILITY.md`)",
     },
     EnvKnob {
         name: "HUS_NO_FSYNC",

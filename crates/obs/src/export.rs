@@ -1,0 +1,374 @@
+//! Dependency-free OpenMetrics/Prometheus text exporter.
+//!
+//! A plain `std::net::TcpListener` thread (no HTTP framework) serves
+//! two endpoints from the global [`Registry`]:
+//!
+//! * `GET /metrics` — OpenMetrics text exposition: every counter
+//!   (`_total`), gauge, and histogram (cumulative `le` buckets from the
+//!   log₂ layout plus `_sum`/`_count`, and p50/p99/p999 quantile
+//!   gauges), ending with the mandatory `# EOF` terminator. While the
+//!   heatmap is on, the hottest blocks are exported as labelled gauges.
+//! * `GET /healthz` — liveness probe (`ok`).
+//!
+//! Enabled by the `HUS_METRICS_ADDR` env knob (e.g. `127.0.0.1:9464`);
+//! setting it also turns metric collection on, so a serving process
+//! always has something to scrape. Metric names are sanitized for the
+//! exposition format (`io.read_bytes.seq` → `hus_io_read_bytes_seq`).
+
+use crate::metrics::{Histogram, HistogramSnapshot, Registry, HISTOGRAM_BUCKETS};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// Env knob naming the exporter's listen address.
+pub const METRICS_ADDR_ENV: &str = "HUS_METRICS_ADDR";
+
+/// Content type of the `/metrics` response.
+pub const OPENMETRICS_CONTENT_TYPE: &str =
+    "application/openmetrics-text; version=1.0.0; charset=utf-8";
+
+/// How many hottest blocks `/metrics` exports as labelled gauges when
+/// the heatmap is enabled (the full grid would blow up cardinality).
+pub const EXPORTED_HOT_BLOCKS: usize = 32;
+
+/// Map a registry metric name onto the exposition charset
+/// (`[a-zA-Z0-9_:]`, leading `hus_` namespace; dots become
+/// underscores).
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("hus_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn push_histogram(out: &mut String, name: &str, snap: &HistogramSnapshot) {
+    out.push_str(&format!("# TYPE {name} histogram\n"));
+    // Cumulative le-buckets from the log₂ layout. Emitting all 64 per
+    // histogram would be noise; stop at the highest non-empty bucket
+    // (the +Inf bucket then carries the total).
+    let last = snap.buckets.iter().rposition(|&c| c > 0).map_or(0, |i| i + 1);
+    let mut cum = 0u64;
+    for (i, &c) in snap.buckets.iter().take(last.min(HISTOGRAM_BUCKETS - 1)).enumerate() {
+        cum += c;
+        out.push_str(&format!(
+            "{name}_bucket{{le=\"{}\"}} {cum}\n",
+            Histogram::bucket_upper_bound(i)
+        ));
+    }
+    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", snap.count));
+    out.push_str(&format!("{name}_sum {}\n", snap.sum));
+    out.push_str(&format!("{name}_count {}\n", snap.count));
+    out.push_str(&format!("# TYPE {name}_quantile gauge\n"));
+    for (label, q) in [("0.5", 0.5), ("0.99", 0.99), ("0.999", 0.999)] {
+        out.push_str(&format!("{name}_quantile{{q=\"{label}\"}} {}\n", snap.quantile(q)));
+    }
+}
+
+/// Render the registry (plus, when the heatmap is on, the hottest
+/// blocks) as an OpenMetrics text exposition ending in `# EOF`.
+pub fn render(registry: &Registry) -> String {
+    let mut out = String::new();
+    out.push_str("# TYPE hus_build_info gauge\n");
+    out.push_str(&format!("hus_build_info{{version=\"{}\"}} 1\n", env!("CARGO_PKG_VERSION")));
+    for (name, value) in registry.counter_values() {
+        let name = sanitize_name(name);
+        out.push_str(&format!("# TYPE {name} counter\n{name}_total {value}\n"));
+    }
+    for (name, value) in registry.gauge_values() {
+        let name = sanitize_name(name);
+        out.push_str(&format!("# TYPE {name} gauge\n{name} {value}\n"));
+    }
+    for (name, snap) in registry.histogram_snapshots() {
+        push_histogram(&mut out, &sanitize_name(name), &snap);
+    }
+    if crate::attr::heatmap_enabled() {
+        let hot = crate::attr::top_k(EXPORTED_HOT_BLOCKS);
+        if !hot.is_empty() {
+            out.push_str("# TYPE hus_block_raw_bytes gauge\n");
+            for b in &hot {
+                out.push_str(&format!(
+                    "hus_block_raw_bytes{{i=\"{}\",j=\"{}\"}} {}\n",
+                    b.i, b.j, b.raw_bytes
+                ));
+            }
+            out.push_str("# TYPE hus_block_cache_hit_rate_pct gauge\n");
+            for b in &hot {
+                out.push_str(&format!(
+                    "hus_block_cache_hit_rate_pct{{i=\"{}\",j=\"{}\"}} {}\n",
+                    b.i,
+                    b.j,
+                    (b.hit_rate() * 100.0).round() as u64
+                ));
+            }
+        }
+    }
+    out.push_str("# EOF\n");
+    out
+}
+
+fn http_response(status: &str, content_type: &str, body: &str) -> Vec<u8> {
+    format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+fn handle_connection(mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    // Read just enough for the request line; scrapers send tiny GETs.
+    let mut buf = [0u8; 1024];
+    let n = match stream.read(&mut buf) {
+        Ok(0) | Err(_) => return,
+        Ok(n) => n,
+    };
+    let request = String::from_utf8_lossy(&buf[..n]);
+    let path = request.split_whitespace().nth(1).unwrap_or("/");
+    let response = match path {
+        "/metrics" => {
+            http_response("200 OK", OPENMETRICS_CONTENT_TYPE, &render(crate::metrics::global()))
+        }
+        "/healthz" => http_response("200 OK", "text/plain; charset=utf-8", "ok\n"),
+        _ => http_response("404 Not Found", "text/plain; charset=utf-8", "not found\n"),
+    };
+    let _ = stream.write_all(&response);
+}
+
+/// Handle to a running exporter thread; dropping it shuts the
+/// listener down (used by tests — the process-global exporter started
+/// by [`crate::init_from_env`] lives for the process).
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the serving thread.
+    pub fn shutdown(mut self) {
+        self.stop_thread();
+    }
+
+    fn stop_thread(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        if self.thread.is_some() {
+            self.stop_thread();
+        }
+    }
+}
+
+/// Bind `addr` (e.g. `127.0.0.1:9464`, port 0 for ephemeral) and serve
+/// `/metrics` + `/healthz` from a background thread.
+pub fn serve(addr: &str) -> std::io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let thread = std::thread::Builder::new().name("hus-metrics".into()).spawn(move || {
+        for conn in listener.incoming() {
+            if stop_flag.load(Ordering::Relaxed) {
+                break;
+            }
+            if let Ok(stream) = conn {
+                handle_connection(stream);
+            }
+        }
+    })?;
+    Ok(MetricsServer { addr: bound, stop, thread: Some(thread) })
+}
+
+/// Start the process-global exporter if `HUS_METRICS_ADDR` is set,
+/// enabling metric collection alongside. Idempotent; bind failures are
+/// reported to stderr, never fatal (a bad knob must not kill a run).
+pub(crate) fn init_exporter_from_env() {
+    static EXPORTER: OnceLock<Option<MetricsServer>> = OnceLock::new();
+    EXPORTER.get_or_init(|| {
+        let addr = std::env::var(METRICS_ADDR_ENV).ok().filter(|a| !a.is_empty())?;
+        match serve(&addr) {
+            Ok(server) => {
+                crate::set_enabled(true);
+                Some(server)
+            }
+            Err(e) => {
+                eprintln!("warning: {METRICS_ADDR_ENV}={addr}: {e}");
+                None
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    /// Minimal line-level OpenMetrics checker shared by the round-trip
+    /// tests: every line is `# TYPE`/`# HELP`/`# EOF` or
+    /// `name[{labels}] value`, names are exposition-safe, the text ends
+    /// with exactly one `# EOF`, and every sample's family was typed.
+    pub(crate) fn check_exposition(text: &str) -> Result<(), String> {
+        let mut typed: Vec<String> = Vec::new();
+        let mut saw_eof = false;
+        for (ln, line) in text.lines().enumerate() {
+            let ctx = |msg: &str| format!("line {}: {msg}: {line:?}", ln + 1);
+            if saw_eof {
+                return Err(ctx("content after # EOF"));
+            }
+            if let Some(rest) = line.strip_prefix("# ") {
+                if rest == "EOF" {
+                    saw_eof = true;
+                } else if let Some(decl) = rest.strip_prefix("TYPE ") {
+                    let mut parts = decl.split(' ');
+                    let name = parts.next().unwrap_or("");
+                    let kind = parts.next().unwrap_or("");
+                    if !["counter", "gauge", "histogram", "summary"].contains(&kind) {
+                        return Err(ctx("bad metric type"));
+                    }
+                    typed.push(name.to_string());
+                } else if !rest.starts_with("HELP ") {
+                    return Err(ctx("unknown comment"));
+                }
+                continue;
+            }
+            let name_end = line.find(['{', ' ']).ok_or_else(|| ctx("sample line without space"))?;
+            let name = &line[..name_end];
+            if name.is_empty()
+                || name.starts_with(|c: char| c.is_ascii_digit())
+                || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+            {
+                return Err(ctx("bad metric name"));
+            }
+            let rest = &line[name_end..];
+            let value = if let Some(r) = rest.strip_prefix('{') {
+                let close = r.find('}').ok_or_else(|| ctx("unterminated labels"))?;
+                for label in r[..close].split(',') {
+                    let (k, v) = label.split_once('=').ok_or_else(|| ctx("label without ="))?;
+                    if k.is_empty() || !v.starts_with('"') || !v.ends_with('"') {
+                        return Err(ctx("bad label"));
+                    }
+                }
+                r[close + 1..].trim()
+            } else {
+                rest.trim()
+            };
+            value.parse::<f64>().map_err(|_| ctx("non-numeric sample value"))?;
+            if !typed.iter().any(|t| {
+                name == t
+                    || ["_total", "_bucket", "_sum", "_count"]
+                        .iter()
+                        .any(|s| name.strip_suffix(s) == Some(t))
+            }) {
+                return Err(ctx("sample for undeclared metric family"));
+            }
+        }
+        if !saw_eof {
+            return Err("missing # EOF terminator".into());
+        }
+        Ok(())
+    }
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.counter("storage.retries").add(3);
+        r.gauge("engine.iteration").set(7);
+        let h = r.histogram("io.read_bytes.seq");
+        for v in [0, 1, 5, 1000, 1000, 64 << 10] {
+            h.record(v);
+        }
+        r
+    }
+
+    #[test]
+    fn render_is_valid_openmetrics() {
+        let text = render(&sample_registry());
+        check_exposition(&text).unwrap_or_else(|e| panic!("{e}\n---\n{text}"));
+        assert!(text.contains("hus_storage_retries_total 3"));
+        assert!(text.contains("hus_engine_iteration 7"));
+        assert!(text.contains("hus_io_read_bytes_seq_count 6"));
+        assert!(text.ends_with("# EOF\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_quantiled() {
+        let text = render(&sample_registry());
+        // 0 → bucket le="0"; 1 → le="1"; 5 → le="7"; two 1000s → le="1023".
+        assert!(text.contains("hus_io_read_bytes_seq_bucket{le=\"0\"} 1\n"), "{text}");
+        assert!(text.contains("hus_io_read_bytes_seq_bucket{le=\"1\"} 2\n"));
+        assert!(text.contains("hus_io_read_bytes_seq_bucket{le=\"7\"} 3\n"));
+        assert!(text.contains("hus_io_read_bytes_seq_bucket{le=\"1023\"} 5\n"));
+        assert!(text.contains("hus_io_read_bytes_seq_bucket{le=\"+Inf\"} 6\n"));
+        assert!(text.contains("hus_io_read_bytes_seq_quantile{q=\"0.5\"} 7\n"));
+        // 64 KiB = 2^16 lands in bucket 17, upper bound 2^17 − 1.
+        assert!(text.contains("hus_io_read_bytes_seq_quantile{q=\"0.999\"} 131071\n"));
+    }
+
+    #[test]
+    fn empty_registry_renders_build_info_and_eof() {
+        let text = render(&Registry::new());
+        check_exposition(&text).unwrap();
+        assert!(text.contains("hus_build_info"));
+    }
+
+    #[test]
+    fn sanitizer_maps_dots_to_underscores() {
+        assert_eq!(sanitize_name("io.read_bytes.seq"), "hus_io_read_bytes_seq");
+        assert_eq!(sanitize_name("weird metric!"), "hus_weird_metric_");
+    }
+
+    #[test]
+    fn checker_rejects_malformed_expositions() {
+        assert!(check_exposition("no eof 1\n").is_err());
+        assert!(check_exposition("# TYPE x counter\nx_total nan_but_worse\n# EOF\n").is_err());
+        assert!(check_exposition("# TYPE x counter\ny_total 1\n# EOF\n").is_err());
+        assert!(check_exposition("# EOF\ntrailing 1\n").is_err());
+        assert!(check_exposition("# TYPE x gauge\nx 1\n# EOF\n").is_ok());
+    }
+
+    #[test]
+    fn server_round_trip_serves_metrics_and_health() {
+        let server = serve("127.0.0.1:0").expect("bind ephemeral");
+        let addr = server.addr();
+        let get = |path: &str| {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes()).unwrap();
+            let mut out = String::new();
+            s.read_to_string(&mut out).unwrap();
+            out
+        };
+        let health = get("/healthz");
+        assert!(health.starts_with("HTTP/1.1 200"), "{health}");
+        assert!(health.ends_with("ok\n"));
+        let metrics = get("/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200"));
+        assert!(metrics.contains("application/openmetrics-text"));
+        let body = metrics.split("\r\n\r\n").nth(1).unwrap();
+        check_exposition(body).unwrap_or_else(|e| panic!("{e}\n---\n{body}"));
+        let missing = get("/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"));
+        server.shutdown();
+    }
+}

@@ -19,17 +19,31 @@
 //! (default), every instrumentation site costs a single relaxed atomic
 //! load and branch. [`init_from_env`] flips it on when `HUS_TRACE` is
 //! set; engines may also force it per run.
+//!
+//! Two further telemetry surfaces build on the registry:
+//!
+//! * **Per-block attribution** ([`attr`]) — a heatmap of raw/encoded/
+//!   decoded bytes, cache hits/misses, decode time, retries, and
+//!   degradations keyed by edge block `(i, j)`, gated separately by
+//!   `HUS_HEATMAP`.
+//! * **OpenMetrics export** ([`export`]) — a dependency-free
+//!   `/metrics` + `/healthz` HTTP endpoint over the registry, enabled
+//!   by `HUS_METRICS_ADDR`.
 
 #![warn(missing_docs)]
 
+pub mod attr;
 pub mod env;
+pub mod export;
 pub mod metrics;
 pub mod phase;
 pub mod sink;
 pub mod span;
 pub mod table;
 
+pub use attr::{heatmap_enabled, set_heatmap_enabled, BlockIo, BlockStat};
 pub use env::{knob, EnvKnob, KNOBS};
+pub use export::MetricsServer;
 pub use metrics::{
     latency_timer, Counter, Gauge, Histogram, HistogramSnapshot, LazyCounter, LazyGauge,
     LazyHistogram, Registry,
@@ -61,8 +75,10 @@ pub fn set_enabled(on: bool) {
 }
 
 /// One-time environment wiring: if `HUS_TRACE` names a file, install a
-/// JSONL sink writing there and enable collection. Idempotent and cheap
-/// to call at every engine run.
+/// JSONL sink writing there and enable collection; if
+/// `HUS_METRICS_ADDR` is set, start the OpenMetrics exporter (which
+/// also enables collection); if `HUS_HEATMAP=1`, enable per-block
+/// attribution. Idempotent and cheap to call at every engine run.
 pub fn init_from_env() {
     ENV_INIT.get_or_init(|| {
         if let Ok(path) = std::env::var(TRACE_ENV) {
@@ -76,7 +92,11 @@ pub fn init_from_env() {
                 }
             }
         }
+        if std::env::var(attr::HEATMAP_ENV).is_ok_and(|v| v == "1") {
+            attr::set_heatmap_enabled(true);
+        }
     });
+    export::init_exporter_from_env();
 }
 
 /// End-of-iteration hook for engines: drain the spans recorded since

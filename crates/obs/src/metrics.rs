@@ -361,6 +361,65 @@ mod tests {
     }
 
     #[test]
+    fn quantile_of_empty_snapshot_is_zero() {
+        let s = Histogram::default().snapshot();
+        assert_eq!(s.count, 0);
+        for q in [0.0, 0.5, 0.999, 1.0] {
+            assert_eq!(s.quantile(q), 0);
+        }
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn quantile_of_single_sample_is_its_bucket_bound_at_every_q() {
+        let h = Histogram::default();
+        h.record(300); // bucket 9: [256, 512)
+        let s = h.snapshot();
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), 511, "q={q}");
+        }
+        // A zero sample reports the exact zero bucket.
+        let z = Histogram::default();
+        z.record(0);
+        assert_eq!(z.snapshot().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn quantile_at_bucket_boundaries() {
+        // Ten samples split 5/5 across buckets 1 ({1}) and 2 ({2,3}):
+        // the rank-5 sample is the last of bucket 1, rank 6 the first
+        // of bucket 2 — q on either side of 0.5 must straddle them.
+        let h = Histogram::default();
+        for _ in 0..5 {
+            h.record(1);
+        }
+        for _ in 0..5 {
+            h.record(2);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), 1, "rank ceil(0.5·10)=5 stays in bucket 1");
+        assert_eq!(s.quantile(0.51), 3, "rank 6 crosses into bucket 2");
+        assert_eq!(s.quantile(1.0), 3);
+        // q is clamped; out-of-range requests stay well-defined.
+        assert_eq!(s.quantile(-1.0), 1, "clamped to q=0 → rank 1");
+        assert_eq!(s.quantile(2.0), 3, "clamped to q=1");
+    }
+
+    #[test]
+    fn quantile_rank_rounds_up_not_down() {
+        // 3 samples: q=1/3 must pick rank ceil(1)=1 (the first), while
+        // q just above 1/3 picks rank 2.
+        let h = Histogram::default();
+        for v in [1, 100, 10_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(1.0 / 3.0), 1);
+        assert_eq!(s.quantile(0.34), 127, "100 ∈ [64, 128)");
+        assert_eq!(s.quantile(0.67), 16_383, "10000 ∈ [8192, 16384)");
+    }
+
+    #[test]
     fn registry_returns_shared_handles() {
         let r = Registry::new();
         let a = r.counter("io.reads");

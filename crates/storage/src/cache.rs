@@ -286,10 +286,12 @@ impl<B: ReadBackend> ReadBackend for CachedBackend<B> {
                 if flush {
                     HITS.add(GLOBAL_HIT_FLUSH);
                 }
+                hus_obs::attr::record(hus_obs::BlockStat::CacheHits, 1);
             } else {
                 let data = self.load_page(page, access)?;
                 buf[written..written + n].copy_from_slice(&data[in_page..in_page + n]);
                 MISSES.incr();
+                hus_obs::attr::record(hus_obs::BlockStat::CacheMisses, 1);
                 let mut state = shard.lock();
                 state.stats.misses += 1;
                 if state.pages.len() >= shard.max_pages {

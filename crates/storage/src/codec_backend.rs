@@ -233,13 +233,30 @@ impl CodecBackend {
         SCRATCH.with(|scratch| {
             let mut enc = scratch.borrow_mut();
             enc.resize(span.encoded_len as usize, 0);
-            self.inner.read_at(span.encoded_offset, &mut enc, access)?;
+            // The inner read runs under this block's attribution scope,
+            // so layers below (tracker, page cache, retry) land their
+            // samples on the right heatmap cell.
+            hus_obs::attr::with_block(span.id.0, span.id.1, || {
+                self.inner.read_at(span.encoded_offset, &mut enc, access)
+            })?;
             ENCODED_BYTES.add(span.encoded_len);
+            hus_obs::attr::record_at(
+                span.id.0,
+                span.id.1,
+                hus_obs::BlockStat::EncodedBytes,
+                span.encoded_len,
+            );
             if self.verify.load(Ordering::Relaxed) {
                 if let Some(crcs) = &self.crcs {
                     let actual = crc32c(&enc);
                     if actual != crcs[b] {
                         self.resilience.record_checksum_failure();
+                        hus_obs::attr::record_at(
+                            span.id.0,
+                            span.id.1,
+                            hus_obs::BlockStat::Retries,
+                            1,
+                        );
                         return Err(StorageError::ChecksumMismatch {
                             path: self.path.clone(),
                             block: span.id,
@@ -250,7 +267,8 @@ impl CodecBackend {
                     }
                 }
             }
-            let t0 = hus_obs::latency_timer();
+            let t0 =
+                (hus_obs::enabled() || hus_obs::heatmap_enabled()).then(std::time::Instant::now);
             self.codec.decode(&enc, self.record_bytes, out).map_err(|e| {
                 StorageError::Corrupt(format!(
                     "{}: block ({}, {}): {} decode failed: {e}",
@@ -260,8 +278,18 @@ impl CodecBackend {
                     self.codec.name(),
                 ))
             })?;
-            DECODE_NS.record_elapsed(t0);
+            if let Some(t0) = t0 {
+                let ns = t0.elapsed().as_nanos() as u64;
+                DECODE_NS.record(ns);
+                hus_obs::attr::record_at(span.id.0, span.id.1, hus_obs::BlockStat::DecodeNs, ns);
+            }
             DECODED_BYTES.add(span.decoded_len);
+            hus_obs::attr::record_at(
+                span.id.0,
+                span.id.1,
+                hus_obs::BlockStat::DecodedBytes,
+                span.decoded_len,
+            );
             Ok(())
         })
     }
@@ -300,6 +328,7 @@ impl ReadBackend for CodecBackend {
                 dst.copy_from_slice(&data[in_block..in_block + n]);
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 CACHE_HITS.incr();
+                hus_obs::attr::record_at(span.id.0, span.id.1, hus_obs::BlockStat::CacheHits, 1);
             } else if whole_block && access == Access::Sequential {
                 // COP stream: decode straight into the caller, uncached.
                 self.fetch_decode(b, access, dst)?;
@@ -309,6 +338,7 @@ impl ReadBackend for CodecBackend {
                 dst.copy_from_slice(&data[in_block..in_block + n]);
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 CACHE_MISSES.incr();
+                hus_obs::attr::record_at(span.id.0, span.id.1, hus_obs::BlockStat::CacheMisses, 1);
                 self.insert(b, Arc::new(data));
             }
             written += n;

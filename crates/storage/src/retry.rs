@@ -27,6 +27,19 @@ static OBS_GIVEUPS: hus_obs::LazyCounter = hus_obs::LazyCounter::new("storage.gi
 static OBS_RANGED_FALLBACKS: hus_obs::LazyCounter =
     hus_obs::LazyCounter::new("storage.fallback.ranged");
 
+/// Registry gauges mirroring the always-on [`ResilienceTracker`] totals
+/// (see [`ResilienceTracker::publish`]). Unlike the event counters
+/// above — which only tick while collection is enabled — these reflect
+/// the tracker's full history at publish time, so an exporter attached
+/// mid-run still reports every resilience event since the directory
+/// opened.
+static GAUGE_RETRIES: hus_obs::LazyGauge = hus_obs::LazyGauge::new("resilience.retries");
+static GAUGE_GIVEUPS: hus_obs::LazyGauge = hus_obs::LazyGauge::new("resilience.giveups");
+static GAUGE_MMAP_FB: hus_obs::LazyGauge = hus_obs::LazyGauge::new("resilience.mmap_fallbacks");
+static GAUGE_RANGED_FB: hus_obs::LazyGauge = hus_obs::LazyGauge::new("resilience.ranged_fallbacks");
+static GAUGE_SYNC_FB: hus_obs::LazyGauge = hus_obs::LazyGauge::new("resilience.sync_fallbacks");
+static GAUGE_CRC_FAIL: hus_obs::LazyGauge = hus_obs::LazyGauge::new("resilience.checksum_failures");
+
 /// Log `msg` to stderr the first time `once` fires — degradation events
 /// are reported once per process, then only counted.
 pub fn warn_once(once: &'static std::sync::Once, msg: &str) {
@@ -132,6 +145,23 @@ impl ResilienceTracker {
         self.checksum_failures.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Push the current totals into the metric registry as
+    /// `resilience.*` gauges (no-op while collection is disabled). The
+    /// engine calls this once per iteration so `/metrics` and `hus
+    /// top` always show the tracker's true cumulative counts.
+    pub fn publish(&self) {
+        if !hus_obs::enabled() {
+            return;
+        }
+        let s = self.snapshot();
+        GAUGE_RETRIES.set(s.retries);
+        GAUGE_GIVEUPS.set(s.giveups);
+        GAUGE_MMAP_FB.set(s.mmap_fallbacks);
+        GAUGE_RANGED_FB.set(s.ranged_fallbacks);
+        GAUGE_SYNC_FB.set(s.sync_fallbacks);
+        GAUGE_CRC_FAIL.set(s.checksum_failures);
+    }
+
     /// Current counter values.
     pub fn snapshot(&self) -> ResilienceSnapshot {
         ResilienceSnapshot {
@@ -213,6 +243,7 @@ impl RetryBackend {
     fn note_retry(&self) {
         self.resilience.record_retry();
         OBS_RETRIES.add(1);
+        hus_obs::attr::record(hus_obs::BlockStat::Retries, 1);
     }
 
     fn note_giveup(&self) {
@@ -268,6 +299,7 @@ impl ReadBackend for RetryBackend {
         );
         self.resilience.record_ranged_fallback();
         OBS_RANGED_FALLBACKS.add(1);
+        hus_obs::attr::record(hus_obs::BlockStat::Degradations, 1);
         for r in ranges {
             self.read_at(r.offset, r.buf, access)?;
         }

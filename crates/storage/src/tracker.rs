@@ -55,6 +55,9 @@ impl IoTracker {
 
     /// Record a read of `bytes` bytes with the given access pattern.
     pub fn record_read(&self, access: Access, bytes: u64) {
+        // Every billed read inside a per-block scope also lands on the
+        // heatmap as that block's raw (device) bytes.
+        hus_obs::attr::record(hus_obs::BlockStat::RawBytes, bytes);
         match access {
             Access::Sequential => {
                 self.seq_read_bytes.fetch_add(bytes, Ordering::Relaxed);

@@ -10,12 +10,17 @@
 //! hus wcc    <graph-dir> [--mode ...]
 //! hus pagerank <graph-dir> [--iters N] [--top K]
 //! hus diameter <graph-dir> [--sources N]
+//! hus audit  <graph-dir> [--algo bfs|sssp|wcc|pagerank] [--iters N] [--mode ...]
+//! hus top    <graph-dir> [--algo ...] [--refresh-ms N] [--plain]
 //! hus convert <in.{husg,txt}> <out.{husg,txt}>
 //! hus probe  [dir]
 //! ```
 //!
 //! Algorithms print the run's iteration trace, I/O ledger, and modeled
-//! HDD time alongside a result summary.
+//! HDD time alongside a result summary. `audit` replays an algorithm
+//! with full telemetry and renders the cost-model audit trail
+//! (predicted `C_rop`/`C_cop` vs. actual per iteration) plus the
+//! hottest blocks; `top` is a live terminal view of a run in flight.
 
 use hus_algos::{Bfs, PageRank, Sssp, Wcc};
 use hus_core::{
@@ -49,6 +54,10 @@ const USAGE: &str = "usage:
   hus wcc <graph-dir> [--mode hybrid|rop|cop]
   hus pagerank <graph-dir> [--iters N] [--top K]
   hus diameter <graph-dir> [--sources N]
+  hus audit <graph-dir> [--algo bfs|sssp|wcc|pagerank] [--iters N] [--source S] \
+            [--mode hybrid|rop|cop] [--blocks K]
+  hus top <graph-dir> [--algo bfs|sssp|wcc|pagerank] [--iters N] [--source S] \
+          [--refresh-ms N] [--plain]
   hus convert <in.{husg,txt}> <out.{husg,txt}>
   hus probe [dir]";
 
@@ -68,6 +77,8 @@ fn run(args: &[String]) -> CliResult {
         "wcc" => cmd_algo(&rest, Algo::Wcc),
         "pagerank" => cmd_pagerank(&rest),
         "diameter" => cmd_diameter(&rest),
+        "audit" => cmd_audit(&rest),
+        "top" => cmd_top(&rest),
         "convert" => cmd_convert(&rest),
         "probe" => cmd_probe(&rest),
         other => Err(format!("unknown command {other:?}")),
@@ -323,6 +334,209 @@ fn cmd_diameter(rest: &[&String]) -> CliResult {
     }
     println!("effective diameter (90%): {}", nf.effective_diameter(0.9));
     println!("max sampled depth:        {}", nf.max_depth());
+    Ok(())
+}
+
+/// Shared algorithm runner for `audit` and `top`: runs `algo` on `g`
+/// with the given config and returns the run statistics.
+fn run_named(g: &HusGraph, algo: &str, source: u32, config: RunConfig) -> Result<RunStats, String> {
+    let n = g.meta().num_vertices;
+    let stats = match algo {
+        "pagerank" => Engine::new(g, &PageRank::new(n), config).run().map_err(|e| e.to_string())?.1,
+        "bfs" => Engine::new(g, &Bfs::new(source), config).run().map_err(|e| e.to_string())?.1,
+        "sssp" => Engine::new(g, &Sssp::new(source), config).run().map_err(|e| e.to_string())?.1,
+        "wcc" => Engine::new(g, &Wcc, config).run().map_err(|e| e.to_string())?.1,
+        other => return Err(format!("unknown algo {other:?} (bfs|sssp|wcc|pagerank)")),
+    };
+    Ok(stats)
+}
+
+fn print_hot_blocks(k: usize) {
+    let hot = hus_obs::attr::top_k(k);
+    if hot.is_empty() {
+        return;
+    }
+    let mut t = hus_obs::Table::new(&[
+        "block",
+        "raw MB",
+        "encoded MB",
+        "cache hit%",
+        "decode ms",
+        "retries",
+        "degraded",
+    ]);
+    for b in &hot {
+        t.row(vec![
+            format!("({}, {})", b.i, b.j),
+            format!("{:.2}", b.raw_bytes as f64 / 1e6),
+            format!("{:.2}", b.encoded_bytes as f64 / 1e6),
+            format!("{:.1}", b.hit_rate() * 100.0),
+            format!("{:.2}", b.decode_ns as f64 / 1e6),
+            b.retries.to_string(),
+            b.degradations.to_string(),
+        ]);
+    }
+    t.print(&format!("hottest {} blocks by device bytes", hot.len()));
+    print!("{}", hus_obs::attr::render_heatmap(&hus_obs::attr::snapshot()));
+}
+
+/// `hus audit`: replay an algorithm with full telemetry and render the
+/// cost-model audit trail — per-iteration predicted `C_rop`/`C_cop`
+/// against the I/O actually performed, the mean misprediction ratio,
+/// and the hottest blocks by attributed device bytes.
+fn cmd_audit(rest: &[&String]) -> CliResult {
+    let g = open_graph(positional(rest, 0)?)?;
+    let algo = flag_value(rest, "--algo").unwrap_or("bfs");
+    let iters: usize =
+        flag_value(rest, "--iters").map(|s| parse(s, "iterations")).transpose()?.unwrap_or(50);
+    let source: u32 =
+        flag_value(rest, "--source").map(|s| parse(s, "source")).transpose()?.unwrap_or(0);
+    let blocks: usize =
+        flag_value(rest, "--blocks").map(|s| parse(s, "block count")).transpose()?.unwrap_or(10);
+    let mode = parse_mode(rest)?;
+    // The audit needs metrics and per-block attribution regardless of
+    // the HUS_TRACE / HUS_HEATMAP environment.
+    hus_obs::set_enabled(true);
+    hus_obs::set_heatmap_enabled(true);
+    hus_obs::attr::reset();
+    let config = RunConfig { mode, max_iterations: iters, ..Default::default() };
+    let throughput = config.throughput;
+    let stats = run_named(&g, algo, source, config)?;
+    println!(
+        "cost-model audit: {algo}, {} iterations ({})",
+        stats.num_iterations(),
+        if stats.converged { "converged" } else { "iteration cap" }
+    );
+    print!("{}", hus_core::audit::render_table(&hus_core::audit::audit_rows(&stats, &throughput)));
+    print_hot_blocks(blocks);
+    Ok(())
+}
+
+/// One refresh frame of `hus top`.
+#[allow(clippy::too_many_arguments)]
+fn draw_top_frame(
+    algo: &str,
+    iters: usize,
+    started: std::time::Instant,
+    io_now: &hus_storage::IoSnapshot,
+    io_prev: &hus_storage::IoSnapshot,
+    dt: f64,
+    resilience: &hus_storage::ResilienceSnapshot,
+    plain: bool,
+) {
+    if !plain {
+        // Clear screen, home cursor.
+        print!("\x1b[2J\x1b[H");
+    }
+    let reg = hus_obs::metrics::global();
+    let gauge = |name: &str| {
+        reg.gauge_values().iter().find(|(n, _)| *n == name).map(|(_, v)| *v).unwrap_or(0)
+    };
+    let counter = |name: &str| {
+        reg.counter_values().iter().find(|(n, _)| *n == name).map(|(_, v)| *v).unwrap_or(0)
+    };
+    let rate = io_now.total_bytes().saturating_sub(io_prev.total_bytes()) as f64 / 1e6 / dt;
+    println!(
+        "hus top — {algo}  iter {}/{iters}  frontier {}  elapsed {:.1}s",
+        gauge("engine.iteration") + 1,
+        gauge("engine.active_vertices"),
+        started.elapsed().as_secs_f64()
+    );
+    println!(
+        "io: {:6.1} MB/s  read {:.1} MB (seq {:.1} / rand {:.1} / batched {:.1})  written {:.1} MB",
+        rate,
+        io_now.read_bytes() as f64 / 1e6,
+        io_now.seq_read_bytes as f64 / 1e6,
+        io_now.rand_read_bytes as f64 / 1e6,
+        io_now.batched_read_bytes as f64 / 1e6,
+        io_now.write_bytes as f64 / 1e6,
+    );
+    let (hits, misses) = (
+        counter("storage.cache.hits") + counter("storage.codec.cache_hits"),
+        counter("storage.cache.misses") + counter("storage.codec.cache_misses"),
+    );
+    let hit_pct =
+        if hits + misses > 0 { hits as f64 / (hits + misses) as f64 * 100.0 } else { 0.0 };
+    println!(
+        "cache: {hit_pct:.1}% hit ({hits} hits / {misses} misses)  \
+         predict: {} gated / {} rop / {} cop  edges {}",
+        counter("predict.gated"),
+        counter("predict.rop_selected"),
+        counter("predict.cop_selected"),
+        counter("engine.edges_processed"),
+    );
+    println!(
+        "resilience: {} retries, {} giveups, {} checksum failures, \
+         fallbacks {} mmap / {} ranged / {} sync",
+        resilience.retries,
+        resilience.giveups,
+        resilience.checksum_failures,
+        resilience.mmap_fallbacks,
+        resilience.ranged_fallbacks,
+        resilience.sync_fallbacks,
+    );
+    let heat = hus_obs::attr::render_heatmap(&hus_obs::attr::snapshot());
+    if !heat.is_empty() {
+        println!("\nblock heatmap (device bytes):\n{heat}");
+    }
+}
+
+/// `hus top`: run an algorithm on a background thread and refresh a
+/// compact live view (progress, throughput, cache hit rate, resilience
+/// counters, block heatmap) until the run finishes.
+fn cmd_top(rest: &[&String]) -> CliResult {
+    let g = open_graph(positional(rest, 0)?)?;
+    let algo = flag_value(rest, "--algo").unwrap_or("pagerank").to_string();
+    let iters: usize =
+        flag_value(rest, "--iters").map(|s| parse(s, "iterations")).transpose()?.unwrap_or(10);
+    let source: u32 =
+        flag_value(rest, "--source").map(|s| parse(s, "source")).transpose()?.unwrap_or(0);
+    let refresh_ms: u64 = flag_value(rest, "--refresh-ms")
+        .map(|s| parse(s, "refresh interval"))
+        .transpose()?
+        .unwrap_or(500);
+    let plain = has_flag(rest, "--plain");
+    hus_obs::set_enabled(true);
+    hus_obs::set_heatmap_enabled(true);
+    hus_obs::attr::reset();
+    let tracker = g.dir().tracker();
+    let resilience = g.dir().resilience();
+    let config = RunConfig { max_iterations: iters, ..RunConfig::with_mode(parse_mode(rest)?) };
+    let started = std::time::Instant::now();
+    let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+    let worker = {
+        let algo = algo.clone();
+        std::thread::spawn(move || {
+            let r = run_named(&g, &algo, source, config);
+            drop(done_tx); // disconnects the channel: run is over
+            r
+        })
+    };
+    let mut prev = tracker.snapshot();
+    let mut prev_t = started;
+    while let Err(std::sync::mpsc::RecvTimeoutError::Timeout) =
+        done_rx.recv_timeout(std::time::Duration::from_millis(refresh_ms.max(50)))
+    {
+        let now = tracker.snapshot();
+        let now_t = std::time::Instant::now();
+        let dt = (now_t - prev_t).as_secs_f64().max(1e-6);
+        draw_top_frame(&algo, iters, started, &now, &prev, dt, &resilience.snapshot(), plain);
+        prev = now;
+        prev_t = now_t;
+    }
+    let stats = worker.join().map_err(|_| "run thread panicked".to_string())??;
+    let final_io = tracker.snapshot();
+    draw_top_frame(
+        &algo,
+        iters,
+        started,
+        &final_io,
+        &prev,
+        (std::time::Instant::now() - prev_t).as_secs_f64().max(1e-6),
+        &resilience.snapshot(),
+        plain,
+    );
+    report_run(&stats);
     Ok(())
 }
 
