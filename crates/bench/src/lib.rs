@@ -20,7 +20,7 @@ pub mod harness;
 pub mod report;
 
 pub use harness::{
-    bench_json_preamble, build_stores, run_hus, run_system, workload, AlgoKind, Stores, SystemKind,
-    Workload, BENCH_SCHEMA,
+    bench_json_preamble, bench_json_preamble_v, build_stores, run_hus, run_system, workload,
+    AlgoKind, Stores, SystemKind, Workload, BENCH_PIPELINE_SCHEMA, BENCH_SCHEMA,
 };
 pub use report::{fmt_gb, fmt_secs, fmt_speedup, Table};

@@ -228,22 +228,12 @@ impl EdgeBlockCodec for DeltaVarintCodec {
             };
         }
         let mut pos = 0usize;
-        let err_at = |k: usize| CodecError::Truncated { decoded_records: k, expected_records: n };
-        let base = read_varint(encoded, &mut pos).map_err(|_| err_at(0))?;
+        let base = read_varint(encoded, &mut pos)
+            .map_err(|_| CodecError::Truncated { decoded_records: 0, expected_records: n })?;
         if base > u32::MAX as u64 {
             return Err(CodecError::ValueOutOfRange);
         }
-        let mut prev = base as i64;
-        for k in 0..n {
-            let z = read_varint(encoded, &mut pos).map_err(|_| err_at(k))?;
-            let v = prev + unzigzag(z);
-            if !(0..=u32::MAX as i64).contains(&v) {
-                return Err(CodecError::ValueOutOfRange);
-            }
-            let at = k * record_bytes;
-            out[at..at + 4].copy_from_slice(&(v as u32).to_le_bytes());
-            prev = v;
-        }
+        decode_deltas(encoded, record_bytes, out, n, &mut pos, base as i64)?;
         if record_bytes == 8 {
             let want = 4 * n;
             let have = encoded.len() - pos;
@@ -264,6 +254,306 @@ impl EdgeBlockCodec for DeltaVarintCodec {
         }
         Ok(())
     }
+}
+
+/// Decode the `n` zigzag delta varints of a block into the neighbor
+/// column of `out`, dispatching to the BMI2 (`pext`) hot loop when the
+/// host supports it. Error semantics are bit-identical to a plain
+/// [`read_varint`] loop — the round-trip and malformed-payload tests
+/// pin this.
+fn decode_deltas(
+    encoded: &[u8],
+    record_bytes: usize,
+    out: &mut [u8],
+    n: usize,
+    pos: &mut usize,
+    prev: i64,
+) -> Result<(), CodecError> {
+    #[cfg(target_arch = "x86_64")]
+    if bmi2_available() {
+        // SAFETY: gated on the runtime BMI2 check above.
+        return unsafe { decode_deltas_bmi2(encoded, record_bytes, out, n, pos, prev) };
+    }
+    decode_deltas_impl(varint_bits_portable, encoded, record_bytes, out, n, pos, prev)
+}
+
+#[cfg(target_arch = "x86_64")]
+fn bmi2_available() -> bool {
+    static BMI2: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *BMI2.get_or_init(|| std::arch::is_x86_feature_detected!("bmi2"))
+}
+
+/// BMI2 flavor: `pext` gathers the varint's payload bits (the low 7 of
+/// each byte between its start bit `lo` and terminator bit `t`) in one
+/// instruction, with no per-varint shifts.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "bmi2")]
+unsafe fn decode_deltas_bmi2(
+    encoded: &[u8],
+    record_bytes: usize,
+    out: &mut [u8],
+    n: usize,
+    pos: &mut usize,
+    prev: i64,
+) -> Result<(), CodecError> {
+    decode_deltas_impl(
+        #[inline(always)]
+        |w: u64, lo: u64, t: u64| {
+            // Bytes lo..=t of the word, low 7 bits of each — the
+            // varint's payload bits, used as the pext mask so they pack
+            // down from bit 0 of the result.
+            let bytes = (t << 1).wrapping_sub(lo);
+            // SAFETY: the enclosing `target_feature` fn requires BMI2,
+            // and the closure inherits its unsafe context.
+            std::arch::x86_64::_pext_u64(w, bytes & 0x7f7f_7f7f_7f7f_7f7f)
+        },
+        encoded,
+        record_bytes,
+        out,
+        n,
+        pos,
+        prev,
+    )
+}
+
+/// Portable extraction of a ≤8-byte LEB128 varint's payload bits from a
+/// little-endian word. `lo` is bit 0 of the varint's first byte, `t`
+/// the high (terminator) bit of its last byte. Byte `k`'s low 7 bits
+/// land at bit `7k`; the cascade is branch-free.
+#[inline(always)]
+fn varint_bits_portable(w: u64, lo: u64, t: u64) -> u64 {
+    let w = (w & ((t << 1).wrapping_sub(lo))) >> lo.trailing_zeros();
+    (w & 0x7f)
+        | ((w >> 1) & (0x7f << 7))
+        | ((w >> 2) & (0x7f << 14))
+        | ((w >> 3) & (0x7f << 21))
+        | ((w >> 4) & (0x7f << 28))
+        | ((w >> 5) & (0x7f << 35))
+        | ((w >> 6) & (0x7f << 42))
+        | ((w >> 7) & (0x7f << 49))
+}
+
+/// Vector decode of one uniform four-×-2-byte-varint word (the dominant
+/// word shape in real delta streams): splices each varint's 14 payload
+/// bits in 16-bit lanes, widens to 32-bit lanes, undoes zigzag, runs a
+/// lane-shift prefix sum, adds the broadcast running value and stores
+/// all four ids with one 16-byte write. Returns the new running value
+/// and the lanes' sign-bit mask.
+///
+/// Lane arithmetic is mod 2³², so the caller must rule out true i64
+/// values outside `0..=u32::MAX`: each delta here is at most ±8191, so
+/// `prev <= u32::MAX - 4 * 8191` rules out positive overflow, and when
+/// `prev < 2³¹ - 4 * 8191` a dip below zero wraps to a value with its
+/// sign bit set while every legal id keeps it clear — the returned
+/// mask being non-zero is then exactly `ValueOutOfRange`. For larger
+/// `prev` no dip is possible and the mask is meaningless.
+///
+/// # Safety
+/// `dst` must have room for 16 bytes. (SSE2 itself is baseline x86_64.)
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+unsafe fn decode4_2byte_sse2(w: u64, prev: u32, dst: *mut u8) -> (u32, u32) {
+    use std::arch::x86_64::*;
+    let v = _mm_cvtsi64_si128(w as i64);
+    // Per 16-bit lane [payload0, payload1|0x80]: value = low 7 bits of
+    // byte 0, then the next 7 bits from byte 1 shifted down past the
+    // continuation bit.
+    let z16 = _mm_or_si128(
+        _mm_and_si128(v, _mm_set1_epi16(0x7f)),
+        _mm_and_si128(_mm_srli_epi16(v, 1), _mm_set1_epi16(0x3f80)),
+    );
+    let z = _mm_unpacklo_epi16(z16, _mm_setzero_si128());
+    // unzigzag in lanes: (z >> 1) ^ sign-extend(z & 1).
+    let half = _mm_srli_epi32(z, 1);
+    let sign = _mm_srai_epi32(_mm_slli_epi32(z, 31), 31);
+    let d = _mm_xor_si128(half, sign);
+    // Inclusive prefix sum across the four lanes.
+    let d = _mm_add_epi32(d, _mm_slli_si128(d, 4));
+    let d = _mm_add_epi32(d, _mm_slli_si128(d, 8));
+    let ids = _mm_add_epi32(d, _mm_set1_epi32(prev as i32));
+    _mm_storeu_si128(dst as *mut __m128i, ids);
+    (
+        _mm_cvtsi128_si32(_mm_shuffle_epi32(ids, 0xFF)) as u32,
+        _mm_movemask_ps(_mm_castsi128_ps(ids)) as u32,
+    )
+}
+
+/// The shared delta-decode hot loop: while at least a whole `u64` of
+/// payload remains, load it once, locate **every** varint terminator in
+/// it with one bit-scan pass, and decode all complete varints of the
+/// word before advancing — so the serial position chain (load → find
+/// terminator → advance) is amortised over the ~4 varints a word
+/// typically holds, and the per-varint extraction (`extract` is the
+/// portable shift-mask cascade or BMI2 `pext`) runs with instruction
+/// parallelism against the same register. The last few records — and
+/// any varint longer than 8 bytes, which no well-formed delta produces
+/// — fall back to the byte-at-a-time [`read_varint`] so malformed
+/// payloads surface the same errors as the original scalar decoder.
+#[inline(always)]
+fn decode_deltas_impl(
+    extract: impl Fn(u64, u64, u64) -> u64,
+    encoded: &[u8],
+    record_bytes: usize,
+    out: &mut [u8],
+    n: usize,
+    pos: &mut usize,
+    mut prev: i64,
+) -> Result<(), CodecError> {
+    // Upholds the unsafe stores below; record_bytes is 4 or 8 for every
+    // wire format this crate defines (a violation panicked before, too,
+    // as a slice-bounds overrun in the write loop).
+    assert!(out.len() == n * record_bytes && record_bytes >= 4);
+    let mut p = *pos;
+    let mut k = 0usize;
+    // Neighbor-column write cursor, bumped by one record per decode —
+    // kept in lockstep with `k` (the scalar tail re-derives from `k`).
+    let mut dst = out.as_mut_ptr();
+    while k < n && p + 8 <= encoded.len() {
+        // SAFETY: `p + 8 <= encoded.len()` was just checked.
+        let w = unsafe { (encoded.as_ptr().add(p) as *const u64).read_unaligned() }.to_le();
+        let mut term = !w & 0x8080_8080_8080_8080;
+        if term == 0 {
+            break; // ≥9-byte varint: let the scalar path judge it.
+        }
+        // Out-of-range detection is deferred to the end of the word:
+        // `acc` ORs every decoded value, and any bit at or above 32 —
+        // a negative value seen as u64, or a positive overflow — means
+        // some record left u32 range, so the hot loop carries no
+        // per-record branch. Values written after a bad one are
+        // garbage, but `out` is unspecified on error and the chain
+        // cannot overflow within one word.
+        let mut acc = 0u64;
+        // `lo` walks the word: bit 0 of the varint being decoded.
+        let mut lo = 1u64;
+        // One record: isolate the lowest terminator bit, extract the
+        // payload bits between `lo` and it, undo zigzag, step cursors.
+        macro_rules! rec {
+            () => {{
+                let t = term & term.wrapping_neg();
+                let z = extract(w, lo, t);
+                let v = prev.wrapping_add(unzigzag(z));
+                acc |= v as u64;
+                // SAFETY: `dst` has stepped `< n` records of size
+                // `record_bytes >= 4` through an `n * record_bytes`
+                // buffer, so 4 bytes here are in bounds.
+                unsafe {
+                    (dst as *mut [u8; 4]).write_unaligned((v as u32).to_le_bytes());
+                    dst = dst.add(record_bytes);
+                }
+                prev = v;
+                lo = t << 1;
+                term &= term - 1;
+            }};
+        }
+        // Uniform-width fast words: real delta streams are dominated by
+        // words that are exactly four 2-byte varints (gaps of 64..8191)
+        // or eight 1-byte ones (dense runs), and for those the payload
+        // extraction collapses to a constant shift/mask — no per-varint
+        // bit isolation at all.
+        if term == 0x8000_8000_8000_8000 && n - k >= 4 {
+            p += 8;
+            k += 4;
+            #[cfg(target_arch = "x86_64")]
+            {
+                // Take the SSE2 lane decode unless `prev` sits within
+                // one word's worst-case positive swing of `u32::MAX`
+                // (where only the i64 chain can judge overflow) or
+                // records carry weights (strided stores).
+                const SWING: i64 = 4 * 8191;
+                if record_bytes == 4 && prev <= u32::MAX as i64 - SWING {
+                    // SAFETY: k + 4 <= n and record_bytes == 4, so 16
+                    // bytes of `out` remain.
+                    let (next, signs) = unsafe { decode4_2byte_sse2(w, prev as u32, dst) };
+                    // Below 2³¹ every legal id this word keeps its sign
+                    // bit clear, so a set one is a mod-2³² wrap: the
+                    // true chain went negative.
+                    if signs != 0 && prev < (1i64 << 31) - SWING {
+                        return Err(CodecError::ValueOutOfRange);
+                    }
+                    prev = next as i64;
+                    // SAFETY: stays in lockstep with `k += 4` above.
+                    unsafe { dst = dst.add(16) };
+                    continue;
+                }
+            }
+            // Each 16-bit lane holds one varint: low 7 payload bits in
+            // byte 0, next 7 in byte 1 (its top bit is the terminator).
+            let mut zs = (w & 0x007f_007f_007f_007f) | ((w >> 1) & 0x3f80_3f80_3f80_3f80);
+            for _ in 0..4 {
+                let v = prev.wrapping_add(unzigzag(zs & 0xffff));
+                acc |= v as u64;
+                // SAFETY: as in `rec!` — at most `n` records stored.
+                unsafe {
+                    (dst as *mut [u8; 4]).write_unaligned((v as u32).to_le_bytes());
+                    dst = dst.add(record_bytes);
+                }
+                prev = v;
+                zs >>= 16;
+            }
+        } else if term == 0x8080_8080_8080_8080 && n - k >= 8 {
+            p += 8;
+            k += 8;
+            let mut zs = w & 0x7f7f_7f7f_7f7f_7f7f;
+            for _ in 0..8 {
+                let v = prev.wrapping_add(unzigzag(zs & 0x7f));
+                acc |= v as u64;
+                // SAFETY: as in `rec!` — at most `n` records stored.
+                unsafe {
+                    (dst as *mut [u8; 4]).write_unaligned((v as u32).to_le_bytes());
+                    dst = dst.add(record_bytes);
+                }
+                prev = v;
+                zs >>= 8;
+            }
+        } else if term.count_ones() as usize <= n - k {
+            let nvar = term.count_ones() as usize;
+            // Every complete varint of this word is wanted. Advance `p`
+            // NOW, from the highest terminator alone, so the next
+            // word's load does not wait for this word's decode loop.
+            p += 8 - (term.leading_zeros() / 8) as usize;
+            k += nvar;
+            let mut left = nvar;
+            while left >= 2 {
+                rec!();
+                rec!();
+                left -= 2;
+            }
+            if left == 1 {
+                rec!();
+            }
+            // The cursors the last `rec!` updated are dead here — the
+            // next word rebuilds them.
+            let _ = (lo, term);
+        } else {
+            // Fewer records wanted than varints present (the block's
+            // last word): decode only what fits, then count the bytes
+            // actually consumed off `lo`. `lo` cannot wrap to 0 here —
+            // a terminator in byte 7 would be the word's last varint,
+            // which this branch never reaches.
+            for _ in 0..(n - k) {
+                rec!();
+            }
+            k = n;
+            p += (lo.trailing_zeros() / 8) as usize;
+        }
+        if acc >> 32 != 0 {
+            return Err(CodecError::ValueOutOfRange);
+        }
+    }
+    while k < n {
+        let z = read_varint(encoded, &mut p)
+            .map_err(|_| CodecError::Truncated { decoded_records: k, expected_records: n })?;
+        let v = prev + unzigzag(z);
+        if !(0..=u32::MAX as i64).contains(&v) {
+            return Err(CodecError::ValueOutOfRange);
+        }
+        let at = k * record_bytes;
+        out[at..at + 4].copy_from_slice(&(v as u32).to_le_bytes());
+        prev = v;
+        k += 1;
+    }
+    *pos = p;
+    Ok(())
 }
 
 /// The set of built-in codecs, as a copyable selector used in build
@@ -481,6 +771,37 @@ mod tests {
             roundtrip(codec, &unsorted, Some(&weights));
             roundtrip(codec, &[u32::MAX, 0, u32::MAX], None);
         }
+    }
+
+    #[test]
+    fn delta_varint_word_paths_cover_u32_boundaries() {
+        // Sequences chosen so the decoder's whole-word fast paths (all
+        // 1-byte, all 2-byte / SSE2 lanes, mixed widths) hit every range
+        // guard: small ids near zero, ids straddling 2^31 (lane sign
+        // bits set on legal data), and ids within one word's swing of
+        // u32::MAX (forced off the lane path).
+        let two_byte_steps: Vec<u32> = (0..64).map(|k| 100 + k * 500).collect();
+        let sawtooth: Vec<u32> =
+            (0..64).map(|k| 40_000 + (k % 7) * 4000 - 2000 * (k % 2)).collect();
+        let straddle: Vec<u32> = (0..64).map(|k| (1u32 << 31) - 8_000 + k * 300).collect();
+        let near_max: Vec<u32> = (0..64).map(|k| u32::MAX - 40_000 + k * 600).collect();
+        let one_byte: Vec<u32> = (0..64).map(|k| 5_000 + k * 31).collect();
+        let weights: Vec<f32> = (0..64).map(|k| k as f32 * 0.25).collect();
+        for seq in [&two_byte_steps, &sawtooth, &straddle, &near_max, &one_byte] {
+            roundtrip(Codec::DeltaVarint, seq, None);
+            roundtrip(Codec::DeltaVarint, seq, Some(&weights));
+        }
+
+        // A whole word of 2-byte deltas whose chain dips below zero:
+        // the lane path must report it as out of range, exactly like
+        // the scalar chain.
+        let mut bad = Vec::new();
+        write_varint(&mut bad, 1000); // base
+        for _ in 0..4 {
+            write_varint(&mut bad, zigzag(-2000)); // 2 bytes each
+        }
+        let mut out = vec![0u8; 16];
+        assert_eq!(Codec::DeltaVarint.decode(&bad, 4, &mut out), Err(CodecError::ValueOutOfRange));
     }
 
     #[test]

@@ -102,7 +102,9 @@ struct PipelineState<V> {
 }
 
 /// Process column `col` under COP with a readahead window of
-/// `readahead` blocks. `touched_col` says whether `D_col` was already
+/// `readahead` blocks and at most `queue_depth` concurrent producer
+/// fetches (see [`RunConfig::queue_depth`](crate::RunConfig)).
+/// `touched_col` says whether `D_col` was already
 /// initialized this iteration. Returns the updated `D_col` (not yet
 /// written back) and the number of edge records streamed (COP pays for
 /// every in-edge of the column, active or not — that is its trade).
@@ -120,8 +122,9 @@ fn process_column<Pr: VertexProgram>(
     col: usize,
     touched_col: bool,
     readahead: usize,
+    queue_depth: usize,
 ) -> Result<(Vec<Pr::Value>, u64)> {
-    match process_column_inner(ctx, store, col, touched_col, readahead) {
+    match process_column_inner(ctx, store, col, touched_col, readahead, queue_depth) {
         Err(e) if readahead > 1 && !e.is_corruption() => {
             hus_storage::retry::warn_once(
                 &SYNC_FALLBACK_ONCE,
@@ -143,7 +146,7 @@ fn process_column<Pr: VertexProgram>(
                     }
                 }
             }
-            process_column_inner(ctx, store, col, touched_col, 0)
+            process_column_inner(ctx, store, col, touched_col, 0, queue_depth)
         }
         other => other,
     }
@@ -157,6 +160,7 @@ fn process_column_inner<Pr: VertexProgram>(
     col: usize,
     touched_col: bool,
     readahead: usize,
+    queue_depth: usize,
 ) -> Result<(Vec<Pr::Value>, u64)> {
     let meta = ctx.graph.meta();
     let mut d_col = load_d(ctx.program, store, col, touched_col, Access::Sequential)?;
@@ -202,7 +206,9 @@ fn process_column_inner<Pr: VertexProgram>(
     });
     let wakeup = Condvar::new();
     let next_fetch = AtomicUsize::new(0);
-    let producers = depth.min(4);
+    // Producer fan-out = the configured queue depth, clamped by the
+    // window (more producers than resident slots would just park).
+    let producers = depth.min(queue_depth.max(1));
     let record_bytes = meta.edge_record_bytes();
 
     let result: Result<()> = std::thread::scope(|scope| {
@@ -296,8 +302,9 @@ pub fn run_column<Pr: VertexProgram>(
     col: usize,
     touched_col: bool,
     readahead: usize,
+    queue_depth: usize,
 ) -> Result<u64> {
-    let (d_col, streamed) = process_column(ctx, store, col, touched_col, readahead)?;
+    let (d_col, streamed) = process_column(ctx, store, col, touched_col, readahead, queue_depth)?;
     store.write_next(col, &d_col)?;
     Ok(streamed)
 }
@@ -311,6 +318,7 @@ pub fn run_columns<Pr: VertexProgram>(
     ctx: &IterCtx<'_, Pr>,
     store: &VertexStore<Pr::Value>,
     readahead: usize,
+    queue_depth: usize,
 ) -> Result<u64> {
     fn join_write(pending: Option<std::thread::ScopedJoinHandle<'_, Result<()>>>) -> Result<()> {
         match pending {
@@ -327,7 +335,7 @@ pub fn run_columns<Pr: VertexProgram>(
         for col in 0..ctx.graph.p() {
             let processed = {
                 let _s = span!("cop.column", interval = col);
-                process_column(ctx, store, col, false, readahead)
+                process_column(ctx, store, col, false, readahead, queue_depth)
             };
             // The previous column's write-back overlapped this column's
             // processing; collect it before publishing the next one.

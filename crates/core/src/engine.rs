@@ -124,7 +124,8 @@ pub enum Synchrony {
 ///
 /// [`Default`] resolves every knob from the environment where an
 /// override exists (`HUS_PARALLEL_ROWS`, `HUS_READAHEAD`,
-/// `HUS_MERGE_SLACK`, `HUS_VERIFY`; see the README's knob table).
+/// `HUS_QUEUE_DEPTH`, `HUS_MERGE_SLACK`, `HUS_VERIFY`; see the
+/// README's knob table).
 /// Struct-update syntax pins just the fields a caller cares about:
 ///
 /// ```
@@ -193,12 +194,24 @@ pub struct RunConfig {
     /// checkpoint bit-identically (see DESIGN.md §10 and
     /// [`crate::checkpoint`]). Env override: `HUS_CKPT`.
     pub checkpoint_every: u32,
+    /// Upper bound on concurrent in-flight block fetches per COP column
+    /// walk (the producer fan-out of the readahead pipeline). This is
+    /// the software queue depth presented to the storage backend: the
+    /// direct-I/O backend maps it onto its io_uring submission queue,
+    /// while buffered backends see it as producer-thread parallelism.
+    /// Env override: `HUS_QUEUE_DEPTH`.
+    pub queue_depth: usize,
 }
 
 /// Default [`RunConfig::range_merge_slack`]: one 4 KiB device sector —
 /// ranges closer than a sector apart cost the device nothing extra to
 /// read as one run.
 pub const DEFAULT_MERGE_SLACK: u64 = 4096;
+
+/// Default [`RunConfig::queue_depth`]: matches the direct backend's
+/// default io_uring ring size so one column walk can keep the ring full
+/// without overcommitting producer threads on buffered backends.
+pub const DEFAULT_QUEUE_DEPTH: usize = 8;
 
 fn env_parse<T: std::str::FromStr>(name: &str, default: T) -> T {
     std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
@@ -228,6 +241,7 @@ impl Default for RunConfig {
             range_merge_slack: env_parse("HUS_MERGE_SLACK", DEFAULT_MERGE_SLACK),
             verify_checksums: env_flag("HUS_VERIFY", false),
             checkpoint_every: env_parse("HUS_CKPT", 0),
+            queue_depth: env_parse("HUS_QUEUE_DEPTH", DEFAULT_QUEUE_DEPTH),
         }
     }
 }
@@ -459,6 +473,7 @@ impl<'a, Pr: VertexProgram> Engine<'a, Pr> {
                 merge_slack: self.config.range_merge_slack,
             };
             let readahead = self.config.effective_readahead();
+            let queue_depth = self.config.queue_depth.max(1);
 
             let mut edges_this_iter = 0u64;
             let mut rop_units = 0u32;
@@ -519,8 +534,14 @@ impl<'a, Pr: VertexProgram> Engine<'a, Pr> {
                         UpdateModel::Cop => {
                             {
                                 let _s = span!("cop.column", interval = col);
-                                edges_this_iter +=
-                                    cop::run_column(&ctx, &store, col, false, readahead)?;
+                                edges_this_iter += cop::run_column(
+                                    &ctx,
+                                    &store,
+                                    col,
+                                    false,
+                                    readahead,
+                                    queue_depth,
+                                )?;
                             }
                             phase_io.lap(&tracker, "cop");
                             cop_units += 1;
@@ -644,8 +665,14 @@ impl<'a, Pr: VertexProgram> Engine<'a, Pr> {
                             for col in 0..p {
                                 {
                                     let _s = span!("cop.column", interval = col);
-                                    edges_this_iter +=
-                                        cop::run_column(&ctx, &store, col, false, readahead)?;
+                                    edges_this_iter += cop::run_column(
+                                        &ctx,
+                                        &store,
+                                        col,
+                                        false,
+                                        readahead,
+                                        queue_depth,
+                                    )?;
                                     store.commit(col);
                                 }
                                 phase_io.lap(&tracker, "cop");
@@ -655,7 +682,8 @@ impl<'a, Pr: VertexProgram> Engine<'a, Pr> {
                             // Synchronous: columns write disjoint next
                             // buffers, so each column's write-back
                             // overlaps the next column's fetches.
-                            edges_this_iter += cop::run_columns(&ctx, &store, readahead)?;
+                            edges_this_iter +=
+                                cop::run_columns(&ctx, &store, readahead, queue_depth)?;
                             phase_io.lap(&tracker, "cop");
                             cop_units += p as u32;
                             {

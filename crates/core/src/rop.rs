@@ -173,11 +173,21 @@ pub fn selective_index_probe(active_count: usize, interval_len: usize, index_rat
 /// runs: consecutive ranges whose byte gap is at most `slack_bytes`
 /// share a run (issued as one batched multi-range read). `None` disables
 /// merging — every range becomes its own singleton run.
+///
+/// The plan must be sorted by record offset (it is built by an ascending
+/// vertex walk, and vertex order equals offset order within a block) —
+/// that is what makes each merged run a valid sorted batch for
+/// [`ReadBackend::read_ranges`](hus_storage::ReadBackend::read_ranges),
+/// which asserts sortedness in debug builds.
 fn merge_runs(
     plan: &[(VertexId, u32, u32)],
     record_bytes: u64,
     slack_bytes: Option<u64>,
 ) -> Vec<std::ops::Range<usize>> {
+    debug_assert!(
+        plan.windows(2).all(|w| w[0].1 <= w[1].1),
+        "selective ROP plan must be sorted by record offset"
+    );
     if plan.is_empty() {
         return Vec::new();
     }
@@ -396,5 +406,15 @@ mod tests {
         // Disabled merging yields singletons.
         assert_eq!(merge_runs(&plan, 4, None), vec![0..1, 1..2, 2..3, 3..4]);
         assert!(merge_runs(&[], 4, Some(64)).is_empty());
+    }
+
+    /// An out-of-order plan is a logic error upstream (the vertex walk
+    /// is ascending); debug builds must refuse to batch it.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "sorted by record offset")]
+    fn merge_runs_rejects_unsorted_plan_in_debug() {
+        let plan: Vec<(VertexId, u32, u32)> = vec![(0, 10, 12), (1, 0, 4)];
+        let _ = merge_runs(&plan, 4, Some(8));
     }
 }

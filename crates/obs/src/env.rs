@@ -24,6 +24,15 @@ pub struct EnvKnob {
 /// fails if a variable is read but not registered here (or vice versa).
 pub const KNOBS: &[EnvKnob] = &[
     EnvKnob {
+        name: "HUS_BACKEND",
+        default: "`file`",
+        effect: "storage read backend for graphs opened without an explicit choice: \
+                 `file` (buffered `pread`), `mmap` (shared map copy-out) or `direct` \
+                 (`O_DIRECT` + io_uring when available, pooled aligned buffers; \
+                 degrades to `file` on filesystems that refuse `O_DIRECT`, e.g. \
+                 tmpfs — see `DESIGN.md` §3.5)",
+    },
+    EnvKnob {
         name: "HUS_CKPT",
         default: "`0`",
         effect: "checkpoint the full iteration state (vertex values + frontier) into \
@@ -108,6 +117,13 @@ pub const KNOBS: &[EnvKnob] = &[
         effect: "`1` measures the host's real `T_sequential`/`T_random` once with the \
                  built-in fio-style probe (same measurement as `hus probe`) and feeds \
                  them to the hybrid predictor instead of the device preset",
+    },
+    EnvKnob {
+        name: "HUS_QUEUE_DEPTH",
+        default: "`8`",
+        effect: "I/O queue depth: concurrent producer fetches per COP column walk and \
+                 the io_uring submission-queue size of the `direct` backend (see \
+                 `DESIGN.md` §3.5)",
     },
     EnvKnob {
         name: "HUS_READAHEAD",

@@ -7,6 +7,7 @@
 
 use crate::buffer::TrackedWriter;
 use crate::cache::CachedBackend;
+use crate::direct::DirectBackend;
 use crate::durable;
 use crate::error::{Result, StorageError};
 use crate::fault::{FaultInjectBackend, FaultSpec};
@@ -21,6 +22,13 @@ use std::sync::Arc;
 
 static OBS_MMAP_FALLBACKS: hus_obs::LazyCounter =
     hus_obs::LazyCounter::new("storage.fallback.mmap");
+static OBS_DIRECT_FALLBACKS: hus_obs::LazyCounter =
+    hus_obs::LazyCounter::new("storage.fallback.direct");
+
+/// Environment variable selecting the default read backend
+/// (`file` | `mmap` | `direct`) for directories opened without an
+/// explicit [`BackendKind`].
+pub const BACKEND_ENV: &str = "HUS_BACKEND";
 
 /// Which mechanism serves reads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -30,6 +38,12 @@ pub enum BackendKind {
     File,
     /// Shared read-only memory map (zero-copy block access).
     Mmap,
+    /// `O_DIRECT` positioned reads bypassing the OS page cache, served
+    /// from pooled 4 KiB-aligned buffers with vectored multi-range
+    /// submission (io_uring or thread fan-out; see [`crate::direct`]).
+    /// Degrades to [`BackendKind::File`] on filesystems that refuse
+    /// `O_DIRECT` (e.g. tmpfs).
+    Direct,
     /// File reads behind a per-file LRU page cache of the given byte
     /// budget — models an explicit memory budget: cache hits are not
     /// billed as device I/O (see [`crate::cache`]).
@@ -37,6 +51,32 @@ pub enum BackendKind {
         /// Cache budget per opened file, in bytes.
         budget_bytes: u64,
     },
+}
+
+impl BackendKind {
+    /// The default backend, honoring the `HUS_BACKEND` environment
+    /// variable (`file` | `mmap` | `direct`). Unknown values are
+    /// reported once and fall back to [`BackendKind::File`]; explicit
+    /// [`StorageDir::with_backend`] / [`StorageDir::create_with`]
+    /// selections are never overridden by the environment.
+    pub fn default_from_env() -> BackendKind {
+        match std::env::var(BACKEND_ENV) {
+            Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+                "" | "file" => BackendKind::File,
+                "mmap" => BackendKind::Mmap,
+                "direct" => BackendKind::Direct,
+                other => {
+                    static WARNED: std::sync::Once = std::sync::Once::new();
+                    warn_once(
+                        &WARNED,
+                        &format!("unknown {BACKEND_ENV}={other:?}; using the file backend"),
+                    );
+                    BackendKind::File
+                }
+            },
+            Err(_) => BackendKind::File,
+        }
+    }
 }
 
 /// A directory of named data files with shared I/O accounting.
@@ -51,10 +91,10 @@ pub struct StorageDir {
 }
 
 impl StorageDir {
-    /// Create (or reuse) the directory at `root` with the default
-    /// file-read backend.
+    /// Create (or reuse) the directory at `root` with the default read
+    /// backend (`HUS_BACKEND`, or positioned file reads when unset).
     pub fn create(root: impl AsRef<Path>) -> Result<Self> {
-        Self::create_with(root, BackendKind::File)
+        Self::create_with(root, BackendKind::default_from_env())
     }
 
     /// Create (or reuse) the directory at `root`, selecting the read
@@ -66,13 +106,14 @@ impl StorageDir {
         Ok(Self::assemble(root, kind))
     }
 
-    /// Open an existing directory (errors if absent).
+    /// Open an existing directory (errors if absent) with the default
+    /// read backend (`HUS_BACKEND`, or positioned file reads when unset).
     pub fn open(root: impl AsRef<Path>) -> Result<Self> {
         let root = root.as_ref().to_path_buf();
         if !root.is_dir() {
             return Err(StorageError::MissingFile(root));
         }
-        Ok(Self::assemble(root, BackendKind::File))
+        Ok(Self::assemble(root, BackendKind::default_from_env()))
     }
 
     fn assemble(root: PathBuf, kind: BackendKind) -> Self {
@@ -158,12 +199,14 @@ impl StorageDir {
     /// Open a named file for tracked reading with the configured backend.
     ///
     /// The handed-out backend is composed as
-    /// `Cached?( Retry( FaultInject?( File | Mmap ) ) )`: retries sit
-    /// below the page cache (hits never consult the device) and above
-    /// fault injection (injected transient faults exercise the real retry
-    /// path). If an mmap cannot be established, the reader degrades to
-    /// the positioned-read file backend — logged once and counted in
-    /// [`ResilienceTracker::snapshot`] as an `mmap_fallback`.
+    /// `Cached?( Retry( FaultInject?( File | Mmap | Direct ) ) )`:
+    /// retries sit below the page cache (hits never consult the device)
+    /// and above fault injection (injected transient faults exercise the
+    /// real retry path). If an mmap cannot be established, or the
+    /// filesystem refuses `O_DIRECT` (tmpfs, some network mounts), the
+    /// reader degrades to the positioned-read file backend — logged once
+    /// and counted in [`ResilienceTracker::snapshot`] as an
+    /// `mmap_fallback` / `direct_fallback`.
     pub fn reader(&self, name: &str) -> Result<Arc<dyn ReadBackend>> {
         let p = self.path(name);
         if !p.is_file() {
@@ -182,6 +225,22 @@ impl StorageDir {
                     );
                     self.resilience.record_mmap_fallback();
                     OBS_MMAP_FALLBACKS.add(1);
+                    Arc::new(FileBackend::open(p, self.tracker())?)
+                }
+            },
+            BackendKind::Direct => match DirectBackend::open(&p, self.tracker()) {
+                Ok(d) => Arc::new(d),
+                Err(e) => {
+                    static WARNED: std::sync::Once = std::sync::Once::new();
+                    warn_once(
+                        &WARNED,
+                        &format!(
+                            "O_DIRECT open of {} failed ({e}); degrading to file backend",
+                            p.display()
+                        ),
+                    );
+                    self.resilience.record_direct_fallback();
+                    OBS_DIRECT_FALLBACKS.add(1);
                     Arc::new(FileBackend::open(p, self.tracker())?)
                 }
             },
@@ -542,6 +601,28 @@ mod tests {
         w.finish().unwrap();
         let r = dir.reader("x.bin").unwrap();
         assert_eq!(r.len(), 32);
+    }
+
+    #[test]
+    fn direct_kind_reads_correctly_or_degrades() {
+        // On filesystems without O_DIRECT (tmpfs) the reader silently
+        // degrades to the file backend; either way the bytes and the
+        // billing must be identical to BackendKind::File.
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create_with(tmp.path().join("d"), BackendKind::Direct).unwrap();
+        let data: Vec<u8> = (0..9000u32).map(|i| (i % 251) as u8).collect();
+        let mut w = dir.writer("x.bin").unwrap();
+        w.write_all(&data).unwrap();
+        w.finish().unwrap();
+        dir.tracker().reset();
+        let r = dir.reader("x.bin").unwrap();
+        assert_eq!(r.len(), data.len() as u64);
+        let mut buf = vec![0u8; 5000];
+        r.read_at(3000, &mut buf, Access::Random).unwrap();
+        assert_eq!(buf, data[3000..8000]);
+        let s = dir.tracker().snapshot();
+        assert_eq!(s.rand_read_bytes, 5000, "requested bytes billed, not aligned transfer");
+        assert_eq!(s.rand_read_ops, 1);
     }
 
     #[test]

@@ -74,6 +74,7 @@ impl ReadBackend for FileBackend {
     /// spanning buffer, and the *requested* bytes are billed as a single
     /// tracked operation — same bytes modeled, one syscall.
     fn read_ranges(&self, ranges: &mut [RangeRead<'_>], access: Access) -> Result<()> {
+        crate::debug_assert_ranges_sorted(ranges);
         match ranges {
             [] => return Ok(()),
             [only] => return self.read_at(only.offset, only.buf, access),

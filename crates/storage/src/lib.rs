@@ -37,12 +37,14 @@
 
 #![warn(missing_docs)]
 
+pub mod aligned;
 pub mod buffer;
 pub mod cache;
 pub mod checksum;
 pub mod codec_backend;
 pub mod device;
 pub mod dir;
+pub mod direct;
 pub mod durable;
 pub mod error;
 pub mod fault;
@@ -53,13 +55,21 @@ pub mod pod;
 pub mod probe;
 pub mod retry;
 pub mod tracker;
+#[cfg(all(
+    feature = "uring",
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+pub mod uring;
 
+pub use aligned::{AlignedBuf, BufPool, DIRECT_ALIGN};
 pub use buffer::{BlockStream, TrackedWriter};
 pub use cache::{CacheStats, CachedBackend};
 pub use checksum::{crc32c, Crc32c, ShardFooter};
 pub use codec_backend::{BlockSpan, CodecBackend};
 pub use device::{CostModel, DeviceProfile, Throughput};
 pub use dir::{BackendKind, StagingDir, StorageDir};
+pub use direct::DirectBackend;
 pub use error::{Result, StorageError};
 pub use fault::{FaultInjectBackend, FaultSpec};
 pub use file::FileBackend;
@@ -105,8 +115,12 @@ pub trait ReadBackend: Send + Sync {
     /// path — notably [`FileBackend`], which issues a single spanning
     /// `pread` — override it and bill the *requested* bytes once, so the
     /// modeled byte count is identical either way and only the operation
-    /// count shrinks. Callers pass ranges sorted by offset.
+    /// count shrinks. Callers pass ranges sorted by offset — vectored
+    /// submission ([`direct::DirectBackend`]) and the spanning-read
+    /// optimization both rely on it, and every implementation
+    /// debug-asserts it.
     fn read_ranges(&self, ranges: &mut [RangeRead<'_>], access: Access) -> Result<()> {
+        debug_assert_ranges_sorted(ranges);
         for r in ranges {
             self.read_at(r.offset, r.buf, access)?;
         }
@@ -129,6 +143,16 @@ pub struct RangeRead<'a> {
     pub offset: u64,
     /// Destination buffer; its length is the range length.
     pub buf: &'a mut [u8],
+}
+
+/// Debug-assert the [`ReadBackend::read_ranges`] calling convention:
+/// ranges sorted by offset. Vectored submission orders its queue by this,
+/// and the spanning-read backends compute their span from first/last.
+pub fn debug_assert_ranges_sorted(ranges: &[RangeRead<'_>]) {
+    debug_assert!(
+        ranges.windows(2).all(|w| w[0].offset <= w[1].offset),
+        "read_ranges requires ranges sorted by offset"
+    );
 }
 
 impl<T: ReadBackend + ?Sized> ReadBackend for std::sync::Arc<T> {
@@ -156,4 +180,49 @@ pub fn read_pod_vec<T: Pod, B: ReadBackend + ?Sized>(
     let mut out: Vec<T> = vec![T::zeroed(); count];
     backend.read_at(offset, pod::as_bytes_mut(&mut out), access)?;
     Ok(out)
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    /// Backend that serves a constant pattern — just enough to drive the
+    /// default `read_ranges` implementation.
+    struct Patterned(u64);
+
+    impl ReadBackend for Patterned {
+        fn read_at(&self, offset: u64, buf: &mut [u8], _access: Access) -> Result<()> {
+            for (i, b) in buf.iter_mut().enumerate() {
+                *b = ((offset + i as u64) % 251) as u8;
+            }
+            Ok(())
+        }
+
+        fn len(&self) -> u64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn default_read_ranges_accepts_sorted_input() {
+        let b = Patterned(1024);
+        let (mut x, mut y) = ([0u8; 4], [0u8; 4]);
+        let mut ranges =
+            [RangeRead { offset: 8, buf: &mut x }, RangeRead { offset: 100, buf: &mut y }];
+        b.read_ranges(&mut ranges, Access::Batched).unwrap();
+        assert_eq!(x, [8, 9, 10, 11]);
+    }
+
+    /// The documented contract — ranges sorted by offset — is now
+    /// enforced in debug builds rather than silently assumed.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "sorted by offset")]
+    fn default_read_ranges_rejects_unsorted_input_in_debug() {
+        let b = Patterned(1024);
+        let (mut x, mut y) = ([0u8; 4], [0u8; 4]);
+        let mut ranges =
+            [RangeRead { offset: 100, buf: &mut x }, RangeRead { offset: 8, buf: &mut y }];
+        let _ = b.read_ranges(&mut ranges, Access::Batched);
+    }
 }

@@ -89,6 +89,7 @@ impl ReadBackend for MmapBackend {
     /// syscall to save, but the op-count accounting must agree between
     /// backends.
     fn read_ranges(&self, ranges: &mut [RangeRead<'_>], access: Access) -> Result<()> {
+        crate::debug_assert_ranges_sorted(ranges);
         match ranges {
             [] => return Ok(()),
             [only] => return self.read_at(only.offset, only.buf, access),

@@ -36,6 +36,7 @@ static OBS_RANGED_FALLBACKS: hus_obs::LazyCounter =
 static GAUGE_RETRIES: hus_obs::LazyGauge = hus_obs::LazyGauge::new("resilience.retries");
 static GAUGE_GIVEUPS: hus_obs::LazyGauge = hus_obs::LazyGauge::new("resilience.giveups");
 static GAUGE_MMAP_FB: hus_obs::LazyGauge = hus_obs::LazyGauge::new("resilience.mmap_fallbacks");
+static GAUGE_DIRECT_FB: hus_obs::LazyGauge = hus_obs::LazyGauge::new("resilience.direct_fallbacks");
 static GAUGE_RANGED_FB: hus_obs::LazyGauge = hus_obs::LazyGauge::new("resilience.ranged_fallbacks");
 static GAUGE_SYNC_FB: hus_obs::LazyGauge = hus_obs::LazyGauge::new("resilience.sync_fallbacks");
 static GAUGE_CRC_FAIL: hus_obs::LazyGauge = hus_obs::LazyGauge::new("resilience.checksum_failures");
@@ -104,6 +105,7 @@ pub struct ResilienceTracker {
     retries: AtomicU64,
     giveups: AtomicU64,
     mmap_fallbacks: AtomicU64,
+    direct_fallbacks: AtomicU64,
     ranged_fallbacks: AtomicU64,
     sync_fallbacks: AtomicU64,
     checksum_failures: AtomicU64,
@@ -128,6 +130,12 @@ impl ResilienceTracker {
     /// Count one mmap→file backend degradation.
     pub fn record_mmap_fallback(&self) {
         self.mmap_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one direct→file backend degradation (`O_DIRECT` refused by
+    /// the filesystem or kernel).
+    pub fn record_direct_fallback(&self) {
+        self.direct_fallbacks.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Count one batched→per-range read degradation.
@@ -157,6 +165,7 @@ impl ResilienceTracker {
         GAUGE_RETRIES.set(s.retries);
         GAUGE_GIVEUPS.set(s.giveups);
         GAUGE_MMAP_FB.set(s.mmap_fallbacks);
+        GAUGE_DIRECT_FB.set(s.direct_fallbacks);
         GAUGE_RANGED_FB.set(s.ranged_fallbacks);
         GAUGE_SYNC_FB.set(s.sync_fallbacks);
         GAUGE_CRC_FAIL.set(s.checksum_failures);
@@ -168,6 +177,7 @@ impl ResilienceTracker {
             retries: self.retries.load(Ordering::Relaxed),
             giveups: self.giveups.load(Ordering::Relaxed),
             mmap_fallbacks: self.mmap_fallbacks.load(Ordering::Relaxed),
+            direct_fallbacks: self.direct_fallbacks.load(Ordering::Relaxed),
             ranged_fallbacks: self.ranged_fallbacks.load(Ordering::Relaxed),
             sync_fallbacks: self.sync_fallbacks.load(Ordering::Relaxed),
             checksum_failures: self.checksum_failures.load(Ordering::Relaxed),
@@ -185,6 +195,8 @@ pub struct ResilienceSnapshot {
     pub giveups: u64,
     /// mmap→file backend degradations.
     pub mmap_fallbacks: u64,
+    /// direct→file backend degradations (`O_DIRECT` refused).
+    pub direct_fallbacks: u64,
     /// Batched→per-range read degradations.
     pub ranged_fallbacks: u64,
     /// Readahead→synchronous column degradations.
@@ -200,6 +212,7 @@ impl ResilienceSnapshot {
             retries: self.retries.saturating_sub(earlier.retries),
             giveups: self.giveups.saturating_sub(earlier.giveups),
             mmap_fallbacks: self.mmap_fallbacks.saturating_sub(earlier.mmap_fallbacks),
+            direct_fallbacks: self.direct_fallbacks.saturating_sub(earlier.direct_fallbacks),
             ranged_fallbacks: self.ranged_fallbacks.saturating_sub(earlier.ranged_fallbacks),
             sync_fallbacks: self.sync_fallbacks.saturating_sub(earlier.sync_fallbacks),
             checksum_failures: self.checksum_failures.saturating_sub(earlier.checksum_failures),
@@ -208,7 +221,7 @@ impl ResilienceSnapshot {
 
     /// Total degradation events of any kind.
     pub fn total_fallbacks(&self) -> u64 {
-        self.mmap_fallbacks + self.ranged_fallbacks + self.sync_fallbacks
+        self.mmap_fallbacks + self.direct_fallbacks + self.ranged_fallbacks + self.sync_fallbacks
     }
 
     /// Whether any resilience event occurred at all.

@@ -1,0 +1,577 @@
+//! Minimal `io_uring` submission path for vectored direct-I/O reads.
+//!
+//! The workspace deliberately has no `libc` dependency, so this module
+//! speaks to the kernel directly: raw `syscall` instructions for
+//! `io_uring_setup`/`io_uring_enter`/`mmap`/`munmap`/`close` and
+//! hand-written `#[repr(C)]` mirrors of the ABI structs. Only the tiny
+//! slice of the interface we need is implemented: fixed-depth rings,
+//! `IORING_OP_READ`, and blocking completion waits.
+//!
+//! Availability is probed at runtime ([`Uring::probe`] performs a full
+//! NOP round trip), because seccomp filters and old kernels commonly
+//! reject the syscalls; callers fall back to a thread-pool fan-out when
+//! probing fails. Compiled only on Linux x86_64/aarch64 behind the
+//! `uring` cargo feature (default-on).
+
+use std::io;
+
+// --- syscall numbers -----------------------------------------------------
+
+const SYS_IO_URING_SETUP: i64 = 425;
+const SYS_IO_URING_ENTER: i64 = 426;
+
+#[cfg(target_arch = "x86_64")]
+const SYS_MMAP: i64 = 9;
+#[cfg(target_arch = "x86_64")]
+const SYS_MUNMAP: i64 = 11;
+#[cfg(target_arch = "x86_64")]
+const SYS_CLOSE: i64 = 3;
+
+#[cfg(target_arch = "aarch64")]
+const SYS_MMAP: i64 = 222;
+#[cfg(target_arch = "aarch64")]
+const SYS_MUNMAP: i64 = 215;
+#[cfg(target_arch = "aarch64")]
+const SYS_CLOSE: i64 = 57;
+
+/// Raw 6-argument syscall. Returns the kernel's raw return value:
+/// negative values in `[-4095, -1]` are `-errno`.
+///
+/// # Safety
+/// The caller must uphold the contract of the specific syscall invoked
+/// (valid pointers, lengths, file descriptors).
+#[cfg(target_arch = "x86_64")]
+unsafe fn syscall6(nr: i64, a0: i64, a1: i64, a2: i64, a3: i64, a4: i64, a5: i64) -> i64 {
+    let mut ret = nr;
+    std::arch::asm!(
+        "syscall",
+        inlateout("rax") ret,
+        in("rdi") a0,
+        in("rsi") a1,
+        in("rdx") a2,
+        in("r10") a3,
+        in("r8") a4,
+        in("r9") a5,
+        lateout("rcx") _,
+        lateout("r11") _,
+        options(nostack),
+    );
+    ret
+}
+
+/// Raw 6-argument syscall (aarch64 flavor); see the x86_64 twin.
+///
+/// # Safety
+/// The caller must uphold the contract of the specific syscall invoked.
+#[cfg(target_arch = "aarch64")]
+unsafe fn syscall6(nr: i64, a0: i64, a1: i64, a2: i64, a3: i64, a4: i64, a5: i64) -> i64 {
+    let mut ret = a0;
+    std::arch::asm!(
+        "svc 0",
+        in("x8") nr,
+        inlateout("x0") ret,
+        in("x1") a1,
+        in("x2") a2,
+        in("x3") a3,
+        in("x4") a4,
+        in("x5") a5,
+        options(nostack),
+    );
+    ret
+}
+
+fn check(ret: i64) -> io::Result<i64> {
+    if (-4095..0).contains(&ret) {
+        Err(io::Error::from_raw_os_error((-ret) as i32))
+    } else {
+        Ok(ret)
+    }
+}
+
+// --- ABI structs ---------------------------------------------------------
+
+#[repr(C)]
+#[derive(Default, Clone, Copy)]
+struct SqringOffsets {
+    head: u32,
+    tail: u32,
+    ring_mask: u32,
+    ring_entries: u32,
+    flags: u32,
+    dropped: u32,
+    array: u32,
+    resv1: u32,
+    user_addr: u64,
+}
+
+#[repr(C)]
+#[derive(Default, Clone, Copy)]
+struct CqringOffsets {
+    head: u32,
+    tail: u32,
+    ring_mask: u32,
+    ring_entries: u32,
+    overflow: u32,
+    cqes: u32,
+    flags: u32,
+    resv1: u32,
+    user_addr: u64,
+}
+
+#[repr(C)]
+#[derive(Default, Clone, Copy)]
+struct IoUringParams {
+    sq_entries: u32,
+    cq_entries: u32,
+    flags: u32,
+    sq_thread_cpu: u32,
+    sq_thread_idle: u32,
+    features: u32,
+    wq_fd: u32,
+    resv: [u32; 3],
+    sq_off: SqringOffsets,
+    cq_off: CqringOffsets,
+}
+
+/// One submission-queue entry (64 bytes on every kernel we target).
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct Sqe {
+    opcode: u8,
+    flags: u8,
+    ioprio: u16,
+    fd: i32,
+    off: u64,
+    addr: u64,
+    len: u32,
+    rw_flags: u32,
+    user_data: u64,
+    buf_index: u16,
+    personality: u16,
+    splice_fd_in: i32,
+    pad2: [u64; 2],
+}
+
+/// One completion-queue entry.
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct Cqe {
+    user_data: u64,
+    res: i32,
+    flags: u32,
+}
+
+const IORING_OFF_SQ_RING: i64 = 0;
+const IORING_OFF_CQ_RING: i64 = 0x800_0000;
+const IORING_OFF_SQES: i64 = 0x1000_0000;
+const IORING_ENTER_GETEVENTS: i64 = 1;
+const IORING_FEAT_SINGLE_MMAP: u32 = 1;
+const IORING_OP_NOP: u8 = 0;
+const IORING_OP_READ: u8 = 22;
+
+const PROT_READ_WRITE: i64 = 0x3;
+const MAP_SHARED_POPULATE: i64 = 0x01 | 0x8000;
+
+// --- mapped ring region --------------------------------------------------
+
+struct MapRegion {
+    ptr: *mut u8,
+    len: usize,
+}
+
+impl MapRegion {
+    fn map(fd: i32, len: usize, offset: i64) -> io::Result<MapRegion> {
+        // SAFETY: standard anonymous-address shared mapping of an io_uring
+        // ring region; the kernel validates fd/offset/len.
+        let ret = unsafe {
+            syscall6(
+                SYS_MMAP,
+                0,
+                len as i64,
+                PROT_READ_WRITE,
+                MAP_SHARED_POPULATE,
+                fd as i64,
+                offset,
+            )
+        };
+        check(ret).map(|p| MapRegion { ptr: p as *mut u8, len })
+    }
+
+    /// # Safety
+    /// `byte_off` must lie within the mapping.
+    unsafe fn at<T>(&self, byte_off: u32) -> *mut T {
+        self.ptr.add(byte_off as usize).cast::<T>()
+    }
+}
+
+impl Drop for MapRegion {
+    fn drop(&mut self) {
+        // SAFETY: unmapping a region we mapped and no longer touch.
+        unsafe { syscall6(SYS_MUNMAP, self.ptr as i64, self.len as i64, 0, 0, 0, 0) };
+    }
+}
+
+// --- the ring ------------------------------------------------------------
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// One direct read request: fill `buf` from absolute file `offset`.
+///
+/// Offset and buffer must satisfy the `O_DIRECT` alignment contract (see
+/// [`crate::aligned::DIRECT_ALIGN`]). After [`Uring::read_fully`] returns,
+/// `filled` holds the number of bytes actually read (short only at EOF).
+pub struct ReadJob<'a> {
+    /// Absolute, aligned byte offset in the file.
+    pub offset: u64,
+    /// Aligned destination buffer.
+    pub buf: &'a mut [u8],
+    /// Bytes filled so far; set by the ring.
+    pub filled: usize,
+}
+
+/// A fixed-depth `io_uring` instance dedicated to `O_DIRECT` reads.
+///
+/// Not `Sync`: submission mutates the rings, so callers serialize access
+/// (the direct backend keeps it behind a mutex).
+pub struct Uring {
+    fd: i32,
+    _sq_ring: MapRegion,
+    _cq_ring: Option<MapRegion>,
+    _sqes: MapRegion,
+    sq_head: *const AtomicU32,
+    sq_tail: *const AtomicU32,
+    sq_mask: u32,
+    sq_array: *mut u32,
+    cq_head: *const AtomicU32,
+    cq_tail: *const AtomicU32,
+    cq_mask: u32,
+    cqes: *const Cqe,
+    sqe_base: *mut Sqe,
+    depth: u32,
+}
+
+// SAFETY: the ring is only ever driven through `&mut self`; the raw
+// pointers target the private mappings owned by this value.
+unsafe impl Send for Uring {}
+
+impl Uring {
+    /// Try to create a ring of (at least) `depth` entries and verify it
+    /// works end to end with a NOP round trip. Returns `None` when the
+    /// kernel, a seccomp filter, or resource limits refuse any step —
+    /// callers then use the thread-pool fallback.
+    pub fn probe(depth: u32) -> Option<Uring> {
+        let depth = depth.clamp(1, 256);
+        let mut params = IoUringParams::default();
+        // SAFETY: params is a properly-sized zeroed ABI struct.
+        let ret = unsafe {
+            syscall6(SYS_IO_URING_SETUP, depth as i64, &mut params as *mut _ as i64, 0, 0, 0, 0)
+        };
+        let fd = check(ret).ok()? as i32;
+        match Self::finish(fd, &params) {
+            Ok(mut ring) => match ring.nop_round_trip() {
+                Ok(()) => Some(ring),
+                Err(_) => None,
+            },
+            Err(_) => {
+                // SAFETY: fd came from io_uring_setup above and the ring
+                // mappings failed, so nothing else references it.
+                unsafe { syscall6(SYS_CLOSE, fd as i64, 0, 0, 0, 0, 0) };
+                None
+            }
+        }
+    }
+
+    fn finish(fd: i32, p: &IoUringParams) -> io::Result<Uring> {
+        let sq_size = p.sq_off.array as usize + p.sq_entries as usize * 4;
+        let cq_size = p.cq_off.cqes as usize + p.cq_entries as usize * std::mem::size_of::<Cqe>();
+        let single = p.features & IORING_FEAT_SINGLE_MMAP != 0;
+        let sq_ring = MapRegion::map(
+            fd,
+            if single { sq_size.max(cq_size) } else { sq_size },
+            IORING_OFF_SQ_RING,
+        )?;
+        let cq_ring =
+            if single { None } else { Some(MapRegion::map(fd, cq_size, IORING_OFF_CQ_RING)?) };
+        let sqes = MapRegion::map(
+            fd,
+            p.sq_entries as usize * std::mem::size_of::<Sqe>(),
+            IORING_OFF_SQES,
+        )?;
+
+        let cq_base: &MapRegion = cq_ring.as_ref().unwrap_or(&sq_ring);
+        // SAFETY: all offsets come from the kernel's io_uring_params and
+        // lie within the mappings established above.
+        let ring = unsafe {
+            Uring {
+                fd,
+                sq_head: sq_ring.at::<AtomicU32>(p.sq_off.head),
+                sq_tail: sq_ring.at::<AtomicU32>(p.sq_off.tail),
+                sq_mask: *sq_ring.at::<u32>(p.sq_off.ring_mask),
+                sq_array: sq_ring.at::<u32>(p.sq_off.array),
+                cq_head: cq_base.at::<AtomicU32>(p.cq_off.head),
+                cq_tail: cq_base.at::<AtomicU32>(p.cq_off.tail),
+                cq_mask: *cq_base.at::<u32>(p.cq_off.ring_mask),
+                cqes: cq_base.at::<Cqe>(p.cq_off.cqes),
+                sqe_base: sqes.at::<Sqe>(0),
+                depth: p.sq_entries,
+                _sq_ring: sq_ring,
+                _cq_ring: cq_ring,
+                _sqes: sqes,
+            }
+        };
+        Ok(ring)
+    }
+
+    /// Submission-queue depth the kernel granted.
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    fn enter(&self, to_submit: u32, min_complete: u32) -> io::Result<u32> {
+        // SAFETY: fd is our live ring; no sigset is passed.
+        let ret = unsafe {
+            syscall6(
+                SYS_IO_URING_ENTER,
+                self.fd as i64,
+                to_submit as i64,
+                min_complete as i64,
+                IORING_ENTER_GETEVENTS,
+                0,
+                0,
+            )
+        };
+        check(ret).map(|n| n as u32)
+    }
+
+    /// Push one SQE; returns false when the submission queue is full.
+    fn push_sqe(&mut self, sqe: Sqe) -> bool {
+        // SAFETY: head/tail/array/sqe pointers were derived from the live
+        // ring mappings in `finish`; indices are masked to the ring size.
+        unsafe {
+            let head = (*self.sq_head).load(Ordering::Acquire);
+            let tail = (*self.sq_tail).load(Ordering::Relaxed);
+            if tail.wrapping_sub(head) >= self.depth {
+                return false;
+            }
+            let idx = tail & self.sq_mask;
+            *self.sqe_base.add(idx as usize) = sqe;
+            *self.sq_array.add(idx as usize) = idx;
+            (*self.sq_tail).store(tail.wrapping_add(1), Ordering::Release);
+        }
+        true
+    }
+
+    /// Pop one CQE if available.
+    fn pop_cqe(&mut self) -> Option<Cqe> {
+        // SAFETY: see `push_sqe`; the CQE at a masked index below the tail
+        // has been fully written by the kernel (Acquire pairs with its
+        // Release tail update).
+        unsafe {
+            let head = (*self.cq_head).load(Ordering::Relaxed);
+            let tail = (*self.cq_tail).load(Ordering::Acquire);
+            if head == tail {
+                return None;
+            }
+            let cqe = *self.cqes.add((head & self.cq_mask) as usize);
+            (*self.cq_head).store(head.wrapping_add(1), Ordering::Release);
+            Some(cqe)
+        }
+    }
+
+    fn nop_round_trip(&mut self) -> io::Result<()> {
+        let sqe = Sqe {
+            opcode: IORING_OP_NOP,
+            flags: 0,
+            ioprio: 0,
+            fd: -1,
+            off: 0,
+            addr: 0,
+            len: 0,
+            rw_flags: 0,
+            user_data: u64::MAX,
+            buf_index: 0,
+            personality: 0,
+            splice_fd_in: 0,
+            pad2: [0; 2],
+        };
+        if !self.push_sqe(sqe) {
+            return Err(io::Error::other("sq full during probe"));
+        }
+        self.enter(1, 1)?;
+        match self.pop_cqe() {
+            Some(c) if c.user_data == u64::MAX && c.res >= 0 => Ok(()),
+            _ => Err(io::Error::other("nop round trip failed")),
+        }
+    }
+
+    /// Read every job to completion (short only at EOF), overlapping the
+    /// requests at ring depth. Kernel-reported short reads that end on an
+    /// alignment boundary are resubmitted as continuations; a short read
+    /// off the alignment quantum means EOF under `O_DIRECT` and finishes
+    /// the job.
+    ///
+    /// On any per-request error all in-flight requests are still drained
+    /// before returning, so the borrowed buffers are never written after
+    /// this call returns.
+    pub fn read_fully(&mut self, fd: i32, jobs: &mut [ReadJob<'_>]) -> io::Result<()> {
+        let mut pending: Vec<usize> = (0..jobs.len()).rev().collect();
+        let mut in_flight = 0u32;
+        let mut first_err: Option<io::Error> = None;
+
+        while !pending.is_empty() || in_flight > 0 {
+            let mut submitted = 0u32;
+            if first_err.is_none() {
+                while in_flight < self.depth {
+                    let Some(&i) = pending.last() else { break };
+                    let job = &mut jobs[i];
+                    let sqe = Sqe {
+                        opcode: IORING_OP_READ,
+                        flags: 0,
+                        ioprio: 0,
+                        fd,
+                        off: job.offset + job.filled as u64,
+                        addr: job.buf[job.filled..].as_mut_ptr() as u64,
+                        len: (job.buf.len() - job.filled) as u32,
+                        rw_flags: 0,
+                        user_data: i as u64,
+                        buf_index: 0,
+                        personality: 0,
+                        splice_fd_in: 0,
+                        pad2: [0; 2],
+                    };
+                    if !self.push_sqe(sqe) {
+                        break;
+                    }
+                    pending.pop();
+                    in_flight += 1;
+                    submitted += 1;
+                }
+            } else {
+                // An error occurred: stop submitting, just drain.
+                pending.clear();
+            }
+            if submitted == 0 && in_flight == 0 {
+                break;
+            }
+            let wait = if in_flight > 0 { 1 } else { 0 };
+            if let Err(e) = self.enter(submitted, wait) {
+                // EINTR: retry the wait; anything else is fatal, but we
+                // must still drain in-flight completions.
+                if e.kind() != io::ErrorKind::Interrupted {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                    // Block until the kernel finishes outstanding reads.
+                    while in_flight > 0 {
+                        match self.enter(0, 1) {
+                            Ok(_) => {}
+                            Err(e2) if e2.kind() == io::ErrorKind::Interrupted => continue,
+                            Err(_) => break,
+                        }
+                        while self.pop_cqe().is_some() {
+                            in_flight -= 1;
+                        }
+                    }
+                    break;
+                }
+            }
+            while let Some(cqe) = self.pop_cqe() {
+                in_flight -= 1;
+                let i = cqe.user_data as usize;
+                if cqe.res < 0 {
+                    if first_err.is_none() {
+                        first_err = Some(io::Error::from_raw_os_error(-cqe.res));
+                    }
+                    continue;
+                }
+                let got = cqe.res as usize;
+                let job = &mut jobs[i];
+                job.filled += got;
+                let done = got == 0
+                    || job.filled == job.buf.len()
+                    || !job.filled.is_multiple_of(crate::aligned::DIRECT_ALIGN);
+                if !done && first_err.is_none() {
+                    pending.push(i);
+                }
+            }
+        }
+
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for Uring {
+    fn drop(&mut self) {
+        // SAFETY: closing the ring fd we own; mappings are unmapped by
+        // their own Drop impls afterwards.
+        unsafe { syscall6(SYS_CLOSE, self.fd as i64, 0, 0, 0, 0, 0) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aligned::{AlignedBuf, DIRECT_ALIGN};
+    use std::io::Write;
+    use std::os::unix::io::AsRawFd;
+
+    #[test]
+    fn abi_struct_sizes() {
+        assert_eq!(std::mem::size_of::<IoUringParams>(), 120);
+        assert_eq!(std::mem::size_of::<Sqe>(), 64);
+        assert_eq!(std::mem::size_of::<Cqe>(), 16);
+    }
+
+    #[test]
+    fn probe_then_read_round_trip() {
+        let Some(mut ring) = Uring::probe(8) else {
+            eprintln!("io_uring unavailable on this host; skipping");
+            return;
+        };
+        assert!(ring.depth() >= 8);
+
+        // Write two blocks of recognizable data, read them back as two
+        // concurrent aligned jobs.
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("ring.bin");
+        let mut data = vec![0u8; 2 * DIRECT_ALIGN];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = (i % 251) as u8;
+        }
+        std::fs::File::create(&path).unwrap().write_all(&data).unwrap();
+        let f = std::fs::File::open(&path).unwrap();
+
+        let mut b0 = AlignedBuf::zeroed(DIRECT_ALIGN);
+        let mut b1 = AlignedBuf::zeroed(DIRECT_ALIGN);
+        let mut jobs = [
+            ReadJob { offset: 0, buf: &mut b0, filled: 0 },
+            ReadJob { offset: DIRECT_ALIGN as u64, buf: &mut b1, filled: 0 },
+        ];
+        ring.read_fully(f.as_raw_fd(), &mut jobs).unwrap();
+        assert_eq!(jobs[0].filled, DIRECT_ALIGN);
+        assert_eq!(jobs[1].filled, DIRECT_ALIGN);
+        assert_eq!(&b0[..], &data[..DIRECT_ALIGN]);
+        assert_eq!(&b1[..], &data[DIRECT_ALIGN..]);
+    }
+
+    #[test]
+    fn short_read_at_eof_reports_partial_fill() {
+        let Some(mut ring) = Uring::probe(4) else {
+            eprintln!("io_uring unavailable on this host; skipping");
+            return;
+        };
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("tail.bin");
+        std::fs::File::create(&path).unwrap().write_all(&[7u8; 100]).unwrap();
+        let f = std::fs::File::open(&path).unwrap();
+
+        let mut b = AlignedBuf::zeroed(DIRECT_ALIGN);
+        let mut jobs = [ReadJob { offset: 0, buf: &mut b, filled: 0 }];
+        ring.read_fully(f.as_raw_fd(), &mut jobs).unwrap();
+        assert_eq!(jobs[0].filled, 100);
+        assert!(b[..100].iter().all(|&x| x == 7));
+    }
+}

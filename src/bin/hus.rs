@@ -59,7 +59,11 @@ const USAGE: &str = "usage:
   hus top <graph-dir> [--algo bfs|sssp|wcc|pagerank] [--iters N] [--source S] \
           [--refresh-ms N] [--plain]
   hus convert <in.{husg,txt}> <out.{husg,txt}>
-  hus probe [dir]";
+  hus probe [dir]
+
+graph-reading commands also accept --backend file|mmap|direct
+(default: $HUS_BACKEND, else file; direct degrades to file where
+O_DIRECT is unsupported, e.g. tmpfs)";
 
 type CliResult = Result<(), String>;
 
@@ -225,8 +229,23 @@ fn parse_mode(rest: &[&String]) -> Result<UpdateMode, String> {
     })
 }
 
-fn open_graph(path: &str) -> Result<HusGraph, String> {
-    HusGraph::open(StorageDir::open(path).map_err(|e| e.to_string())?).map_err(|e| e.to_string())
+fn parse_backend(rest: &[&String]) -> Result<Option<hus_storage::BackendKind>, String> {
+    use hus_storage::BackendKind;
+    match flag_value(rest, "--backend") {
+        None => Ok(None),
+        Some("file") => Ok(Some(BackendKind::File)),
+        Some("mmap") => Ok(Some(BackendKind::Mmap)),
+        Some("direct") => Ok(Some(BackendKind::Direct)),
+        Some(other) => Err(format!("unknown backend {other:?} (file|mmap|direct)")),
+    }
+}
+
+fn open_graph(path: &str, rest: &[&String]) -> Result<HusGraph, String> {
+    let mut dir = StorageDir::open(path).map_err(|e| e.to_string())?;
+    if let Some(kind) = parse_backend(rest)? {
+        dir = dir.with_backend(kind);
+    }
+    HusGraph::open(dir).map_err(|e| e.to_string())
 }
 
 fn report_run(stats: &RunStats) {
@@ -268,7 +287,7 @@ fn run_program<Pr: VertexProgram>(
 }
 
 fn cmd_algo(rest: &[&String], algo: Algo) -> CliResult {
-    let g = open_graph(positional(rest, 0)?)?;
+    let g = open_graph(positional(rest, 0)?, rest)?;
     let mode = parse_mode(rest)?;
     match algo {
         Algo::Bfs => {
@@ -302,7 +321,7 @@ fn cmd_algo(rest: &[&String], algo: Algo) -> CliResult {
 }
 
 fn cmd_pagerank(rest: &[&String]) -> CliResult {
-    let g = open_graph(positional(rest, 0)?)?;
+    let g = open_graph(positional(rest, 0)?, rest)?;
     let iters: usize =
         flag_value(rest, "--iters").map(|s| parse(s, "iterations")).transpose()?.unwrap_or(5);
     let top: usize = flag_value(rest, "--top").map(|s| parse(s, "top")).transpose()?.unwrap_or(10);
@@ -319,7 +338,7 @@ fn cmd_pagerank(rest: &[&String]) -> CliResult {
 }
 
 fn cmd_diameter(rest: &[&String]) -> CliResult {
-    let g = open_graph(positional(rest, 0)?)?;
+    let g = open_graph(positional(rest, 0)?, rest)?;
     let sources: usize =
         flag_value(rest, "--sources").map(|s| parse(s, "sources")).transpose()?.unwrap_or(16);
     let nf = hus_algos::diameter::estimate(&g, sources, 42, RunConfig::default())
@@ -385,7 +404,7 @@ fn print_hot_blocks(k: usize) {
 /// against the I/O actually performed, the mean misprediction ratio,
 /// and the hottest blocks by attributed device bytes.
 fn cmd_audit(rest: &[&String]) -> CliResult {
-    let g = open_graph(positional(rest, 0)?)?;
+    let g = open_graph(positional(rest, 0)?, rest)?;
     let algo = flag_value(rest, "--algo").unwrap_or("bfs");
     let iters: usize =
         flag_value(rest, "--iters").map(|s| parse(s, "iterations")).transpose()?.unwrap_or(50);
@@ -467,11 +486,12 @@ fn draw_top_frame(
     );
     println!(
         "resilience: {} retries, {} giveups, {} checksum failures, \
-         fallbacks {} mmap / {} ranged / {} sync",
+         fallbacks {} mmap / {} direct / {} ranged / {} sync",
         resilience.retries,
         resilience.giveups,
         resilience.checksum_failures,
         resilience.mmap_fallbacks,
+        resilience.direct_fallbacks,
         resilience.ranged_fallbacks,
         resilience.sync_fallbacks,
     );
@@ -485,7 +505,7 @@ fn draw_top_frame(
 /// compact live view (progress, throughput, cache hit rate, resilience
 /// counters, block heatmap) until the run finishes.
 fn cmd_top(rest: &[&String]) -> CliResult {
-    let g = open_graph(positional(rest, 0)?)?;
+    let g = open_graph(positional(rest, 0)?, rest)?;
     let algo = flag_value(rest, "--algo").unwrap_or("pagerank").to_string();
     let iters: usize =
         flag_value(rest, "--iters").map(|s| parse(s, "iterations")).transpose()?.unwrap_or(10);
