@@ -1,0 +1,153 @@
+//! Benchmarks of the streaming-ingest path (DESIGN.md §11): memtable
+//! update throughput, the end-to-end ingest rate including spills, and
+//! the read-side overhead of running PageRank through the delta
+//! overlay at 0, 1 and 4 live delta runs — summarized to
+//! `BENCH_ingest.json` for CI.
+
+use criterion::{
+    criterion_group, criterion_main, BatchSize, Criterion, Throughput as CrThroughput,
+};
+use hus_core::{BuildConfig, DynamicGraph, Engine, HusGraph, RunConfig};
+use hus_gen::rmat;
+use hus_storage::StorageDir;
+use std::hint::black_box;
+use std::path::Path;
+use std::time::Instant;
+
+const NV: u64 = 1 << 14;
+const BASE_EDGES: usize = 150_000;
+const P: u32 = 8;
+const BATCH: usize = 25_000;
+const PR_ITERS: usize = 3;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One batch of pseudo-random updates (7 inserts : 1 delete).
+fn apply(dg: &mut DynamicGraph, n: usize, seed: u64) {
+    let mut state = seed;
+    for _ in 0..n {
+        let x = splitmix64(&mut state);
+        let src = (x % NV) as u32;
+        let dst = ((x >> 32) % NV) as u32;
+        if x.is_multiple_of(8) {
+            dg.delete_edge(src, dst).unwrap();
+        } else {
+            dg.insert_edge(src, dst, 1.0).unwrap();
+        }
+    }
+}
+
+fn build_base(root: &Path, name: &str) -> StorageDir {
+    let el = rmat(NV as u32, BASE_EDGES, 7, Default::default());
+    let dir = StorageDir::create(root.join(name)).unwrap();
+    HusGraph::build_into(&el, &dir, &BuildConfig::with_p(P)).unwrap();
+    StorageDir::open(root.join(name)).unwrap()
+}
+
+/// Prepare a directory carrying `runs` spilled delta runs of `BATCH`
+/// updates each (distinct seeds, so runs overlap but are not equal).
+fn with_runs(root: &Path, name: &str, runs: usize) -> StorageDir {
+    let dir = build_base(root, name);
+    let mut dg = DynamicGraph::open(dir).unwrap();
+    for r in 0..runs {
+        apply(&mut dg, BATCH, 100 + r as u64);
+        dg.flush().unwrap();
+    }
+    assert_eq!(dg.run_count(), runs);
+    StorageDir::open(root.join(name)).unwrap()
+}
+
+/// Single-threaded PageRank wall time over whatever `dir` holds (base
+/// plus any live runs), overlay materialization included.
+fn pagerank_ms(dir: StorageDir) -> f64 {
+    let mut dg = DynamicGraph::open(dir).unwrap();
+    let t0 = Instant::now();
+    let g = dg.snapshot().unwrap();
+    let pr = hus_algos::PageRank::new(NV as u32);
+    let cfg = RunConfig { threads: 1, max_iterations: PR_ITERS, ..Default::default() };
+    black_box(Engine::new(g, &pr, cfg).run().unwrap());
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+fn median_ms(dir: &Path, samples: usize) -> f64 {
+    let mut ms: Vec<f64> =
+        (0..samples).map(|_| pagerank_ms(StorageDir::open(dir).unwrap())).collect();
+    ms.sort_by(|a, b| a.total_cmp(b));
+    ms[ms.len() / 2]
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let tmp = tempfile::tempdir().unwrap();
+    build_base(tmp.path(), "mem");
+
+    // Criterion: pure memtable ingestion (no spill in the hot loop).
+    let mut group = c.benchmark_group("ingest");
+    group.throughput(CrThroughput::Elements(10_000));
+    group.bench_function("memtable_10k_updates", |b| {
+        b.iter_batched(
+            || DynamicGraph::open(StorageDir::open(tmp.path().join("mem")).unwrap()).unwrap(),
+            |mut dg| {
+                apply(&mut dg, 10_000, 1);
+                black_box(dg.memtable_len());
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+
+    // End-to-end ingest rate: 4 batches, each spilled to its own run.
+    let dir = build_base(tmp.path(), "rate");
+    let mut dg = DynamicGraph::open(dir).unwrap();
+    let updates = 4 * BATCH;
+    let t0 = Instant::now();
+    for r in 0..4 {
+        apply(&mut dg, BATCH, 100 + r as u64);
+        dg.flush().unwrap();
+    }
+    let updates_per_s = updates as f64 / t0.elapsed().as_secs_f64();
+    assert_eq!(dg.run_count(), 4);
+    drop(dg);
+
+    // Read overhead: identical PageRank work at 0, 1 and 4 live runs.
+    // The same update seeds are used, so the 4-run graph strictly
+    // contains the 1-run graph's updates.
+    with_runs(tmp.path(), "r1", 1);
+    with_runs(tmp.path(), "r4", 4);
+    let ms0 = median_ms(&tmp.path().join("mem"), 5);
+    let ms1 = median_ms(&tmp.path().join("r1"), 5);
+    let ms4 = median_ms(&tmp.path().join("r4"), 5);
+
+    let out = format!(
+        "{{\n  {},\n  \"base_edges\": {BASE_EDGES},\n  \"updates\": {updates},\n  \
+         \"spills\": 4,\n  \"updates_per_s\": {updates_per_s:.0},\n  \
+         \"pr_iters\": {PR_ITERS},\n  \"pr_threads\": 1,\n  \
+         \"pr_ms_0_runs\": {ms0:.2},\n  \"pr_ms_1_run\": {ms1:.2},\n  \
+         \"pr_ms_4_runs\": {ms4:.2},\n  \
+         \"read_overhead_1_run\": {:.3},\n  \"read_overhead_4_runs\": {:.3}\n}}\n",
+        hus_bench::bench_json_preamble("ingest"),
+        ms1 / ms0,
+        ms4 / ms0,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ingest.json");
+    std::fs::write(path, &out).unwrap();
+    println!("wrote {path}:\n{out}");
+
+    // Loose sanity gate rather than a tight perf assertion: ingest
+    // must stay comfortably above pathological (the memtable is an
+    // in-memory BTreeMap; anything below ~50k updates/s means the
+    // write path grew accidental I/O).
+    assert!(updates_per_s > 50_000.0, "streaming ingest collapsed to {updates_per_s:.0} updates/s");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ingest
+}
+criterion_main!(benches);

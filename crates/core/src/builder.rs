@@ -142,7 +142,11 @@ pub fn build(el: &EdgeList, dir: &StorageDir, config: &BuildConfig) -> Result<Gr
         let mut decoded_pos = 0u64;
         for j in 0..p {
             let mut ids = buckets[i * p + j].clone();
-            ids.sort_by_key(|&k| el.edges[k as usize].src); // stable: preserves input order per source
+            // Canonical order: (src, dst), stable for duplicate edges.
+            // Neighbor-sorted adjacency makes shard bytes a function of
+            // the edge *set* (not input order) and lets the delta
+            // overlay merge runs with an exact two-pointer walk.
+            ids.sort_by_key(|&k| (el.edges[k as usize].src, el.edges[k as usize].dst));
             let block = &mut out_blocks[i * p + j];
             block.edge_count = ids.len() as u64;
             block.index_offset = index_w.position();
@@ -194,7 +198,8 @@ pub fn build(el: &EdgeList, dir: &StorageDir, config: &BuildConfig) -> Result<Gr
         let mut decoded_pos = 0u64;
         for i in 0..p {
             let mut ids = buckets[i * p + j].clone();
-            ids.sort_by_key(|&k| el.edges[k as usize].dst);
+            // Canonical order: (dst, src) — see the out-shard note above.
+            ids.sort_by_key(|&k| (el.edges[k as usize].dst, el.edges[k as usize].src));
             let block = &mut in_blocks[i * p + j];
             block.edge_count = ids.len() as u64;
             block.index_offset = index_w.position();

@@ -136,7 +136,7 @@ fn process_column<Pr: VertexProgram>(
                 // Every non-empty block of the column is re-fetched
                 // synchronously; mark them all degraded on the heatmap.
                 for i in 0..ctx.graph.p() {
-                    if ctx.graph.meta().in_block(i, col).edge_count > 0 {
+                    if ctx.graph.in_block_len(i, col) > 0 {
                         hus_obs::attr::record_at(
                             i as u32,
                             col as u32,
@@ -180,7 +180,7 @@ fn process_column_inner<Pr: VertexProgram>(
     };
 
     let blocks: Vec<usize> =
-        (0..ctx.graph.p()).filter(|&i| meta.in_block(i, col).edge_count > 0).collect();
+        (0..ctx.graph.p()).filter(|&i| ctx.graph.in_block_len(i, col) > 0).collect();
 
     let depth = readahead.max(1).min(blocks.len());
     READAHEAD_DEPTH.set(depth as u64);

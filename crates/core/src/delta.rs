@@ -1,0 +1,840 @@
+//! Dynamic graphs: streaming edge ingest over a built dual-block graph
+//! (DESIGN.md §11).
+//!
+//! [`DynamicGraph`] wraps an opened [`HusGraph`] with an LSM-style
+//! write path: [`DynamicGraph::insert_edge`] and
+//! [`DynamicGraph::delete_edge`] land in an in-memory *memtable*
+//! (per-block sorted maps; deletes are tombstones). When the memtable
+//! crosses its byte budget (`HUS_MEMTABLE_BYTES`) it spills to an
+//! immutable, CRC-sealed *delta run* on disk
+//! ([`hus_storage::delta::DeltaRun`]) and the run is recorded in the
+//! directory's `MANIFEST` under a bumped generation. Reads go through
+//! [`DynamicGraph::snapshot`], which materializes a merged *overlay*
+//! for every touched block — base records and newest-wins deltas
+//! two-pointer-merged into fresh CSR blocks — and attaches it to the
+//! graph handle, so PageRank/WCC/BFS see the updated edge set with no
+//! rebuild. [`DynamicGraph::compact`] folds memtable and runs into a
+//! full re-encoded base build (the crash-consistent staged build of
+//! DESIGN.md §10), dropping every run in the same atomic rename.
+//!
+//! Ordering semantics: within one key `(src, dst)` the newest write
+//! wins — memtable over runs, higher run sequence over lower. A
+//! tombstone erases the edge; a later insert resurrects it. Because
+//! base blocks store records in canonical `(src, dst)` / `(dst, src)`
+//! order, the merged overlay is byte-identical to what a from-scratch
+//! rebuild of the same final edge set would produce for that block.
+
+use crate::graph::{EdgeRecords, HusGraph};
+use crate::meta::GraphMeta;
+use crate::partition::interval_of;
+use hus_gen::{Edge, EdgeList};
+use hus_storage::delta::{DeltaRecord, DeltaRun, DELTA_RECORD_BYTES};
+use hus_storage::{durable, Access, BuildManifest, Result, StorageDir, StorageError};
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::io::{Read, Seek, SeekFrom};
+
+static INSERTS: hus_obs::LazyCounter = hus_obs::LazyCounter::new("ingest.inserts");
+static DELETES: hus_obs::LazyCounter = hus_obs::LazyCounter::new("ingest.deletes");
+static SPILLS: hus_obs::LazyCounter = hus_obs::LazyCounter::new("delta.spills");
+static COMPACTIONS: hus_obs::LazyCounter = hus_obs::LazyCounter::new("delta.compactions");
+static RUNS_GAUGE: hus_obs::LazyGauge = hus_obs::LazyGauge::new("delta.runs");
+static MEMTABLE_GAUGE: hus_obs::LazyGauge = hus_obs::LazyGauge::new("delta.memtable_bytes");
+
+/// Approximate resident cost of one memtable entry: the 8-byte key,
+/// the 8-byte op, and B-tree node overhead. Only used for the spill
+/// trigger, so precision is not load-bearing.
+const MEMTABLE_ENTRY_BYTES: u64 = 64;
+
+/// Default memtable budget when `HUS_MEMTABLE_BYTES` is unset: 64 MiB.
+pub const DEFAULT_MEMTABLE_BYTES: u64 = 64 << 20;
+
+/// One buffered update for an edge key `(src, dst)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeltaOp {
+    /// Insert the edge (or overwrite its weight if it already exists).
+    Put(f32),
+    /// Delete the edge; a tombstone until compaction folds it away.
+    Delete,
+}
+
+/// The in-memory write buffer: per-block sorted maps from edge key to
+/// the newest buffered op. Upserts are idempotent per key — a second
+/// write to the same `(src, dst)` replaces the first, which is exactly
+/// the newest-wins semantics runs have on disk.
+#[derive(Debug, Default)]
+pub(crate) struct Memtable {
+    /// Keyed by base-graph block `(i, j)`; each block's map is keyed by
+    /// `(src, dst)` so spilling iterates in the run's required order.
+    blocks: BTreeMap<(u32, u32), BTreeMap<(u32, u32), DeltaOp>>,
+    entries: u64,
+}
+
+impl Memtable {
+    fn put(&mut self, i: u32, j: u32, src: u32, dst: u32, op: DeltaOp) {
+        if self.blocks.entry((i, j)).or_default().insert((src, dst), op).is_none() {
+            self.entries += 1;
+        }
+    }
+
+    fn approx_bytes(&self) -> u64 {
+        self.entries * MEMTABLE_ENTRY_BYTES
+    }
+
+    fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+}
+
+/// One fully merged block of the overlay: base records plus every
+/// resolved delta, re-indexed as a local CSR. Memory-resident — reads
+/// of a touched block are served from here without device I/O.
+#[derive(Debug)]
+pub(crate) struct MergedBlock {
+    /// `interval_len + 1` local CSR offsets, like the on-disk index.
+    pub(crate) index: Vec<u32>,
+    /// Merged records in canonical order for the orientation.
+    pub(crate) records: EdgeRecords,
+}
+
+impl MergedBlock {
+    /// Number of merged records in the block.
+    pub(crate) fn len(&self) -> u64 {
+        self.records.len() as u64
+    }
+}
+
+/// A materialized read overlay: merged blocks for both orientations of
+/// every touched `(i, j)`, plus the adjusted degree table and edge
+/// count. Attached to [`HusGraph`] by [`DynamicGraph::snapshot`];
+/// untouched blocks keep reading through the tracked base path.
+#[derive(Debug)]
+pub(crate) struct DeltaOverlay {
+    /// Merged out-blocks, keyed `(i, j)`.
+    pub(crate) out: HashMap<(usize, usize), MergedBlock>,
+    /// Merged in-blocks, keyed `(i, j)`.
+    pub(crate) ins: HashMap<(usize, usize), MergedBlock>,
+    /// Out-degree table with every delta applied.
+    pub(crate) out_degrees: Vec<u32>,
+    /// Edge count with every delta applied.
+    pub(crate) num_edges: u64,
+    /// Resident delta bytes (runs + memtable records at the on-disk
+    /// record width) — the read-path overhead the cost model charges.
+    pub(crate) delta_bytes: u64,
+}
+
+/// Two-pointer merge of one block orientation: `base_index`/`base` are
+/// the block's on-disk CSR, `ops` the resolved newest-wins deltas for
+/// the block sorted by `(own vertex, neighbor)` — `(src, dst)` for
+/// out-blocks, `(dst, src)` for in-blocks. Relies on the canonical
+/// neighbor-sorted base order the builders guarantee.
+fn merge_block<'a>(
+    n_local: usize,
+    start: u32,
+    base_index: &[u32],
+    base: &EdgeRecords,
+    ops: impl Iterator<Item = ((u32, u32), &'a DeltaOp)>,
+    weighted: bool,
+) -> MergedBlock {
+    debug_assert_eq!(base_index.len(), n_local + 1);
+    let stride = if weighted { 8 } else { 4 };
+    let mut ops = ops.peekable();
+    let mut data: Vec<u8> = Vec::with_capacity(base.len() * stride);
+    let mut index = Vec::with_capacity(n_local + 1);
+    index.push(0u32);
+    for v in 0..n_local {
+        let own = start + v as u32;
+        let mut k = base_index[v] as usize;
+        let end = base_index[v + 1] as usize;
+        while let Some(&((o, nb), op)) = ops.peek() {
+            if o != own {
+                debug_assert!(o > own, "ops must be sorted by (own, neighbor)");
+                break;
+            }
+            // Base records strictly before the op's neighbor pass through.
+            while k < end && base.neighbor(k) < nb {
+                data.extend_from_slice(base.raw_record(k));
+                k += 1;
+            }
+            // Records equal to the key are superseded (replaced or erased).
+            while k < end && base.neighbor(k) == nb {
+                k += 1;
+            }
+            if let DeltaOp::Put(w) = op {
+                data.extend_from_slice(&nb.to_le_bytes());
+                if weighted {
+                    data.extend_from_slice(&w.to_le_bytes());
+                }
+            }
+            ops.next();
+        }
+        while k < end {
+            data.extend_from_slice(base.raw_record(k));
+            k += 1;
+        }
+        index.push((data.len() / stride) as u32);
+    }
+    MergedBlock { index, records: EdgeRecords::from_raw(data, weighted) }
+}
+
+/// Resolve runs (oldest → newest) then the memtable into one
+/// newest-wins op map per touched block, keyed `(src, dst)`.
+fn resolve_ops(
+    runs: &[DeltaRun],
+    memtable: &Memtable,
+) -> BTreeMap<(u32, u32), BTreeMap<(u32, u32), DeltaOp>> {
+    let mut resolved: BTreeMap<(u32, u32), BTreeMap<(u32, u32), DeltaOp>> = BTreeMap::new();
+    for run in runs {
+        for (&block, recs) in &run.blocks {
+            let map = resolved.entry(block).or_default();
+            for r in recs {
+                let op = if r.tombstone { DeltaOp::Delete } else { DeltaOp::Put(r.weight) };
+                map.insert((r.src, r.dst), op);
+            }
+        }
+    }
+    for (&block, map) in &memtable.blocks {
+        let target = resolved.entry(block).or_default();
+        for (&key, &op) in map {
+            target.insert(key, op);
+        }
+    }
+    resolved
+}
+
+/// Materialize the overlay for `graph` from `runs` + `memtable`. The
+/// graph must have no overlay attached (base reads only) — the caller
+/// detaches before refreshing.
+pub(crate) fn build_overlay(
+    graph: &HusGraph,
+    runs: &[DeltaRun],
+    memtable: &Memtable,
+) -> Result<DeltaOverlay> {
+    let meta = graph.meta();
+    let weighted = meta.weighted;
+    let resolved = resolve_ops(runs, memtable);
+    let delta_records: u64 =
+        runs.iter().map(DeltaRun::record_count).sum::<u64>() + memtable.entries;
+    let mut overlay = DeltaOverlay {
+        out: HashMap::new(),
+        ins: HashMap::new(),
+        out_degrees: graph.base_out_degrees().to_vec(),
+        num_edges: meta.num_edges,
+        delta_bytes: delta_records * DELTA_RECORD_BYTES,
+    };
+    for (&(i, j), ops) in &resolved {
+        let (i, j) = (i as usize, j as usize);
+        // Out orientation: own vertex is src (interval i), neighbor dst.
+        let base_idx = graph.load_out_index(i, j, Access::Sequential)?;
+        let base = graph.stream_out_block(i, j)?;
+        let n_i = meta.interval_len(i) as usize;
+        let start_i = meta.interval_start(i);
+        let merged =
+            merge_block(n_i, start_i, &base_idx, &base, ops.iter().map(|(&k, v)| (k, v)), weighted);
+        for v in 0..n_i {
+            let before = base_idx[v + 1] - base_idx[v];
+            let after = merged.index[v + 1] - merged.index[v];
+            let d = &mut overlay.out_degrees[(start_i + v as u32) as usize];
+            *d = (*d + after) - before;
+        }
+        overlay.num_edges = overlay.num_edges + merged.len() - base.len() as u64;
+        overlay.out.insert((i, j), merged);
+
+        // In orientation: own vertex is dst (interval j), neighbor src.
+        let in_idx = graph.load_in_index(i, j, Access::Sequential)?;
+        let in_base = graph.stream_in_block(i, j)?;
+        let in_ops: BTreeMap<(u32, u32), &DeltaOp> =
+            ops.iter().map(|(&(src, dst), op)| ((dst, src), op)).collect();
+        let merged_in = merge_block(
+            meta.interval_len(j) as usize,
+            meta.interval_start(j),
+            &in_idx,
+            &in_base,
+            in_ops.into_iter(),
+            weighted,
+        );
+        overlay.ins.insert((i, j), merged_in);
+    }
+    Ok(overlay)
+}
+
+/// A dual-block graph that accepts streaming edge updates.
+///
+/// Open one over a built directory, ingest with
+/// [`insert_edge`](DynamicGraph::insert_edge) /
+/// [`delete_edge`](DynamicGraph::delete_edge), and read through
+/// [`snapshot`](DynamicGraph::snapshot):
+///
+/// ```
+/// use hus_core::{BuildConfig, DynamicGraph};
+/// use hus_gen::{Edge, EdgeList};
+/// use hus_storage::StorageDir;
+///
+/// let tmp = tempfile::tempdir()?;
+/// let dir = StorageDir::create(tmp.path().join("g"))?;
+/// let el = EdgeList {
+///     num_vertices: 4,
+///     edges: vec![Edge::new(0, 1), Edge::new(1, 2)],
+///     weights: None,
+/// };
+/// hus_core::build(&el, &dir, &BuildConfig::with_p(2))?;
+///
+/// let mut dg = DynamicGraph::open(dir)?;
+/// dg.insert_edge(2, 3, 1.0)?; // buffered in the memtable
+/// dg.delete_edge(0, 1)?;      // tombstoned
+/// let g = dg.snapshot()?;     // merged view, no rebuild
+/// assert_eq!(g.num_edges(), 2);
+/// assert_eq!(g.out_degrees()[2], 1);
+/// dg.compact()?;              // fold everything into a new base build
+/// assert_eq!(dg.snapshot()?.num_edges(), 2);
+/// # Ok::<(), hus_storage::StorageError>(())
+/// ```
+pub struct DynamicGraph {
+    dir: StorageDir,
+    graph: HusGraph,
+    memtable: Memtable,
+    runs: Vec<DeltaRun>,
+    memtable_budget: u64,
+    compact_trigger: usize,
+    /// Overlay is stale (memtable/runs changed since the last refresh).
+    dirty: bool,
+}
+
+impl DynamicGraph {
+    /// Open a built graph directory for streaming updates, loading (and
+    /// CRC-verifying) every delta run its `MANIFEST` lists.
+    ///
+    /// Budget knobs are read once here: `HUS_MEMTABLE_BYTES` (spill
+    /// threshold, default 64 MiB) and `HUS_COMPACT_TRIGGER` (auto-compact
+    /// once this many runs accumulate; `0` = manual only).
+    pub fn open(dir: StorageDir) -> Result<Self> {
+        let graph = HusGraph::open(dir.clone())?;
+        let mut runs = Vec::new();
+        if let Some(manifest) = BuildManifest::load_from(dir.root())? {
+            for entry in &manifest.runs {
+                let run = DeltaRun::load_from(&dir, &entry.name)?;
+                if run.p != graph.meta().p {
+                    return Err(StorageError::Corrupt(format!(
+                        "{}: run partitioned {}-way but the base graph is {}-way",
+                        entry.name,
+                        run.p,
+                        graph.meta().p
+                    )));
+                }
+                runs.push(run);
+            }
+            runs.sort_by_key(|r| r.seq);
+        }
+        let dirty = !runs.is_empty();
+        RUNS_GAUGE.set(runs.len() as u64);
+        MEMTABLE_GAUGE.set(0);
+        Ok(DynamicGraph {
+            dir,
+            graph,
+            memtable: Memtable::default(),
+            runs,
+            memtable_budget: crate::engine::env_parse("HUS_MEMTABLE_BYTES", DEFAULT_MEMTABLE_BYTES)
+                .max(MEMTABLE_ENTRY_BYTES),
+            compact_trigger: crate::engine::env_parse("HUS_COMPACT_TRIGGER", 0usize),
+            dirty,
+        })
+    }
+
+    fn locate(&self, src: u32, dst: u32) -> Result<(u32, u32)> {
+        let meta = self.graph.meta();
+        if src >= meta.num_vertices || dst >= meta.num_vertices {
+            return Err(StorageError::Corrupt(format!(
+                "edge ({src}, {dst}) outside the {}-vertex graph (dynamic graphs \
+                 never grow the vertex set; rebuild to add vertices)",
+                meta.num_vertices
+            )));
+        }
+        Ok((
+            interval_of(&meta.interval_starts, src) as u32,
+            interval_of(&meta.interval_starts, dst) as u32,
+        ))
+    }
+
+    /// Buffer an edge insert (or weight update for an existing edge).
+    ///
+    /// Lands in the memtable; spills automatically once the buffered
+    /// updates cross `HUS_MEMTABLE_BYTES`:
+    ///
+    /// ```
+    /// # use hus_core::{BuildConfig, DynamicGraph};
+    /// # use hus_gen::{Edge, EdgeList};
+    /// # use hus_storage::StorageDir;
+    /// # let tmp = tempfile::tempdir()?;
+    /// # let dir = StorageDir::create(tmp.path().join("g"))?;
+    /// # let el = EdgeList { num_vertices: 4, edges: vec![Edge::new(0, 1)], weights: None };
+    /// # hus_core::build(&el, &dir, &BuildConfig::with_p(2))?;
+    /// let mut dg = DynamicGraph::open(dir)?;
+    /// dg.insert_edge(1, 3, 1.0)?;
+    /// assert!(dg.insert_edge(9, 0, 1.0).is_err(), "vertex 9 does not exist");
+    /// assert_eq!(dg.snapshot()?.num_edges(), 2);
+    /// # Ok::<(), hus_storage::StorageError>(())
+    /// ```
+    pub fn insert_edge(&mut self, src: u32, dst: u32, weight: f32) -> Result<()> {
+        let (i, j) = self.locate(src, dst)?;
+        self.memtable.put(i, j, src, dst, DeltaOp::Put(weight));
+        INSERTS.incr();
+        MEMTABLE_GAUGE.set(self.memtable.approx_bytes());
+        self.dirty = true;
+        if self.memtable.approx_bytes() >= self.memtable_budget {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Buffer an edge delete as a tombstone. Deleting an edge that does
+    /// not exist is a no-op at merge time (the tombstone matches no base
+    /// record):
+    ///
+    /// ```
+    /// # use hus_core::{BuildConfig, DynamicGraph};
+    /// # use hus_gen::{Edge, EdgeList};
+    /// # use hus_storage::StorageDir;
+    /// # let tmp = tempfile::tempdir()?;
+    /// # let dir = StorageDir::create(tmp.path().join("g"))?;
+    /// # let el = EdgeList { num_vertices: 4, edges: vec![Edge::new(0, 1)], weights: None };
+    /// # hus_core::build(&el, &dir, &BuildConfig::with_p(2))?;
+    /// let mut dg = DynamicGraph::open(dir)?;
+    /// dg.delete_edge(0, 1)?;
+    /// dg.delete_edge(2, 3)?; // no such edge — harmless
+    /// assert_eq!(dg.snapshot()?.num_edges(), 0);
+    /// # Ok::<(), hus_storage::StorageError>(())
+    /// ```
+    pub fn delete_edge(&mut self, src: u32, dst: u32) -> Result<()> {
+        let (i, j) = self.locate(src, dst)?;
+        self.memtable.put(i, j, src, dst, DeltaOp::Delete);
+        DELETES.incr();
+        MEMTABLE_GAUGE.set(self.memtable.approx_bytes());
+        self.dirty = true;
+        if self.memtable.approx_bytes() >= self.memtable_budget {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Spill the memtable to a new on-disk delta run and record it in
+    /// the `MANIFEST` under a bumped generation. No-op on an empty
+    /// memtable. Returns the committed run file name.
+    ///
+    /// Durability: the run commits first (tmp + fsync + rename), then
+    /// the manifest is rewritten the same way. A crash between the two
+    /// leaves an *orphaned* run the manifest never references — opens
+    /// ignore it, `hus fsck` flags it, `--repair` deletes it. The
+    /// memtable itself is volatile: updates not yet spilled are lost on
+    /// a crash (the documented failure model — there is no WAL).
+    pub fn flush(&mut self) -> Result<Option<String>> {
+        if self.memtable.is_empty() {
+            return Ok(None);
+        }
+        let seq = self.runs.last().map_or(1, |r| r.seq + 1);
+        let mut run = DeltaRun::new(seq, self.graph.meta().p);
+        for (&(i, j), map) in &self.memtable.blocks {
+            for (&(src, dst), &op) in map {
+                let rec = match op {
+                    DeltaOp::Put(w) => DeltaRecord::insert(src, dst, w),
+                    DeltaOp::Delete => DeltaRecord::tombstone(src, dst),
+                };
+                run.push(i, j, rec);
+            }
+        }
+        let name = run.write_to(&self.dir)?;
+        durable::crash_point("delta.spill_run");
+
+        // Re-list the committed run in the manifest. Legacy directories
+        // (pre-MANIFEST) get one synthesized from meta.json first.
+        let root = self.dir.root().to_path_buf();
+        let mut manifest = match BuildManifest::load_from(&root)? {
+            Some(m) => m,
+            None => {
+                let meta = self.graph.meta();
+                let files = GraphMeta::data_files(meta.p);
+                BuildManifest::capture(
+                    &root,
+                    0,
+                    files.iter().map(|(n, f)| (n.as_str(), *f && meta.checksums)),
+                )?
+            }
+        };
+        manifest.generation += 1;
+        let run_path = self.dir.path(&name);
+        let run_len =
+            std::fs::metadata(&run_path).map_err(|e| StorageError::io_at(&run_path, e))?.len();
+        manifest.push_run(&name, run_len, read_trailing_crc(&run_path)?);
+        // The manifest is rewritten via tmp + rename: an in-place write
+        // torn by a crash would leave the directory unopenable.
+        let tmp = root.join(format!("{}.tmp", hus_storage::MANIFEST_FILE));
+        std::fs::write(&tmp, manifest.encode()).map_err(|e| StorageError::io_at(&tmp, e))?;
+        durable::sync_file(&tmp)?;
+        let dst = root.join(hus_storage::MANIFEST_FILE);
+        std::fs::rename(&tmp, &dst).map_err(|e| StorageError::io_at(&dst, e))?;
+        durable::sync_parent_dir(&dst)?;
+        durable::crash_point("delta.spill_manifest");
+
+        self.runs.push(run);
+        self.memtable = Memtable::default();
+        SPILLS.incr();
+        RUNS_GAUGE.set(self.runs.len() as u64);
+        MEMTABLE_GAUGE.set(0);
+        if self.compact_trigger > 0 && self.runs.len() >= self.compact_trigger {
+            self.compact()?;
+        }
+        Ok(Some(name))
+    }
+
+    /// Fold every buffered update — memtable and runs — into a full
+    /// re-encoded base build, committed atomically as a new `MANIFEST`
+    /// generation by the staged-build machinery (DESIGN.md §10). The
+    /// rename that publishes the new build simultaneously drops every
+    /// old run file, so a crash anywhere leaves either the old
+    /// generation (runs intact) or the new one (runs folded) — never a
+    /// mix. Returns `false` if there was nothing to fold.
+    pub fn compact(&mut self) -> Result<bool> {
+        if self.runs.is_empty() && self.memtable.is_empty() {
+            return Ok(false);
+        }
+        self.refresh_overlay()?;
+        // Materialize the merged edge set through the overlay-aware
+        // out-block walk.
+        let meta = self.graph.meta().clone();
+        let p = meta.p as usize;
+        let weighted = meta.weighted;
+        let mut edges = Vec::with_capacity(self.graph.num_edges() as usize);
+        let mut weights = weighted.then(|| Vec::with_capacity(edges.capacity()));
+        for i in 0..p {
+            let base = meta.interval_start(i);
+            for j in 0..p {
+                let idx = self.graph.load_out_index(i, j, Access::Sequential)?;
+                let recs = self.graph.stream_out_block(i, j)?;
+                for v in 0..meta.interval_len(i) as usize {
+                    for k in idx[v]..idx[v + 1] {
+                        edges.push(Edge::new(base + v as u32, recs.neighbor(k as usize)));
+                        if let Some(w) = &mut weights {
+                            w.push(recs.weight(k as usize));
+                        }
+                    }
+                }
+            }
+        }
+        let el = EdgeList { num_vertices: meta.num_vertices, edges, weights };
+        let config = crate::builder::BuildConfig::with_p_codec(meta.p, self.graph.codec());
+        // Detach the overlay before the base flips underneath it.
+        self.graph.set_overlay(None);
+        crate::builder::build(&el, &self.dir, &config)?;
+        self.graph = HusGraph::open(self.dir.clone())?;
+        self.runs.clear();
+        self.memtable = Memtable::default();
+        self.dirty = false;
+        COMPACTIONS.incr();
+        RUNS_GAUGE.set(0);
+        MEMTABLE_GAUGE.set(0);
+        Ok(true)
+    }
+
+    fn refresh_overlay(&mut self) -> Result<()> {
+        if !self.dirty {
+            return Ok(());
+        }
+        // Detach first: the refresh must read base blocks, not a stale
+        // merged view of them.
+        self.graph.set_overlay(None);
+        if self.runs.is_empty() && self.memtable.is_empty() {
+            self.dirty = false;
+            return Ok(());
+        }
+        let overlay = build_overlay(&self.graph, &self.runs, &self.memtable)?;
+        self.graph.set_overlay(Some(overlay));
+        self.dirty = false;
+        Ok(())
+    }
+
+    /// The current merged view of the graph: base blocks plus every
+    /// buffered update, served through the normal [`HusGraph`] read
+    /// APIs (so the engine, `hus pagerank`, etc. run unchanged).
+    /// Refreshes the overlay only if updates arrived since the last
+    /// call — repeated snapshots are free.
+    pub fn snapshot(&mut self) -> Result<&HusGraph> {
+        self.refresh_overlay()?;
+        Ok(&self.graph)
+    }
+
+    /// Consume the dynamic graph and return an owned [`HusGraph`] with
+    /// the overlay (every live delta run; the memtable is volatile and
+    /// must be [`flush`](Self::flush)ed first if it should be included)
+    /// already materialized. This is the read-only entry point for
+    /// tools that just want "the current graph, updates included" —
+    /// `hus pagerank` and friends open directories through it so a
+    /// directory carrying un-compacted delta runs is never silently
+    /// served as its stale base generation.
+    pub fn into_snapshot(mut self) -> Result<HusGraph> {
+        self.refresh_overlay()?;
+        Ok(self.graph)
+    }
+
+    /// Number of on-disk delta runs currently layered over the base.
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Approximate resident bytes of the not-yet-spilled memtable.
+    pub fn memtable_bytes(&self) -> u64 {
+        self.memtable.approx_bytes()
+    }
+
+    /// Number of distinct edge keys buffered in the memtable.
+    pub fn memtable_len(&self) -> u64 {
+        self.memtable.entries
+    }
+
+    /// The underlying storage directory.
+    pub fn dir(&self) -> &StorageDir {
+        &self.dir
+    }
+}
+
+/// Read a file's last four bytes as a little-endian CRC (the run's
+/// trailer, recorded in `MANIFEST` `run` lines).
+fn read_trailing_crc(path: &std::path::Path) -> Result<u32> {
+    let at = |e| StorageError::io_at(path, e);
+    let mut f = std::fs::File::open(path).map_err(at)?;
+    f.seek(SeekFrom::End(-4)).map_err(at)?;
+    let mut buf = [0u8; 4];
+    f.read_exact(&mut buf).map_err(at)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build, BuildConfig};
+    use hus_codec::Codec;
+    use hus_gen::rmat::{rmat, RmatConfig};
+
+    fn built(el: &EdgeList, p: u32) -> (tempfile::TempDir, StorageDir) {
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("g")).unwrap();
+        build(el, &dir, &BuildConfig::with_p_codec(p, Codec::Raw)).unwrap();
+        (tmp, dir)
+    }
+
+    /// Reconstruct the edge set via the overlay-aware out-blocks.
+    fn edges_out(g: &HusGraph) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for i in 0..g.p() {
+            let base = g.meta().interval_start(i);
+            for j in 0..g.p() {
+                let idx = g.load_out_index(i, j, Access::Sequential).unwrap();
+                let recs = g.stream_out_block(i, j).unwrap();
+                for v in 0..g.meta().interval_len(i) as usize {
+                    for k in idx[v]..idx[v + 1] {
+                        out.push((base + v as u32, recs.neighbor(k as usize)));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Same via the in-blocks (both orientations must agree).
+    fn edges_in(g: &HusGraph) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for j in 0..g.p() {
+            let base = g.meta().interval_start(j);
+            for i in 0..g.p() {
+                let idx = g.load_in_index(i, j, Access::Sequential).unwrap();
+                let recs = g.stream_in_block(i, j).unwrap();
+                for v in 0..g.meta().interval_len(j) as usize {
+                    for k in idx[v]..idx[v + 1] {
+                        out.push((recs.neighbor(k as usize), base + v as u32));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn overlay_reflects_inserts_and_deletes_in_both_orientations() {
+        let el = rmat(100, 500, 7, RmatConfig::default());
+        let (_t, dir) = built(&el, 3);
+        let mut dg = DynamicGraph::open(dir).unwrap();
+        let mut want: std::collections::BTreeSet<(u32, u32)> =
+            el.edges.iter().map(|e| (e.src, e.dst)).collect();
+        // Delete a handful of real edges, insert a handful of new ones.
+        let victims: Vec<(u32, u32)> = want.iter().copied().step_by(17).take(8).collect();
+        for &(s, d) in &victims {
+            dg.delete_edge(s, d).unwrap();
+            want.remove(&(s, d));
+        }
+        for k in 0..10u32 {
+            let (s, d) = (k * 9 % 100, k * 31 % 100);
+            dg.insert_edge(s, d, 1.0).unwrap();
+            want.insert((s, d));
+        }
+        let g = dg.snapshot().unwrap();
+        let mut got_out = edges_out(g);
+        got_out.sort_unstable();
+        let want: Vec<(u32, u32)> = want.into_iter().collect();
+        assert_eq!(got_out, want);
+        let mut got_in = edges_in(g);
+        got_in.sort_unstable();
+        assert_eq!(got_in, want);
+        assert_eq!(g.num_edges(), want.len() as u64);
+        // Degrees track the merged edge set.
+        let mut deg = vec![0u32; 100];
+        for &(s, _) in &want {
+            deg[s as usize] += 1;
+        }
+        assert_eq!(g.out_degrees(), deg.as_slice());
+    }
+
+    #[test]
+    fn newest_wins_across_memtable_runs_and_resurrection() {
+        let el = rmat(40, 150, 3, RmatConfig::default());
+        let (_t, dir) = built(&el, 2);
+        let mut dg = DynamicGraph::open(dir).unwrap();
+        let (s, d) = (el.edges[0].src, el.edges[0].dst);
+        // Run 1: delete the edge. Run 2: resurrect it. Memtable: delete
+        // it again. Newest (memtable) wins.
+        dg.delete_edge(s, d).unwrap();
+        dg.flush().unwrap().unwrap();
+        dg.insert_edge(s, d, 1.0).unwrap();
+        dg.flush().unwrap().unwrap();
+        dg.delete_edge(s, d).unwrap();
+        assert_eq!(dg.run_count(), 2);
+        let g = dg.snapshot().unwrap();
+        assert!(!edges_out(g).contains(&(s, d)));
+        assert_eq!(g.num_edges(), el.edges.len() as u64 - 1);
+    }
+
+    #[test]
+    fn reopen_sees_spilled_runs() {
+        let el = rmat(60, 200, 5, RmatConfig::default());
+        let (_t, dir) = built(&el, 2);
+        let mut dg = DynamicGraph::open(dir.clone()).unwrap();
+        dg.insert_edge(1, 2, 1.0).unwrap();
+        dg.insert_edge(3, 4, 1.0).unwrap();
+        dg.flush().unwrap().unwrap();
+        let want = {
+            let mut v = edges_out(dg.snapshot().unwrap());
+            v.sort_unstable();
+            v
+        };
+        drop(dg);
+        let mut dg2 = DynamicGraph::open(dir).unwrap();
+        assert_eq!(dg2.run_count(), 1);
+        let mut got = edges_out(dg2.snapshot().unwrap());
+        got.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn compaction_folds_runs_into_a_new_generation() {
+        let el = rmat(80, 400, 11, RmatConfig::default());
+        let (_t, dir) = built(&el, 2);
+        let gen0 = BuildManifest::load_from(dir.root()).unwrap().unwrap().generation;
+        let mut dg = DynamicGraph::open(dir.clone()).unwrap();
+        dg.insert_edge(0, 79, 1.0).unwrap();
+        dg.flush().unwrap().unwrap();
+        dg.delete_edge(0, 79).unwrap();
+        dg.insert_edge(79, 0, 1.0).unwrap();
+        let before = {
+            let mut v = edges_out(dg.snapshot().unwrap());
+            v.sort_unstable();
+            v
+        };
+        assert!(dg.compact().unwrap());
+        assert_eq!(dg.run_count(), 0);
+        assert_eq!(dg.memtable_len(), 0);
+        let manifest = BuildManifest::load_from(dir.root()).unwrap().unwrap();
+        assert!(manifest.generation > gen0, "compaction bumps the generation");
+        assert!(manifest.runs.is_empty(), "compaction folds every run away");
+        // No run files survive the directory swap.
+        for f in std::fs::read_dir(dir.root()).unwrap() {
+            let name = f.unwrap().file_name();
+            assert!(
+                !name.to_string_lossy().ends_with(".run"),
+                "stale run file {name:?} after compaction"
+            );
+        }
+        let mut after = edges_out(dg.snapshot().unwrap());
+        after.sort_unstable();
+        assert_eq!(after, before, "compaction preserves the merged edge set");
+        assert!(!dg.compact().unwrap(), "nothing left to fold");
+    }
+
+    #[test]
+    fn weighted_updates_roundtrip_bitwise() {
+        let el = rmat(50, 200, 9, RmatConfig::default()).with_hash_weights(0.5, 2.5);
+        let (_t, dir) = built(&el, 2);
+        let mut dg = DynamicGraph::open(dir).unwrap();
+        let (s, d) = (el.edges[3].src, el.edges[3].dst);
+        dg.insert_edge(s, d, 7.25).unwrap(); // weight update of an existing edge
+        dg.insert_edge(5, 6, 0.125).unwrap();
+        let g = dg.snapshot().unwrap();
+        let meta = g.meta().clone();
+        let find = |s: u32, d: u32| -> Option<f32> {
+            let i = interval_of(&meta.interval_starts, s);
+            let j = interval_of(&meta.interval_starts, d);
+            let idx = g.load_out_index(i, j, Access::Sequential).unwrap();
+            let recs = g.stream_out_block(i, j).unwrap();
+            let v = (s - meta.interval_start(i)) as usize;
+            (idx[v]..idx[v + 1])
+                .map(|k| k as usize)
+                .find(|&k| recs.neighbor(k) == d)
+                .map(|k| recs.weight(k))
+        };
+        assert_eq!(find(s, d), Some(7.25));
+        assert_eq!(find(5, 6), Some(0.125));
+    }
+
+    #[test]
+    fn out_of_range_vertices_are_rejected() {
+        let el = rmat(10, 30, 1, RmatConfig::default());
+        let (_t, dir) = built(&el, 2);
+        let mut dg = DynamicGraph::open(dir).unwrap();
+        assert!(dg.insert_edge(10, 0, 1.0).is_err());
+        assert!(dg.delete_edge(0, 10).is_err());
+        assert_eq!(dg.memtable_len(), 0, "rejected updates are not buffered");
+    }
+
+    #[test]
+    fn memtable_budget_triggers_auto_spill() {
+        let el = rmat(200, 600, 13, RmatConfig::default());
+        let (_t, dir) = built(&el, 2);
+        let mut dg = DynamicGraph::open(dir).unwrap();
+        dg.memtable_budget = 4 * MEMTABLE_ENTRY_BYTES;
+        let keys: Vec<(u32, u32)> = (0..9u32).map(|k| (k, k + 100)).collect();
+        for &(s, d) in &keys {
+            dg.insert_edge(s, d, 1.0).unwrap();
+        }
+        assert!(dg.run_count() >= 2, "budget crossings spilled: {}", dg.run_count());
+        assert!(dg.memtable_bytes() < 4 * MEMTABLE_ENTRY_BYTES);
+        let g = dg.snapshot().unwrap();
+        // An insert replaces every base copy of its key, so the expected
+        // count is the base multiset minus the touched keys plus one
+        // record per touched key.
+        let untouched = el.edges.iter().filter(|e| !keys.contains(&(e.src, e.dst))).count() as u64;
+        assert_eq!(g.num_edges(), untouched + keys.len() as u64);
+    }
+
+    #[test]
+    fn compact_trigger_auto_folds() {
+        let el = rmat(50, 150, 21, RmatConfig::default());
+        let (_t, dir) = built(&el, 2);
+        let mut dg = DynamicGraph::open(dir).unwrap();
+        dg.compact_trigger = 2;
+        dg.insert_edge(1, 2, 1.0).unwrap();
+        dg.flush().unwrap();
+        assert_eq!(dg.run_count(), 1);
+        dg.insert_edge(3, 4, 1.0).unwrap();
+        dg.flush().unwrap();
+        assert_eq!(dg.run_count(), 0, "second spill hit the trigger and compacted");
+        let untouched =
+            el.edges.iter().filter(|e| !matches!((e.src, e.dst), (1, 2) | (3, 4))).count() as u64;
+        assert_eq!(dg.snapshot().unwrap().num_edges(), untouched + 2);
+    }
+}

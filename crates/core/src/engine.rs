@@ -213,7 +213,7 @@ pub const DEFAULT_MERGE_SLACK: u64 = 4096;
 /// without overcommitting producer threads on buffered backends.
 pub const DEFAULT_QUEUE_DEPTH: usize = 8;
 
-fn env_parse<T: std::str::FromStr>(name: &str, default: T) -> T {
+pub(crate) fn env_parse<T: std::str::FromStr>(name: &str, default: T) -> T {
     std::env::var(name).ok().and_then(|s| s.parse().ok()).unwrap_or(default)
 }
 
@@ -402,7 +402,7 @@ impl<'a, Pr: VertexProgram> Engine<'a, Pr> {
         // that actually travels from the device, not the decoded width.
         let mut predictor = Predictor::new(
             self.config.throughput,
-            meta.disk_edge_bytes(),
+            self.graph.disk_edge_bytes(),
             std::mem::size_of::<Pr::Value>() as u64,
         );
         predictor.alpha = self.config.alpha;
@@ -451,7 +451,7 @@ impl<'a, Pr: VertexProgram> Engine<'a, Pr> {
                             active_vertices,
                             active_edges,
                             v as u64,
-                            meta.num_edges,
+                            self.graph.num_edges(),
                             p as u64,
                         );
                         crate::predict::count_decision(&d);
@@ -505,9 +505,9 @@ impl<'a, Pr: VertexProgram> Engine<'a, Pr> {
                         let mut est = 0.0f64;
                         for (i, &row_active) in per_interval_edges.iter().enumerate() {
                             let row_total: u64 =
-                                (0..p).map(|j| meta.out_block(i, j).edge_count).sum();
+                                (0..p).map(|j| self.graph.out_block_len(i, j)).sum();
                             if row_total > 0 {
-                                est += row_active as f64 * meta.out_block(i, col).edge_count as f64
+                                est += row_active as f64 * self.graph.out_block_len(i, col) as f64
                                     / row_total as f64;
                             }
                         }
@@ -515,7 +515,7 @@ impl<'a, Pr: VertexProgram> Engine<'a, Pr> {
                             active_vertices,
                             est.ceil() as u64,
                             v as u64,
-                            meta.num_edges,
+                            self.graph.num_edges(),
                             p as u64,
                         );
                         crate::predict::count_decision(&d);

@@ -324,9 +324,10 @@ pub fn build_external<S: EdgeSource>(
 
     for i in prog.out_shards_done as usize..p {
         let mut records = read_spill(&spill_out(i))?;
-        // Stable: within (dst-interval, src) the input order is kept —
-        // matching the in-memory builder exactly.
-        records.sort_by_key(|(e, _)| (interval_of(&starts, e.dst), e.src));
+        // Canonical (dst-interval, src, dst) order — matching the
+        // in-memory builder's per-block (src, dst) sort exactly, stable
+        // for duplicate edges.
+        records.sort_by_key(|(e, _)| (interval_of(&starts, e.dst), e.src, e.dst));
         write_shard(
             &out,
             &GraphMeta::out_edges_file(i),
@@ -347,7 +348,7 @@ pub fn build_external<S: EdgeSource>(
     }
     for j in prog.in_shards_done as usize..p {
         let mut records = read_spill(&spill_in(j))?;
-        records.sort_by_key(|(e, _)| (interval_of(&starts, e.src), e.dst));
+        records.sort_by_key(|(e, _)| (interval_of(&starts, e.src), e.dst, e.src));
         write_shard(
             &out,
             &GraphMeta::in_edges_file(j),

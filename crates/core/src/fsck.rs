@@ -8,10 +8,17 @@
 //! `meta.json`, and validates index monotonicity — reporting every
 //! problem it finds instead of stopping at the first (DESIGN.md §10).
 //!
+//! Delta runs (DESIGN.md §11) are covered too: every run the
+//! `MANIFEST` lists is fully re-read and CRC-verified, its trailer is
+//! cross-checked against the manifest's recorded fingerprint, and its
+//! partitioning against `meta.json`.
+//!
 //! With `repair`, it also quarantines leftovers that are *not* part of
 //! the committed directory: stale `.tmp-*` staging siblings from
-//! interrupted builds and orphaned iteration checkpoints in scratch
-//! directories.
+//! interrupted builds, orphaned iteration checkpoints in scratch
+//! directories, orphaned delta runs a crash stranded between the run
+//! commit and its manifest listing, and `.run.tmp` / `MANIFEST.tmp`
+//! remnants of interrupted spills.
 
 use crate::checkpoint::CKPT_SLOTS;
 use crate::meta::{GraphMeta, DEGREES_FILE, INDEX_ENTRY_BYTES, META_FILE};
@@ -86,12 +93,40 @@ pub fn fsck(dir: &StorageDir, repair: bool) -> Result<FsckReport> {
         repairs: Vec::new(),
     };
 
-    // 1. Manifest: shape and per-file lengths.
+    // 1. Manifest: shape and per-file lengths; then every listed delta
+    //    run, fully re-read and CRC-verified.
+    let mut listed_runs: Vec<String> = Vec::new();
+    let mut run_partitions: Vec<(String, u32)> = Vec::new();
     match BuildManifest::load_from(dir.root()) {
         Ok(Some(manifest)) => {
             report.generation = Some(manifest.generation);
             if let Err(e) = manifest.verify_files(dir.root()) {
                 report.issues.push(e.to_string());
+            }
+            for entry in &manifest.runs {
+                listed_runs.push(entry.name.clone());
+                report.files_checked += 1;
+                match hus_storage::delta::DeltaRun::load_from(dir, &entry.name) {
+                    Ok(run) => {
+                        report.blocks_checked += run.blocks.len() as u64;
+                        run_partitions.push((entry.name.clone(), run.p));
+                        // The manifest's fingerprint is the run's trailing
+                        // self-CRC; a mismatch means the file was swapped
+                        // or rewritten after the spill committed.
+                        match read_trailing_crc(&dir.path(&entry.name)) {
+                            Some(tail) if Some(tail) != entry.footer_crc => {
+                                report.issues.push(format!(
+                                    "{}: trailer CRC {tail:08X} disagrees with MANIFEST \
+                                     ({:08X})",
+                                    entry.name,
+                                    entry.footer_crc.unwrap_or(0)
+                                ));
+                            }
+                            _ => {}
+                        }
+                    }
+                    Err(e) => report.issues.push(e.to_string()),
+                }
             }
         }
         Ok(None) => {}
@@ -106,14 +141,22 @@ pub fn fsck(dir: &StorageDir, repair: bool) -> Result<FsckReport> {
             Ok(meta) => meta,
             Err(e) => {
                 report.issues.push(e);
-                scan_stale(dir, repair, &mut report);
+                scan_stale(dir, repair, &mut report, &listed_runs);
                 return Ok(report);
             }
         };
     if let Err(e) = meta.validate() {
         report.issues.push(format!("{META_FILE}: {e}"));
-        scan_stale(dir, repair, &mut report);
+        scan_stale(dir, repair, &mut report, &listed_runs);
         return Ok(report);
+    }
+    for (name, run_p) in &run_partitions {
+        if *run_p != meta.p {
+            report.issues.push(format!(
+                "{name}: run partitioned {run_p}-way but {META_FILE} says P = {}",
+                meta.p
+            ));
+        }
     }
     report.files_checked += 1;
     let p = meta.p as usize;
@@ -121,7 +164,7 @@ pub fn fsck(dir: &StorageDir, repair: bool) -> Result<FsckReport> {
         Ok(c) => c,
         Err(e) => {
             report.issues.push(format!("{META_FILE}: {e}"));
-            scan_stale(dir, repair, &mut report);
+            scan_stale(dir, repair, &mut report, &listed_runs);
             return Ok(report);
         }
     };
@@ -182,8 +225,19 @@ pub fn fsck(dir: &StorageDir, repair: bool) -> Result<FsckReport> {
         Ok(_) => {}
     }
 
-    scan_stale(dir, repair, &mut report);
+    scan_stale(dir, repair, &mut report, &listed_runs);
     Ok(report)
+}
+
+/// Read a file's last four bytes as a little-endian CRC; `None` when
+/// unreadable or too short.
+fn read_trailing_crc(path: &std::path::Path) -> Option<u32> {
+    use std::io::{Read, Seek, SeekFrom};
+    let mut f = std::fs::File::open(path).ok()?;
+    f.seek(SeekFrom::End(-4)).ok()?;
+    let mut buf = [0u8; 4];
+    f.read_exact(&mut buf).ok()?;
+    Some(u32::from_le_bytes(buf))
 }
 
 /// Length + footer + per-block CRC checks for one shard file.
@@ -293,9 +347,12 @@ fn check_index_block(
     Ok(())
 }
 
-/// Find (and with `repair`, quarantine) stale staging siblings and
-/// orphaned checkpoint slots in scratch subdirectories.
-fn scan_stale(dir: &StorageDir, repair: bool, report: &mut FsckReport) {
+/// Find (and with `repair`, quarantine) stale staging siblings,
+/// orphaned checkpoint slots in scratch subdirectories, and delta-spill
+/// leftovers: run files the `MANIFEST` does not list (a crash landed
+/// between the run commit and the manifest rewrite) plus `.run.tmp` /
+/// `MANIFEST.tmp` remnants of torn spills.
+fn scan_stale(dir: &StorageDir, repair: bool, report: &mut FsckReport, listed_runs: &[String]) {
     let mut targets: Vec<PathBuf> = dir.staging_siblings();
     // Orphaned checkpoints: scratch subdirectories still holding slot
     // files (their run was killed; a finished run clears them).
@@ -304,6 +361,16 @@ fn scan_stale(dir: &StorageDir, repair: bool, report: &mut FsckReport) {
             let path = entry.path();
             if path.is_dir() && CKPT_SLOTS.iter().any(|s| path.join(s).is_file()) {
                 targets.push(path);
+            } else if path.is_file() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                let orphaned_run = hus_storage::delta::parse_run_file(&name).is_some()
+                    && !listed_runs.iter().any(|l| l == &name);
+                if orphaned_run
+                    || name.ends_with(".run.tmp")
+                    || name == format!("{}.tmp", hus_storage::MANIFEST_FILE)
+                {
+                    targets.push(path);
+                }
             }
         }
     }
@@ -404,6 +471,67 @@ mod tests {
         let after = fsck(&dir, false).unwrap();
         assert!(after.is_clean());
         assert!(after.stale.is_empty());
+    }
+
+    #[test]
+    fn listed_delta_runs_are_verified_and_corruption_is_caught() {
+        let (_t, dir) = built(3);
+        let mut dg = crate::delta::DynamicGraph::open(dir.clone()).unwrap();
+        dg.insert_edge(0, 149, 1.0).unwrap();
+        dg.delete_edge(1, 2).unwrap();
+        dg.flush().unwrap().unwrap();
+        drop(dg);
+        let clean = fsck(&dir, false).unwrap();
+        assert!(clean.is_clean(), "{}", clean.render());
+
+        // Flip one payload byte inside the run: the whole-file CRC (and
+        // the block CRC) must catch it.
+        let path = dir.path("delta_000001.run");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+        let report = fsck(&dir, false).unwrap();
+        assert!(!report.is_clean());
+        assert!(
+            report.issues.iter().any(|i| i.contains("delta_000001.run")),
+            "issue names the run: {:?}",
+            report.issues
+        );
+    }
+
+    #[test]
+    fn orphaned_runs_and_spill_tmp_leftovers_are_stale_and_repairable() {
+        let (_t, dir) = built(2);
+        // An orphaned run: committed on disk, never listed (the shape a
+        // crash at `delta.spill_run` leaves behind).
+        let mut orphan = hus_storage::DeltaRun::new(7, 2);
+        orphan.push(0, 0, hus_storage::DeltaRecord::insert(0, 1, 1.0));
+        orphan.write_to(&dir).unwrap();
+        // Torn-spill remnants.
+        std::fs::write(dir.path("delta_000009.run.tmp"), b"partial").unwrap();
+        std::fs::write(dir.path("MANIFEST.tmp"), b"partial").unwrap();
+
+        let before = fsck(&dir, false).unwrap();
+        assert!(before.is_clean(), "leftovers are not corruption: {}", before.render());
+        assert_eq!(before.stale.len(), 3, "{:?}", before.stale);
+        assert!(before.stale.iter().any(|s| s == "delta_000007.run"));
+
+        let repaired = fsck(&dir, true).unwrap();
+        assert_eq!(repaired.repairs.len(), 3, "{:?}", repaired.repairs);
+        assert!(!dir.exists("delta_000007.run"));
+        assert!(!dir.exists("delta_000009.run.tmp"));
+        assert!(!dir.exists("MANIFEST.tmp"));
+        assert!(fsck(&dir, false).unwrap().stale.is_empty());
+
+        // A *listed* run is never stale.
+        let mut dg = crate::delta::DynamicGraph::open(dir.clone()).unwrap();
+        dg.insert_edge(0, 1, 1.0).unwrap();
+        dg.flush().unwrap().unwrap();
+        drop(dg);
+        let listed = fsck(&dir, false).unwrap();
+        assert!(listed.is_clean(), "{}", listed.render());
+        assert!(listed.stale.is_empty(), "{:?}", listed.stale);
     }
 
     #[test]

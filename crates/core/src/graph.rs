@@ -82,6 +82,12 @@ pub struct HusGraph {
     /// Shared with the [`CodecBackend`]s wrapping compressed shards, so
     /// one toggle switches graph-level and codec-level verification.
     verify: Arc<AtomicBool>,
+    /// Dynamic-graph read overlay (DESIGN.md §11): merged blocks for
+    /// every block touched by buffered edge updates. Attached by
+    /// [`crate::delta::DynamicGraph::snapshot`]; `None` on a plain
+    /// opened graph, in which case every read below goes to the base
+    /// shards unchanged.
+    overlay: Option<crate::delta::DeltaOverlay>,
 }
 
 impl HusGraph {
@@ -232,7 +238,23 @@ impl HusGraph {
             in_index,
             checksums,
             verify,
+            overlay: None,
         })
+    }
+
+    /// Attach or detach the dynamic-graph overlay. With an overlay
+    /// attached, reads of touched blocks are served from the merged
+    /// in-memory view; untouched blocks keep reading the base shards.
+    pub(crate) fn set_overlay(&mut self, overlay: Option<crate::delta::DeltaOverlay>) {
+        self.overlay = overlay;
+    }
+
+    fn overlay_out(&self, i: usize, j: usize) -> Option<&crate::delta::MergedBlock> {
+        self.overlay.as_ref().and_then(|ov| ov.out.get(&(i, j)))
+    }
+
+    fn overlay_in(&self, i: usize, j: usize) -> Option<&crate::delta::MergedBlock> {
+        self.overlay.as_ref().and_then(|ov| ov.ins.get(&(i, j)))
     }
 
     /// Enable or disable read-side checksum verification at runtime
@@ -336,9 +358,58 @@ impl HusGraph {
         self.codec
     }
 
-    /// Out-degree table (`d_v` of the predictor).
+    /// Out-degree table (`d_v` of the predictor), reflecting any
+    /// attached dynamic-graph overlay.
     pub fn out_degrees(&self) -> &[u32] {
+        match &self.overlay {
+            Some(ov) => &ov.out_degrees,
+            None => &self.out_degrees,
+        }
+    }
+
+    /// The base build's out-degree table, ignoring any overlay (used
+    /// while materializing one).
+    pub(crate) fn base_out_degrees(&self) -> &[u32] {
         &self.out_degrees
+    }
+
+    /// Number of directed edges, reflecting any attached overlay
+    /// (inserts minus deletes). Prefer this over `meta().num_edges`,
+    /// which only describes the base build.
+    pub fn num_edges(&self) -> u64 {
+        self.overlay.as_ref().map_or(self.meta.num_edges, |ov| ov.num_edges)
+    }
+
+    /// Record count of out-block `(i, j)`, reflecting any overlay.
+    /// Prefer this over `meta().out_block(i, j).edge_count` for
+    /// skip/coalesce decisions.
+    pub fn out_block_len(&self, i: usize, j: usize) -> u64 {
+        match self.overlay_out(i, j) {
+            Some(m) => m.len(),
+            None => self.meta.out_block(i, j).edge_count,
+        }
+    }
+
+    /// Record count of in-block `(i, j)`, reflecting any overlay.
+    pub fn in_block_len(&self, i: usize, j: usize) -> u64 {
+        match self.overlay_in(i, j) {
+            Some(m) => m.len(),
+            None => self.meta.in_block(i, j).edge_count,
+        }
+    }
+
+    /// On-disk bytes per edge (`M` of the predictor), inflated by the
+    /// resident delta bytes when an overlay is attached — the cost
+    /// model's view of the read amplification buffered updates add.
+    pub fn disk_edge_bytes(&self) -> f64 {
+        match &self.overlay {
+            Some(ov) if ov.num_edges > 0 => {
+                (self.meta.encoded_edge_bytes() + ov.delta_bytes) as f64
+                    / (2.0 * ov.num_edges as f64)
+            }
+            Some(_) => self.meta.edge_record_bytes() as f64,
+            None => self.meta.disk_edge_bytes(),
+        }
     }
 
     /// Number of intervals.
@@ -349,6 +420,9 @@ impl HusGraph {
     /// Load out-index `(i, j)`: `interval_len(i) + 1` CSR offsets local
     /// to out-block `(i, j)`.
     pub fn load_out_index(&self, i: usize, j: usize, access: Access) -> Result<Vec<u32>> {
+        if let Some(m) = self.overlay_out(i, j) {
+            return Ok(m.index.clone());
+        }
         let block = self.meta.out_block(i, j);
         let count = self.meta.interval_len(i) as usize + 1;
         let idx: Vec<u32> = hus_obs::attr::with_block(i as u32, j as u32, || {
@@ -371,6 +445,9 @@ impl HusGraph {
     /// Load in-index `(i, j)`: `interval_len(j) + 1` CSR offsets local to
     /// in-block `(i, j)`.
     pub fn load_in_index(&self, i: usize, j: usize, access: Access) -> Result<Vec<u32>> {
+        if let Some(m) = self.overlay_in(i, j) {
+            return Ok(m.index.clone());
+        }
         let block = self.meta.in_block(i, j);
         let count = self.meta.interval_len(j) as usize + 1;
         let idx: Vec<u32> = hus_obs::attr::with_block(i as u32, j as u32, || {
@@ -396,6 +473,9 @@ impl HusGraph {
     /// per-vertex beats loading the whole `len+1`-entry index array
     /// (the engine chooses by predicted cost).
     pub fn load_out_index_entry(&self, i: usize, j: usize, local: usize) -> Result<(u32, u32)> {
+        if let Some(m) = self.overlay_out(i, j) {
+            return Ok((m.index[local], m.index[local + 1]));
+        }
         let block = self.meta.out_block(i, j);
         let mut buf = [0u8; 8];
         hus_obs::attr::with_block(i as u32, j as u32, || {
@@ -419,6 +499,9 @@ impl HusGraph {
     /// codec backend).
     pub fn load_out_records(&self, i: usize, j: usize, lo: u32, hi: u32) -> Result<EdgeRecords> {
         debug_assert!(lo <= hi);
+        if let Some(m) = self.overlay_out(i, j) {
+            return Ok(m.records.slice(lo as usize, hi as usize));
+        }
         let block = self.meta.out_block(i, j);
         debug_assert!((hi as u64) <= block.edge_count);
         let m = self.meta.edge_record_bytes();
@@ -447,6 +530,12 @@ impl HusGraph {
         j: usize,
         ranges: &[(u32, u32)],
     ) -> Result<Vec<EdgeRecords>> {
+        if let Some(m) = self.overlay_out(i, j) {
+            return Ok(ranges
+                .iter()
+                .map(|&(lo, hi)| m.records.slice(lo as usize, hi as usize))
+                .collect());
+        }
         let block = self.meta.out_block(i, j);
         let m = self.meta.edge_record_bytes();
         let mut bufs: Vec<Vec<u8>> = ranges
@@ -487,6 +576,9 @@ impl HusGraph {
     /// ascending sweep is what a real disk scheduler converges to;
     /// billed at the device's batched-sweep throughput.
     pub fn load_out_block_batch(&self, i: usize, j: usize) -> Result<EdgeRecords> {
+        if let Some(m) = self.overlay_out(i, j) {
+            return Ok(m.records.clone());
+        }
         let block = self.meta.out_block(i, j);
         let m = self.meta.edge_record_bytes();
         let len = (block.edge_count * m) as usize;
@@ -504,6 +596,9 @@ impl HusGraph {
     /// `LoadInEdges` (Algorithm 3). The paper sizes `P` so a block fits
     /// in memory; we load it in one tracked sequential read.
     pub fn stream_in_block(&self, i: usize, j: usize) -> Result<EdgeRecords> {
+        if let Some(m) = self.overlay_in(i, j) {
+            return Ok(m.records.clone());
+        }
         let block = self.meta.in_block(i, j);
         let m = self.meta.edge_record_bytes();
         let len = (block.edge_count * m) as usize;
@@ -521,6 +616,9 @@ impl HusGraph {
     /// ablation harness to measure layout costs; ROP itself reads
     /// selectively).
     pub fn stream_out_block(&self, i: usize, j: usize) -> Result<EdgeRecords> {
+        if let Some(m) = self.overlay_out(i, j) {
+            return Ok(m.records.clone());
+        }
         let block = self.meta.out_block(i, j);
         let m = self.meta.edge_record_bytes();
         let len = (block.edge_count * m) as usize;
@@ -539,13 +637,33 @@ impl HusGraph {
 ///
 /// Accessors read unaligned little-endian fields straight out of the byte
 /// buffer, so no alignment requirements are imposed on block offsets.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct EdgeRecords {
     data: Vec<u8>,
     weighted: bool,
 }
 
 impl EdgeRecords {
+    /// Wrap raw record bytes (the dynamic-graph overlay builds merged
+    /// blocks in memory).
+    pub(crate) fn from_raw(data: Vec<u8>, weighted: bool) -> Self {
+        EdgeRecords { data, weighted }
+    }
+
+    /// The raw bytes of record `k` (one stride), for copy-through
+    /// merging.
+    pub(crate) fn raw_record(&self, k: usize) -> &[u8] {
+        let s = k * self.stride();
+        &self.data[s..s + self.stride()]
+    }
+
+    /// Copy out records `[lo, hi)` as a standalone buffer.
+    pub(crate) fn slice(&self, lo: usize, hi: usize) -> EdgeRecords {
+        debug_assert!(lo <= hi && hi <= self.len());
+        let s = self.stride();
+        EdgeRecords { data: self.data[lo * s..hi * s].to_vec(), weighted: self.weighted }
+    }
+
     /// Record size in bytes.
     fn stride(&self) -> usize {
         if self.weighted {

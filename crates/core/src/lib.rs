@@ -43,6 +43,7 @@ pub mod audit;
 pub mod builder;
 pub mod checkpoint;
 pub mod cop;
+pub mod delta;
 pub mod engine;
 pub mod external;
 pub mod fsck;
@@ -57,6 +58,7 @@ pub mod vertex_store;
 
 pub use active::ActiveSet;
 pub use builder::{build, BuildConfig, PartitionStrategy};
+pub use delta::{DeltaOp, DynamicGraph};
 pub use engine::{Engine, RunConfig, SelectionGranularity, Synchrony, UpdateMode};
 pub use external::{build_external, BinaryFileSource, EdgeSource, ListSource};
 pub use fsck::{fsck, FsckReport};

@@ -141,7 +141,7 @@ pub fn run_row<Pr: VertexProgram>(
     let edge_counts: Vec<u64> = (0..ctx.graph.p())
         .into_par_iter()
         .map(|j| {
-            if ctx.graph.meta().out_block(row, j).edge_count == 0 {
+            if ctx.graph.out_block_len(row, j) == 0 {
                 return Ok(0);
             }
             let mut slot = d_all[j].lock();
@@ -244,7 +244,7 @@ fn push_block_inner<Pr: VertexProgram>(
     d_j: &mut [Pr::Value],
 ) -> Result<u64> {
     let meta = ctx.graph.meta();
-    let block_edges = meta.out_block(row, j).edge_count;
+    let block_edges = ctx.graph.out_block_len(row, j);
     if block_edges == 0 {
         return Ok(0);
     }

@@ -56,6 +56,14 @@ pub const KNOBS: &[EnvKnob] = &[
                  from the cache; `0` disables)",
     },
     EnvKnob {
+        name: "HUS_COMPACT_TRIGGER",
+        default: "`0`",
+        effect: "auto-compact a dynamic graph once this many delta runs accumulate \
+                 (each spill checks the count; compaction folds memtable + runs into \
+                 a new base build). `0` leaves compaction manual (`hus compact`; see \
+                 `DESIGN.md` §11)",
+    },
+    EnvKnob {
         name: "HUS_CRASH_AT",
         default: "unset",
         effect: "recovery-test hook: `<point>` (or `<point>:<n>` for the n-th hit) \
@@ -78,6 +86,14 @@ pub const KNOBS: &[EnvKnob] = &[
                  `(i, j)` edge block, rendered by `hus audit`, `hus top`, \
                  `debug_profile` and the `/metrics` exporter (see \
                  `docs/OBSERVABILITY.md`)",
+    },
+    EnvKnob {
+        name: "HUS_MEMTABLE_BYTES",
+        default: "`67108864`",
+        effect: "byte budget of the dynamic-graph write buffer; crossing it spills \
+                 the buffered edge updates to an on-disk delta run \
+                 (`delta_<seq>.run`, listed in `MANIFEST`; see `docs/FORMAT.md` and \
+                 `DESIGN.md` §11)",
     },
     EnvKnob {
         name: "HUS_MERGE_SLACK",

@@ -1,0 +1,482 @@
+//! On-disk delta runs: the spilled form of the dynamic-graph write
+//! buffer (LSM-style streaming ingest, DESIGN.md §11).
+//!
+//! A *delta run* is one immutable, sorted batch of edge updates —
+//! inserts and tombstoned deletes — grouped by the `(i, j)` edge block
+//! of the base graph they touch. Runs are written once when the
+//! in-memory memtable crosses its budget, listed in the directory's
+//! `MANIFEST` (`run` lines), merged newest-first into every read of
+//! the blocks they touch, and folded away by compaction. The
+//! byte-level layout is specified in `docs/FORMAT.md` § "Delta runs"
+//! and mirrored by the `docs_sync` test.
+//!
+//! ```
+//! use hus_storage::delta::{DeltaRecord, DeltaRun};
+//! use hus_storage::StorageDir;
+//!
+//! let tmp = tempfile::tempdir()?;
+//! let dir = StorageDir::create(tmp.path())?;
+//! let mut run = DeltaRun::new(1, 4);
+//! run.push(0, 0, DeltaRecord::insert(0, 1, 1.0));
+//! run.push(0, 0, DeltaRecord::tombstone(2, 1));
+//! let name = run.write_to(&dir)?;
+//! assert_eq!(name, "delta_000001.run");
+//! let back = DeltaRun::load_from(&dir, &name)?;
+//! assert_eq!(back.record_count(), 2);
+//! # Ok::<(), hus_storage::StorageError>(())
+//! ```
+
+use crate::checksum::crc32c;
+use crate::durable;
+use crate::error::{Result, StorageError};
+use crate::tracker::Access;
+use crate::StorageDir;
+use std::collections::BTreeMap;
+
+/// Magic number opening a delta-run file: the bytes `HUSD` read as a
+/// little-endian `u32`.
+pub const DELTA_MAGIC: u32 = u32::from_le_bytes(*b"HUSD");
+
+/// Version of the delta-run layout described in `docs/FORMAT.md`.
+pub const DELTA_VERSION: u16 = 1;
+
+/// Fixed header size: magic (4) + version (2) + codec id (2) + `P` (4)
+/// + block-section count (4) + sequence number (8) + total record
+///   count (8).
+pub const DELTA_HEADER_BYTES: u64 = 32;
+
+/// One block-directory entry: `i` (4) + `j` (4) + payload offset (8) +
+/// record count (8) + payload CRC-32C (4).
+pub const DELTA_DIR_ENTRY_BYTES: u64 = 28;
+
+/// One update record on disk: `src` (4) + `dst` (4) + weight `f32` (4)
+/// + flags (4, bit 0 = tombstone, rest must be zero).
+pub const DELTA_RECORD_BYTES: u64 = 16;
+
+/// Flags bit marking a record as a delete tombstone.
+const FLAG_TOMBSTONE: u32 = 1;
+
+/// One edge update inside a delta run.
+///
+/// Records are keyed by `(src, dst)`; within a block section they are
+/// stored sorted by that key with no duplicates. A tombstone's weight
+/// is stored as `0.0` and ignored by readers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeltaRecord {
+    /// Global source vertex id.
+    pub src: u32,
+    /// Global destination vertex id.
+    pub dst: u32,
+    /// Edge weight (inserts into weighted graphs; `0.0` on tombstones
+    /// and ignored for unweighted graphs).
+    pub weight: f32,
+    /// `true` for a delete tombstone, `false` for an insert/update.
+    pub tombstone: bool,
+}
+
+impl DeltaRecord {
+    /// An insert (or weight-update) record.
+    pub fn insert(src: u32, dst: u32, weight: f32) -> Self {
+        DeltaRecord { src, dst, weight, tombstone: false }
+    }
+
+    /// A delete tombstone.
+    pub fn tombstone(src: u32, dst: u32) -> Self {
+        DeltaRecord { src, dst, weight: 0.0, tombstone: true }
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.src.to_le_bytes());
+        out.extend_from_slice(&self.dst.to_le_bytes());
+        let w = if self.tombstone { 0.0 } else { self.weight };
+        out.extend_from_slice(&w.to_le_bytes());
+        let flags = if self.tombstone { FLAG_TOMBSTONE } else { 0 };
+        out.extend_from_slice(&flags.to_le_bytes());
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self> {
+        let src = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+        let dst = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        let weight = f32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        let flags = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+        if flags & !FLAG_TOMBSTONE != 0 {
+            return Err(StorageError::Corrupt(format!(
+                "delta record ({src}, {dst}) carries unknown flags 0x{flags:08X}"
+            )));
+        }
+        Ok(DeltaRecord { src, dst, weight, tombstone: flags & FLAG_TOMBSTONE != 0 })
+    }
+}
+
+/// One decoded delta run: a sorted batch of updates grouped by the
+/// `(i, j)` base-graph block they touch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaRun {
+    /// Monotonic sequence number; higher sequences are newer and win
+    /// merges. Also determines the file name ([`DeltaRun::file_name`]).
+    pub seq: u64,
+    /// Interval count `P` of the base graph the run was written
+    /// against; readers reject runs whose `P` disagrees with
+    /// `meta.json` (a run cannot outlive a repartitioning rebuild).
+    pub p: u32,
+    /// Per-block update records, keyed by `(i, j)`, each section
+    /// sorted by `(src, dst)` with no duplicate keys.
+    pub blocks: BTreeMap<(u32, u32), Vec<DeltaRecord>>,
+}
+
+impl DeltaRun {
+    /// An empty run with the given sequence number against a `P`-way
+    /// partitioned base graph.
+    pub fn new(seq: u64, p: u32) -> Self {
+        DeltaRun { seq, p, blocks: BTreeMap::new() }
+    }
+
+    /// Append a record to block `(i, j)`. Callers append in sorted
+    /// `(src, dst)` order per block; [`DeltaRun::encode`] rejects
+    /// unsorted or duplicate-keyed sections.
+    pub fn push(&mut self, i: u32, j: u32, rec: DeltaRecord) {
+        self.blocks.entry((i, j)).or_default().push(rec);
+    }
+
+    /// Total number of records across every block section.
+    pub fn record_count(&self) -> u64 {
+        self.blocks.values().map(|v| v.len() as u64).sum()
+    }
+
+    /// The run's on-disk file name, `delta_<seq:06>.run`.
+    pub fn file_name(&self) -> String {
+        run_file(self.seq)
+    }
+
+    /// Serialize to the on-disk layout (see `docs/FORMAT.md` § "Delta
+    /// runs"): header, block directory, per-block record payloads, and
+    /// a trailing CRC-32C over every preceding byte.
+    pub fn encode(&self) -> Result<Vec<u8>> {
+        let dir_len = self.blocks.len() as u64 * DELTA_DIR_ENTRY_BYTES;
+        let payload_len = self.record_count() * DELTA_RECORD_BYTES;
+        let total = DELTA_HEADER_BYTES + dir_len + payload_len + 4;
+        let mut out = Vec::with_capacity(total as usize);
+        out.extend_from_slice(&DELTA_MAGIC.to_le_bytes());
+        out.extend_from_slice(&DELTA_VERSION.to_le_bytes());
+        out.extend_from_slice(&hus_codec::CODEC_RAW.to_le_bytes());
+        out.extend_from_slice(&self.p.to_le_bytes());
+        out.extend_from_slice(&(self.blocks.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.record_count().to_le_bytes());
+        debug_assert_eq!(out.len() as u64, DELTA_HEADER_BYTES);
+
+        // Encode payloads first so the directory can carry their CRCs.
+        let mut payloads = Vec::with_capacity(payload_len as usize);
+        let mut entries = Vec::with_capacity(self.blocks.len());
+        for (&(i, j), recs) in &self.blocks {
+            if i >= self.p || j >= self.p {
+                return Err(StorageError::Corrupt(format!(
+                    "delta run {}: block ({i}, {j}) outside a {}x{} grid",
+                    self.seq, self.p, self.p
+                )));
+            }
+            let start = payloads.len() as u64;
+            for (k, rec) in recs.iter().enumerate() {
+                if k > 0 {
+                    let prev = &recs[k - 1];
+                    if (prev.src, prev.dst) >= (rec.src, rec.dst) {
+                        return Err(StorageError::Corrupt(format!(
+                            "delta run {}: block ({i}, {j}) not sorted by (src, dst) \
+                             or holds duplicate keys",
+                            self.seq
+                        )));
+                    }
+                }
+                rec.encode_into(&mut payloads);
+            }
+            let payload = &payloads[start as usize..];
+            entries.push((i, j, start, recs.len() as u64, crc32c(payload)));
+        }
+        for (i, j, offset, count, crc) in entries {
+            out.extend_from_slice(&i.to_le_bytes());
+            out.extend_from_slice(&j.to_le_bytes());
+            out.extend_from_slice(&offset.to_le_bytes());
+            out.extend_from_slice(&count.to_le_bytes());
+            out.extend_from_slice(&crc.to_le_bytes());
+        }
+        out.extend_from_slice(&payloads);
+        let trailer = crc32c(&out);
+        out.extend_from_slice(&trailer.to_le_bytes());
+        debug_assert_eq!(out.len() as u64, total);
+        Ok(out)
+    }
+
+    /// Parse and fully validate a run from its exact byte image:
+    /// trailer CRC first (distinguishing torn writes from misparses),
+    /// then magic, version, codec, counts, per-block CRCs and
+    /// per-block `(src, dst)` sortedness.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let fixed = DELTA_HEADER_BYTES as usize + 4;
+        if bytes.len() < fixed {
+            return Err(StorageError::Corrupt(format!(
+                "delta run truncated: {} bytes, need at least {fixed}",
+                bytes.len()
+            )));
+        }
+        let body = &bytes[..bytes.len() - 4];
+        let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
+        let actual = crc32c(body);
+        if stored != actual {
+            return Err(StorageError::Corrupt(format!(
+                "delta run trailer self-check failed: stored 0x{stored:08X}, \
+                 computed 0x{actual:08X}"
+            )));
+        }
+        let magic = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+        if magic != DELTA_MAGIC {
+            return Err(StorageError::Corrupt(format!(
+                "bad delta-run magic 0x{magic:08X} (expected 0x{DELTA_MAGIC:08X})"
+            )));
+        }
+        let version = u16::from_le_bytes(bytes[4..6].try_into().unwrap());
+        if version != DELTA_VERSION {
+            return Err(StorageError::Corrupt(format!(
+                "unsupported delta-run version {version} (expected {DELTA_VERSION})"
+            )));
+        }
+        let codec = u16::from_le_bytes(bytes[6..8].try_into().unwrap());
+        if codec != hus_codec::CODEC_RAW {
+            return Err(StorageError::Corrupt(format!(
+                "unsupported delta-run codec id {codec} (version {DELTA_VERSION} \
+                 runs are always raw)"
+            )));
+        }
+        let p = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        let block_count = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+        let seq = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+        let record_count = u64::from_le_bytes(bytes[24..32].try_into().unwrap());
+
+        let dir_end = DELTA_HEADER_BYTES + block_count as u64 * DELTA_DIR_ENTRY_BYTES;
+        let want = dir_end + record_count * DELTA_RECORD_BYTES + 4;
+        if bytes.len() as u64 != want {
+            return Err(StorageError::Corrupt(format!(
+                "delta run {seq}: length {} does not match {block_count} blocks / \
+                 {record_count} records (expected {want})",
+                bytes.len()
+            )));
+        }
+        let payloads = &bytes[dir_end as usize..bytes.len() - 4];
+        let mut blocks = BTreeMap::new();
+        let mut seen = 0u64;
+        for e in 0..block_count {
+            let at = DELTA_HEADER_BYTES as usize + e * DELTA_DIR_ENTRY_BYTES as usize;
+            let i = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+            let j = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().unwrap());
+            let offset = u64::from_le_bytes(bytes[at + 8..at + 16].try_into().unwrap());
+            let count = u64::from_le_bytes(bytes[at + 16..at + 24].try_into().unwrap());
+            let crc = u32::from_le_bytes(bytes[at + 24..at + 28].try_into().unwrap());
+            if i >= p || j >= p {
+                return Err(StorageError::Corrupt(format!(
+                    "delta run {seq}: block ({i}, {j}) outside a {p}x{p} grid"
+                )));
+            }
+            if offset != seen * DELTA_RECORD_BYTES {
+                return Err(StorageError::Corrupt(format!(
+                    "delta run {seq}: block ({i}, {j}) payload offset {offset} is not \
+                     contiguous"
+                )));
+            }
+            let start = offset as usize;
+            let end = start + (count * DELTA_RECORD_BYTES) as usize;
+            let payload = payloads.get(start..end).ok_or_else(|| {
+                StorageError::Corrupt(format!(
+                    "delta run {seq}: block ({i}, {j}) payload overruns the file"
+                ))
+            })?;
+            let actual = crc32c(payload);
+            if actual != crc {
+                return Err(StorageError::Corrupt(format!(
+                    "delta run {seq}: block ({i}, {j}) payload CRC mismatch \
+                     (stored 0x{crc:08X}, computed 0x{actual:08X})"
+                )));
+            }
+            let mut recs = Vec::with_capacity(count as usize);
+            for chunk in payload.chunks_exact(DELTA_RECORD_BYTES as usize) {
+                let rec = DeltaRecord::decode(chunk)?;
+                if let Some(prev) = recs.last() {
+                    let prev: &DeltaRecord = prev;
+                    if (prev.src, prev.dst) >= (rec.src, rec.dst) {
+                        return Err(StorageError::Corrupt(format!(
+                            "delta run {seq}: block ({i}, {j}) records not sorted by \
+                             (src, dst)"
+                        )));
+                    }
+                }
+                recs.push(rec);
+            }
+            seen += count;
+            if blocks.insert((i, j), recs).is_some() {
+                return Err(StorageError::Corrupt(format!(
+                    "delta run {seq}: duplicate directory entry for block ({i}, {j})"
+                )));
+            }
+        }
+        if seen != record_count {
+            return Err(StorageError::Corrupt(format!(
+                "delta run {seq}: directory counts {seen} records, header says \
+                 {record_count}"
+            )));
+        }
+        Ok(DeltaRun { seq, p, blocks })
+    }
+
+    /// Durably write the run into `dir` under its canonical name via a
+    /// same-directory temporary file and atomic rename: a crash mid
+    /// write leaves only a `.tmp` orphan (never a torn run), which
+    /// `hus fsck --repair` quarantines. Returns the committed file
+    /// name. Not billed as data I/O (runs are written cold, like
+    /// shards during a build).
+    pub fn write_to(&self, dir: &StorageDir) -> Result<String> {
+        let name = self.file_name();
+        let bytes = self.encode()?;
+        let tmp = dir.path(&format!("{name}.tmp"));
+        std::fs::write(&tmp, &bytes).map_err(|e| StorageError::io_at(&tmp, e))?;
+        durable::sync_file(&tmp)?;
+        durable::crash_point("delta.run_tmp");
+        let dst = dir.path(&name);
+        std::fs::rename(&tmp, &dst).map_err(|e| StorageError::io_at(&dst, e))?;
+        durable::sync_parent_dir(&dst)?;
+        Ok(name)
+    }
+
+    /// Read and fully validate a run file through the directory's
+    /// tracked reader (billed sequential — a run is always consumed
+    /// whole).
+    pub fn load_from(dir: &StorageDir, name: &str) -> Result<Self> {
+        let reader = dir.reader(name)?;
+        let mut bytes = vec![0u8; reader.len() as usize];
+        if !bytes.is_empty() {
+            reader.read_at(0, &mut bytes, Access::Sequential)?;
+        }
+        Self::decode(&bytes)
+            .map_err(|e| StorageError::Corrupt(format!("{}: {e}", dir.path(name).display())))
+    }
+
+    /// The trailing self-CRC of an encoded run — the last four bytes,
+    /// a fingerprint of the whole file recorded in `MANIFEST` `run`
+    /// lines.
+    pub fn trailer_crc(bytes: &[u8]) -> Option<u32> {
+        let n = bytes.len();
+        if n < 4 {
+            return None;
+        }
+        Some(u32::from_le_bytes(bytes[n - 4..].try_into().unwrap()))
+    }
+}
+
+/// Canonical delta-run file name for a sequence number:
+/// `delta_<seq:06>.run` (zero-padded so lexicographic order is
+/// sequence order).
+pub fn run_file(seq: u64) -> String {
+    format!("delta_{seq:06}.run")
+}
+
+/// Parse a delta-run file name back to its sequence number; `None` for
+/// anything that is not a well-formed run name.
+pub fn parse_run_file(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("delta_")?.strip_suffix(".run")?;
+    if digits.len() < 6 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DeltaRun {
+        let mut run = DeltaRun::new(3, 4);
+        run.push(0, 0, DeltaRecord::insert(0, 1, 1.5));
+        run.push(0, 0, DeltaRecord::tombstone(1, 0));
+        run.push(2, 1, DeltaRecord::insert(9, 5, 0.25));
+        run
+    }
+
+    #[test]
+    fn roundtrip() {
+        let run = sample();
+        let bytes = run.encode().unwrap();
+        assert_eq!(
+            bytes.len() as u64,
+            DELTA_HEADER_BYTES + 2 * DELTA_DIR_ENTRY_BYTES + 3 * DELTA_RECORD_BYTES + 4
+        );
+        let back = DeltaRun::decode(&bytes).unwrap();
+        assert_eq!(back, run);
+        assert_eq!(back.record_count(), 3);
+    }
+
+    #[test]
+    fn tombstone_weight_is_normalized_to_zero() {
+        let mut run = DeltaRun::new(1, 1);
+        run.push(0, 0, DeltaRecord { src: 0, dst: 1, weight: 7.0, tombstone: true });
+        let back = DeltaRun::decode(&run.encode().unwrap()).unwrap();
+        assert_eq!(back.blocks[&(0, 0)][0].weight, 0.0);
+    }
+
+    #[test]
+    fn file_naming_roundtrips() {
+        assert_eq!(run_file(1), "delta_000001.run");
+        assert_eq!(run_file(1_234_567), "delta_1234567.run");
+        assert_eq!(parse_run_file("delta_000042.run"), Some(42));
+        assert_eq!(parse_run_file("delta_1234567.run"), Some(1_234_567));
+        assert_eq!(parse_run_file("delta_42.run"), None, "underpadded");
+        assert_eq!(parse_run_file("out_0.edges"), None);
+        assert_eq!(parse_run_file("delta_00000x.run"), None);
+    }
+
+    #[test]
+    fn unsorted_section_is_rejected_at_encode_and_decode() {
+        let mut run = DeltaRun::new(1, 2);
+        run.push(0, 0, DeltaRecord::insert(5, 5, 1.0));
+        run.push(0, 0, DeltaRecord::insert(1, 1, 1.0));
+        assert!(run.encode().unwrap_err().to_string().contains("sorted"));
+    }
+
+    #[test]
+    fn bit_flip_anywhere_is_detected() {
+        let bytes = sample().encode().unwrap();
+        for pos in [0, 5, 12, DELTA_HEADER_BYTES as usize + 3, bytes.len() - 2] {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x10;
+            assert!(DeltaRun::decode(&bad).is_err(), "flip at {pos} undetected");
+        }
+    }
+
+    #[test]
+    fn out_of_grid_block_is_rejected() {
+        let mut run = DeltaRun::new(1, 2);
+        run.push(7, 0, DeltaRecord::insert(0, 1, 1.0));
+        assert!(run.encode().unwrap_err().to_string().contains("grid"));
+    }
+
+    #[test]
+    fn write_and_load_through_storage_dir() {
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("g")).unwrap();
+        let run = sample();
+        let name = run.write_to(&dir).unwrap();
+        assert_eq!(name, "delta_000003.run");
+        assert!(dir.exists(&name));
+        assert!(!dir.exists(&format!("{name}.tmp")), "tmp renamed away");
+        let back = DeltaRun::load_from(&dir, &name).unwrap();
+        assert_eq!(back, run);
+        // The trailing CRC is the fingerprint MANIFEST records.
+        let bytes = std::fs::read(dir.path(&name)).unwrap();
+        let trailer = DeltaRun::trailer_crc(&bytes).unwrap();
+        assert_eq!(trailer, crc32c(&bytes[..bytes.len() - 4]));
+    }
+
+    #[test]
+    fn empty_run_roundtrips() {
+        let run = DeltaRun::new(9, 8);
+        let back = DeltaRun::decode(&run.encode().unwrap()).unwrap();
+        assert_eq!(back, run);
+        assert_eq!(back.record_count(), 0);
+    }
+}

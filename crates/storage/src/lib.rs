@@ -29,6 +29,9 @@
 //!   CRC-32C shard footers, deterministic fault injection (`HUS_FAULT`),
 //!   and transparent retry with bounded backoff plus degradation paths
 //!   (mmap→file, batched→per-range). See DESIGN.md §9.
+//! * [`delta`] — on-disk delta runs: the spilled, CRC-sealed form of the
+//!   dynamic-graph write buffer, merged newest-first into reads and
+//!   folded away by compaction. See DESIGN.md §11.
 //! * [`manifest`] / [`durable`] / [`StagingDir`] — the crash-consistent
 //!   build lifecycle: sibling staging directories committed by atomic
 //!   rename, generation-stamped `MANIFEST` files, fsync discipline with
@@ -42,6 +45,7 @@ pub mod buffer;
 pub mod cache;
 pub mod checksum;
 pub mod codec_backend;
+pub mod delta;
 pub mod device;
 pub mod dir;
 pub mod direct;
@@ -67,6 +71,7 @@ pub use buffer::{BlockStream, TrackedWriter};
 pub use cache::{CacheStats, CachedBackend};
 pub use checksum::{crc32c, Crc32c, ShardFooter};
 pub use codec_backend::{BlockSpan, CodecBackend};
+pub use delta::{DeltaRecord, DeltaRun};
 pub use device::{CostModel, DeviceProfile, Throughput};
 pub use dir::{BackendKind, StagingDir, StorageDir};
 pub use direct::DirectBackend;

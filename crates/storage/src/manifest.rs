@@ -101,12 +101,18 @@ pub struct BuildManifest {
     pub generation: u64,
     /// Every data file of the build, in deterministic build order.
     pub files: Vec<ManifestEntry>,
+    /// Live delta runs layered over the build, oldest first (`run`
+    /// lines; see `docs/FORMAT.md` § "Delta runs"). Empty for a freshly
+    /// built or freshly compacted directory; spills append one entry
+    /// and rewrite the manifest under a bumped generation. The entry's
+    /// `footer_crc` is the run file's trailing self-CRC.
+    pub runs: Vec<ManifestEntry>,
 }
 
 impl BuildManifest {
     /// Empty manifest for a build of the given generation.
     pub fn new(generation: u64) -> Self {
-        BuildManifest { generation, files: Vec::new() }
+        BuildManifest { generation, files: Vec::new(), runs: Vec::new() }
     }
 
     /// Record one data file.
@@ -114,21 +120,34 @@ impl BuildManifest {
         self.files.push(ManifestEntry { name: name.into(), len, footer_crc });
     }
 
+    /// Record one live delta run (appended after every `file` line when
+    /// encoded).
+    pub fn push_run(&mut self, name: impl Into<String>, len: u64, trailer_crc: u32) {
+        self.runs.push(ManifestEntry { name: name.into(), len, footer_crc: Some(trailer_crc) });
+    }
+
     /// Look up a file's entry by name.
     pub fn entry(&self, name: &str) -> Option<&ManifestEntry> {
         self.files.iter().find(|e| e.name == name)
+    }
+
+    /// Look up a live run's entry by name.
+    pub fn run_entry(&self, name: &str) -> Option<&ManifestEntry> {
+        self.runs.iter().find(|e| e.name == name)
     }
 
     /// Serialize to the on-disk text format (including the trailer).
     pub fn encode(&self) -> String {
         let mut body = format!("{MANIFEST_MAGIC} {MANIFEST_VERSION}\n");
         body.push_str(&format!("generation {}\n", self.generation));
-        for e in &self.files {
-            let crc = match e.footer_crc {
-                Some(c) => format!("crc32c:{c:08X}"),
-                None => "-".to_string(),
-            };
-            body.push_str(&format!("file {} {} {crc}\n", e.name, e.len));
+        for (kw, entries) in [("file", &self.files), ("run", &self.runs)] {
+            for e in entries {
+                let crc = match e.footer_crc {
+                    Some(c) => format!("crc32c:{c:08X}"),
+                    None => "-".to_string(),
+                };
+                body.push_str(&format!("{kw} {} {} {crc}\n", e.name, e.len));
+            }
         }
         seal_text(&body)
     }
@@ -150,11 +169,12 @@ impl BuildManifest {
             .and_then(|g| g.parse().ok())
             .ok_or_else(|| corrupt(format!("bad generation line {gen_line:?}")))?;
         let mut files = Vec::new();
+        let mut runs = Vec::new();
         for line in lines {
             let mut cols = line.split(' ');
             let (kw, name, len, crc) = (cols.next(), cols.next(), cols.next(), cols.next());
             let parsed = match (kw, name, len, crc, cols.next()) {
-                (Some("file"), Some(name), Some(len), Some(crc), None) => {
+                (Some(kw @ ("file" | "run")), Some(name), Some(len), Some(crc), None) => {
                     len.parse().ok().and_then(|len| {
                         let footer_crc = match crc {
                             "-" => Some(None),
@@ -163,14 +183,19 @@ impl BuildManifest {
                                 .and_then(|h| u32::from_str_radix(h, 16).ok())
                                 .map(Some),
                         }?;
-                        Some(ManifestEntry { name: name.to_string(), len, footer_crc })
+                        Some((kw, ManifestEntry { name: name.to_string(), len, footer_crc }))
                     })
                 }
                 _ => None,
             };
-            files.push(parsed.ok_or_else(|| corrupt(format!("bad file line {line:?}")))?);
+            let (kw, entry) = parsed.ok_or_else(|| corrupt(format!("bad file line {line:?}")))?;
+            if kw == "run" {
+                runs.push(entry)
+            } else {
+                files.push(entry)
+            }
         }
-        Ok(BuildManifest { generation, files })
+        Ok(BuildManifest { generation, files, runs })
     }
 
     /// Load the manifest of a graph directory. `Ok(None)` when the
@@ -199,11 +224,11 @@ impl BuildManifest {
         crate::durable::sync_file(&path)
     }
 
-    /// Check that every listed file exists in `root` with its recorded
-    /// length. Cheap (metadata only) — deep per-block verification is
-    /// `hus fsck`'s job.
+    /// Check that every listed file — data files and live delta runs —
+    /// exists in `root` with its recorded length. Cheap (metadata
+    /// only) — deep per-block verification is `hus fsck`'s job.
     pub fn verify_files(&self, root: &Path) -> Result<()> {
-        for e in &self.files {
+        for e in self.files.iter().chain(&self.runs) {
             let path = root.join(&e.name);
             let md = match std::fs::metadata(&path) {
                 Ok(md) => md,
@@ -293,6 +318,36 @@ mod tests {
         assert!(text.contains("generation 3\n"));
         assert!(text.contains("file degrees.bin 4000 -\n"));
         assert_eq!(BuildManifest::decode(&text).unwrap(), m);
+    }
+
+    #[test]
+    fn run_lines_roundtrip_after_the_file_lines() {
+        let mut m = sample();
+        m.push_run("delta_000001.run", 96, 0x0153_CF10);
+        m.push_run("delta_000002.run", 64, 7);
+        let text = m.encode();
+        assert!(text.contains("run delta_000001.run 96 crc32c:0153CF10\n"), "{text}");
+        let files_at = text.find("file ").unwrap();
+        let runs_at = text.find("run ").unwrap();
+        assert!(files_at < runs_at, "run lines follow file lines");
+        let back = BuildManifest::decode(&text).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.run_entry("delta_000002.run").unwrap().len, 64);
+        assert!(back.run_entry("delta_000009.run").is_none());
+    }
+
+    #[test]
+    fn verify_files_checks_run_entries_too() {
+        let tmp = tempfile::tempdir().unwrap();
+        std::fs::write(tmp.path().join("a.bin"), [0u8; 10]).unwrap();
+        std::fs::write(tmp.path().join("delta_000001.run"), [0u8; 36]).unwrap();
+        let mut m = BuildManifest::new(1);
+        m.push("a.bin", 10, None);
+        m.push_run("delta_000001.run", 36, 9);
+        m.verify_files(tmp.path()).unwrap();
+        m.push_run("delta_000002.run", 36, 9);
+        let err = m.verify_files(tmp.path()).unwrap_err();
+        assert!(err.to_string().contains("delta_000002.run"), "{err}");
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! hus diameter <graph-dir> [--sources N]
 //! hus audit  <graph-dir> [--algo bfs|sssp|wcc|pagerank] [--iters N] [--mode ...]
 //! hus top    <graph-dir> [--algo ...] [--refresh-ms N] [--plain]
+//! hus ingest <graph-dir> [--insert s,d[,w]]... [--delete s,d]... [--random N] [--flush]
+//! hus compact <graph-dir>
 //! hus convert <in.{husg,txt}> <out.{husg,txt}>
 //! hus probe  [dir]
 //! ```
@@ -58,6 +60,9 @@ const USAGE: &str = "usage:
             [--mode hybrid|rop|cop] [--blocks K]
   hus top <graph-dir> [--algo bfs|sssp|wcc|pagerank] [--iters N] [--source S] \
           [--refresh-ms N] [--plain]
+  hus ingest <graph-dir> [--insert s,d[,w]]... [--delete s,d]... \
+             [--random N] [--seed S] [--flush] [--verify]
+  hus compact <graph-dir>
   hus convert <in.{husg,txt}> <out.{husg,txt}>
   hus probe [dir]
 
@@ -83,6 +88,8 @@ fn run(args: &[String]) -> CliResult {
         "diameter" => cmd_diameter(&rest),
         "audit" => cmd_audit(&rest),
         "top" => cmd_top(&rest),
+        "ingest" => cmd_ingest(&rest),
+        "compact" => cmd_compact(&rest),
         "convert" => cmd_convert(&rest),
         "probe" => cmd_probe(&rest),
         other => Err(format!("unknown command {other:?}")),
@@ -175,10 +182,16 @@ fn cmd_build(rest: &[&String]) -> CliResult {
 
 fn cmd_stats(rest: &[&String]) -> CliResult {
     let dir = StorageDir::open(positional(rest, 0)?).map_err(|e| e.to_string())?;
-    let g = HusGraph::open(dir).map_err(|e| e.to_string())?;
+    let dg = hus_core::DynamicGraph::open(dir).map_err(|e| e.to_string())?;
+    let runs = dg.run_count();
+    let g = dg.into_snapshot().map_err(|e| e.to_string())?;
     let meta = g.meta();
     println!("vertices:  {}", meta.num_vertices);
-    println!("edges:     {}", meta.num_edges);
+    if runs == 0 {
+        println!("edges:     {}", meta.num_edges);
+    } else {
+        println!("edges:     {} ({} in base + {runs} delta run(s))", g.num_edges(), meta.num_edges);
+    }
     println!("intervals: {}", meta.p);
     println!("weighted:  {}", meta.weighted);
     println!("record:    {} bytes/edge", meta.edge_record_bytes());
@@ -214,6 +227,142 @@ fn cmd_fsck(rest: &[&String]) -> CliResult {
     Ok(())
 }
 
+/// Apply streaming edge updates to a built graph directory through the
+/// dynamic-graph write path: updates buffer in a memtable and spill to
+/// on-disk delta runs (see `DESIGN.md` §11).
+fn cmd_ingest(rest: &[&String]) -> CliResult {
+    let dir = StorageDir::open(positional(rest, 0)?).map_err(|e| e.to_string())?;
+    let mut dg = hus_core::DynamicGraph::open(dir).map_err(|e| e.to_string())?;
+    let mut inserts = 0u64;
+    let mut deletes = 0u64;
+    // Repeatable --insert / --delete flags, applied in argv order so a
+    // delete can override an earlier insert of the same edge.
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--insert" => {
+                let spec = rest.get(i + 1).ok_or("--insert needs src,dst[,weight]")?;
+                let (src, dst, w) = parse_edge_spec(spec)?;
+                dg.insert_edge(src, dst, w).map_err(|e| e.to_string())?;
+                inserts += 1;
+                i += 2;
+            }
+            "--delete" => {
+                let spec = rest.get(i + 1).ok_or("--delete needs src,dst")?;
+                let (src, dst, _) = parse_edge_spec(spec)?;
+                dg.delete_edge(src, dst).map_err(|e| e.to_string())?;
+                deletes += 1;
+                i += 2;
+            }
+            _ => i += 1,
+        }
+    }
+    if let Some(n) = flag_value(rest, "--random") {
+        let n: u64 = parse(n, "update count")?;
+        let seed: u64 =
+            flag_value(rest, "--seed").map(|s| parse(s, "seed")).transpose()?.unwrap_or(42);
+        let nv = dg.snapshot().map_err(|e| e.to_string())?.meta().num_vertices as u64;
+        if nv == 0 {
+            return Err("--random needs a non-empty graph".into());
+        }
+        let mut state = seed;
+        for _ in 0..n {
+            let x = splitmix64(&mut state);
+            let src = (x % nv) as u32;
+            let dst = ((x >> 32) % nv) as u32;
+            // 1-in-8 updates are deletes so random workloads exercise
+            // tombstones without emptying the graph.
+            if x.is_multiple_of(8) {
+                dg.delete_edge(src, dst).map_err(|e| e.to_string())?;
+                deletes += 1;
+            } else {
+                let w = 0.1 + (x >> 16 & 0xffff) as f32 / 6554.0;
+                dg.insert_edge(src, dst, w).map_err(|e| e.to_string())?;
+                inserts += 1;
+            }
+        }
+    }
+    if has_flag(rest, "--flush") {
+        match dg.flush().map_err(|e| e.to_string())? {
+            Some(run) => println!("spilled memtable to {run}"),
+            None => println!("memtable empty, nothing to spill"),
+        }
+    }
+    let runs = dg.run_count();
+    let buffered = dg.memtable_bytes();
+    if has_flag(rest, "--verify") {
+        let g = dg.snapshot().map_err(|e| e.to_string())?;
+        let mut out_total = 0u64;
+        let mut in_total = 0u64;
+        for i in 0..g.p() {
+            for j in 0..g.p() {
+                out_total += g.out_block_len(i, j);
+                in_total += g.in_block_len(i, j);
+            }
+        }
+        let degrees: u64 = g.out_degrees().iter().map(|&d| d as u64).sum();
+        let want = g.num_edges();
+        if out_total != want || in_total != want || degrees != want {
+            return Err(format!(
+                "verify failed: out-blocks {out_total}, in-blocks {in_total}, \
+                 degrees {degrees}, expected {want}"
+            ));
+        }
+        println!("verify: OK ({want} edges consistent across both orientations)");
+    }
+    let edges = dg.snapshot().map_err(|e| e.to_string())?.num_edges();
+    println!(
+        "applied {inserts} insert(s), {deletes} delete(s): {edges} edges, \
+         {runs} delta run(s), {:.1} KB buffered",
+        buffered as f64 / 1024.0
+    );
+    Ok(())
+}
+
+/// Fold all delta runs and buffered updates into a fresh base build
+/// (atomic staged swap; readers opened afterwards see the new
+/// generation).
+fn cmd_compact(rest: &[&String]) -> CliResult {
+    let dir = StorageDir::open(positional(rest, 0)?).map_err(|e| e.to_string())?;
+    let mut dg = hus_core::DynamicGraph::open(dir).map_err(|e| e.to_string())?;
+    let pending_runs = dg.run_count();
+    let buffered = dg.memtable_len();
+    let start = std::time::Instant::now();
+    if !dg.compact().map_err(|e| e.to_string())? {
+        println!("nothing to compact (no delta runs or buffered updates)");
+        return Ok(());
+    }
+    let edges = dg.snapshot().map_err(|e| e.to_string())?.num_edges();
+    println!(
+        "folded {pending_runs} run(s) + {buffered} buffered update(s) into a new \
+         base build: {edges} edges, {:.2}s",
+        start.elapsed().as_secs_f64()
+    );
+    Ok(())
+}
+
+fn parse_edge_spec(spec: &str) -> Result<(u32, u32, f32), String> {
+    let parts: Vec<&str> = spec.split(',').collect();
+    if parts.len() < 2 || parts.len() > 3 {
+        return Err(format!("bad edge spec {spec:?} (want src,dst or src,dst,weight)"));
+    }
+    let src = parse(parts[0], "src vertex")?;
+    let dst = parse(parts[1], "dst vertex")?;
+    let w = match parts.get(2) {
+        Some(s) => parse(s, "weight")?,
+        None => 1.0,
+    };
+    Ok((src, dst, w))
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 enum Algo {
     Bfs,
     Sssp,
@@ -240,12 +389,19 @@ fn parse_backend(rest: &[&String]) -> Result<Option<hus_storage::BackendKind>, S
     }
 }
 
+/// Open a graph directory for reading. Goes through [`hus_core::DynamicGraph`]
+/// so any live delta runs are layered over the base — `hus pagerank`
+/// on a directory with un-compacted streaming updates sees the updated
+/// graph, not the stale base generation (DESIGN.md §11: reads must see
+/// updates immediately).
 fn open_graph(path: &str, rest: &[&String]) -> Result<HusGraph, String> {
     let mut dir = StorageDir::open(path).map_err(|e| e.to_string())?;
     if let Some(kind) = parse_backend(rest)? {
         dir = dir.with_backend(kind);
     }
-    HusGraph::open(dir).map_err(|e| e.to_string())
+    hus_core::DynamicGraph::open(dir)
+        .and_then(hus_core::DynamicGraph::into_snapshot)
+        .map_err(|e| e.to_string())
 }
 
 fn report_run(stats: &RunStats) {

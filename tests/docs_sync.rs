@@ -170,6 +170,51 @@ fn format_md_lifecycle_constants_match_source() {
     assert_eq!(husgraph::core::external::PROGRESS_FILE, "progress.json");
 }
 
+/// The delta-run wire format documented in FORMAT.md § "Delta runs"
+/// must match `hus_storage::delta` byte for byte.
+#[test]
+fn format_md_delta_constants_match_source() {
+    use husgraph::storage::delta::{
+        parse_run_file, run_file, DELTA_DIR_ENTRY_BYTES, DELTA_HEADER_BYTES, DELTA_MAGIC,
+        DELTA_RECORD_BYTES, DELTA_VERSION,
+    };
+
+    let fmt = read("docs/FORMAT.md");
+    for row in [
+        format!("| `DELTA_MAGIC` | `0x{DELTA_MAGIC:08X}` |"),
+        format!("| `DELTA_VERSION` | {DELTA_VERSION} |"),
+        format!("| `DELTA_HEADER_BYTES` | {DELTA_HEADER_BYTES} |"),
+        format!("| `DELTA_DIR_ENTRY_BYTES` | {DELTA_DIR_ENTRY_BYTES} |"),
+        format!("| `DELTA_RECORD_BYTES` | {DELTA_RECORD_BYTES} |"),
+    ] {
+        assert!(fmt.contains(&row), "docs/FORMAT.md is missing or has a stale row: {row}");
+    }
+
+    // The magic really is the bytes "HUSD", as the doc claims, and the
+    // documented naming scheme is the source-of-truth function.
+    assert_eq!(DELTA_MAGIC.to_le_bytes(), *b"HUSD");
+    assert_eq!(run_file(1), "delta_000001.run");
+    assert_eq!(parse_run_file("delta_000001.run"), Some(1));
+    for name in ["delta_<seq>.run", "delta_000001.run", ".run.tmp"] {
+        assert!(fmt.contains(name), "docs/FORMAT.md never mentions `{name}`");
+    }
+
+    // The layout arithmetic the doc states: header + directory +
+    // records + trailer is the whole file.
+    let mut run = husgraph::storage::delta::DeltaRun::new(1, 2);
+    run.push(0, 1, husgraph::storage::delta::DeltaRecord::insert(0, 3, 1.0));
+    run.push(1, 0, husgraph::storage::delta::DeltaRecord::tombstone(2, 1));
+    let bytes = run.encode().unwrap();
+    assert_eq!(
+        bytes.len() as u64,
+        DELTA_HEADER_BYTES + 2 * DELTA_DIR_ENTRY_BYTES + 2 * DELTA_RECORD_BYTES + 4
+    );
+
+    // MANIFEST `run` lines are documented with the keyword the parser
+    // accepts.
+    assert!(fmt.contains("run delta_000001.run 96 crc32c:0153CF10"));
+}
+
 fn sample_meta() -> husgraph::core::GraphMeta {
     husgraph::core::GraphMeta {
         num_vertices: 2,

@@ -262,3 +262,131 @@ fn killed_checkpointed_run_resumes_bit_identical_pagerank() {
         "resumed PageRank is not bit-identical to the uninterrupted run"
     );
 }
+
+/// Deterministic update batch shared by the delta-crash children and
+/// their parents: 50 inserts with distinct keys, then a tombstone for
+/// one of them (so the batch exercises puts *and* a delete of a
+/// just-put key).
+fn apply_updates(dg: &mut husgraph::core::DynamicGraph) {
+    for k in 0..50u32 {
+        dg.insert_edge(k, (k * 7 + 1) % 600, 1.0).unwrap();
+    }
+    dg.delete_edge(2, 15).unwrap();
+}
+
+/// Edge count of the base workload after `apply_updates` is fully
+/// durable: base edges whose key the batch never touched (an insert
+/// collapses every base copy of its key) plus the 49 surviving puts.
+fn expected_edges_after_updates() -> u64 {
+    let keys: std::collections::BTreeSet<(u32, u32)> =
+        (0..50u32).map(|k| (k, (k * 7 + 1) % 600)).collect();
+    let untouched = edges().edges.iter().filter(|e| !keys.contains(&(e.src, e.dst))).count() as u64;
+    untouched + 49
+}
+
+/// Child entry point: streaming updates + memtable spill over a
+/// pre-built graph.
+#[test]
+fn recovery_child_delta_spill() {
+    if child_role().as_deref() != Some("delta_spill") {
+        return;
+    }
+    let mut dg =
+        husgraph::core::DynamicGraph::open(StorageDir::open(recovery_dir().join("g")).unwrap())
+            .unwrap();
+    apply_updates(&mut dg);
+    dg.flush().unwrap();
+}
+
+/// Child entry point: compaction of a graph carrying a live delta run.
+#[test]
+fn recovery_child_delta_compact() {
+    if child_role().as_deref() != Some("delta_compact") {
+        return;
+    }
+    let mut dg =
+        husgraph::core::DynamicGraph::open(StorageDir::open(recovery_dir().join("g")).unwrap())
+            .unwrap();
+    dg.compact().unwrap();
+}
+
+#[test]
+fn delta_spill_crash_at_any_point_is_never_silently_wrong() {
+    // The spill's own staged-write points: before the run's rename
+    // (only a quarantinable .tmp survives), after the run commits but
+    // before the manifest lists it (an orphaned run — stale, not
+    // corruption), and after the manifest rewrite (fully durable).
+    for point in ["delta.run_tmp", "delta.spill_run", "delta.spill_manifest"] {
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("g")).unwrap();
+        HusGraph::build_into(&edges(), &dir, &build_config()).unwrap();
+
+        let code = run_child("recovery_child_delta_spill", "delta_spill", tmp.path(), point);
+        assert_eq!(code, Some(CRASH_EXIT_CODE), "point `{point}` never fired (exit {code:?})");
+        assert_crash_left_consistent_state(&tmp.path().join("g"), point);
+
+        // The base build is untouched by any spill crash, and repair
+        // quarantines whatever the crash left behind.
+        let dir = StorageDir::open(tmp.path().join("g")).unwrap();
+        HusGraph::open(dir.clone()).unwrap();
+        let report = fsck(&dir, true).unwrap();
+        assert!(report.is_clean(), "crash at `{point}`:\n{}", report.render());
+
+        // Recovery is redo: the memtable is volatile by contract, so
+        // the writer re-applies the batch; inserts and tombstones are
+        // idempotent, so this is safe whether or not the crashed spill
+        // made it to disk.
+        let mut dg = husgraph::core::DynamicGraph::open(dir).unwrap();
+        apply_updates(&mut dg);
+        dg.flush().unwrap();
+        assert!(dg.compact().unwrap());
+        assert_eq!(dg.snapshot().unwrap().num_edges(), expected_edges_after_updates());
+        let dir = StorageDir::open(tmp.path().join("g")).unwrap();
+        let report = fsck(&dir, false).unwrap();
+        assert!(report.is_clean(), "after redo at `{point}`:\n{}", report.render());
+    }
+}
+
+#[test]
+fn delta_compaction_crash_at_any_point_is_never_silently_wrong() {
+    // Compaction is an ordinary staged build, so it inherits the
+    // builder's crash points: a crash before the commit rename leaves
+    // the old base + delta runs fully intact; after it, the folded
+    // build. Either way the update batch is durable (it was spilled
+    // before compaction started) and must survive.
+    for point in
+        ["build.shard", "build.meta", "build.manifest", "build.pre_rename", "build.post_rename"]
+    {
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("g")).unwrap();
+        HusGraph::build_into(&edges(), &dir, &build_config()).unwrap();
+        let mut dg = husgraph::core::DynamicGraph::open(dir).unwrap();
+        apply_updates(&mut dg);
+        dg.flush().unwrap();
+        assert_eq!(dg.run_count(), 1);
+        drop(dg);
+
+        let code = run_child("recovery_child_delta_compact", "delta_compact", tmp.path(), point);
+        assert_eq!(code, Some(CRASH_EXIT_CODE), "point `{point}` never fired (exit {code:?})");
+        assert_crash_left_consistent_state(&tmp.path().join("g"), point);
+
+        // Recovery: reopen, finish (or redo) the compaction, and the
+        // spilled updates are all still there.
+        let mut dg =
+            husgraph::core::DynamicGraph::open(StorageDir::open(tmp.path().join("g")).unwrap())
+                .unwrap();
+        assert_eq!(
+            dg.snapshot().unwrap().num_edges(),
+            expected_edges_after_updates(),
+            "crash at `{point}` lost durable updates"
+        );
+        if dg.run_count() > 0 {
+            assert!(dg.compact().unwrap());
+        }
+        assert_eq!(dg.run_count(), 0);
+        assert_eq!(dg.snapshot().unwrap().num_edges(), expected_edges_after_updates());
+        let dir = StorageDir::open(tmp.path().join("g")).unwrap();
+        let report = fsck(&dir, true).unwrap();
+        assert!(report.is_clean(), "after recovery at `{point}`:\n{}", report.render());
+    }
+}
