@@ -33,6 +33,7 @@ pub mod diameter;
 pub mod msbfs;
 pub mod pagerank;
 pub mod pagerank_delta;
+pub mod ppr;
 pub mod reference;
 pub mod scc;
 pub mod spmv;
@@ -44,6 +45,7 @@ pub use bfs_tree::BfsTree;
 pub use msbfs::MsBfs;
 pub use pagerank::PageRank;
 pub use pagerank_delta::PageRankDelta;
+pub use ppr::PersonalizedPageRank;
 pub use spmv::SpMv;
 pub use sssp::Sssp;
 pub use wcc::Wcc;

@@ -1,0 +1,168 @@
+//! Closed-loop load generation against a live `hus serve` daemon
+//! (DESIGN.md §12): point-lookup QPS and tail latency for {1, 4, 8}
+//! client threads, plus lookup latency while a full-graph analytics
+//! scan holds one admission slot — summarized to `BENCH_serve.json`
+//! for CI.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hus_core::{BuildConfig, HusGraph};
+use hus_gen::rmat;
+use hus_serve::{serve, Client, ServeConfig};
+use hus_storage::StorageDir;
+use std::hint::black_box;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+const NV: u32 = 1 << 14;
+const BASE_EDGES: usize = 150_000;
+const P: u32 = 8;
+const PER_THREAD: usize = 2_000;
+const SCAN_PR_ITERS: u32 = 3;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn build_graph(root: &Path) -> StorageDir {
+    let el = rmat(NV, BASE_EDGES, 7, Default::default());
+    let dir = StorageDir::create(root.join("g")).unwrap();
+    HusGraph::build_into(&el, &dir, &BuildConfig::with_p(P)).unwrap();
+    StorageDir::open(root.join("g")).unwrap()
+}
+
+struct LoadResult {
+    qps: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+/// Closed loop: each thread sends degree/neighbors lookups back to
+/// back over its own connection and records per-request wall time.
+fn closed_loop(addr: &str, threads: usize) -> LoadResult {
+    let t0 = Instant::now();
+    let mut latencies_ns: Vec<u64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                s.spawn(move || {
+                    let mut c = Client::connect(addr).unwrap();
+                    let mut state = 0x5eed_0000 + t as u64;
+                    let mut lat = Vec::with_capacity(PER_THREAD);
+                    for k in 0..PER_THREAD {
+                        let v = (splitmix64(&mut state) % u64::from(NV)) as u32;
+                        let op = if k % 2 == 0 { "degree" } else { "neighbors" };
+                        let line = format!(r#"{{"op":"{op}","v":{v}}}"#);
+                        let q0 = Instant::now();
+                        let resp = c.request_raw(&line).unwrap();
+                        lat.push(q0.elapsed().as_nanos() as u64);
+                        assert!(resp.contains(r#""ok":true"#), "lookup failed: {resp}");
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    latencies_ns.sort_unstable();
+    let pct = |p: f64| latencies_ns[((latencies_ns.len() - 1) as f64 * p) as usize] as f64 / 1e3;
+    LoadResult { qps: latencies_ns.len() as f64 / wall, p50_us: pct(0.50), p99_us: pct(0.99) }
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let tmp = tempfile::tempdir().unwrap();
+    let dir = build_graph(tmp.path());
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        max_inflight: 16,
+        byte_budget: 0,
+        accept_queue: 64,
+        query_threads: 1,
+        refresh_interval_ms: 1_000,
+    };
+    let mut server = serve(dir, config).unwrap();
+    let addr = server.addr().to_string();
+
+    // Criterion: single-request round trip (connect once, reuse).
+    let mut client = Client::connect(&addr).unwrap();
+    let mut group = c.benchmark_group("serve");
+    group.bench_function("degree_roundtrip", |b| {
+        let mut state = 42u64;
+        b.iter(|| {
+            let v = (splitmix64(&mut state) % u64::from(NV)) as u32;
+            let resp = client.request_raw(&format!(r#"{{"op":"degree","v":{v}}}"#)).unwrap();
+            black_box(resp);
+        })
+    });
+    group.finish();
+    drop(client);
+
+    // Closed-loop QPS + tails at 1, 4 and 8 client threads.
+    let sweep: Vec<(usize, LoadResult)> =
+        [1usize, 4, 8].into_iter().map(|t| (t, closed_loop(&addr, t))).collect();
+
+    // Lookup latency while one slot streams full-graph PageRank scans:
+    // the analytics client loops until the lookup side finishes.
+    let stop = AtomicBool::new(false);
+    let scans = AtomicU64::new(0);
+    let (under_scan, scans_done) = std::thread::scope(|s| {
+        let scanner = s.spawn(|| {
+            let mut c = Client::connect(&addr).unwrap();
+            while !stop.load(Ordering::SeqCst) {
+                let resp = c
+                    .request_raw(&format!(r#"{{"op":"pagerank","iters":{SCAN_PR_ITERS}}}"#))
+                    .unwrap();
+                assert!(resp.contains(r#""ok":true"#), "scan failed: {resp}");
+                scans.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        let r = closed_loop(&addr, 4);
+        stop.store(true, Ordering::SeqCst);
+        scanner.join().unwrap();
+        (r, scans.load(Ordering::SeqCst))
+    });
+
+    let rows: Vec<String> = sweep
+        .iter()
+        .map(|(t, r)| {
+            format!(
+                "    {{\"threads\": {t}, \"qps\": {:.0}, \"p50_us\": {:.1}, \"p99_us\": {:.1}}}",
+                r.qps, r.p50_us, r.p99_us
+            )
+        })
+        .collect();
+    let out = format!(
+        "{{\n  {},\n  \"num_vertices\": {NV},\n  \"base_edges\": {BASE_EDGES},\n  \
+         \"per_thread_requests\": {PER_THREAD},\n  \"closed_loop\": [\n{}\n  ],\n  \
+         \"under_scan\": {{\"threads\": 4, \"qps\": {:.0}, \"p50_us\": {:.1}, \
+         \"p99_us\": {:.1}, \"scans_completed\": {scans_done}}}\n}}\n",
+        hus_bench::bench_json_preamble("serve"),
+        rows.join(",\n"),
+        under_scan.qps,
+        under_scan.p50_us,
+        under_scan.p99_us,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, &out).unwrap();
+    println!("wrote {path}:\n{out}");
+
+    // Loose sanity gate: a point lookup is one in-memory degree read or
+    // a handful of 8-byte index reads plus a localhost round trip;
+    // anything below 200 QPS single-client means the serve path grew
+    // accidental blocking.
+    let single = &sweep[0].1;
+    assert!(single.qps > 200.0, "single-client lookups collapsed to {:.0} QPS", single.qps);
+
+    server.shutdown();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_serve
+}
+criterion_main!(benches);

@@ -33,6 +33,9 @@ use hus_storage::{durable, Access, BuildManifest, Result, StorageDir, StorageErr
 use std::collections::BTreeMap;
 use std::collections::HashMap;
 use std::io::{Read, Seek, SeekFrom};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 static INSERTS: hus_obs::LazyCounter = hus_obs::LazyCounter::new("ingest.inserts");
 static DELETES: hus_obs::LazyCounter = hus_obs::LazyCounter::new("ingest.deletes");
@@ -40,6 +43,78 @@ static SPILLS: hus_obs::LazyCounter = hus_obs::LazyCounter::new("delta.spills");
 static COMPACTIONS: hus_obs::LazyCounter = hus_obs::LazyCounter::new("delta.compactions");
 static RUNS_GAUGE: hus_obs::LazyGauge = hus_obs::LazyGauge::new("delta.runs");
 static MEMTABLE_GAUGE: hus_obs::LazyGauge = hus_obs::LazyGauge::new("delta.memtable_bytes");
+
+/// Overlay materializations performed by this process (cache misses and
+/// uncacheable memtable-bearing builds alike). See [`overlay_builds`].
+static OVERLAY_BUILDS: AtomicU64 = AtomicU64::new(0);
+/// Overlay materializations avoided by the process-wide memo cache.
+static OVERLAY_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide count of delta-overlay materializations. Each overlay
+/// build — the expensive two-pointer merge of every touched block —
+/// increments this exactly once. Concurrent readers of
+/// one `(generation, run set)` should share a single build via the memo
+/// cache; regression tests assert this counter stays flat across
+/// repeated opens of an unchanged directory.
+pub fn overlay_builds() -> u64 {
+    OVERLAY_BUILDS.load(Ordering::Relaxed)
+}
+
+/// Process-wide count of overlay-cache hits: snapshots served an
+/// already-materialized overlay for their `(root, generation, run set)`
+/// instead of re-merging every touched block.
+pub fn overlay_cache_hits() -> u64 {
+    OVERLAY_CACHE_HITS.load(Ordering::Relaxed)
+}
+
+/// Identity of a memoizable overlay: the canonicalized directory root,
+/// the `MANIFEST` generation it was built against, and the exact run
+/// set. Memtable-bearing overlays are never cached (the memtable is
+/// per-handle, volatile state with no on-disk identity).
+#[derive(PartialEq, Eq, Hash, Clone)]
+struct OverlayKey {
+    root: PathBuf,
+    generation: u64,
+    runs: Vec<String>,
+}
+
+/// Small process-global overlay memo: one entry per recently snapshotted
+/// `(root, generation, run set)`. Bounded — generations advance and old
+/// entries become garbage, so the cache evicts in insertion order.
+const OVERLAY_CACHE_CAP: usize = 8;
+
+type OverlayCache = parking_lot::Mutex<Vec<(OverlayKey, Arc<DeltaOverlay>)>>;
+
+fn overlay_cache() -> &'static OverlayCache {
+    static CACHE: std::sync::OnceLock<OverlayCache> = std::sync::OnceLock::new();
+    CACHE.get_or_init(|| parking_lot::Mutex::new(Vec::new()))
+}
+
+/// Look up (or build and insert) the overlay for a runs-only snapshot.
+/// The double build under a racing miss is accepted: both builds produce
+/// identical overlays and the second insert wins, which is cheaper than
+/// holding a process-wide lock across block merges.
+fn overlay_cached(
+    graph: &HusGraph,
+    runs: &[DeltaRun],
+    key: OverlayKey,
+) -> Result<Arc<DeltaOverlay>> {
+    if let Some((_, ov)) = overlay_cache().lock().iter().find(|(k, _)| *k == key) {
+        OVERLAY_CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+        return Ok(Arc::clone(ov));
+    }
+    let built = Arc::new(build_overlay(graph, runs, &Memtable::default())?);
+    let mut cache = overlay_cache().lock();
+    if let Some((_, ov)) = cache.iter().find(|(k, _)| *k == key) {
+        OVERLAY_CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+        return Ok(Arc::clone(ov));
+    }
+    if cache.len() >= OVERLAY_CACHE_CAP {
+        cache.remove(0);
+    }
+    cache.push((key, Arc::clone(&built)));
+    Ok(built)
+}
 
 /// Approximate resident cost of one memtable entry: the 8-byte key,
 /// the 8-byte op, and B-tree node overhead. Only used for the spill
@@ -210,6 +285,7 @@ pub(crate) fn build_overlay(
     runs: &[DeltaRun],
     memtable: &Memtable,
 ) -> Result<DeltaOverlay> {
+    OVERLAY_BUILDS.fetch_add(1, Ordering::Relaxed);
     let meta = graph.meta();
     let weighted = meta.weighted;
     let resolved = resolve_ops(runs, memtable);
@@ -298,6 +374,10 @@ pub struct DynamicGraph {
     compact_trigger: usize,
     /// Overlay is stale (memtable/runs changed since the last refresh).
     dirty: bool,
+    /// `MANIFEST` generation this handle is pinned to (0 for legacy
+    /// directories without a manifest). Spills and compactions advance
+    /// it in lock-step with the on-disk manifest.
+    generation: u64,
 }
 
 impl DynamicGraph {
@@ -310,7 +390,9 @@ impl DynamicGraph {
     pub fn open(dir: StorageDir) -> Result<Self> {
         let graph = HusGraph::open(dir.clone())?;
         let mut runs = Vec::new();
+        let mut generation = 0;
         if let Some(manifest) = BuildManifest::load_from(dir.root())? {
+            generation = manifest.generation;
             for entry in &manifest.runs {
                 let run = DeltaRun::load_from(&dir, &entry.name)?;
                 if run.p != graph.meta().p {
@@ -337,6 +419,7 @@ impl DynamicGraph {
                 .max(MEMTABLE_ENTRY_BYTES),
             compact_trigger: crate::engine::env_parse("HUS_COMPACT_TRIGGER", 0usize),
             dirty,
+            generation,
         })
     }
 
@@ -474,6 +557,7 @@ impl DynamicGraph {
         durable::sync_parent_dir(&dst)?;
         durable::crash_point("delta.spill_manifest");
 
+        self.generation = manifest.generation;
         self.runs.push(run);
         self.memtable = Memtable::default();
         SPILLS.incr();
@@ -525,6 +609,8 @@ impl DynamicGraph {
         self.graph.set_overlay(None);
         crate::builder::build(&el, &self.dir, &config)?;
         self.graph = HusGraph::open(self.dir.clone())?;
+        self.generation = BuildManifest::load_from(self.dir.root())?
+            .map_or(self.generation + 1, |m| m.generation);
         self.runs.clear();
         self.memtable = Memtable::default();
         self.dirty = false;
@@ -545,7 +631,26 @@ impl DynamicGraph {
             self.dirty = false;
             return Ok(());
         }
-        let overlay = build_overlay(&self.graph, &self.runs, &self.memtable)?;
+        let overlay = if self.memtable.is_empty() {
+            // A runs-only overlay is a pure function of (root,
+            // generation, run set): share one materialization across
+            // every reader of this snapshot identity — `hus serve`
+            // opens the same directory once per refresh, and CLI
+            // queries once per invocation, so per-query rebuilds of an
+            // unchanged overlay are pure waste.
+            let key = OverlayKey {
+                root: self
+                    .dir
+                    .root()
+                    .canonicalize()
+                    .unwrap_or_else(|_| self.dir.root().to_path_buf()),
+                generation: self.generation,
+                runs: self.runs.iter().map(DeltaRun::file_name).collect(),
+            };
+            overlay_cached(&self.graph, &self.runs, key)?
+        } else {
+            Arc::new(build_overlay(&self.graph, &self.runs, &self.memtable)?)
+        };
         self.graph.set_overlay(Some(overlay));
         self.dirty = false;
         Ok(())
@@ -577,6 +682,15 @@ impl DynamicGraph {
     /// Number of on-disk delta runs currently layered over the base.
     pub fn run_count(&self) -> usize {
         self.runs.len()
+    }
+
+    /// The `MANIFEST` generation this handle is pinned to (0 for a
+    /// legacy directory without a manifest). Together with
+    /// [`run_count`](Self::run_count) this identifies the exact
+    /// snapshot a reader sees — `hus stats` and the serve status
+    /// response surface both for stale-read diagnosis.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Approximate resident bytes of the not-yet-spilled memtable.

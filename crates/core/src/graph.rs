@@ -86,8 +86,10 @@ pub struct HusGraph {
     /// every block touched by buffered edge updates. Attached by
     /// [`crate::delta::DynamicGraph::snapshot`]; `None` on a plain
     /// opened graph, in which case every read below goes to the base
-    /// shards unchanged.
-    overlay: Option<crate::delta::DeltaOverlay>,
+    /// shards unchanged. `Arc`-shared so one materialization serves
+    /// every concurrent reader of the same `(generation, run set)`
+    /// snapshot (see `crate::delta::overlay_builds`).
+    overlay: Option<Arc<crate::delta::DeltaOverlay>>,
 }
 
 impl HusGraph {
@@ -245,7 +247,7 @@ impl HusGraph {
     /// Attach or detach the dynamic-graph overlay. With an overlay
     /// attached, reads of touched blocks are served from the merged
     /// in-memory view; untouched blocks keep reading the base shards.
-    pub(crate) fn set_overlay(&mut self, overlay: Option<crate::delta::DeltaOverlay>) {
+    pub(crate) fn set_overlay(&mut self, overlay: Option<Arc<crate::delta::DeltaOverlay>>) {
         self.overlay = overlay;
     }
 

@@ -135,6 +135,14 @@ pub const KNOBS: &[EnvKnob] = &[
                  them to the hybrid predictor instead of the device preset",
     },
     EnvKnob {
+        name: "HUS_QUERY_BYTE_BUDGET",
+        default: "`0`",
+        effect: "per-query I/O byte budget of `hus serve`: point lookups are metered \
+                 per fetch and full analytics are charged a pre-flight whole-scan \
+                 estimate; crossing the budget rejects the query with a typed \
+                 `budget` error (`0` = unlimited; see `DESIGN.md` §12)",
+    },
+    EnvKnob {
         name: "HUS_QUEUE_DEPTH",
         default: "`8`",
         effect: "I/O queue depth: concurrent producer fetches per COP column walk and \
@@ -157,6 +165,20 @@ pub const KNOBS: &[EnvKnob] = &[
         name: "HUS_SCALE",
         default: "`1000`",
         effect: "divides the paper's dataset sizes (smaller = bigger graphs)",
+    },
+    EnvKnob {
+        name: "HUS_SERVE_ADDR",
+        default: "`127.0.0.1:7464`",
+        effect: "listen address of the `hus serve` query daemon (`host:port`; port \
+                 `0` binds an ephemeral port, printed on startup)",
+    },
+    EnvKnob {
+        name: "HUS_SERVE_MAX_INFLIGHT",
+        default: "`8`",
+        effect: "max concurrently executing queries in `hus serve`; excess requests \
+                 are rejected immediately with a `busy` error (the HTTP-429 \
+                 analogue) instead of queueing unbounded latency (see `DESIGN.md` \
+                 §12)",
     },
     EnvKnob {
         name: "HUS_THREADS",

@@ -201,24 +201,42 @@ pub fn serve(addr: &str) -> std::io::Result<MetricsServer> {
     Ok(MetricsServer { addr: bound, stop, thread: Some(thread) })
 }
 
+/// The process-global exporter started by [`init_exporter_from_env`],
+/// held so [`shutdown_exporter`] can drain it instead of leaking the
+/// thread at exit.
+static EXPORTER: std::sync::Mutex<Option<MetricsServer>> = std::sync::Mutex::new(None);
+/// Guards the one-time env read so repeated `init_from_env` calls
+/// don't rebind after an explicit shutdown.
+static EXPORTER_INIT: OnceLock<()> = OnceLock::new();
+
 /// Start the process-global exporter if `HUS_METRICS_ADDR` is set,
 /// enabling metric collection alongside. Idempotent; bind failures are
 /// reported to stderr, never fatal (a bad knob must not kill a run).
 pub(crate) fn init_exporter_from_env() {
-    static EXPORTER: OnceLock<Option<MetricsServer>> = OnceLock::new();
-    EXPORTER.get_or_init(|| {
-        let addr = std::env::var(METRICS_ADDR_ENV).ok().filter(|a| !a.is_empty())?;
+    EXPORTER_INIT.get_or_init(|| {
+        let Some(addr) = std::env::var(METRICS_ADDR_ENV).ok().filter(|a| !a.is_empty()) else {
+            return;
+        };
         match serve(&addr) {
             Ok(server) => {
                 crate::set_enabled(true);
-                Some(server)
+                *EXPORTER.lock().unwrap() = Some(server);
             }
             Err(e) => {
                 eprintln!("warning: {METRICS_ADDR_ENV}={addr}: {e}");
-                None
             }
         }
     });
+}
+
+/// Stop and join the process-global exporter thread, if one is
+/// running. Part of the graceful-shutdown path shared with `hus serve`
+/// (the daemon drains queries, then drains the exporter); safe to call
+/// when no exporter was started, and idempotent.
+pub fn shutdown_exporter() {
+    if let Some(server) = EXPORTER.lock().unwrap().take() {
+        server.shutdown();
+    }
 }
 
 #[cfg(test)]

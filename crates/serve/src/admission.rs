@@ -1,0 +1,253 @@
+//! Admission control: a fixed pool of query slots, a bounded
+//! load-shedding accept queue, and per-query byte budgets.
+//!
+//! Three mechanisms, in the order a request meets them:
+//!
+//! 1. The listener pushes accepted connections into a [`BoundedQueue`];
+//!    when it is full the connection is answered with a `busy` error and
+//!    closed immediately instead of piling up latency.
+//! 2. A worker picking up a query must win a slot from [`Admission`]
+//!    (capacity `HUS_SERVE_MAX_INFLIGHT`); losing yields the same `busy`
+//!    rejection. Admin ops (`status`, `shutdown`) bypass admission so
+//!    the server stays introspectable under overload.
+//! 3. While executing, every graph fetch is charged against a
+//!    [`ByteMeter`]; crossing `HUS_QUERY_BYTE_BUDGET` aborts the query
+//!    with [`ServeError::BudgetExceeded`]. Full-graph analytics are
+//!    charged a pre-flight estimate instead so they fail before doing
+//!    the scan, not after.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use crate::ServeError;
+
+static ACTIVE_GAUGE: hus_obs::LazyGauge = hus_obs::LazyGauge::new("serve.active");
+static REJECTED: hus_obs::LazyCounter = hus_obs::LazyCounter::new("serve.rejected");
+
+/// Counting semaphore over the query slots. Never blocks: a query
+/// either gets a slot now or is rejected `busy` — queueing admitted
+/// work behind a full executor would just move the latency cliff.
+pub struct Admission {
+    max: usize,
+    active: AtomicUsize,
+}
+
+impl Admission {
+    /// A pool of `max` slots (clamped to at least one).
+    pub fn new(max: usize) -> Self {
+        Admission { max: max.max(1), active: AtomicUsize::new(0) }
+    }
+
+    /// Try to win a slot. `None` means all slots are busy; the caller
+    /// answers `busy` and moves on. On success the returned guard holds
+    /// the slot until dropped and keeps `serve.active` current.
+    pub fn try_acquire(&self) -> Option<AdmissionGuard<'_>> {
+        let mut cur = self.active.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.max {
+                REJECTED.incr();
+                return None;
+            }
+            match self.active.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    ACTIVE_GAUGE.set((cur + 1) as u64);
+                    return Some(AdmissionGuard { pool: self });
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Queries currently holding a slot.
+    pub fn active(&self) -> usize {
+        self.active.load(Ordering::Acquire)
+    }
+
+    /// The slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.max
+    }
+}
+
+/// RAII slot handle; dropping releases the slot.
+pub struct AdmissionGuard<'a> {
+    pool: &'a Admission,
+}
+
+impl Drop for AdmissionGuard<'_> {
+    fn drop(&mut self) {
+        let prev = self.pool.active.fetch_sub(1, Ordering::AcqRel);
+        ACTIVE_GAUGE.set(prev.saturating_sub(1) as u64);
+    }
+}
+
+/// Per-query I/O byte accounting against a fixed budget (0 = unlimited).
+///
+/// The meter charges *logical* fetch sizes — index entries, edge-record
+/// ranges, analytics scan estimates — the same quantities the cost
+/// model bills, so a budget carries the same meaning across backends
+/// and codecs.
+pub struct ByteMeter {
+    budget: u64,
+    spent: u64,
+}
+
+impl ByteMeter {
+    /// A meter with `budget` bytes to spend (0 disables enforcement).
+    pub fn new(budget: u64) -> Self {
+        ByteMeter { budget, spent: 0 }
+    }
+
+    /// Charge `bytes`; fails with [`ServeError::BudgetExceeded`] once
+    /// the running total crosses the budget.
+    pub fn charge(&mut self, bytes: u64) -> Result<(), ServeError> {
+        self.spent = self.spent.saturating_add(bytes);
+        if self.budget > 0 && self.spent > self.budget {
+            return Err(ServeError::BudgetExceeded { needed: self.spent, budget: self.budget });
+        }
+        Ok(())
+    }
+
+    /// Bytes charged so far.
+    pub fn spent(&self) -> u64 {
+        self.spent
+    }
+}
+
+/// A bounded MPMC queue of pending connections: blocking `pop` for the
+/// workers, non-blocking `try_push` for the listener (full = shed the
+/// load), and `close` to wake everyone for shutdown.
+///
+/// Hand-rolled on `Mutex` + `Condvar` because the vendored channel has
+/// no non-blocking send, and load-shedding is the whole point here.
+pub struct BoundedQueue<T> {
+    inner: Mutex<QueueInner<T>>,
+    cap: usize,
+    ready: Condvar,
+}
+
+struct QueueInner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `cap` items (clamped to at least one).
+    pub fn new(cap: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(QueueInner { items: VecDeque::new(), closed: false }),
+            cap: cap.max(1),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueue without blocking. `Err(item)` hands the item back when
+    /// the queue is full or closed so the caller can shed it.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut q = self.inner.lock().unwrap();
+        if q.closed || q.items.len() >= self.cap {
+            return Err(item);
+        }
+        q.items.push_back(item);
+        drop(q);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue, blocking until an item arrives or the queue closes.
+    /// `None` means closed *and* drained — the worker's exit signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut q = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = q.items.pop_front() {
+                return Some(item);
+            }
+            if q.closed {
+                return None;
+            }
+            q = self.ready.wait(q).unwrap();
+        }
+    }
+
+    /// Close the queue: pending items still drain, new pushes fail, and
+    /// blocked `pop`s wake with `None` once empty.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admission_caps_and_releases() {
+        let a = Admission::new(2);
+        let g1 = a.try_acquire().unwrap();
+        let _g2 = a.try_acquire().unwrap();
+        assert!(a.try_acquire().is_none());
+        assert_eq!(a.active(), 2);
+        drop(g1);
+        assert_eq!(a.active(), 1);
+        assert!(a.try_acquire().is_some());
+    }
+
+    #[test]
+    fn byte_meter_enforces_budget() {
+        let mut m = ByteMeter::new(100);
+        m.charge(60).unwrap();
+        m.charge(40).unwrap();
+        match m.charge(1) {
+            Err(ServeError::BudgetExceeded { needed, budget }) => {
+                assert_eq!(needed, 101);
+                assert_eq!(budget, 100);
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+        // Budget 0 = unlimited.
+        let mut un = ByteMeter::new(0);
+        un.charge(u64::MAX).unwrap();
+        un.charge(u64::MAX).unwrap();
+    }
+
+    #[test]
+    fn queue_sheds_when_full_and_drains_on_close() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(3));
+        q.close();
+        assert_eq!(q.try_push(4), Err(4));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn queue_pop_blocks_until_push() {
+        use std::sync::Arc;
+        let q = Arc::new(BoundedQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let t = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.try_push(7u32).unwrap();
+        assert_eq!(t.join().unwrap(), Some(7));
+    }
+}

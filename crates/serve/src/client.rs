@@ -1,0 +1,66 @@
+//! A minimal blocking client for the line protocol, used by the test
+//! suite, the load-generator bench, and `hus` one-shot queries.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use serde::Value;
+
+/// One connection to a serve daemon; requests are answered in order.
+pub struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connect to a daemon at `addr` (e.g. `127.0.0.1:7464`).
+    pub fn connect(addr: &str) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client { stream, reader })
+    }
+
+    /// Send one raw request line and return the raw response line.
+    pub fn request_raw(&mut self, line: &str) -> std::io::Result<String> {
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.write_all(b"\n")?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(response.trim_end().to_string())
+    }
+
+    /// Send one request line and parse the response as a JSON value.
+    pub fn request(&mut self, line: &str) -> std::io::Result<Value> {
+        let raw = self.request_raw(line)?;
+        serde_json::parse_value_str(&raw)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+/// Read an unsigned-integer field out of a response value.
+pub fn field_u64(v: &Value, key: &str) -> Option<u64> {
+    match v.get(key) {
+        Some(Value::U64(n)) => Some(*n),
+        _ => None,
+    }
+}
+
+/// Whether a response value reports success.
+pub fn is_ok(v: &Value) -> bool {
+    matches!(v.get("ok"), Some(Value::Bool(true)))
+}
+
+/// The `code` field of a failure response.
+pub fn error_code(v: &Value) -> Option<&str> {
+    match v.get("code") {
+        Some(Value::Str(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}

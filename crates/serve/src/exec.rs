@@ -1,0 +1,279 @@
+//! Query execution against one pinned [`GraphSnapshot`].
+//!
+//! Point lookups (`degree`, `neighbors`, `khop`) use the engine's own
+//! selective read shape — per-vertex index entries (8-byte random
+//! reads) plus exact edge-record ranges — so a lookup touches only the
+//! blocks its vertex lives in, whatever codec or backend the graph was
+//! built with. Full analytics instantiate an [`Engine`] run on the
+//! shared snapshot, exactly the code path the CLI uses, which is what
+//! makes serve results bit-identical to single-threaded CLI runs.
+//!
+//! Every fetch is charged to the query's [`ByteMeter`]; analytics are
+//! charged a pre-flight whole-scan estimate instead so an over-budget
+//! scan is rejected before it starts, not after it finished.
+
+use hus_algos::{Bfs, PageRank, PersonalizedPageRank, Sssp, Wcc};
+use hus_core::{Engine, HusGraph, RunConfig, VertexProgram};
+use hus_storage::pod;
+
+use crate::admission::ByteMeter;
+use crate::protocol::{Op, ResponseBuilder};
+use crate::snapshot::GraphSnapshot;
+use crate::{fnv1a64, ServeError};
+
+/// Interval owning vertex `v` (the `i` of out-blocks `(i, *)`).
+fn interval_of(graph: &HusGraph, v: u32) -> Result<usize, ServeError> {
+    let meta = graph.meta();
+    if v >= meta.num_vertices {
+        return Err(ServeError::BadRequest(format!(
+            "vertex {v} out of range (|V| = {})",
+            meta.num_vertices
+        )));
+    }
+    // p is small (the paper sizes blocks to memory, not vertices), so a
+    // linear scan of the interval boundaries is cheaper than bisecting.
+    let i = (0..graph.p()).find(|&i| v < meta.interval_starts[i + 1]).expect("v < num_vertices");
+    Ok(i)
+}
+
+/// Sorted out-neighbors of `v`, fetched selectively and charged to the
+/// meter (8 bytes per consulted index entry + the exact record bytes).
+fn fetch_neighbors(
+    graph: &HusGraph,
+    v: u32,
+    meter: &mut ByteMeter,
+) -> Result<Vec<u32>, ServeError> {
+    let i = interval_of(graph, v)?;
+    let meta = graph.meta();
+    let local = (v - meta.interval_start(i)) as usize;
+    let rec_bytes = meta.edge_record_bytes();
+    let mut out = Vec::with_capacity(graph.out_degrees()[v as usize] as usize);
+    for j in 0..graph.p() {
+        if graph.out_block_len(i, j) == 0 {
+            continue;
+        }
+        meter.charge(8)?;
+        let (lo, hi) = graph.load_out_index_entry(i, j, local)?;
+        if hi > lo {
+            meter.charge(u64::from(hi - lo) * rec_bytes)?;
+            let recs = graph.load_out_records(i, j, lo, hi)?;
+            for k in 0..recs.len() {
+                out.push(recs.neighbor(k));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Breadth-first expansion from `v` for at most `depth` hops. Returns
+/// the sorted visited set (root included) and the frontier size per
+/// completed hop.
+fn khop(
+    graph: &HusGraph,
+    v: u32,
+    depth: u32,
+    meter: &mut ByteMeter,
+) -> Result<(Vec<u32>, Vec<u64>), ServeError> {
+    interval_of(graph, v)?;
+    let n = graph.meta().num_vertices as usize;
+    let mut visited = vec![false; n];
+    visited[v as usize] = true;
+    let mut frontier = vec![v];
+    let mut frontier_sizes = Vec::new();
+    for _ in 0..depth {
+        let mut next = Vec::new();
+        for &u in &frontier {
+            for w in fetch_neighbors(graph, u, meter)? {
+                if !visited[w as usize] {
+                    visited[w as usize] = true;
+                    next.push(w);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        frontier_sizes.push(next.len() as u64);
+        frontier = next;
+    }
+    let all: Vec<u32> = (0..n as u32).filter(|&u| visited[u as usize]).collect();
+    Ok((all, frontier_sizes))
+}
+
+/// Pre-flight byte charge for a full analytics run: `scans` whole-graph
+/// edge scans at the encoded (on-disk) size. Coarse by design — the
+/// budget gates whether a scan may start at all; per-fetch accounting
+/// for scans would only reject them after the I/O was already done.
+fn preflight(graph: &HusGraph, scans: u64, meter: &mut ByteMeter) -> Result<(), ServeError> {
+    meter.charge(scans.max(1) * graph.meta().encoded_edge_bytes())
+}
+
+fn run_program<Pr: VertexProgram>(
+    graph: &HusGraph,
+    program: &Pr,
+    threads: usize,
+    max_iterations: usize,
+) -> Result<Vec<Pr::Value>, ServeError> {
+    let config = RunConfig { threads, max_iterations, ..Default::default() };
+    let (values, _stats) = Engine::new(graph, program, config).run()?;
+    Ok(values)
+}
+
+/// Execute one query op against `snap`, appending result fields to
+/// `resp`. Admin ops (`status`, `shutdown`) are the server's job and
+/// rejected here.
+pub fn execute(
+    snap: &GraphSnapshot,
+    op: &Op,
+    meter: &mut ByteMeter,
+    threads: usize,
+    resp: ResponseBuilder,
+) -> Result<ResponseBuilder, ServeError> {
+    let graph = snap.graph();
+    let threads = threads.max(1);
+    match *op {
+        Op::Degree { v } => {
+            interval_of(graph, v)?;
+            meter.charge(4)?;
+            Ok(resp.u64("degree", u64::from(graph.out_degrees()[v as usize])))
+        }
+        Op::Neighbors { v } => {
+            let nbrs = fetch_neighbors(graph, v, meter)?;
+            let hash = fnv1a64(pod::as_bytes(&nbrs));
+            Ok(resp
+                .u64("count", nbrs.len() as u64)
+                .u64_array("neighbors", nbrs.into_iter().map(u64::from))
+                .u64("hash", hash))
+        }
+        Op::KHop { v, depth } => {
+            let (visited, frontier) = khop(graph, v, depth, meter)?;
+            let hash = fnv1a64(pod::as_bytes(&visited));
+            Ok(resp
+                .u64("count", visited.len() as u64)
+                .u64_array("frontier", frontier)
+                .u64("hash", hash))
+        }
+        Op::Bfs { source } => {
+            interval_of(graph, source)?;
+            preflight(graph, 1, meter)?;
+            let levels = run_program(graph, &Bfs::new(source), threads, 1_000)?;
+            let reached = levels.iter().filter(|&&l| l != hus_algos::UNREACHED).count();
+            Ok(resp.u64("reached", reached as u64).u64("hash", fnv1a64(pod::as_bytes(&levels))))
+        }
+        Op::Sssp { source } => {
+            interval_of(graph, source)?;
+            preflight(graph, 1, meter)?;
+            let dist = run_program(graph, &Sssp::new(source), threads, 1_000)?;
+            let reached = dist.iter().filter(|d| d.is_finite()).count();
+            Ok(resp.u64("reached", reached as u64).u64("hash", fnv1a64(pod::as_bytes(&dist))))
+        }
+        Op::Wcc => {
+            preflight(graph, 1, meter)?;
+            let labels = run_program(graph, &Wcc, threads, 1_000)?;
+            let mut roots: Vec<u32> = labels.clone();
+            roots.sort_unstable();
+            roots.dedup();
+            Ok(resp
+                .u64("components", roots.len() as u64)
+                .u64("hash", fnv1a64(pod::as_bytes(&labels))))
+        }
+        Op::PageRank { iters } => {
+            preflight(graph, u64::from(iters), meter)?;
+            let n = graph.meta().num_vertices;
+            let ranks = run_program(graph, &PageRank::new(n), threads, iters as usize)?;
+            Ok(finish_ranks(resp, &ranks))
+        }
+        Op::Ppr { source, iters } => {
+            interval_of(graph, source)?;
+            preflight(graph, u64::from(iters), meter)?;
+            let ranks =
+                run_program(graph, &PersonalizedPageRank::new(source), threads, iters as usize)?;
+            Ok(finish_ranks(resp, &ranks))
+        }
+        Op::Status | Op::Shutdown => {
+            Err(ServeError::BadRequest("admin ops are handled by the server".into()))
+        }
+    }
+}
+
+fn finish_ranks(resp: ResponseBuilder, ranks: &[f32]) -> ResponseBuilder {
+    let top = ranks
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map_or(0, |(v, _)| v as u64);
+    resp.u64("top", top).u64("hash", fnv1a64(pod::as_bytes(ranks)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hus_core::{BuildConfig, HusGraph};
+    use hus_storage::StorageDir;
+
+    fn snapshot() -> (tempfile::TempDir, crate::SnapshotManager) {
+        let tmp = tempfile::tempdir().unwrap();
+        let el = hus_gen::rmat(100, 600, 11, Default::default());
+        let dir = StorageDir::create(tmp.path().join("g")).unwrap();
+        HusGraph::build_into(&el, &dir, &BuildConfig::with_p(4)).unwrap();
+        let mgr = crate::SnapshotManager::open(dir).unwrap();
+        (tmp, mgr)
+    }
+
+    #[test]
+    fn neighbors_match_degree_and_are_sorted() {
+        let (_tmp, mgr) = snapshot();
+        let snap = mgr.current();
+        let g = snap.graph();
+        let mut meter = ByteMeter::new(0);
+        for v in 0..g.meta().num_vertices {
+            let nbrs = fetch_neighbors(g, v, &mut meter).unwrap();
+            assert_eq!(nbrs.len() as u32, g.out_degrees()[v as usize], "vertex {v}");
+            assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "vertex {v} not sorted");
+        }
+        assert!(meter.spent() > 0);
+    }
+
+    #[test]
+    fn khop_visited_set_equals_bfs_levels() {
+        let (_tmp, mgr) = snapshot();
+        let snap = mgr.current();
+        let g = snap.graph();
+        let depth = 2u32;
+        let (visited, _) = khop(g, 0, depth, &mut ByteMeter::new(0)).unwrap();
+        let levels = run_program(g, &Bfs::new(0), 1, 1_000).unwrap();
+        let expected: Vec<u32> =
+            (0..g.meta().num_vertices).filter(|&v| levels[v as usize] <= depth).collect();
+        assert_eq!(visited, expected);
+    }
+
+    #[test]
+    fn out_of_range_vertex_is_bad_request() {
+        let (_tmp, mgr) = snapshot();
+        let snap = mgr.current();
+        let err = execute(
+            &snap,
+            &Op::Degree { v: 10_000 },
+            &mut ByteMeter::new(0),
+            1,
+            ResponseBuilder::ok(None, snap.generation()),
+        )
+        .unwrap_err();
+        assert_eq!(err.code(), "bad_request");
+    }
+
+    #[test]
+    fn analytics_preflight_rejects_tiny_budget() {
+        let (_tmp, mgr) = snapshot();
+        let snap = mgr.current();
+        let err = execute(
+            &snap,
+            &Op::PageRank { iters: 5 },
+            &mut ByteMeter::new(16),
+            1,
+            ResponseBuilder::ok(None, snap.generation()),
+        )
+        .unwrap_err();
+        assert_eq!(err.code(), "budget");
+    }
+}

@@ -1,0 +1,274 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! One request per line, one response per line, over a plain TCP
+//! stream. Requests are JSON objects with an `"op"` discriminator and
+//! an optional client-chosen `"id"` echoed back in the response:
+//!
+//! ```text
+//! {"id":1,"op":"degree","v":42}
+//! {"id":1,"ok":true,"generation":3,"degree":7}
+//! ```
+//!
+//! Failures come back as `{"ok":false,"code":"busy",...}` with the
+//! stable codes from [`ServeError::code`]. The op vocabulary:
+//!
+//! | op          | fields              | result payload                          |
+//! |-------------|---------------------|-----------------------------------------|
+//! | `degree`    | `v`                 | `degree`                                |
+//! | `neighbors` | `v`                 | `neighbors` (sorted ids), `count`       |
+//! | `khop`      | `v`, `depth`        | `count`, `frontier` per depth, `hash`   |
+//! | `bfs`       | `source`            | `reached`, `hash` over the level vector |
+//! | `sssp`      | `source`            | `reached`, `hash` over distances        |
+//! | `wcc`       | —                   | `components`, `hash` over labels        |
+//! | `pagerank`  | `iters`             | `hash` over ranks, `top` vertex         |
+//! | `ppr`       | `source`, `iters`   | `hash` over ranks, `top` vertex         |
+//! | `status`    | —                   | generation, runs, active, capacity      |
+//! | `shutdown`  | —                   | `ok` then server drain                  |
+//!
+//! Hashes are [`crate::fnv1a64`] over the little-endian bytes of the
+//! full per-vertex value vector, so a client can assert bit-identity
+//! against a locally computed run without shipping `|V|` values.
+
+use serde::Value;
+
+use crate::ServeError;
+
+/// A query or admin operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Out-degree of one vertex (overlay-aware, O(1)).
+    Degree {
+        /// The vertex.
+        v: u32,
+    },
+    /// Sorted out-neighbor ids of one vertex (selective per-block
+    /// index + record fetches, the ROP read shape).
+    Neighbors {
+        /// The vertex.
+        v: u32,
+    },
+    /// Breadth-first expansion from `v` up to `depth` hops.
+    KHop {
+        /// Expansion root.
+        v: u32,
+        /// Maximum hop count.
+        depth: u32,
+    },
+    /// Full BFS from `source` (levels).
+    Bfs {
+        /// BFS root.
+        source: u32,
+    },
+    /// Single-source shortest paths from `source` (distances).
+    Sssp {
+        /// SSSP root.
+        source: u32,
+    },
+    /// Weakly connected components (labels).
+    Wcc,
+    /// PageRank for `iters` iterations (ranks).
+    PageRank {
+        /// Iteration count.
+        iters: u32,
+    },
+    /// Personalized PageRank from `source` for `iters` iterations.
+    Ppr {
+        /// Personalization vertex.
+        source: u32,
+        /// Iteration count.
+        iters: u32,
+    },
+    /// Server status (bypasses admission).
+    Status,
+    /// Graceful drain and exit (bypasses admission).
+    Shutdown,
+}
+
+impl Op {
+    /// Whether this op is full-graph analytics (engine run) as opposed
+    /// to a point lookup or admin op — used for latency-histogram
+    /// classification and byte-budget pre-flight.
+    pub fn is_analytics(&self) -> bool {
+        matches!(
+            self,
+            Op::Bfs { .. } | Op::Sssp { .. } | Op::Wcc | Op::PageRank { .. } | Op::Ppr { .. }
+        )
+    }
+
+    /// Whether this op is served without an admission slot.
+    pub fn is_admin(&self) -> bool {
+        matches!(self, Op::Status | Op::Shutdown)
+    }
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: Option<u64>,
+    /// The operation.
+    pub op: Op,
+}
+
+fn get_u64(v: &Value, key: &str) -> Result<u64, ServeError> {
+    match v.get(key) {
+        Some(Value::U64(n)) => Ok(*n),
+        Some(other) => {
+            Err(ServeError::BadRequest(format!("field `{key}` must be an integer, got {other:?}")))
+        }
+        None => Err(ServeError::BadRequest(format!("missing field `{key}`"))),
+    }
+}
+
+fn get_u32(v: &Value, key: &str) -> Result<u32, ServeError> {
+    u32::try_from(get_u64(v, key)?)
+        .map_err(|_| ServeError::BadRequest(format!("field `{key}` out of u32 range")))
+}
+
+fn get_u32_or(v: &Value, key: &str, default: u32) -> Result<u32, ServeError> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(_) => get_u32(v, key),
+    }
+}
+
+/// Parse one request line.
+pub fn parse_request(line: &str) -> Result<Request, ServeError> {
+    let v = serde_json::parse_value_str(line)
+        .map_err(|e| ServeError::BadRequest(format!("invalid JSON: {e}")))?;
+    let id = match v.get("id") {
+        Some(Value::U64(n)) => Some(*n),
+        _ => None,
+    };
+    let op = match v.get("op") {
+        Some(Value::Str(s)) => s.as_str(),
+        _ => return Err(ServeError::BadRequest("missing string field `op`".into())),
+    };
+    let op = match op {
+        "degree" => Op::Degree { v: get_u32(&v, "v")? },
+        "neighbors" => Op::Neighbors { v: get_u32(&v, "v")? },
+        "khop" => Op::KHop { v: get_u32(&v, "v")?, depth: get_u32_or(&v, "depth", 2)? },
+        "bfs" => Op::Bfs { source: get_u32(&v, "source")? },
+        "sssp" => Op::Sssp { source: get_u32(&v, "source")? },
+        "wcc" => Op::Wcc,
+        "pagerank" => Op::PageRank { iters: get_u32_or(&v, "iters", 10)? },
+        "ppr" => Op::Ppr { source: get_u32(&v, "source")?, iters: get_u32_or(&v, "iters", 10)? },
+        "status" => Op::Status,
+        "shutdown" => Op::Shutdown,
+        other => return Err(ServeError::BadRequest(format!("unknown op `{other}`"))),
+    };
+    Ok(Request { id, op })
+}
+
+/// Accumulates the fields of one success response.
+#[derive(Debug)]
+pub struct ResponseBuilder {
+    fields: Vec<(String, Value)>,
+}
+
+impl ResponseBuilder {
+    /// A success response for request `id` answered at snapshot
+    /// `generation`.
+    pub fn ok(id: Option<u64>, generation: u64) -> Self {
+        let mut fields = Vec::new();
+        if let Some(id) = id {
+            fields.push(("id".to_string(), Value::U64(id)));
+        }
+        fields.push(("ok".to_string(), Value::Bool(true)));
+        fields.push(("generation".to_string(), Value::U64(generation)));
+        ResponseBuilder { fields }
+    }
+
+    /// Attach an unsigned-integer field.
+    pub fn u64(mut self, key: &str, v: u64) -> Self {
+        self.fields.push((key.to_string(), Value::U64(v)));
+        self
+    }
+
+    /// Attach a float field.
+    pub fn f64(mut self, key: &str, v: f64) -> Self {
+        self.fields.push((key.to_string(), Value::F64(v)));
+        self
+    }
+
+    /// Attach an array of unsigned integers.
+    pub fn u64_array(mut self, key: &str, vs: impl IntoIterator<Item = u64>) -> Self {
+        self.fields.push((key.to_string(), Value::Array(vs.into_iter().map(Value::U64).collect())));
+        self
+    }
+
+    /// Render the response as one JSON line (no trailing newline).
+    pub fn render(self) -> String {
+        serde_json::to_string(&Value::Object(self.fields)).expect("value rendering is total")
+    }
+}
+
+/// Render an error response line for request `id` (no trailing
+/// newline).
+pub fn error_response(id: Option<u64>, err: &ServeError) -> String {
+    let mut fields = Vec::new();
+    if let Some(id) = id {
+        fields.push(("id".to_string(), Value::U64(id)));
+    }
+    fields.push(("ok".to_string(), Value::Bool(false)));
+    fields.push(("code".to_string(), Value::Str(err.code().to_string())));
+    fields.push(("error".to_string(), Value::Str(err.to_string())));
+    if let ServeError::BudgetExceeded { needed, budget } = err {
+        fields.push(("needed".to_string(), Value::U64(*needed)));
+        fields.push(("budget".to_string(), Value::U64(*budget)));
+    }
+    serde_json::to_string(&Value::Object(fields)).expect("value rendering is total")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_op_vocabulary() {
+        let cases = [
+            (r#"{"op":"degree","v":3}"#, Op::Degree { v: 3 }),
+            (r#"{"op":"neighbors","v":0}"#, Op::Neighbors { v: 0 }),
+            (r#"{"op":"khop","v":1,"depth":4}"#, Op::KHop { v: 1, depth: 4 }),
+            (r#"{"op":"khop","v":1}"#, Op::KHop { v: 1, depth: 2 }),
+            (r#"{"op":"bfs","source":9}"#, Op::Bfs { source: 9 }),
+            (r#"{"op":"sssp","source":9}"#, Op::Sssp { source: 9 }),
+            (r#"{"op":"wcc"}"#, Op::Wcc),
+            (r#"{"op":"pagerank","iters":5}"#, Op::PageRank { iters: 5 }),
+            (r#"{"op":"ppr","source":2,"iters":5}"#, Op::Ppr { source: 2, iters: 5 }),
+            (r#"{"op":"status"}"#, Op::Status),
+            (r#"{"op":"shutdown"}"#, Op::Shutdown),
+        ];
+        for (line, want) in cases {
+            assert_eq!(parse_request(line).unwrap().op, want, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn id_round_trips_and_errors_are_typed() {
+        let req = parse_request(r#"{"id":77,"op":"wcc"}"#).unwrap();
+        assert_eq!(req.id, Some(77));
+
+        let err = parse_request(r#"{"op":"explode"}"#).unwrap_err();
+        assert_eq!(err.code(), "bad_request");
+        let err = parse_request("not json").unwrap_err();
+        assert_eq!(err.code(), "bad_request");
+        let err = parse_request(r#"{"op":"degree"}"#).unwrap_err();
+        assert_eq!(err.code(), "bad_request");
+    }
+
+    #[test]
+    fn responses_render_as_single_json_lines() {
+        let line = ResponseBuilder::ok(Some(5), 2).u64("degree", 7).render();
+        assert!(line.contains(r#""id":5"#));
+        assert!(line.contains(r#""ok":true"#));
+        assert!(line.contains(r#""generation":2"#));
+        assert!(line.contains(r#""degree":7"#));
+        assert!(!line.contains('\n'));
+
+        let err = error_response(None, &ServeError::BudgetExceeded { needed: 10, budget: 5 });
+        assert!(err.contains(r#""ok":false"#));
+        assert!(err.contains(r#""code":"budget""#));
+        assert!(err.contains(r#""needed":10"#));
+    }
+}

@@ -1,0 +1,314 @@
+//! The daemon: listener, bounded accept queue, worker pool, snapshot
+//! refresher, signal handling, and graceful drain.
+//!
+//! Thread layout (all plain `std::thread`, matching the OpenMetrics
+//! exporter's style — no async runtime):
+//!
+//! ```text
+//! accept ──try_push──▶ BoundedQueue ──pop──▶ worker × N
+//!    │ (full → busy + close)                    │ per query: Admission slot,
+//!    │                                          │ ByteMeter, exec::execute
+//!    └── polls stop flag + SIGINT/SIGTERM       ▼
+//! refresher: polls MANIFEST generation, swaps GraphSnapshot
+//! ```
+//!
+//! Shutdown — whether from [`Server::shutdown`], a `shutdown` wire op,
+//! or a signal — follows one path: set the stop flag, let the accept
+//! loop exit and close the queue, let workers drain queued connections
+//! and finish their in-flight queries, join every thread, then shut
+//! down the process-global metrics exporter via
+//! [`hus_obs::export::shutdown_exporter`] so nothing is leaked.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use hus_storage::{Result, StorageDir};
+
+use crate::admission::{Admission, BoundedQueue, ByteMeter};
+use crate::protocol::{error_response, parse_request, Op, ResponseBuilder};
+use crate::snapshot::SnapshotManager;
+use crate::{exec, ServeConfig, ServeError};
+
+static QUERIES_TOTAL: hus_obs::LazyCounter = hus_obs::LazyCounter::new("serve.queries");
+static LOOKUP_LATENCY: hus_obs::LazyHistogram =
+    hus_obs::LazyHistogram::new("serve.latency_lookup_ns");
+static ANALYTICS_LATENCY: hus_obs::LazyHistogram =
+    hus_obs::LazyHistogram::new("serve.latency_analytics_ns");
+
+/// Set by the SIGINT/SIGTERM handler; polled by the accept loop.
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    // Async-signal-safe by construction: the handler only stores to a
+    // static atomic. Raw libc `signal` via FFI keeps the crate std-only.
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNALLED.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGTERM, on_signal as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+/// A running serve daemon. Dropping without calling
+/// [`Server::shutdown`] still drains and joins every thread.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    mgr: Arc<SnapshotManager>,
+    queue: Arc<BoundedQueue<TcpStream>>,
+    accept_thread: Option<JoinHandle<()>>,
+    refresh_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Start serving the graph under `dir` per `config`. Installs
+/// SIGINT/SIGTERM handlers so a signal triggers the same graceful
+/// drain as a `shutdown` wire op.
+pub fn serve(dir: StorageDir, config: ServeConfig) -> Result<Server> {
+    install_signal_handlers();
+    SIGNALLED.store(false, Ordering::SeqCst);
+    let mgr = Arc::new(SnapshotManager::open(dir)?);
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let admission = Arc::new(Admission::new(config.max_inflight));
+    let queue = Arc::new(BoundedQueue::new(config.accept_queue));
+
+    // Workers: enough to keep every admission slot busy plus headroom
+    // for connections that only carry admin ops.
+    let worker_count = (config.max_inflight + 2).max(4);
+    let mut workers = Vec::with_capacity(worker_count);
+    for _ in 0..worker_count {
+        let queue = Arc::clone(&queue);
+        let mgr = Arc::clone(&mgr);
+        let admission = Arc::clone(&admission);
+        let stop = Arc::clone(&stop);
+        let config = config.clone();
+        workers.push(std::thread::spawn(move || {
+            while let Some(stream) = queue.pop() {
+                handle_connection(stream, &mgr, &admission, &stop, &config);
+            }
+        }));
+    }
+
+    let accept_thread = {
+        let queue = Arc::clone(&queue);
+        let stop = Arc::clone(&stop);
+        Some(std::thread::spawn(move || {
+            loop {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                if SIGNALLED.load(Ordering::SeqCst) {
+                    stop.store(true, Ordering::SeqCst);
+                    break;
+                }
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        if let Err(mut shed) = queue.try_push(stream) {
+                            // Accept queue full: shed the connection
+                            // with a busy line instead of queueing
+                            // latency we can't serve.
+                            let _ = shed.write_all(
+                                error_response(None, &ServeError::Overloaded).as_bytes(),
+                            );
+                            let _ = shed.write_all(b"\n");
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(25));
+                    }
+                    Err(_) => break,
+                }
+            }
+            // No new connections past this point; let workers drain
+            // what's queued, then exit on the closed queue.
+            queue.close();
+        }))
+    };
+
+    let refresh_thread = {
+        let mgr = Arc::clone(&mgr);
+        let stop = Arc::clone(&stop);
+        let interval = Duration::from_millis(config.refresh_interval_ms.max(10));
+        Some(std::thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                // A refresh failure (e.g. mid-swap manifest) is retried
+                // on the next tick; the old snapshot stays pinned.
+                let _ = mgr.refresh();
+                std::thread::sleep(interval);
+            }
+        }))
+    };
+
+    Ok(Server { addr, stop, mgr, queue, accept_thread, refresh_thread, workers })
+}
+
+impl Server {
+    /// The bound listen address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The snapshot manager (for status inspection in tests).
+    pub fn snapshots(&self) -> &SnapshotManager {
+        &self.mgr
+    }
+
+    /// Whether shutdown has been requested (flag, signal, or wire op).
+    pub fn stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Block until shutdown is requested, then drain and join all
+    /// threads. Returns once the last in-flight query has finished.
+    pub fn wait(&mut self) {
+        while !self.stop.load(Ordering::SeqCst) && !SIGNALLED.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        self.join_all();
+    }
+
+    /// Request shutdown and drain: stop accepting, serve what's queued,
+    /// finish in-flight queries, join every thread, and shut down the
+    /// global metrics exporter.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.join_all();
+    }
+
+    fn join_all(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // The accept thread closes the queue on exit, but close again
+        // in case it was never spawned to completion.
+        self.queue.close();
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+        if let Some(t) = self.refresh_thread.take() {
+            let _ = t.join();
+        }
+        // Same shutdown path for the metrics exporter the daemon
+        // started via `hus_obs::init_from_env` — don't leak its thread.
+        hus_obs::export::shutdown_exporter();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Serve one connection: read request lines until EOF, stop, or a
+/// fatal stream error; answer each with exactly one response line.
+fn handle_connection(
+    mut stream: TcpStream,
+    mgr: &SnapshotManager,
+    admission: &Admission,
+    stop: &Arc<AtomicBool>,
+    config: &ServeConfig,
+) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_nodelay(true);
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        // Serve every complete line currently buffered.
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = buf.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&line);
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let response = handle_line(line, mgr, admission, stop, config);
+            if stream.write_all(response.as_bytes()).is_err() || stream.write_all(b"\n").is_err() {
+                return;
+            }
+        }
+        if stop.load(Ordering::SeqCst) {
+            // Drain policy: finish answering what was already buffered
+            // (done above), then close.
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Idle poll: loop to re-check the stop flag.
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Execute one request line and render its response line.
+fn handle_line(
+    line: &str,
+    mgr: &SnapshotManager,
+    admission: &Admission,
+    stop: &Arc<AtomicBool>,
+    config: &ServeConfig,
+) -> String {
+    let req = match parse_request(line) {
+        Ok(req) => req,
+        Err(e) => return error_response(None, &e),
+    };
+    QUERIES_TOTAL.incr();
+    let snap = mgr.current();
+    match req.op {
+        // Admin ops bypass admission so the server stays
+        // introspectable and stoppable under overload.
+        Op::Status => ResponseBuilder::ok(req.id, snap.generation())
+            .u64("runs", snap.runs() as u64)
+            .u64("active", admission.active() as u64)
+            .u64("capacity", admission.capacity() as u64)
+            .u64("max_inflight", config.max_inflight as u64)
+            .u64("byte_budget", config.byte_budget)
+            .u64("num_vertices", u64::from(snap.graph().meta().num_vertices))
+            .u64("num_edges", snap.graph().num_edges())
+            .render(),
+        Op::Shutdown => {
+            stop.store(true, Ordering::SeqCst);
+            ResponseBuilder::ok(req.id, snap.generation()).u64("draining", 1).render()
+        }
+        ref op => {
+            let Some(_slot) = admission.try_acquire() else {
+                return error_response(req.id, &ServeError::Overloaded);
+            };
+            let timer = hus_obs::latency_timer();
+            let mut meter = ByteMeter::new(config.byte_budget);
+            let resp = ResponseBuilder::ok(req.id, snap.generation());
+            let result = exec::execute(&snap, op, &mut meter, config.query_threads, resp);
+            let hist = if op.is_analytics() { &ANALYTICS_LATENCY } else { &LOOKUP_LATENCY };
+            hist.record_elapsed(timer);
+            match result {
+                Ok(resp) => resp.u64("bytes", meter.spent()).render(),
+                Err(e) => error_response(req.id, &e),
+            }
+        }
+    }
+}

@@ -65,6 +65,8 @@ const USAGE: &str = "usage:
   hus compact <graph-dir>
   hus convert <in.{husg,txt}> <out.{husg,txt}>
   hus probe [dir]
+  hus serve <graph-dir> [--addr host:port] [--max-inflight N] [--byte-budget B] \
+            [--threads N]
 
 graph-reading commands also accept --backend file|mmap|direct
 (default: $HUS_BACKEND, else file; direct degrades to file where
@@ -92,6 +94,7 @@ fn run(args: &[String]) -> CliResult {
         "compact" => cmd_compact(&rest),
         "convert" => cmd_convert(&rest),
         "probe" => cmd_probe(&rest),
+        "serve" => cmd_serve(&rest),
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -184,6 +187,7 @@ fn cmd_stats(rest: &[&String]) -> CliResult {
     let dir = StorageDir::open(positional(rest, 0)?).map_err(|e| e.to_string())?;
     let dg = hus_core::DynamicGraph::open(dir).map_err(|e| e.to_string())?;
     let runs = dg.run_count();
+    let generation = dg.generation();
     let g = dg.into_snapshot().map_err(|e| e.to_string())?;
     let meta = g.meta();
     println!("vertices:  {}", meta.num_vertices);
@@ -193,6 +197,7 @@ fn cmd_stats(rest: &[&String]) -> CliResult {
         println!("edges:     {} ({} in base + {runs} delta run(s))", g.num_edges(), meta.num_edges);
     }
     println!("intervals: {}", meta.p);
+    println!("generation: {generation} ({runs} live delta run(s))");
     println!("weighted:  {}", meta.weighted);
     println!("record:    {} bytes/edge", meta.edge_record_bytes());
     println!("codec:     {}", meta.codec);
@@ -376,6 +381,50 @@ fn parse_mode(rest: &[&String]) -> Result<UpdateMode, String> {
         "cop" => UpdateMode::ForceCop,
         other => return Err(format!("unknown mode {other:?}")),
     })
+}
+
+/// Run the concurrent multi-query daemon over one graph directory
+/// (DESIGN.md §12): MVCC snapshots pinned to the `MANIFEST` generation,
+/// admission control (`--max-inflight`, rejected queries get a `busy`
+/// error), per-query byte budgets (`--byte-budget`), and graceful drain
+/// on SIGINT/SIGTERM or a `shutdown` wire op.
+fn cmd_serve(rest: &[&String]) -> CliResult {
+    // Start the metrics exporter (HUS_METRICS_ADDR) before serving so
+    // serve.* metrics are scrapeable for the daemon's whole life; the
+    // drain path below shuts it down again.
+    hus_obs::init_from_env();
+    let path = positional(rest, 0)?;
+    let mut config = hus_serve::ServeConfig::from_env();
+    if let Some(addr) = flag_value(rest, "--addr") {
+        config.addr = addr.to_string();
+    }
+    if let Some(v) = flag_value(rest, "--max-inflight") {
+        config.max_inflight = parse::<usize>(v, "max inflight")?.max(1);
+    }
+    if let Some(v) = flag_value(rest, "--byte-budget") {
+        config.byte_budget = parse(v, "byte budget")?;
+    }
+    if let Some(v) = flag_value(rest, "--threads") {
+        config.query_threads = parse::<usize>(v, "threads")?.max(1);
+    }
+    let mut dir = StorageDir::open(path).map_err(|e| e.to_string())?;
+    if let Some(kind) = parse_backend(rest)? {
+        dir = dir.with_backend(kind);
+    }
+    let max_inflight = config.max_inflight;
+    let mut server = hus_serve::serve(dir, config).map_err(|e| e.to_string())?;
+    let snap = server.snapshots().current();
+    println!(
+        "serving {path} on {} (generation {}, {} delta run(s), {} query slots)",
+        server.addr(),
+        snap.generation(),
+        snap.runs(),
+        max_inflight,
+    );
+    drop(snap);
+    server.wait();
+    println!("serve: drained and stopped");
+    Ok(())
 }
 
 fn parse_backend(rest: &[&String]) -> Result<Option<hus_storage::BackendKind>, String> {

@@ -30,8 +30,9 @@
 //! * [`codec`] — per-block edge codecs (raw, delta-varint)
 //! * [`gen`] — synthetic graph generators and dataset presets
 //! * [`core`] — the dual-block representation, ROP/COP, the hybrid engine
-//! * [`algos`] — BFS, WCC, SSSP, PageRank(-Delta), SpMV + references
+//! * [`algos`] — BFS, WCC, SSSP, PageRank(-Delta), PPR, SpMV + references
 //! * [`baselines`] — GraphChi-style and GridGraph-style engines
+//! * [`serve`] — the concurrent multi-query daemon behind `hus serve`
 
 #![warn(missing_docs)]
 
@@ -41,6 +42,7 @@ pub use hus_codec as codec;
 pub use hus_core as core;
 pub use hus_gen as gen;
 pub use hus_obs as obs;
+pub use hus_serve as serve;
 pub use hus_storage as storage;
 
 use hus_algos::{Bfs, PageRank, Sssp, Wcc};
