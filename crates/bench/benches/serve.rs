@@ -83,6 +83,9 @@ fn bench_serve(c: &mut Criterion) {
         accept_queue: 64,
         query_threads: 1,
         refresh_interval_ms: 1_000,
+        deadline_ms: 0,
+        idle_ms: 30_000,
+        chaos_ops: false,
     };
     let mut server = serve(dir, config).unwrap();
     let addr = server.addr().to_string();

@@ -85,7 +85,7 @@ pub(crate) fn finalize_build(staging: StagingDir, meta: &GraphMeta) -> Result<()
         staging.generation(),
         files.iter().map(|(name, footer)| (name.as_str(), *footer)),
     )?;
-    manifest.write_to(out.root())?;
+    manifest.write_with(out)?;
     crash_point("build.manifest");
     staging.commit()
 }

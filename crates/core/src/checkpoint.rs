@@ -16,7 +16,7 @@
 
 use crate::active::ActiveSet;
 use hus_storage::pod::{self, Pod};
-use hus_storage::{crc32c, durable, Result, StorageDir, StorageError};
+use hus_storage::{crc32c, Result, StorageDir};
 
 /// Magic prefix of a checkpoint file: ASCII `HUSK` as a LE `u32`.
 pub const CKPT_MAGIC: u32 = u32::from_le_bytes(*b"HUSK");
@@ -126,9 +126,12 @@ impl CheckpointManager {
     ) -> Result<u64> {
         let t0 = hus_obs::latency_timer();
         let buf = self.encode(iteration, values, &active.to_words());
-        let path = self.dir.path(CKPT_SLOTS[self.next_slot]);
-        std::fs::write(&path, &buf).map_err(|e| StorageError::io_at(&path, e))?;
-        durable::sync_file(&path)?;
+        // Written through the write-fault-aware durable path: an
+        // injected (or real) failure leaves this slot torn — which
+        // `load_latest` already skips — while the other slot still
+        // holds the previous checkpoint, so a failed save degrades to
+        // "one checkpoint older", never to a lost run.
+        self.dir.durable_write(CKPT_SLOTS[self.next_slot], &buf)?;
         self.next_slot ^= 1;
         CKPT_WRITES.incr();
         CKPT_BYTES.add(buf.len() as u64);

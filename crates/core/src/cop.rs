@@ -125,7 +125,10 @@ fn process_column<Pr: VertexProgram>(
     queue_depth: usize,
 ) -> Result<(Vec<Pr::Value>, u64)> {
     match process_column_inner(ctx, store, col, touched_col, readahead, queue_depth) {
-        Err(e) if readahead > 1 && !e.is_corruption() => {
+        // A crossed deadline is a final verdict on the query, not a
+        // pipeline fault — re-running the column synchronously would
+        // only overshoot the budget further.
+        Err(e) if readahead > 1 && !e.is_corruption() && !e.is_deadline() => {
             hus_storage::retry::warn_once(
                 &SYNC_FALLBACK_ONCE,
                 "COP readahead pipeline failed; degrading to synchronous block fetches",
@@ -187,6 +190,7 @@ fn process_column_inner<Pr: VertexProgram>(
     if readahead == 0 || blocks.len() <= 1 {
         // Nothing to overlap (or degraded mode): fetch inline.
         for &i in &blocks {
+            crate::engine::check_deadline(ctx.deadline.as_ref())?;
             let block = fetch(i)?;
             BLOCK_EDGES.record(block.records.len() as u64);
             streamed += block.records.len() as u64;
@@ -248,6 +252,15 @@ fn process_column_inner<Pr: VertexProgram>(
 
         let _cancel = CancelOnUnwind { state: &state, wakeup: &wakeup };
         for seq in 0..blocks.len() {
+            if let Err(e) = crate::engine::check_deadline(ctx.deadline.as_ref()) {
+                // Same teardown as a fetch error: cancel the producer
+                // pool so no thread keeps reading past the deadline.
+                let mut st = state.lock().expect("pipeline state poisoned");
+                st.cancelled = true;
+                st.ready.clear();
+                wakeup.notify_all();
+                return Err(e);
+            }
             let t0 = hus_obs::latency_timer();
             let fetched = {
                 let mut st = state.lock().expect("pipeline state poisoned");

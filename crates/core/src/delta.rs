@@ -43,6 +43,7 @@ static SPILLS: hus_obs::LazyCounter = hus_obs::LazyCounter::new("delta.spills");
 static COMPACTIONS: hus_obs::LazyCounter = hus_obs::LazyCounter::new("delta.compactions");
 static RUNS_GAUGE: hus_obs::LazyGauge = hus_obs::LazyGauge::new("delta.runs");
 static MEMTABLE_GAUGE: hus_obs::LazyGauge = hus_obs::LazyGauge::new("delta.memtable_bytes");
+static DEGRADED_GAUGE: hus_obs::LazyGauge = hus_obs::LazyGauge::new("ingest.degraded");
 
 /// Overlay materializations performed by this process (cache misses and
 /// uncacheable memtable-bearing builds alike). See [`overlay_builds`].
@@ -378,6 +379,12 @@ pub struct DynamicGraph {
     /// directories without a manifest). Spills and compactions advance
     /// it in lock-step with the on-disk manifest.
     generation: u64,
+    /// Read-only degraded mode: a spill/compaction failed and was
+    /// rolled back. Reads keep serving the last committed generation;
+    /// ingest calls first retry the spill (auto-recovery) and, while it
+    /// keeps failing, are rejected with the spill's (typically
+    /// `is_no_space`-classified) error. See DESIGN.md §9.
+    degraded: bool,
 }
 
 impl DynamicGraph {
@@ -420,6 +427,7 @@ impl DynamicGraph {
             compact_trigger: crate::engine::env_parse("HUS_COMPACT_TRIGGER", 0usize),
             dirty,
             generation,
+            degraded: false,
         })
     }
 
@@ -459,13 +467,12 @@ impl DynamicGraph {
     /// ```
     pub fn insert_edge(&mut self, src: u32, dst: u32, weight: f32) -> Result<()> {
         let (i, j) = self.locate(src, dst)?;
+        self.recover_if_degraded()?;
         self.memtable.put(i, j, src, dst, DeltaOp::Put(weight));
         INSERTS.incr();
         MEMTABLE_GAUGE.set(self.memtable.approx_bytes());
         self.dirty = true;
-        if self.memtable.approx_bytes() >= self.memtable_budget {
-            self.flush()?;
-        }
+        self.maybe_spill();
         Ok(())
     }
 
@@ -489,14 +496,37 @@ impl DynamicGraph {
     /// ```
     pub fn delete_edge(&mut self, src: u32, dst: u32) -> Result<()> {
         let (i, j) = self.locate(src, dst)?;
+        self.recover_if_degraded()?;
         self.memtable.put(i, j, src, dst, DeltaOp::Delete);
         DELETES.incr();
         MEMTABLE_GAUGE.set(self.memtable.approx_bytes());
         self.dirty = true;
-        if self.memtable.approx_bytes() >= self.memtable_budget {
-            self.flush()?;
-        }
+        self.maybe_spill();
         Ok(())
+    }
+
+    /// While degraded, retry the rolled-back spill before accepting a
+    /// new update. Success (or nothing left to spill) re-arms ingest;
+    /// failure rejects the update with the spill's error — typically
+    /// [`StorageError::is_no_space`]-classified under real or injected
+    /// `ENOSPC` — *without* buffering it, so a caller that got an error
+    /// knows the update is not in the graph.
+    fn recover_if_degraded(&mut self) -> Result<()> {
+        if !self.degraded {
+            return Ok(());
+        }
+        self.flush().map(|_| ())
+    }
+
+    /// Budget-triggered spill. The update that crossed the budget is
+    /// already buffered (and acked): a failed spill rolls back and
+    /// enters degraded mode, but the update stays in the memtable and
+    /// commits with a later successful spill — it is not an ingest
+    /// error, so the failure is not propagated here.
+    fn maybe_spill(&mut self) {
+        if self.memtable.approx_bytes() >= self.memtable_budget {
+            let _ = self.flush();
+        }
     }
 
     /// Spill the memtable to a new on-disk delta run and record it in
@@ -509,8 +539,18 @@ impl DynamicGraph {
     /// ignore it, `hus fsck` flags it, `--repair` deletes it. The
     /// memtable itself is volatile: updates not yet spilled are lost on
     /// a crash (the documented failure model — there is no WAL).
+    ///
+    /// Failure: a spill that errors anywhere (real or injected `ENOSPC`,
+    /// short write, torn write, fsync failure) is rolled back — leftover
+    /// tmp files and the orphaned run are quarantined, nothing in memory
+    /// changes, and the handle enters read-only degraded mode until a
+    /// retry succeeds. Counted under `resilience.spill_rollbacks` /
+    /// `resilience.degraded_mode_entries`.
     pub fn flush(&mut self) -> Result<Option<String>> {
         if self.memtable.is_empty() {
+            // Nothing pending: a degraded handle (e.g. after a
+            // rolled-back compaction) is consistent again by definition.
+            self.exit_degraded();
             return Ok(None);
         }
         let seq = self.runs.last().map_or(1, |r| r.seq + 1);
@@ -524,11 +564,37 @@ impl DynamicGraph {
                 run.push(i, j, rec);
             }
         }
-        let name = run.write_to(&self.dir)?;
+        let name = match run.write_to(&self.dir) {
+            Ok(n) => n,
+            Err(e) => return Err(self.spill_rollback(e, None)),
+        };
         durable::crash_point("delta.spill_run");
+        let generation = match self.commit_run_manifest(&name) {
+            Ok(g) => g,
+            // The run itself committed but the manifest rewrite did
+            // not: quarantine the orphan too, or post-rollback `fsck`
+            // would flag it.
+            Err(e) => return Err(self.spill_rollback(e, Some(&name))),
+        };
 
-        // Re-list the committed run in the manifest. Legacy directories
-        // (pre-MANIFEST) get one synthesized from meta.json first.
+        self.generation = generation;
+        self.runs.push(run);
+        self.memtable = Memtable::default();
+        self.exit_degraded();
+        SPILLS.incr();
+        RUNS_GAUGE.set(self.runs.len() as u64);
+        MEMTABLE_GAUGE.set(0);
+        if self.compact_trigger > 0 && self.runs.len() >= self.compact_trigger {
+            self.compact()?;
+        }
+        Ok(Some(name))
+    }
+
+    /// Re-list the committed run `name` in the manifest under a bumped
+    /// generation. Legacy directories (pre-`MANIFEST`) get one
+    /// synthesized from meta.json first. Mutates no in-memory state, so
+    /// a failure anywhere leaves the prior generation authoritative.
+    fn commit_run_manifest(&self, name: &str) -> Result<u64> {
         let root = self.dir.root().to_path_buf();
         let mut manifest = match BuildManifest::load_from(&root)? {
             Some(m) => m,
@@ -543,30 +609,72 @@ impl DynamicGraph {
             }
         };
         manifest.generation += 1;
-        let run_path = self.dir.path(&name);
+        let run_path = self.dir.path(name);
         let run_len =
             std::fs::metadata(&run_path).map_err(|e| StorageError::io_at(&run_path, e))?.len();
-        manifest.push_run(&name, run_len, read_trailing_crc(&run_path)?);
-        // The manifest is rewritten via tmp + rename: an in-place write
-        // torn by a crash would leave the directory unopenable.
-        let tmp = root.join(format!("{}.tmp", hus_storage::MANIFEST_FILE));
-        std::fs::write(&tmp, manifest.encode()).map_err(|e| StorageError::io_at(&tmp, e))?;
-        durable::sync_file(&tmp)?;
+        manifest.push_run(name, run_len, read_trailing_crc(&run_path)?);
+        // The manifest is rewritten via tmp + rename (through the
+        // write-fault-aware durable path, so injected faults surface as
+        // errors here instead of tearing the MANIFEST in place): an
+        // in-place write torn by a crash would leave the directory
+        // unopenable.
+        let tmp_name = format!("{}.tmp", hus_storage::MANIFEST_FILE);
+        self.dir.durable_write(&tmp_name, manifest.encode().as_bytes())?;
         let dst = root.join(hus_storage::MANIFEST_FILE);
-        std::fs::rename(&tmp, &dst).map_err(|e| StorageError::io_at(&dst, e))?;
+        std::fs::rename(root.join(&tmp_name), &dst).map_err(|e| StorageError::io_at(&dst, e))?;
         durable::sync_parent_dir(&dst)?;
         durable::crash_point("delta.spill_manifest");
+        Ok(manifest.generation)
+    }
 
-        self.generation = manifest.generation;
-        self.runs.push(run);
-        self.memtable = Memtable::default();
-        SPILLS.incr();
-        RUNS_GAUGE.set(self.runs.len() as u64);
-        MEMTABLE_GAUGE.set(0);
-        if self.compact_trigger > 0 && self.runs.len() >= self.compact_trigger {
-            self.compact()?;
+    /// Roll a failed spill back to the prior committed generation:
+    /// quarantine tmp leftovers (plus the orphaned run file when the run
+    /// committed but the manifest rewrite failed), count the rollback,
+    /// and enter read-only degraded mode. In-memory state is untouched —
+    /// the memtable keeps every acked update for the next attempt.
+    fn spill_rollback(&mut self, err: StorageError, orphan: Option<&str>) -> StorageError {
+        let root = self.dir.root().to_path_buf();
+        let mut victims: Vec<std::path::PathBuf> = Vec::new();
+        if let Some(name) = orphan {
+            victims.push(root.join(name));
         }
-        Ok(Some(name))
+        if let Ok(entries) = std::fs::read_dir(&root) {
+            for e in entries.flatten() {
+                let name = e.file_name().to_string_lossy().into_owned();
+                if name == format!("{}.tmp", hus_storage::MANIFEST_FILE)
+                    || name.ends_with(".run.tmp")
+                {
+                    victims.push(e.path());
+                }
+            }
+        }
+        quarantine(&root, &victims);
+        self.dir.resilience().record_spill_rollback();
+        self.enter_degraded();
+        err
+    }
+
+    fn enter_degraded(&mut self) {
+        if !self.degraded {
+            self.degraded = true;
+            self.dir.resilience().record_degraded_mode_entry();
+            DEGRADED_GAUGE.set(1);
+        }
+    }
+
+    fn exit_degraded(&mut self) {
+        if self.degraded {
+            self.degraded = false;
+            DEGRADED_GAUGE.set(0);
+        }
+    }
+
+    /// Whether the handle is in read-only degraded mode: a failed
+    /// spill or compaction was rolled back, ingest is rejected (after
+    /// one recovery attempt per call) until a spill succeeds, and reads
+    /// keep serving the last committed generation.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
     }
 
     /// Fold every buffered update — memtable and runs — into a full
@@ -607,13 +715,24 @@ impl DynamicGraph {
         let config = crate::builder::BuildConfig::with_p_codec(meta.p, self.graph.codec());
         // Detach the overlay before the base flips underneath it.
         self.graph.set_overlay(None);
-        crate::builder::build(&el, &self.dir, &config)?;
+        if let Err(e) = crate::builder::build(&el, &self.dir, &config) {
+            // The staged build cleans its own staging directory on drop
+            // and the prior generation was never touched — rollback is
+            // the default. The overlay was detached above, so force a
+            // rebuild on the next snapshot, then degrade until a later
+            // spill (or compaction retry) succeeds.
+            self.dirty = true;
+            self.dir.resilience().record_spill_rollback();
+            self.enter_degraded();
+            return Err(e);
+        }
         self.graph = HusGraph::open(self.dir.clone())?;
         self.generation = BuildManifest::load_from(self.dir.root())?
             .map_or(self.generation + 1, |m| m.generation);
         self.runs.clear();
         self.memtable = Memtable::default();
         self.dirty = false;
+        self.exit_degraded();
         COMPACTIONS.incr();
         RUNS_GAUGE.set(0);
         MEMTABLE_GAUGE.set(0);
@@ -718,6 +837,29 @@ fn read_trailing_crc(path: &std::path::Path) -> Result<u32> {
     let mut buf = [0u8; 4];
     f.read_exact(&mut buf).map_err(at)?;
     Ok(u32::from_le_bytes(buf))
+}
+
+/// Best-effort move of `victims` into `<root>/quarantine/` — the same
+/// destination `hus fsck --repair` uses, so a rolled-back spill leaves
+/// the directory clean under a subsequent `fsck`. Missing victims are
+/// fine (an injected `ENOSPC` that wrote nothing leaves no tmp file);
+/// name collisions get a numeric suffix.
+fn quarantine(root: &std::path::Path, victims: &[std::path::PathBuf]) {
+    let qdir = root.join("quarantine");
+    for path in victims {
+        if !path.exists() {
+            continue;
+        }
+        let _ = std::fs::create_dir_all(&qdir);
+        let name = path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+        let mut target = qdir.join(&name);
+        let mut n = 1u32;
+        while target.exists() {
+            target = qdir.join(format!("{name}.{n}"));
+            n += 1;
+        }
+        let _ = std::fs::rename(path, &target);
+    }
 }
 
 #[cfg(test)]
@@ -950,5 +1092,113 @@ mod tests {
         let untouched =
             el.edges.iter().filter(|e| !matches!((e.src, e.dst), (1, 2) | (3, 4))).count() as u64;
         assert_eq!(dg.snapshot().unwrap().num_edges(), untouched + 2);
+    }
+
+    /// Reopen a built directory with a write-fault spec layered on.
+    fn faulty(root: &std::path::Path, spec: hus_storage::FaultSpec) -> StorageDir {
+        StorageDir::open(root).unwrap().with_faults(Some(spec))
+    }
+
+    #[test]
+    fn degraded_ingest_is_rejected_with_no_space() {
+        let el = rmat(40, 100, 34, RmatConfig::default());
+        let (_t, dir) = built(&el, 2);
+        let root = dir.root().to_path_buf();
+        let dir =
+            faulty(&root, hus_storage::FaultSpec { seed: 1, enospc: 1.0, ..Default::default() });
+        let resilience = dir.resilience();
+        let mut dg = DynamicGraph::open(dir).unwrap();
+        dg.insert_edge(1, 2, 1.0).unwrap(); // buffered; under budget, no spill yet
+        assert!(dg.flush().unwrap_err().is_no_space());
+        assert!(dg.is_degraded());
+        let buffered = dg.memtable_len();
+        // Every further ingest first retries the spill (which fails
+        // again under enospc=1.0) and is rejected without buffering.
+        assert!(dg.insert_edge(3, 4, 1.0).unwrap_err().is_no_space());
+        assert!(dg.delete_edge(1, 2).unwrap_err().is_no_space());
+        assert_eq!(dg.memtable_len(), buffered, "rejected ops must not be buffered");
+        // Reads keep serving: base generation plus the acked update.
+        assert!(edges_out(dg.snapshot().unwrap()).contains(&(1, 2)));
+        let snap = resilience.snapshot();
+        assert!(snap.write_faults >= 3, "every failed attempt drew a fault: {snap:?}");
+        assert!(snap.spill_rollbacks >= 3, "every failed attempt rolled back: {snap:?}");
+        assert_eq!(snap.degraded_mode_entries, 1, "one transition, not one per failure");
+        // Rollback quarantined every leftover; nothing stale in the root.
+        for entry in std::fs::read_dir(&root).unwrap().flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            assert!(!name.ends_with(".tmp"), "stray tmp file {name} after rollback");
+        }
+    }
+
+    #[test]
+    fn budget_spill_failure_is_swallowed_but_degrades() {
+        let el = rmat(40, 100, 36, RmatConfig::default());
+        let (_t, dir) = built(&el, 2);
+        let root = dir.root().to_path_buf();
+        let dir =
+            faulty(&root, hus_storage::FaultSpec { seed: 2, torn: 1.0, ..Default::default() });
+        let mut dg = DynamicGraph::open(dir).unwrap();
+        // Budget 1: every insert crosses it. The crossing update is
+        // acked — it was buffered before the spill was attempted — and
+        // survives the rollback in memory.
+        dg.memtable_budget = 1;
+        dg.insert_edge(1, 2, 1.0).unwrap();
+        assert!(dg.is_degraded());
+        assert_eq!(dg.memtable_len(), 1);
+        assert!(dg.insert_edge(2, 3, 1.0).is_err(), "degraded: next ingest is rejected");
+    }
+
+    #[test]
+    fn spill_failure_recovers_once_a_retry_succeeds() {
+        let el = rmat(50, 150, 37, RmatConfig::default());
+        let (_t, dir) = built(&el, 2);
+        let root = dir.root().to_path_buf();
+        // ~half of all writes fail: with a deterministic seed the flush
+        // retry loop must observe both a rollback and a later success.
+        let dir =
+            faulty(&root, hus_storage::FaultSpec { seed: 9, enospc: 0.5, ..Default::default() });
+        let mut dg = DynamicGraph::open(dir).unwrap();
+        dg.insert_edge(1, 2, 1.0).unwrap();
+        let (mut failures, mut committed) = (0u32, false);
+        for _ in 0..128 {
+            match dg.flush() {
+                Err(e) => {
+                    assert!(e.is_no_space(), "unexpected spill error: {e}");
+                    assert!(dg.is_degraded());
+                    failures += 1;
+                }
+                Ok(run) => {
+                    assert!(run.is_some(), "memtable non-empty until the spill commits");
+                    committed = true;
+                    break;
+                }
+            }
+        }
+        assert!(failures > 0 && committed, "seed must exercise both paths");
+        assert!(!dg.is_degraded(), "successful spill exits degraded mode");
+        assert_eq!(dg.run_count(), 1);
+        assert!(edges_out(dg.snapshot().unwrap()).contains(&(1, 2)));
+    }
+
+    #[test]
+    fn compaction_failure_rolls_back_and_degrades() {
+        let el = rmat(40, 100, 35, RmatConfig::default());
+        let (_t, dir) = built(&el, 2);
+        let root = dir.root().to_path_buf();
+        {
+            let mut dg = DynamicGraph::open(StorageDir::open(&root).unwrap()).unwrap();
+            dg.insert_edge(1, 2, 1.0).unwrap();
+            dg.flush().unwrap(); // fault-free: one committed run
+        }
+        let dir =
+            faulty(&root, hus_storage::FaultSpec { seed: 3, enospc: 1.0, ..Default::default() });
+        let resilience = dir.resilience();
+        let mut dg = DynamicGraph::open(dir).unwrap();
+        assert!(dg.compact().is_err());
+        assert!(dg.is_degraded());
+        assert_eq!(dg.run_count(), 1, "prior generation (base + run) intact");
+        assert!(resilience.snapshot().spill_rollbacks >= 1);
+        // Reads still serve the committed run through a fresh overlay.
+        assert!(edges_out(dg.snapshot().unwrap()).contains(&(1, 2)));
     }
 }

@@ -33,6 +33,8 @@ static ACTIVE_VERTICES_GAUGE: hus_obs::LazyGauge =
     hus_obs::LazyGauge::new("engine.active_vertices");
 /// Edges processed so far across the run.
 static EDGES_PROCESSED: hus_obs::LazyCounter = hus_obs::LazyCounter::new("engine.edges_processed");
+static CKPT_SAVE_FAILURES: hus_obs::LazyCounter =
+    hus_obs::LazyCounter::new("engine.ckpt_save_failures");
 /// Per-iteration relative error of the chosen model's predicted cost
 /// versus the iteration's modeled I/O seconds, in percent (non-gated
 /// hybrid iterations only; see [`crate::audit`]).
@@ -201,6 +203,54 @@ pub struct RunConfig {
     /// while buffered backends see it as producer-thread parallelism.
     /// Env override: `HUS_QUEUE_DEPTH`.
     pub queue_depth: usize,
+    /// Cooperative run deadline, checked once per iteration and at
+    /// every block boundary of the COP/ROP loops; `None` (the default)
+    /// disables it. Crossing the deadline aborts the run with the typed
+    /// [`StorageError::DeadlineExceeded`]. There is deliberately no env
+    /// override here — callers with a wall-clock budget (`hus serve`
+    /// reads `HUS_QUERY_DEADLINE_MS`) arm it via [`Deadline::after_ms`]
+    /// so the instant is anchored to *their* start of work.
+    pub deadline: Option<Deadline>,
+}
+
+/// A cooperative wall-clock deadline for one run, carried by
+/// [`RunConfig::deadline`] and enforced at block boundaries (the unit of
+/// I/O work — a slow query can never overshoot by more than one block's
+/// worth of processing).
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    /// Absolute cutoff instant.
+    pub at: Instant,
+    /// The millisecond budget that produced `at`, echoed in the typed
+    /// error so clients see the limit they ran into.
+    pub budget_ms: u64,
+}
+
+impl Deadline {
+    /// Arm a deadline `budget_ms` from now; `0` means disabled (`None`).
+    pub fn after_ms(budget_ms: u64) -> Option<Self> {
+        (budget_ms > 0).then(|| Deadline {
+            at: Instant::now() + std::time::Duration::from_millis(budget_ms),
+            budget_ms,
+        })
+    }
+
+    /// `Err(DeadlineExceeded)` once the cutoff has passed.
+    pub fn check(&self) -> Result<()> {
+        if Instant::now() >= self.at {
+            Err(StorageError::DeadlineExceeded { budget_ms: self.budget_ms })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Check an optional deadline — the no-deadline case is free.
+pub fn check_deadline(d: Option<&Deadline>) -> Result<()> {
+    match d {
+        Some(d) => d.check(),
+        None => Ok(()),
+    }
 }
 
 /// Default [`RunConfig::range_merge_slack`]: one 4 KiB device sector —
@@ -242,6 +292,7 @@ impl Default for RunConfig {
             verify_checksums: env_flag("HUS_VERIFY", false),
             checkpoint_every: env_parse("HUS_CKPT", 0),
             queue_depth: env_parse("HUS_QUEUE_DEPTH", DEFAULT_QUEUE_DEPTH),
+            deadline: None,
         }
     }
 }
@@ -413,6 +464,7 @@ impl<'a, Pr: VertexProgram> Engine<'a, Pr> {
         let mut converged = false;
 
         for iteration in start_iteration..self.config.max_iterations {
+            check_deadline(self.config.deadline.as_ref())?;
             let active_vertices = active.count();
             if active_vertices == 0 {
                 converged = true;
@@ -471,6 +523,7 @@ impl<'a, Pr: VertexProgram> Engine<'a, Pr> {
                 index_ratio: self.config.throughput.sequential_bps
                     / self.config.throughput.random_bps,
                 merge_slack: self.config.range_merge_slack,
+                deadline: self.config.deadline,
             };
             let readahead = self.config.effective_readahead();
             let queue_depth = self.config.queue_depth.max(1);
@@ -746,9 +799,21 @@ impl<'a, Pr: VertexProgram> Engine<'a, Pr> {
             if let Some(mgr) = &mut ckpt_mgr {
                 if (iteration + 1) % self.config.checkpoint_every as usize == 0 {
                     let values = store.read_all_current()?;
-                    let bytes = mgr.save(iteration as u64, &values, &active)?;
-                    ckpt_stats.written += 1;
-                    ckpt_stats.bytes += bytes;
+                    match mgr.save(iteration as u64, &values, &active) {
+                        Ok(bytes) => {
+                            ckpt_stats.written += 1;
+                            ckpt_stats.bytes += bytes;
+                        }
+                        // A failed save leaves a torn slot that
+                        // `load_latest` already skips, while the other
+                        // slot keeps the previous checkpoint — the run
+                        // continues one checkpoint older rather than
+                        // aborting.
+                        Err(e) => {
+                            CKPT_SAVE_FAILURES.incr();
+                            eprintln!("warning: checkpoint save failed ({e}); continuing");
+                        }
+                    }
                 }
             }
             // Crash point for the recovery test harness: armed via
@@ -855,6 +920,33 @@ mod tests {
         let rop = run_on(&el, 4, UpdateMode::ForceRop);
         let cop = run_on(&el, 4, UpdateMode::ForceCop);
         assert_eq!(rop, cop);
+    }
+
+    #[test]
+    fn expired_deadline_aborts_with_the_typed_error() {
+        let el = hus_gen::rmat(200, 1500, 4, hus_gen::RmatConfig::default());
+        let tmp = tempfile::tempdir().unwrap();
+        let dir = StorageDir::create(tmp.path().join("g")).unwrap();
+        let g = HusGraph::build_into(&el, &dir, &BuildConfig::with_p(4)).unwrap();
+        for mode in [UpdateMode::ForceRop, UpdateMode::ForceCop] {
+            // A cutoff already in the past: the run must abort at the
+            // first check with the typed error, under both models and
+            // both COP fetch paths (sync and pipelined) — the readahead
+            // fallback must not retry a crossed deadline.
+            let deadline = Some(Deadline {
+                at: Instant::now() - std::time::Duration::from_millis(1),
+                budget_ms: 7,
+            });
+            let config = RunConfig { mode, threads: 2, deadline, ..Default::default() };
+            let err = Engine::new(&g, &MinLabel, config).run().unwrap_err();
+            assert!(err.is_deadline(), "{mode:?}: {err}");
+            assert!(err.to_string().contains("7 ms"), "budget echoed: {err}");
+        }
+        // Sanity: the same graph finishes fine with a generous deadline.
+        let deadline = crate::engine::Deadline::after_ms(60_000);
+        let config = RunConfig { threads: 2, deadline, ..Default::default() };
+        let (_, stats) = Engine::new(&g, &MinLabel, config).run().unwrap();
+        assert!(stats.converged);
     }
 
     #[test]

@@ -535,6 +535,51 @@ mod tests {
     }
 
     #[test]
+    fn injected_write_fault_leftovers_quarantine_and_prior_generation_opens() {
+        let (_t, dir) = built(2);
+        // A committed spill first, so "prior generation" includes a
+        // manifest-listed run that must survive the mess below.
+        let mut dg = crate::delta::DynamicGraph::open(dir.clone()).unwrap();
+        dg.insert_edge(0, 1, 2.0).unwrap();
+        dg.flush().unwrap().unwrap();
+        drop(dg);
+        let gen_before = fsck(&dir, false).unwrap().generation;
+        assert!(gen_before.is_some());
+
+        // A torn writer persists a corrupted prefix and then fails —
+        // the on-disk shape an injected ENOSPC/torn spill leaves at the
+        // exact moment before rollback cleanup would run (i.e. what a
+        // crash inside the rollback itself leaves behind).
+        let torn = dir.clone().with_faults(Some(hus_storage::FaultSpec {
+            seed: 11,
+            torn: 1.0,
+            ..Default::default()
+        }));
+        let manifest_tmp = format!("{}.tmp", hus_storage::MANIFEST_FILE);
+        assert!(torn.durable_write(&manifest_tmp, b"generation 99\n").is_err());
+        assert!(torn.durable_write("delta_000031.run.tmp", &[0xAB; 64]).is_err());
+        assert!(dir.exists(&manifest_tmp), "torn write leaves a partial file");
+
+        let before = fsck(&dir, false).unwrap();
+        assert!(before.is_clean(), "partial tmp files are stale, not corruption");
+        assert_eq!(before.stale.len(), 2, "{:?}", before.stale);
+
+        let repaired = fsck(&dir, true).unwrap();
+        assert_eq!(repaired.repairs.len(), 2, "{:?}", repaired.repairs);
+        assert!(!dir.exists(&manifest_tmp));
+        assert!(!dir.exists("delta_000031.run.tmp"));
+        assert!(dir.root().join("quarantine").join(&manifest_tmp).is_file());
+
+        // The prior generation is untouched: same generation, clean
+        // fsck, and the graph (base + committed run) still opens.
+        let after = fsck(&dir, false).unwrap();
+        assert!(after.is_clean(), "{}", after.render());
+        assert_eq!(after.generation, gen_before);
+        let mut dg = crate::delta::DynamicGraph::open(dir.clone()).unwrap();
+        assert!(dg.snapshot().is_ok());
+    }
+
+    #[test]
     fn legacy_directory_without_manifest_is_checked_deeply() {
         let (_t, dir) = built(2);
         std::fs::remove_file(dir.path(hus_storage::MANIFEST_FILE)).unwrap();

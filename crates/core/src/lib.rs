@@ -59,7 +59,9 @@ pub mod vertex_store;
 pub use active::ActiveSet;
 pub use builder::{build, BuildConfig, PartitionStrategy};
 pub use delta::{DeltaOp, DynamicGraph};
-pub use engine::{Engine, RunConfig, SelectionGranularity, Synchrony, UpdateMode};
+pub use engine::{
+    check_deadline, Deadline, Engine, RunConfig, SelectionGranularity, Synchrony, UpdateMode,
+};
 pub use external::{build_external, BinaryFileSource, EdgeSource, ListSource};
 pub use fsck::{fsck, FsckReport};
 pub use graph::HusGraph;

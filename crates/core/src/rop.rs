@@ -54,6 +54,10 @@ pub struct IterCtx<'a, Pr: VertexProgram> {
     /// Merging is disabled whenever `coalesce_ratio <= 1.0` — if batched
     /// transfers are no faster than random ones there is nothing to win.
     pub merge_slack: u64,
+    /// Cooperative deadline
+    /// ([`RunConfig::deadline`](crate::engine::RunConfig)), checked at
+    /// every block boundary of the ROP/COP loops.
+    pub deadline: Option<crate::engine::Deadline>,
 }
 
 impl<Pr: VertexProgram> IterCtx<'_, Pr> {
@@ -144,6 +148,7 @@ pub fn run_row<Pr: VertexProgram>(
             if ctx.graph.out_block_len(row, j) == 0 {
                 return Ok(0);
             }
+            crate::engine::check_deadline(ctx.deadline.as_ref())?;
             let mut slot = d_all[j].lock();
             if slot.is_none() {
                 *slot = Some(load_d(ctx.program, store, j, false, Access::Sequential)?);
@@ -362,6 +367,7 @@ pub fn run_push_column<Pr: VertexProgram>(
         if actives.is_empty() {
             continue;
         }
+        crate::engine::check_deadline(ctx.deadline.as_ref())?;
         let s_row = store.load_current(i, Access::Sequential)?;
         pushed += push_block_into(ctx, i, col, base, &actives, &s_row, &mut d_col)?;
     }

@@ -76,7 +76,11 @@ pub const KNOBS: &[EnvKnob] = &[
         default: "unset",
         effect: "storage fault injection for resilience testing, e.g. \
                  `seed=7,eio=0.01,short=0.005,flip=0.001,delay=0.01,delay_ms=2` \
-                 (probabilities per read op; see `docs/FORMAT.md` and `DESIGN.md` §9)",
+                 (probabilities per read op) plus the write-path kinds \
+                 `enospc`, `shortw`, `torn` and `fsync_fail` (probabilities per \
+                 durable write; a fired write fault rolls the store back to the \
+                 prior generation and enters degraded mode — see `docs/FORMAT.md` \
+                 and `DESIGN.md` §9)",
     },
     EnvKnob {
         name: "HUS_HEATMAP",
@@ -143,6 +147,15 @@ pub const KNOBS: &[EnvKnob] = &[
                  `budget` error (`0` = unlimited; see `DESIGN.md` §12)",
     },
     EnvKnob {
+        name: "HUS_QUERY_DEADLINE_MS",
+        default: "`0`",
+        effect: "per-query wall-clock deadline of `hus serve` in milliseconds, \
+                 enforced cooperatively at block boundaries in the COP/ROP loops; \
+                 a crossed deadline aborts the query with a typed `deadline` error \
+                 (`0` = unlimited; CLI override `--deadline-ms`; see `DESIGN.md` \
+                 §12)",
+    },
+    EnvKnob {
         name: "HUS_QUEUE_DEPTH",
         default: "`8`",
         effect: "I/O queue depth: concurrent producer fetches per COP column walk and \
@@ -171,6 +184,14 @@ pub const KNOBS: &[EnvKnob] = &[
         default: "`127.0.0.1:7464`",
         effect: "listen address of the `hus serve` query daemon (`host:port`; port \
                  `0` binds an ephemeral port, printed on startup)",
+    },
+    EnvKnob {
+        name: "HUS_SERVE_IDLE_MS",
+        default: "`30000`",
+        effect: "reap a `hus serve` connection that has been idle (no complete \
+                 request line) for this many milliseconds so a stalled or silent \
+                 client can never hold a worker indefinitely (`0` = never; CLI \
+                 override `--idle-ms`)",
     },
     EnvKnob {
         name: "HUS_SERVE_MAX_INFLIGHT",

@@ -42,7 +42,7 @@ impl Admission {
     /// Try to win a slot. `None` means all slots are busy; the caller
     /// answers `busy` and moves on. On success the returned guard holds
     /// the slot until dropped and keeps `serve.active` current.
-    pub fn try_acquire(&self) -> Option<AdmissionGuard<'_>> {
+    pub fn try_acquire(&self) -> Option<SlotGuard<'_>> {
         let mut cur = self.active.load(Ordering::Relaxed);
         loop {
             if cur >= self.max {
@@ -57,7 +57,7 @@ impl Admission {
             ) {
                 Ok(_) => {
                     ACTIVE_GAUGE.set((cur + 1) as u64);
-                    return Some(AdmissionGuard { pool: self });
+                    return Some(SlotGuard { pool: self });
                 }
                 Err(seen) => cur = seen,
             }
@@ -75,12 +75,15 @@ impl Admission {
     }
 }
 
-/// RAII slot handle; dropping releases the slot.
-pub struct AdmissionGuard<'a> {
+/// RAII slot handle; dropping releases the slot. Release happens in
+/// `Drop` precisely so that *every* exit from a query — normal return,
+/// early `?`, or a panic unwinding through `catch_unwind` in the worker
+/// — gives the slot back; no code path can leak one permanently.
+pub struct SlotGuard<'a> {
     pool: &'a Admission,
 }
 
-impl Drop for AdmissionGuard<'_> {
+impl Drop for SlotGuard<'_> {
     fn drop(&mut self) {
         let prev = self.pool.active.fetch_sub(1, Ordering::AcqRel);
         ACTIVE_GAUGE.set(prev.saturating_sub(1) as u64);
@@ -206,6 +209,20 @@ mod tests {
         assert_eq!(a.active(), 2);
         drop(g1);
         assert_eq!(a.active(), 1);
+        assert!(a.try_acquire().is_some());
+    }
+
+    #[test]
+    fn slot_is_released_when_the_holder_panics() {
+        use std::sync::Arc;
+        let a = Arc::new(Admission::new(1));
+        let a2 = Arc::clone(&a);
+        let t = std::thread::spawn(move || {
+            let _slot = a2.try_acquire().expect("slot free");
+            panic!("query blew up");
+        });
+        assert!(t.join().is_err(), "thread must have panicked");
+        assert_eq!(a.active(), 0, "unwinding released the slot");
         assert!(a.try_acquire().is_some());
     }
 

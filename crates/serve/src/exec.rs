@@ -13,7 +13,7 @@
 //! scan is rejected before it starts, not after it finished.
 
 use hus_algos::{Bfs, PageRank, PersonalizedPageRank, Sssp, Wcc};
-use hus_core::{Engine, HusGraph, RunConfig, VertexProgram};
+use hus_core::{check_deadline, Deadline, Engine, HusGraph, RunConfig, VertexProgram};
 use hus_storage::pod;
 
 use crate::admission::ByteMeter;
@@ -42,6 +42,7 @@ fn fetch_neighbors(
     graph: &HusGraph,
     v: u32,
     meter: &mut ByteMeter,
+    deadline: Option<&Deadline>,
 ) -> Result<Vec<u32>, ServeError> {
     let i = interval_of(graph, v)?;
     let meta = graph.meta();
@@ -52,6 +53,7 @@ fn fetch_neighbors(
         if graph.out_block_len(i, j) == 0 {
             continue;
         }
+        check_deadline(deadline)?;
         meter.charge(8)?;
         let (lo, hi) = graph.load_out_index_entry(i, j, local)?;
         if hi > lo {
@@ -73,6 +75,7 @@ fn khop(
     v: u32,
     depth: u32,
     meter: &mut ByteMeter,
+    deadline: Option<&Deadline>,
 ) -> Result<(Vec<u32>, Vec<u64>), ServeError> {
     interval_of(graph, v)?;
     let n = graph.meta().num_vertices as usize;
@@ -83,7 +86,7 @@ fn khop(
     for _ in 0..depth {
         let mut next = Vec::new();
         for &u in &frontier {
-            for w in fetch_neighbors(graph, u, meter)? {
+            for w in fetch_neighbors(graph, u, meter, deadline)? {
                 if !visited[w as usize] {
                     visited[w as usize] = true;
                     next.push(w);
@@ -113,20 +116,25 @@ fn run_program<Pr: VertexProgram>(
     program: &Pr,
     threads: usize,
     max_iterations: usize,
+    deadline: Option<&Deadline>,
 ) -> Result<Vec<Pr::Value>, ServeError> {
-    let config = RunConfig { threads, max_iterations, ..Default::default() };
+    let config =
+        RunConfig { threads, max_iterations, deadline: deadline.copied(), ..Default::default() };
     let (values, _stats) = Engine::new(graph, program, config).run()?;
     Ok(values)
 }
 
 /// Execute one query op against `snap`, appending result fields to
 /// `resp`. Admin ops (`status`, `shutdown`) are the server's job and
-/// rejected here.
+/// rejected here. `deadline`, when set, is checked cooperatively at
+/// block boundaries of every fetch loop and engine iteration; crossing
+/// it surfaces as the typed `deadline` error.
 pub fn execute(
     snap: &GraphSnapshot,
     op: &Op,
     meter: &mut ByteMeter,
     threads: usize,
+    deadline: Option<&Deadline>,
     resp: ResponseBuilder,
 ) -> Result<ResponseBuilder, ServeError> {
     let graph = snap.graph();
@@ -138,7 +146,7 @@ pub fn execute(
             Ok(resp.u64("degree", u64::from(graph.out_degrees()[v as usize])))
         }
         Op::Neighbors { v } => {
-            let nbrs = fetch_neighbors(graph, v, meter)?;
+            let nbrs = fetch_neighbors(graph, v, meter, deadline)?;
             let hash = fnv1a64(pod::as_bytes(&nbrs));
             Ok(resp
                 .u64("count", nbrs.len() as u64)
@@ -146,7 +154,7 @@ pub fn execute(
                 .u64("hash", hash))
         }
         Op::KHop { v, depth } => {
-            let (visited, frontier) = khop(graph, v, depth, meter)?;
+            let (visited, frontier) = khop(graph, v, depth, meter, deadline)?;
             let hash = fnv1a64(pod::as_bytes(&visited));
             Ok(resp
                 .u64("count", visited.len() as u64)
@@ -156,20 +164,20 @@ pub fn execute(
         Op::Bfs { source } => {
             interval_of(graph, source)?;
             preflight(graph, 1, meter)?;
-            let levels = run_program(graph, &Bfs::new(source), threads, 1_000)?;
+            let levels = run_program(graph, &Bfs::new(source), threads, 1_000, deadline)?;
             let reached = levels.iter().filter(|&&l| l != hus_algos::UNREACHED).count();
             Ok(resp.u64("reached", reached as u64).u64("hash", fnv1a64(pod::as_bytes(&levels))))
         }
         Op::Sssp { source } => {
             interval_of(graph, source)?;
             preflight(graph, 1, meter)?;
-            let dist = run_program(graph, &Sssp::new(source), threads, 1_000)?;
+            let dist = run_program(graph, &Sssp::new(source), threads, 1_000, deadline)?;
             let reached = dist.iter().filter(|d| d.is_finite()).count();
             Ok(resp.u64("reached", reached as u64).u64("hash", fnv1a64(pod::as_bytes(&dist))))
         }
         Op::Wcc => {
             preflight(graph, 1, meter)?;
-            let labels = run_program(graph, &Wcc, threads, 1_000)?;
+            let labels = run_program(graph, &Wcc, threads, 1_000, deadline)?;
             let mut roots: Vec<u32> = labels.clone();
             roots.sort_unstable();
             roots.dedup();
@@ -180,15 +188,28 @@ pub fn execute(
         Op::PageRank { iters } => {
             preflight(graph, u64::from(iters), meter)?;
             let n = graph.meta().num_vertices;
-            let ranks = run_program(graph, &PageRank::new(n), threads, iters as usize)?;
+            let ranks = run_program(graph, &PageRank::new(n), threads, iters as usize, deadline)?;
             Ok(finish_ranks(resp, &ranks))
         }
         Op::Ppr { source, iters } => {
             interval_of(graph, source)?;
             preflight(graph, u64::from(iters), meter)?;
-            let ranks =
-                run_program(graph, &PersonalizedPageRank::new(source), threads, iters as usize)?;
+            let ranks = run_program(
+                graph,
+                &PersonalizedPageRank::new(source),
+                threads,
+                iters as usize,
+                deadline,
+            )?;
             Ok(finish_ranks(resp, &ranks))
+        }
+        // Chaos-harness ops: the server gates these behind
+        // `ServeConfig::chaos_ops` before calling in; executing one here
+        // exercises the worker's panic containment / slow-query paths.
+        Op::ChaosPanic => panic!("chaos_panic op requested by the chaos harness"),
+        Op::ChaosSleep { ms } => {
+            std::thread::sleep(std::time::Duration::from_millis(ms.min(10_000)));
+            Ok(resp.u64("slept_ms", ms.min(10_000)))
         }
         Op::Status | Op::Shutdown => {
             Err(ServeError::BadRequest("admin ops are handled by the server".into()))
@@ -227,7 +248,7 @@ mod tests {
         let g = snap.graph();
         let mut meter = ByteMeter::new(0);
         for v in 0..g.meta().num_vertices {
-            let nbrs = fetch_neighbors(g, v, &mut meter).unwrap();
+            let nbrs = fetch_neighbors(g, v, &mut meter, None).unwrap();
             assert_eq!(nbrs.len() as u32, g.out_degrees()[v as usize], "vertex {v}");
             assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "vertex {v} not sorted");
         }
@@ -240,8 +261,8 @@ mod tests {
         let snap = mgr.current();
         let g = snap.graph();
         let depth = 2u32;
-        let (visited, _) = khop(g, 0, depth, &mut ByteMeter::new(0)).unwrap();
-        let levels = run_program(g, &Bfs::new(0), 1, 1_000).unwrap();
+        let (visited, _) = khop(g, 0, depth, &mut ByteMeter::new(0), None).unwrap();
+        let levels = run_program(g, &Bfs::new(0), 1, 1_000, None).unwrap();
         let expected: Vec<u32> =
             (0..g.meta().num_vertices).filter(|&v| levels[v as usize] <= depth).collect();
         assert_eq!(visited, expected);
@@ -256,10 +277,33 @@ mod tests {
             &Op::Degree { v: 10_000 },
             &mut ByteMeter::new(0),
             1,
+            None,
             ResponseBuilder::ok(None, snap.generation()),
         )
         .unwrap_err();
         assert_eq!(err.code(), "bad_request");
+    }
+
+    #[test]
+    fn expired_deadline_yields_the_typed_code() {
+        let (_tmp, mgr) = snapshot();
+        let snap = mgr.current();
+        let past = Deadline {
+            at: std::time::Instant::now() - std::time::Duration::from_millis(1),
+            budget_ms: 3,
+        };
+        for op in [Op::Neighbors { v: 0 }, Op::KHop { v: 0, depth: 3 }, Op::Wcc] {
+            let err = execute(
+                &snap,
+                &op,
+                &mut ByteMeter::new(0),
+                1,
+                Some(&past),
+                ResponseBuilder::ok(None, snap.generation()),
+            )
+            .unwrap_err();
+            assert_eq!(err.code(), "deadline", "{op:?}: {err}");
+        }
     }
 
     #[test]
@@ -271,6 +315,7 @@ mod tests {
             &Op::PageRank { iters: 5 },
             &mut ByteMeter::new(16),
             1,
+            None,
             ResponseBuilder::ok(None, snap.generation()),
         )
         .unwrap_err();

@@ -42,7 +42,7 @@ pub mod protocol;
 pub mod server;
 pub mod snapshot;
 
-pub use admission::{Admission, ByteMeter};
+pub use admission::{Admission, ByteMeter, SlotGuard};
 pub use client::Client;
 pub use protocol::{Op, Request};
 pub use server::{serve, Server};
@@ -56,11 +56,19 @@ pub const SERVE_ADDR_ENV: &str = "HUS_SERVE_ADDR";
 pub const MAX_INFLIGHT_ENV: &str = "HUS_SERVE_MAX_INFLIGHT";
 /// Env knob bounding per-query I/O bytes (0 = unlimited).
 pub const BYTE_BUDGET_ENV: &str = "HUS_QUERY_BYTE_BUDGET";
+/// Env knob bounding per-query wall-clock milliseconds (0 = unlimited).
+pub const QUERY_DEADLINE_ENV: &str = "HUS_QUERY_DEADLINE_MS";
+/// Env knob bounding how long an idle connection may hold a worker
+/// between requests, in milliseconds (0 = forever).
+pub const IDLE_MS_ENV: &str = "HUS_SERVE_IDLE_MS";
 
 /// Default listen address when `HUS_SERVE_ADDR` is unset.
 pub const DEFAULT_ADDR: &str = "127.0.0.1:7464";
 /// Default `HUS_SERVE_MAX_INFLIGHT`.
 pub const DEFAULT_MAX_INFLIGHT: usize = 8;
+/// Default `HUS_SERVE_IDLE_MS`: a stalled or silent client is reaped
+/// after 30 s so it can never hold a worker indefinitely.
+pub const DEFAULT_IDLE_MS: u64 = 30_000;
 
 /// A query-level failure, carried back to the client as
 /// `{"ok":false,"code":...,"error":...}`.
@@ -79,6 +87,15 @@ pub enum ServeError {
     Overloaded,
     /// The request was malformed (unknown op, bad vertex id, …).
     BadRequest(String),
+    /// The query crossed its per-query wall-clock deadline
+    /// (`HUS_QUERY_DEADLINE_MS` / `--deadline-ms`).
+    Deadline {
+        /// The millisecond budget the query ran into.
+        budget_ms: u64,
+    },
+    /// The query worker panicked; the panic was contained, the slot
+    /// released, and the daemon keeps serving.
+    Panicked(String),
     /// The underlying storage layer failed.
     Storage(StorageError),
 }
@@ -90,7 +107,8 @@ impl ServeError {
             ServeError::BudgetExceeded { .. } => "budget",
             ServeError::Overloaded => "busy",
             ServeError::BadRequest(_) => "bad_request",
-            ServeError::Storage(_) => "internal",
+            ServeError::Deadline { .. } => "deadline",
+            ServeError::Panicked(_) | ServeError::Storage(_) => "internal",
         }
     }
 }
@@ -103,6 +121,10 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::Overloaded => write!(f, "server busy: all query slots in use"),
             ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::Deadline { budget_ms } => {
+                write!(f, "query deadline of {budget_ms} ms exceeded")
+            }
+            ServeError::Panicked(msg) => write!(f, "query worker panicked: {msg}"),
             ServeError::Storage(e) => write!(f, "storage error: {e}"),
         }
     }
@@ -112,7 +134,12 @@ impl std::error::Error for ServeError {}
 
 impl From<StorageError> for ServeError {
     fn from(e: StorageError) -> Self {
-        ServeError::Storage(e)
+        match e {
+            // Surface the engine's cooperative-deadline abort as the
+            // typed wire error, not a generic `internal`.
+            StorageError::DeadlineExceeded { budget_ms } => ServeError::Deadline { budget_ms },
+            other => ServeError::Storage(other),
+        }
     }
 }
 
@@ -136,6 +163,20 @@ pub struct ServeConfig {
     pub query_threads: usize,
     /// Milliseconds between snapshot-refresh polls of the `MANIFEST`.
     pub refresh_interval_ms: u64,
+    /// Per-query wall-clock deadline in milliseconds, enforced
+    /// cooperatively at block boundaries in the engine loops; 0 (the
+    /// default) disables it. Crossed deadlines return the typed
+    /// `deadline` error.
+    pub deadline_ms: u64,
+    /// Reap a connection that has been idle (no complete request line)
+    /// for this many milliseconds; 0 = never. Defaults to
+    /// [`DEFAULT_IDLE_MS`] so a stalled reader cannot hold a worker
+    /// forever.
+    pub idle_ms: u64,
+    /// Accept the `chaos_panic` / `chaos_sleep` test ops. Never set
+    /// from the environment — only the chaos harness flips it, so a
+    /// production daemon always rejects them as `bad_request`.
+    pub chaos_ops: bool,
 }
 
 fn env_parse<T: std::str::FromStr>(name: &str, default: T) -> T {
@@ -156,6 +197,9 @@ impl ServeConfig {
             accept_queue: (max_inflight * 4).max(16),
             query_threads: 1,
             refresh_interval_ms: 200,
+            deadline_ms: env_parse(QUERY_DEADLINE_ENV, 0u64),
+            idle_ms: env_parse(IDLE_MS_ENV, DEFAULT_IDLE_MS),
+            chaos_ops: false,
         }
     }
 }
@@ -188,6 +232,17 @@ mod tests {
         assert_eq!(ServeError::BudgetExceeded { needed: 9, budget: 1 }.code(), "budget");
         assert_eq!(ServeError::Overloaded.code(), "busy");
         assert_eq!(ServeError::BadRequest("x".into()).code(), "bad_request");
+        assert_eq!(ServeError::Deadline { budget_ms: 5 }.code(), "deadline");
+        assert_eq!(ServeError::Panicked("boom".into()).code(), "internal");
+    }
+
+    #[test]
+    fn deadline_storage_errors_map_to_the_typed_code() {
+        let e = ServeError::from(StorageError::DeadlineExceeded { budget_ms: 42 });
+        assert_eq!(e.code(), "deadline");
+        assert!(e.to_string().contains("42 ms"));
+        let e = ServeError::from(StorageError::Corrupt("x".into()));
+        assert_eq!(e.code(), "internal");
     }
 
     #[test]

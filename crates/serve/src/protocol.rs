@@ -82,6 +82,16 @@ pub enum Op {
     Status,
     /// Graceful drain and exit (bypasses admission).
     Shutdown,
+    /// Chaos-harness op: panic inside the query worker. Rejected as
+    /// `bad_request` unless the server was built with
+    /// [`crate::ServeConfig::chaos_ops`] — never enabled in production.
+    ChaosPanic,
+    /// Chaos-harness op: hold an admission slot for `ms` milliseconds.
+    /// Gated exactly like [`Op::ChaosPanic`].
+    ChaosSleep {
+        /// How long to sleep while holding the slot.
+        ms: u64,
+    },
 }
 
 impl Op {
@@ -155,6 +165,8 @@ pub fn parse_request(line: &str) -> Result<Request, ServeError> {
         "ppr" => Op::Ppr { source: get_u32(&v, "source")?, iters: get_u32_or(&v, "iters", 10)? },
         "status" => Op::Status,
         "shutdown" => Op::Shutdown,
+        "chaos_panic" => Op::ChaosPanic,
+        "chaos_sleep" => Op::ChaosSleep { ms: get_u64(&v, "ms").unwrap_or(100) },
         other => return Err(ServeError::BadRequest(format!("unknown op `{other}`"))),
     };
     Ok(Request { id, op })
@@ -238,6 +250,8 @@ mod tests {
             (r#"{"op":"ppr","source":2,"iters":5}"#, Op::Ppr { source: 2, iters: 5 }),
             (r#"{"op":"status"}"#, Op::Status),
             (r#"{"op":"shutdown"}"#, Op::Shutdown),
+            (r#"{"op":"chaos_panic"}"#, Op::ChaosPanic),
+            (r#"{"op":"chaos_sleep","ms":250}"#, Op::ChaosSleep { ms: 250 }),
         ];
         for (line, want) in cases {
             assert_eq!(parse_request(line).unwrap().op, want, "line: {line}");

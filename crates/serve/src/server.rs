@@ -38,6 +38,11 @@ static LOOKUP_LATENCY: hus_obs::LazyHistogram =
     hus_obs::LazyHistogram::new("serve.latency_lookup_ns");
 static ANALYTICS_LATENCY: hus_obs::LazyHistogram =
     hus_obs::LazyHistogram::new("serve.latency_analytics_ns");
+/// Query-worker panics contained by `catch_unwind` (the daemon stayed
+/// up and the client got a typed `internal` error).
+static WORKER_PANICS: hus_obs::LazyCounter = hus_obs::LazyCounter::new("serve.worker_panics");
+/// Connections closed for sitting idle past `HUS_SERVE_IDLE_MS`.
+static IDLE_REAPED: hus_obs::LazyCounter = hus_obs::LazyCounter::new("serve.idle_reaped");
 
 /// Set by the SIGINT/SIGTERM handler; polled by the accept loop.
 static SIGNALLED: AtomicBool = AtomicBool::new(false);
@@ -102,7 +107,17 @@ pub fn serve(dir: StorageDir, config: ServeConfig) -> Result<Server> {
         let config = config.clone();
         workers.push(std::thread::spawn(move || {
             while let Some(stream) = queue.pop() {
-                handle_connection(stream, &mgr, &admission, &stop, &config);
+                // Outer containment: even a panic that escapes the
+                // per-query `catch_unwind` in `handle_line` (e.g. from
+                // connection plumbing) must not kill the worker — the
+                // pool is fixed-size, so a dead worker would shrink
+                // serving capacity for the daemon's whole lifetime.
+                let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    handle_connection(stream, &mgr, &admission, &stop, &config);
+                }));
+                if caught.is_err() {
+                    WORKER_PANICS.incr();
+                }
             }
         }));
     }
@@ -229,9 +244,13 @@ fn handle_connection(
     config: &ServeConfig,
 ) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    // A stalled *reader* must not hold a worker either: bound how long
+    // a response write may block before the connection is dropped.
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
     let _ = stream.set_nodelay(true);
     let mut buf = Vec::new();
     let mut chunk = [0u8; 4096];
+    let mut last_activity = std::time::Instant::now();
     loop {
         // Serve every complete line currently buffered.
         while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
@@ -253,12 +272,24 @@ fn handle_connection(
         }
         match stream.read(&mut chunk) {
             Ok(0) => return,
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                last_activity = std::time::Instant::now();
+            }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
-                // Idle poll: loop to re-check the stop flag.
+                // Idle poll: re-check the stop flag, and reap the
+                // connection once it has sat silent past the idle
+                // budget — a worker is too scarce to park on a client
+                // that stopped talking.
+                if config.idle_ms > 0
+                    && last_activity.elapsed() >= Duration::from_millis(config.idle_ms)
+                {
+                    IDLE_REAPED.incr();
+                    return;
+                }
             }
             Err(_) => return,
         }
@@ -296,19 +327,49 @@ fn handle_line(
             ResponseBuilder::ok(req.id, snap.generation()).u64("draining", 1).render()
         }
         ref op => {
+            // Chaos ops exist only for the fault harness; a server not
+            // built with `chaos_ops` treats them as unknown requests.
+            if matches!(op, Op::ChaosPanic | Op::ChaosSleep { .. }) && !config.chaos_ops {
+                return error_response(
+                    req.id,
+                    &ServeError::BadRequest("chaos ops are not enabled on this server".into()),
+                );
+            }
             let Some(_slot) = admission.try_acquire() else {
                 return error_response(req.id, &ServeError::Overloaded);
             };
             let timer = hus_obs::latency_timer();
+            let deadline = hus_core::Deadline::after_ms(config.deadline_ms);
             let mut meter = ByteMeter::new(config.byte_budget);
             let resp = ResponseBuilder::ok(req.id, snap.generation());
-            let result = exec::execute(&snap, op, &mut meter, config.query_threads, resp);
+            // The slot guard is held *outside* `catch_unwind`: if the
+            // query panics, unwinding drops `_slot` and gives the slot
+            // back before we build the error line — the daemon keeps
+            // its full capacity no matter how the query died.
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                exec::execute(&snap, op, &mut meter, config.query_threads, deadline.as_ref(), resp)
+            }));
             let hist = if op.is_analytics() { &ANALYTICS_LATENCY } else { &LOOKUP_LATENCY };
             hist.record_elapsed(timer);
-            match result {
-                Ok(resp) => resp.u64("bytes", meter.spent()).render(),
-                Err(e) => error_response(req.id, &e),
+            match caught {
+                Ok(Ok(resp)) => resp.u64("bytes", meter.spent()).render(),
+                Ok(Err(e)) => error_response(req.id, &e),
+                Err(payload) => {
+                    WORKER_PANICS.incr();
+                    error_response(req.id, &ServeError::Panicked(panic_message(&*payload)))
+                }
             }
         }
+    }
+}
+
+/// Best-effort human-readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }

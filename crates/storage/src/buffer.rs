@@ -1,6 +1,7 @@
 //! Streaming helpers: buffered tracked writing and chunked block scans.
 
 use crate::error::{Result, StorageError};
+use crate::fault::{FaultInjectWriter, WriteFault};
 use crate::pod::{self, Pod};
 use crate::tracker::{Access, IoTracker};
 use crate::ReadBackend;
@@ -19,6 +20,7 @@ pub struct TrackedWriter {
     inner: BufWriter<File>,
     tracker: Arc<IoTracker>,
     written: u64,
+    faults: Option<Arc<FaultInjectWriter>>,
 }
 
 impl TrackedWriter {
@@ -31,11 +33,34 @@ impl TrackedWriter {
             inner: BufWriter::with_capacity(1 << 20, file),
             tracker,
             written: 0,
+            faults: None,
         })
+    }
+
+    /// Attach a write-fault injector: each `write_all` draws transient
+    /// write faults (ENOSPC / short write / torn) and `finish_synced`
+    /// draws the fsync-failure kind, so a streaming build exercises the
+    /// same failure modes as whole-file durable writes.
+    pub fn with_faults(mut self, faults: Arc<FaultInjectWriter>) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     /// Append raw bytes.
     pub fn write_all(&mut self, data: &[u8]) -> Result<()> {
+        if let Some(inj) = &self.faults {
+            match inj.draw_stream(data.len()) {
+                None | Some(WriteFault::FsyncFail) => {}
+                Some(fault @ WriteFault::Enospc) => {
+                    return Err(FaultInjectWriter::error_of(fault, &self.path));
+                }
+                Some(fault @ (WriteFault::ShortWrite { keep } | WriteFault::Torn { keep })) => {
+                    let _ = self.inner.write_all(&data[..keep]);
+                    self.written += keep as u64;
+                    return Err(FaultInjectWriter::error_of(fault, &self.path));
+                }
+            }
+        }
         self.inner.write_all(data).map_err(|e| StorageError::io_at(&self.path, e))?;
         self.written += data.len() as u64;
         Ok(())
@@ -70,6 +95,12 @@ impl TrackedWriter {
     /// on; see DESIGN.md §10.
     pub fn finish_synced(mut self) -> Result<u64> {
         self.inner.flush().map_err(|e| StorageError::io_at(&self.path, e))?;
+        if let Some(inj) = &self.faults {
+            if inj.draw_fsync() {
+                self.tracker.record_write(self.written);
+                return Err(FaultInjectWriter::error_of(WriteFault::FsyncFail, &self.path));
+            }
+        }
         if crate::durable::fsync_enabled() {
             self.inner.get_ref().sync_all().map_err(|e| StorageError::io_at(&self.path, e))?;
         }

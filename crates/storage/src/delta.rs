@@ -334,9 +334,12 @@ impl DeltaRun {
     pub fn write_to(&self, dir: &StorageDir) -> Result<String> {
         let name = self.file_name();
         let bytes = self.encode()?;
-        let tmp = dir.path(&format!("{name}.tmp"));
-        std::fs::write(&tmp, &bytes).map_err(|e| StorageError::io_at(&tmp, e))?;
-        durable::sync_file(&tmp)?;
+        // Routed through the directory's write-fault injector (when
+        // configured): a drawn fault damages only the tmp file, which
+        // the caller's rollback quarantines.
+        let tmp_name = format!("{name}.tmp");
+        dir.durable_write(&tmp_name, &bytes)?;
+        let tmp = dir.path(&tmp_name);
         durable::crash_point("delta.run_tmp");
         let dst = dir.path(&name);
         std::fs::rename(&tmp, &dst).map_err(|e| StorageError::io_at(&dst, e))?;

@@ -10,7 +10,7 @@ use crate::cache::CachedBackend;
 use crate::direct::DirectBackend;
 use crate::durable;
 use crate::error::{Result, StorageError};
-use crate::fault::{FaultInjectBackend, FaultSpec};
+use crate::fault::{FaultInjectBackend, FaultInjectWriter, FaultSpec};
 use crate::file::{FileBackend, TrackedFile};
 use crate::manifest::BuildManifest;
 use crate::mmap::MmapBackend;
@@ -88,6 +88,7 @@ pub struct StorageDir {
     resilience: Arc<ResilienceTracker>,
     retry: RetryPolicy,
     faults: Option<FaultSpec>,
+    write_faults: Option<Arc<FaultInjectWriter>>,
 }
 
 impl StorageDir {
@@ -117,14 +118,30 @@ impl StorageDir {
     }
 
     fn assemble(root: PathBuf, kind: BackendKind) -> Self {
+        let resilience = Arc::new(ResilienceTracker::new());
+        let faults = FaultSpec::from_env();
+        let write_faults = Self::write_injector_for(faults, &resilience);
         StorageDir {
             root,
             tracker: Arc::new(IoTracker::new()),
             kind,
-            resilience: Arc::new(ResilienceTracker::new()),
+            resilience,
             retry: RetryPolicy::from_env(),
-            faults: FaultSpec::from_env(),
+            faults,
+            write_faults,
         }
+    }
+
+    /// A shared write-fault injector for `faults`, when the spec has any
+    /// write-side probability. The injector is shared by subdirectories
+    /// and staging clones so the write-op draw counter spans the tree.
+    fn write_injector_for(
+        faults: Option<FaultSpec>,
+        resilience: &Arc<ResilienceTracker>,
+    ) -> Option<Arc<FaultInjectWriter>> {
+        faults
+            .filter(FaultSpec::injects_write_faults)
+            .map(|s| Arc::new(FaultInjectWriter::new(s, Arc::clone(resilience))))
     }
 
     /// Switch the read backend (builder-style).
@@ -138,6 +155,7 @@ impl StorageDir {
     /// of mutating process-global environment variables.
     pub fn with_faults(mut self, spec: Option<FaultSpec>) -> Self {
         self.faults = spec.filter(FaultSpec::injects_faults);
+        self.write_faults = Self::write_injector_for(self.faults, &self.resilience);
         self
     }
 
@@ -160,6 +178,7 @@ impl StorageDir {
             resilience: Arc::clone(&self.resilience),
             retry: self.retry,
             faults: self.faults,
+            write_faults: self.write_faults.clone(),
         })
     }
 
@@ -249,7 +268,8 @@ impl StorageDir {
                 Arc::new(FileBackend::open(p, self.tracker())?)
             }
         };
-        let faulty: Arc<dyn ReadBackend> = match self.faults {
+        let faulty: Arc<dyn ReadBackend> = match self.faults.filter(FaultSpec::injects_read_faults)
+        {
             Some(spec) => Arc::new(FaultInjectBackend::new(base, spec)),
             None => base,
         };
@@ -262,13 +282,47 @@ impl StorageDir {
     }
 
     /// Create (truncate) a named file and return a buffered tracked
-    /// writer for streaming output.
+    /// writer for streaming output. When the directory carries a
+    /// write-fault spec the writer injects per-operation faults, so the
+    /// staged builder's shard streams exercise the same failure modes
+    /// as whole-file durable writes.
     pub fn writer(&self, name: &str) -> Result<TrackedWriter> {
         if let Some(parent) = self.path(name).parent() {
             std::fs::create_dir_all(parent)
                 .map_err(|e| StorageError::io_at(parent.to_path_buf(), e))?;
         }
-        TrackedWriter::create(self.path(name), self.tracker())
+        let w = TrackedWriter::create(self.path(name), self.tracker())?;
+        Ok(match &self.write_faults {
+            Some(inj) => w.with_faults(Arc::clone(inj)),
+            None => w,
+        })
+    }
+
+    /// The shared write-fault injector, when this directory tree
+    /// carries a write-fault spec.
+    pub fn write_injector(&self) -> Option<Arc<FaultInjectWriter>> {
+        self.write_faults.clone()
+    }
+
+    /// Durably write a whole named file: write + fsync, routed through
+    /// the write-fault injector when one is configured. This is the
+    /// write primitive under every commit-protocol artifact that is
+    /// first produced tmp-named and then renamed into place (delta-run
+    /// spills, `MANIFEST` rewrites, checkpoint slots) — a drawn fault
+    /// therefore never damages a committed file, only the tmp copy.
+    pub fn durable_write(&self, name: &str, bytes: &[u8]) -> Result<()> {
+        let p = self.path(name);
+        if let Some(parent) = p.parent() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| StorageError::io_at(parent.to_path_buf(), e))?;
+        }
+        match &self.write_faults {
+            Some(inj) => inj.durable_write(&p, bytes),
+            None => {
+                std::fs::write(&p, bytes).map_err(|e| StorageError::io_at(&p, e))?;
+                durable::sync_file(&p)
+            }
+        }
     }
 
     /// Open (creating if needed) a named file for tracked positioned
@@ -322,6 +376,7 @@ impl StorageDir {
             resilience: Arc::clone(&self.resilience),
             retry: self.retry,
             faults: self.faults,
+            write_faults: self.write_faults.clone(),
         }
     }
 

@@ -73,6 +73,15 @@ pub enum StorageError {
         /// How it disagrees (expected vs found).
         detail: String,
     },
+    /// A cooperatively cancelled operation: its per-query deadline
+    /// passed before it finished. Checked at block boundaries in the
+    /// COP/ROP loops, so partial work is abandoned cleanly — nothing
+    /// on disk is touched. Neither transient (retrying cannot beat an
+    /// already-expired deadline) nor corruption.
+    DeadlineExceeded {
+        /// Milliseconds the operation had been granted.
+        budget_ms: u64,
+    },
 }
 
 impl StorageError {
@@ -116,6 +125,21 @@ impl StorageError {
                 | StorageError::ManifestMismatch { .. }
         )
     }
+
+    /// Whether this error is a (real or injected) out-of-space
+    /// condition — the class a degraded dynamic graph reports for
+    /// rejected ingest while the disk stays full.
+    pub fn is_no_space(&self) -> bool {
+        matches!(
+            self,
+            StorageError::Io { source, .. } if source.raw_os_error() == Some(28) /* ENOSPC */
+        )
+    }
+
+    /// Whether this error is a cooperative deadline cancellation.
+    pub fn is_deadline(&self) -> bool {
+        matches!(self, StorageError::DeadlineExceeded { .. })
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -144,6 +168,9 @@ impl fmt::Display for StorageError {
             }
             StorageError::ManifestMismatch { path, file, detail } => {
                 write!(f, "manifest mismatch in {}: {file}: {detail}", path.display())
+            }
+            StorageError::DeadlineExceeded { budget_ms } => {
+                write!(f, "query deadline of {budget_ms} ms exceeded")
             }
         }
     }
@@ -246,5 +273,23 @@ mod tests {
         let msg = mismatch.to_string();
         assert!(msg.contains("out_0.index"), "{msg}");
         assert!(msg.contains("expected 128 bytes, found 100"), "{msg}");
+    }
+
+    #[test]
+    fn no_space_and_deadline_classification() {
+        let enospc: StorageError = io::Error::from_raw_os_error(28).into();
+        assert!(enospc.is_no_space());
+        assert!(!enospc.is_transient(), "a full disk does not clear on retry");
+        assert!(!enospc.is_corruption());
+        let eio: StorageError = io::Error::from_raw_os_error(5).into();
+        assert!(!eio.is_no_space());
+
+        let deadline = StorageError::DeadlineExceeded { budget_ms: 250 };
+        assert!(deadline.is_deadline());
+        assert!(!deadline.is_transient());
+        assert!(!deadline.is_corruption());
+        assert!(!deadline.is_no_space());
+        let msg = deadline.to_string();
+        assert!(msg.contains("250 ms"), "{msg}");
     }
 }

@@ -18,11 +18,37 @@
 //! * **Latency spike** (`delay_p=p`, `delay_ms=n`) — the read sleeps
 //!   `n` ms before being served, exercising timeout-adjacent paths.
 //!
+//! The **write side** mirrors this through [`FaultInjectWriter`], which
+//! sits under every durable write (delta-run spills, `MANIFEST`
+//! rewrites, checkpoint slots, the staged builder's shard streams — see
+//! DESIGN.md §9). Four write-fault kinds share the same grammar:
+//!
+//! * **`enospc=p`** — the write fails with the raw OS error `ENOSPC`
+//!   before a single byte lands, modeling a full disk.
+//! * **`shortw=p`** — a deterministic prefix of the payload is written,
+//!   then the write fails with `WriteZero`, modeling a device that
+//!   accepted fewer bytes than asked.
+//! * **`torn=p`** — a deterministic prefix is written and the failure
+//!   only surfaces at fsync time (raw `EIO`), modeling a tear that a
+//!   crash would have produced mid-file.
+//! * **`fsync_fail=p`** — the full payload is written but the fsync
+//!   fails (raw `EIO`): the bytes' durability is unknown, so callers
+//!   must treat the write as failed.
+//!
+//! Every write-path fire is counted in `resilience.write_faults`. All
+//! write faults strike *before* the commit rename of the artifact being
+//! written, so damage is always confined to `*.tmp`-named files the
+//! recovery path already knows to ignore (rollback-safe tmp naming,
+//! `docs/FORMAT.md`).
+//!
 //! All draws derive from a user-supplied `seed` through a splitmix64 hash,
 //! so a fixed seed and a fixed read sequence reproduce the same fault
 //! pattern. Transient draws are keyed by a per-backend operation counter;
 //! under multi-threaded runs the interleaving (and hence which operation
-//! draws a fault) can vary, but flips stay bound to their offsets.
+//! draws a fault) can vary, but flips stay bound to their offsets. Write
+//! draws use an independent per-directory counter shared across
+//! subdirectories, so read traffic never perturbs the write-fault
+//! schedule.
 //!
 //! ```
 //! use hus_storage::fault::FaultSpec;
@@ -32,8 +58,10 @@
 //! ```
 
 use crate::error::{Result, StorageError};
+use crate::retry::ResilienceTracker;
 use crate::tracker::Access;
-use crate::{RangeRead, ReadBackend};
+use crate::{durable, RangeRead, ReadBackend};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -55,11 +83,34 @@ pub struct FaultSpec {
     pub delay_p: f64,
     /// Duration of a latency spike in milliseconds.
     pub delay_ms: u64,
+    /// Probability of an `ENOSPC` failure per write operation (nothing
+    /// is written).
+    pub enospc: f64,
+    /// Probability of a short write per write operation (a prefix is
+    /// written, then `WriteZero`).
+    pub shortw: f64,
+    /// Probability of a torn write per write operation (a prefix is
+    /// written; the failure surfaces at fsync as raw `EIO`).
+    pub torn: f64,
+    /// Probability of an fsync failure per write operation (the full
+    /// payload is written but durability is unknown).
+    pub fsync_fail: f64,
 }
 
 impl Default for FaultSpec {
     fn default() -> Self {
-        FaultSpec { seed: 0, eio: 0.0, short: 0.0, flip: 0.0, delay_p: 0.0, delay_ms: 1 }
+        FaultSpec {
+            seed: 0,
+            eio: 0.0,
+            short: 0.0,
+            flip: 0.0,
+            delay_p: 0.0,
+            delay_ms: 1,
+            enospc: 0.0,
+            shortw: 0.0,
+            torn: 0.0,
+            fsync_fail: 0.0,
+        }
     }
 }
 
@@ -90,6 +141,10 @@ impl FaultSpec {
                 "delay_ms" => {
                     spec.delay_ms = value.parse().map_err(|_| format!("bad delay_ms `{value}`"))?;
                 }
+                "enospc" => spec.enospc = prob(value)?,
+                "shortw" => spec.shortw = prob(value)?,
+                "torn" => spec.torn = prob(value)?,
+                "fsync_fail" => spec.fsync_fail = prob(value)?,
                 other => return Err(format!("unknown fault key `{other}`")),
             }
         }
@@ -114,7 +169,18 @@ impl FaultSpec {
 
     /// Whether any fault class has nonzero probability.
     pub fn injects_faults(&self) -> bool {
+        self.injects_read_faults() || self.injects_write_faults()
+    }
+
+    /// Whether any *read*-side class (eio, short, flip, delay) fires.
+    pub fn injects_read_faults(&self) -> bool {
         self.eio > 0.0 || self.short > 0.0 || self.flip > 0.0 || self.delay_p > 0.0
+    }
+
+    /// Whether any *write*-side class (enospc, shortw, torn,
+    /// fsync_fail) fires.
+    pub fn injects_write_faults(&self) -> bool {
+        self.enospc > 0.0 || self.shortw > 0.0 || self.torn > 0.0 || self.fsync_fail > 0.0
     }
 }
 
@@ -184,6 +250,143 @@ impl FaultInjectBackend {
         if unit(h) < self.spec.flip {
             let bit = (mix(h) % (buf.len() as u64 * 8)) as usize;
             buf[bit / 8] ^= 1 << (bit % 8);
+        }
+    }
+}
+
+/// One drawn write fault (see the [module docs](self) for semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// Fail with raw `ENOSPC` before a single byte lands.
+    Enospc,
+    /// Write a `keep`-byte prefix, then fail with `WriteZero`.
+    ShortWrite {
+        /// Bytes that reach the file before the failure.
+        keep: usize,
+    },
+    /// Write a `keep`-byte prefix; the failure surfaces at fsync.
+    Torn {
+        /// Bytes that reach the file before the tear.
+        keep: usize,
+    },
+    /// Write the full payload; the fsync itself fails.
+    FsyncFail,
+}
+
+/// Deterministic write-side fault injector — the durable-write
+/// counterpart of [`FaultInjectBackend`].
+///
+/// One injector is shared (via `Arc`) by a [`crate::StorageDir`] and all
+/// its subdirectories, so the per-operation draw counter spans every
+/// write site under one root: delta-run spills, `MANIFEST` rewrites,
+/// checkpoint slots, and the staged builder's shard streams. Every fire
+/// is recorded as `resilience.write_faults` on the shared
+/// [`ResilienceTracker`].
+pub struct FaultInjectWriter {
+    spec: FaultSpec,
+    ops: AtomicU64,
+    resilience: Arc<ResilienceTracker>,
+}
+
+impl FaultInjectWriter {
+    /// Build an injector for `spec`, recording fires on `resilience`.
+    pub fn new(spec: FaultSpec, resilience: Arc<ResilienceTracker>) -> Self {
+        FaultInjectWriter { spec, ops: AtomicU64::new(0), resilience }
+    }
+
+    /// The spec this injector draws from.
+    pub fn spec(&self) -> FaultSpec {
+        self.spec
+    }
+
+    /// Draw the fault (if any) for one write operation of `len` payload
+    /// bytes, recording a fire in `resilience.write_faults`. Kinds are
+    /// checked in fixed order (enospc, shortw, torn, fsync_fail) with
+    /// independent salted draws, mirroring the read side.
+    pub fn draw(&self, len: usize) -> Option<WriteFault> {
+        self.draw_kinds(len, true, true)
+    }
+
+    /// Draw only the kinds that fire on a plain (not-yet-synced) stream
+    /// write: enospc, shortw, torn. Used by the staged builder's
+    /// streaming writers, where the fsync-failure kind is drawn
+    /// separately at sync time (see [`Self::draw_fsync`]).
+    pub fn draw_stream(&self, len: usize) -> Option<WriteFault> {
+        self.draw_kinds(len, true, false)
+    }
+
+    /// Draw only the fsync-failure kind for one sync operation,
+    /// recording a fire. Returns `true` when the fsync should fail.
+    pub fn draw_fsync(&self) -> bool {
+        matches!(self.draw_kinds(0, false, true), Some(WriteFault::FsyncFail))
+    }
+
+    fn draw_kinds(&self, len: usize, stream: bool, fsync: bool) -> Option<WriteFault> {
+        let op = self.ops.fetch_add(1, Ordering::Relaxed);
+        let h = mix(self.spec.seed ^ 0x77F1 ^ op);
+        let keep = |salt: u64| -> usize {
+            if len == 0 {
+                0
+            } else {
+                (mix(h ^ salt) % len as u64) as usize
+            }
+        };
+        let fault = if stream && self.spec.enospc > 0.0 && unit(mix(h ^ 0xE205)) < self.spec.enospc
+        {
+            WriteFault::Enospc
+        } else if stream && self.spec.shortw > 0.0 && unit(mix(h ^ 0x5808)) < self.spec.shortw {
+            WriteFault::ShortWrite { keep: keep(0x1E41) }
+        } else if stream && self.spec.torn > 0.0 && unit(mix(h ^ 0x7027)) < self.spec.torn {
+            WriteFault::Torn { keep: keep(0x1E42) }
+        } else if fsync
+            && self.spec.fsync_fail > 0.0
+            && unit(mix(h ^ 0xF5F0)) < self.spec.fsync_fail
+        {
+            WriteFault::FsyncFail
+        } else {
+            return None;
+        };
+        self.resilience.record_write_fault();
+        Some(fault)
+    }
+
+    /// The typed error a drawn `fault` surfaces at `path`. `Enospc` is
+    /// the raw OS error 28 so [`StorageError::is_no_space`] classifies
+    /// it exactly like a real full disk.
+    pub fn error_of(fault: WriteFault, path: &Path) -> StorageError {
+        let source = match fault {
+            WriteFault::Enospc => std::io::Error::from_raw_os_error(28), // ENOSPC
+            WriteFault::ShortWrite { .. } => {
+                std::io::Error::new(std::io::ErrorKind::WriteZero, "injected short write")
+            }
+            WriteFault::Torn { .. } => std::io::Error::other("injected torn write (EIO at fsync)"),
+            WriteFault::FsyncFail => std::io::Error::other("injected fsync failure (EIO)"),
+        };
+        StorageError::Io { path: Some(path.to_path_buf()), source }
+    }
+
+    /// Fault-aware durable whole-file write: write `bytes` to `path`
+    /// and fsync, or fail per the drawn fault leaving exactly the
+    /// damage that kind models (nothing / a prefix / the full payload
+    /// without durability).
+    pub fn durable_write(&self, path: &Path, bytes: &[u8]) -> Result<()> {
+        match self.draw(bytes.len()) {
+            None => {
+                std::fs::write(path, bytes).map_err(|e| StorageError::io_at(path, e))?;
+                durable::sync_file(path)
+            }
+            Some(fault) => {
+                match fault {
+                    WriteFault::Enospc => {}
+                    WriteFault::ShortWrite { keep } | WriteFault::Torn { keep } => {
+                        let _ = std::fs::write(path, &bytes[..keep]);
+                    }
+                    WriteFault::FsyncFail => {
+                        let _ = std::fs::write(path, bytes);
+                    }
+                }
+                Err(Self::error_of(fault, path))
+            }
         }
     }
 }
@@ -294,6 +497,81 @@ mod tests {
         let mut c = [0u8; 32];
         f.read_at(128, &mut c, Access::Random).unwrap();
         assert_ne!(a, c, "different offsets see independent flips");
+    }
+
+    #[test]
+    fn parse_write_spec_and_classification() {
+        let s = FaultSpec::parse("seed=9,enospc=0.5,shortw=0.25,torn=0.1,fsync_fail=0.05").unwrap();
+        assert_eq!(s.enospc, 0.5);
+        assert_eq!(s.shortw, 0.25);
+        assert_eq!(s.torn, 0.1);
+        assert_eq!(s.fsync_fail, 0.05);
+        assert!(s.injects_faults(), "write-only spec still injects");
+        assert!(s.injects_write_faults());
+        assert!(!s.injects_read_faults());
+        assert!(FaultSpec::parse("enospc=1.5").is_err(), "probability > 1");
+    }
+
+    #[test]
+    fn enospc_writes_nothing_and_classifies_as_no_space() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("out.bin");
+        let resilience = Arc::new(ResilienceTracker::new());
+        let spec = FaultSpec { seed: 2, enospc: 1.0, ..Default::default() };
+        let w = FaultInjectWriter::new(spec, Arc::clone(&resilience));
+        let err = w.durable_write(&path, &[1u8; 128]).unwrap_err();
+        assert!(err.is_no_space(), "{err}");
+        assert!(!path.exists(), "nothing may land on ENOSPC");
+        assert_eq!(resilience.snapshot().write_faults, 1);
+    }
+
+    #[test]
+    fn short_and_torn_writes_leave_a_deterministic_prefix() {
+        let dir = tempfile::tempdir().unwrap();
+        let resilience = Arc::new(ResilienceTracker::new());
+        let payload = [7u8; 256];
+        for (spec, name) in [
+            (FaultSpec { seed: 4, shortw: 1.0, ..Default::default() }, "shortw.bin"),
+            (FaultSpec { seed: 4, torn: 1.0, ..Default::default() }, "torn.bin"),
+        ] {
+            let path = dir.path().join(name);
+            let w = FaultInjectWriter::new(spec, Arc::clone(&resilience));
+            let err = w.durable_write(&path, &payload).unwrap_err();
+            assert!(!err.is_no_space(), "{err}");
+            let on_disk = std::fs::read(&path).unwrap();
+            assert!(on_disk.len() < payload.len(), "{name}: prefix only");
+            // Same seed, same op index → identical prefix length.
+            let path2 = dir.path().join(format!("{name}.replay"));
+            let w2 = FaultInjectWriter::new(spec, Arc::clone(&resilience));
+            let _ = w2.durable_write(&path2, &payload);
+            assert_eq!(std::fs::read(&path2).unwrap().len(), on_disk.len());
+        }
+        assert_eq!(resilience.snapshot().write_faults, 4);
+    }
+
+    #[test]
+    fn fsync_fail_writes_everything_but_still_errors() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("f.bin");
+        let resilience = Arc::new(ResilienceTracker::new());
+        let spec = FaultSpec { seed: 6, fsync_fail: 1.0, ..Default::default() };
+        let w = FaultInjectWriter::new(spec, resilience);
+        let err = w.durable_write(&path, &[9u8; 64]).unwrap_err();
+        assert!(err.to_string().contains("fsync"), "{err}");
+        assert_eq!(std::fs::read(&path).unwrap(), [9u8; 64]);
+    }
+
+    #[test]
+    fn write_draws_are_seed_deterministic_and_eventually_pass() {
+        let resilience = Arc::new(ResilienceTracker::new());
+        let spec = FaultSpec { seed: 8, enospc: 0.5, ..Default::default() };
+        let w = FaultInjectWriter::new(spec, Arc::clone(&resilience));
+        let pattern: Vec<bool> = (0..64).map(|_| w.draw(100).is_some()).collect();
+        assert!(pattern.iter().any(|&f| f), "some ops fault at p=0.5");
+        assert!(pattern.iter().any(|&f| !f), "some ops pass at p=0.5");
+        let w2 = FaultInjectWriter::new(spec, resilience);
+        let replay: Vec<bool> = (0..64).map(|_| w2.draw(100).is_some()).collect();
+        assert_eq!(pattern, replay, "same seed → same write-fault schedule");
     }
 
     #[test]

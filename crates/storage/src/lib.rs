@@ -76,7 +76,7 @@ pub use device::{CostModel, DeviceProfile, Throughput};
 pub use dir::{BackendKind, StagingDir, StorageDir};
 pub use direct::DirectBackend;
 pub use error::{Result, StorageError};
-pub use fault::{FaultInjectBackend, FaultSpec};
+pub use fault::{FaultInjectBackend, FaultInjectWriter, FaultSpec, WriteFault};
 pub use file::FileBackend;
 pub use manifest::{BuildManifest, ManifestEntry, MANIFEST_FILE};
 pub use mmap::MmapBackend;

@@ -224,6 +224,14 @@ impl BuildManifest {
         crate::durable::sync_file(&path)
     }
 
+    /// Like [`BuildManifest::write_to`], but routed through `dir`'s
+    /// write-fault injector when one is configured — the staged
+    /// builder's manifest write draws from the same fault schedule as
+    /// every other durable write under that root.
+    pub fn write_with(&self, dir: &crate::StorageDir) -> Result<()> {
+        dir.durable_write(MANIFEST_FILE, self.encode().as_bytes())
+    }
+
     /// Check that every listed file — data files and live delta runs —
     /// exists in `root` with its recorded length. Cheap (metadata
     /// only) — deep per-block verification is `hus fsck`'s job.

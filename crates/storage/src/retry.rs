@@ -40,6 +40,11 @@ static GAUGE_DIRECT_FB: hus_obs::LazyGauge = hus_obs::LazyGauge::new("resilience
 static GAUGE_RANGED_FB: hus_obs::LazyGauge = hus_obs::LazyGauge::new("resilience.ranged_fallbacks");
 static GAUGE_SYNC_FB: hus_obs::LazyGauge = hus_obs::LazyGauge::new("resilience.sync_fallbacks");
 static GAUGE_CRC_FAIL: hus_obs::LazyGauge = hus_obs::LazyGauge::new("resilience.checksum_failures");
+static GAUGE_WRITE_FAULTS: hus_obs::LazyGauge = hus_obs::LazyGauge::new("resilience.write_faults");
+static GAUGE_SPILL_ROLLBACKS: hus_obs::LazyGauge =
+    hus_obs::LazyGauge::new("resilience.spill_rollbacks");
+static GAUGE_DEGRADED_ENTRIES: hus_obs::LazyGauge =
+    hus_obs::LazyGauge::new("resilience.degraded_mode_entries");
 
 /// Log `msg` to stderr the first time `once` fires — degradation events
 /// are reported once per process, then only counted.
@@ -109,6 +114,9 @@ pub struct ResilienceTracker {
     ranged_fallbacks: AtomicU64,
     sync_fallbacks: AtomicU64,
     checksum_failures: AtomicU64,
+    write_faults: AtomicU64,
+    spill_rollbacks: AtomicU64,
+    degraded_mode_entries: AtomicU64,
 }
 
 impl ResilienceTracker {
@@ -153,6 +161,23 @@ impl ResilienceTracker {
         self.checksum_failures.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count one injected (or real) write-path fault.
+    pub fn record_write_fault(&self) {
+        self.write_faults.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one spill/compaction/checkpoint rolled back to the prior
+    /// generation after a write failure.
+    pub fn record_spill_rollback(&self) {
+        self.spill_rollbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one transition of a dynamic graph into read-only degraded
+    /// mode.
+    pub fn record_degraded_mode_entry(&self) {
+        self.degraded_mode_entries.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Push the current totals into the metric registry as
     /// `resilience.*` gauges (no-op while collection is disabled). The
     /// engine calls this once per iteration so `/metrics` and `hus
@@ -169,6 +194,9 @@ impl ResilienceTracker {
         GAUGE_RANGED_FB.set(s.ranged_fallbacks);
         GAUGE_SYNC_FB.set(s.sync_fallbacks);
         GAUGE_CRC_FAIL.set(s.checksum_failures);
+        GAUGE_WRITE_FAULTS.set(s.write_faults);
+        GAUGE_SPILL_ROLLBACKS.set(s.spill_rollbacks);
+        GAUGE_DEGRADED_ENTRIES.set(s.degraded_mode_entries);
     }
 
     /// Current counter values.
@@ -181,13 +209,16 @@ impl ResilienceTracker {
             ranged_fallbacks: self.ranged_fallbacks.load(Ordering::Relaxed),
             sync_fallbacks: self.sync_fallbacks.load(Ordering::Relaxed),
             checksum_failures: self.checksum_failures.load(Ordering::Relaxed),
+            write_faults: self.write_faults.load(Ordering::Relaxed),
+            spill_rollbacks: self.spill_rollbacks.load(Ordering::Relaxed),
+            degraded_mode_entries: self.degraded_mode_entries.load(Ordering::Relaxed),
         }
     }
 }
 
 /// Point-in-time view of a [`ResilienceTracker`], reported per run in
 /// `RunStats`.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct ResilienceSnapshot {
     /// Read attempts repeated after a transient error.
     pub retries: u64,
@@ -203,6 +234,40 @@ pub struct ResilienceSnapshot {
     pub sync_fallbacks: u64,
     /// Block reads whose CRC-32C did not match the shard footer.
     pub checksum_failures: u64,
+    /// Write-path faults (injected or real) on durable writes.
+    pub write_faults: u64,
+    /// Spills/compactions/checkpoints rolled back after a write
+    /// failure.
+    pub spill_rollbacks: u64,
+    /// Entries into read-only degraded mode.
+    pub degraded_mode_entries: u64,
+}
+
+/// Hand-written so the three write-path counters added after the first
+/// RunStats format default to zero when absent — stats JSON written by
+/// older builds keeps loading.
+impl Deserialize for ResilienceSnapshot {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::DeError> {
+        let opt = |name: &str| -> std::result::Result<u64, serde::DeError> {
+            match v.get(name) {
+                Some(f) => u64::from_value(f)
+                    .map_err(|e| serde::DeError(format!("field `{name}`: {}", e.0))),
+                None => Ok(0),
+            }
+        };
+        Ok(ResilienceSnapshot {
+            retries: serde::from_field(v, "retries")?,
+            giveups: serde::from_field(v, "giveups")?,
+            mmap_fallbacks: serde::from_field(v, "mmap_fallbacks")?,
+            direct_fallbacks: serde::from_field(v, "direct_fallbacks")?,
+            ranged_fallbacks: serde::from_field(v, "ranged_fallbacks")?,
+            sync_fallbacks: serde::from_field(v, "sync_fallbacks")?,
+            checksum_failures: serde::from_field(v, "checksum_failures")?,
+            write_faults: opt("write_faults")?,
+            spill_rollbacks: opt("spill_rollbacks")?,
+            degraded_mode_entries: opt("degraded_mode_entries")?,
+        })
+    }
 }
 
 impl ResilienceSnapshot {
@@ -216,6 +281,11 @@ impl ResilienceSnapshot {
             ranged_fallbacks: self.ranged_fallbacks.saturating_sub(earlier.ranged_fallbacks),
             sync_fallbacks: self.sync_fallbacks.saturating_sub(earlier.sync_fallbacks),
             checksum_failures: self.checksum_failures.saturating_sub(earlier.checksum_failures),
+            write_faults: self.write_faults.saturating_sub(earlier.write_faults),
+            spill_rollbacks: self.spill_rollbacks.saturating_sub(earlier.spill_rollbacks),
+            degraded_mode_entries: self
+                .degraded_mode_entries
+                .saturating_sub(earlier.degraded_mode_entries),
         }
     }
 
@@ -226,7 +296,14 @@ impl ResilienceSnapshot {
 
     /// Whether any resilience event occurred at all.
     pub fn any(&self) -> bool {
-        self.retries + self.giveups + self.total_fallbacks() + self.checksum_failures > 0
+        self.retries
+            + self.giveups
+            + self.total_fallbacks()
+            + self.checksum_failures
+            + self.write_faults
+            + self.spill_rollbacks
+            + self.degraded_mode_entries
+            > 0
     }
 }
 

@@ -66,7 +66,7 @@ const USAGE: &str = "usage:
   hus convert <in.{husg,txt}> <out.{husg,txt}>
   hus probe [dir]
   hus serve <graph-dir> [--addr host:port] [--max-inflight N] [--byte-budget B] \
-            [--threads N]
+            [--threads N] [--deadline-ms N] [--idle-ms N]
 
 graph-reading commands also accept --backend file|mmap|direct
 (default: $HUS_BACKEND, else file; direct degrades to file where
@@ -406,6 +406,12 @@ fn cmd_serve(rest: &[&String]) -> CliResult {
     }
     if let Some(v) = flag_value(rest, "--threads") {
         config.query_threads = parse::<usize>(v, "threads")?.max(1);
+    }
+    if let Some(v) = flag_value(rest, "--deadline-ms") {
+        config.deadline_ms = parse(v, "deadline ms")?;
+    }
+    if let Some(v) = flag_value(rest, "--idle-ms") {
+        config.idle_ms = parse(v, "idle ms")?;
     }
     let mut dir = StorageDir::open(path).map_err(|e| e.to_string())?;
     if let Some(kind) = parse_backend(rest)? {

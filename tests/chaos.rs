@@ -1,0 +1,308 @@
+//! Chaos harness (DESIGN.md §9.6): the whole stack under fire at once.
+//!
+//! One live `hus serve` daemon over a graph directory while, for
+//! `HUS_CHAOS_SECS` (default 2) seconds:
+//!
+//! * an ingest thread streams edge updates through a `DynamicGraph`
+//!   whose writes fail with injected `enospc`/`shortw`/`torn`/
+//!   `fsync_fail` faults (small memtable budget → constant spills,
+//!   rollbacks, degraded-mode entries and recoveries);
+//! * client threads hammer the daemon with point lookups that must be
+//!   **bit-identical** to the pre-chaos truth (the ingest only touches
+//!   the upper half of the vertex space; the clients only read the
+//!   lower half), plus analytics, panicking `chaos_panic` ops and
+//!   slot-hogging `chaos_sleep` ops — asserting every answer is either
+//!   correct or one of the typed `busy`/`deadline`/`internal` errors.
+//!
+//! Afterwards: the daemon must still answer (it never exits — worker
+//! panics are contained by `catch_unwind` and the RAII slot guard), a
+//! deliberately oversized query must fail with the typed `deadline`
+//! error, `fsck` must be clean, the degraded-mode counters must show
+//! both entries and a recovery, and a final compaction must be
+//! byte-identical to building the surviving edge set from scratch —
+//! i.e. every *acked* op is in the graph and every rejected op is not.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use husgraph::codec::Codec;
+use husgraph::core::{fsck, BuildConfig, DynamicGraph, HusGraph};
+use husgraph::gen::{Edge, EdgeList};
+use husgraph::serve::client::{error_code, field_u64, is_ok};
+use husgraph::serve::{fnv1a64, serve, Client, ServeConfig};
+use husgraph::storage::{pod, FaultSpec, StorageDir};
+
+const NV: u32 = 200;
+const P: u32 = 2;
+/// Clients read vertices `< LOWER`; the ingest mutates only `>= LOWER`.
+const LOWER: u32 = NV / 2;
+
+fn chaos_secs() -> u64 {
+    std::env::var("HUS_CHAOS_SECS").ok().and_then(|v| v.parse().ok()).unwrap_or(2)
+}
+
+/// Deduplicated deterministic base edge set.
+fn edge_list() -> (EdgeList, BTreeSet<(u32, u32)>) {
+    let raw = husgraph::gen::rmat(NV, 1100, 4242, Default::default());
+    let set: BTreeSet<(u32, u32)> = raw.edges.iter().map(|e| (e.src, e.dst)).collect();
+    let el = EdgeList {
+        num_vertices: NV,
+        edges: set.iter().map(|&(s, d)| Edge::new(s, d)).collect(),
+        weights: None,
+    };
+    (el, set)
+}
+
+/// Per-lower-vertex truth: (degree, fnv hash of the sorted neighbor ids)
+/// — the exact fields the `degree`/`neighbors` wire ops answer with.
+fn lower_truth(truth: &BTreeSet<(u32, u32)>) -> BTreeMap<u32, (u64, u64)> {
+    let mut out = BTreeMap::new();
+    for v in 0..LOWER {
+        let nbrs: Vec<u32> = truth.iter().filter(|&&(s, _)| s == v).map(|&(_, d)| d).collect();
+        out.insert(v, (nbrs.len() as u64, fnv1a64(pod::as_bytes(&nbrs))));
+    }
+    out
+}
+
+/// One chaos client: mixed lookups (asserted bit-identical), analytics,
+/// panics and slot hogs, until `stop`. Returns how many requests got an
+/// `ok` answer.
+fn chaos_client(
+    addr: &str,
+    truth: &BTreeMap<u32, (u64, u64)>,
+    stop: &AtomicBool,
+    seed: u64,
+) -> u64 {
+    let mut c = Client::connect(addr).expect("chaos client connect");
+    let mut answered = 0u64;
+    let mut k = seed;
+    while !stop.load(Ordering::Relaxed) {
+        k = k.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let v = (k >> 33) as u32 % LOWER;
+        let (deg, hash) = truth[&v];
+        // Point lookups: whenever the daemon says `ok`, the answer must
+        // be bit-identical to the pre-chaos truth — the chaos ingest
+        // never touches lower-half sources.
+        let r = c.request(&format!(r#"{{"op":"degree","v":{v}}}"#)).expect("degree request");
+        if is_ok(&r) {
+            answered += 1;
+            assert_eq!(field_u64(&r, "degree"), Some(deg), "degree({v}) drifted under chaos");
+        } else {
+            let code = error_code(&r).unwrap_or("?").to_string();
+            assert!(matches!(code.as_str(), "busy" | "deadline"), "untyped failure: {r:?}");
+        }
+        let r = c.request(&format!(r#"{{"op":"neighbors","v":{v}}}"#)).expect("neighbors request");
+        if is_ok(&r) {
+            answered += 1;
+            assert_eq!(field_u64(&r, "count"), Some(deg), "neighbors({v}) count drifted");
+            assert_eq!(field_u64(&r, "hash"), Some(hash), "neighbors({v}) bytes drifted");
+        } else {
+            let code = error_code(&r).unwrap_or("?").to_string();
+            assert!(matches!(code.as_str(), "busy" | "deadline"), "untyped failure: {r:?}");
+        }
+        // Periodic grief: a panicking query, a slot hog, and a full
+        // analytics run. Every answer must carry a typed code; the
+        // daemon itself must keep serving (asserted by the next loop
+        // iteration succeeding at the protocol level at all).
+        match k % 7 {
+            0 => {
+                let r = c.request(r#"{"op":"chaos_panic"}"#).expect("chaos_panic request");
+                let code = error_code(&r).unwrap_or("ok").to_string();
+                assert!(
+                    matches!(code.as_str(), "internal" | "busy"),
+                    "panic must surface as typed internal: {r:?}"
+                );
+            }
+            1 => {
+                let r = c.request(r#"{"op":"chaos_sleep","ms":30}"#).expect("chaos_sleep request");
+                if !is_ok(&r) {
+                    assert_eq!(error_code(&r), Some("busy"), "{r:?}");
+                }
+            }
+            2 => {
+                let r = c.request(r#"{"op":"wcc"}"#).expect("wcc request");
+                if is_ok(&r) {
+                    answered += 1;
+                } else {
+                    let code = error_code(&r).unwrap_or("?").to_string();
+                    assert!(matches!(code.as_str(), "busy" | "deadline"), "{r:?}");
+                }
+            }
+            _ => {}
+        }
+    }
+    answered
+}
+
+#[test]
+fn daemon_survives_write_faults_panics_and_slow_queries() {
+    // Small memtable: every few acked ops cross the budget and attempt
+    // a (frequently failing) spill. Read at `DynamicGraph::open` time.
+    std::env::set_var("HUS_MEMTABLE_BYTES", "256");
+    let (el, truth) = edge_list();
+    let tmp = tempfile::tempdir().unwrap();
+    let root = tmp.path().join("g");
+    let dir = StorageDir::create(&root).unwrap();
+    HusGraph::build_into(&el, &dir, &BuildConfig::with_p_codec(P, Codec::Raw)).unwrap();
+    let lower = lower_truth(&truth);
+
+    // The daemon reads fault-free; only the *ingest* handle injects
+    // write faults. Chaos ops are enabled explicitly (never from env),
+    // and a deadline is armed so runaway queries die typed.
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        max_inflight: 3,
+        byte_budget: 0,
+        accept_queue: 16,
+        query_threads: 1,
+        refresh_interval_ms: 25,
+        deadline_ms: 1_500,
+        idle_ms: 30_000,
+        chaos_ops: true,
+    };
+    let mut server = serve(StorageDir::open(&root).unwrap(), config).unwrap();
+    let addr = server.addr().to_string();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let answered = Arc::new(AtomicU64::new(0));
+
+    // Ingest thread: stream upper-half updates through a write-faulty
+    // DynamicGraph, recording exactly which ops were acked. An error
+    // means the op is NOT in the graph (degraded-mode rejections don't
+    // buffer); an Ok means it must survive to the final compaction.
+    let faulty = StorageDir::open(&root).unwrap().with_faults(Some(FaultSpec {
+        seed: 42,
+        enospc: 0.2,
+        shortw: 0.05,
+        torn: 0.1,
+        fsync_fail: 0.05,
+        ..Default::default()
+    }));
+    let resilience = faulty.resilience();
+    let ingest_stop = Arc::clone(&stop);
+    let ingest = std::thread::spawn(move || {
+        let mut dg = DynamicGraph::open(faulty).unwrap();
+        // Last acked op per key: Some(true) = present, Some(false) =
+        // deleted. Replayed over the base set for the final rebuild.
+        let mut acked: BTreeMap<(u32, u32), bool> = BTreeMap::new();
+        let (mut ok_ops, mut rejected) = (0u64, 0u64);
+        let mut k = 0u64;
+        while !ingest_stop.load(Ordering::Relaxed) {
+            k += 1;
+            let src = LOWER + (k * 7 % u64::from(LOWER)) as u32;
+            let dst = (k * 13 % u64::from(NV)) as u32;
+            let deleting = k.is_multiple_of(11);
+            let outcome =
+                if deleting { dg.delete_edge(src, dst) } else { dg.insert_edge(src, dst, 1.0) };
+            match outcome {
+                Ok(()) => {
+                    acked.insert((src, dst), !deleting);
+                    ok_ops += 1;
+                }
+                Err(_) => rejected += 1,
+            }
+            if k.is_multiple_of(64) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        // Retry the final spill until the dice cooperate: everything
+        // acked must be durably committed before the harness compares.
+        let mut flushed = false;
+        for _ in 0..10_000 {
+            if dg.flush().is_ok() {
+                flushed = true;
+                break;
+            }
+        }
+        assert!(flushed, "final flush never succeeded under p≈0.6 per attempt");
+        assert!(!dg.is_degraded(), "a successful flush clears degraded mode");
+        (acked, ok_ops, rejected)
+    });
+
+    // Client threads.
+    let deadline = Instant::now() + Duration::from_secs(chaos_secs());
+    std::thread::scope(|s| {
+        for i in 0..3u64 {
+            let addr = addr.clone();
+            let lower = &lower;
+            let stop = Arc::clone(&stop);
+            let answered = Arc::clone(&answered);
+            s.spawn(move || {
+                let n = chaos_client(&addr, lower, &stop, 0x9E3779B9 * (i + 1));
+                answered.fetch_add(n, Ordering::Relaxed);
+            });
+        }
+        while Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    let (acked, ok_ops, rejected) = ingest.join().expect("ingest thread must not die");
+
+    // The chaos actually happened: queries were answered, ops were
+    // acked, faults fired, rollbacks rolled back, degraded mode was
+    // entered (rejections) and exited again (the final flush).
+    let answered = answered.load(Ordering::Relaxed);
+    assert!(answered > 0, "chaos clients never got an ok answer");
+    assert!(ok_ops > 0, "ingest never got an op acked");
+    let snap = resilience.snapshot();
+    assert!(snap.write_faults > 0, "no write fault ever fired: {snap:?}");
+    assert!(snap.spill_rollbacks > 0, "no spill ever rolled back: {snap:?}");
+    assert!(snap.degraded_mode_entries > 0, "degraded mode never entered: {snap:?}");
+    assert!(rejected > 0, "degraded mode never rejected an op");
+
+    // The daemon is still standing and still typed: status answers, and
+    // a deliberately endless query dies with the `deadline` code.
+    let mut c = Client::connect(&addr).unwrap();
+    let r = c.request(r#"{"op":"status"}"#).unwrap();
+    assert!(is_ok(&r), "daemon must survive the chaos: {r:?}");
+    let r = c.request(r#"{"op":"pagerank","iters":100000000}"#).unwrap();
+    assert!(!is_ok(&r), "{r:?}");
+    assert_eq!(error_code(&r), Some("deadline"), "{r:?}");
+    let r = c.request(r#"{"op":"shutdown"}"#).unwrap();
+    assert!(is_ok(&r), "{r:?}");
+    server.wait();
+
+    // Post-chaos: the directory is clean — every rollback quarantined
+    // its partial artifacts, nothing stale or corrupt remains.
+    let report = fsck(&StorageDir::open(&root).unwrap(), false).unwrap();
+    assert!(report.is_clean(), "post-chaos fsck: {}", report.render());
+    assert!(report.stale.is_empty(), "rollback left stale files: {:?}", report.stale);
+
+    // Final compaction (fault-free handle) must fold base + every acked
+    // op into shards byte-identical to building the surviving edge set
+    // from scratch: acked-in ops are in, rejected ops are not.
+    let mut dg = DynamicGraph::open(StorageDir::open(&root).unwrap()).unwrap();
+    assert!(dg.compact().unwrap(), "chaos left runs to compact");
+    drop(dg);
+
+    let mut survivors = truth.clone();
+    for (&key, &present) in &acked {
+        if present {
+            survivors.insert(key);
+        } else {
+            survivors.remove(&key);
+        }
+    }
+    let rebuilt_el = EdgeList {
+        num_vertices: NV,
+        edges: survivors.iter().map(|&(s, d)| Edge::new(s, d)).collect(),
+        weights: None,
+    };
+    let rebuild_dir = StorageDir::create(tmp.path().join("rebuild")).unwrap();
+    HusGraph::build_into(&rebuilt_el, &rebuild_dir, &BuildConfig::with_p_codec(P, Codec::Raw))
+        .unwrap();
+    let mut compared = 0;
+    for entry in std::fs::read_dir(&root).unwrap().flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.ends_with(".edges") || name.ends_with(".index") || name == "degrees.bin" {
+            let chaos_bytes = std::fs::read(entry.path()).unwrap();
+            let rebuild_bytes = std::fs::read(rebuild_dir.path(&name)).unwrap();
+            assert_eq!(chaos_bytes, rebuild_bytes, "{name} differs from a from-scratch build");
+            compared += 1;
+        }
+    }
+    assert_eq!(compared, (4 * P + 1) as usize, "shard files went missing");
+}

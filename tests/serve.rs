@@ -50,6 +50,9 @@ fn test_config() -> ServeConfig {
         accept_queue: 16,
         query_threads: 1,
         refresh_interval_ms: 25,
+        deadline_ms: 0,
+        idle_ms: 30_000,
+        chaos_ops: false,
     }
 }
 
